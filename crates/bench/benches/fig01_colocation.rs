@@ -1,0 +1,26 @@
+//! Figure 1 bench: co-location throughput/latency under NP-FCFS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use npu_sim::NpuConfig;
+use prema_bench::fig01;
+use prema_workload::colocation::ColocationConfig;
+
+fn bench(c: &mut Criterion) {
+    let npu = NpuConfig::paper_default();
+    let config = ColocationConfig {
+        requests_per_model: 4,
+        batch: 1,
+        inter_arrival_ms: 0.0,
+    };
+    let (_, report) = fig01::report(&npu, &config);
+    println!("{report}");
+    let mut group = c.benchmark_group("fig01");
+    group.sample_size(10);
+    group.bench_function("colocation_np_fcfs", |b| {
+        b.iter(|| fig01::run(&npu, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

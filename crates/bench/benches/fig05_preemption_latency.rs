@@ -1,0 +1,20 @@
+//! Figure 5 bench: preemption latency and waiting time per mechanism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use npu_sim::NpuConfig;
+use prema_bench::fig05_06;
+
+fn bench(c: &mut Criterion) {
+    let npu = NpuConfig::paper_default();
+    let rows = fig05_06::figure5(&npu, 1, 2020);
+    println!("{}", fig05_06::format_figure5(&rows));
+    let mut group = c.benchmark_group("fig05");
+    group.sample_size(10);
+    group.bench_function("preemption_latency_sweep", |b| {
+        b.iter(|| fig05_06::figure5(&npu, 1, 2020))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 6 bench: STP and NTT improvement per preemption mechanism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use npu_sim::NpuConfig;
+use prema_bench::fig05_06;
+
+fn bench(c: &mut Criterion) {
+    let npu = NpuConfig::paper_default();
+    let rows = fig05_06::figure6(&npu, 1, 2020);
+    println!("{}", fig05_06::format_figure6(&rows));
+    let mut group = c.benchmark_group("fig06");
+    group.sample_size(10);
+    group.bench_function("mechanism_stp_ntt_sweep", |b| {
+        b.iter(|| fig05_06::figure6(&npu, 1, 2020))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

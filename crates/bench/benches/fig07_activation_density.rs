@@ -1,0 +1,19 @@
+//! Figure 7 bench: VGGNet per-layer activation density characterization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::ModelKind;
+use prema_bench::fig07;
+
+fn bench(c: &mut Criterion) {
+    let (_, report) = fig07::report(ModelKind::CnnVggNet, 1000, 2020);
+    println!("{report}");
+    let mut group = c.benchmark_group("fig07");
+    group.sample_size(20);
+    group.bench_function("vgg_density_1000_inferences", |b| {
+        b.iter(|| fig07::run(ModelKind::CnnVggNet, 1000, 2020))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

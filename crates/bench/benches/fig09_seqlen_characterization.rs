@@ -1,0 +1,18 @@
+//! Figure 9 bench: sequence-length characterization and regression tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::ModelKind;
+use prema_bench::fig09;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig09::report(30, 2020));
+    let mut group = c.benchmark_group("fig09");
+    group.sample_size(20);
+    group.bench_function("translation_characterization", |b| {
+        b.iter(|| fig09::run(ModelKind::RnnTranslation1, 30, 2020))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

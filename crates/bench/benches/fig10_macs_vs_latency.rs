@@ -1,0 +1,18 @@
+//! Figure 10 bench: MAC count versus layer execution time scatter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use npu_sim::NpuConfig;
+use prema_bench::fig10;
+
+fn bench(c: &mut Criterion) {
+    let npu = NpuConfig::paper_default();
+    let (_, report) = fig10::report(&npu);
+    println!("{report}");
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("layer_scatter_all_models", |b| b.iter(|| fig10::run(&npu)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 11 bench: ANTT / fairness / STP of the six non-preemptive policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prema_bench::suite::SuiteOptions;
+use prema_bench::fig11_15;
+
+fn bench(c: &mut Criterion) {
+    let opts = SuiteOptions::quick().with_runs(2);
+    let (_, report) = fig11_15::figure11(&opts);
+    println!("{report}");
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("nonpreemptive_policy_suite", |b| {
+        b.iter(|| fig11_15::figure11(&SuiteOptions::quick().with_runs(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

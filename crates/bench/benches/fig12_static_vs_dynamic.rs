@@ -1,0 +1,20 @@
+//! Figure 12 bench: static vs dynamic preemption for HPF/TOKEN/SJF/PREMA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prema_bench::fig11_15;
+use prema_bench::suite::SuiteOptions;
+
+fn bench(c: &mut Criterion) {
+    let opts = SuiteOptions::quick().with_runs(2);
+    let (_, report) = fig11_15::figure12(&opts);
+    println!("{report}");
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("static_vs_dynamic_suite", |b| {
+        b.iter(|| fig11_15::figure12(&SuiteOptions::quick().with_runs(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

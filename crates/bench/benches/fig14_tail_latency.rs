@@ -1,0 +1,18 @@
+//! Figure 14 bench: 95%-ile tail latency of high-priority inference tasks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use npu_sim::NpuConfig;
+use prema_bench::fig14;
+
+fn bench(c: &mut Criterion) {
+    let npu = NpuConfig::paper_default();
+    let (_, report) = fig14::report(&npu, 2, 2020);
+    println!("{report}");
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    group.bench_function("tail_latency_suite", |b| b.iter(|| fig14::run(&npu, 1, 2020)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

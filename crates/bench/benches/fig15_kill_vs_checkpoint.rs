@@ -1,0 +1,20 @@
+//! Figure 15 bench: CHECKPOINT vs KILL sensitivity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prema_bench::fig11_15;
+use prema_bench::suite::SuiteOptions;
+
+fn bench(c: &mut Criterion) {
+    let opts = SuiteOptions::quick().with_runs(2);
+    let (_, report) = fig11_15::figure15(&opts);
+    println!("{report}");
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    group.bench_function("kill_vs_checkpoint_suite", |b| {
+        b.iter(|| fig11_15::figure15(&SuiteOptions::quick().with_runs(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Tables I and II plus the overhead / prediction summaries, exercised as a
+//! micro-benchmark of plan compilation and prediction throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::{ModelKind, SeqSpec};
+use npu_sim::NpuConfig;
+use prema_bench::{overhead, prediction, tables};
+use prema_core::plan::ExecutionPlan;
+use prema_core::SchedulerConfig;
+use prema_predictor::{AnalyticalPredictor, InferenceTimePredictor};
+
+fn bench(c: &mut Criterion) {
+    let npu = NpuConfig::paper_default();
+    println!("{}", tables::table1(&npu));
+    println!("{}", tables::table2(&SchedulerConfig::paper_default()));
+    println!("{}", overhead::report(&npu).1);
+    println!("{}", prediction::report(&npu, 2, 2020).1);
+
+    let predictor = AnalyticalPredictor::new(npu.clone());
+    let mut group = c.benchmark_group("infrastructure");
+    group.bench_function("plan_compile_vgg16_batch1", |b| {
+        b.iter(|| ExecutionPlan::compile(ModelKind::CnnVggNet, 1, SeqSpec::none(), &npu))
+    });
+    group.bench_function("analytical_predict_vgg16_batch1", |b| {
+        b.iter(|| predictor.predict_cycles(ModelKind::CnnVggNet, 1, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

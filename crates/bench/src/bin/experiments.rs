@@ -1,0 +1,160 @@
+//! The experiment harness binary: regenerates every table and figure of the
+//! PREMA paper's evaluation section.
+//!
+//! ```text
+//! experiments [EXPERIMENT] [--runs N] [--seed S]
+//!
+//! EXPERIMENT: all (default), table1, table2, fig1, fig5, fig6, fig7, fig9,
+//!             fig10, fig11, fig12, fig13, fig14, fig15, prediction,
+//!             overhead, sensitivity
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use npu_sim::NpuConfig;
+use prema_bench::suite::SuiteOptions;
+use prema_bench::{
+    fig01, fig05_06, fig07, fig09, fig10, fig11_15, fig14, overhead, prediction, sensitivity,
+    tables,
+};
+use prema_core::SchedulerConfig;
+use prema_workload::colocation::ColocationConfig;
+use prema_workload::generator::WorkloadConfig;
+
+struct Options {
+    experiment: String,
+    runs: usize,
+    seed: u64,
+}
+
+const USAGE: &str = "usage: experiments [EXPERIMENT] [--runs N] [--seed S]\n\
+experiments: all, table1, table2, fig1, fig5, fig6, fig7, fig9, fig10, fig11, \
+fig12, fig13, fig14, fig15, prediction, overhead, sensitivity";
+
+fn parse_args() -> Result<Options, String> {
+    let mut experiment = "all".to_string();
+    let mut runs = 5usize;
+    let mut seed = 2020u64;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => {
+                runs = args
+                    .next()
+                    .ok_or("--runs requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --runs value: {e}"))?;
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .ok_or("--seed requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed value: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(USAGE.to_string());
+            }
+            other if !other.starts_with('-') => experiment = other.to_string(),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if runs == 0 {
+        return Err("--runs must be at least 1".into());
+    }
+    Ok(Options {
+        experiment,
+        runs,
+        seed,
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let npu = NpuConfig::paper_default();
+    let suite = SuiteOptions {
+        runs: options.runs,
+        seed: options.seed,
+        workload: WorkloadConfig::paper_default(),
+        npu: npu.clone(),
+    };
+
+    let run_one = |name: &str| -> Option<String> {
+        match name {
+            "table1" => Some(tables::table1(&npu)),
+            "table2" => Some(tables::table2(&SchedulerConfig::paper_default())),
+            "fig1" => Some(fig01::report(&npu, &ColocationConfig::paper_default()).1),
+            "fig5" => Some(fig05_06::format_figure5(&fig05_06::figure5(
+                &npu,
+                options.runs,
+                options.seed,
+            ))),
+            "fig6" => Some(fig05_06::format_figure6(&fig05_06::figure6(
+                &npu,
+                options.runs,
+                options.seed,
+            ))),
+            "fig7" => Some(fig07::report(dnn_models::ModelKind::CnnVggNet, 1000, options.seed).1),
+            "fig9" => Some(fig09::report(30, options.seed)),
+            "fig10" => Some(fig10::report(&npu).1),
+            "fig11" => Some(fig11_15::figure11(&suite).1),
+            "fig12" => Some(fig11_15::figure12(&suite).1),
+            "fig13" => Some(fig11_15::figure13(&suite).1),
+            "fig14" => Some(fig14::report(&npu, options.runs, options.seed).1),
+            "fig15" => Some(fig11_15::figure15(&suite).1),
+            "prediction" => Some(prediction::report(&npu, options.runs, options.seed).1),
+            "overhead" => Some(overhead::report(&npu).1),
+            "sensitivity" => Some(sensitivity::report(&npu, options.runs, options.seed)),
+            _ => None,
+        }
+    };
+
+    let all = [
+        "table1",
+        "table2",
+        "fig1",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "prediction",
+        "overhead",
+        "sensitivity",
+    ];
+
+    if options.experiment == "all" {
+        for name in all {
+            eprintln!("[experiments] running {name} ...");
+            match run_one(name) {
+                Some(report) => println!("{report}\n"),
+                None => unreachable!("all experiment names are valid"),
+            }
+        }
+        ExitCode::SUCCESS
+    } else {
+        match run_one(&options.experiment) {
+            Some(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment '{}'\n{USAGE}", options.experiment);
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Figure 1: the co-location motivation experiment — GoogLeNet and ResNet
+//! sharing one accelerator under an NP-FCFS runtime improves throughput at
+//! the cost of average latency.
+
+use npu_sim::NpuConfig;
+use prema_core::{NpuSimulator, SchedulerConfig};
+use prema_metrics::TableBuilder;
+use prema_workload::colocation::{
+    colocated_stream, isolated_stream, summarize, ColocationConfig, ColocationResult,
+};
+
+/// The three rows of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig01Results {
+    /// GoogLeNet running alone.
+    pub isolated_googlenet: ColocationResult,
+    /// ResNet running alone.
+    pub isolated_resnet: ColocationResult,
+    /// Both models co-located on one NPU under NP-FCFS.
+    pub colocated: ColocationResult,
+}
+
+impl Fig01Results {
+    /// Throughput gain of co-location over the mean isolated throughput.
+    pub fn throughput_gain(&self) -> f64 {
+        let isolated_mean = 0.5
+            * (self.isolated_googlenet.throughput_inferences_per_sec
+                + self.isolated_resnet.throughput_inferences_per_sec);
+        if isolated_mean > 0.0 {
+            self.colocated.throughput_inferences_per_sec / isolated_mean
+        } else {
+            0.0
+        }
+    }
+
+    /// Latency degradation of co-location over the mean isolated latency.
+    pub fn latency_degradation(&self) -> f64 {
+        let isolated_mean =
+            0.5 * (self.isolated_googlenet.mean_latency_ms + self.isolated_resnet.mean_latency_ms);
+        if isolated_mean > 0.0 {
+            self.colocated.mean_latency_ms / isolated_mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the Figure 1 experiment.
+pub fn run(npu: &NpuConfig, config: &ColocationConfig) -> Fig01Results {
+    let sim = NpuSimulator::new(npu.clone(), SchedulerConfig::np_fcfs());
+    let measure = |requests: Vec<prema_core::TaskRequest>| {
+        let prepared = sim.prepare(&requests);
+        summarize(&sim.run(&prepared).records, npu)
+    };
+    Fig01Results {
+        isolated_googlenet: measure(isolated_stream(dnn_models::ModelKind::CnnGoogLeNet, config)),
+        isolated_resnet: measure(isolated_stream(dnn_models::ModelKind::ResNet50, config)),
+        colocated: measure(colocated_stream(config)),
+    }
+}
+
+/// Runs and formats the Figure 1 report.
+pub fn report(npu: &NpuConfig, config: &ColocationConfig) -> (Fig01Results, String) {
+    let results = run(npu, config);
+    let table = TableBuilder::new(vec![
+        "scenario".into(),
+        "throughput (inf/s)".into(),
+        "mean latency (ms)".into(),
+    ])
+    .title("Figure 1: co-locating GoogLeNet and ResNet under NP-FCFS")
+    .row(vec![
+        "GoogLeNet isolated".into(),
+        format!("{:.1}", results.isolated_googlenet.throughput_inferences_per_sec),
+        format!("{:.2}", results.isolated_googlenet.mean_latency_ms),
+    ])
+    .row(vec![
+        "ResNet isolated".into(),
+        format!("{:.1}", results.isolated_resnet.throughput_inferences_per_sec),
+        format!("{:.2}", results.isolated_resnet.mean_latency_ms),
+    ])
+    .row(vec![
+        "Co-located".into(),
+        format!("{:.1}", results.colocated.throughput_inferences_per_sec),
+        format!("{:.2}", results.colocated.mean_latency_ms),
+    ])
+    .row(vec![
+        "Co-location effect".into(),
+        format!("{:.2}x throughput", results.throughput_gain()),
+        format!("{:.2}x latency", results.latency_degradation()),
+    ])
+    .build();
+    (results, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colocation_shape_matches_the_paper() {
+        let npu = NpuConfig::paper_default();
+        let config = ColocationConfig {
+            requests_per_model: 4,
+            batch: 1,
+            inter_arrival_ms: 3.0,
+        };
+        let (results, report) = report(&npu, &config);
+        // Co-location improves device throughput and worsens latency.
+        assert!(results.throughput_gain() > 1.0, "{}", results.throughput_gain());
+        assert!(results.latency_degradation() > 1.0);
+        assert!(report.contains("Co-located"));
+    }
+}

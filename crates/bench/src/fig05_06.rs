@@ -1,0 +1,210 @@
+//! Figures 5 and 6: the effect of the KILL / CHECKPOINT / DRAIN preemption
+//! mechanisms on preemption latency, the preempting task's waiting time, and
+//! the resulting STP / NTT relative to NP-FCFS (Section IV-D).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dnn_models::{ModelKind, ALL_EVAL_MODELS};
+use npu_sim::NpuConfig;
+use prema_core::config::{PolicyKind, PreemptionMode};
+use prema_core::{NpuSimulator, PreemptionMechanism, SchedulerConfig, TaskId};
+use prema_metrics::TableBuilder;
+use prema_workload::microbench::{preemptor_sweep, victim_sweep, PreemptionScenario, BATCH_SIZES};
+
+/// Per-mechanism measurements averaged over one sweep of scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MechanismStats {
+    /// Average preemption latency (checkpointing time) in microseconds.
+    pub preemption_latency_us: f64,
+    /// Average waiting time of the preempting (high-priority) task in
+    /// microseconds.
+    pub wait_time_us: f64,
+    /// Average STP normalized to NP-FCFS.
+    pub stp_improvement: f64,
+    /// Average NTT improvement of the preempting task over NP-FCFS.
+    pub ntt_improvement: f64,
+}
+
+/// One x-axis group of Figures 5/6: a model at a batch size, measured for the
+/// three mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismRow {
+    /// The model on the x-axis.
+    pub model: ModelKind,
+    /// The batch size on the x-axis.
+    pub batch: u64,
+    /// KILL / CHECKPOINT / DRAIN results in [`PreemptionMechanism::ALL`] order.
+    pub stats: [MechanismStats; 3],
+}
+
+fn scheduler_for(mechanism: PreemptionMechanism) -> SchedulerConfig {
+    match mechanism {
+        PreemptionMechanism::Drain => {
+            SchedulerConfig::named(PolicyKind::Hpf, PreemptionMode::NonPreemptive)
+        }
+        other => SchedulerConfig::named(PolicyKind::Hpf, PreemptionMode::Static(other)),
+    }
+}
+
+fn measure_scenarios(
+    scenarios: &[PreemptionScenario],
+    mechanism: PreemptionMechanism,
+    npu: &NpuConfig,
+) -> MechanismStats {
+    let sim = NpuSimulator::new(npu.clone(), scheduler_for(mechanism));
+    let baseline = NpuSimulator::new(npu.clone(), SchedulerConfig::np_fcfs());
+    let mut stats = MechanismStats::default();
+    for scenario in scenarios {
+        let prepared = sim.prepare(&scenario.requests());
+        let outcome = sim.run(&prepared);
+        let base = baseline.run(&prepared);
+
+        let victim = outcome.record(TaskId(0)).expect("victim present");
+        let preemptor = outcome.record(TaskId(1)).expect("preemptor present");
+        let base_preemptor = base.record(TaskId(1)).expect("preemptor present");
+
+        stats.preemption_latency_us += npu.cycles_to_micros(victim.checkpoint_overhead);
+        stats.wait_time_us += npu.cycles_to_micros(preemptor.waiting());
+        let stp = outcome.stp();
+        let base_stp = base.stp();
+        stats.stp_improvement += if base_stp > 0.0 { stp / base_stp } else { 0.0 };
+        let ntt = preemptor.ntt();
+        stats.ntt_improvement += if ntt > 0.0 {
+            base_preemptor.ntt() / ntt
+        } else {
+            0.0
+        };
+    }
+    let n = scenarios.len().max(1) as f64;
+    MechanismStats {
+        preemption_latency_us: stats.preemption_latency_us / n,
+        wait_time_us: stats.wait_time_us / n,
+        stp_improvement: stats.stp_improvement / n,
+        ntt_improvement: stats.ntt_improvement / n,
+    }
+}
+
+/// Runs the Figure 5 sweep (grouped by the *preempted* model and batch size).
+pub fn figure5(npu: &NpuConfig, repeats: usize, seed: u64) -> Vec<MechanismRow> {
+    run_sweep(npu, repeats, seed, true)
+}
+
+/// Runs the Figure 6 sweep (grouped by the *preempting* model and batch size).
+pub fn figure6(npu: &NpuConfig, repeats: usize, seed: u64) -> Vec<MechanismRow> {
+    run_sweep(npu, repeats, seed, false)
+}
+
+fn run_sweep(npu: &NpuConfig, repeats: usize, seed: u64, group_by_victim: bool) -> Vec<MechanismRow> {
+    assert!(repeats > 0, "at least one repeat is required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for &model in &ALL_EVAL_MODELS {
+        for &batch in &BATCH_SIZES {
+            let scenarios = if group_by_victim {
+                victim_sweep(model, batch, repeats, npu, &mut rng)
+            } else {
+                preemptor_sweep(model, batch, repeats, npu, &mut rng)
+            };
+            let stats = [
+                measure_scenarios(&scenarios, PreemptionMechanism::Kill, npu),
+                measure_scenarios(&scenarios, PreemptionMechanism::Checkpoint, npu),
+                measure_scenarios(&scenarios, PreemptionMechanism::Drain, npu),
+            ];
+            rows.push(MechanismRow {
+                model,
+                batch,
+                stats,
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the Figure 5 report (preemption latency and waiting time).
+pub fn format_figure5(rows: &[MechanismRow]) -> String {
+    let mut table = TableBuilder::new(vec![
+        "preempted model".into(),
+        "batch".into(),
+        "KILL lat (us)".into(),
+        "CKPT lat (us)".into(),
+        "DRAIN lat (us)".into(),
+        "KILL wait (us)".into(),
+        "CKPT wait (us)".into(),
+        "DRAIN wait (us)".into(),
+    ])
+    .title("Figure 5: preemption latency (a) and preempting task wait time (b)");
+    for row in rows {
+        table = table.row(vec![
+            row.model.paper_name().to_string(),
+            format!("b{:02}", row.batch),
+            format!("{:.1}", row.stats[0].preemption_latency_us),
+            format!("{:.1}", row.stats[1].preemption_latency_us),
+            format!("{:.1}", row.stats[2].preemption_latency_us),
+            format!("{:.0}", row.stats[0].wait_time_us),
+            format!("{:.0}", row.stats[1].wait_time_us),
+            format!("{:.0}", row.stats[2].wait_time_us),
+        ]);
+    }
+    table.build()
+}
+
+/// Formats the Figure 6 report (STP and NTT improvements over NP-FCFS).
+pub fn format_figure6(rows: &[MechanismRow]) -> String {
+    let mut table = TableBuilder::new(vec![
+        "preempting model".into(),
+        "batch".into(),
+        "KILL STP".into(),
+        "CKPT STP".into(),
+        "DRAIN STP".into(),
+        "KILL NTT".into(),
+        "CKPT NTT".into(),
+        "DRAIN NTT".into(),
+    ])
+    .title("Figure 6: STP (a) and preempting-task NTT (b) improvement over NP-FCFS");
+    for row in rows {
+        table = table.row(vec![
+            row.model.paper_name().to_string(),
+            format!("b{:02}", row.batch),
+            format!("{:.2}", row.stats[0].stp_improvement),
+            format!("{:.2}", row.stats[1].stp_improvement),
+            format!("{:.2}", row.stats[2].stp_improvement),
+            format!("{:.2}", row.stats[0].ntt_improvement),
+            format!("{:.2}", row.stats[1].ntt_improvement),
+            format!("{:.2}", row.stats[2].ntt_improvement),
+        ]);
+    }
+    table.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_group_measurement_matches_paper_trends() {
+        let npu = NpuConfig::paper_default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let scenarios = victim_sweep(ModelKind::CnnVggNet, 1, 3, &npu, &mut rng);
+        let kill = measure_scenarios(&scenarios, PreemptionMechanism::Kill, &npu);
+        let ckpt = measure_scenarios(&scenarios, PreemptionMechanism::Checkpoint, &npu);
+        let drain = measure_scenarios(&scenarios, PreemptionMechanism::Drain, &npu);
+
+        // KILL and DRAIN have zero preemption (checkpointing) latency;
+        // CHECKPOINT pays microseconds.
+        assert_eq!(kill.preemption_latency_us, 0.0);
+        assert_eq!(drain.preemption_latency_us, 0.0);
+        assert!(ckpt.preemption_latency_us > 0.0 && ckpt.preemption_latency_us < 100.0);
+
+        // DRAIN makes the preempting task wait by far the longest.
+        assert!(drain.wait_time_us > ckpt.wait_time_us);
+        assert!(drain.wait_time_us > kill.wait_time_us);
+
+        // KILL/CHECKPOINT give the preempting task a better NTT than DRAIN.
+        assert!(kill.ntt_improvement >= drain.ntt_improvement);
+        assert!(ckpt.ntt_improvement >= drain.ntt_improvement);
+
+        // CHECKPOINT preserves throughput at least as well as KILL.
+        assert!(ckpt.stp_improvement >= kill.stp_improvement * 0.99);
+    }
+}

@@ -1,0 +1,113 @@
+//! Figure 9: input-length versus output-length characterization of the
+//! seq2seq applications (machine translation to German / Korean and speech
+//! recognition), and the regression curve the PREMA predictor derives from it.
+
+use dnn_models::ModelKind;
+use prema_metrics::TableBuilder;
+use prema_workload::seqlen::SeqLenCharacterization;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One x-axis point of a Figure 9 panel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeqLenRow {
+    /// Input sequence length.
+    pub input_len: u64,
+    /// Predicted (geometric-mean) output length — the regression value.
+    pub predicted_output: u64,
+    /// Minimum observed output length.
+    pub min_output: u64,
+    /// Maximum observed output length.
+    pub max_output: u64,
+}
+
+/// The models shown in Figure 9 (panels a–d, with sentiment analysis omitted
+/// by the paper because it is trivially linear).
+pub const FIG9_MODELS: [ModelKind; 3] = [
+    ModelKind::RnnTranslation1,
+    ModelKind::RnnTranslation2,
+    ModelKind::RnnSpeech,
+];
+
+/// Runs the characterization for one model with `samples_per_length` profiled
+/// inferences per input length.
+pub fn run(model: ModelKind, samples_per_length: usize, seed: u64) -> Vec<SeqLenRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let characterization = SeqLenCharacterization::profile(model, samples_per_length, &mut rng);
+    let table = characterization.to_table();
+    let (lo, hi) = model.input_len_range();
+    (lo..=hi)
+        .step_by(5)
+        .map(|input_len| {
+            let (min_output, max_output) = table.observed_range(input_len).unwrap_or((0, 0));
+            SeqLenRow {
+                input_len,
+                predicted_output: table.predict(input_len),
+                min_output,
+                max_output,
+            }
+        })
+        .collect()
+}
+
+/// Formats the Figure 9 report for all three panels.
+pub fn report(samples_per_length: usize, seed: u64) -> String {
+    let mut out = String::new();
+    for model in FIG9_MODELS {
+        let rows = run(model, samples_per_length, seed);
+        let mut table = TableBuilder::new(vec![
+            "input length".into(),
+            "predicted output".into(),
+            "min".into(),
+            "max".into(),
+        ])
+        .title(format!(
+            "Figure 9: {} output sequence length vs input length",
+            model.paper_name()
+        ));
+        for row in &rows {
+            table = table.row(vec![
+                row.input_len.to_string(),
+                row.predicted_output.to_string(),
+                row.min_output.to_string(),
+                row.max_output.to_string(),
+            ]);
+        }
+        out.push_str(&table.build());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterization_curves_are_monotone_and_model_specific() {
+        for model in FIG9_MODELS {
+            let rows = run(model, 40, 7);
+            assert!(rows.len() >= 5);
+            // The regression curve grows with the input length.
+            assert!(rows.last().unwrap().predicted_output > rows.first().unwrap().predicted_output);
+            // The observed band brackets the prediction.
+            for row in &rows {
+                assert!(row.min_output <= row.predicted_output);
+                assert!(row.max_output >= row.predicted_output);
+            }
+        }
+        // German outputs run longer than Korean for the same input.
+        let de = run(ModelKind::RnnTranslation1, 40, 7);
+        let ko = run(ModelKind::RnnTranslation2, 40, 7);
+        let last = de.len() - 1;
+        assert!(de[last].predicted_output > ko[last].predicted_output);
+    }
+
+    #[test]
+    fn report_contains_all_three_panels() {
+        let text = report(10, 3);
+        for model in FIG9_MODELS {
+            assert!(text.contains(model.paper_name()));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Figures 11, 12, 13 and 15: the scheduler-policy comparison experiments.
+//!
+//! * **Figure 11** — ANTT / fairness / STP of the six non-preemptive
+//!   schedulers (FCFS, RRB, HPF, TOKEN, SJF, PREMA).
+//! * **Figure 12** — static (always CHECKPOINT) versus dynamic (Algorithm 3)
+//!   preemption for HPF, TOKEN, SJF and PREMA, normalized to NP-FCFS.
+//! * **Figure 13** — SLA violation rate versus SLA target for nine policies.
+//! * **Figure 15** — CHECKPOINT versus KILL sensitivity for the same policy
+//!   set as Figure 12.
+
+use prema_core::config::{PolicyKind, PreemptionMode};
+use prema_core::{PreemptionMechanism, SchedulerConfig};
+use prema_metrics::TableBuilder;
+
+use crate::suite::{run_configs, ConfigResult, SuiteOptions};
+
+/// The four predictor/priority-aware policies compared in Figures 12 and 15.
+const PREEMPTIVE_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Hpf,
+    PolicyKind::Token,
+    PolicyKind::Sjf,
+    PolicyKind::Prema,
+];
+
+/// The scheduler configurations of Figure 11: every policy, non-preemptive.
+pub fn fig11_configs() -> Vec<SchedulerConfig> {
+    PolicyKind::ALL
+        .iter()
+        .map(|&p| SchedulerConfig::named(p, PreemptionMode::NonPreemptive))
+        .collect()
+}
+
+/// The scheduler configurations of Figure 12: static CHECKPOINT and dynamic
+/// preemption for HPF / TOKEN / SJF / PREMA.
+pub fn fig12_configs() -> Vec<SchedulerConfig> {
+    let mut configs = Vec::new();
+    for &policy in &PREEMPTIVE_POLICIES {
+        configs.push(SchedulerConfig::named(
+            policy,
+            PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+        ));
+    }
+    for &policy in &PREEMPTIVE_POLICIES {
+        configs.push(SchedulerConfig::named(policy, PreemptionMode::Dynamic));
+    }
+    configs
+}
+
+/// The nine scheduler configurations of Figure 13.
+pub fn fig13_configs() -> Vec<SchedulerConfig> {
+    let mut configs = vec![
+        SchedulerConfig::np_fcfs(),
+        SchedulerConfig::named(PolicyKind::Hpf, PreemptionMode::NonPreemptive),
+        SchedulerConfig::named(PolicyKind::Prema, PreemptionMode::NonPreemptive),
+    ];
+    for &policy in &[PolicyKind::Hpf, PolicyKind::Sjf, PolicyKind::Prema] {
+        configs.push(SchedulerConfig::named(
+            policy,
+            PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+        ));
+    }
+    for &policy in &[PolicyKind::Hpf, PolicyKind::Sjf, PolicyKind::Prema] {
+        configs.push(SchedulerConfig::named(policy, PreemptionMode::Dynamic));
+    }
+    configs
+}
+
+/// The scheduler configurations of Figure 15: KILL and CHECKPOINT under both
+/// static and dynamic preemption for HPF / TOKEN / SJF / PREMA.
+pub fn fig15_configs() -> Vec<SchedulerConfig> {
+    let mut configs = Vec::new();
+    for &policy in &PREEMPTIVE_POLICIES {
+        configs.push(SchedulerConfig::named(
+            policy,
+            PreemptionMode::Static(PreemptionMechanism::Kill),
+        ));
+        configs.push(SchedulerConfig::named(
+            policy,
+            PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+        ));
+    }
+    for &policy in &PREEMPTIVE_POLICIES {
+        configs.push(SchedulerConfig::named(policy, PreemptionMode::DynamicKill));
+        configs.push(SchedulerConfig::named(policy, PreemptionMode::Dynamic));
+    }
+    configs
+}
+
+/// Runs Figure 11 and formats the report.
+pub fn figure11(opts: &SuiteOptions) -> (Vec<ConfigResult>, String) {
+    let results = run_configs(&fig11_configs(), opts);
+    (
+        results.clone(),
+        format_metric_table("Figure 11: non-preemptive schedulers (normalized to NP-FCFS)", &results),
+    )
+}
+
+/// Runs Figure 12 and formats the report.
+pub fn figure12(opts: &SuiteOptions) -> (Vec<ConfigResult>, String) {
+    let results = run_configs(&fig12_configs(), opts);
+    (
+        results.clone(),
+        format_metric_table(
+            "Figure 12: static vs dynamic preemption (normalized to NP-FCFS)",
+            &results,
+        ),
+    )
+}
+
+/// Runs Figure 13 and formats the SLA violation curves.
+pub fn figure13(opts: &SuiteOptions) -> (Vec<ConfigResult>, String) {
+    let results = run_configs(&fig13_configs(), opts);
+    let mut headers = vec!["SLA target (xIsolated)".to_string()];
+    headers.extend(results.iter().map(|r| r.label.clone()));
+    let mut table = TableBuilder::new(headers)
+        .title("Figure 13: fraction of SLA-violating tasks vs SLA target");
+    for n in (2..=20).step_by(2) {
+        let mut row = vec![format!("{n}")];
+        for result in &results {
+            let rate = result.sla.rate_at(n as f64).unwrap_or(0.0);
+            row.push(format!("{:.1}%", rate * 100.0));
+        }
+        table = table.row(row);
+    }
+    (results, table.build())
+}
+
+/// Runs Figure 15 and formats the report.
+pub fn figure15(opts: &SuiteOptions) -> (Vec<ConfigResult>, String) {
+    let results = run_configs(&fig15_configs(), opts);
+    (
+        results.clone(),
+        format_metric_table(
+            "Figure 15: CHECKPOINT vs KILL sensitivity (normalized to NP-FCFS)",
+            &results,
+        ),
+    )
+}
+
+/// Formats the ANTT / fairness / STP improvement table shared by Figures 11,
+/// 12 and 15.
+pub fn format_metric_table(title: &str, results: &[ConfigResult]) -> String {
+    let mut table = TableBuilder::new(vec![
+        "configuration".into(),
+        "ANTT".into(),
+        "ANTT imprv".into(),
+        "fairness imprv".into(),
+        "STP imprv".into(),
+        "preemptions/run".into(),
+    ])
+    .title(title);
+    for result in results {
+        table = table.row(vec![
+            result.label.clone(),
+            format!("{:.2}", result.metrics.antt),
+            format!("{:.2}x", result.antt_improvement),
+            format!("{:.2}x", result.fairness_improvement),
+            format!("{:.2}x", result.stp_improvement),
+            format!("{:.1}", result.mean_preemptions),
+        ]);
+    }
+    table.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::NpuConfig;
+    use prema_workload::generator::WorkloadConfig;
+
+    fn tiny_opts() -> SuiteOptions {
+        SuiteOptions {
+            runs: 1,
+            seed: 3,
+            workload: WorkloadConfig {
+                task_count: 4,
+                ..WorkloadConfig::paper_default()
+            },
+            npu: NpuConfig::paper_default(),
+        }
+    }
+
+    #[test]
+    fn config_sets_have_expected_sizes_and_labels() {
+        assert_eq!(fig11_configs().len(), 6);
+        assert_eq!(fig12_configs().len(), 8);
+        assert_eq!(fig13_configs().len(), 9);
+        assert_eq!(fig15_configs().len(), 16);
+        assert!(fig11_configs().iter().all(|c| c.label().starts_with("NP-")));
+        assert!(fig13_configs()
+            .iter()
+            .any(|c| c.label() == "Dynamic-PREMA"));
+        assert!(fig15_configs()
+            .iter()
+            .any(|c| c.label() == "Static(KILL)-PREMA"));
+    }
+
+    #[test]
+    fn figure11_report_mentions_every_policy() {
+        let (results, report) = figure11(&tiny_opts());
+        assert_eq!(results.len(), 6);
+        for policy in PolicyKind::ALL {
+            assert!(report.contains(policy.paper_name()), "missing {policy}");
+        }
+    }
+
+    #[test]
+    fn figure13_report_has_sla_rows() {
+        let (_, report) = figure13(&tiny_opts());
+        assert!(report.contains("SLA"));
+        assert!(report.contains('%'));
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment harness for the PREMA reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a module here that
+//! regenerates it: a workload generator, the scheduler configurations under
+//! comparison, and a reporting function that prints the same rows/series the
+//! paper plots. The `experiments` binary dispatches to these modules; the
+//! Criterion benches under `benches/` wrap the same entry points so that
+//! `cargo bench` exercises every experiment.
+//!
+//! | Module | Paper content |
+//! |---|---|
+//! | [`tables`] | Table I (NPU config) and Table II (scheduler config) |
+//! | [`fig01`] | Figure 1 — co-location throughput vs latency |
+//! | [`fig05_06`] | Figures 5 & 6 — preemption mechanism latency / wait / STP / NTT |
+//! | [`fig07`] | Figure 7 — per-layer activation density |
+//! | [`fig09`] | Figure 9 — sequence-length characterization |
+//! | [`fig10`] | Figure 10 — MACs vs execution time |
+//! | [`suite`], [`fig11_15`] | Figures 11, 12, 13, 15 — policy comparisons |
+//! | [`fig14`] | Figure 14 — high-priority tail latency |
+//! | [`prediction`] | Sections VI-A / VI-D — prediction accuracy vs oracle |
+//! | [`overhead`] | Section VI-F — context-table SRAM overhead |
+//! | [`sensitivity`] | Section VI-E — quantum / token / batch sensitivity |
+
+pub mod fig01;
+pub mod fig05_06;
+pub mod fig07;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11_15;
+pub mod fig14;
+pub mod overhead;
+pub mod prediction;
+pub mod sensitivity;
+pub mod suite;
+pub mod tables;
+
+pub use suite::{ConfigResult, SuiteOptions};

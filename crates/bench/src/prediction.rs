@@ -1,0 +1,148 @@
+//! Prediction-model accuracy experiments (Sections VI-A and VI-D).
+//!
+//! * VI-A: the analytical predictor's mean relative estimation error against
+//!   the simulated isolated execution times (the paper reports 1.6 %).
+//! * VI-D: correlation between predicted and simulated latencies, and how
+//!   close PREMA-with-predictor gets to PREMA-with-oracle estimates.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use npu_sim::NpuConfig;
+use prema_core::{NpuSimulator, SchedulerConfig};
+use prema_metrics::{correlation, MultiTaskMetrics, TableBuilder};
+use prema_workload::generator::{generate_workload, WorkloadConfig};
+use prema_workload::prepare::{outcomes_of, prepare_workload};
+
+use crate::suite::build_predictor;
+
+/// Results of the prediction-accuracy study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionAccuracy {
+    /// Mean relative error of predicted vs simulated isolated latency.
+    pub mean_relative_error: f64,
+    /// Pearson correlation between predicted and simulated latencies.
+    pub latency_correlation: f64,
+    /// PREMA ANTT with predictor estimates divided by PREMA ANTT with oracle
+    /// estimates (≥ 1; the paper reports 99 %-of-oracle behaviour, i.e. ~1.01).
+    pub antt_vs_oracle: f64,
+    /// PREMA STP with predictor estimates divided by oracle STP (≤ 1).
+    pub stp_vs_oracle: f64,
+    /// Number of tasks measured.
+    pub task_count: usize,
+}
+
+/// Runs the prediction accuracy study over `runs` generated workloads.
+pub fn run(npu: &NpuConfig, runs: usize, seed: u64) -> PredictionAccuracy {
+    assert!(runs > 0, "at least one run is required");
+    let predictor = build_predictor(npu, seed);
+    let workload_cfg = WorkloadConfig::paper_default();
+    let prema = SchedulerConfig::paper_default();
+    let sim = NpuSimulator::new(npu.clone(), prema);
+
+    let mut predicted = Vec::new();
+    let mut actual = Vec::new();
+    let mut predictor_metrics = Vec::new();
+    let mut oracle_metrics = Vec::new();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..runs {
+        let spec = generate_workload(&workload_cfg, &mut rng);
+        let with_predictor = prepare_workload(&spec, npu, Some(&predictor));
+        let with_oracle = prepare_workload(&spec, npu, None);
+
+        for task in &with_predictor.tasks {
+            predicted.push(task.estimated_cycles().get() as f64);
+            actual.push(task.isolated_cycles().get() as f64);
+        }
+
+        let predictor_outcome = sim.run(&with_predictor.tasks);
+        let oracle_outcome = sim.run(&with_oracle.tasks);
+        predictor_metrics.push(MultiTaskMetrics::from_outcomes(&outcomes_of(
+            &predictor_outcome.records,
+        )));
+        oracle_metrics.push(MultiTaskMetrics::from_outcomes(&outcomes_of(
+            &oracle_outcome.records,
+        )));
+    }
+
+    let mean_relative_error = predicted
+        .iter()
+        .zip(&actual)
+        .map(|(p, a)| if *a > 0.0 { (p - a).abs() / a } else { 0.0 })
+        .sum::<f64>()
+        / predicted.len().max(1) as f64;
+
+    let predictor_avg = prema_metrics::average_metrics(&predictor_metrics);
+    let oracle_avg = prema_metrics::average_metrics(&oracle_metrics);
+
+    PredictionAccuracy {
+        mean_relative_error,
+        latency_correlation: correlation(&predicted, &actual).unwrap_or(0.0),
+        antt_vs_oracle: if oracle_avg.antt > 0.0 {
+            predictor_avg.antt / oracle_avg.antt
+        } else {
+            0.0
+        },
+        stp_vs_oracle: if oracle_avg.stp > 0.0 {
+            predictor_avg.stp / oracle_avg.stp
+        } else {
+            0.0
+        },
+        task_count: predicted.len(),
+    }
+}
+
+/// Formats the prediction-accuracy report.
+pub fn report(npu: &NpuConfig, runs: usize, seed: u64) -> (PredictionAccuracy, String) {
+    let accuracy = run(npu, runs, seed);
+    let table = TableBuilder::new(vec!["metric".into(), "value".into(), "paper".into()])
+        .title("Sections VI-A / VI-D: prediction model accuracy")
+        .row(vec![
+            "mean relative estimation error".into(),
+            format!("{:.1}%", accuracy.mean_relative_error * 100.0),
+            "1.6%".into(),
+        ])
+        .row(vec![
+            "predicted vs simulated correlation".into(),
+            format!("{:.1}%", accuracy.latency_correlation * 100.0),
+            "98%".into(),
+        ])
+        .row(vec![
+            "PREMA ANTT vs oracle".into(),
+            format!("{:.1}%", 100.0 / accuracy.antt_vs_oracle.max(f64::EPSILON)),
+            "99%".into(),
+        ])
+        .row(vec![
+            "PREMA STP vs oracle".into(),
+            format!("{:.1}%", accuracy.stp_vs_oracle * 100.0),
+            "99%".into(),
+        ])
+        .build();
+    (accuracy, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_is_accurate_and_highly_correlated() {
+        let npu = NpuConfig::paper_default();
+        let accuracy = run(&npu, 2, 21);
+        assert!(accuracy.task_count >= 16);
+        assert!(
+            accuracy.mean_relative_error < 0.25,
+            "error {}",
+            accuracy.mean_relative_error
+        );
+        assert!(
+            accuracy.latency_correlation > 0.9,
+            "correlation {}",
+            accuracy.latency_correlation
+        );
+        // PREMA with the predictor stays close to PREMA with oracle estimates.
+        assert!(accuracy.antt_vs_oracle < 1.5, "{}", accuracy.antt_vs_oracle);
+        assert!(accuracy.stp_vs_oracle > 0.7, "{}", accuracy.stp_vs_oracle);
+    }
+}

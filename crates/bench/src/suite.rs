@@ -1,0 +1,240 @@
+//! The shared multi-policy evaluation harness behind Figures 11, 12, 13 and
+//! 15: generate the Section III workloads, replay each one under a set of
+//! scheduler configurations, and aggregate the Eyerman metrics, SLA curves
+//! and tail latencies relative to the NP-FCFS baseline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dnn_models::{ModelKind, RNN_MODELS};
+use npu_sim::NpuConfig;
+use prema_core::{NpuSimulator, Priority, SchedulerConfig, SimOutcome};
+use prema_metrics::{average_metrics, MultiTaskMetrics, Percentiles, SlaCurve, TaskOutcome};
+use prema_predictor::AnalyticalPredictor;
+use prema_workload::generator::{generate_workload, WorkloadConfig};
+use prema_workload::prepare::{outcomes_of, prepare_workload};
+use prema_workload::seqlen::SeqLenCharacterization;
+
+/// Options controlling a policy-comparison run.
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Number of independent multi-tasked workloads (the paper averages 25).
+    pub runs: usize,
+    /// RNG seed for workload generation.
+    pub seed: u64,
+    /// Workload shape.
+    pub workload: WorkloadConfig,
+    /// NPU configuration.
+    pub npu: NpuConfig,
+}
+
+impl SuiteOptions {
+    /// The paper's setup: 25 runs of 8-task workloads.
+    pub fn paper() -> Self {
+        SuiteOptions {
+            runs: 25,
+            seed: 2020,
+            workload: WorkloadConfig::paper_default(),
+            npu: NpuConfig::paper_default(),
+        }
+    }
+
+    /// A reduced setup for quick runs and unit tests.
+    pub fn quick() -> Self {
+        SuiteOptions {
+            runs: 3,
+            ..SuiteOptions::paper()
+        }
+    }
+
+    /// Overrides the run count.
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        assert!(runs > 0, "at least one run is required");
+        self.runs = runs;
+        self
+    }
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        SuiteOptions::quick()
+    }
+}
+
+/// Aggregated results of one scheduler configuration across all runs.
+#[derive(Debug, Clone)]
+pub struct ConfigResult {
+    /// The configuration's paper-style label (e.g. "Dynamic-PREMA").
+    pub label: String,
+    /// Average raw metrics across runs.
+    pub metrics: MultiTaskMetrics,
+    /// ANTT improvement over NP-FCFS (higher is better).
+    pub antt_improvement: f64,
+    /// STP improvement over NP-FCFS (higher is better).
+    pub stp_improvement: f64,
+    /// Fairness improvement over NP-FCFS (higher is better).
+    pub fairness_improvement: f64,
+    /// SLA violation curve pooled over all tasks of all runs (Figure 13).
+    pub sla: SlaCurve,
+    /// 95th-percentile turnaround of high-priority tasks in milliseconds
+    /// (Figure 14's metric, pooled across runs).
+    pub high_priority_p95_ms: Option<f64>,
+    /// Mean number of preemptions per run.
+    pub mean_preemptions: f64,
+}
+
+/// Builds the analytical predictor used by the predictor-driven policies,
+/// including the profiled sequence-length regression tables for the seq2seq
+/// models (Section V-B).
+pub fn build_predictor(npu: &NpuConfig, seed: u64) -> AnalyticalPredictor {
+    // Mix the seed so the profiling pass and the workload generator do not
+    // share a random stream.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut predictor = AnalyticalPredictor::new(npu.clone());
+    for model in RNN_MODELS {
+        if model.has_dynamic_output_len() {
+            let table = SeqLenCharacterization::profile(model, 30, &mut rng).to_table();
+            predictor = predictor.with_seq_table(model, table);
+        }
+    }
+    predictor
+}
+
+/// Runs every configuration in `configs` (plus the NP-FCFS baseline) over the
+/// same sequence of generated workloads and aggregates the results.
+pub fn run_configs(configs: &[SchedulerConfig], opts: &SuiteOptions) -> Vec<ConfigResult> {
+    assert!(!configs.is_empty(), "at least one configuration is required");
+    assert!(opts.runs > 0, "at least one run is required");
+    let predictor = build_predictor(&opts.npu, opts.seed);
+    let baseline_cfg = SchedulerConfig::np_fcfs();
+
+    // Per configuration: per-run metrics, pooled outcomes, pooled
+    // high-priority latencies, preemption counts.
+    let mut per_config_metrics: Vec<Vec<MultiTaskMetrics>> = vec![Vec::new(); configs.len()];
+    let mut per_config_outcomes: Vec<Vec<TaskOutcome>> = vec![Vec::new(); configs.len()];
+    let mut per_config_hp_ms: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    let mut per_config_preemptions: Vec<u64> = vec![0; configs.len()];
+    let mut baseline_metrics: Vec<MultiTaskMetrics> = Vec::new();
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    for _ in 0..opts.runs {
+        let spec = generate_workload(&opts.workload, &mut rng);
+        let prepared = prepare_workload(&spec, &opts.npu, Some(&predictor));
+
+        let baseline_outcome =
+            NpuSimulator::new(opts.npu.clone(), baseline_cfg.clone()).run(&prepared.tasks);
+        baseline_metrics.push(MultiTaskMetrics::from_outcomes(&outcomes_of(
+            &baseline_outcome.records,
+        )));
+
+        for (i, cfg) in configs.iter().enumerate() {
+            let outcome = NpuSimulator::new(opts.npu.clone(), cfg.clone()).run(&prepared.tasks);
+            collect(
+                &outcome,
+                &opts.npu,
+                &mut per_config_metrics[i],
+                &mut per_config_outcomes[i],
+                &mut per_config_hp_ms[i],
+                &mut per_config_preemptions[i],
+            );
+        }
+    }
+
+    let baseline_avg = average_metrics(&baseline_metrics);
+    configs
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| {
+            let metrics = average_metrics(&per_config_metrics[i]);
+            let sla = SlaCurve::sweep(&per_config_outcomes[i], (2..=20).map(|n| n as f64));
+            let high_priority_p95_ms = Percentiles::summarize(&per_config_hp_ms[i]).map(|p| p.p95);
+            ConfigResult {
+                label: cfg.label(),
+                antt_improvement: metrics.antt_improvement_over(&baseline_avg),
+                stp_improvement: metrics.stp_improvement_over(&baseline_avg),
+                fairness_improvement: metrics.fairness_improvement_over(&baseline_avg),
+                metrics,
+                sla,
+                high_priority_p95_ms,
+                mean_preemptions: per_config_preemptions[i] as f64 / opts.runs as f64,
+            }
+        })
+        .collect()
+}
+
+fn collect(
+    outcome: &SimOutcome,
+    npu: &NpuConfig,
+    metrics: &mut Vec<MultiTaskMetrics>,
+    outcomes: &mut Vec<TaskOutcome>,
+    hp_ms: &mut Vec<f64>,
+    preemptions: &mut u64,
+) {
+    let run_outcomes = outcomes_of(&outcome.records);
+    metrics.push(MultiTaskMetrics::from_outcomes(&run_outcomes));
+    outcomes.extend(run_outcomes);
+    hp_ms.extend(
+        outcome
+            .records
+            .iter()
+            .filter(|r| r.priority == Priority::High)
+            .map(|r| npu.cycles_to_millis(r.turnaround())),
+    );
+    *preemptions += outcome.checkpoint_preemptions + outcome.kill_preemptions;
+}
+
+/// Convenience: isolated per-model execution times in milliseconds (batch 1),
+/// used as the Figure 14 "Isolated" bars and for sanity checks.
+pub fn isolated_latency_ms(model: ModelKind, npu: &NpuConfig) -> f64 {
+    use dnn_models::SeqSpec;
+    use prema_core::plan::ExecutionPlan;
+    let seq = SeqSpec::for_model(model, 20);
+    let plan = ExecutionPlan::compile(model, 1, seq, npu);
+    npu.cycles_to_millis(plan.total_cycles())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prema_core::config::{PolicyKind, PreemptionMode};
+
+    #[test]
+    fn suite_runs_and_reports_improvements() {
+        let opts = SuiteOptions {
+            runs: 2,
+            seed: 7,
+            workload: WorkloadConfig {
+                task_count: 4,
+                ..WorkloadConfig::paper_default()
+            },
+            npu: NpuConfig::paper_default(),
+        };
+        let configs = vec![
+            SchedulerConfig::np_fcfs(),
+            SchedulerConfig::named(PolicyKind::Prema, PreemptionMode::Dynamic),
+        ];
+        let results = run_configs(&configs, &opts);
+        assert_eq!(results.len(), 2);
+        // The baseline compared against itself has improvement ~1.
+        assert!((results[0].antt_improvement - 1.0).abs() < 1e-9);
+        // PREMA should never be worse than NP-FCFS on ANTT.
+        assert!(results[1].antt_improvement >= 0.99, "{}", results[1].antt_improvement);
+        assert!(!results[1].sla.points().is_empty());
+        assert_eq!(results[1].label, "Dynamic-PREMA");
+    }
+
+    #[test]
+    fn options_presets() {
+        assert_eq!(SuiteOptions::paper().runs, 25);
+        assert_eq!(SuiteOptions::quick().runs, 3);
+        assert_eq!(SuiteOptions::default().runs, 3);
+        assert_eq!(SuiteOptions::quick().with_runs(7).runs, 7);
+    }
+
+    #[test]
+    fn isolated_latencies_are_milliseconds() {
+        let npu = NpuConfig::paper_default();
+        let vgg = isolated_latency_ms(ModelKind::CnnVggNet, &npu);
+        assert!(vgg > 1.0 && vgg < 45.0, "{vgg}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Tables I and II: the NPU and scheduler configuration tables.
+
+use npu_sim::NpuConfig;
+use prema_core::{Priority, SchedulerConfig};
+use prema_metrics::TableBuilder;
+
+/// Formats Table I (the NPU configuration parameters).
+pub fn table1(npu: &NpuConfig) -> String {
+    TableBuilder::new(vec!["parameter".into(), "value".into()])
+        .title("Table I: NPU configuration parameters")
+        .row(vec![
+            "Systolic-array dimension".into(),
+            format!("{} x {}", npu.systolic_width, npu.systolic_height),
+        ])
+        .row(vec![
+            "PE operating frequency".into(),
+            format!("{} MHz", npu.frequency_mhz),
+        ])
+        .row(vec![
+            "On-chip SRAM (activations)".into(),
+            format!("{} MB", npu.activation_sram_bytes / (1024 * 1024)),
+        ])
+        .row(vec![
+            "On-chip SRAM (weights)".into(),
+            format!("{} MB", npu.weight_sram_bytes / (1024 * 1024)),
+        ])
+        .row(vec![
+            "Memory channels".into(),
+            npu.memory_channels.to_string(),
+        ])
+        .row(vec![
+            "Memory bandwidth".into(),
+            format!("{} GB/sec", npu.memory_bandwidth_gbps),
+        ])
+        .row(vec![
+            "Memory access latency".into(),
+            format!("{} cycles", npu.memory_latency_cycles),
+        ])
+        .build()
+}
+
+/// Formats Table II (the PREMA scheduler configuration).
+pub fn table2(sched: &SchedulerConfig) -> String {
+    TableBuilder::new(vec!["parameter".into(), "value".into()])
+        .title("Table II: PREMA scheduler configuration")
+        .row(vec![
+            "Scheduling period time-quota".into(),
+            format!("{} ms", sched.quantum_ms),
+        ])
+        .row(vec![
+            "Tokens per UserDefinedPriority".into(),
+            format!(
+                "{}/{}/{} (low/medium/high)",
+                Priority::Low.token_grant() * sched.token_scale,
+                Priority::Medium.token_grant() * sched.token_scale,
+                Priority::High.token_grant() * sched.token_scale,
+            ),
+        ])
+        .row(vec!["Scheduling policy".into(), sched.policy.to_string()])
+        .row(vec!["Preemption mode".into(), format!("{:?}", sched.preemption)])
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_reproduce_the_paper_values() {
+        let t1 = table1(&NpuConfig::paper_default());
+        assert!(t1.contains("128 x 128"));
+        assert!(t1.contains("700 MHz"));
+        assert!(t1.contains("358 GB/sec"));
+        assert!(t1.contains("100 cycles"));
+
+        let t2 = table2(&SchedulerConfig::paper_default());
+        assert!(t2.contains("0.25 ms"));
+        assert!(t2.contains("1/3/9"));
+        assert!(t2.contains("PREMA"));
+    }
+}

@@ -1,0 +1,878 @@
+//! The multi-task NPU simulation engine.
+//!
+//! [`NpuSimulator`] drives a set of prepared inference tasks through one NPU
+//! under a [`SchedulerConfig`]: it admits arrivals, wakes the scheduler on
+//! the three events of Section V-C (task arrival, task completion, expiry of
+//! the scheduling period), asks the configured policy for the next task,
+//! applies the configured preemption mode (including the Algorithm 3 dynamic
+//! mechanism selection), and charges checkpoint / restore latencies through
+//! the `npu-sim` DMA model.
+//!
+//! The engine works at preemption-interval granularity: a running task's
+//! progress is tracked with a [`ProgressCursor`] over its [`ExecutionPlan`],
+//! and CHECKPOINT preemptions take effect at the next interval boundary, as
+//! on the real hardware (`GEMM_OP` commit points).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use dnn_models::ModelKind;
+use npu_sim::{CheckpointModel, Cycles, NpuConfig};
+
+use crate::config::{PreemptionMode, SchedulerConfig};
+use crate::plan::{ExecutionPlan, ProgressCursor};
+use crate::policy::{make_policy, TaskView};
+use crate::preemption::{select_mechanism, MechanismDecisionInputs, PreemptionMechanism};
+use crate::task::{Priority, TaskId, TaskRequest, TaskState};
+
+/// A request whose execution plan has been compiled for a specific NPU
+/// configuration. Plans are shared via [`Arc`] so the same workload can be
+/// replayed under many scheduler configurations without recompiling.
+#[derive(Debug, Clone)]
+pub struct PreparedTask {
+    /// The original request.
+    pub request: TaskRequest,
+    /// The compiled execution plan (at the request's *actual* sequence
+    /// lengths).
+    pub plan: Arc<ExecutionPlan>,
+}
+
+impl PreparedTask {
+    /// Compiles the request's plan for the given NPU configuration.
+    pub fn prepare(request: TaskRequest, npu: &NpuConfig) -> Self {
+        let plan = ExecutionPlan::compile_shared(request.model, request.batch, request.seq, npu);
+        PreparedTask { request, plan }
+    }
+
+    /// The task's isolated (uninterrupted) execution time.
+    pub fn isolated_cycles(&self) -> Cycles {
+        self.plan.total_cycles()
+    }
+
+    /// The estimate the scheduler will use: the predictor-provided estimate
+    /// if present, otherwise the exact plan length (oracle estimates).
+    pub fn estimated_cycles(&self) -> Cycles {
+        self.request
+            .estimated_cycles
+            .unwrap_or_else(|| self.plan.total_cycles())
+    }
+}
+
+/// Per-task results of one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Task identifier.
+    pub id: TaskId,
+    /// The model the task ran.
+    pub model: ModelKind,
+    /// Batch size.
+    pub batch: u64,
+    /// Priority level.
+    pub priority: Priority,
+    /// Dispatch time.
+    pub arrival: Cycles,
+    /// When the task first started executing on the NPU.
+    pub first_start: Cycles,
+    /// When the task completed.
+    pub completion: Cycles,
+    /// The task's isolated execution time (`C_single`).
+    pub isolated_cycles: Cycles,
+    /// The estimate the scheduler used.
+    pub estimated_cycles: Cycles,
+    /// Number of times the task was preempted (CHECKPOINT or KILL).
+    pub preemption_count: u64,
+    /// Number of KILL restarts the task suffered.
+    pub kill_restarts: u64,
+    /// Total cycles spent checkpointing this task's context.
+    pub checkpoint_overhead: Cycles,
+    /// Total cycles spent restoring this task's context.
+    pub restore_overhead: Cycles,
+    /// The largest context state this task ever checkpointed, in bytes.
+    pub max_checkpoint_bytes: u64,
+}
+
+impl TaskRecord {
+    /// Turnaround time under multi-tasking (`C_multi`): dispatch to
+    /// completion.
+    pub fn turnaround(&self) -> Cycles {
+        self.completion - self.arrival
+    }
+
+    /// Time the task waited before first receiving the NPU.
+    pub fn waiting(&self) -> Cycles {
+        self.first_start - self.arrival
+    }
+
+    /// Normalized turnaround time (Equation 1).
+    pub fn ntt(&self) -> f64 {
+        self.turnaround().ratio(self.isolated_cycles)
+    }
+
+    /// The task's progress relative to isolated execution (`C_single/C_multi`).
+    pub fn progress(&self) -> f64 {
+        self.isolated_cycles.ratio(self.turnaround())
+    }
+
+    /// Average preemption latency experienced per preemption, if any.
+    pub fn mean_preemption_latency(&self) -> Option<Cycles> {
+        if self.preemption_count == 0 {
+            None
+        } else {
+            Some(self.checkpoint_overhead / self.preemption_count)
+        }
+    }
+}
+
+/// Aggregate results of one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Per-task records, in task-ID order.
+    pub records: Vec<TaskRecord>,
+    /// Completion time of the last task.
+    pub makespan: Cycles,
+    /// Number of scheduler wakeups.
+    pub scheduler_invocations: u64,
+    /// Number of preemptions performed with CHECKPOINT.
+    pub checkpoint_preemptions: u64,
+    /// Number of preemptions performed with KILL.
+    pub kill_preemptions: u64,
+    /// Number of times the dynamic mechanism selection chose DRAIN.
+    pub drain_decisions: u64,
+}
+
+impl SimOutcome {
+    /// The record for `id`, if the task was part of the run.
+    pub fn record(&self, id: TaskId) -> Option<&TaskRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Average normalized turnaround time across all tasks.
+    pub fn antt(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(TaskRecord::ntt).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// System throughput: sum of per-task progress.
+    pub fn stp(&self) -> f64 {
+        self.records.iter().map(TaskRecord::progress).sum()
+    }
+}
+
+/// The per-task state the engine tracks while simulating.
+#[derive(Debug)]
+struct Runtime {
+    prepared: PreparedTask,
+    cursor: ProgressCursor,
+    state: TaskState,
+    arrived: bool,
+    tokens: f64,
+    waited: Cycles,
+    waited_at_last_grant: Cycles,
+    estimated: Cycles,
+    first_start: Option<Cycles>,
+    completion: Option<Cycles>,
+    last_scheduled: Option<Cycles>,
+    checkpointed_bytes: u64,
+    needs_restore: bool,
+    preemption_count: u64,
+    kill_restarts: u64,
+    checkpoint_overhead: Cycles,
+    restore_overhead: Cycles,
+    max_checkpoint_bytes: u64,
+}
+
+impl Runtime {
+    fn new(prepared: PreparedTask) -> Self {
+        let estimated = prepared.estimated_cycles();
+        let tokens = prepared.request.priority.token_grant();
+        Runtime {
+            prepared,
+            cursor: ProgressCursor::start(),
+            state: TaskState::Ready,
+            arrived: false,
+            tokens,
+            waited: Cycles::ZERO,
+            waited_at_last_grant: Cycles::ZERO,
+            estimated,
+            first_start: None,
+            completion: None,
+            last_scheduled: None,
+            checkpointed_bytes: 0,
+            needs_restore: false,
+            preemption_count: 0,
+            kill_restarts: 0,
+            checkpoint_overhead: Cycles::ZERO,
+            restore_overhead: Cycles::ZERO,
+            max_checkpoint_bytes: 0,
+        }
+    }
+
+    fn is_waiting(&self) -> bool {
+        self.arrived
+            && matches!(self.state, TaskState::Ready | TaskState::Checkpointed)
+            && self.completion.is_none()
+    }
+
+    fn view(&self, is_running: bool) -> TaskView {
+        TaskView {
+            id: self.prepared.request.id,
+            priority: self.prepared.request.priority,
+            arrival: self.prepared.request.arrival,
+            tokens: self.tokens,
+            estimated_total: self.estimated,
+            executed: self.cursor.executed(),
+            waited: self.waited,
+            last_scheduled: self.last_scheduled,
+            is_running,
+        }
+    }
+}
+
+/// The multi-task NPU simulator.
+#[derive(Debug, Clone)]
+pub struct NpuSimulator {
+    npu: NpuConfig,
+    sched: SchedulerConfig,
+}
+
+impl NpuSimulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration fails validation.
+    pub fn new(npu: NpuConfig, sched: SchedulerConfig) -> Self {
+        if let Err(msg) = npu.validate() {
+            panic!("invalid NpuConfig: {msg}");
+        }
+        if let Err(msg) = sched.validate() {
+            panic!("invalid SchedulerConfig: {msg}");
+        }
+        NpuSimulator { npu, sched }
+    }
+
+    /// The NPU configuration.
+    pub fn npu_config(&self) -> &NpuConfig {
+        &self.npu
+    }
+
+    /// The scheduler configuration.
+    pub fn scheduler_config(&self) -> &SchedulerConfig {
+        &self.sched
+    }
+
+    /// Prepares (compiles) a set of requests for this simulator's NPU.
+    pub fn prepare(&self, requests: &[TaskRequest]) -> Vec<PreparedTask> {
+        requests
+            .iter()
+            .map(|r| PreparedTask::prepare(*r, &self.npu))
+            .collect()
+    }
+
+    /// Runs the multi-task simulation to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty or contains duplicate task IDs.
+    pub fn run(&self, tasks: &[PreparedTask]) -> SimOutcome {
+        assert!(!tasks.is_empty(), "at least one task is required");
+        let mut ids: Vec<TaskId> = tasks.iter().map(|t| t.request.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), tasks.len(), "task IDs must be unique");
+
+        let mut policy = make_policy(self.sched.policy, self.sched.token_scale);
+        let checkpoint_model = CheckpointModel::new(&self.npu);
+        let quantum = self.sched.quantum_cycles(&self.npu);
+
+        let mut runtimes: Vec<Runtime> = tasks.iter().cloned().map(Runtime::new).collect();
+        // Arrival order: indices sorted by arrival time.
+        let mut arrival_order: Vec<usize> = (0..runtimes.len()).collect();
+        arrival_order.sort_by_key(|&i| (runtimes[i].prepared.request.arrival, runtimes[i].prepared.request.id));
+        let mut next_arrival_idx = 0usize;
+
+        let mut now = Cycles::ZERO;
+        let mut next_quantum = quantum;
+        let mut running: Option<usize> = None;
+
+        let mut scheduler_invocations = 0u64;
+        let mut checkpoint_preemptions = 0u64;
+        let mut kill_preemptions = 0u64;
+        let mut drain_decisions = 0u64;
+
+        let completed = |runtimes: &[Runtime]| runtimes.iter().filter(|r| r.completion.is_some()).count();
+
+        // Safety valve against scheduler livelock. The one known pathological
+        // configuration is Static(KILL) combined with round-robin ordering:
+        // two tasks can keep discarding each other's progress forever. Real
+        // workloads finish with a few thousand wakeups, so this limit only
+        // trips on genuine livelock.
+        const MAX_SCHEDULER_INVOCATIONS: u64 = 5_000_000;
+
+        while completed(&runtimes) < runtimes.len() {
+            assert!(
+                scheduler_invocations < MAX_SCHEDULER_INVOCATIONS,
+                "scheduler livelock detected after {MAX_SCHEDULER_INVOCATIONS} wakeups \
+                 (policy {:?}, preemption {:?})",
+                self.sched.policy,
+                self.sched.preemption
+            );
+            // Admit arrivals that have happened.
+            while next_arrival_idx < arrival_order.len()
+                && runtimes[arrival_order[next_arrival_idx]].prepared.request.arrival <= now
+            {
+                runtimes[arrival_order[next_arrival_idx]].arrived = true;
+                next_arrival_idx += 1;
+            }
+
+            let any_waiting = runtimes.iter().any(Runtime::is_waiting);
+            if running.is_none() && !any_waiting {
+                // Idle: jump to the next arrival.
+                let next = arrival_order
+                    .get(next_arrival_idx)
+                    .map(|&i| runtimes[i].prepared.request.arrival)
+                    .expect("tasks remain, so an arrival must be pending");
+                now = now.max(next);
+                while next_quantum <= now {
+                    next_quantum += quantum;
+                }
+                continue;
+            }
+
+            // ---- Scheduler wakeup -------------------------------------------------
+            scheduler_invocations += 1;
+            self.grant_tokens(&mut runtimes);
+
+            if running.is_none() {
+                let views: Vec<TaskView> = runtimes
+                    .iter()
+                    .filter(|r| r.is_waiting())
+                    .map(|r| r.view(false))
+                    .collect();
+                if !views.is_empty() {
+                    let chosen = policy.select(now, &views);
+                    let idx = self.index_of(&runtimes, chosen);
+                    now = self.dispatch(&mut runtimes, idx, now, &checkpoint_model);
+                    running = Some(idx);
+                }
+            } else if self.sched.preemption.is_preemptive() {
+                let run_idx = running.expect("checked above");
+                let mut views: Vec<TaskView> = runtimes
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, r)| r.is_waiting() || *i == run_idx)
+                    .map(|(i, r)| r.view(i == run_idx))
+                    .collect();
+                views.sort_by_key(|v| v.id);
+                let chosen = policy.select(now, &views);
+                if chosen != runtimes[run_idx].prepared.request.id {
+                    let cand_idx = self.index_of(&runtimes, chosen);
+                    let mechanism = self.pick_mechanism(&runtimes, run_idx, cand_idx);
+                    match mechanism {
+                        PreemptionMechanism::Drain => {
+                            drain_decisions += 1;
+                        }
+                        PreemptionMechanism::Checkpoint => {
+                            checkpoint_preemptions += 1;
+                            now = self.preempt_checkpoint(
+                                &mut runtimes,
+                                run_idx,
+                                now,
+                                &checkpoint_model,
+                            );
+                            now = self.dispatch(&mut runtimes, cand_idx, now, &checkpoint_model);
+                            running = Some(cand_idx);
+                        }
+                        PreemptionMechanism::Kill => {
+                            kill_preemptions += 1;
+                            self.preempt_kill(&mut runtimes, run_idx);
+                            now = self.dispatch(&mut runtimes, cand_idx, now, &checkpoint_model);
+                            running = Some(cand_idx);
+                        }
+                    }
+                }
+            }
+
+            // ---- Execute until the next event -------------------------------------
+            let Some(run_idx) = running else {
+                continue;
+            };
+            while next_quantum <= now {
+                next_quantum += quantum;
+            }
+            let next_arrival = arrival_order
+                .get(next_arrival_idx)
+                .map(|&i| runtimes[i].prepared.request.arrival);
+            let remaining = runtimes[run_idx].cursor.remaining(&runtimes[run_idx].prepared.plan);
+            let completion_time = now + remaining;
+            let mut t_next = completion_time.min(next_quantum);
+            if let Some(arrival) = next_arrival {
+                t_next = t_next.min(arrival.max(now));
+            }
+            let budget = t_next - now;
+
+            let consumed = {
+                let runtime = &mut runtimes[run_idx];
+                let plan = Arc::clone(&runtime.prepared.plan);
+                runtime.cursor.advance(&plan, budget)
+            };
+            self.accrue_wait(&mut runtimes, Some(run_idx), consumed);
+            now += consumed;
+
+            let finished = {
+                let runtime = &runtimes[run_idx];
+                runtime.cursor.is_complete(&runtime.prepared.plan)
+            };
+            if finished {
+                let runtime = &mut runtimes[run_idx];
+                runtime.completion = Some(now);
+                runtime.state = TaskState::Completed;
+                running = None;
+            } else if consumed.is_zero() && budget.is_zero() && next_arrival.is_none() {
+                // Degenerate safety net: a zero-length plan completes instantly.
+                let runtime = &mut runtimes[run_idx];
+                runtime.completion = Some(now);
+                runtime.state = TaskState::Completed;
+                running = None;
+            }
+        }
+
+        let mut records: Vec<TaskRecord> = runtimes
+            .iter()
+            .map(|r| TaskRecord {
+                id: r.prepared.request.id,
+                model: r.prepared.request.model,
+                batch: r.prepared.request.batch,
+                priority: r.prepared.request.priority,
+                arrival: r.prepared.request.arrival,
+                first_start: r.first_start.unwrap_or(r.prepared.request.arrival),
+                completion: r.completion.expect("all tasks completed"),
+                isolated_cycles: r.prepared.isolated_cycles(),
+                estimated_cycles: r.estimated,
+                preemption_count: r.preemption_count,
+                kill_restarts: r.kill_restarts,
+                checkpoint_overhead: r.checkpoint_overhead,
+                restore_overhead: r.restore_overhead,
+                max_checkpoint_bytes: r.max_checkpoint_bytes,
+            })
+            .collect();
+        records.sort_by_key(|r| r.id);
+        let makespan = records.iter().map(|r| r.completion).max().unwrap_or(Cycles::ZERO);
+
+        SimOutcome {
+            records,
+            makespan,
+            scheduler_invocations,
+            checkpoint_preemptions,
+            kill_preemptions,
+            drain_decisions,
+        }
+    }
+
+    fn index_of(&self, runtimes: &[Runtime], id: TaskId) -> usize {
+        runtimes
+            .iter()
+            .position(|r| r.prepared.request.id == id)
+            .expect("policy returned an unknown task id")
+    }
+
+    /// Grants additional tokens to every waiting task, proportional to its
+    /// priority and the normalized slowdown it accumulated since the last
+    /// grant (Algorithm 2, line 7).
+    fn grant_tokens(&self, runtimes: &mut [Runtime]) {
+        for runtime in runtimes.iter_mut() {
+            if !runtime.is_waiting() {
+                continue;
+            }
+            let newly_waited = runtime.waited - runtime.waited_at_last_grant;
+            if newly_waited.is_zero() {
+                continue;
+            }
+            let slowdown = newly_waited.get() as f64 / runtime.estimated.get().max(1) as f64;
+            runtime.tokens += runtime.prepared.request.priority.token_grant()
+                * self.sched.token_scale
+                * slowdown;
+            runtime.waited_at_last_grant = runtime.waited;
+        }
+    }
+
+    /// Adds `dt` of waiting time to every admitted, non-running, non-complete
+    /// task.
+    fn accrue_wait(&self, runtimes: &mut [Runtime], running: Option<usize>, dt: Cycles) {
+        if dt.is_zero() {
+            return;
+        }
+        for (i, runtime) in runtimes.iter_mut().enumerate() {
+            if Some(i) == running {
+                continue;
+            }
+            if runtime.is_waiting() {
+                runtime.waited += dt;
+            }
+        }
+    }
+
+    /// Starts (or resumes) `idx` on the NPU at time `now`, charging a restore
+    /// latency if its context was previously checkpointed. Returns the time
+    /// at which useful execution begins.
+    fn dispatch(
+        &self,
+        runtimes: &mut [Runtime],
+        idx: usize,
+        now: Cycles,
+        checkpoint_model: &CheckpointModel,
+    ) -> Cycles {
+        let mut start = now;
+        if runtimes[idx].needs_restore && self.sched.charge_restore {
+            let restore = checkpoint_model.restore_cycles(runtimes[idx].checkpointed_bytes);
+            runtimes[idx].restore_overhead += restore;
+            self.accrue_wait(runtimes, Some(idx), restore);
+            start += restore;
+        }
+        let runtime = &mut runtimes[idx];
+        runtime.needs_restore = false;
+        runtime.state = TaskState::Running;
+        runtime.first_start = runtime.first_start.or(Some(start));
+        runtime.last_scheduled = Some(start);
+        start
+    }
+
+    /// Preempts the running task with CHECKPOINT: finishes the current
+    /// `GEMM_OP` interval, spills the live context, and returns the new time.
+    fn preempt_checkpoint(
+        &self,
+        runtimes: &mut [Runtime],
+        run_idx: usize,
+        now: Cycles,
+        checkpoint_model: &CheckpointModel,
+    ) -> Cycles {
+        // Run to the next legal preemption point.
+        let (boundary, live_bytes) = {
+            let runtime = &mut runtimes[run_idx];
+            let plan = Arc::clone(&runtime.prepared.plan);
+            let boundary = runtime.cursor.cycles_to_boundary(&plan);
+            runtime.cursor.advance(&plan, boundary);
+            let live_bytes = runtime.cursor.live_checkpoint_bytes(&plan);
+            (boundary, live_bytes)
+        };
+        self.accrue_wait(runtimes, Some(run_idx), boundary);
+        let mut time = now + boundary;
+
+        let checkpoint = checkpoint_model.checkpoint_cycles(live_bytes);
+        {
+            let runtime = &mut runtimes[run_idx];
+            runtime.checkpoint_overhead += checkpoint;
+            runtime.checkpointed_bytes = live_bytes;
+            runtime.max_checkpoint_bytes = runtime.max_checkpoint_bytes.max(live_bytes);
+            runtime.needs_restore = true;
+            runtime.preemption_count += 1;
+            runtime.state = TaskState::Checkpointed;
+        }
+        // During the checkpoint DMA nobody makes forward progress; everyone
+        // waiting (including the just-preempted task) accrues wait time.
+        self.accrue_wait(runtimes, None, checkpoint);
+        time += checkpoint;
+        time
+    }
+
+    /// Preempts the running task with KILL: all progress is discarded and the
+    /// task restarts from scratch when it is next scheduled.
+    fn preempt_kill(&self, runtimes: &mut [Runtime], run_idx: usize) {
+        let runtime = &mut runtimes[run_idx];
+        runtime.cursor.reset();
+        runtime.preemption_count += 1;
+        runtime.kill_restarts += 1;
+        runtime.checkpointed_bytes = 0;
+        runtime.needs_restore = false;
+        runtime.state = TaskState::Ready;
+    }
+
+    /// Chooses the preemption mechanism for displacing `run_idx` in favour of
+    /// `cand_idx` under the configured preemption mode.
+    fn pick_mechanism(
+        &self,
+        runtimes: &[Runtime],
+        run_idx: usize,
+        cand_idx: usize,
+    ) -> PreemptionMechanism {
+        match self.sched.preemption {
+            PreemptionMode::NonPreemptive => PreemptionMechanism::Drain,
+            PreemptionMode::Static(mechanism) => mechanism,
+            PreemptionMode::Dynamic | PreemptionMode::DynamicKill => {
+                let inputs = MechanismDecisionInputs {
+                    current_estimated: runtimes[run_idx].estimated,
+                    current_executed: runtimes[run_idx].cursor.executed(),
+                    candidate_estimated: runtimes[cand_idx].estimated,
+                    candidate_executed: runtimes[cand_idx].cursor.executed(),
+                };
+                match select_mechanism(inputs) {
+                    PreemptionMechanism::Drain => PreemptionMechanism::Drain,
+                    _ if self.sched.preemption == PreemptionMode::DynamicKill => {
+                        PreemptionMechanism::Kill
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyKind;
+    use dnn_models::SeqSpec;
+
+    fn npu() -> NpuConfig {
+        NpuConfig::paper_default()
+    }
+
+    fn prepare(requests: Vec<TaskRequest>) -> Vec<PreparedTask> {
+        let cfg = npu();
+        requests
+            .into_iter()
+            .map(|r| PreparedTask::prepare(r, &cfg))
+            .collect()
+    }
+
+    fn simple_requests() -> Vec<TaskRequest> {
+        vec![
+            TaskRequest::new(TaskId(0), ModelKind::CnnVggNet).with_priority(Priority::Low),
+            TaskRequest::new(TaskId(1), ModelKind::CnnAlexNet)
+                .with_priority(Priority::High)
+                .with_arrival(Cycles::new(200_000)),
+            TaskRequest::new(TaskId(2), ModelKind::CnnGoogLeNet)
+                .with_priority(Priority::Medium)
+                .with_arrival(Cycles::new(400_000)),
+        ]
+    }
+
+    fn run(policy: PolicyKind, preemption: PreemptionMode, requests: Vec<TaskRequest>) -> SimOutcome {
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::named(policy, preemption));
+        let prepared = prepare(requests);
+        sim.run(&prepared)
+    }
+
+    #[test]
+    fn single_task_runs_in_isolated_time() {
+        let outcome = run(
+            PolicyKind::Fcfs,
+            PreemptionMode::NonPreemptive,
+            vec![TaskRequest::new(TaskId(0), ModelKind::CnnAlexNet)],
+        );
+        let record = &outcome.records[0];
+        assert_eq!(record.turnaround(), record.isolated_cycles);
+        assert!((record.ntt() - 1.0).abs() < 1e-9);
+        assert_eq!(record.preemption_count, 0);
+        assert_eq!(outcome.makespan, record.completion);
+    }
+
+    #[test]
+    fn all_tasks_complete_under_every_policy_and_mode() {
+        for policy in PolicyKind::ALL {
+            for preemption in [
+                PreemptionMode::NonPreemptive,
+                PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+                PreemptionMode::Static(PreemptionMechanism::Kill),
+                PreemptionMode::Dynamic,
+                PreemptionMode::DynamicKill,
+            ] {
+                // Static(KILL) + round-robin livelocks by construction (each
+                // task keeps discarding the other's progress every quantum);
+                // the paper never evaluates that combination and the engine
+                // reports it via its livelock safety valve, so skip it here.
+                if policy == PolicyKind::RoundRobin
+                    && preemption == PreemptionMode::Static(PreemptionMechanism::Kill)
+                {
+                    continue;
+                }
+                let outcome = run(policy, preemption, simple_requests());
+                assert_eq!(outcome.records.len(), 3, "{policy:?}/{preemption:?}");
+                for record in &outcome.records {
+                    assert!(record.completion >= record.arrival);
+                    assert!(record.ntt() >= 0.999, "{policy:?}/{preemption:?}: NTT {}", record.ntt());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn np_fcfs_makes_later_tasks_wait_for_earlier_ones() {
+        let outcome = run(PolicyKind::Fcfs, PreemptionMode::NonPreemptive, simple_requests());
+        // Task 1 (AlexNet, high priority) arrives while VGG runs; under
+        // NP-FCFS it cannot start until VGG finishes.
+        let vgg = outcome.record(TaskId(0)).unwrap();
+        let alexnet = outcome.record(TaskId(1)).unwrap();
+        assert!(alexnet.first_start >= vgg.completion);
+        assert!(alexnet.ntt() > 2.0);
+    }
+
+    #[test]
+    fn preemptive_hpf_lets_the_high_priority_task_jump_the_queue() {
+        let np = run(PolicyKind::Hpf, PreemptionMode::NonPreemptive, simple_requests());
+        let preemptive = run(
+            PolicyKind::Hpf,
+            PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+            simple_requests(),
+        );
+        let np_high = np.record(TaskId(1)).unwrap();
+        let p_high = preemptive.record(TaskId(1)).unwrap();
+        assert!(
+            p_high.turnaround() < np_high.turnaround(),
+            "preemption should shorten the high-priority task's turnaround ({} vs {})",
+            p_high.turnaround(),
+            np_high.turnaround()
+        );
+        assert!(preemptive.checkpoint_preemptions > 0);
+        // The preempted VGG task records checkpoint overhead.
+        let vgg = preemptive.record(TaskId(0)).unwrap();
+        assert!(vgg.preemption_count > 0);
+        assert!(vgg.checkpoint_overhead > Cycles::ZERO);
+        assert!(vgg.max_checkpoint_bytes > 0);
+    }
+
+    #[test]
+    fn kill_wastes_work_and_hurts_the_preempted_task() {
+        let checkpoint = run(
+            PolicyKind::Hpf,
+            PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+            simple_requests(),
+        );
+        let kill = run(
+            PolicyKind::Hpf,
+            PreemptionMode::Static(PreemptionMechanism::Kill),
+            simple_requests(),
+        );
+        let vgg_ckpt = checkpoint.record(TaskId(0)).unwrap();
+        let vgg_kill = kill.record(TaskId(0)).unwrap();
+        assert!(vgg_kill.kill_restarts > 0);
+        assert_eq!(vgg_ckpt.kill_restarts, 0);
+        assert!(
+            vgg_kill.turnaround() > vgg_ckpt.turnaround(),
+            "KILL should waste the preempted task's progress"
+        );
+        // KILL has no checkpoint latency.
+        assert_eq!(vgg_kill.checkpoint_overhead, Cycles::ZERO);
+    }
+
+    #[test]
+    fn checkpoint_overhead_is_microseconds_not_milliseconds() {
+        let outcome = run(
+            PolicyKind::Hpf,
+            PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+            simple_requests(),
+        );
+        let cfg = npu();
+        for record in &outcome.records {
+            if let Some(latency) = record.mean_preemption_latency() {
+                let us = cfg.cycles_to_micros(latency);
+                assert!(us < 100.0, "preemption latency {us} us is too large");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_mode_sometimes_drains() {
+        // A long task that is nearly finished when a long candidate arrives
+        // should be drained rather than preempted.
+        let requests = vec![
+            TaskRequest::new(TaskId(0), ModelKind::CnnAlexNet).with_priority(Priority::Low),
+            TaskRequest::new(TaskId(1), ModelKind::CnnVggNet)
+                .with_priority(Priority::High)
+                // Arrives when AlexNet is ~90% done.
+                .with_arrival(Cycles::new(1_400_000)),
+        ];
+        let outcome = run(PolicyKind::Hpf, PreemptionMode::Dynamic, requests);
+        assert!(outcome.drain_decisions > 0);
+        assert_eq!(outcome.checkpoint_preemptions, 0);
+    }
+
+    #[test]
+    fn prema_improves_high_priority_latency_over_np_fcfs() {
+        let baseline = run(PolicyKind::Fcfs, PreemptionMode::NonPreemptive, simple_requests());
+        let prema = run(PolicyKind::Prema, PreemptionMode::Dynamic, simple_requests());
+        let base_high = baseline.record(TaskId(1)).unwrap();
+        let prema_high = prema.record(TaskId(1)).unwrap();
+        assert!(
+            prema_high.turnaround() < base_high.turnaround(),
+            "PREMA should improve the high-priority task's turnaround"
+        );
+        assert!(prema.antt() <= baseline.antt() + 1e-9);
+    }
+
+    #[test]
+    fn restore_overhead_is_charged_when_a_checkpointed_task_resumes() {
+        let outcome = run(
+            PolicyKind::Hpf,
+            PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+            simple_requests(),
+        );
+        let preempted: Vec<_> = outcome
+            .records
+            .iter()
+            .filter(|r| r.preemption_count > 0)
+            .collect();
+        assert!(!preempted.is_empty());
+        assert!(preempted.iter().any(|r| r.restore_overhead > Cycles::ZERO));
+    }
+
+    #[test]
+    fn simulator_accessors_and_prepare() {
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        assert_eq!(sim.npu_config(), &npu());
+        assert_eq!(sim.scheduler_config(), &SchedulerConfig::paper_default());
+        let prepared = sim.prepare(&[TaskRequest::new(TaskId(0), ModelKind::CnnMobileNet)]);
+        assert_eq!(prepared.len(), 1);
+        assert!(prepared[0].isolated_cycles() > Cycles::ZERO);
+        assert_eq!(prepared[0].estimated_cycles(), prepared[0].isolated_cycles());
+    }
+
+    #[test]
+    fn estimates_override_plan_length() {
+        let cfg = npu();
+        let request = TaskRequest::new(TaskId(0), ModelKind::CnnAlexNet)
+            .with_estimate(Cycles::new(42));
+        let prepared = PreparedTask::prepare(request, &cfg);
+        assert_eq!(prepared.estimated_cycles(), Cycles::new(42));
+        assert!(prepared.isolated_cycles() > Cycles::new(42));
+    }
+
+    #[test]
+    fn rnn_tasks_also_run_to_completion() {
+        let requests = vec![
+            TaskRequest::new(TaskId(0), ModelKind::RnnSentiment)
+                .with_seq(SeqSpec::new(20, 20))
+                .with_priority(Priority::Low),
+            TaskRequest::new(TaskId(1), ModelKind::RnnTranslation1)
+                .with_seq(SeqSpec::new(15, 18))
+                .with_priority(Priority::High)
+                .with_arrival(Cycles::new(100_000)),
+        ];
+        let outcome = run(PolicyKind::Prema, PreemptionMode::Dynamic, requests);
+        assert_eq!(outcome.records.len(), 2);
+        for record in &outcome.records {
+            assert!(record.ntt() >= 0.999);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_task_list_rejected() {
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let _ = sim.run(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "task IDs must be unique")]
+    fn duplicate_ids_rejected() {
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let prepared = prepare(vec![
+            TaskRequest::new(TaskId(0), ModelKind::CnnAlexNet),
+            TaskRequest::new(TaskId(0), ModelKind::CnnMobileNet),
+        ]);
+        let _ = sim.run(&prepared);
+    }
+}

@@ -1,0 +1,341 @@
+//! Execution plans: a task's DNN compiled down to preemption intervals.
+//!
+//! Before a request is dispatched to the NPU, its network (at the request's
+//! batch size and actual sequence lengths) is lowered layer by layer onto the
+//! NPU timing model. The result is an [`ExecutionPlan`]: for every layer, a
+//! short list of [`PreemptionInterval`]s whose boundaries are the legal
+//! CHECKPOINT preemption points and which carry the live output-activation
+//! footprint at each point.
+//!
+//! [`ProgressCursor`] tracks how far through its plan a task has executed,
+//! supports advancing by an arbitrary number of cycles, and answers the two
+//! questions the preemption machinery needs: "how long until the next legal
+//! preemption point?" and "how many bytes are live right now?".
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use dnn_models::lowering::lower_graph;
+use dnn_models::{ModelKind, SeqSpec};
+use npu_sim::{Cycles, LayerTiming, NpuConfig, PreemptionInterval};
+
+/// The modelled execution of one layer: its preemption intervals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerPlan {
+    /// Preemption intervals in execution order.
+    pub intervals: Vec<PreemptionInterval>,
+    /// Total cycles of the layer (sum of interval cycles).
+    pub total_cycles: Cycles,
+    /// Total MAC operations of the layer.
+    pub macs: u64,
+}
+
+/// A task's complete compiled execution plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    layers: Vec<LayerPlan>,
+    total_cycles: Cycles,
+    total_macs: u64,
+}
+
+impl ExecutionPlan {
+    /// Compiles `model` at `batch`/`seq` onto the NPU described by `cfg`.
+    pub fn compile(model: ModelKind, batch: u64, seq: SeqSpec, cfg: &NpuConfig) -> Self {
+        let network = model.build(batch, seq);
+        let works = lower_graph(&network, batch);
+        let mut layers = Vec::with_capacity(works.len());
+        let mut total_cycles = Cycles::ZERO;
+        let mut total_macs = 0u64;
+        for work in &works {
+            let timing = LayerTiming::model(work, cfg);
+            total_cycles += timing.total_cycles();
+            total_macs += timing.macs();
+            layers.push(LayerPlan {
+                intervals: timing.intervals().to_vec(),
+                total_cycles: timing.total_cycles(),
+                macs: timing.macs(),
+            });
+        }
+        ExecutionPlan {
+            layers,
+            total_cycles,
+            total_macs,
+        }
+    }
+
+    /// Compiles and wraps the plan in an [`Arc`] for cheap sharing across
+    /// scheduler configurations.
+    pub fn compile_shared(
+        model: ModelKind,
+        batch: u64,
+        seq: SeqSpec,
+        cfg: &NpuConfig,
+    ) -> Arc<Self> {
+        Arc::new(Self::compile(model, batch, seq, cfg))
+    }
+
+    /// The per-layer plans in execution order.
+    pub fn layers(&self) -> &[LayerPlan] {
+        &self.layers
+    }
+
+    /// The task's isolated, uninterrupted execution time.
+    pub fn total_cycles(&self) -> Cycles {
+        self.total_cycles
+    }
+
+    /// Total MAC operations across the network.
+    pub fn total_macs(&self) -> u64 {
+        self.total_macs
+    }
+
+    /// Number of layers in the plan.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of preemption intervals across all layers.
+    pub fn interval_count(&self) -> usize {
+        self.layers.iter().map(|l| l.intervals.len()).sum()
+    }
+}
+
+/// A task's position within its execution plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgressCursor {
+    layer: usize,
+    interval: usize,
+    /// Cycles already spent inside the current interval.
+    offset: Cycles,
+    /// Total cycles executed so far.
+    executed: Cycles,
+}
+
+impl ProgressCursor {
+    /// A cursor at the very beginning of a plan.
+    pub fn start() -> Self {
+        ProgressCursor {
+            layer: 0,
+            interval: 0,
+            offset: Cycles::ZERO,
+            executed: Cycles::ZERO,
+        }
+    }
+
+    /// Total cycles executed so far.
+    pub fn executed(&self) -> Cycles {
+        self.executed
+    }
+
+    /// Index of the layer currently being executed.
+    pub fn layer_index(&self) -> usize {
+        self.layer
+    }
+
+    /// Whether the whole plan has finished.
+    pub fn is_complete(&self, plan: &ExecutionPlan) -> bool {
+        self.layer >= plan.layers.len()
+    }
+
+    /// Remaining cycles until the plan completes.
+    pub fn remaining(&self, plan: &ExecutionPlan) -> Cycles {
+        plan.total_cycles() - self.executed
+    }
+
+    /// Resets the cursor to the start of the plan (the KILL mechanism
+    /// discards all progress).
+    pub fn reset(&mut self) {
+        *self = ProgressCursor::start();
+    }
+
+    /// Advances the cursor by at most `budget` cycles, returning the cycles
+    /// actually consumed (less than `budget` only if the plan completes).
+    pub fn advance(&mut self, plan: &ExecutionPlan, budget: Cycles) -> Cycles {
+        let mut remaining_budget = budget;
+        let mut consumed = Cycles::ZERO;
+        while !remaining_budget.is_zero() && self.layer < plan.layers.len() {
+            let interval = &plan.layers[self.layer].intervals[self.interval];
+            let left_in_interval = interval.cycles - self.offset;
+            if remaining_budget >= left_in_interval {
+                remaining_budget -= left_in_interval;
+                consumed += left_in_interval;
+                self.offset = Cycles::ZERO;
+                self.interval += 1;
+                if self.interval >= plan.layers[self.layer].intervals.len() {
+                    self.interval = 0;
+                    self.layer += 1;
+                }
+            } else {
+                self.offset += remaining_budget;
+                consumed += remaining_budget;
+                remaining_budget = Cycles::ZERO;
+            }
+        }
+        self.executed += consumed;
+        consumed
+    }
+
+    /// Cycles needed to reach the next legal preemption point (the end of the
+    /// currently executing interval). Zero when already at a boundary or when
+    /// the plan is complete.
+    pub fn cycles_to_boundary(&self, plan: &ExecutionPlan) -> Cycles {
+        if self.layer >= plan.layers.len() || self.offset.is_zero() {
+            return Cycles::ZERO;
+        }
+        plan.layers[self.layer].intervals[self.interval].cycles - self.offset
+    }
+
+    /// The output-activation bytes that are live (and would have to be
+    /// checkpointed) at the *current boundary* — i.e. the checkpoint
+    /// footprint if the task is preempted at the end of the interval it is
+    /// currently in, or right now if it already sits at a boundary.
+    pub fn live_checkpoint_bytes(&self, plan: &ExecutionPlan) -> u64 {
+        if self.layer >= plan.layers.len() {
+            return 0;
+        }
+        let intervals = &plan.layers[self.layer].intervals;
+        if self.offset.is_zero() {
+            // At a boundary: the last *completed* interval of this layer
+            // defines the live state; at a layer start nothing is live.
+            if self.interval == 0 {
+                0
+            } else {
+                intervals[self.interval - 1].live_output_bytes
+            }
+        } else {
+            // Mid-interval: preemption waits for this interval to commit.
+            intervals[self.interval].live_output_bytes
+        }
+    }
+}
+
+impl Default for ProgressCursor {
+    fn default() -> Self {
+        ProgressCursor::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::paper_default()
+    }
+
+    fn small_plan() -> ExecutionPlan {
+        ExecutionPlan::compile(ModelKind::CnnAlexNet, 1, SeqSpec::none(), &cfg())
+    }
+
+    #[test]
+    fn compiled_plan_has_layers_and_cycles() {
+        let plan = small_plan();
+        assert_eq!(plan.layer_count(), 11);
+        assert!(plan.interval_count() >= plan.layer_count());
+        assert!(plan.total_cycles() > Cycles::ZERO);
+        assert!(plan.total_macs() > 500_000_000);
+        let sum: Cycles = plan.layers().iter().map(|l| l.total_cycles).sum();
+        assert_eq!(sum, plan.total_cycles());
+    }
+
+    #[test]
+    fn rnn_plan_scales_with_output_length() {
+        let c = cfg();
+        let short = ExecutionPlan::compile(ModelKind::RnnTranslation1, 1, SeqSpec::new(20, 5), &c);
+        let long = ExecutionPlan::compile(ModelKind::RnnTranslation1, 1, SeqSpec::new(20, 40), &c);
+        assert!(long.total_cycles() > short.total_cycles());
+        assert!(long.layer_count() > short.layer_count());
+    }
+
+    #[test]
+    fn cursor_advances_to_completion() {
+        let plan = small_plan();
+        let mut cursor = ProgressCursor::start();
+        let consumed = cursor.advance(&plan, plan.total_cycles());
+        assert_eq!(consumed, plan.total_cycles());
+        assert!(cursor.is_complete(&plan));
+        assert_eq!(cursor.remaining(&plan), Cycles::ZERO);
+        assert_eq!(cursor.executed(), plan.total_cycles());
+        // Advancing past the end consumes nothing more.
+        assert_eq!(cursor.advance(&plan, Cycles::new(1000)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn partial_advance_tracks_executed_and_remaining() {
+        let plan = small_plan();
+        let mut cursor = ProgressCursor::start();
+        let half = plan.total_cycles() / 2;
+        let consumed = cursor.advance(&plan, half);
+        assert_eq!(consumed, half);
+        assert_eq!(cursor.executed(), half);
+        assert_eq!(cursor.remaining(&plan), plan.total_cycles() - half);
+        assert!(!cursor.is_complete(&plan));
+    }
+
+    #[test]
+    fn many_small_advances_equal_one_large_advance() {
+        let plan = small_plan();
+        let mut a = ProgressCursor::start();
+        let mut b = ProgressCursor::start();
+        a.advance(&plan, plan.total_cycles());
+        let step = Cycles::new(10_000);
+        while !b.is_complete(&plan) {
+            b.advance(&plan, step);
+        }
+        assert_eq!(a.executed(), b.executed());
+    }
+
+    #[test]
+    fn boundary_distance_is_zero_at_boundaries_and_positive_mid_interval() {
+        let plan = small_plan();
+        let mut cursor = ProgressCursor::start();
+        assert_eq!(cursor.cycles_to_boundary(&plan), Cycles::ZERO);
+        // Step into the middle of the first interval.
+        let first_interval = plan.layers()[0].intervals[0].cycles;
+        cursor.advance(&plan, first_interval / 2);
+        let to_boundary = cursor.cycles_to_boundary(&plan);
+        assert!(to_boundary > Cycles::ZERO);
+        assert!(to_boundary <= first_interval);
+        // Finishing the interval brings us back to a boundary.
+        cursor.advance(&plan, to_boundary);
+        assert_eq!(cursor.cycles_to_boundary(&plan), Cycles::ZERO);
+    }
+
+    #[test]
+    fn live_bytes_grow_within_a_layer_and_reset_at_layer_start() {
+        let plan = small_plan();
+        let mut cursor = ProgressCursor::start();
+        assert_eq!(cursor.live_checkpoint_bytes(&plan), 0);
+        // Execute the whole first layer: cursor lands at the start of layer 1.
+        cursor.advance(&plan, plan.layers()[0].total_cycles);
+        assert_eq!(cursor.layer_index(), 1);
+        assert_eq!(cursor.live_checkpoint_bytes(&plan), 0);
+        // Step partway into layer 1: some state is now live.
+        cursor.advance(&plan, plan.layers()[1].total_cycles / 2);
+        if plan.layers()[1].intervals.len() > 1 {
+            assert!(cursor.live_checkpoint_bytes(&plan) > 0);
+        }
+    }
+
+    #[test]
+    fn reset_discards_progress() {
+        let plan = small_plan();
+        let mut cursor = ProgressCursor::start();
+        cursor.advance(&plan, plan.total_cycles() / 3);
+        assert!(cursor.executed() > Cycles::ZERO);
+        cursor.reset();
+        assert_eq!(cursor.executed(), Cycles::ZERO);
+        assert_eq!(cursor, ProgressCursor::start());
+        assert_eq!(ProgressCursor::default(), ProgressCursor::start());
+    }
+
+    #[test]
+    fn shared_compile_matches_plain_compile() {
+        let c = cfg();
+        let plain = ExecutionPlan::compile(ModelKind::CnnMobileNet, 1, SeqSpec::none(), &c);
+        let shared = ExecutionPlan::compile_shared(ModelKind::CnnMobileNet, 1, SeqSpec::none(), &c);
+        assert_eq!(plain.total_cycles(), shared.total_cycles());
+        assert_eq!(plain.layer_count(), shared.layer_count());
+    }
+}

@@ -1,0 +1,87 @@
+//! Round-robin among the co-scheduled DNN tasks (the RRB baseline of
+//! Figure 11).
+
+use npu_sim::Cycles;
+
+use crate::task::TaskId;
+
+use super::{SchedulingPolicy, TaskView};
+
+/// Rotate the NPU among the schedulable tasks: the task that ran least
+/// recently goes next. Under a preemptive configuration this becomes
+/// time-slicing at the scheduling quantum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl RoundRobin {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        RoundRobin
+    }
+}
+
+impl SchedulingPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RRB"
+    }
+
+    fn select(&mut self, _now: Cycles, tasks: &[TaskView]) -> TaskId {
+        tasks
+            .iter()
+            .min_by_key(|t| {
+                (
+                    // Never-scheduled tasks go first (in arrival order), then
+                    // the least recently scheduled.
+                    t.last_scheduled.is_some(),
+                    t.last_scheduled.unwrap_or(t.arrival),
+                    t.arrival,
+                    t.id,
+                )
+            })
+            .expect("policy select is never called with zero tasks")
+            .id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_util::view;
+    use crate::task::Priority;
+
+    #[test]
+    fn never_scheduled_tasks_go_before_recently_scheduled_ones() {
+        let mut policy = RoundRobin::new();
+        let mut ran_recently = view(1, Priority::High, 0);
+        ran_recently.last_scheduled = Some(Cycles::new(10_000));
+        ran_recently.is_running = true;
+        let fresh = view(2, Priority::Low, 500);
+        assert_eq!(
+            policy.select(Cycles::new(20_000), &[ran_recently, fresh]),
+            TaskId(2)
+        );
+    }
+
+    #[test]
+    fn least_recently_scheduled_wins_among_previously_run_tasks() {
+        let mut policy = RoundRobin::new();
+        let mut a = view(1, Priority::Low, 0);
+        a.last_scheduled = Some(Cycles::new(5_000));
+        let mut b = view(2, Priority::Low, 0);
+        b.last_scheduled = Some(Cycles::new(1_000));
+        assert_eq!(policy.select(Cycles::new(20_000), &[a, b]), TaskId(2));
+    }
+
+    #[test]
+    fn fresh_tasks_are_ordered_by_arrival() {
+        let mut policy = RoundRobin::new();
+        let a = view(1, Priority::Low, 300);
+        let b = view(2, Priority::Low, 100);
+        assert_eq!(policy.select(Cycles::ZERO, &[a, b]), TaskId(2));
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(RoundRobin::new().name(), "RRB");
+    }
+}

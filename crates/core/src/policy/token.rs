@@ -1,0 +1,99 @@
+//! The TOKEN policy: token-based candidate selection with FCFS among the
+//! candidates (Figure 11's TOKEN configuration).
+//!
+//! TOKEN exercises the first half of PREMA's machinery — priority-seeded
+//! tokens that grow with each task's normalized slowdown — but, unlike full
+//! PREMA, picks among the candidate group in plain arrival order rather than
+//! shortest-estimated-job first.
+
+use npu_sim::Cycles;
+
+use crate::task::TaskId;
+
+use super::{candidate_group, earliest_arrival, SchedulingPolicy, TaskView};
+
+/// Token-gated FCFS.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenPolicy {
+    token_scale: f64,
+}
+
+impl TokenPolicy {
+    /// Creates the policy with the given token grant scale (1.0 = Table II).
+    pub fn new(token_scale: f64) -> Self {
+        assert!(token_scale > 0.0, "token scale must be positive");
+        TokenPolicy { token_scale }
+    }
+}
+
+impl Default for TokenPolicy {
+    fn default() -> Self {
+        TokenPolicy::new(1.0)
+    }
+}
+
+impl SchedulingPolicy for TokenPolicy {
+    fn name(&self) -> &'static str {
+        "TOKEN"
+    }
+
+    fn select(&mut self, _now: Cycles, tasks: &[TaskView]) -> TaskId {
+        let candidates = candidate_group(tasks, self.token_scale);
+        earliest_arrival(&candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_util::view;
+    use crate::task::Priority;
+
+    #[test]
+    fn high_token_tasks_form_the_candidate_group() {
+        let mut policy = TokenPolicy::new(1.0);
+        // An early low-priority task with few tokens loses to a later
+        // high-priority task whose tokens reach the threshold.
+        let mut early_low = view(1, Priority::Low, 0);
+        early_low.tokens = 1.0;
+        let mut late_high = view(2, Priority::High, 100);
+        late_high.tokens = 9.0;
+        assert_eq!(policy.select(Cycles::ZERO, &[early_low, late_high]), TaskId(2));
+    }
+
+    #[test]
+    fn fcfs_among_candidates() {
+        let mut policy = TokenPolicy::new(1.0);
+        let mut a = view(1, Priority::Medium, 500);
+        a.tokens = 9.5;
+        let mut b = view(2, Priority::Medium, 100);
+        b.tokens = 9.2;
+        assert_eq!(policy.select(Cycles::ZERO, &[a, b]), TaskId(2));
+    }
+
+    #[test]
+    fn low_priority_task_with_accumulated_tokens_can_win() {
+        let mut policy = TokenPolicy::new(1.0);
+        // The low-priority task waited long enough to accumulate more tokens
+        // than a fresh high-priority task's initial grant; both are in the
+        // candidate group and the low-priority task arrived earlier.
+        let mut starved_low = view(1, Priority::Low, 0);
+        starved_low.tokens = 10.0;
+        let fresh_high = view(2, Priority::High, 10_000);
+        assert_eq!(
+            policy.select(Cycles::new(10_000), &[starved_low, fresh_high]),
+            TaskId(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "token scale must be positive")]
+    fn zero_token_scale_rejected() {
+        let _ = TokenPolicy::new(0.0);
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(TokenPolicy::default().name(), "TOKEN");
+    }
+}

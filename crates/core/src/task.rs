@@ -1,0 +1,199 @@
+//! Inference tasks: identifiers, priorities and dispatch requests.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dnn_models::{ModelKind, SeqSpec};
+use npu_sim::Cycles;
+
+/// Identifier of an inference task within one simulation.
+///
+/// The identifier doubles as the ASID the NPU's MMU uses to isolate the
+/// co-located tasks' memory accesses (Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// User-defined priority of an inference request (Section V-C, Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Low priority (1 token per grant).
+    Low,
+    /// Medium priority (3 tokens per grant).
+    Medium,
+    /// High priority (9 tokens per grant).
+    High,
+}
+
+impl Priority {
+    /// All priority levels in ascending order.
+    pub const ALL: [Priority; 3] = [Priority::Low, Priority::Medium, Priority::High];
+
+    /// The token grant associated with this priority level (Table II).
+    pub fn token_grant(self) -> f64 {
+        match self {
+            Priority::Low => 1.0,
+            Priority::Medium => 3.0,
+            Priority::High => 9.0,
+        }
+    }
+
+    /// The weight used in the fairness metric (Equation 2); identical to the
+    /// token grant.
+    pub fn weight(self) -> f64 {
+        self.token_grant()
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Priority::Low => "low",
+            Priority::Medium => "medium",
+            Priority::High => "high",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Lifecycle state of a task inside the scheduler (the `State` field of the
+/// inference task context table, Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Dispatched to the NPU and waiting in the ready queue.
+    Ready,
+    /// Currently executing on the NPU.
+    Running,
+    /// Preempted with its context checkpointed to memory.
+    Checkpointed,
+    /// Finished execution.
+    Completed,
+}
+
+/// One inference request dispatched from the CPU to the NPU job scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRequest {
+    /// Unique task identifier.
+    pub id: TaskId,
+    /// Which DNN the request runs.
+    pub model: ModelKind,
+    /// Batch size of the request.
+    pub batch: u64,
+    /// The *actual* sequence lengths of this request (the output length is
+    /// only discovered as the RNN executes; the scheduler never sees it).
+    pub seq: SeqSpec,
+    /// User-defined priority level.
+    pub priority: Priority,
+    /// Dispatch (arrival) time at the NPU scheduler.
+    pub arrival: Cycles,
+    /// The scheduler's estimate of the task's isolated execution time, as
+    /// produced by a predictor. `None` means "use the exact plan length"
+    /// (oracle estimates, Section VI-D).
+    pub estimated_cycles: Option<Cycles>,
+}
+
+impl TaskRequest {
+    /// Creates a request with the given identifier and model, batch 1, low
+    /// priority, arriving at time zero. Use the builder-style setters to
+    /// customize.
+    pub fn new(id: TaskId, model: ModelKind) -> Self {
+        TaskRequest {
+            id,
+            model,
+            batch: 1,
+            seq: SeqSpec::for_model(model, 20),
+            priority: Priority::Low,
+            arrival: Cycles::ZERO,
+            estimated_cycles: None,
+        }
+    }
+
+    /// Sets the batch size.
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        assert!(batch > 0, "batch size must be non-zero");
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the actual sequence specification.
+    pub fn with_seq(mut self, seq: SeqSpec) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the arrival time.
+    pub fn with_arrival(mut self, arrival: Cycles) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the predictor-provided execution time estimate.
+    pub fn with_estimate(mut self, estimate: Cycles) -> Self {
+        self.estimated_cycles = Some(estimate);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_token_grants_match_table_two() {
+        assert_eq!(Priority::Low.token_grant(), 1.0);
+        assert_eq!(Priority::Medium.token_grant(), 3.0);
+        assert_eq!(Priority::High.token_grant(), 9.0);
+        assert_eq!(Priority::High.weight(), 9.0);
+    }
+
+    #[test]
+    fn priorities_are_ordered() {
+        assert!(Priority::Low < Priority::Medium);
+        assert!(Priority::Medium < Priority::High);
+        assert_eq!(Priority::ALL.len(), 3);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert_eq!(TaskId(3).to_string(), "task3");
+        assert_eq!(Priority::Medium.to_string(), "medium");
+    }
+
+    #[test]
+    fn request_builder_sets_fields() {
+        let req = TaskRequest::new(TaskId(1), ModelKind::CnnVggNet)
+            .with_batch(4)
+            .with_priority(Priority::High)
+            .with_arrival(Cycles::new(700))
+            .with_estimate(Cycles::new(1_000_000));
+        assert_eq!(req.batch, 4);
+        assert_eq!(req.priority, Priority::High);
+        assert_eq!(req.arrival, Cycles::new(700));
+        assert_eq!(req.estimated_cycles, Some(Cycles::new(1_000_000)));
+        assert_eq!(req.seq, SeqSpec::none());
+    }
+
+    #[test]
+    fn rnn_request_gets_a_default_sequence() {
+        let req = TaskRequest::new(TaskId(2), ModelKind::RnnTranslation1);
+        assert!(req.seq.input_len > 0 && req.seq.output_len > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be non-zero")]
+    fn zero_batch_rejected() {
+        let _ = TaskRequest::new(TaskId(0), ModelKind::CnnAlexNet).with_batch(0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Network dataflow graphs.
+//!
+//! A DNN is represented as a directed acyclic graph whose nodes are
+//! [`Layer`]s (Section II-A of the PREMA paper: "inter-layer data
+//! dependencies are extracted at compile-time ... encapsulated as a direct
+//! acyclic graph"). Inference executes the nodes in a topological order; on a
+//! temporally multi-tasked NPU the layers of one task run sequentially, so
+//! the graph's main roles are (1) documenting dependencies, (2) providing a
+//! deterministic execution order, and (3) aggregating MAC/parameter/byte
+//! statistics.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+
+/// Identifier of a node within a [`NetworkGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Errors produced while constructing or validating a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node that does not exist.
+    UnknownNode(usize),
+    /// The graph contains a cycle and therefore is not a DAG.
+    CycleDetected,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(idx) => write!(f, "unknown node index {idx}"),
+            GraphError::CycleDetected => write!(f, "graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A DNN expressed as a DAG of layers.
+///
+/// ```
+/// use dnn_models::{NetworkGraph};
+/// use dnn_models::layer::{Layer, LayerKind};
+///
+/// let mut g = NetworkGraph::new("tiny");
+/// let a = g.add_layer(Layer::new("fc1", LayerKind::FullyConnected { in_features: 8, out_features: 16 }));
+/// let b = g.add_layer(Layer::new("fc2", LayerKind::FullyConnected { in_features: 16, out_features: 4 }));
+/// g.add_edge(a, b).unwrap();
+/// assert_eq!(g.layer_count(), 2);
+/// assert_eq!(g.topological_order().unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkGraph {
+    name: String,
+    layers: Vec<Layer>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl NetworkGraph {
+    /// Creates an empty graph with the given model name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetworkGraph {
+            name: name.into(),
+            layers: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a layer node and returns its identifier.
+    pub fn add_layer(&mut self, layer: Layer) -> NodeId {
+        self.layers.push(layer);
+        NodeId(self.layers.len() - 1)
+    }
+
+    /// Adds a layer and an edge from `from` to it, returning the new node.
+    /// This is the common case of appending to a linear chain or branch.
+    pub fn add_layer_after(&mut self, from: NodeId, layer: Layer) -> NodeId {
+        let id = self.add_layer(layer);
+        self.edges.push((from.0, id.0));
+        id
+    }
+
+    /// Adds a dependency edge from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if either endpoint does not exist.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+        if from.0 >= self.layers.len() {
+            return Err(GraphError::UnknownNode(from.0));
+        }
+        if to.0 >= self.layers.len() {
+            return Err(GraphError::UnknownNode(to.0));
+        }
+        self.edges.push((from.0, to.0));
+        Ok(())
+    }
+
+    /// Number of layers (graph nodes).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layer stored at `id`, if it exists.
+    pub fn layer(&self, id: NodeId) -> Option<&Layer> {
+        self.layers.get(id.0)
+    }
+
+    /// Iterates over the layers in insertion order.
+    pub fn layers(&self) -> impl Iterator<Item = (NodeId, &Layer)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (NodeId(i), l))
+    }
+
+    /// Successors of `id`.
+    pub fn successors(&self, id: NodeId) -> Vec<NodeId> {
+        self.edges
+            .iter()
+            .filter(|(from, _)| *from == id.0)
+            .map(|(_, to)| NodeId(*to))
+            .collect()
+    }
+
+    /// Predecessors of `id`.
+    pub fn predecessors(&self, id: NodeId) -> Vec<NodeId> {
+        self.edges
+            .iter()
+            .filter(|(_, to)| *to == id.0)
+            .map(|(from, _)| NodeId(*from))
+            .collect()
+    }
+
+    /// Returns the nodes in a topological order (Kahn's algorithm). Nodes
+    /// with no declared dependencies keep their insertion order, which is the
+    /// execution order the model builders intend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CycleDetected`] if the edges contain a cycle.
+    pub fn topological_order(&self) -> Result<Vec<NodeId>, GraphError> {
+        let n = self.layers.len();
+        let mut in_degree = vec![0usize; n];
+        for &(_, to) in &self.edges {
+            in_degree[to] += 1;
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| in_degree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        // Process in index order to keep the builders' insertion order stable.
+        let mut ready: Vec<usize> = queue.drain(..).collect();
+        ready.sort_unstable();
+        let mut ready: VecDeque<usize> = ready.into();
+        while let Some(node) = ready.pop_front() {
+            order.push(NodeId(node));
+            let mut newly_ready = Vec::new();
+            for &(from, to) in &self.edges {
+                if from == node {
+                    in_degree[to] -= 1;
+                    if in_degree[to] == 0 {
+                        newly_ready.push(to);
+                    }
+                }
+            }
+            newly_ready.sort_unstable();
+            for node in newly_ready {
+                ready.push_back(node);
+            }
+        }
+        if order.len() != n {
+            Err(GraphError::CycleDetected)
+        } else {
+            Ok(order)
+        }
+    }
+
+    /// Layers in topological (execution) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle; the model-zoo builders never
+    /// produce cyclic graphs.
+    pub fn execution_order(&self) -> Vec<&Layer> {
+        self.topological_order()
+            .expect("model graphs are acyclic")
+            .into_iter()
+            .map(|id| &self.layers[id.0])
+            .collect()
+    }
+
+    /// Total MAC operations across all layers for a batch of `batch`.
+    pub fn total_macs_for_batch(&self, batch: u64) -> u64 {
+        self.layers.iter().map(|l| l.macs(batch)).sum()
+    }
+
+    /// Total MAC operations across all layers for batch 1.
+    pub fn total_macs(&self) -> u64 {
+        self.total_macs_for_batch(1)
+    }
+
+    /// Total number of weight parameters across all layers.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_count()).sum()
+    }
+
+    /// Total weight bytes at 16-bit precision.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, LayerKind};
+
+    fn fc(name: &str, inf: u64, outf: u64) -> Layer {
+        Layer::new(
+            name,
+            LayerKind::FullyConnected {
+                in_features: inf,
+                out_features: outf,
+            },
+        )
+    }
+
+    fn linear_graph() -> NetworkGraph {
+        let mut g = NetworkGraph::new("linear");
+        let a = g.add_layer(fc("a", 4, 8));
+        let b = g.add_layer_after(a, fc("b", 8, 16));
+        let _c = g.add_layer_after(b, fc("c", 16, 2));
+        g
+    }
+
+    #[test]
+    fn counts_and_accessors() {
+        let g = linear_graph();
+        assert_eq!(g.layer_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.is_empty());
+        assert_eq!(g.name(), "linear");
+        assert_eq!(g.layer(NodeId(1)).unwrap().name(), "b");
+        assert!(g.layer(NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn topological_order_of_chain_is_insertion_order() {
+        let g = linear_graph();
+        let order = g.topological_order().unwrap();
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let names: Vec<_> = g.execution_order().iter().map(|l| l.name().to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn branching_graph_respects_dependencies() {
+        // Diamond: a -> {b, c} -> d
+        let mut g = NetworkGraph::new("diamond");
+        let a = g.add_layer(fc("a", 4, 8));
+        let b = g.add_layer_after(a, fc("b", 8, 8));
+        let c = g.add_layer_after(a, fc("c", 8, 8));
+        let d = g.add_layer(fc("d", 16, 2));
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        let order = g.topological_order().unwrap();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = NetworkGraph::new("cyclic");
+        let a = g.add_layer(fc("a", 4, 4));
+        let b = g.add_layer_after(a, fc("b", 4, 4));
+        g.add_edge(b, a).unwrap();
+        assert_eq!(g.topological_order(), Err(GraphError::CycleDetected));
+    }
+
+    #[test]
+    fn unknown_node_edge_rejected() {
+        let mut g = NetworkGraph::new("g");
+        let a = g.add_layer(fc("a", 4, 4));
+        assert_eq!(
+            g.add_edge(a, NodeId(5)),
+            Err(GraphError::UnknownNode(5))
+        );
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let mut g = NetworkGraph::new("g");
+        let a = g.add_layer(fc("a", 4, 4));
+        let b = g.add_layer_after(a, fc("b", 4, 4));
+        let c = g.add_layer_after(a, fc("c", 4, 4));
+        assert_eq!(g.successors(a), vec![b, c]);
+        assert_eq!(g.predecessors(b), vec![a]);
+        assert!(g.predecessors(a).is_empty());
+    }
+
+    #[test]
+    fn mac_and_weight_totals_sum_over_layers() {
+        let g = linear_graph();
+        assert_eq!(g.total_macs(), 4 * 8 + 8 * 16 + 16 * 2);
+        assert_eq!(g.total_macs_for_batch(4), 4 * g.total_macs());
+        assert_eq!(g.total_weights(), 4 * 8 + 8 * 16 + 16 * 2);
+        assert_eq!(g.total_weight_bytes(), 2 * g.total_weights());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(GraphError::UnknownNode(3).to_string().contains('3'));
+        assert!(GraphError::CycleDetected.to_string().contains("cycle"));
+    }
+}

@@ -1,0 +1,105 @@
+//! CNN-AN: AlexNet (Krizhevsky et al., 2012).
+//!
+//! 5 convolution layers, 3 max-pooling layers, and 3 fully-connected layers
+//! operating on 227×227 RGB inputs. Roughly 0.7 GMACs and 61 M parameters per
+//! image.
+
+use crate::graph::NetworkGraph;
+use crate::layer::{ActivationKind, Layer, LayerKind, PoolKind};
+
+use super::builders::{conv_relu, fully_connected, pool};
+
+/// Builds the AlexNet graph.
+pub fn build() -> NetworkGraph {
+    let mut g = NetworkGraph::new("alexnet");
+
+    let conv1 = g.add_layer(
+        Layer::new(
+            "conv1",
+            LayerKind::Conv {
+                in_channels: 3,
+                out_channels: 96,
+                kernel: (11, 11),
+                stride: (4, 4),
+                padding: (0, 0),
+                input_hw: (227, 227),
+            },
+        )
+        .fused(ActivationKind::Relu),
+    );
+    // 96 x 55 x 55 -> pool -> 96 x 27 x 27
+    let pool1 = pool(&mut g, conv1, "pool1", PoolKind::Max, 3, 2, 96, 55);
+
+    let conv2 = conv_relu(&mut g, pool1, "conv2", 96, 256, 5, 1, 2, 27);
+    // 256 x 27 x 27 -> pool -> 256 x 13 x 13
+    let pool2 = pool(&mut g, conv2, "pool2", PoolKind::Max, 3, 2, 256, 27);
+
+    let conv3 = conv_relu(&mut g, pool2, "conv3", 256, 384, 3, 1, 1, 13);
+    let conv4 = conv_relu(&mut g, conv3, "conv4", 384, 384, 3, 1, 1, 13);
+    let conv5 = conv_relu(&mut g, conv4, "conv5", 384, 256, 3, 1, 1, 13);
+    // 256 x 13 x 13 -> pool -> 256 x 6 x 6
+    let pool5 = pool(&mut g, conv5, "pool5", PoolKind::Max, 3, 2, 256, 13);
+
+    let fc6 = fully_connected(
+        &mut g,
+        pool5,
+        "fc6",
+        256 * 6 * 6,
+        4096,
+        Some(ActivationKind::Relu),
+    );
+    let fc7 = fully_connected(&mut g, fc6, "fc7", 4096, 4096, Some(ActivationKind::Relu));
+    let _fc8 = fully_connected(
+        &mut g,
+        fc7,
+        "fc8",
+        4096,
+        1000,
+        Some(ActivationKind::Softmax),
+    );
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_inventory() {
+        let g = build();
+        // 5 conv + 3 pool + 3 fc = 11 layers.
+        assert_eq!(g.layer_count(), 11);
+        let conv_count = g
+            .layers()
+            .filter(|(_, l)| matches!(l.kind(), LayerKind::Conv { .. }))
+            .count();
+        assert_eq!(conv_count, 5);
+    }
+
+    #[test]
+    fn parameter_count_matches_reference() {
+        // AlexNet has ~61 M parameters (dominated by fc6's 37.7 M).
+        let params = build().total_weights();
+        assert!(params > 55_000_000 && params < 65_000_000, "{params}");
+    }
+
+    #[test]
+    fn mac_count_matches_reference() {
+        // ~0.7 GMACs per 227x227 image with the original grouped convolutions;
+        // our ungrouped variant (as used by most frameworks today) is ~1.1 G.
+        let macs = build().total_macs();
+        assert!(macs > 500_000_000 && macs < 1_300_000_000, "{macs}");
+    }
+
+    #[test]
+    fn spatial_dimensions_shrink_to_six() {
+        let g = build();
+        let pool5 = g
+            .layers()
+            .find(|(_, l)| l.name() == "pool5")
+            .map(|(_, l)| l.output_hw().unwrap())
+            .unwrap();
+        assert_eq!(pool5, (6, 6));
+    }
+}

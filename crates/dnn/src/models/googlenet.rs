@@ -1,0 +1,354 @@
+//! CNN-GN: GoogLeNet / Inception v1 (Szegedy et al., 2015).
+//!
+//! A stem of three convolutions followed by nine inception modules in three
+//! stages and a final classifier. Each inception module has four parallel
+//! branches (1×1, 1×1→3×3, 1×1→5×5, pool→1×1) whose outputs are concatenated
+//! channel-wise; the branch structure is preserved in the graph and joined by
+//! an explicit (cheap) concatenation node. Roughly 1.5 GMACs and 7 M
+//! parameters per 224×224 image.
+
+use crate::graph::{NetworkGraph, NodeId};
+use crate::layer::{ActivationKind, Layer, LayerKind, PoolKind};
+
+use super::builders::{conv_relu, elementwise, fully_connected, pool};
+
+/// Channel configuration of one inception module.
+struct InceptionSpec {
+    name: &'static str,
+    in_channels: u64,
+    branch1x1: u64,
+    branch3x3_reduce: u64,
+    branch3x3: u64,
+    branch5x5_reduce: u64,
+    branch5x5: u64,
+    pool_proj: u64,
+    spatial: u64,
+}
+
+impl InceptionSpec {
+    fn output_channels(&self) -> u64 {
+        self.branch1x1 + self.branch3x3 + self.branch5x5 + self.pool_proj
+    }
+}
+
+/// Appends one inception module after `from`, returning the concat node and
+/// the module's output channel count.
+fn inception(graph: &mut NetworkGraph, from: NodeId, spec: &InceptionSpec) -> (NodeId, u64) {
+    let s = spec.spatial;
+    let name = spec.name;
+
+    // Branch 1: 1x1 convolution.
+    let b1 = conv_relu(
+        graph,
+        from,
+        &format!("{name}_1x1"),
+        spec.in_channels,
+        spec.branch1x1,
+        1,
+        1,
+        0,
+        s,
+    );
+
+    // Branch 2: 1x1 reduce -> 3x3.
+    let b2r = conv_relu(
+        graph,
+        from,
+        &format!("{name}_3x3_reduce"),
+        spec.in_channels,
+        spec.branch3x3_reduce,
+        1,
+        1,
+        0,
+        s,
+    );
+    let b2 = conv_relu(
+        graph,
+        b2r,
+        &format!("{name}_3x3"),
+        spec.branch3x3_reduce,
+        spec.branch3x3,
+        3,
+        1,
+        1,
+        s,
+    );
+
+    // Branch 3: 1x1 reduce -> 5x5.
+    let b3r = conv_relu(
+        graph,
+        from,
+        &format!("{name}_5x5_reduce"),
+        spec.in_channels,
+        spec.branch5x5_reduce,
+        1,
+        1,
+        0,
+        s,
+    );
+    let b3 = conv_relu(
+        graph,
+        b3r,
+        &format!("{name}_5x5"),
+        spec.branch5x5_reduce,
+        spec.branch5x5,
+        5,
+        1,
+        2,
+        s,
+    );
+
+    // Branch 4: 3x3 max pool -> 1x1 projection.
+    let b4p = pool(
+        graph,
+        from,
+        &format!("{name}_pool"),
+        PoolKind::Max,
+        3,
+        1,
+        spec.in_channels,
+        s,
+    );
+    // A 3x3/1 max pool without padding shrinks the map by 2; the original
+    // network pads to keep it constant, so the projection sees `s` again.
+    let b4 = conv_relu(
+        graph,
+        b4p,
+        &format!("{name}_pool_proj"),
+        spec.in_channels,
+        spec.pool_proj,
+        1,
+        1,
+        0,
+        s,
+    );
+
+    // Channel-wise concatenation of the four branches: a cheap on-chip copy,
+    // modelled as a single element-wise node joining the branch outputs.
+    let out_channels = spec.output_channels();
+    let concat = elementwise(
+        graph,
+        b1,
+        &format!("{name}_concat"),
+        ActivationKind::Relu,
+        out_channels * s * s,
+    );
+    graph.add_edge(b2, concat).expect("branch 2 joins concat");
+    graph.add_edge(b3, concat).expect("branch 3 joins concat");
+    graph.add_edge(b4, concat).expect("branch 4 joins concat");
+
+    (concat, out_channels)
+}
+
+/// Builds the GoogLeNet graph.
+pub fn build() -> NetworkGraph {
+    let mut g = NetworkGraph::new("googlenet");
+
+    // Stem: 7x7/2 conv, pool, 1x1 conv, 3x3 conv, pool.
+    let conv1 = g.add_layer(
+        Layer::new(
+            "conv1_7x7",
+            LayerKind::Conv {
+                in_channels: 3,
+                out_channels: 64,
+                kernel: (7, 7),
+                stride: (2, 2),
+                padding: (3, 3),
+                input_hw: (224, 224),
+            },
+        )
+        .fused(ActivationKind::Relu),
+    );
+    let pool1 = pool(&mut g, conv1, "pool1", PoolKind::Max, 3, 2, 64, 112);
+    let conv2 = conv_relu(&mut g, pool1, "conv2_1x1", 64, 64, 1, 1, 0, 56);
+    let conv3 = conv_relu(&mut g, conv2, "conv2_3x3", 64, 192, 3, 1, 1, 56);
+    let pool2 = pool(&mut g, conv3, "pool2", PoolKind::Max, 3, 2, 192, 56);
+
+    let specs_28 = [
+        InceptionSpec {
+            name: "inception_3a",
+            in_channels: 192,
+            branch1x1: 64,
+            branch3x3_reduce: 96,
+            branch3x3: 128,
+            branch5x5_reduce: 16,
+            branch5x5: 32,
+            pool_proj: 32,
+            spatial: 28,
+        },
+        InceptionSpec {
+            name: "inception_3b",
+            in_channels: 256,
+            branch1x1: 128,
+            branch3x3_reduce: 128,
+            branch3x3: 192,
+            branch5x5_reduce: 32,
+            branch5x5: 96,
+            pool_proj: 64,
+            spatial: 28,
+        },
+    ];
+    let mut node = pool2;
+    let mut channels = 192;
+    for spec in &specs_28 {
+        let (concat, out) = inception(&mut g, node, spec);
+        node = concat;
+        channels = out;
+    }
+    let pool3 = pool(&mut g, node, "pool3", PoolKind::Max, 3, 2, channels, 28);
+
+    let specs_14 = [
+        InceptionSpec {
+            name: "inception_4a",
+            in_channels: 480,
+            branch1x1: 192,
+            branch3x3_reduce: 96,
+            branch3x3: 208,
+            branch5x5_reduce: 16,
+            branch5x5: 48,
+            pool_proj: 64,
+            spatial: 14,
+        },
+        InceptionSpec {
+            name: "inception_4b",
+            in_channels: 512,
+            branch1x1: 160,
+            branch3x3_reduce: 112,
+            branch3x3: 224,
+            branch5x5_reduce: 24,
+            branch5x5: 64,
+            pool_proj: 64,
+            spatial: 14,
+        },
+        InceptionSpec {
+            name: "inception_4c",
+            in_channels: 512,
+            branch1x1: 128,
+            branch3x3_reduce: 128,
+            branch3x3: 256,
+            branch5x5_reduce: 24,
+            branch5x5: 64,
+            pool_proj: 64,
+            spatial: 14,
+        },
+        InceptionSpec {
+            name: "inception_4d",
+            in_channels: 512,
+            branch1x1: 112,
+            branch3x3_reduce: 144,
+            branch3x3: 288,
+            branch5x5_reduce: 32,
+            branch5x5: 64,
+            pool_proj: 64,
+            spatial: 14,
+        },
+        InceptionSpec {
+            name: "inception_4e",
+            in_channels: 528,
+            branch1x1: 256,
+            branch3x3_reduce: 160,
+            branch3x3: 320,
+            branch5x5_reduce: 32,
+            branch5x5: 128,
+            pool_proj: 128,
+            spatial: 14,
+        },
+    ];
+    let mut node = pool3;
+    for spec in &specs_14 {
+        let (concat, out) = inception(&mut g, node, spec);
+        node = concat;
+        channels = out;
+    }
+    let pool4 = pool(&mut g, node, "pool4", PoolKind::Max, 3, 2, channels, 14);
+
+    let specs_7 = [
+        InceptionSpec {
+            name: "inception_5a",
+            in_channels: 832,
+            branch1x1: 256,
+            branch3x3_reduce: 160,
+            branch3x3: 320,
+            branch5x5_reduce: 32,
+            branch5x5: 128,
+            pool_proj: 128,
+            spatial: 7,
+        },
+        InceptionSpec {
+            name: "inception_5b",
+            in_channels: 832,
+            branch1x1: 384,
+            branch3x3_reduce: 192,
+            branch3x3: 384,
+            branch5x5_reduce: 48,
+            branch5x5: 128,
+            pool_proj: 128,
+            spatial: 7,
+        },
+    ];
+    let mut node = pool4;
+    for spec in &specs_7 {
+        let (concat, out) = inception(&mut g, node, spec);
+        node = concat;
+        channels = out;
+    }
+
+    let avg_pool = pool(&mut g, node, "avg_pool", PoolKind::Avg, 7, 1, channels, 7);
+    let _fc = fully_connected(
+        &mut g,
+        avg_pool,
+        "fc",
+        channels,
+        1000,
+        Some(ActivationKind::Softmax),
+    );
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_nine_inception_modules() {
+        let g = build();
+        let concats = g
+            .layers()
+            .filter(|(_, l)| l.name().ends_with("_concat"))
+            .count();
+        assert_eq!(concats, 9);
+    }
+
+    #[test]
+    fn graph_is_a_dag_with_branching() {
+        let g = build();
+        assert!(g.topological_order().is_ok());
+        // Branching means more edges than a simple chain would have.
+        assert!(g.edge_count() > g.layer_count());
+    }
+
+    #[test]
+    fn parameter_count_matches_reference() {
+        // GoogLeNet has ~7 M parameters (6.8 M in the torchvision variant).
+        let params = build().total_weights();
+        assert!(params > 5_500_000 && params < 8_500_000, "{params}");
+    }
+
+    #[test]
+    fn mac_count_matches_reference() {
+        // ~1.5 GMACs per image.
+        let macs = build().total_macs();
+        assert!(macs > 1_000_000_000 && macs < 2_200_000_000, "{macs}");
+    }
+
+    #[test]
+    fn final_stage_produces_1024_channels() {
+        let g = build();
+        let fc = g.layers().find(|(_, l)| l.name() == "fc").unwrap().1;
+        match fc.kind() {
+            LayerKind::FullyConnected { in_features, .. } => assert_eq!(*in_features, 1024),
+            other => panic!("unexpected classifier kind {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! CNN-MN: MobileNet v1 (Howard et al., 2017).
+//!
+//! A stem convolution followed by 13 depthwise-separable blocks (depthwise
+//! 3×3 + pointwise 1×1), global average pooling and a classifier. The
+//! depthwise layers have tiny reduction depths and therefore badly
+//! underutilize a 128×128 systolic array — these are the red-circled points
+//! of Figure 10 in the paper. Roughly 0.57 GMACs and 4.2 M parameters per
+//! 224×224 image.
+
+use crate::graph::NetworkGraph;
+use crate::layer::{ActivationKind, Layer, LayerKind, PoolKind};
+
+use super::builders::{conv_relu, depthwise_relu, fully_connected, pool};
+
+/// One depthwise-separable block: (input channels, output channels,
+/// depthwise stride, input spatial size).
+const BLOCKS: [(u64, u64, u64, u64); 13] = [
+    (32, 64, 1, 112),
+    (64, 128, 2, 112),
+    (128, 128, 1, 56),
+    (128, 256, 2, 56),
+    (256, 256, 1, 28),
+    (256, 512, 2, 28),
+    (512, 512, 1, 14),
+    (512, 512, 1, 14),
+    (512, 512, 1, 14),
+    (512, 512, 1, 14),
+    (512, 512, 1, 14),
+    (512, 1024, 2, 14),
+    (1024, 1024, 1, 7),
+];
+
+/// Builds the MobileNet v1 graph.
+pub fn build() -> NetworkGraph {
+    let mut g = NetworkGraph::new("mobilenet_v1");
+
+    let stem = g.add_layer(
+        Layer::new(
+            "conv_stem",
+            LayerKind::Conv {
+                in_channels: 3,
+                out_channels: 32,
+                kernel: (3, 3),
+                stride: (2, 2),
+                padding: (1, 1),
+                input_hw: (224, 224),
+            },
+        )
+        .fused(ActivationKind::Relu),
+    );
+
+    let mut node = stem;
+    for (idx, &(in_ch, out_ch, stride, hw)) in BLOCKS.iter().enumerate() {
+        let block = idx + 1;
+        let dw = depthwise_relu(
+            &mut g,
+            node,
+            &format!("dw{block}"),
+            in_ch,
+            3,
+            stride,
+            1,
+            hw,
+        );
+        let pw_hw = if stride == 2 { hw / 2 } else { hw };
+        node = conv_relu(
+            &mut g,
+            dw,
+            &format!("pw{block}"),
+            in_ch,
+            out_ch,
+            1,
+            1,
+            0,
+            pw_hw,
+        );
+    }
+
+    let avg = pool(&mut g, node, "avg_pool", PoolKind::Avg, 7, 1, 1024, 7);
+    let _fc = fully_connected(
+        &mut g,
+        avg,
+        "fc",
+        1024,
+        1000,
+        Some(ActivationKind::Softmax),
+    );
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_inventory() {
+        let g = build();
+        // stem + 13*(dw + pw) + avgpool + fc = 29 layers.
+        assert_eq!(g.layer_count(), 29);
+        let dw_count = g
+            .layers()
+            .filter(|(_, l)| matches!(l.kind(), LayerKind::DepthwiseConv { .. }))
+            .count();
+        assert_eq!(dw_count, 13);
+    }
+
+    #[test]
+    fn parameter_count_matches_reference() {
+        // MobileNet v1 has ~4.2 M parameters.
+        let params = build().total_weights();
+        assert!(params > 3_500_000 && params < 5_000_000, "{params}");
+    }
+
+    #[test]
+    fn mac_count_matches_reference() {
+        // ~0.57 GMACs per image.
+        let macs = build().total_macs();
+        assert!(macs > 400_000_000 && macs < 800_000_000, "{macs}");
+    }
+
+    #[test]
+    fn depthwise_layers_have_shallow_reductions() {
+        let g = build();
+        for (_, layer) in g.layers() {
+            if matches!(layer.kind(), LayerKind::DepthwiseConv { .. }) {
+                let dims = layer.gemm_dims(1).unwrap();
+                assert_eq!(dims.k, 9, "depthwise reduction depth is the 3x3 window");
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! ResNet-50 (He et al., 2016).
+//!
+//! Used by the Figure 1 co-location experiment, which co-locates GoogLeNet
+//! and ResNet on one accelerator. A 7×7 stem, four stages of bottleneck
+//! blocks ([3, 4, 6, 3] blocks with 1×1 → 3×3 → 1×1 convolutions plus a
+//! projection shortcut on the first block of each stage), global average
+//! pooling and a classifier. Roughly 4 GMACs and 25 M parameters per
+//! 224×224 image.
+
+use crate::graph::{NetworkGraph, NodeId};
+use crate::layer::{ActivationKind, Layer, LayerKind, PoolKind};
+
+use super::builders::{conv_relu, elementwise, fully_connected, pool};
+
+struct StageSpec {
+    name: &'static str,
+    blocks: usize,
+    mid_channels: u64,
+    out_channels: u64,
+    /// Spatial size of the stage's *output* feature maps.
+    spatial: u64,
+    /// Stride applied by the first block of the stage.
+    first_stride: u64,
+}
+
+/// Appends one bottleneck block, returning the post-addition node.
+#[allow(clippy::too_many_arguments)]
+fn bottleneck(
+    g: &mut NetworkGraph,
+    from: NodeId,
+    name: &str,
+    in_channels: u64,
+    mid_channels: u64,
+    out_channels: u64,
+    input_hw: u64,
+    stride: u64,
+) -> NodeId {
+    let out_hw = input_hw / stride;
+    let a = conv_relu(
+        g,
+        from,
+        &format!("{name}_1x1a"),
+        in_channels,
+        mid_channels,
+        1,
+        stride,
+        0,
+        input_hw,
+    );
+    let b = conv_relu(
+        g,
+        a,
+        &format!("{name}_3x3"),
+        mid_channels,
+        mid_channels,
+        3,
+        1,
+        1,
+        out_hw,
+    );
+    let c = conv_relu(
+        g,
+        b,
+        &format!("{name}_1x1b"),
+        mid_channels,
+        out_channels,
+        1,
+        1,
+        0,
+        out_hw,
+    );
+
+    // Projection shortcut when the shape changes, identity otherwise.
+    let needs_projection = in_channels != out_channels || stride != 1;
+    let shortcut_end = if needs_projection {
+        conv_relu(
+            g,
+            from,
+            &format!("{name}_proj"),
+            in_channels,
+            out_channels,
+            1,
+            stride,
+            0,
+            input_hw,
+        )
+    } else {
+        from
+    };
+
+    // Residual addition followed by ReLU, executed on the vector unit.
+    let add = elementwise(
+        g,
+        c,
+        &format!("{name}_add"),
+        ActivationKind::Relu,
+        out_channels * out_hw * out_hw,
+    );
+    g.add_edge(shortcut_end, add)
+        .expect("shortcut joins the residual addition");
+    add
+}
+
+/// Builds the ResNet-50 graph.
+pub fn build() -> NetworkGraph {
+    let mut g = NetworkGraph::new("resnet50");
+
+    let stem = g.add_layer(
+        Layer::new(
+            "conv1",
+            LayerKind::Conv {
+                in_channels: 3,
+                out_channels: 64,
+                kernel: (7, 7),
+                stride: (2, 2),
+                padding: (3, 3),
+                input_hw: (224, 224),
+            },
+        )
+        .fused(ActivationKind::Relu),
+    );
+    let mut node = pool(&mut g, stem, "pool1", PoolKind::Max, 3, 2, 64, 112);
+
+    let stages = [
+        StageSpec {
+            name: "res2",
+            blocks: 3,
+            mid_channels: 64,
+            out_channels: 256,
+            spatial: 56,
+            first_stride: 1,
+        },
+        StageSpec {
+            name: "res3",
+            blocks: 4,
+            mid_channels: 128,
+            out_channels: 512,
+            spatial: 28,
+            first_stride: 2,
+        },
+        StageSpec {
+            name: "res4",
+            blocks: 6,
+            mid_channels: 256,
+            out_channels: 1024,
+            spatial: 14,
+            first_stride: 2,
+        },
+        StageSpec {
+            name: "res5",
+            blocks: 3,
+            mid_channels: 512,
+            out_channels: 2048,
+            spatial: 7,
+            first_stride: 2,
+        },
+    ];
+
+    let mut in_channels = 64;
+    for stage in &stages {
+        for block in 0..stage.blocks {
+            let (stride, input_hw) = if block == 0 {
+                (stage.first_stride, stage.spatial * stage.first_stride)
+            } else {
+                (1, stage.spatial)
+            };
+            node = bottleneck(
+                &mut g,
+                node,
+                &format!("{}_{}", stage.name, block + 1),
+                in_channels,
+                stage.mid_channels,
+                stage.out_channels,
+                input_hw,
+                stride,
+            );
+            in_channels = stage.out_channels;
+        }
+    }
+
+    let avg = pool(&mut g, node, "avg_pool", PoolKind::Avg, 7, 1, 2048, 7);
+    let _fc = fully_connected(
+        &mut g,
+        avg,
+        "fc",
+        2048,
+        1000,
+        Some(ActivationKind::Softmax),
+    );
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_sixteen_bottleneck_blocks() {
+        let g = build();
+        let adds = g
+            .layers()
+            .filter(|(_, l)| l.name().ends_with("_add"))
+            .count();
+        assert_eq!(adds, 3 + 4 + 6 + 3);
+    }
+
+    #[test]
+    fn has_four_projection_shortcuts() {
+        let g = build();
+        let projections = g
+            .layers()
+            .filter(|(_, l)| l.name().ends_with("_proj"))
+            .count();
+        assert_eq!(projections, 4);
+    }
+
+    #[test]
+    fn parameter_count_matches_reference() {
+        // ResNet-50 has ~25.5 M parameters.
+        let params = build().total_weights();
+        assert!(params > 22_000_000 && params < 28_000_000, "{params}");
+    }
+
+    #[test]
+    fn mac_count_matches_reference() {
+        // ~4 GMACs per image.
+        let macs = build().total_macs();
+        assert!(macs > 3_200_000_000 && macs < 5_000_000_000, "{macs}");
+    }
+
+    #[test]
+    fn graph_is_acyclic_despite_shortcuts() {
+        assert!(build().topological_order().is_ok());
+    }
+}

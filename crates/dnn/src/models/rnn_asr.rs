@@ -1,0 +1,128 @@
+//! RNN-ASR: automatic speech recognition based on the Listen, Attend and
+//! Spell architecture (Chan et al., 2015).
+//!
+//! The *listener* is a three-layer pyramidal bidirectional LSTM over the
+//! audio-frame sequence: each successive layer halves the number of time
+//! steps, and each step runs a forward and a backward cell. The *speller* is
+//! a two-layer LSTM decoder with an attention projection and a character
+//! classifier, unrolled for the (input-data dependent) output text length.
+
+use crate::graph::NetworkGraph;
+use crate::layer::ActivationKind;
+
+use super::builders::{fully_connected, lstm_step};
+use super::SeqSpec;
+
+/// Acoustic feature dimension per frame.
+const FEATURES: u64 = 256;
+/// Listener / speller hidden size.
+const HIDDEN: u64 = 512;
+/// Number of pyramidal listener layers.
+const LISTENER_LAYERS: u64 = 3;
+/// Number of speller layers.
+const SPELLER_LAYERS: u64 = 2;
+/// Output character-set size.
+const CHARSET: u64 = 30;
+
+/// Builds the time-unrolled Listen-Attend-Spell graph.
+pub fn build(seq: SeqSpec) -> NetworkGraph {
+    let frames = seq.input_len.max(1);
+    let out_steps = seq.output_len.max(1);
+    let mut g = NetworkGraph::new("rnn_asr");
+
+    // Listener: pyramidal BLSTM. Layer `l` processes frames / 2^l steps, two
+    // directions per step.
+    let mut prev = None;
+    for layer in 0..LISTENER_LAYERS {
+        let steps = (frames >> layer).max(1);
+        // The first layer reads acoustic features; deeper layers read the
+        // concatenated bidirectional outputs of the previous layer.
+        let input_size = if layer == 0 { FEATURES } else { 2 * HIDDEN };
+        for t in 0..steps {
+            for direction in ["fwd", "bwd"] {
+                let name = format!("listen_l{layer}_{direction}_t{t}");
+                let node = match prev {
+                    Some(p) => lstm_step(&mut g, p, &name, input_size, HIDDEN),
+                    None => g.add_layer(crate::layer::Layer::new(
+                        name,
+                        crate::layer::LayerKind::Recurrent {
+                            kind: crate::layer::RecurrentKind::Lstm,
+                            input_size,
+                            hidden_size: HIDDEN,
+                        },
+                    )),
+                };
+                prev = Some(node);
+            }
+        }
+    }
+    let mut prev = prev.expect("listener unrolled at least one step");
+
+    // Speller: attention-equipped LSTM decoder emitting characters.
+    for t in 0..out_steps {
+        for layer in 0..SPELLER_LAYERS {
+            let input_size = if layer == 0 { 2 * HIDDEN } else { HIDDEN };
+            prev = lstm_step(
+                &mut g,
+                prev,
+                &format!("spell_l{layer}_t{t}"),
+                input_size,
+                HIDDEN,
+            );
+        }
+        prev = fully_connected(
+            &mut g,
+            prev,
+            &format!("attention_t{t}"),
+            2 * HIDDEN,
+            HIDDEN,
+            Some(ActivationKind::Tanh),
+        );
+        prev = fully_connected(
+            &mut g,
+            prev,
+            &format!("char_t{t}"),
+            HIDDEN,
+            CHARSET,
+            Some(ActivationKind::Softmax),
+        );
+    }
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pyramidal_listener_halves_steps_per_layer() {
+        let g = build(SeqSpec::new(40, 10));
+        let count = |prefix: &str| g.layers().filter(|(_, l)| l.name().starts_with(prefix)).count();
+        assert_eq!(count("listen_l0_"), 40 * 2);
+        assert_eq!(count("listen_l1_"), 20 * 2);
+        assert_eq!(count("listen_l2_"), 10 * 2);
+    }
+
+    #[test]
+    fn speller_layer_count_follows_output_length() {
+        let g = build(SeqSpec::new(40, 10));
+        let spell_layers = g
+            .layers()
+            .filter(|(_, l)| l.name().starts_with("spell_"))
+            .count();
+        assert_eq!(spell_layers, 10 * SPELLER_LAYERS as usize);
+    }
+
+    #[test]
+    fn longer_audio_increases_compute() {
+        let short = build(SeqSpec::new(20, 10)).total_macs();
+        let long = build(SeqSpec::new(100, 10)).total_macs();
+        assert!(long > 3 * short);
+    }
+
+    #[test]
+    fn graph_is_acyclic() {
+        assert!(build(SeqSpec::new(24, 12)).topological_order().is_ok());
+    }
+}

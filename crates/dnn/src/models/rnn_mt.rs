@@ -1,0 +1,118 @@
+//! RNN-MT1 / RNN-MT2: LSTM sequence-to-sequence machine translation
+//! (GNMT-style encoder/decoder, Figure 8(c) of the PREMA paper).
+//!
+//! A four-layer LSTM encoder (hidden 1024) consumes the source sentence; a
+//! four-layer LSTM decoder with an attention projection and a large
+//! vocabulary projection emits the target sentence one token at a time. The
+//! number of decoder steps (the time-unrolled recurrence length) is
+//! input-data dependent — the *non-linear* relationship PREMA's regression
+//! model predicts. RNN-MT1 and RNN-MT2 share the architecture but target
+//! different languages, so they differ in output vocabulary size and in
+//! their input→output length characteristics.
+
+use crate::graph::NetworkGraph;
+use crate::layer::ActivationKind;
+
+use super::builders::{fully_connected, lstm_step};
+use super::SeqSpec;
+
+/// Embedding dimension of source and target tokens.
+const EMBED: u64 = 1024;
+/// LSTM hidden state size.
+const HIDDEN: u64 = 1024;
+/// Encoder / decoder depth.
+const LAYERS: u64 = 4;
+
+/// Builds the time-unrolled translation graph.
+///
+/// `vocab` is the target-language vocabulary size used by the per-step output
+/// projection; `seq.input_len` encoder steps and `seq.output_len` decoder
+/// steps are unrolled.
+pub fn build(name: &str, vocab: u64, seq: SeqSpec) -> NetworkGraph {
+    let enc_steps = seq.input_len.max(1);
+    let dec_steps = seq.output_len.max(1);
+    let mut g = NetworkGraph::new(name);
+
+    // Encoder.
+    let mut prev = None;
+    for t in 0..enc_steps {
+        for layer in 0..LAYERS {
+            let input_size = if layer == 0 { EMBED } else { HIDDEN };
+            let name = format!("enc_l{layer}_t{t}");
+            let node = match prev {
+                Some(p) => lstm_step(&mut g, p, &name, input_size, HIDDEN),
+                None => g.add_layer(crate::layer::Layer::new(
+                    name,
+                    crate::layer::LayerKind::Recurrent {
+                        kind: crate::layer::RecurrentKind::Lstm,
+                        input_size,
+                        hidden_size: HIDDEN,
+                    },
+                )),
+            };
+            prev = Some(node);
+        }
+    }
+    let mut prev = prev.expect("encoder unrolled at least one step");
+
+    // Decoder: LSTM stack + attention context projection + vocabulary
+    // projection with softmax, per generated token.
+    for t in 0..dec_steps {
+        for layer in 0..LAYERS {
+            let input_size = if layer == 0 { EMBED } else { HIDDEN };
+            prev = lstm_step(&mut g, prev, &format!("dec_l{layer}_t{t}"), input_size, HIDDEN);
+        }
+        prev = fully_connected(
+            &mut g,
+            prev,
+            &format!("attention_t{t}"),
+            2 * HIDDEN,
+            HIDDEN,
+            Some(ActivationKind::Tanh),
+        );
+        prev = fully_connected(
+            &mut g,
+            prev,
+            &format!("proj_t{t}"),
+            HIDDEN,
+            vocab,
+            Some(ActivationKind::Softmax),
+        );
+    }
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count_scales_with_both_sequence_lengths() {
+        let g = build("mt", 32_000, SeqSpec::new(10, 12));
+        // 10*4 encoder + 12*(4 + 2) decoder layers.
+        assert_eq!(g.layer_count(), 40 + 72);
+    }
+
+    #[test]
+    fn decoder_steps_dominate_when_output_is_long() {
+        let short_out = build("mt", 32_000, SeqSpec::new(20, 5)).total_macs();
+        let long_out = build("mt", 32_000, SeqSpec::new(20, 40)).total_macs();
+        assert!(long_out > 2 * short_out);
+    }
+
+    #[test]
+    fn vocabulary_size_affects_weights_and_macs() {
+        let small = build("mt", 32_000, SeqSpec::new(10, 10));
+        let large = build("mt", 42_000, SeqSpec::new(10, 10));
+        assert!(large.total_weights() > small.total_weights());
+        assert!(large.total_macs() > small.total_macs());
+    }
+
+    #[test]
+    fn graph_is_an_acyclic_chain() {
+        let g = build("mt", 32_000, SeqSpec::new(7, 9));
+        assert!(g.topological_order().is_ok());
+        assert_eq!(g.edge_count(), g.layer_count() - 1);
+    }
+}

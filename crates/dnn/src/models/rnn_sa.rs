@@ -1,0 +1,97 @@
+//! RNN-SA: LSTM-based sentiment analysis (MLPerf cloud inference style).
+//!
+//! A two-layer LSTM (hidden size 512) consumes the input token sequence; the
+//! final hidden state feeds a small classifier. The time-unrolled recurrence
+//! length equals the input sequence length — the *linear* input/output
+//! relationship of Figure 8(b) — so the output sequence length is statically
+//! known as soon as the request arrives.
+
+use crate::graph::NetworkGraph;
+use crate::layer::ActivationKind;
+
+use super::builders::{fully_connected, lstm_step};
+use super::SeqSpec;
+
+/// Embedding / input feature dimension per token.
+const INPUT_DIM: u64 = 256;
+/// LSTM hidden state size.
+const HIDDEN: u64 = 512;
+/// Number of stacked LSTM layers.
+const LAYERS: u64 = 2;
+/// Number of sentiment classes.
+const CLASSES: u64 = 2;
+
+/// Builds the time-unrolled sentiment-analysis graph for the given sequence
+/// specification. Only `seq.input_len` matters; the recurrence is unrolled
+/// exactly that many steps.
+pub fn build(seq: SeqSpec) -> NetworkGraph {
+    let steps = seq.input_len.max(1);
+    let mut g = NetworkGraph::new("rnn_sa");
+
+    let mut prev = None;
+    for t in 0..steps {
+        for layer in 0..LAYERS {
+            let input_size = if layer == 0 { INPUT_DIM } else { HIDDEN };
+            let name = format!("lstm_l{layer}_t{t}");
+            let node = match prev {
+                Some(p) => lstm_step(&mut g, p, &name, input_size, HIDDEN),
+                None => {
+                    let id = g.add_layer(crate::layer::Layer::new(
+                        name,
+                        crate::layer::LayerKind::Recurrent {
+                            kind: crate::layer::RecurrentKind::Lstm,
+                            input_size,
+                            hidden_size: HIDDEN,
+                        },
+                    ));
+                    id
+                }
+            };
+            prev = Some(node);
+        }
+    }
+
+    let last = prev.expect("at least one step was unrolled");
+    let _classifier = fully_connected(
+        &mut g,
+        last,
+        "classifier",
+        HIDDEN,
+        CLASSES,
+        Some(ActivationKind::Softmax),
+    );
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrolls_two_layers_per_step_plus_classifier() {
+        let g = build(SeqSpec::new(10, 10));
+        assert_eq!(g.layer_count(), 10 * 2 + 1);
+    }
+
+    #[test]
+    fn longer_inputs_mean_proportionally_more_compute() {
+        let short = build(SeqSpec::new(5, 5)).total_macs();
+        let long = build(SeqSpec::new(50, 50)).total_macs();
+        assert!(long > 9 * short && long < 11 * short);
+    }
+
+    #[test]
+    fn output_length_is_irrelevant_for_sentiment_analysis() {
+        let a = build(SeqSpec::new(10, 10)).total_macs();
+        let b = build(SeqSpec::new(10, 37)).total_macs();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_is_a_chain() {
+        let g = build(SeqSpec::new(8, 8));
+        assert_eq!(g.edge_count(), g.layer_count() - 1);
+        assert!(g.topological_order().is_ok());
+    }
+}

@@ -1,0 +1,114 @@
+//! CNN-VN: VGG-16 (Simonyan & Zisserman, 2015).
+//!
+//! 13 3×3 convolution layers in five blocks, followed by three
+//! fully-connected layers. Roughly 15.5 GMACs and 138 M parameters per
+//! 224×224 image — the longest-running CNN in the PREMA evaluation.
+
+use crate::graph::NetworkGraph;
+use crate::layer::{ActivationKind, Layer, LayerKind, PoolKind};
+
+use super::builders::{conv_relu, fully_connected, pool};
+
+/// Builds the VGG-16 graph.
+pub fn build() -> NetworkGraph {
+    let mut g = NetworkGraph::new("vgg16");
+
+    let c01 = g.add_layer(
+        Layer::new(
+            "c01",
+            LayerKind::Conv {
+                in_channels: 3,
+                out_channels: 64,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+                input_hw: (224, 224),
+            },
+        )
+        .fused(ActivationKind::Relu),
+    );
+    let c02 = conv_relu(&mut g, c01, "c02", 64, 64, 3, 1, 1, 224);
+    let p1 = pool(&mut g, c02, "pool1", PoolKind::Max, 2, 2, 64, 224);
+
+    let c03 = conv_relu(&mut g, p1, "c03", 64, 128, 3, 1, 1, 112);
+    let c04 = conv_relu(&mut g, c03, "c04", 128, 128, 3, 1, 1, 112);
+    let p2 = pool(&mut g, c04, "pool2", PoolKind::Max, 2, 2, 128, 112);
+
+    let c05 = conv_relu(&mut g, p2, "c05", 128, 256, 3, 1, 1, 56);
+    let c06 = conv_relu(&mut g, c05, "c06", 256, 256, 3, 1, 1, 56);
+    let c07 = conv_relu(&mut g, c06, "c07", 256, 256, 3, 1, 1, 56);
+    let p3 = pool(&mut g, c07, "pool3", PoolKind::Max, 2, 2, 256, 56);
+
+    let c08 = conv_relu(&mut g, p3, "c08", 256, 512, 3, 1, 1, 28);
+    let c09 = conv_relu(&mut g, c08, "c09", 512, 512, 3, 1, 1, 28);
+    let c10 = conv_relu(&mut g, c09, "c10", 512, 512, 3, 1, 1, 28);
+    let p4 = pool(&mut g, c10, "pool4", PoolKind::Max, 2, 2, 512, 28);
+
+    let c11 = conv_relu(&mut g, p4, "c11", 512, 512, 3, 1, 1, 14);
+    let c12 = conv_relu(&mut g, c11, "c12", 512, 512, 3, 1, 1, 14);
+    let c13 = conv_relu(&mut g, c12, "c13", 512, 512, 3, 1, 1, 14);
+    let p5 = pool(&mut g, c13, "pool5", PoolKind::Max, 2, 2, 512, 14);
+
+    let fc1 = fully_connected(
+        &mut g,
+        p5,
+        "fc1",
+        512 * 7 * 7,
+        4096,
+        Some(ActivationKind::Relu),
+    );
+    let fc2 = fully_connected(&mut g, fc1, "fc2", 4096, 4096, Some(ActivationKind::Relu));
+    let _fc3 = fully_connected(
+        &mut g,
+        fc2,
+        "fc3",
+        4096,
+        1000,
+        Some(ActivationKind::Softmax),
+    );
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_inventory() {
+        let g = build();
+        // 13 conv + 5 pool + 3 fc = 21 layers.
+        assert_eq!(g.layer_count(), 21);
+        let conv_count = g
+            .layers()
+            .filter(|(_, l)| matches!(l.kind(), LayerKind::Conv { .. }))
+            .count();
+        assert_eq!(conv_count, 13);
+    }
+
+    #[test]
+    fn parameter_count_matches_reference() {
+        // VGG-16 has ~138 M parameters.
+        let params = build().total_weights();
+        assert!(params > 130_000_000 && params < 145_000_000, "{params}");
+    }
+
+    #[test]
+    fn mac_count_matches_reference() {
+        // ~15.5 GMACs per image.
+        let macs = build().total_macs();
+        assert!(macs > 14_000_000_000 && macs < 17_000_000_000, "{macs}");
+    }
+
+    #[test]
+    fn fc1_is_the_biggest_weight_layer() {
+        let g = build();
+        let fc1 = g
+            .layers()
+            .find(|(_, l)| l.name() == "fc1")
+            .map(|(_, l)| l.weight_count())
+            .unwrap();
+        assert_eq!(fc1, 512 * 7 * 7 * 4096);
+        assert!(g.layers().all(|(_, l)| l.weight_count() <= fc1));
+    }
+}

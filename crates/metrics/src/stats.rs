@@ -1,0 +1,113 @@
+//! Small statistics helpers shared by the experiment harness.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let variance = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64;
+    Some(variance.sqrt())
+}
+
+/// Geometric mean of strictly positive values. Returns `None` for an empty
+/// slice.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean requires strictly positive values"
+    );
+    let ln_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((ln_sum / values.len() as f64).exp())
+}
+
+/// Pearson correlation coefficient between two equally sized samples (used
+/// for the Section VI-D predicted-vs-simulated latency comparison).
+///
+/// Returns `None` when the slices are empty, have different lengths, or
+/// either has zero variance.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.len() != ys.len() {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        var_x += (x - mx).powi(2);
+        var_y += (y - my).powi(2);
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[]), None);
+        assert!((std_dev(&[2.0, 4.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), Some(0.0));
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), None);
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0]).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn geometric_mean_rejects_non_positive() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn correlation_of_identical_series_is_one() {
+        let xs: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        assert!((correlation(&xs, &xs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_scaled_series_is_one() {
+        let xs: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|v| 3.0 * v + 2.0).collect();
+        assert!((correlation(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_correlated_series_is_minus_one() {
+        let xs: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|v| -v).collect();
+        assert!((correlation(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_correlation_inputs_return_none() {
+        assert_eq!(correlation(&[], &[]), None);
+        assert_eq!(correlation(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(correlation(&[1.0, 1.0], &[2.0, 3.0]), None);
+    }
+}

@@ -1,0 +1,354 @@
+//! NPU architectural configuration (Table I of the PREMA paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cycles::Cycles;
+
+/// Number of bytes per 16-bit datum (weights and activations).
+pub const BYTES_PER_ELEMENT: u64 = 2;
+
+/// Architectural parameters of the simulated NPU.
+///
+/// The default values ([`NpuConfig::paper_default`]) reproduce Table I of the
+/// PREMA paper: a 128×128 weight-stationary systolic array clocked at
+/// 700 MHz, 8 MB of on-chip activation SRAM, 4 MB of weight SRAM, eight
+/// memory channels providing 358 GB/s at a 100-cycle access latency.
+///
+/// Construct variations with [`NpuConfigBuilder`]:
+///
+/// ```
+/// use npu_sim::NpuConfig;
+///
+/// let cfg = NpuConfig::builder().systolic_width(64).systolic_height(64).build();
+/// assert_eq!(cfg.systolic_width, 64);
+/// assert_eq!(cfg.pe_count(), 64 * 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NpuConfig {
+    /// Width of the systolic array (`SW` in Algorithm 1).
+    pub systolic_width: u64,
+    /// Height of the systolic array (`SH` in Algorithm 1).
+    pub systolic_height: u64,
+    /// Depth of the accumulator queue (`ACC` in Algorithm 1): the number of
+    /// output-activation columns a single `GEMM_OP` produces.
+    pub accumulator_depth: u64,
+    /// Operating frequency of the processing elements, in MHz.
+    pub frequency_mhz: f64,
+    /// On-chip unified activation buffer (UBUF) capacity in bytes.
+    pub activation_sram_bytes: u64,
+    /// On-chip weight buffer capacity in bytes.
+    pub weight_sram_bytes: u64,
+    /// Number of DRAM channels.
+    pub memory_channels: u64,
+    /// Aggregate off-chip memory bandwidth in GB/s.
+    pub memory_bandwidth_gbps: f64,
+    /// Fixed DRAM access latency in cycles.
+    pub memory_latency_cycles: u64,
+    /// Number of lanes in the vector (element-wise) unit.
+    pub vector_lanes: u64,
+}
+
+impl NpuConfig {
+    /// The configuration of Table I in the PREMA paper.
+    pub fn paper_default() -> Self {
+        NpuConfig {
+            systolic_width: 128,
+            systolic_height: 128,
+            accumulator_depth: 2048,
+            frequency_mhz: 700.0,
+            activation_sram_bytes: 8 * 1024 * 1024,
+            weight_sram_bytes: 4 * 1024 * 1024,
+            memory_channels: 8,
+            memory_bandwidth_gbps: 358.0,
+            memory_latency_cycles: 100,
+            vector_lanes: 128,
+        }
+    }
+
+    /// Starts building a configuration from the paper defaults.
+    pub fn builder() -> NpuConfigBuilder {
+        NpuConfigBuilder::new()
+    }
+
+    /// Total number of processing elements in the systolic array.
+    pub fn pe_count(&self) -> u64 {
+        self.systolic_width * self.systolic_height
+    }
+
+    /// Peak MAC throughput in operations per cycle.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.pe_count()
+    }
+
+    /// Off-chip memory bandwidth expressed in bytes per NPU cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        // GB/s -> bytes/s -> bytes/cycle.
+        (self.memory_bandwidth_gbps * 1e9) / (self.frequency_mhz * 1e6)
+    }
+
+    /// Cycles needed to stream `bytes` from DRAM at full bandwidth,
+    /// excluding the fixed access latency.
+    pub fn streaming_cycles(&self, bytes: u64) -> Cycles {
+        if bytes == 0 {
+            return Cycles::ZERO;
+        }
+        Cycles::new((bytes as f64 / self.bytes_per_cycle()).ceil() as u64)
+    }
+
+    /// Converts a cycle count into microseconds under this configuration.
+    pub fn cycles_to_micros(&self, cycles: Cycles) -> f64 {
+        cycles.to_micros(self.frequency_mhz)
+    }
+
+    /// Converts a cycle count into milliseconds under this configuration.
+    pub fn cycles_to_millis(&self, cycles: Cycles) -> f64 {
+        cycles.to_millis(self.frequency_mhz)
+    }
+
+    /// Converts microseconds into a cycle count under this configuration.
+    pub fn micros_to_cycles(&self, micros: f64) -> Cycles {
+        Cycles::from_micros(micros, self.frequency_mhz)
+    }
+
+    /// Converts milliseconds into a cycle count under this configuration.
+    pub fn millis_to_cycles(&self, millis: f64) -> Cycles {
+        Cycles::from_millis(millis, self.frequency_mhz)
+    }
+
+    /// Maximum number of bytes of execution context that can ever need
+    /// checkpointing: the live output activations resident in the activation
+    /// SRAM (UBUF plus accumulator queue).
+    pub fn max_checkpoint_bytes(&self) -> u64 {
+        self.activation_sram_bytes
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if any dimension, frequency, buffer size, or
+    /// bandwidth parameter is zero or non-positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.systolic_width == 0 || self.systolic_height == 0 {
+            return Err("systolic array dimensions must be non-zero".into());
+        }
+        if self.accumulator_depth == 0 {
+            return Err("accumulator depth must be non-zero".into());
+        }
+        if !(self.frequency_mhz > 0.0) {
+            return Err("frequency must be positive".into());
+        }
+        if self.activation_sram_bytes == 0 || self.weight_sram_bytes == 0 {
+            return Err("on-chip SRAM sizes must be non-zero".into());
+        }
+        if !(self.memory_bandwidth_gbps > 0.0) {
+            return Err("memory bandwidth must be positive".into());
+        }
+        if self.vector_lanes == 0 {
+            return Err("vector lanes must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        NpuConfig::paper_default()
+    }
+}
+
+/// Builder for [`NpuConfig`].
+///
+/// Starts from [`NpuConfig::paper_default`]; every setter overrides a single
+/// field and the terminal [`build`](NpuConfigBuilder::build) method panics if
+/// the result fails validation.
+#[derive(Debug, Clone, Default)]
+pub struct NpuConfigBuilder {
+    cfg: Option<NpuConfig>,
+}
+
+impl NpuConfigBuilder {
+    /// Creates a builder seeded with the paper-default configuration.
+    pub fn new() -> Self {
+        NpuConfigBuilder {
+            cfg: Some(NpuConfig::paper_default()),
+        }
+    }
+
+    fn cfg_mut(&mut self) -> &mut NpuConfig {
+        self.cfg.get_or_insert_with(NpuConfig::paper_default)
+    }
+
+    /// Sets the systolic array width (`SW`).
+    pub fn systolic_width(mut self, width: u64) -> Self {
+        self.cfg_mut().systolic_width = width;
+        self
+    }
+
+    /// Sets the systolic array height (`SH`).
+    pub fn systolic_height(mut self, height: u64) -> Self {
+        self.cfg_mut().systolic_height = height;
+        self
+    }
+
+    /// Sets the accumulator queue depth (`ACC`).
+    pub fn accumulator_depth(mut self, depth: u64) -> Self {
+        self.cfg_mut().accumulator_depth = depth;
+        self
+    }
+
+    /// Sets the PE operating frequency in MHz.
+    pub fn frequency_mhz(mut self, mhz: f64) -> Self {
+        self.cfg_mut().frequency_mhz = mhz;
+        self
+    }
+
+    /// Sets the activation SRAM capacity in bytes.
+    pub fn activation_sram_bytes(mut self, bytes: u64) -> Self {
+        self.cfg_mut().activation_sram_bytes = bytes;
+        self
+    }
+
+    /// Sets the weight SRAM capacity in bytes.
+    pub fn weight_sram_bytes(mut self, bytes: u64) -> Self {
+        self.cfg_mut().weight_sram_bytes = bytes;
+        self
+    }
+
+    /// Sets the aggregate DRAM bandwidth in GB/s.
+    pub fn memory_bandwidth_gbps(mut self, gbps: f64) -> Self {
+        self.cfg_mut().memory_bandwidth_gbps = gbps;
+        self
+    }
+
+    /// Sets the fixed DRAM access latency in cycles.
+    pub fn memory_latency_cycles(mut self, cycles: u64) -> Self {
+        self.cfg_mut().memory_latency_cycles = cycles;
+        self
+    }
+
+    /// Sets the number of vector-unit lanes.
+    pub fn vector_lanes(mut self, lanes: u64) -> Self {
+        self.cfg_mut().vector_lanes = lanes;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NpuConfig::validate`].
+    pub fn build(mut self) -> NpuConfig {
+        let cfg = self.cfg.take().unwrap_or_default();
+        if let Err(msg) = cfg.validate() {
+            panic!("invalid NpuConfig: {msg}");
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_one() {
+        let cfg = NpuConfig::paper_default();
+        assert_eq!(cfg.systolic_width, 128);
+        assert_eq!(cfg.systolic_height, 128);
+        assert_eq!(cfg.frequency_mhz, 700.0);
+        assert_eq!(cfg.activation_sram_bytes, 8 * 1024 * 1024);
+        assert_eq!(cfg.weight_sram_bytes, 4 * 1024 * 1024);
+        assert_eq!(cfg.memory_channels, 8);
+        assert_eq!(cfg.memory_bandwidth_gbps, 358.0);
+        assert_eq!(cfg.memory_latency_cycles, 100);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn pe_count_is_product_of_dimensions() {
+        assert_eq!(NpuConfig::paper_default().pe_count(), 128 * 128);
+    }
+
+    #[test]
+    fn bytes_per_cycle_is_roughly_511() {
+        let bpc = NpuConfig::paper_default().bytes_per_cycle();
+        assert!((bpc - 511.4).abs() < 1.0, "got {bpc}");
+    }
+
+    #[test]
+    fn streaming_cycles_rounds_up_and_zero_bytes_is_free() {
+        let cfg = NpuConfig::paper_default();
+        assert_eq!(cfg.streaming_cycles(0), Cycles::ZERO);
+        assert_eq!(cfg.streaming_cycles(1), Cycles::new(1));
+        let one_mb = cfg.streaming_cycles(1024 * 1024).get();
+        assert!(one_mb >= 2000 && one_mb <= 2100, "got {one_mb}");
+    }
+
+    #[test]
+    fn time_conversions_are_consistent() {
+        let cfg = NpuConfig::paper_default();
+        let c = cfg.millis_to_cycles(0.25);
+        assert_eq!(c, Cycles::new(175_000));
+        assert!((cfg.cycles_to_millis(c) - 0.25).abs() < 1e-9);
+        assert!((cfg.cycles_to_micros(cfg.micros_to_cycles(59.0)) - 59.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn builder_overrides_single_fields() {
+        let cfg = NpuConfig::builder()
+            .systolic_width(64)
+            .systolic_height(32)
+            .accumulator_depth(512)
+            .frequency_mhz(1000.0)
+            .memory_bandwidth_gbps(100.0)
+            .memory_latency_cycles(50)
+            .activation_sram_bytes(1 << 20)
+            .weight_sram_bytes(1 << 20)
+            .vector_lanes(64)
+            .build();
+        assert_eq!(cfg.systolic_width, 64);
+        assert_eq!(cfg.systolic_height, 32);
+        assert_eq!(cfg.accumulator_depth, 512);
+        assert_eq!(cfg.frequency_mhz, 1000.0);
+        assert_eq!(cfg.memory_latency_cycles, 50);
+        assert_eq!(cfg.vector_lanes, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid NpuConfig")]
+    fn builder_rejects_zero_dimensions() {
+        let _ = NpuConfig::builder().systolic_width(0).build();
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut cfg = NpuConfig::paper_default();
+        cfg.memory_bandwidth_gbps = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = NpuConfig::paper_default();
+        cfg.vector_lanes = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = NpuConfig::paper_default();
+        cfg.accumulator_depth = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(NpuConfig::default(), NpuConfig::paper_default());
+    }
+
+    #[test]
+    fn max_checkpoint_bytes_is_activation_sram() {
+        let cfg = NpuConfig::paper_default();
+        assert_eq!(cfg.max_checkpoint_bytes(), cfg.activation_sram_bytes);
+    }
+
+    #[test]
+    fn peak_macs_match_pe_count() {
+        let cfg = NpuConfig::paper_default();
+        assert_eq!(cfg.peak_macs_per_cycle(), cfg.pe_count());
+    }
+}

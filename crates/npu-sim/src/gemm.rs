@@ -1,0 +1,419 @@
+//! GEMM tiling onto the weight-stationary systolic array (Figure 3(c) of the
+//! PREMA paper) and the per-tile timing model of Algorithm 1.
+//!
+//! A `GEMM_OP` multiplies an `(m × k)` weight matrix by a `(k × n)` input
+//! activation matrix. The systolic array holds an `SW × SH` weight tile and
+//! streams `SH × ACC` activation tiles through it, so the full GEMM is tiled
+//! along all three dimensions:
+//!
+//! * `m` is split into `⌈m / SW⌉` weight-row tiles,
+//! * `k` is split into `⌈k / SH⌉` reduction tiles,
+//! * `n` is split into `⌊n / ACC⌋` *inner* column tiles plus at most one
+//!   smaller *outer* (edge) tile of `n mod ACC` columns.
+//!
+//! For every tile, the compute phase (`C1`/`C2` in Algorithm 1) overlaps with
+//! the memory phase that prefetches the next tile's operands (`M1`/`M2`), so
+//! the tile latency is the maximum of the two — exactly lines 3–8 of
+//! Algorithm 1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{NpuConfig, BYTES_PER_ELEMENT};
+use crate::cycles::Cycles;
+
+/// Dimensions of a single GEMM operation: an `(m × k)` weight matrix times a
+/// `(k × n)` input activation matrix, producing an `(m × n)` output.
+///
+/// ```
+/// use npu_sim::GemmShape;
+///
+/// let g = GemmShape::new(256, 1024, 64);
+/// assert_eq!(g.macs(), 256 * 1024 * 64);
+/// assert_eq!(g.output_elements(), 256 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Number of weight rows (output features).
+    pub m: u64,
+    /// Reduction dimension (input features).
+    pub k: u64,
+    /// Number of activation columns (batch × spatial positions).
+    pub n: u64,
+}
+
+impl GemmShape {
+    /// Creates a new GEMM shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(m: u64, k: u64, n: u64) -> Self {
+        assert!(m > 0 && k > 0 && n > 0, "GEMM dimensions must be non-zero");
+        GemmShape { m, k, n }
+    }
+
+    /// Total multiply-accumulate operations performed by this GEMM.
+    pub fn macs(&self) -> u64 {
+        self.m * self.k * self.n
+    }
+
+    /// Number of output-activation elements produced.
+    pub fn output_elements(&self) -> u64 {
+        self.m * self.n
+    }
+
+    /// Number of output-activation bytes produced (16-bit data).
+    pub fn output_bytes(&self) -> u64 {
+        self.output_elements() * BYTES_PER_ELEMENT
+    }
+
+    /// Number of weight bytes consumed (16-bit data).
+    pub fn weight_bytes(&self) -> u64 {
+        self.m * self.k * BYTES_PER_ELEMENT
+    }
+
+    /// Number of input-activation bytes consumed (16-bit data).
+    pub fn input_bytes(&self) -> u64 {
+        self.k * self.n * BYTES_PER_ELEMENT
+    }
+}
+
+/// A single systolic-array tile of a larger GEMM.
+///
+/// Tiles are the preemption granularity of the CHECKPOINT mechanism: a
+/// preemption trap is only serviced once the currently issued `GEMM_OP`
+/// (i.e. the current tile) has committed its outputs to the accumulator
+/// queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GemmTile {
+    /// Rows of the weight tile actually occupied (≤ `SW`).
+    pub rows: u64,
+    /// Reduction depth of the tile actually occupied (≤ `SH`).
+    pub depth: u64,
+    /// Activation columns processed by this tile (≤ `ACC`).
+    pub cols: u64,
+    /// Whether this is an edge ("outer") tile smaller than the full
+    /// accumulator depth.
+    pub is_outer: bool,
+    /// Cycles spent in the compute phase of this tile.
+    pub compute_cycles: Cycles,
+    /// Cycles spent in the memory phase prefetching the next tile's operands.
+    pub memory_cycles: Cycles,
+    /// Output-activation bytes committed to the accumulator queue by this
+    /// tile.
+    pub output_bytes: u64,
+}
+
+impl GemmTile {
+    /// The latency contributed by this tile under double buffering: the
+    /// maximum of its compute and memory phases (Algorithm 1, lines 5 and 8).
+    pub fn latency(&self) -> Cycles {
+        self.compute_cycles.max(self.memory_cycles)
+    }
+
+    /// MAC operations actually performed by this tile.
+    pub fn macs(&self) -> u64 {
+        self.rows * self.depth * self.cols
+    }
+}
+
+/// The complete tiling of one GEMM onto the systolic array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TilePlan {
+    shape: GemmShape,
+    inner_tiles: u64,
+    outer_tiles: u64,
+    inner_latency: Cycles,
+    outer_latency: Cycles,
+    inner_tile: GemmTile,
+    outer_tile: Option<GemmTile>,
+}
+
+impl TilePlan {
+    /// Tiles `shape` onto the array described by `cfg`, following Algorithm 1.
+    pub fn new(shape: GemmShape, cfg: &NpuConfig) -> Self {
+        let sw = cfg.systolic_width;
+        let sh = cfg.systolic_height;
+        let acc = cfg.accumulator_depth;
+
+        let m_tiles = shape.m.div_ceil(sw);
+        let k_tiles = shape.k.div_ceil(sh);
+        let n_inner = shape.n / acc;
+        let n_rem = shape.n % acc;
+
+        // Effective occupied dimensions of a "typical" tile. Edge effects in
+        // m/k are folded into the occupancy of the last tile; the dominant
+        // term the paper models explicitly is the n-dimension edge (the
+        // "outer tile"), which we reproduce exactly.
+        let inner_tile = Self::make_tile(sw.min(shape.m), sh.min(shape.k), acc, false, cfg);
+        let outer_tile = if n_rem > 0 {
+            Some(Self::make_tile(
+                sw.min(shape.m),
+                sh.min(shape.k),
+                n_rem,
+                true,
+                cfg,
+            ))
+        } else {
+            None
+        };
+
+        let inner_tiles = m_tiles * k_tiles * n_inner;
+        let outer_tiles = if n_rem > 0 { m_tiles * k_tiles } else { 0 };
+
+        TilePlan {
+            shape,
+            inner_tiles,
+            outer_tiles,
+            inner_latency: inner_tile.latency(),
+            outer_latency: outer_tile.map(|t| t.latency()).unwrap_or(Cycles::ZERO),
+            inner_tile,
+            outer_tile,
+        }
+    }
+
+    fn make_tile(rows: u64, depth: u64, cols: u64, is_outer: bool, cfg: &NpuConfig) -> GemmTile {
+        let sw = cfg.systolic_width;
+        let sh = cfg.systolic_height;
+        // Algorithm 1, line 3 / line 6: the compute phase of a tile is
+        // (cols + SH + 2*SW) cycles — the activation columns pulsating through
+        // the array plus the pipeline fill/drain of the array dimensions.
+        let compute = cols + sh + 2 * sw;
+        // Algorithm 1, line 4 / line 7: the memory phase fetches the next
+        // weight tile (SH*SW elements) and the next activation tile
+        // (SH*cols elements) at the DRAM bandwidth.
+        let bytes = (sh * sw + sh * cols) * BYTES_PER_ELEMENT;
+        let memory = cfg.streaming_cycles(bytes);
+        GemmTile {
+            rows,
+            depth,
+            cols,
+            is_outer,
+            compute_cycles: Cycles::new(compute),
+            memory_cycles: memory,
+            output_bytes: rows * cols * BYTES_PER_ELEMENT,
+        }
+    }
+
+    /// The GEMM shape this plan tiles.
+    pub fn shape(&self) -> GemmShape {
+        self.shape
+    }
+
+    /// Number of full-size inner tiles.
+    pub fn inner_tile_count(&self) -> u64 {
+        self.inner_tiles
+    }
+
+    /// Number of edge (outer) tiles.
+    pub fn outer_tile_count(&self) -> u64 {
+        self.outer_tiles
+    }
+
+    /// Total number of `GEMM_OP` instructions (tiles) issued for this GEMM.
+    pub fn tile_count(&self) -> u64 {
+        self.inner_tiles + self.outer_tiles
+    }
+
+    /// The representative inner tile.
+    pub fn inner_tile(&self) -> GemmTile {
+        self.inner_tile
+    }
+
+    /// The representative outer (edge) tile, if the n-dimension does not
+    /// divide evenly by the accumulator depth.
+    pub fn outer_tile(&self) -> Option<GemmTile> {
+        self.outer_tile
+    }
+
+    /// Estimated latency of the whole GEMM under double buffering: the sum of
+    /// per-tile latencies (Algorithm 1, line 10).
+    pub fn total_cycles(&self) -> Cycles {
+        self.inner_latency * self.inner_tiles + self.outer_latency * self.outer_tiles
+    }
+
+    /// Iterates over every tile in issue order (inner tiles first, then the
+    /// edge tiles), yielding a [`GemmTile`] per `GEMM_OP`.
+    pub fn iter(&self) -> TileIter<'_> {
+        TileIter {
+            plan: self,
+            issued: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TilePlan {
+    type Item = GemmTile;
+    type IntoIter = TileIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the tiles of a [`TilePlan`] in issue order.
+#[derive(Debug, Clone)]
+pub struct TileIter<'a> {
+    plan: &'a TilePlan,
+    issued: u64,
+}
+
+impl Iterator for TileIter<'_> {
+    type Item = GemmTile;
+
+    fn next(&mut self) -> Option<GemmTile> {
+        let total = self.plan.tile_count();
+        if self.issued >= total {
+            return None;
+        }
+        let tile = if self.issued < self.plan.inner_tiles {
+            self.plan.inner_tile
+        } else {
+            self.plan
+                .outer_tile
+                .expect("outer tiles exist when outer_tiles > 0")
+        };
+        self.issued += 1;
+        Some(tile)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.plan.tile_count() - self.issued) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for TileIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::paper_default()
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let g = GemmShape::new(10, 20, 30);
+        assert_eq!(g.macs(), 6000);
+        assert_eq!(g.output_elements(), 300);
+        assert_eq!(g.output_bytes(), 600);
+        assert_eq!(g.weight_bytes(), 400);
+        assert_eq!(g.input_bytes(), 1200);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_rejected() {
+        let _ = GemmShape::new(0, 1, 1);
+    }
+
+    #[test]
+    fn small_gemm_is_a_single_outer_tile() {
+        let plan = TilePlan::new(GemmShape::new(64, 64, 100), &cfg());
+        assert_eq!(plan.inner_tile_count(), 0);
+        assert_eq!(plan.outer_tile_count(), 1);
+        assert_eq!(plan.tile_count(), 1);
+        let tile = plan.outer_tile().unwrap();
+        assert!(tile.is_outer);
+        assert_eq!(tile.cols, 100);
+        assert_eq!(tile.rows, 64);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_outer_tiles() {
+        let c = cfg();
+        let plan = TilePlan::new(GemmShape::new(256, 256, c.accumulator_depth * 3), &c);
+        assert_eq!(plan.outer_tile_count(), 0);
+        assert_eq!(plan.inner_tile_count(), 2 * 2 * 3);
+        assert!(plan.outer_tile().is_none());
+    }
+
+    #[test]
+    fn tile_counts_match_algorithm_one() {
+        let c = cfg();
+        let shape = GemmShape::new(300, 520, c.accumulator_depth * 2 + 7);
+        let plan = TilePlan::new(shape, &c);
+        let m_tiles = 300u64.div_ceil(c.systolic_width);
+        let k_tiles = 520u64.div_ceil(c.systolic_height);
+        assert_eq!(plan.inner_tile_count(), m_tiles * k_tiles * 2);
+        assert_eq!(plan.outer_tile_count(), m_tiles * k_tiles);
+    }
+
+    #[test]
+    fn compute_phase_matches_formula() {
+        let c = cfg();
+        let plan = TilePlan::new(GemmShape::new(1000, 1000, c.accumulator_depth), &c);
+        let tile = plan.inner_tile();
+        assert_eq!(
+            tile.compute_cycles,
+            Cycles::new(c.accumulator_depth + c.systolic_height + 2 * c.systolic_width)
+        );
+    }
+
+    #[test]
+    fn memory_phase_matches_bandwidth_model() {
+        let c = cfg();
+        let plan = TilePlan::new(GemmShape::new(1000, 1000, c.accumulator_depth), &c);
+        let tile = plan.inner_tile();
+        let bytes = (c.systolic_height * c.systolic_width
+            + c.systolic_height * c.accumulator_depth)
+            * BYTES_PER_ELEMENT;
+        assert_eq!(tile.memory_cycles, c.streaming_cycles(bytes));
+    }
+
+    #[test]
+    fn tile_latency_is_max_of_phases() {
+        let c = cfg();
+        let plan = TilePlan::new(GemmShape::new(1000, 1000, c.accumulator_depth), &c);
+        let tile = plan.inner_tile();
+        assert_eq!(tile.latency(), tile.compute_cycles.max(tile.memory_cycles));
+    }
+
+    #[test]
+    fn total_cycles_is_sum_over_tiles() {
+        let c = cfg();
+        let plan = TilePlan::new(GemmShape::new(512, 512, 5000), &c);
+        let from_iter: Cycles = plan.iter().map(|t| t.latency()).sum();
+        assert_eq!(plan.total_cycles(), from_iter);
+    }
+
+    #[test]
+    fn iterator_length_matches_tile_count() {
+        let c = cfg();
+        let plan = TilePlan::new(GemmShape::new(512, 512, 5000), &c);
+        assert_eq!(plan.iter().count() as u64, plan.tile_count());
+        assert_eq!(plan.iter().len() as u64, plan.tile_count());
+    }
+
+    #[test]
+    fn outer_tile_output_bytes_smaller_than_inner() {
+        let c = cfg();
+        let plan = TilePlan::new(GemmShape::new(512, 512, c.accumulator_depth + 5), &c);
+        let inner = plan.inner_tile();
+        let outer = plan.outer_tile().unwrap();
+        assert!(outer.output_bytes < inner.output_bytes);
+        assert_eq!(outer.cols, 5);
+    }
+
+    #[test]
+    fn bigger_gemm_takes_longer() {
+        let c = cfg();
+        let small = TilePlan::new(GemmShape::new(256, 256, 256), &c);
+        let big = TilePlan::new(GemmShape::new(1024, 1024, 1024), &c);
+        assert!(big.total_cycles() > small.total_cycles());
+    }
+
+    #[test]
+    fn macs_of_tiles_cover_shape_when_dimensions_align() {
+        let c = cfg();
+        let shape = GemmShape::new(
+            c.systolic_width * 2,
+            c.systolic_height * 2,
+            c.accumulator_depth * 2,
+        );
+        let plan = TilePlan::new(shape, &c);
+        let tile_macs: u64 = plan.iter().map(|t| t.macs()).sum();
+        assert_eq!(tile_macs, shape.macs());
+    }
+}

@@ -1,0 +1,229 @@
+//! The CISC instruction set of the baseline NPU (Section II-B of the PREMA
+//! paper).
+//!
+//! Layer execution is compiled into a stream of coarse-grained instructions.
+//! The instruction stream is not interpreted cycle-by-cycle by the simulator —
+//! the timing model works at tile granularity — but it is exposed so that
+//! clients (tests, the experiment harness, documentation examples) can
+//! inspect what a layer lowers to, and so that the preemption machinery can
+//! reason about `GEMM_OP` boundaries explicitly.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gemm::GemmShape;
+
+/// Which on-chip buffer a `LOAD_TILE` / `STORE_TILE` targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Buffer {
+    /// The unified activation buffer (UBUF).
+    Activation,
+    /// The weight buffer feeding the systolic array's weight registers.
+    Weight,
+    /// The accumulator queue (ACCQ) holding freshly produced outputs.
+    Accumulator,
+}
+
+impl fmt::Display for Buffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Buffer::Activation => "UBUF",
+            Buffer::Weight => "WBUF",
+            Buffer::Accumulator => "ACCQ",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Element-wise operations executed on the vector unit via `VECTOR_OP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VectorOpKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Softmax over the innermost dimension.
+    Softmax,
+    /// Element-wise addition (residual connections, bias add).
+    Add,
+    /// Max pooling window reduction.
+    MaxPool,
+    /// Average pooling window reduction.
+    AvgPool,
+}
+
+impl fmt::Display for VectorOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            VectorOpKind::Relu => "relu",
+            VectorOpKind::Sigmoid => "sigmoid",
+            VectorOpKind::Tanh => "tanh",
+            VectorOpKind::Softmax => "softmax",
+            VectorOpKind::Add => "add",
+            VectorOpKind::MaxPool => "maxpool",
+            VectorOpKind::AvgPool => "avgpool",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A coarse-grained NPU instruction (Section II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// `LOAD_TILE`: DMA `bytes` from DRAM into the given on-chip buffer.
+    LoadTile {
+        /// Destination buffer.
+        buffer: Buffer,
+        /// Number of bytes transferred.
+        bytes: u64,
+    },
+    /// `GEMM_OP`: one tile-granularity matrix multiplication between the
+    /// weight tile latched in the array and an activation tile streamed from
+    /// the UBUF.
+    GemmOp {
+        /// The shape of the tile-level GEMM.
+        shape: GemmShape,
+    },
+    /// `CONV_OP`: a convolution lowered to a matrix multiplication and then
+    /// executed exactly like [`Instruction::GemmOp`].
+    ConvOp {
+        /// The shape of the lowered tile-level GEMM.
+        shape: GemmShape,
+    },
+    /// `VECTOR_OP`: an element-wise operation over `elements` values.
+    VectorOp {
+        /// The element-wise operation applied.
+        kind: VectorOpKind,
+        /// Number of elements processed.
+        elements: u64,
+    },
+    /// `STORE_TILE`: DMA `bytes` of output activations back to DRAM.
+    StoreTile {
+        /// Source buffer.
+        buffer: Buffer,
+        /// Number of bytes transferred.
+        bytes: u64,
+    },
+}
+
+impl Instruction {
+    /// Returns `true` for instructions executed on the GEMM unit
+    /// (`GEMM_OP` / `CONV_OP`), i.e. the instructions whose commit points are
+    /// legal CHECKPOINT preemption points.
+    pub fn is_gemm(&self) -> bool {
+        matches!(self, Instruction::GemmOp { .. } | Instruction::ConvOp { .. })
+    }
+
+    /// Returns `true` for DMA instructions (`LOAD_TILE` / `STORE_TILE`).
+    pub fn is_dma(&self) -> bool {
+        matches!(
+            self,
+            Instruction::LoadTile { .. } | Instruction::StoreTile { .. }
+        )
+    }
+
+    /// Bytes moved by this instruction if it is a DMA instruction.
+    pub fn dma_bytes(&self) -> Option<u64> {
+        match self {
+            Instruction::LoadTile { bytes, .. } | Instruction::StoreTile { bytes, .. } => {
+                Some(*bytes)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::LoadTile { buffer, bytes } => {
+                write!(f, "LOAD_TILE {buffer}, {bytes}B")
+            }
+            Instruction::GemmOp { shape } => {
+                write!(f, "GEMM_OP {}x{}x{}", shape.m, shape.k, shape.n)
+            }
+            Instruction::ConvOp { shape } => {
+                write!(f, "CONV_OP {}x{}x{}", shape.m, shape.k, shape.n)
+            }
+            Instruction::VectorOp { kind, elements } => {
+                write!(f, "VECTOR_OP {kind}, {elements} elems")
+            }
+            Instruction::StoreTile { buffer, bytes } => {
+                write!(f, "STORE_TILE {buffer}, {bytes}B")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_and_conv_are_gemm_instructions() {
+        let shape = GemmShape::new(1, 1, 1);
+        assert!(Instruction::GemmOp { shape }.is_gemm());
+        assert!(Instruction::ConvOp { shape }.is_gemm());
+        assert!(!Instruction::LoadTile {
+            buffer: Buffer::Weight,
+            bytes: 10
+        }
+        .is_gemm());
+    }
+
+    #[test]
+    fn dma_detection_and_bytes() {
+        let load = Instruction::LoadTile {
+            buffer: Buffer::Activation,
+            bytes: 128,
+        };
+        let store = Instruction::StoreTile {
+            buffer: Buffer::Accumulator,
+            bytes: 64,
+        };
+        let vec = Instruction::VectorOp {
+            kind: VectorOpKind::Relu,
+            elements: 10,
+        };
+        assert!(load.is_dma());
+        assert!(store.is_dma());
+        assert!(!vec.is_dma());
+        assert_eq!(load.dma_bytes(), Some(128));
+        assert_eq!(store.dma_bytes(), Some(64));
+        assert_eq!(vec.dma_bytes(), None);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let shape = GemmShape::new(2, 3, 4);
+        let instrs = [
+            Instruction::LoadTile {
+                buffer: Buffer::Weight,
+                bytes: 1,
+            },
+            Instruction::GemmOp { shape },
+            Instruction::ConvOp { shape },
+            Instruction::VectorOp {
+                kind: VectorOpKind::Softmax,
+                elements: 5,
+            },
+            Instruction::StoreTile {
+                buffer: Buffer::Activation,
+                bytes: 2,
+            },
+        ];
+        for instr in instrs {
+            assert!(!instr.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn buffer_and_vector_kind_display() {
+        assert_eq!(Buffer::Activation.to_string(), "UBUF");
+        assert_eq!(Buffer::Accumulator.to_string(), "ACCQ");
+        assert_eq!(VectorOpKind::MaxPool.to_string(), "maxpool");
+    }
+}

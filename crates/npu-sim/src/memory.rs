@@ -1,0 +1,132 @@
+//! Fixed-bandwidth, fixed-latency memory subsystem and DMA transfer model.
+//!
+//! Following the paper's methodology (Section III), the memory subsystem is
+//! not simulated at DRAM command granularity. Every transfer pays a fixed
+//! access latency and then streams at the aggregate channel bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::NpuConfig;
+use crate::cycles::Cycles;
+
+/// DMA engine model used for `LOAD_TILE`/`STORE_TILE` and for checkpoint /
+/// restore traffic.
+///
+/// ```
+/// use npu_sim::{DmaModel, NpuConfig};
+///
+/// let cfg = NpuConfig::paper_default();
+/// let dma = DmaModel::new(&cfg);
+/// // Streaming the entire 8 MB activation buffer takes tens of microseconds.
+/// let us = cfg.cycles_to_micros(dma.transfer_cycles(cfg.activation_sram_bytes));
+/// assert!(us > 10.0 && us < 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DmaModel {
+    bytes_per_cycle: f64,
+    access_latency: Cycles,
+}
+
+impl DmaModel {
+    /// Builds the DMA model from an NPU configuration.
+    pub fn new(cfg: &NpuConfig) -> Self {
+        DmaModel {
+            bytes_per_cycle: cfg.bytes_per_cycle(),
+            access_latency: Cycles::new(cfg.memory_latency_cycles),
+        }
+    }
+
+    /// The aggregate streaming throughput in bytes per cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+
+    /// The fixed access latency charged once per transfer.
+    pub fn access_latency(&self) -> Cycles {
+        self.access_latency
+    }
+
+    /// Total cycles to transfer `bytes` (one access latency plus streaming
+    /// time). A zero-byte transfer is free.
+    pub fn transfer_cycles(&self, bytes: u64) -> Cycles {
+        if bytes == 0 {
+            return Cycles::ZERO;
+        }
+        let streaming = (bytes as f64 / self.bytes_per_cycle).ceil() as u64;
+        self.access_latency + Cycles::new(streaming)
+    }
+
+    /// Cycles for a transfer that is split over `chunks` independent DMA
+    /// descriptors (each paying the access latency once).
+    pub fn chunked_transfer_cycles(&self, bytes: u64, chunks: u64) -> Cycles {
+        if bytes == 0 || chunks == 0 {
+            return Cycles::ZERO;
+        }
+        let streaming = (bytes as f64 / self.bytes_per_cycle).ceil() as u64;
+        self.access_latency * chunks + Cycles::new(streaming)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dma() -> DmaModel {
+        DmaModel::new(&NpuConfig::paper_default())
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(dma().transfer_cycles(0), Cycles::ZERO);
+        assert_eq!(dma().chunked_transfer_cycles(0, 4), Cycles::ZERO);
+    }
+
+    #[test]
+    fn small_transfer_dominated_by_latency() {
+        let d = dma();
+        let c = d.transfer_cycles(64);
+        assert_eq!(c, d.access_latency() + Cycles::new(1));
+    }
+
+    #[test]
+    fn large_transfer_dominated_by_bandwidth() {
+        let cfg = NpuConfig::paper_default();
+        let d = DmaModel::new(&cfg);
+        let bytes = 8 * 1024 * 1024;
+        let c = d.transfer_cycles(bytes);
+        let expected_stream = (bytes as f64 / cfg.bytes_per_cycle()).ceil() as u64;
+        assert_eq!(c.get(), expected_stream + cfg.memory_latency_cycles);
+        // 8 MB at 358 GB/s is ~23 us.
+        let us = cfg.cycles_to_micros(c);
+        assert!(us > 20.0 && us < 30.0, "got {us}");
+    }
+
+    #[test]
+    fn chunked_transfer_pays_latency_per_chunk() {
+        let d = dma();
+        let single = d.transfer_cycles(1 << 20);
+        let chunked = d.chunked_transfer_cycles(1 << 20, 8);
+        assert_eq!(
+            chunked.get() - single.get(),
+            d.access_latency().get() * 7
+        );
+    }
+
+    #[test]
+    fn throughput_matches_config() {
+        let cfg = NpuConfig::paper_default();
+        let d = DmaModel::new(&cfg);
+        assert!((d.bytes_per_cycle() - cfg.bytes_per_cycle()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_bytes() {
+        let d = dma();
+        let mut prev = Cycles::ZERO;
+        for bytes in [1u64, 100, 10_000, 1_000_000, 100_000_000] {
+            let c = d.transfer_cycles(bytes);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The architecture-aware analytical latency model of Algorithm 1.
+//!
+//! For every layer `(m, k, n)` of a network, the model computes the number of
+//! systolic-array tiles the layer splits into and the per-tile latency as the
+//! maximum of the tile's compute phase and the (double-buffered) memory phase
+//! that prefetches the next tile's operands. The network-wide latency is the
+//! sum over all layers.
+//!
+//! Two deliberate deviations from the paper's pseudo-code:
+//!
+//! * Algorithm 1 writes `⌊m/SW⌋·⌊k/SH⌋`; a literal floor would assign zero
+//!   tiles to layers narrower than the array, so we use a ceiling (matching
+//!   the simulator's tiling in `npu_sim::TilePlan`).
+//! * Layers that never touch the GEMM unit (stand-alone activation / pooling
+//!   layers) are ignored, exactly as in the paper. Their vector-unit time is
+//!   what makes the prediction slightly under-estimate the simulated time —
+//!   the paper reports a 1.6 % average estimation error.
+
+use std::collections::HashMap;
+
+use dnn_models::layer::GemmDims;
+use dnn_models::{ModelKind, NetworkGraph, SeqSpec};
+use npu_sim::{Cycles, NpuConfig};
+
+use crate::seqlen::SeqLenTable;
+use crate::InferenceTimePredictor;
+
+/// Estimates the execution time of a single `(m, k, n)` layer using
+/// Algorithm 1.
+pub fn estimate_layer_cycles(dims: GemmDims, cfg: &NpuConfig) -> Cycles {
+    let sw = cfg.systolic_width;
+    let sh = cfg.systolic_height;
+    let acc = cfg.accumulator_depth;
+    let bytes_per_cycle = cfg.bytes_per_cycle();
+    let bytes_per_element = npu_sim::config::BYTES_PER_ELEMENT as f64;
+
+    let m_tiles = dims.m.div_ceil(sw);
+    let k_tiles = dims.k.div_ceil(sh);
+    let n_inner = dims.n / acc;
+    let n_rem = dims.n % acc;
+
+    // Inner tiles: full accumulator depth (Algorithm 1, lines 3-5).
+    let c1 = acc + sh + 2 * sw;
+    let m1 = ((sh * sw + sh * acc) as f64 * bytes_per_element / bytes_per_cycle).ceil() as u64;
+    let t_inner = c1.max(m1);
+
+    // Outer (edge) tiles: the leftover n columns (lines 6-9).
+    let (t_outer, phi) = if n_rem == 0 {
+        (0, 0)
+    } else {
+        let c2 = n_rem + sh + 2 * sw;
+        let m2 =
+            ((sh * sw + sh * n_rem) as f64 * bytes_per_element / bytes_per_cycle).ceil() as u64;
+        (c2.max(m2), 1)
+    };
+
+    // Line 10: total tiles times per-tile latency.
+    let total = m_tiles * k_tiles * n_inner * t_inner + m_tiles * k_tiles * phi * t_outer;
+    Cycles::new(total)
+}
+
+/// Estimates the end-to-end latency of a network at the given batch size by
+/// summing Algorithm 1 over every GEMM-bearing layer in execution order.
+pub fn estimate_network_cycles(network: &NetworkGraph, batch: u64, cfg: &NpuConfig) -> Cycles {
+    network
+        .execution_order()
+        .into_iter()
+        .filter_map(|layer| layer.gemm_dims(batch))
+        .map(|dims| estimate_layer_cycles(dims, cfg))
+        .sum()
+}
+
+/// The PREMA default predictor: Algorithm 1 plus the profile-driven sequence
+/// length regression for seq2seq models.
+#[derive(Debug, Clone)]
+pub struct AnalyticalPredictor {
+    cfg: NpuConfig,
+    seq_tables: HashMap<ModelKind, SeqLenTable>,
+}
+
+impl AnalyticalPredictor {
+    /// Creates a predictor for the given NPU configuration with no profiled
+    /// sequence-length tables (RNN output lengths fall back to the mean
+    /// characterization relation of [`ModelKind::expected_output_len`]).
+    pub fn new(cfg: NpuConfig) -> Self {
+        AnalyticalPredictor {
+            cfg,
+            seq_tables: HashMap::new(),
+        }
+    }
+
+    /// Registers the profiled sequence-length regression table for a model.
+    pub fn with_seq_table(mut self, kind: ModelKind, table: SeqLenTable) -> Self {
+        self.seq_tables.insert(kind, table);
+        self
+    }
+
+    /// The NPU configuration this predictor targets.
+    pub fn config(&self) -> &NpuConfig {
+        &self.cfg
+    }
+
+    /// The registered sequence-length table for `kind`, if any.
+    pub fn seq_table(&self, kind: ModelKind) -> Option<&SeqLenTable> {
+        self.seq_tables.get(&kind)
+    }
+
+    /// Predicts the output sequence length the scheduler should plan for.
+    pub fn predict_output_len(&self, kind: ModelKind, input_len: u64) -> u64 {
+        if !kind.is_rnn() {
+            return 0;
+        }
+        match self.seq_tables.get(&kind) {
+            Some(table) if !table.is_empty() => table.predict(input_len),
+            _ => kind.expected_output_len(input_len),
+        }
+    }
+}
+
+impl InferenceTimePredictor for AnalyticalPredictor {
+    fn predict_cycles(&self, kind: ModelKind, batch: u64, input_len: u64) -> Cycles {
+        let seq = if kind.is_rnn() {
+            SeqSpec::new(input_len.max(1), self.predict_output_len(kind, input_len.max(1)))
+        } else {
+            SeqSpec::none()
+        };
+        let network = kind.build(batch, seq);
+        estimate_network_cycles(&network, batch, &self.cfg)
+    }
+
+    fn name(&self) -> &'static str {
+        "analytical"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::layer::GemmDims;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::paper_default()
+    }
+
+    #[test]
+    fn single_tile_layer_matches_formula() {
+        let c = cfg();
+        // Exactly one inner tile: m=SW, k=SH, n=ACC.
+        let dims = GemmDims {
+            m: c.systolic_width,
+            k: c.systolic_height,
+            n: c.accumulator_depth,
+        };
+        let t = estimate_layer_cycles(dims, &c);
+        let c1 = c.accumulator_depth + c.systolic_height + 2 * c.systolic_width;
+        let m1 = ((c.systolic_height * c.systolic_width
+            + c.systolic_height * c.accumulator_depth) as f64
+            * 2.0
+            / c.bytes_per_cycle())
+        .ceil() as u64;
+        assert_eq!(t.get(), c1.max(m1));
+    }
+
+    #[test]
+    fn edge_only_layer_uses_outer_tile_formula() {
+        let c = cfg();
+        let dims = GemmDims { m: 64, k: 64, n: 100 };
+        let t = estimate_layer_cycles(dims, &c);
+        let c2 = 100 + c.systolic_height + 2 * c.systolic_width;
+        let m2 = ((c.systolic_height * c.systolic_width + c.systolic_height * 100) as f64 * 2.0
+            / c.bytes_per_cycle())
+        .ceil() as u64;
+        assert_eq!(t.get(), c2.max(m2));
+    }
+
+    #[test]
+    fn estimate_scales_with_tile_count() {
+        let c = cfg();
+        let one = estimate_layer_cycles(
+            GemmDims {
+                m: c.systolic_width,
+                k: c.systolic_height,
+                n: c.accumulator_depth,
+            },
+            &c,
+        );
+        let four = estimate_layer_cycles(
+            GemmDims {
+                m: 2 * c.systolic_width,
+                k: 2 * c.systolic_height,
+                n: c.accumulator_depth,
+            },
+            &c,
+        );
+        assert_eq!(four.get(), 4 * one.get());
+    }
+
+    #[test]
+    fn network_estimate_sums_layer_estimates() {
+        let c = cfg();
+        let net = ModelKind::CnnAlexNet.build(1, SeqSpec::none());
+        let total = estimate_network_cycles(&net, 1, &c);
+        let by_hand: Cycles = net
+            .execution_order()
+            .into_iter()
+            .filter_map(|l| l.gemm_dims(1))
+            .map(|d| estimate_layer_cycles(d, &c))
+            .sum();
+        assert_eq!(total, by_hand);
+        assert!(total > Cycles::ZERO);
+    }
+
+    #[test]
+    fn cnn_inference_times_are_in_the_millisecond_range() {
+        let c = cfg();
+        let predictor = AnalyticalPredictor::new(c.clone());
+        for (kind, lo_ms, hi_ms) in [
+            (ModelKind::CnnAlexNet, 0.05, 5.0),
+            (ModelKind::CnnVggNet, 1.0, 45.0),
+            (ModelKind::CnnGoogLeNet, 0.05, 10.0),
+            (ModelKind::CnnMobileNet, 0.05, 10.0),
+        ] {
+            let ms = c.cycles_to_millis(predictor.predict_cycles(kind, 1, 0));
+            assert!(ms > lo_ms && ms < hi_ms, "{kind}: {ms} ms");
+        }
+    }
+
+    #[test]
+    fn batch_sixteen_takes_longer_than_batch_one() {
+        let predictor = AnalyticalPredictor::new(cfg());
+        let b1 = predictor.predict_cycles(ModelKind::CnnVggNet, 1, 0);
+        let b16 = predictor.predict_cycles(ModelKind::CnnVggNet, 16, 0);
+        assert!(b16 > b1 * 4);
+    }
+
+    #[test]
+    fn rnn_prediction_uses_seq_table_when_present() {
+        let predictor = AnalyticalPredictor::new(cfg());
+        let default_len = predictor.predict_output_len(ModelKind::RnnTranslation1, 20);
+        assert_eq!(default_len, ModelKind::RnnTranslation1.expected_output_len(20));
+
+        let table = SeqLenTable::from_samples([(20, 40), (20, 40)]);
+        let predictor = predictor.with_seq_table(ModelKind::RnnTranslation1, table);
+        assert_eq!(predictor.predict_output_len(ModelKind::RnnTranslation1, 20), 40);
+
+        // A longer predicted output means a longer predicted latency.
+        let short = AnalyticalPredictor::new(cfg())
+            .with_seq_table(ModelKind::RnnTranslation1, SeqLenTable::from_samples([(20, 10)]))
+            .predict_cycles(ModelKind::RnnTranslation1, 1, 20);
+        let long = AnalyticalPredictor::new(cfg())
+            .with_seq_table(ModelKind::RnnTranslation1, SeqLenTable::from_samples([(20, 40)]))
+            .predict_cycles(ModelKind::RnnTranslation1, 1, 20);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn cnn_output_len_prediction_is_zero() {
+        let predictor = AnalyticalPredictor::new(cfg());
+        assert_eq!(predictor.predict_output_len(ModelKind::CnnVggNet, 30), 0);
+    }
+
+    #[test]
+    fn predictor_reports_its_name_and_config() {
+        let predictor = AnalyticalPredictor::new(cfg());
+        assert_eq!(predictor.name(), "analytical");
+        assert_eq!(predictor.config(), &cfg());
+        assert!(predictor.seq_table(ModelKind::RnnSpeech).is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! MAC-count proxy predictor — the misleading baseline of Figure 10.
+//!
+//! "Blindly using the absolute number of MAC operations conducted per DNN as
+//! a proxy for estimating an inference task's execution time will lead to
+//! misleading results as it does not consider how the application is actually
+//! mapped into the underlying NPU architecture" (Section V-B). This predictor
+//! implements exactly that naive proxy (`MACs / peak MACs-per-cycle`) so the
+//! experiment harness can quantify how wrong it is for layers that
+//! underutilize the systolic array.
+
+use std::collections::HashMap;
+
+use dnn_models::{ModelKind, SeqSpec};
+use npu_sim::{Cycles, NpuConfig};
+
+use crate::seqlen::SeqLenTable;
+use crate::InferenceTimePredictor;
+
+/// Predictor that divides a network's MAC count by the array's peak MAC
+/// throughput.
+#[derive(Debug, Clone)]
+pub struct MacProxyPredictor {
+    cfg: NpuConfig,
+    seq_tables: HashMap<ModelKind, SeqLenTable>,
+}
+
+impl MacProxyPredictor {
+    /// Creates the proxy predictor for the given configuration.
+    pub fn new(cfg: NpuConfig) -> Self {
+        MacProxyPredictor {
+            cfg,
+            seq_tables: HashMap::new(),
+        }
+    }
+
+    /// Registers a profiled sequence-length table for a model.
+    pub fn with_seq_table(mut self, kind: ModelKind, table: SeqLenTable) -> Self {
+        self.seq_tables.insert(kind, table);
+        self
+    }
+
+    /// Predicts cycles from a raw MAC count.
+    pub fn cycles_for_macs(&self, macs: u64) -> Cycles {
+        let peak = self.cfg.peak_macs_per_cycle().max(1);
+        Cycles::new(macs.div_ceil(peak))
+    }
+
+    fn output_len(&self, kind: ModelKind, input_len: u64) -> u64 {
+        match self.seq_tables.get(&kind) {
+            Some(table) if !table.is_empty() => table.predict(input_len),
+            _ => kind.expected_output_len(input_len),
+        }
+    }
+}
+
+impl InferenceTimePredictor for MacProxyPredictor {
+    fn predict_cycles(&self, kind: ModelKind, batch: u64, input_len: u64) -> Cycles {
+        let seq = if kind.is_rnn() {
+            SeqSpec::new(input_len.max(1), self.output_len(kind, input_len.max(1)))
+        } else {
+            SeqSpec::none()
+        };
+        let network = kind.build(batch, seq);
+        self.cycles_for_macs(network.total_macs_for_batch(batch))
+    }
+
+    fn name(&self) -> &'static str {
+        "mac-proxy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytical::AnalyticalPredictor;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::paper_default()
+    }
+
+    #[test]
+    fn cycles_scale_linearly_with_macs() {
+        let p = MacProxyPredictor::new(cfg());
+        let one = p.cycles_for_macs(16_384);
+        let ten = p.cycles_for_macs(163_840);
+        assert_eq!(ten.get(), 10 * one.get());
+        assert_eq!(one, Cycles::new(1));
+    }
+
+    #[test]
+    fn proxy_underestimates_underutilized_networks_most() {
+        // MobileNet's depthwise layers underutilize the array, so the MAC
+        // proxy underestimates it far more than it underestimates VGG.
+        let c = cfg();
+        let proxy = MacProxyPredictor::new(c.clone());
+        let analytical = AnalyticalPredictor::new(c);
+        let ratio = |kind: ModelKind| {
+            analytical.predict_cycles(kind, 1, 0).get() as f64
+                / proxy.predict_cycles(kind, 1, 0).get().max(1) as f64
+        };
+        let mobilenet_gap = ratio(ModelKind::CnnMobileNet);
+        let vgg_gap = ratio(ModelKind::CnnVggNet);
+        assert!(
+            mobilenet_gap > vgg_gap && mobilenet_gap > 2.0,
+            "MobileNet gap {mobilenet_gap} vs VGG gap {vgg_gap}"
+        );
+    }
+
+    #[test]
+    fn rnn_prediction_respects_seq_table() {
+        let p = MacProxyPredictor::new(cfg())
+            .with_seq_table(ModelKind::RnnTranslation1, SeqLenTable::from_samples([(10, 50)]));
+        let long = p.predict_cycles(ModelKind::RnnTranslation1, 1, 10);
+        let short = MacProxyPredictor::new(cfg()).predict_cycles(ModelKind::RnnTranslation1, 1, 10);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn name_is_mac_proxy() {
+        assert_eq!(MacProxyPredictor::new(cfg()).name(), "mac-proxy");
+    }
+}

@@ -1,0 +1,217 @@
+//! Two-task preemption microbenchmarks (Section IV-D, Figures 5 and 6).
+//!
+//! A low-priority task starts first; a high-priority task is dispatched at a
+//! uniformly random point of the low-priority task's isolated execution and
+//! preempts it (under P-HPF) with the mechanism under study. The figures
+//! report, per preempted/preempting model and batch size: the preemption
+//! latency, the preempting task's waiting time, and the resulting STP / NTT
+//! relative to NP-FCFS.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dnn_models::{ModelKind, SeqSpec};
+use npu_sim::{Cycles, NpuConfig};
+use prema_core::plan::ExecutionPlan;
+use prema_core::{Priority, TaskId, TaskRequest};
+
+use crate::seqlen::{sample_input_len, sample_output_len};
+
+/// The batch sizes swept in Figures 5 and 6.
+pub const BATCH_SIZES: [u64; 3] = [1, 4, 16];
+
+/// One two-task preemption scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreemptionScenario {
+    /// The low-priority task that is running when the preemption request
+    /// arrives.
+    pub victim: TaskRequest,
+    /// The high-priority task that triggers the preemption.
+    pub preemptor: TaskRequest,
+}
+
+impl PreemptionScenario {
+    /// The two requests in dispatch order.
+    pub fn requests(&self) -> [TaskRequest; 2] {
+        [self.victim, self.preemptor]
+    }
+}
+
+/// Builds one scenario: `victim_model` (low priority, batch `victim_batch`)
+/// starts at time zero; `preemptor_model` (high priority, batch
+/// `preemptor_batch`) arrives at a uniformly random fraction of the victim's
+/// isolated execution time.
+#[allow(clippy::too_many_arguments)]
+pub fn scenario<R: Rng + ?Sized>(
+    victim_model: ModelKind,
+    victim_batch: u64,
+    preemptor_model: ModelKind,
+    preemptor_batch: u64,
+    npu: &NpuConfig,
+    rng: &mut R,
+) -> PreemptionScenario {
+    let victim_seq = seq_for(victim_model, rng);
+    let preemptor_seq = seq_for(preemptor_model, rng);
+
+    let victim = TaskRequest::new(TaskId(0), victim_model)
+        .with_batch(victim_batch)
+        .with_priority(Priority::Low)
+        .with_seq(victim_seq);
+
+    // Uniform random preemption point across the victim's execution.
+    let victim_isolated =
+        ExecutionPlan::compile(victim_model, victim_batch, victim_seq, npu).total_cycles();
+    let fraction: f64 = rng.gen_range(0.05..0.95);
+    let arrival = Cycles::new((victim_isolated.get() as f64 * fraction) as u64);
+
+    let preemptor = TaskRequest::new(TaskId(1), preemptor_model)
+        .with_batch(preemptor_batch)
+        .with_priority(Priority::High)
+        .with_seq(preemptor_seq)
+        .with_arrival(arrival);
+
+    PreemptionScenario { victim, preemptor }
+}
+
+fn seq_for<R: Rng + ?Sized>(model: ModelKind, rng: &mut R) -> SeqSpec {
+    if model.is_rnn() {
+        let input_len = sample_input_len(model, rng);
+        SeqSpec::new(input_len, sample_output_len(model, input_len, rng))
+    } else {
+        SeqSpec::none()
+    }
+}
+
+/// Builds the Figure 5 sweep for one *victim* model and batch size: the
+/// preemptor is drawn randomly among the eight DNNs and the three batch
+/// sizes, `repeats` times.
+pub fn victim_sweep<R: Rng + ?Sized>(
+    victim_model: ModelKind,
+    victim_batch: u64,
+    repeats: usize,
+    npu: &NpuConfig,
+    rng: &mut R,
+) -> Vec<PreemptionScenario> {
+    (0..repeats)
+        .map(|_| {
+            let preemptor_model =
+                dnn_models::ALL_EVAL_MODELS[rng.gen_range(0..dnn_models::ALL_EVAL_MODELS.len())];
+            let preemptor_batch = BATCH_SIZES[rng.gen_range(0..BATCH_SIZES.len())];
+            scenario(
+                victim_model,
+                victim_batch,
+                preemptor_model,
+                preemptor_batch,
+                npu,
+                rng,
+            )
+        })
+        .collect()
+}
+
+/// Builds the Figure 6 sweep for one *preemptor* model and batch size: the
+/// victim is drawn randomly among the eight DNNs and the three batch sizes.
+pub fn preemptor_sweep<R: Rng + ?Sized>(
+    preemptor_model: ModelKind,
+    preemptor_batch: u64,
+    repeats: usize,
+    npu: &NpuConfig,
+    rng: &mut R,
+) -> Vec<PreemptionScenario> {
+    (0..repeats)
+        .map(|_| {
+            let victim_model =
+                dnn_models::ALL_EVAL_MODELS[rng.gen_range(0..dnn_models::ALL_EVAL_MODELS.len())];
+            let victim_batch = BATCH_SIZES[rng.gen_range(0..BATCH_SIZES.len())];
+            scenario(
+                victim_model,
+                victim_batch,
+                preemptor_model,
+                preemptor_batch,
+                npu,
+                rng,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn npu() -> NpuConfig {
+        NpuConfig::paper_default()
+    }
+
+    #[test]
+    fn scenario_orders_victim_before_preemptor() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = scenario(
+            ModelKind::CnnVggNet,
+            1,
+            ModelKind::CnnAlexNet,
+            1,
+            &npu(),
+            &mut rng,
+        );
+        assert_eq!(s.victim.arrival, Cycles::ZERO);
+        assert!(s.preemptor.arrival > Cycles::ZERO);
+        assert_eq!(s.victim.priority, Priority::Low);
+        assert_eq!(s.preemptor.priority, Priority::High);
+        assert_eq!(s.requests()[0].id, TaskId(0));
+        assert_eq!(s.requests()[1].id, TaskId(1));
+    }
+
+    #[test]
+    fn preemption_point_is_within_the_victims_execution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = npu();
+        for _ in 0..10 {
+            let s = scenario(
+                ModelKind::CnnAlexNet,
+                4,
+                ModelKind::CnnGoogLeNet,
+                1,
+                &c,
+                &mut rng,
+            );
+            let victim_isolated =
+                ExecutionPlan::compile(ModelKind::CnnAlexNet, 4, SeqSpec::none(), &c).total_cycles();
+            assert!(s.preemptor.arrival < victim_isolated);
+        }
+    }
+
+    #[test]
+    fn sweeps_produce_the_requested_number_of_scenarios() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = npu();
+        let victims = victim_sweep(ModelKind::CnnMobileNet, 4, 5, &c, &mut rng);
+        assert_eq!(victims.len(), 5);
+        assert!(victims
+            .iter()
+            .all(|s| s.victim.model == ModelKind::CnnMobileNet && s.victim.batch == 4));
+
+        let preemptors = preemptor_sweep(ModelKind::RnnSentiment, 1, 5, &c, &mut rng);
+        assert_eq!(preemptors.len(), 5);
+        assert!(preemptors
+            .iter()
+            .all(|s| s.preemptor.model == ModelKind::RnnSentiment && s.preemptor.batch == 1));
+    }
+
+    #[test]
+    fn rnn_participants_get_sequence_lengths() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = scenario(
+            ModelKind::RnnTranslation1,
+            1,
+            ModelKind::RnnSpeech,
+            1,
+            &npu(),
+            &mut rng,
+        );
+        assert!(s.victim.seq.input_len > 0 && s.victim.seq.output_len > 0);
+        assert!(s.preemptor.seq.input_len > 0 && s.preemptor.seq.output_len > 0);
+    }
+}

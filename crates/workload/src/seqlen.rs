@@ -1,0 +1,201 @@
+//! Synthetic sequence-length characterization (the Figure 9 substitution).
+//!
+//! The paper profiles Google Translate over WMT-2016 and the Google Speech
+//! Recognition API over LibriSpeech to characterize how the time-unrolled
+//! output sequence length relates to the (statically known) input sequence
+//! length. Those services and datasets are not available here, so this module
+//! substitutes a generative model with the same qualitative shape: the output
+//! length is the model's mean relation (`ModelKind::expected_output_len`)
+//! perturbed by bounded multiplicative noise, with language-dependent slope
+//! (German slightly longer than English, Korean shorter, ASR text much
+//! shorter than its audio-frame input). The 25–75 % interquartile range of
+//! the resulting distributions stays within a narrow band around the mean,
+//! matching the paper's observation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dnn_models::ModelKind;
+use prema_predictor::SeqLenTable;
+
+/// Relative noise applied to the mean output length (one-sigma, as a fraction
+/// of the mean).
+const RELATIVE_NOISE: f64 = 0.15;
+
+/// A synthetic profile of one seq2seq application: the samples that would
+/// have been collected by running the application over its test set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeqLenCharacterization {
+    model: ModelKind,
+    samples: Vec<(u64, u64)>,
+}
+
+impl SeqLenCharacterization {
+    /// Profiles `model` with `samples_per_length` inference tests per input
+    /// length across the model's input-length range (Figure 9 uses 1500
+    /// samples per application).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not an RNN or `samples_per_length` is zero.
+    pub fn profile<R: Rng + ?Sized>(
+        model: ModelKind,
+        samples_per_length: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(model.is_rnn(), "only RNN models have sequence characterizations");
+        assert!(samples_per_length > 0, "at least one sample per length is required");
+        let (lo, hi) = model.input_len_range();
+        let mut samples = Vec::new();
+        for input_len in lo..=hi {
+            for _ in 0..samples_per_length {
+                samples.push((input_len, sample_output_len(model, input_len, rng)));
+            }
+        }
+        SeqLenCharacterization { model, samples }
+    }
+
+    /// The profiled model.
+    pub fn model(&self) -> ModelKind {
+        self.model
+    }
+
+    /// The raw `(input_len, output_len)` samples.
+    pub fn samples(&self) -> &[(u64, u64)] {
+        &self.samples
+    }
+
+    /// Builds the software lookup-table regression model of Section V-B from
+    /// the profiled samples.
+    pub fn to_table(&self) -> SeqLenTable {
+        SeqLenTable::from_samples(self.samples.iter().copied())
+    }
+}
+
+/// Draws the *actual* output sequence length a request with `input_len` will
+/// unroll to, using the same generative process as the profiling pass (so the
+/// profiled table is an unbiased regression of the actual behaviour).
+pub fn sample_output_len<R: Rng + ?Sized>(model: ModelKind, input_len: u64, rng: &mut R) -> u64 {
+    if !model.is_rnn() {
+        return 0;
+    }
+    let mean = model.expected_output_len(input_len) as f64;
+    if !model.has_dynamic_output_len() {
+        // Linear applications (sentiment analysis): output length is exactly
+        // determined by the input length.
+        return mean.round() as u64;
+    }
+    // Irwin–Hall approximation of a normal around the mean.
+    let unit: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+    let noisy = mean * (1.0 + RELATIVE_NOISE * unit);
+    (noisy.round() as i64).max(1) as u64
+}
+
+/// Draws a uniformly random input sequence length from the model's profiled
+/// input range (Section VI: "the input sequence length is randomly chosen
+/// among the profiled/tested set of input sentence lengths").
+pub fn sample_input_len<R: Rng + ?Sized>(model: ModelKind, rng: &mut R) -> u64 {
+    let (lo, hi) = model.input_len_range();
+    if hi == 0 {
+        return 0;
+    }
+    rng.gen_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::RNN_MODELS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn characterization_covers_the_input_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = SeqLenCharacterization::profile(ModelKind::RnnTranslation1, 10, &mut rng);
+        let (lo, hi) = ModelKind::RnnTranslation1.input_len_range();
+        assert_eq!(c.samples().len(), ((hi - lo + 1) * 10) as usize);
+        assert_eq!(c.model(), ModelKind::RnnTranslation1);
+        let inputs: Vec<u64> = c.samples().iter().map(|s| s.0).collect();
+        assert!(inputs.contains(&lo) && inputs.contains(&hi));
+    }
+
+    #[test]
+    fn regression_table_tracks_the_mean_relation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for model in [ModelKind::RnnTranslation1, ModelKind::RnnTranslation2, ModelKind::RnnSpeech] {
+            let table = SeqLenCharacterization::profile(model, 50, &mut rng).to_table();
+            let (lo, hi) = model.input_len_range();
+            for input_len in [lo, (lo + hi) / 2, hi] {
+                let predicted = table.predict(input_len) as f64;
+                let mean = model.expected_output_len(input_len) as f64;
+                assert!(
+                    (predicted - mean).abs() <= (0.15 * mean).max(2.0),
+                    "{model}: predicted {predicted} vs mean {mean} at input {input_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_models_have_deterministic_output_lengths() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            assert_eq!(sample_output_len(ModelKind::RnnSentiment, 23, &mut rng), 23);
+        }
+    }
+
+    #[test]
+    fn nonlinear_models_vary_but_stay_near_the_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean = ModelKind::RnnTranslation1.expected_output_len(30) as f64;
+        let draws: Vec<u64> = (0..200)
+            .map(|_| sample_output_len(ModelKind::RnnTranslation1, 30, &mut rng))
+            .collect();
+        let distinct: std::collections::BTreeSet<u64> = draws.iter().copied().collect();
+        assert!(distinct.len() > 3, "output lengths should vary");
+        let avg = draws.iter().sum::<u64>() as f64 / draws.len() as f64;
+        assert!((avg - mean).abs() < 0.1 * mean, "avg {avg} vs mean {mean}");
+        assert!(draws.iter().all(|&d| d >= 1));
+    }
+
+    #[test]
+    fn asr_outputs_are_shorter_than_inputs_and_mt_german_longer() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let asr: f64 = (0..100)
+            .map(|_| sample_output_len(ModelKind::RnnSpeech, 80, &mut rng) as f64)
+            .sum::<f64>()
+            / 100.0;
+        assert!(asr < 80.0 * 0.7);
+        let de: f64 = (0..100)
+            .map(|_| sample_output_len(ModelKind::RnnTranslation1, 30, &mut rng) as f64)
+            .sum::<f64>()
+            / 100.0;
+        assert!(de > 30.0);
+        let ko: f64 = (0..100)
+            .map(|_| sample_output_len(ModelKind::RnnTranslation2, 30, &mut rng) as f64)
+            .sum::<f64>()
+            / 100.0;
+        assert!(ko < 30.0);
+    }
+
+    #[test]
+    fn input_length_sampling_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for model in RNN_MODELS {
+            let (lo, hi) = model.input_len_range();
+            for _ in 0..50 {
+                let len = sample_input_len(model, &mut rng);
+                assert!(len >= lo && len <= hi);
+            }
+        }
+        assert_eq!(sample_input_len(ModelKind::CnnAlexNet, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only RNN models")]
+    fn cnn_characterization_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = SeqLenCharacterization::profile(ModelKind::CnnVggNet, 5, &mut rng);
+    }
+}

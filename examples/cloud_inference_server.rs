@@ -1,0 +1,70 @@
+//! A cloud "MLaaS" inference-server scenario (the workload that motivates the
+//! paper's introduction): a burst of mixed CNN/RNN requests with different
+//! priority tiers lands on a single NPU, and we compare how the baseline
+//! NP-FCFS runtime and PREMA serve it.
+//!
+//! ```text
+//! cargo run --release --example cloud_inference_server
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use prema::metrics::{MultiTaskMetrics, SlaCurve};
+use prema::workload::generator::{generate_workload, WorkloadConfig};
+use prema::workload::prepare::{outcomes_of, prepare_workload};
+use prema::{AnalyticalPredictor, NpuConfig, NpuSimulator, SchedulerConfig};
+
+fn main() {
+    let npu = NpuConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Twelve requests drawn from the eight evaluation DNNs, arriving within a
+    // 20 ms window with random low/medium/high priorities.
+    let workload_cfg = WorkloadConfig {
+        task_count: 12,
+        ..WorkloadConfig::paper_default()
+    };
+    let spec = generate_workload(&workload_cfg, &mut rng);
+
+    // The scheduler's estimates come from the architecture-aware analytical
+    // predictor (Algorithm 1).
+    let predictor = AnalyticalPredictor::new(npu.clone());
+    let prepared = prepare_workload(&spec, &npu, Some(&predictor));
+
+    println!("incoming requests:");
+    for task in &prepared.tasks {
+        println!(
+            "  {}  {:<8} batch {:<2} priority {:<6} arrives at {:>6.2} ms (isolated {:>6.2} ms)",
+            task.request.id,
+            task.request.model.paper_name(),
+            task.request.batch,
+            task.request.priority.to_string(),
+            npu.cycles_to_millis(task.request.arrival),
+            npu.cycles_to_millis(task.isolated_cycles()),
+        );
+    }
+    println!();
+
+    for scheduler in [SchedulerConfig::np_fcfs(), SchedulerConfig::paper_default()] {
+        let label = scheduler.label();
+        let simulator = NpuSimulator::new(npu.clone(), scheduler);
+        let outcome = simulator.run(&prepared.tasks);
+        let metrics = MultiTaskMetrics::from_outcomes(&outcomes_of(&outcome.records));
+        let sla = SlaCurve::sweep(&outcomes_of(&outcome.records), (2..=20).map(|n| n as f64));
+
+        println!("== {label} ==");
+        println!("  ANTT      {:.2}", metrics.antt);
+        println!("  STP       {:.2}", metrics.stp);
+        println!("  fairness  {:.3}", metrics.fairness);
+        println!(
+            "  SLA violations at 4x isolated: {:.0}%",
+            sla.rate_at(4.0).unwrap_or(0.0) * 100.0
+        );
+        println!(
+            "  preemptions: {} checkpoint, {} drain decisions",
+            outcome.checkpoint_preemptions, outcome.drain_decisions
+        );
+        println!();
+    }
+}

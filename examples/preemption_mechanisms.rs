@@ -1,0 +1,76 @@
+//! Explore the three NPU preemption mechanisms (KILL, CHECKPOINT, DRAIN) on a
+//! two-task scenario: a low-priority VGG-16 inference is interrupted by a
+//! high-priority GoogLeNet request — the Section IV-D experiment in miniature.
+//!
+//! ```text
+//! cargo run --release --example preemption_mechanisms
+//! ```
+
+use prema::npu::CheckpointModel;
+use prema::{
+    ModelKind, NpuConfig, NpuSimulator, PolicyKind, PreemptionMechanism, PreemptionMode, Priority,
+    SchedulerConfig, TaskId, TaskRequest,
+};
+
+fn main() {
+    let npu = NpuConfig::paper_default();
+
+    // The victim starts at t=0; the preemptor arrives 40% into its execution.
+    let victim = TaskRequest::new(TaskId(0), ModelKind::CnnVggNet).with_priority(Priority::Low);
+    let victim_isolated = NpuSimulator::new(npu.clone(), SchedulerConfig::np_fcfs())
+        .prepare(&[victim])[0]
+        .isolated_cycles();
+    let preemptor = TaskRequest::new(TaskId(1), ModelKind::CnnGoogLeNet)
+        .with_priority(Priority::High)
+        .with_arrival(victim_isolated * 2 / 5);
+    let requests = [victim, preemptor];
+
+    println!(
+        "victim: VGG-16 (isolated {:.2} ms), preemptor: GoogLeNet arriving at {:.2} ms\n",
+        npu.cycles_to_millis(victim_isolated),
+        npu.cycles_to_millis(preemptor.arrival),
+    );
+    println!(
+        "worst-case checkpoint latency on this NPU: {:.1} us\n",
+        npu.cycles_to_micros(CheckpointModel::new(&npu).worst_case_checkpoint_cycles())
+    );
+
+    let configurations = [
+        ("DRAIN  (NP-HPF)", SchedulerConfig::named(PolicyKind::Hpf, PreemptionMode::NonPreemptive)),
+        (
+            "KILL   (P-HPF)",
+            SchedulerConfig::named(
+                PolicyKind::Hpf,
+                PreemptionMode::Static(PreemptionMechanism::Kill),
+            ),
+        ),
+        (
+            "CHECKPOINT (P-HPF)",
+            SchedulerConfig::named(
+                PolicyKind::Hpf,
+                PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+            ),
+        ),
+        ("PREMA (dynamic)", SchedulerConfig::paper_default()),
+    ];
+
+    println!(
+        "{:<20} {:>14} {:>14} {:>16} {:>12}",
+        "mechanism", "victim (ms)", "preemptor (ms)", "preemptor wait", "STP"
+    );
+    for (label, cfg) in configurations {
+        let simulator = NpuSimulator::new(npu.clone(), cfg);
+        let prepared = simulator.prepare(&requests);
+        let outcome = simulator.run(&prepared);
+        let victim_record = outcome.record(TaskId(0)).expect("victim ran");
+        let preemptor_record = outcome.record(TaskId(1)).expect("preemptor ran");
+        println!(
+            "{:<20} {:>14.2} {:>14.2} {:>13.2} us {:>12.2}",
+            label,
+            npu.cycles_to_millis(victim_record.turnaround()),
+            npu.cycles_to_millis(preemptor_record.turnaround()),
+            npu.cycles_to_micros(preemptor_record.waiting()),
+            outcome.stp(),
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Compare every scheduling policy of the paper (FCFS, RRB, HPF, TOKEN, SJF,
+//! PREMA) in both non-preemptive and preemptive/dynamic modes on the same
+//! multi-tasked workload — a miniature Figure 11 + Figure 12.
+//!
+//! ```text
+//! cargo run --release --example scheduler_comparison
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use prema::metrics::{MultiTaskMetrics, TableBuilder};
+use prema::workload::generator::{generate_workload, WorkloadConfig};
+use prema::workload::prepare::{outcomes_of, prepare_workload};
+use prema::{
+    AnalyticalPredictor, NpuConfig, NpuSimulator, PolicyKind, PreemptionMode, SchedulerConfig,
+};
+
+fn main() {
+    let npu = NpuConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(42);
+    let spec = generate_workload(&WorkloadConfig::paper_default(), &mut rng);
+    let predictor = AnalyticalPredictor::new(npu.clone());
+    let prepared = prepare_workload(&spec, &npu, Some(&predictor));
+
+    let baseline = NpuSimulator::new(npu.clone(), SchedulerConfig::np_fcfs()).run(&prepared.tasks);
+    let baseline_metrics = MultiTaskMetrics::from_outcomes(&outcomes_of(&baseline.records));
+
+    let mut table = TableBuilder::new(vec![
+        "configuration".into(),
+        "ANTT".into(),
+        "STP".into(),
+        "fairness".into(),
+        "ANTT improvement".into(),
+    ])
+    .title("Scheduler comparison on one 8-task workload (vs NP-FCFS)");
+
+    for policy in PolicyKind::ALL {
+        for preemption in [PreemptionMode::NonPreemptive, PreemptionMode::Dynamic] {
+            let cfg = SchedulerConfig::named(policy, preemption);
+            let label = cfg.label();
+            let outcome = NpuSimulator::new(npu.clone(), cfg).run(&prepared.tasks);
+            let metrics = MultiTaskMetrics::from_outcomes(&outcomes_of(&outcome.records));
+            table = table.row(vec![
+                label,
+                format!("{:.2}", metrics.antt),
+                format!("{:.2}", metrics.stp),
+                format!("{:.3}", metrics.fairness),
+                format!("{:.2}x", metrics.antt_improvement_over(&baseline_metrics)),
+            ]);
+        }
+    }
+
+    println!("{}", table.build());
+    println!(
+        "baseline NP-FCFS: ANTT {:.2}, STP {:.2}, fairness {:.3}",
+        baseline_metrics.antt, baseline_metrics.stp, baseline_metrics.fairness
+    );
+}

@@ -1,0 +1,234 @@
+//! End-to-end integration tests spanning the whole workspace: workload
+//! generation → predictor → preemptible-NPU engine → metrics. These check the
+//! *shape* of the paper's headline claims rather than absolute numbers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use prema::metrics::sla::violation_rate;
+use prema::metrics::MultiTaskMetrics;
+use prema::npu::Cycles;
+use prema::workload::generator::{generate_workload, WorkloadConfig};
+use prema::workload::prepare::{outcomes_of, prepare_workload};
+use prema::{
+    AnalyticalPredictor, ModelKind, NpuConfig, NpuSimulator, PolicyKind, PreemptionMechanism,
+    PreemptionMode, Priority, SchedulerConfig, TaskId, TaskRequest,
+};
+
+fn npu() -> NpuConfig {
+    NpuConfig::paper_default()
+}
+
+fn run_policy(
+    cfg: SchedulerConfig,
+    prepared: &[prema::PreparedTask],
+) -> (prema::SimOutcome, MultiTaskMetrics) {
+    let outcome = NpuSimulator::new(npu(), cfg).run(prepared);
+    let metrics = MultiTaskMetrics::from_outcomes(&outcomes_of(&outcome.records));
+    (outcome, metrics)
+}
+
+fn paper_workload(seed: u64) -> Vec<prema::PreparedTask> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = generate_workload(&WorkloadConfig::paper_default(), &mut rng);
+    let predictor = AnalyticalPredictor::new(npu());
+    prepare_workload(&spec, &npu(), Some(&predictor)).tasks
+}
+
+#[test]
+fn prema_beats_np_fcfs_on_antt_and_fairness_across_seeds() {
+    let mut antt_wins = 0;
+    let mut fairness_wins = 0;
+    let seeds = [1u64, 2, 3, 4, 5];
+    for &seed in &seeds {
+        let prepared = paper_workload(seed);
+        let (_, baseline) = run_policy(SchedulerConfig::np_fcfs(), &prepared);
+        let (_, prema) = run_policy(SchedulerConfig::paper_default(), &prepared);
+        if prema.antt <= baseline.antt {
+            antt_wins += 1;
+        }
+        if prema.fairness >= baseline.fairness {
+            fairness_wins += 1;
+        }
+    }
+    assert!(antt_wins >= 4, "PREMA better ANTT on only {antt_wins}/5 seeds");
+    assert!(
+        fairness_wins >= 4,
+        "PREMA better fairness on only {fairness_wins}/5 seeds"
+    );
+}
+
+#[test]
+fn preemptive_prema_reduces_sla_violations_versus_np_fcfs() {
+    let mut baseline_rates = Vec::new();
+    let mut prema_rates = Vec::new();
+    for seed in 10..14u64 {
+        let prepared = paper_workload(seed);
+        let (base_outcome, _) = run_policy(SchedulerConfig::np_fcfs(), &prepared);
+        let (prema_outcome, _) = run_policy(SchedulerConfig::paper_default(), &prepared);
+        baseline_rates.push(violation_rate(&outcomes_of(&base_outcome.records), 4.0));
+        prema_rates.push(violation_rate(&outcomes_of(&prema_outcome.records), 4.0));
+    }
+    let baseline_avg: f64 = baseline_rates.iter().sum::<f64>() / baseline_rates.len() as f64;
+    let prema_avg: f64 = prema_rates.iter().sum::<f64>() / prema_rates.len() as f64;
+    assert!(
+        prema_avg <= baseline_avg,
+        "PREMA SLA violation rate {prema_avg} should not exceed NP-FCFS {baseline_avg}"
+    );
+}
+
+#[test]
+fn sjf_is_latency_optimal_but_prema_stays_close() {
+    // Figure 11/12: SJF has the best ANTT; PREMA reaches most of it while
+    // remaining priority-aware.
+    let mut sjf_antt = 0.0;
+    let mut prema_antt = 0.0;
+    let mut fcfs_antt = 0.0;
+    let seeds = [21u64, 22, 23];
+    for &seed in &seeds {
+        let prepared = paper_workload(seed);
+        let (_, sjf) = run_policy(
+            SchedulerConfig::named(PolicyKind::Sjf, PreemptionMode::Dynamic),
+            &prepared,
+        );
+        let (_, prema) = run_policy(SchedulerConfig::paper_default(), &prepared);
+        let (_, fcfs) = run_policy(SchedulerConfig::np_fcfs(), &prepared);
+        sjf_antt += sjf.antt;
+        prema_antt += prema.antt;
+        fcfs_antt += fcfs.antt;
+    }
+    assert!(sjf_antt <= prema_antt * 1.05, "SJF should be (near) latency optimal");
+    assert!(prema_antt < fcfs_antt, "PREMA should beat NP-FCFS on ANTT");
+    // PREMA keeps a large share of SJF's ANTT advantage (the paper reports
+    // 92% in the non-preemptive setting; PREMA additionally honours priority
+    // and token constraints, so we only require the same order of magnitude).
+    let prema_gain = fcfs_antt / prema_antt;
+    let sjf_gain = fcfs_antt / sjf_antt;
+    assert!(
+        prema_gain >= 0.25 * sjf_gain,
+        "PREMA gain {prema_gain:.2} too far behind SJF gain {sjf_gain:.2}"
+    );
+}
+
+#[test]
+fn high_priority_tail_latency_ordering_matches_figure_14() {
+    // For a high-priority GoogLeNet request competing with heavy background
+    // work: Isolated <= PREMA < NP-FCFS.
+    let npu = npu();
+    let requests = vec![
+        TaskRequest::new(TaskId(0), ModelKind::CnnVggNet)
+            .with_batch(4)
+            .with_priority(Priority::Low),
+        TaskRequest::new(TaskId(1), ModelKind::RnnTranslation1).with_priority(Priority::Low),
+        TaskRequest::new(TaskId(2), ModelKind::CnnGoogLeNet)
+            .with_priority(Priority::High)
+            .with_arrival(npu.millis_to_cycles(1.0)),
+    ];
+    let predictor = AnalyticalPredictor::new(npu.clone());
+    let prepared = prema::workload::prepare::prepare_requests(&requests, &npu, Some(&predictor));
+
+    let isolated_ms = npu.cycles_to_millis(
+        prepared
+            .iter()
+            .find(|t| t.request.id == TaskId(2))
+            .unwrap()
+            .isolated_cycles(),
+    );
+    let (base_outcome, _) = run_policy(SchedulerConfig::np_fcfs(), &prepared);
+    let (prema_outcome, _) = run_policy(SchedulerConfig::paper_default(), &prepared);
+
+    let base_ms = npu.cycles_to_millis(base_outcome.record(TaskId(2)).unwrap().turnaround());
+    let prema_ms = npu.cycles_to_millis(prema_outcome.record(TaskId(2)).unwrap().turnaround());
+
+    assert!(prema_ms >= isolated_ms * 0.99);
+    assert!(
+        prema_ms < base_ms,
+        "PREMA high-priority latency {prema_ms:.2} ms should beat NP-FCFS {base_ms:.2} ms"
+    );
+    // The paper reports PREMA staying within ~1.4-1.6x of isolated while
+    // NP-FCFS blows up by an order of magnitude on loaded servers; on this
+    // 3-task scenario we only require a clear separation.
+    assert!(base_ms / isolated_ms > prema_ms / isolated_ms);
+}
+
+#[test]
+fn checkpoint_dominates_kill_on_throughput() {
+    // Figure 15 / Section IV-E: CHECKPOINT achieves higher STP than KILL
+    // while providing comparable latency benefits.
+    let mut checkpoint_stp = 0.0;
+    let mut kill_stp = 0.0;
+    for seed in 31..34u64 {
+        let prepared = paper_workload(seed);
+        let (_, ckpt) = run_policy(
+            SchedulerConfig::named(
+                PolicyKind::Prema,
+                PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+            ),
+            &prepared,
+        );
+        let (_, kill) = run_policy(
+            SchedulerConfig::named(
+                PolicyKind::Prema,
+                PreemptionMode::Static(PreemptionMechanism::Kill),
+            ),
+            &prepared,
+        );
+        checkpoint_stp += ckpt.stp;
+        kill_stp += kill.stp;
+    }
+    assert!(
+        checkpoint_stp >= kill_stp,
+        "CHECKPOINT STP {checkpoint_stp:.2} should be at least KILL STP {kill_stp:.2}"
+    );
+}
+
+#[test]
+fn every_policy_preserves_work_conservation_invariants() {
+    let prepared = paper_workload(77);
+    for policy in PolicyKind::ALL {
+        for mode in [PreemptionMode::NonPreemptive, PreemptionMode::Dynamic] {
+            let cfg = SchedulerConfig::named(policy, mode);
+            let label = cfg.label();
+            let outcome = NpuSimulator::new(npu(), cfg).run(&prepared);
+            assert_eq!(outcome.records.len(), prepared.len(), "{label}");
+            for record in &outcome.records {
+                assert!(record.completion > record.arrival, "{label}");
+                assert!(record.first_start >= record.arrival, "{label}");
+                assert!(
+                    record.turnaround() >= record.isolated_cycles,
+                    "{label}: turnaround below isolated time"
+                );
+                assert!(record.ntt() >= 0.999, "{label}");
+            }
+            // The NPU can't finish all tasks faster than the longest one runs
+            // in isolation.
+            let max_isolated = outcome
+                .records
+                .iter()
+                .map(|r| r.isolated_cycles)
+                .max()
+                .unwrap();
+            assert!(outcome.makespan >= max_isolated, "{label}");
+            assert!(outcome.makespan > Cycles::ZERO, "{label}");
+        }
+    }
+}
+
+#[test]
+fn predictor_estimates_track_isolated_times_across_the_zoo() {
+    let predictor = AnalyticalPredictor::new(npu());
+    let mut rng = StdRng::seed_from_u64(5);
+    let spec = generate_workload(
+        &WorkloadConfig {
+            task_count: 16,
+            ..WorkloadConfig::paper_default()
+        },
+        &mut rng,
+    );
+    let prepared = prepare_workload(&spec, &npu(), Some(&predictor));
+    let error = prepared.mean_estimation_error();
+    assert!(
+        error < 0.3,
+        "mean estimation error {error} too large for scheduling purposes"
+    );
+}
