@@ -1,0 +1,48 @@
+//! Engine throughput bench: scheduler events per second on the paper-default
+//! 8-task workload, plus the plan-compilation cache hit path. Tracks the hot
+//! loop so future PRs can spot regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use npu_sim::NpuConfig;
+use prema_core::plan::plan_cache;
+use prema_core::{NpuSimulator, SchedulerConfig};
+use prema_workload::generator::{generate_workload, WorkloadConfig};
+use prema_workload::prepare::prepare_workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let npu = NpuConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(2020);
+    let spec = generate_workload(&WorkloadConfig::paper_default(), &mut rng);
+    let prepared = prepare_workload(&spec, &npu, None);
+    let sim = NpuSimulator::new(npu.clone(), SchedulerConfig::paper_default());
+
+    // Report the per-run event rate once so the bench log doubles as a
+    // throughput record.
+    let outcome = sim.run(&prepared.tasks);
+    println!(
+        "paper-default 8-task run: {} scheduler events",
+        outcome.scheduler_invocations
+    );
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    group.bench_function("paper_default_8_tasks", |b| {
+        b.iter(|| sim.run(&prepared.tasks))
+    });
+    group.bench_function("prepare_cached", |b| {
+        b.iter(|| prepare_workload(&spec, &npu, None))
+    });
+    group.bench_function("prepare_uncached", |b| {
+        b.iter(|| {
+            plan_cache::clear();
+            prepare_workload(&spec, &npu, None)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

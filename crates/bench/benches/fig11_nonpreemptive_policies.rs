@@ -1,8 +1,8 @@
 //! Figure 11 bench: ANTT / fairness / STP of the six non-preemptive policies.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use prema_bench::suite::SuiteOptions;
 use prema_bench::fig11_15;
+use prema_bench::suite::SuiteOptions;
 
 fn bench(c: &mut Criterion) {
     let opts = SuiteOptions::quick().with_runs(2);

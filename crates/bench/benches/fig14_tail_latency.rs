@@ -10,7 +10,9 @@ fn bench(c: &mut Criterion) {
     println!("{report}");
     let mut group = c.benchmark_group("fig14");
     group.sample_size(10);
-    group.bench_function("tail_latency_suite", |b| b.iter(|| fig14::run(&npu, 1, 2020)));
+    group.bench_function("tail_latency_suite", |b| {
+        b.iter(|| fig14::run(&npu, 1, 2020))
+    });
     group.finish();
 }
 

@@ -1,0 +1,149 @@
+//! Suite-throughput benchmark: measures the end-to-end wall-clock of the
+//! paper's policy-comparison sweep under the optimized path (plan cache +
+//! rayon-parallel grid) against the serial, uncached reference, verifies the
+//! two produce bit-identical outcomes, and emits a machine-readable
+//! `BENCH_sim_suite.json` report establishing the performance trajectory.
+//!
+//! ```text
+//! throughput [--runs N] [--seed S] [--out PATH]
+//! ```
+//!
+//! Defaults reproduce the paper's setup: 25 runs of 8-task workloads under
+//! all six non-preemptive policies plus the eight static/dynamic preemptive
+//! configurations of Figure 12 (15 configurations with the NP-FCFS baseline).
+
+use std::env;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use prema_bench::fig11_15::{fig11_configs, fig12_configs};
+use prema_bench::suite::{run_grid, run_grid_reference, SuiteOptions};
+use prema_core::plan::plan_cache;
+use prema_core::{SchedulerConfig, SimOutcome};
+
+struct Options {
+    runs: usize,
+    seed: u64,
+    out: String,
+}
+
+const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        runs: SuiteOptions::paper().runs,
+        seed: SuiteOptions::paper().seed,
+        out: "BENCH_sim_suite.json".to_string(),
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => {
+                options.runs = args
+                    .next()
+                    .ok_or("--runs requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --runs value: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .ok_or("--seed requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed value: {e}"))?;
+            }
+            "--out" => {
+                options.out = args.next().ok_or("--out requires a value")?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if options.runs == 0 {
+        return Err("--runs must be at least 1".into());
+    }
+    Ok(options)
+}
+
+fn total_events(outcomes: &[SimOutcome]) -> u64 {
+    outcomes.iter().map(|o| o.scheduler_invocations).sum()
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let opts = SuiteOptions {
+        runs: options.runs,
+        seed: options.seed,
+        ..SuiteOptions::paper()
+    };
+    // All six policies non-preemptively (Figure 11) plus the eight
+    // static/dynamic preemptive configurations (Figure 12). fig11 includes
+    // NP-FCFS, so the baseline is part of the grid.
+    let configs: Vec<SchedulerConfig> =
+        fig11_configs().into_iter().chain(fig12_configs()).collect();
+    let cells = opts.runs * configs.len();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!(
+        "[throughput] {} runs x {} configs = {} simulations on {} threads",
+        opts.runs,
+        configs.len(),
+        cells,
+        threads
+    );
+
+    eprintln!("[throughput] serial / uncached reference ...");
+    plan_cache::clear();
+    let serial_start = Instant::now();
+    let reference = run_grid_reference(&configs, &opts);
+    let serial_s = serial_start.elapsed().as_secs_f64();
+
+    eprintln!("[throughput] parallel / plan-cached fast path ...");
+    plan_cache::clear();
+    let parallel_start = Instant::now();
+    let fast = run_grid(&configs, &opts);
+    let parallel_s = parallel_start.elapsed().as_secs_f64();
+    let cache = plan_cache::stats();
+
+    let identical = fast == reference;
+    let events = total_events(&fast);
+    let speedup = serial_s / parallel_s.max(f64::EPSILON);
+
+    let report = format!(
+        "{{\n  \"bench\": \"sim_suite_throughput\",\n  \"runs\": {},\n  \"configs\": {},\n  \"cells\": {},\n  \"threads\": {},\n  \"scheduler_events\": {},\n  \"serial_uncached\": {{ \"wall_s\": {:.4}, \"events_per_sec\": {:.0} }},\n  \"parallel_cached\": {{ \"wall_s\": {:.4}, \"events_per_sec\": {:.0} }},\n  \"speedup\": {:.2},\n  \"plan_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }},\n  \"outcomes_identical\": {}\n}}\n",
+        opts.runs,
+        configs.len(),
+        cells,
+        threads,
+        events,
+        serial_s,
+        total_events(&reference) as f64 / serial_s.max(f64::EPSILON),
+        parallel_s,
+        events as f64 / parallel_s.max(f64::EPSILON),
+        speedup,
+        cache.hits,
+        cache.misses,
+        cache.entries,
+        cache.hit_rate(),
+        identical,
+    );
+    print!("{report}");
+    if let Err(error) = std::fs::write(&options.out, &report) {
+        eprintln!("[throughput] could not write {}: {error}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[throughput] report written to {}", options.out);
+
+    if !identical {
+        eprintln!("[throughput] FAIL: fast path diverged from the reference outcomes");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -70,12 +70,18 @@ pub fn report(npu: &NpuConfig, config: &ColocationConfig) -> (Fig01Results, Stri
     .title("Figure 1: co-locating GoogLeNet and ResNet under NP-FCFS")
     .row(vec![
         "GoogLeNet isolated".into(),
-        format!("{:.1}", results.isolated_googlenet.throughput_inferences_per_sec),
+        format!(
+            "{:.1}",
+            results.isolated_googlenet.throughput_inferences_per_sec
+        ),
         format!("{:.2}", results.isolated_googlenet.mean_latency_ms),
     ])
     .row(vec![
         "ResNet isolated".into(),
-        format!("{:.1}", results.isolated_resnet.throughput_inferences_per_sec),
+        format!(
+            "{:.1}",
+            results.isolated_resnet.throughput_inferences_per_sec
+        ),
         format!("{:.2}", results.isolated_resnet.mean_latency_ms),
     ])
     .row(vec![
@@ -106,7 +112,11 @@ mod tests {
         };
         let (results, report) = report(&npu, &config);
         // Co-location improves device throughput and worsens latency.
-        assert!(results.throughput_gain() > 1.0, "{}", results.throughput_gain());
+        assert!(
+            results.throughput_gain() > 1.0,
+            "{}",
+            results.throughput_gain()
+        );
         assert!(results.latency_degradation() > 1.0);
         assert!(report.contains("Co-located"));
     }

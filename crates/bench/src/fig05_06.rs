@@ -4,6 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use dnn_models::{ModelKind, ALL_EVAL_MODELS};
 use npu_sim::NpuConfig;
@@ -95,10 +96,19 @@ pub fn figure6(npu: &NpuConfig, repeats: usize, seed: u64) -> Vec<MechanismRow> 
     run_sweep(npu, repeats, seed, false)
 }
 
-fn run_sweep(npu: &NpuConfig, repeats: usize, seed: u64, group_by_victim: bool) -> Vec<MechanismRow> {
+fn run_sweep(
+    npu: &NpuConfig,
+    repeats: usize,
+    seed: u64,
+    group_by_victim: bool,
+) -> Vec<MechanismRow> {
     assert!(repeats > 0, "at least one repeat is required");
+    // Draw every group's scenarios from the shared RNG stream first — this
+    // keeps the per-seed scenario sequence identical to a fully serial sweep
+    // — then measure the groups (3 mechanisms × 2 simulations × repeats
+    // each, the expensive part) across all cores.
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut rows = Vec::new();
+    let mut groups: Vec<(ModelKind, u64, Vec<PreemptionScenario>)> = Vec::new();
     for &model in &ALL_EVAL_MODELS {
         for &batch in &BATCH_SIZES {
             let scenarios = if group_by_victim {
@@ -106,19 +116,21 @@ fn run_sweep(npu: &NpuConfig, repeats: usize, seed: u64, group_by_victim: bool) 
             } else {
                 preemptor_sweep(model, batch, repeats, npu, &mut rng)
             };
-            let stats = [
-                measure_scenarios(&scenarios, PreemptionMechanism::Kill, npu),
-                measure_scenarios(&scenarios, PreemptionMechanism::Checkpoint, npu),
-                measure_scenarios(&scenarios, PreemptionMechanism::Drain, npu),
-            ];
-            rows.push(MechanismRow {
-                model,
-                batch,
-                stats,
-            });
+            groups.push((model, batch, scenarios));
         }
     }
-    rows
+    groups
+        .par_iter()
+        .map(|(model, batch, scenarios)| MechanismRow {
+            model: *model,
+            batch: *batch,
+            stats: [
+                measure_scenarios(scenarios, PreemptionMechanism::Kill, npu),
+                measure_scenarios(scenarios, PreemptionMechanism::Checkpoint, npu),
+                measure_scenarios(scenarios, PreemptionMechanism::Drain, npu),
+            ],
+        })
+        .collect()
 }
 
 /// Formats the Figure 5 report (preemption latency and waiting time).

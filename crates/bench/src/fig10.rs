@@ -104,7 +104,11 @@ pub fn report(npu: &NpuConfig) -> (Vec<LayerPoint>, String) {
         summary.min_effective_throughput,
         summary.max_effective_throughput,
     ));
-    let show: Vec<&LayerPoint> = points.iter().take(5).chain(points.iter().rev().take(5)).collect();
+    let show: Vec<&LayerPoint> = points
+        .iter()
+        .take(5)
+        .chain(points.iter().rev().take(5))
+        .collect();
     for point in show {
         table = table.row(vec![
             point.model.paper_name().to_string(),
@@ -125,7 +129,11 @@ mod tests {
     fn execution_time_is_not_proportional_to_macs() {
         let npu = NpuConfig::paper_default();
         let points = run(&npu);
-        assert!(points.len() > 100, "expected many layers, got {}", points.len());
+        assert!(
+            points.len() > 100,
+            "expected many layers, got {}",
+            points.len()
+        );
         let summary = summarize(&points);
         // The correlation is far from perfect (this is the point of the
         // figure): the spread in effective throughput spans more than an

@@ -91,7 +91,10 @@ pub fn figure11(opts: &SuiteOptions) -> (Vec<ConfigResult>, String) {
     let results = run_configs(&fig11_configs(), opts);
     (
         results.clone(),
-        format_metric_table("Figure 11: non-preemptive schedulers (normalized to NP-FCFS)", &results),
+        format_metric_table(
+            "Figure 11: non-preemptive schedulers (normalized to NP-FCFS)",
+            &results,
+        ),
     )
 }
 
@@ -165,7 +168,6 @@ pub fn format_metric_table(title: &str, results: &[ConfigResult]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use npu_sim::NpuConfig;
     use prema_workload::generator::WorkloadConfig;
 
     fn tiny_opts() -> SuiteOptions {
@@ -176,7 +178,7 @@ mod tests {
                 task_count: 4,
                 ..WorkloadConfig::paper_default()
             },
-            npu: NpuConfig::paper_default(),
+            ..SuiteOptions::paper()
         }
     }
 
@@ -187,9 +189,7 @@ mod tests {
         assert_eq!(fig13_configs().len(), 9);
         assert_eq!(fig15_configs().len(), 16);
         assert!(fig11_configs().iter().all(|c| c.label().starts_with("NP-")));
-        assert!(fig13_configs()
-            .iter()
-            .any(|c| c.label() == "Dynamic-PREMA"));
+        assert!(fig13_configs().iter().any(|c| c.label() == "Dynamic-PREMA"));
         assert!(fig15_configs()
             .iter()
             .any(|c| c.label() == "Static(KILL)-PREMA"));

@@ -3,6 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use dnn_models::{ModelKind, SeqSpec, ALL_EVAL_MODELS};
 use npu_sim::NpuConfig;
@@ -15,7 +16,7 @@ use prema_workload::generator::{generate_workload, WorkloadConfig};
 use prema_workload::prepare::prepare_workload;
 use prema_workload::seqlen::{sample_input_len, sample_output_len};
 
-use crate::suite::build_predictor;
+use crate::suite::{build_predictor, run_seed};
 
 /// Tail latency of one model's high-priority requests under the four
 /// configurations of Figure 14, in milliseconds.
@@ -36,6 +37,10 @@ pub struct TailLatencyRow {
 /// Runs the Figure 14 experiment: for each model, `runs` workloads are
 /// generated in which one high-priority batch-1 instance of that model
 /// co-runs with seven random background tasks.
+///
+/// Every (model, run) cell draws its workload from a deterministically
+/// derived seed and is simulated independently, so the whole grid fans out
+/// over all cores with results identical to a serial sweep.
 pub fn run(npu: &NpuConfig, runs: usize, seed: u64) -> Vec<TailLatencyRow> {
     assert!(runs > 0, "at least one run is required");
     let predictor = build_predictor(npu, seed);
@@ -48,12 +53,16 @@ pub fn run(npu: &NpuConfig, runs: usize, seed: u64) -> Vec<TailLatencyRow> {
         SchedulerConfig::named(PolicyKind::Prema, PreemptionMode::Dynamic),
     ];
 
-    let mut rows = Vec::new();
-    let mut rng = StdRng::seed_from_u64(seed);
-    for &model in &ALL_EVAL_MODELS {
-        let mut latencies: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        let mut isolated_sum_ms = 0.0;
-        for _ in 0..runs {
+    // One cell per (model, run): the cell's high-priority latency under each
+    // configuration plus the isolated latency of its high-priority task.
+    let cells: Vec<(usize, usize)> = (0..ALL_EVAL_MODELS.len())
+        .flat_map(|m| (0..runs).map(move |run| (m, run)))
+        .collect();
+    let measured: Vec<(f64, [f64; 3])> = cells
+        .par_iter()
+        .map(|&(model_idx, run)| {
+            let model = ALL_EVAL_MODELS[model_idx];
+            let mut rng = StdRng::seed_from_u64(run_seed(run_seed(seed, model_idx), run));
             // Seven random background tasks...
             let background = generate_workload(
                 &WorkloadConfig {
@@ -83,7 +92,7 @@ pub fn run(npu: &NpuConfig, runs: usize, seed: u64) -> Vec<TailLatencyRow> {
             );
             let spec = prema_workload::generator::WorkloadSpec { requests };
             let prepared = prepare_workload(&spec, npu, Some(&predictor));
-            isolated_sum_ms += npu.cycles_to_millis(
+            let isolated_ms = npu.cycles_to_millis(
                 prepared
                     .tasks
                     .iter()
@@ -92,21 +101,33 @@ pub fn run(npu: &NpuConfig, runs: usize, seed: u64) -> Vec<TailLatencyRow> {
                     .isolated_cycles(),
             );
 
+            let mut latencies = [0.0f64; 3];
             for (i, cfg) in configs.iter().enumerate() {
                 let outcome = NpuSimulator::new(npu.clone(), cfg.clone()).run(&prepared.tasks);
                 let record = outcome.record(TaskId(7)).expect("high-priority task ran");
-                latencies[i].push(npu.cycles_to_millis(record.turnaround()));
+                latencies[i] = npu.cycles_to_millis(record.turnaround());
             }
-        }
-        rows.push(TailLatencyRow {
-            model,
-            isolated_ms: isolated_sum_ms / runs as f64,
-            np_fcfs_ms: percentile(&latencies[0], 95.0).unwrap_or(0.0),
-            p_sjf_ms: percentile(&latencies[1], 95.0).unwrap_or(0.0),
-            prema_ms: percentile(&latencies[2], 95.0).unwrap_or(0.0),
-        });
-    }
-    rows
+            (isolated_ms, latencies)
+        })
+        .collect();
+
+    ALL_EVAL_MODELS
+        .iter()
+        .enumerate()
+        .map(|(model_idx, &model)| {
+            let model_cells = &measured[model_idx * runs..(model_idx + 1) * runs];
+            let isolated_sum_ms: f64 = model_cells.iter().map(|(iso, _)| iso).sum();
+            let per_config =
+                |i: usize| -> Vec<f64> { model_cells.iter().map(|(_, lat)| lat[i]).collect() };
+            TailLatencyRow {
+                model,
+                isolated_ms: isolated_sum_ms / runs as f64,
+                np_fcfs_ms: percentile(&per_config(0), 95.0).unwrap_or(0.0),
+                p_sjf_ms: percentile(&per_config(1), 95.0).unwrap_or(0.0),
+                prema_ms: percentile(&per_config(2), 95.0).unwrap_or(0.0),
+            }
+        })
+        .collect()
 }
 
 /// Formats the Figure 14 report.
@@ -150,6 +171,9 @@ mod tests {
             }
         }
         // PREMA should improve (or match) the large majority of models.
-        assert!(prema_better >= 5, "PREMA better on only {prema_better}/8 models");
+        assert!(
+            prema_better >= 5,
+            "PREMA better on only {prema_better}/8 models"
+        );
     }
 }

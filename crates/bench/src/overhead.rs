@@ -77,7 +77,9 @@ mod tests {
         let npu = NpuConfig::paper_default();
         let (summary, text) = report(&npu);
         assert_eq!(summary.context_table_bits, 7168);
-        assert!(summary.worst_case_checkpoint_us > 10.0 && summary.worst_case_checkpoint_us < 100.0);
+        assert!(
+            summary.worst_case_checkpoint_us > 10.0 && summary.worst_case_checkpoint_us < 100.0
+        );
         assert!(summary.max_live_state_mib > 0.1 && summary.max_live_state_mib <= 8.0);
         assert!(text.contains("7168"));
     }

@@ -7,6 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use npu_sim::NpuConfig;
 use prema_core::{NpuSimulator, SchedulerConfig};
@@ -14,7 +15,7 @@ use prema_metrics::{correlation, MultiTaskMetrics, TableBuilder};
 use prema_workload::generator::{generate_workload, WorkloadConfig};
 use prema_workload::prepare::{outcomes_of, prepare_workload};
 
-use crate::suite::build_predictor;
+use crate::suite::{build_predictor, run_seed};
 
 /// Results of the prediction-accuracy study.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +34,10 @@ pub struct PredictionAccuracy {
 }
 
 /// Runs the prediction accuracy study over `runs` generated workloads.
+///
+/// Each run draws its workload from a deterministically derived per-run seed
+/// and is simulated independently, so the runs fan out over all cores while
+/// the pooled statistics stay identical to a serial sweep.
 pub fn run(npu: &NpuConfig, runs: usize, seed: u64) -> PredictionAccuracy {
     assert!(runs > 0, "at least one run is required");
     let predictor = build_predictor(npu, seed);
@@ -40,30 +45,58 @@ pub fn run(npu: &NpuConfig, runs: usize, seed: u64) -> PredictionAccuracy {
     let prema = SchedulerConfig::paper_default();
     let sim = NpuSimulator::new(npu.clone(), prema);
 
+    struct RunSamples {
+        predicted: Vec<f64>,
+        actual: Vec<f64>,
+        predictor_metrics: MultiTaskMetrics,
+        oracle_metrics: MultiTaskMetrics,
+    }
+
+    let run_indices: Vec<usize> = (0..runs).collect();
+    let samples: Vec<RunSamples> = run_indices
+        .par_iter()
+        .map(|&run| {
+            let mut rng = StdRng::seed_from_u64(run_seed(seed, run));
+            let spec = generate_workload(&workload_cfg, &mut rng);
+            let with_predictor = prepare_workload(&spec, npu, Some(&predictor));
+            let with_oracle = prepare_workload(&spec, npu, None);
+
+            let predicted: Vec<f64> = with_predictor
+                .tasks
+                .iter()
+                .map(|t| t.estimated_cycles().get() as f64)
+                .collect();
+            let actual: Vec<f64> = with_predictor
+                .tasks
+                .iter()
+                .map(|t| t.isolated_cycles().get() as f64)
+                .collect();
+
+            let predictor_outcome = sim.run(&with_predictor.tasks);
+            let oracle_outcome = sim.run(&with_oracle.tasks);
+            RunSamples {
+                predicted,
+                actual,
+                predictor_metrics: MultiTaskMetrics::from_outcomes(&outcomes_of(
+                    &predictor_outcome.records,
+                )),
+                oracle_metrics: MultiTaskMetrics::from_outcomes(&outcomes_of(
+                    &oracle_outcome.records,
+                )),
+            }
+        })
+        .collect();
+
+    // Pool in run order so the float reductions are deterministic.
     let mut predicted = Vec::new();
     let mut actual = Vec::new();
     let mut predictor_metrics = Vec::new();
     let mut oracle_metrics = Vec::new();
-
-    let mut rng = StdRng::seed_from_u64(seed);
-    for _ in 0..runs {
-        let spec = generate_workload(&workload_cfg, &mut rng);
-        let with_predictor = prepare_workload(&spec, npu, Some(&predictor));
-        let with_oracle = prepare_workload(&spec, npu, None);
-
-        for task in &with_predictor.tasks {
-            predicted.push(task.estimated_cycles().get() as f64);
-            actual.push(task.isolated_cycles().get() as f64);
-        }
-
-        let predictor_outcome = sim.run(&with_predictor.tasks);
-        let oracle_outcome = sim.run(&with_oracle.tasks);
-        predictor_metrics.push(MultiTaskMetrics::from_outcomes(&outcomes_of(
-            &predictor_outcome.records,
-        )));
-        oracle_metrics.push(MultiTaskMetrics::from_outcomes(&outcomes_of(
-            &oracle_outcome.records,
-        )));
+    for sample in samples {
+        predicted.extend(sample.predicted);
+        actual.extend(sample.actual);
+        predictor_metrics.push(sample.predictor_metrics);
+        oracle_metrics.push(sample.oracle_metrics);
     }
 
     let mean_relative_error = predicted

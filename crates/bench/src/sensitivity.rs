@@ -60,9 +60,7 @@ pub fn batch_sweep(base: &SuiteOptions) -> Vec<SweepPoint> {
     .map(|(label, workload)| {
         let opts = SuiteOptions {
             workload,
-            npu: base.npu.clone(),
-            runs: base.runs,
-            seed: base.seed,
+            ..base.clone()
         };
         let result = run_configs(&[SchedulerConfig::paper_default()], &opts).remove(0);
         SweepPoint {
@@ -80,6 +78,7 @@ pub fn report(npu: &NpuConfig, runs: usize, seed: u64) -> String {
         seed,
         workload: WorkloadConfig::paper_default(),
         npu: npu.clone(),
+        ..SuiteOptions::paper()
     };
     let mut table = TableBuilder::new(vec![
         "variation".into(),
@@ -116,7 +115,7 @@ mod tests {
                 task_count: 3,
                 ..WorkloadConfig::paper_default()
             },
-            npu: NpuConfig::paper_default(),
+            ..SuiteOptions::paper()
         };
         assert_eq!(quantum_sweep(&opts).len(), 4);
         assert_eq!(token_sweep(&opts).len(), 3);

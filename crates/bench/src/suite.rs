@@ -2,9 +2,19 @@
 //! 15: generate the Section III workloads, replay each one under a set of
 //! scheduler configurations, and aggregate the Eyerman metrics, SLA curves
 //! and tail latencies relative to the NP-FCFS baseline.
+//!
+//! The (run × configuration) simulation grid is embarrassingly parallel:
+//! every cell is a pure function of the run's workload (derived from a
+//! per-run seed, see [`run_seed`]) and the scheduler configuration. By
+//! default the grid fans out over all cores via `rayon`; setting
+//! [`SuiteOptions::parallel`] to `false` runs the same cells on one thread.
+//! Both paths aggregate the cells in the same deterministic order, so their
+//! results are bit-identical — the determinism regression test under
+//! `tests/` asserts exactly that.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use dnn_models::{ModelKind, RNN_MODELS};
 use npu_sim::NpuConfig;
@@ -12,7 +22,9 @@ use prema_core::{NpuSimulator, Priority, SchedulerConfig, SimOutcome};
 use prema_metrics::{average_metrics, MultiTaskMetrics, Percentiles, SlaCurve, TaskOutcome};
 use prema_predictor::AnalyticalPredictor;
 use prema_workload::generator::{generate_workload, WorkloadConfig};
-use prema_workload::prepare::{outcomes_of, prepare_workload};
+use prema_workload::prepare::{
+    outcomes_of, prepare_workload, prepare_workload_uncached, PreparedWorkload,
+};
 use prema_workload::seqlen::SeqLenCharacterization;
 
 /// Options controlling a policy-comparison run.
@@ -26,6 +38,10 @@ pub struct SuiteOptions {
     pub workload: WorkloadConfig,
     /// NPU configuration.
     pub npu: NpuConfig,
+    /// Whether to fan the (run × configuration) simulation grid out over all
+    /// cores. Results are bit-identical either way; the serial path exists
+    /// for baseline measurements and the determinism regression test.
+    pub parallel: bool,
 }
 
 impl SuiteOptions {
@@ -36,6 +52,7 @@ impl SuiteOptions {
             seed: 2020,
             workload: WorkloadConfig::paper_default(),
             npu: NpuConfig::paper_default(),
+            parallel: true,
         }
     }
 
@@ -53,6 +70,27 @@ impl SuiteOptions {
         self.runs = runs;
         self
     }
+
+    /// Disables the parallel fan-out (single-threaded reference path).
+    pub fn serial(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+}
+
+/// Derives the workload seed for run index `run` from the suite seed.
+///
+/// Each run draws its workload from an independent SplitMix64-derived seed
+/// instead of consuming a single sequential RNG stream, so runs can be
+/// generated and simulated in any order — in particular concurrently —
+/// while remaining bit-identical to the serial schedule.
+pub fn run_seed(base: u64, run: usize) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((run as u64).wrapping_mul(0xd1b5_4a32_d192_ed03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl Default for SuiteOptions {
@@ -100,37 +138,112 @@ pub fn build_predictor(npu: &NpuConfig, seed: u64) -> AnalyticalPredictor {
     predictor
 }
 
+/// Runs the full (run × configuration) simulation grid — every cell is an
+/// independent [`SimOutcome`] — in parallel or serially per
+/// [`SuiteOptions::parallel`]. Cells are laid out run-major with the given
+/// configuration order, so `grid[run * configs.len() + c]` is run `run`
+/// under `configs[c]`.
+pub fn run_grid(configs: &[SchedulerConfig], opts: &SuiteOptions) -> Vec<SimOutcome> {
+    assert!(
+        !configs.is_empty(),
+        "at least one configuration is required"
+    );
+    assert!(opts.runs > 0, "at least one run is required");
+    let predictor = build_predictor(&opts.npu, opts.seed);
+
+    // Phase 1: generate + compile every run's workload. Plan compilation is
+    // memoized process-wide (see `prema_core::plan::plan_cache`), so the 25
+    // runs share their per-(model, batch, seq) plans rather than recompiling.
+    let run_indices: Vec<usize> = (0..opts.runs).collect();
+    let prepare_run = |&run: &usize| -> PreparedWorkload {
+        let mut rng = StdRng::seed_from_u64(run_seed(opts.seed, run));
+        let spec = generate_workload(&opts.workload, &mut rng);
+        prepare_workload(&spec, &opts.npu, Some(&predictor))
+    };
+    let prepared: Vec<PreparedWorkload> = if opts.parallel {
+        run_indices.par_iter().map(&prepare_run).collect()
+    } else {
+        run_indices.iter().map(prepare_run).collect()
+    };
+
+    // Phase 2: simulate every (run, config) cell. Each cell is a pure
+    // function of its prepared workload and configuration, so execution
+    // order cannot affect the results.
+    let cells: Vec<(usize, usize)> = (0..opts.runs)
+        .flat_map(|run| (0..configs.len()).map(move |c| (run, c)))
+        .collect();
+    let simulate = |&(run, c): &(usize, usize)| -> SimOutcome {
+        NpuSimulator::new(opts.npu.clone(), configs[c].clone()).run(&prepared[run].tasks)
+    };
+    if opts.parallel {
+        cells.par_iter().map(&simulate).collect()
+    } else {
+        cells.iter().map(simulate).collect()
+    }
+}
+
+/// The single-threaded, cache-free reference sweep over the same
+/// (run × configuration) grid as [`run_grid`]: one thread, every plan
+/// compiled from scratch per run, and the same per-run [`run_seed`]
+/// derivation, so the two paths see identical workloads. (Note that
+/// per-run derived seeds replaced the original single sequential RNG
+/// stream, so generated workloads — and therefore absolute figure numbers —
+/// differ from a pre-derivation sweep at the same `--seed`.) The throughput
+/// bench measures this path's wall-clock against the fast path, and the
+/// determinism regression test asserts the outcomes are bit-identical.
+pub fn run_grid_reference(configs: &[SchedulerConfig], opts: &SuiteOptions) -> Vec<SimOutcome> {
+    assert!(
+        !configs.is_empty(),
+        "at least one configuration is required"
+    );
+    assert!(opts.runs > 0, "at least one run is required");
+    let predictor = build_predictor(&opts.npu, opts.seed);
+    let mut outcomes = Vec::with_capacity(opts.runs * configs.len());
+    for run in 0..opts.runs {
+        let mut rng = StdRng::seed_from_u64(run_seed(opts.seed, run));
+        let spec = generate_workload(&opts.workload, &mut rng);
+        let prepared = prepare_workload_uncached(&spec, &opts.npu, Some(&predictor));
+        for cfg in configs {
+            outcomes.push(NpuSimulator::new(opts.npu.clone(), cfg.clone()).run(&prepared.tasks));
+        }
+    }
+    outcomes
+}
+
 /// Runs every configuration in `configs` (plus the NP-FCFS baseline) over the
 /// same sequence of generated workloads and aggregates the results.
 pub fn run_configs(configs: &[SchedulerConfig], opts: &SuiteOptions) -> Vec<ConfigResult> {
-    assert!(!configs.is_empty(), "at least one configuration is required");
+    assert!(
+        !configs.is_empty(),
+        "at least one configuration is required"
+    );
     assert!(opts.runs > 0, "at least one run is required");
-    let predictor = build_predictor(&opts.npu, opts.seed);
-    let baseline_cfg = SchedulerConfig::np_fcfs();
 
-    // Per configuration: per-run metrics, pooled outcomes, pooled
-    // high-priority latencies, preemption counts.
+    // Simulate the grid with the NP-FCFS baseline as column 0.
+    let mut grid_configs = Vec::with_capacity(configs.len() + 1);
+    grid_configs.push(SchedulerConfig::np_fcfs());
+    grid_configs.extend(configs.iter().cloned());
+    let grid = run_grid(&grid_configs, opts);
+    let stride = grid_configs.len();
+
+    // Aggregate in deterministic (run-outer, config-inner) order, identical
+    // for the parallel and serial paths.
     let mut per_config_metrics: Vec<Vec<MultiTaskMetrics>> = vec![Vec::new(); configs.len()];
     let mut per_config_outcomes: Vec<Vec<TaskOutcome>> = vec![Vec::new(); configs.len()];
     let mut per_config_hp_ms: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     let mut per_config_preemptions: Vec<u64> = vec![0; configs.len()];
     let mut baseline_metrics: Vec<MultiTaskMetrics> = Vec::new();
 
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    for _ in 0..opts.runs {
-        let spec = generate_workload(&opts.workload, &mut rng);
-        let prepared = prepare_workload(&spec, &opts.npu, Some(&predictor));
-
-        let baseline_outcome =
-            NpuSimulator::new(opts.npu.clone(), baseline_cfg.clone()).run(&prepared.tasks);
+    for run in 0..opts.runs {
+        let baseline_outcome = &grid[run * stride];
         baseline_metrics.push(MultiTaskMetrics::from_outcomes(&outcomes_of(
             &baseline_outcome.records,
         )));
 
-        for (i, cfg) in configs.iter().enumerate() {
-            let outcome = NpuSimulator::new(opts.npu.clone(), cfg.clone()).run(&prepared.tasks);
+        for i in 0..configs.len() {
+            let outcome = &grid[run * stride + 1 + i];
             collect(
-                &outcome,
+                outcome,
                 &opts.npu,
                 &mut per_config_metrics[i],
                 &mut per_config_outcomes[i],
@@ -207,7 +320,7 @@ mod tests {
                 task_count: 4,
                 ..WorkloadConfig::paper_default()
             },
-            npu: NpuConfig::paper_default(),
+            ..SuiteOptions::paper()
         };
         let configs = vec![
             SchedulerConfig::np_fcfs(),
@@ -218,7 +331,11 @@ mod tests {
         // The baseline compared against itself has improvement ~1.
         assert!((results[0].antt_improvement - 1.0).abs() < 1e-9);
         // PREMA should never be worse than NP-FCFS on ANTT.
-        assert!(results[1].antt_improvement >= 0.99, "{}", results[1].antt_improvement);
+        assert!(
+            results[1].antt_improvement >= 0.99,
+            "{}",
+            results[1].antt_improvement
+        );
         assert!(!results[1].sla.points().is_empty());
         assert_eq!(results[1].label, "Dynamic-PREMA");
     }
@@ -229,6 +346,39 @@ mod tests {
         assert_eq!(SuiteOptions::quick().runs, 3);
         assert_eq!(SuiteOptions::default().runs, 3);
         assert_eq!(SuiteOptions::quick().with_runs(7).runs, 7);
+        assert!(SuiteOptions::paper().parallel);
+        assert!(!SuiteOptions::paper().serial().parallel);
+    }
+
+    #[test]
+    fn run_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..32).map(|run| run_seed(2020, run)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "per-run seeds must not collide");
+        assert_eq!(run_seed(2020, 5), run_seed(2020, 5));
+        assert_ne!(run_seed(2020, 5), run_seed(2021, 5));
+    }
+
+    #[test]
+    fn parallel_and_serial_grids_are_bit_identical() {
+        let opts = SuiteOptions {
+            runs: 3,
+            seed: 13,
+            workload: WorkloadConfig {
+                task_count: 4,
+                ..WorkloadConfig::paper_default()
+            },
+            ..SuiteOptions::paper()
+        };
+        let configs = vec![
+            SchedulerConfig::np_fcfs(),
+            SchedulerConfig::named(PolicyKind::Prema, PreemptionMode::Dynamic),
+        ];
+        let parallel = run_grid(&configs, &opts);
+        let serial = run_grid(&configs, &opts.clone().serial());
+        assert_eq!(parallel, serial);
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub fn table2(sched: &SchedulerConfig) -> String {
             ),
         ])
         .row(vec!["Scheduling policy".into(), sched.policy.to_string()])
-        .row(vec!["Preemption mode".into(), format!("{:?}", sched.preemption)])
+        .row(vec![
+            "Preemption mode".into(),
+            format!("{:?}", sched.preemption),
+        ])
         .build()
 }
 

@@ -163,10 +163,10 @@ impl SchedulerConfig {
     /// or if a static preemption mode names DRAIN (DRAIN is not a standalone
     /// preemption mechanism; use [`PreemptionMode::NonPreemptive`]).
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.quantum_ms > 0.0) {
+        if self.quantum_ms.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("scheduling quantum must be positive".into());
         }
-        if !(self.token_scale > 0.0) {
+        if self.token_scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("token scale must be positive".into());
         }
         if self.preemption == PreemptionMode::Static(PreemptionMechanism::Drain) {

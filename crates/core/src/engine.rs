@@ -39,8 +39,18 @@ pub struct PreparedTask {
 }
 
 impl PreparedTask {
-    /// Compiles the request's plan for the given NPU configuration.
+    /// Compiles the request's plan for the given NPU configuration,
+    /// sharing identical plans through the process-wide
+    /// [`plan_cache`](crate::plan::plan_cache).
     pub fn prepare(request: TaskRequest, npu: &NpuConfig) -> Self {
+        let plan = ExecutionPlan::compile_cached(request.model, request.batch, request.seq, npu);
+        PreparedTask { request, plan }
+    }
+
+    /// Compiles the request's plan from scratch, bypassing the plan cache.
+    /// The compiled timing is identical to [`PreparedTask::prepare`]; this
+    /// exists for baseline measurements and cache-validation tests.
+    pub fn prepare_uncached(request: TaskRequest, npu: &NpuConfig) -> Self {
         let plan = ExecutionPlan::compile_shared(request.model, request.batch, request.seq, npu);
         PreparedTask { request, plan }
     }
@@ -143,8 +153,16 @@ pub struct SimOutcome {
 
 impl SimOutcome {
     /// The record for `id`, if the task was part of the run.
+    ///
+    /// Engine-produced outcomes keep `records` id-sorted, so the lookup is
+    /// a binary search. `records` is a public field, though, so an
+    /// externally assembled (or re-sorted) outcome falls back to a linear
+    /// scan rather than silently missing the record.
     pub fn record(&self, id: TaskId) -> Option<&TaskRecord> {
-        self.records.iter().find(|r| r.id == id)
+        match self.records.binary_search_by_key(&id, |r| r.id) {
+            Ok(i) => Some(&self.records[i]),
+            Err(_) => self.records.iter().find(|r| r.id == id),
+        }
     }
 
     /// Average normalized turnaround time across all tasks.
@@ -169,7 +187,13 @@ struct Runtime {
     state: TaskState,
     arrived: bool,
     tokens: f64,
+    /// Waiting time materialized at the task's last transition *out of* the
+    /// waiting set. While the task is waiting, its effective waiting time is
+    /// `waited + (total_wait - wait_baseline)` — see [`EngineState`].
     waited: Cycles,
+    /// The engine's `total_wait` at the moment this task last entered the
+    /// waiting set.
+    wait_baseline: Cycles,
     waited_at_last_grant: Cycles,
     estimated: Cycles,
     first_start: Option<Cycles>,
@@ -195,6 +219,7 @@ impl Runtime {
             arrived: false,
             tokens,
             waited: Cycles::ZERO,
+            wait_baseline: Cycles::ZERO,
             waited_at_last_grant: Cycles::ZERO,
             estimated,
             first_start: None,
@@ -210,13 +235,26 @@ impl Runtime {
         }
     }
 
+    fn id(&self) -> TaskId {
+        self.prepared.request.id
+    }
+
     fn is_waiting(&self) -> bool {
         self.arrived
             && matches!(self.state, TaskState::Ready | TaskState::Checkpointed)
             && self.completion.is_none()
     }
 
-    fn view(&self, is_running: bool) -> TaskView {
+    /// The task's waiting time as of `total_wait` (see [`EngineState`]).
+    fn effective_waited(&self, total_wait: Cycles) -> Cycles {
+        if self.is_waiting() {
+            self.waited + (total_wait - self.wait_baseline)
+        } else {
+            self.waited
+        }
+    }
+
+    fn view(&self, is_running: bool, total_wait: Cycles) -> TaskView {
         TaskView {
             id: self.prepared.request.id,
             priority: self.prepared.request.priority,
@@ -224,10 +262,158 @@ impl Runtime {
             tokens: self.tokens,
             estimated_total: self.estimated,
             executed: self.cursor.executed(),
-            waited: self.waited,
+            waited: self.effective_waited(total_wait),
             last_scheduled: self.last_scheduled,
             is_running,
         }
+    }
+}
+
+/// Incrementally maintained scheduler state.
+///
+/// The naive event loop recounted completions, re-probed for waiting tasks
+/// and rebuilt + re-sorted the policy's `TaskView` vector on every wakeup —
+/// all O(n) scans. This struct keeps that state up to date at each
+/// transition instead:
+///
+/// * `completed` — completion counter, so the loop condition is O(1);
+/// * `waiting` — the indices of schedulable tasks, kept sorted by task id,
+///   updated by O(log n) binary-search insert/remove at the (rare) state
+///   transitions;
+/// * `total_wait` — a global waiting-time accumulator. Charging `dt` of
+///   waiting to every waiting task is a single add; a task's own waiting
+///   time is reconstructed as `waited + (total_wait - wait_baseline)`,
+///   making wait accrual O(1) instead of O(n) per event;
+/// * `id_index` — id-sorted (id, index) pairs, so resolving the policy's
+///   chosen [`TaskId`] back to a runtime is a binary search;
+/// * `views` — a reusable scratch buffer for the policy's task views, so
+///   steady-state scheduling events allocate nothing.
+#[derive(Debug)]
+struct EngineState {
+    runtimes: Vec<Runtime>,
+    waiting: Vec<usize>,
+    completed: usize,
+    total_wait: Cycles,
+    id_index: Vec<(TaskId, usize)>,
+    views: Vec<TaskView>,
+}
+
+impl EngineState {
+    fn new(tasks: &[PreparedTask]) -> Self {
+        let runtimes: Vec<Runtime> = tasks.iter().cloned().map(Runtime::new).collect();
+        let mut id_index: Vec<(TaskId, usize)> = runtimes
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.id(), i))
+            .collect();
+        id_index.sort_unstable_by_key(|&(id, _)| id);
+        let capacity = runtimes.len();
+        EngineState {
+            runtimes,
+            waiting: Vec::with_capacity(capacity),
+            completed: 0,
+            total_wait: Cycles::ZERO,
+            id_index,
+            views: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.runtimes.len()
+    }
+
+    /// Resolves a task id to its runtime index.
+    fn index_of(&self, id: TaskId) -> usize {
+        self.id_index
+            .binary_search_by_key(&id, |&(id, _)| id)
+            .map(|pos| self.id_index[pos].1)
+            .expect("policy returned an unknown task id")
+    }
+
+    /// Charges `dt` of waiting time to every currently waiting task.
+    fn accrue(&mut self, dt: Cycles) {
+        self.total_wait += dt;
+    }
+
+    /// Adds `idx` to the waiting set. Must be called *after* the runtime's
+    /// state satisfies `is_waiting`.
+    fn enter_waiting(&mut self, idx: usize) {
+        debug_assert!(self.runtimes[idx].is_waiting());
+        self.runtimes[idx].wait_baseline = self.total_wait;
+        let id = self.runtimes[idx].id();
+        let pos = self
+            .waiting
+            .binary_search_by_key(&id, |&i| self.runtimes[i].id())
+            .expect_err("task is not already waiting");
+        self.waiting.insert(pos, idx);
+    }
+
+    /// Removes `idx` from the waiting set, materializing its accrued
+    /// waiting time. Must be called *before* the runtime's state changes.
+    fn leave_waiting(&mut self, idx: usize) {
+        debug_assert!(self.runtimes[idx].is_waiting());
+        let id = self.runtimes[idx].id();
+        let pos = self
+            .waiting
+            .binary_search_by_key(&id, |&i| self.runtimes[i].id())
+            .expect("task is in the waiting set");
+        self.waiting.remove(pos);
+        let runtime = &mut self.runtimes[idx];
+        runtime.waited += self.total_wait - runtime.wait_baseline;
+    }
+
+    /// Marks the running task `idx` complete at `now`.
+    fn complete(&mut self, idx: usize, now: Cycles) {
+        let runtime = &mut self.runtimes[idx];
+        debug_assert!(runtime.completion.is_none());
+        runtime.completion = Some(now);
+        runtime.state = TaskState::Completed;
+        self.completed += 1;
+    }
+
+    /// Grants additional tokens to every waiting task, proportional to its
+    /// priority and the normalized slowdown it accumulated since the last
+    /// grant (Algorithm 2, line 7).
+    fn grant_tokens(&mut self, token_scale: f64) {
+        let total_wait = self.total_wait;
+        for &idx in &self.waiting {
+            let runtime = &mut self.runtimes[idx];
+            let effective = runtime.effective_waited(total_wait);
+            let newly_waited = effective - runtime.waited_at_last_grant;
+            if newly_waited.is_zero() {
+                continue;
+            }
+            let slowdown = newly_waited.get() as f64 / runtime.estimated.get().max(1) as f64;
+            runtime.tokens +=
+                runtime.prepared.request.priority.token_grant() * token_scale * slowdown;
+            runtime.waited_at_last_grant = effective;
+        }
+    }
+
+    /// Rebuilds the policy's view buffer: every waiting task plus (if any)
+    /// the running task, in ascending task-id order. Reuses the scratch
+    /// buffer, so this allocates nothing in steady state.
+    fn build_views(&mut self, running: Option<usize>) -> &[TaskView] {
+        self.views.clear();
+        let total_wait = self.total_wait;
+        let running_id = running.map(|idx| self.runtimes[idx].id());
+        let mut running_placed = running.is_none();
+        for &idx in &self.waiting {
+            if let (false, Some(run_idx)) = (running_placed, running) {
+                if self.runtimes[run_idx].id() < self.runtimes[idx].id() {
+                    self.views
+                        .push(self.runtimes[run_idx].view(true, total_wait));
+                    running_placed = true;
+                }
+            }
+            debug_assert_ne!(Some(self.runtimes[idx].id()), running_id);
+            self.views.push(self.runtimes[idx].view(false, total_wait));
+        }
+        if let (false, Some(run_idx)) = (running_placed, running) {
+            self.views
+                .push(self.runtimes[run_idx].view(true, total_wait));
+        }
+        &self.views
     }
 }
 
@@ -274,6 +460,12 @@ impl NpuSimulator {
 
     /// Runs the multi-task simulation to completion.
     ///
+    /// Each scheduling event works against the incrementally maintained
+    /// [`EngineState`] — completion counter, id-sorted waiting set, O(1)
+    /// global wait accrual and a reused view buffer — so a wakeup costs
+    /// O(w log n) in the number of waiting tasks instead of rescanning all
+    /// tasks several times, and allocates nothing in steady state.
+    ///
     /// # Panics
     ///
     /// Panics if `tasks` is empty or contains duplicate task IDs.
@@ -288,10 +480,15 @@ impl NpuSimulator {
         let checkpoint_model = CheckpointModel::new(&self.npu);
         let quantum = self.sched.quantum_cycles(&self.npu);
 
-        let mut runtimes: Vec<Runtime> = tasks.iter().cloned().map(Runtime::new).collect();
-        // Arrival order: indices sorted by arrival time.
-        let mut arrival_order: Vec<usize> = (0..runtimes.len()).collect();
-        arrival_order.sort_by_key(|&i| (runtimes[i].prepared.request.arrival, runtimes[i].prepared.request.id));
+        let mut state = EngineState::new(tasks);
+        // Arrival cursor: indices sorted by arrival time, admitted in order.
+        let mut arrival_order: Vec<usize> = (0..state.len()).collect();
+        arrival_order.sort_by_key(|&i| {
+            (
+                state.runtimes[i].prepared.request.arrival,
+                state.runtimes[i].id(),
+            )
+        });
         let mut next_arrival_idx = 0usize;
 
         let mut now = Cycles::ZERO;
@@ -303,8 +500,6 @@ impl NpuSimulator {
         let mut kill_preemptions = 0u64;
         let mut drain_decisions = 0u64;
 
-        let completed = |runtimes: &[Runtime]| runtimes.iter().filter(|r| r.completion.is_some()).count();
-
         // Safety valve against scheduler livelock. The one known pathological
         // configuration is Static(KILL) combined with round-robin ordering:
         // two tasks can keep discarding each other's progress forever. Real
@@ -312,7 +507,7 @@ impl NpuSimulator {
         // trips on genuine livelock.
         const MAX_SCHEDULER_INVOCATIONS: u64 = 5_000_000;
 
-        while completed(&runtimes) < runtimes.len() {
+        while state.completed < state.len() {
             assert!(
                 scheduler_invocations < MAX_SCHEDULER_INVOCATIONS,
                 "scheduler livelock detected after {MAX_SCHEDULER_INVOCATIONS} wakeups \
@@ -322,18 +517,23 @@ impl NpuSimulator {
             );
             // Admit arrivals that have happened.
             while next_arrival_idx < arrival_order.len()
-                && runtimes[arrival_order[next_arrival_idx]].prepared.request.arrival <= now
+                && state.runtimes[arrival_order[next_arrival_idx]]
+                    .prepared
+                    .request
+                    .arrival
+                    <= now
             {
-                runtimes[arrival_order[next_arrival_idx]].arrived = true;
+                let idx = arrival_order[next_arrival_idx];
+                state.runtimes[idx].arrived = true;
+                state.enter_waiting(idx);
                 next_arrival_idx += 1;
             }
 
-            let any_waiting = runtimes.iter().any(Runtime::is_waiting);
-            if running.is_none() && !any_waiting {
+            if running.is_none() && state.waiting.is_empty() {
                 // Idle: jump to the next arrival.
                 let next = arrival_order
                     .get(next_arrival_idx)
-                    .map(|&i| runtimes[i].prepared.request.arrival)
+                    .map(|&i| state.runtimes[i].prepared.request.arrival)
                     .expect("tasks remain, so an arrival must be pending");
                 now = now.max(next);
                 while next_quantum <= now {
@@ -344,33 +544,21 @@ impl NpuSimulator {
 
             // ---- Scheduler wakeup -------------------------------------------------
             scheduler_invocations += 1;
-            self.grant_tokens(&mut runtimes);
+            state.grant_tokens(self.sched.token_scale);
 
             if running.is_none() {
-                let views: Vec<TaskView> = runtimes
-                    .iter()
-                    .filter(|r| r.is_waiting())
-                    .map(|r| r.view(false))
-                    .collect();
-                if !views.is_empty() {
-                    let chosen = policy.select(now, &views);
-                    let idx = self.index_of(&runtimes, chosen);
-                    now = self.dispatch(&mut runtimes, idx, now, &checkpoint_model);
+                if !state.waiting.is_empty() {
+                    let chosen = policy.select(now, state.build_views(None));
+                    let idx = state.index_of(chosen);
+                    now = self.dispatch(&mut state, idx, now, &checkpoint_model);
                     running = Some(idx);
                 }
             } else if self.sched.preemption.is_preemptive() {
                 let run_idx = running.expect("checked above");
-                let mut views: Vec<TaskView> = runtimes
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, r)| r.is_waiting() || *i == run_idx)
-                    .map(|(i, r)| r.view(i == run_idx))
-                    .collect();
-                views.sort_by_key(|v| v.id);
-                let chosen = policy.select(now, &views);
-                if chosen != runtimes[run_idx].prepared.request.id {
-                    let cand_idx = self.index_of(&runtimes, chosen);
-                    let mechanism = self.pick_mechanism(&runtimes, run_idx, cand_idx);
+                let chosen = policy.select(now, state.build_views(running));
+                if chosen != state.runtimes[run_idx].id() {
+                    let cand_idx = state.index_of(chosen);
+                    let mechanism = self.pick_mechanism(&state.runtimes, run_idx, cand_idx);
                     match mechanism {
                         PreemptionMechanism::Drain => {
                             drain_decisions += 1;
@@ -378,18 +566,18 @@ impl NpuSimulator {
                         PreemptionMechanism::Checkpoint => {
                             checkpoint_preemptions += 1;
                             now = self.preempt_checkpoint(
-                                &mut runtimes,
+                                &mut state,
                                 run_idx,
                                 now,
                                 &checkpoint_model,
                             );
-                            now = self.dispatch(&mut runtimes, cand_idx, now, &checkpoint_model);
+                            now = self.dispatch(&mut state, cand_idx, now, &checkpoint_model);
                             running = Some(cand_idx);
                         }
                         PreemptionMechanism::Kill => {
                             kill_preemptions += 1;
-                            self.preempt_kill(&mut runtimes, run_idx);
-                            now = self.dispatch(&mut runtimes, cand_idx, now, &checkpoint_model);
+                            self.preempt_kill(&mut state, run_idx);
+                            now = self.dispatch(&mut state, cand_idx, now, &checkpoint_model);
                             running = Some(cand_idx);
                         }
                     }
@@ -405,8 +593,11 @@ impl NpuSimulator {
             }
             let next_arrival = arrival_order
                 .get(next_arrival_idx)
-                .map(|&i| runtimes[i].prepared.request.arrival);
-            let remaining = runtimes[run_idx].cursor.remaining(&runtimes[run_idx].prepared.plan);
+                .map(|&i| state.runtimes[i].prepared.request.arrival);
+            let remaining = {
+                let runtime = &state.runtimes[run_idx];
+                runtime.cursor.remaining(&runtime.prepared.plan)
+            };
             let completion_time = now + remaining;
             let mut t_next = completion_time.min(next_quantum);
             if let Some(arrival) = next_arrival {
@@ -415,52 +606,55 @@ impl NpuSimulator {
             let budget = t_next - now;
 
             let consumed = {
-                let runtime = &mut runtimes[run_idx];
+                let runtime = &mut state.runtimes[run_idx];
                 let plan = Arc::clone(&runtime.prepared.plan);
                 runtime.cursor.advance(&plan, budget)
             };
-            self.accrue_wait(&mut runtimes, Some(run_idx), consumed);
+            state.accrue(consumed);
             now += consumed;
 
             let finished = {
-                let runtime = &runtimes[run_idx];
+                let runtime = &state.runtimes[run_idx];
                 runtime.cursor.is_complete(&runtime.prepared.plan)
             };
             if finished {
-                let runtime = &mut runtimes[run_idx];
-                runtime.completion = Some(now);
-                runtime.state = TaskState::Completed;
+                state.complete(run_idx, now);
                 running = None;
             } else if consumed.is_zero() && budget.is_zero() && next_arrival.is_none() {
                 // Degenerate safety net: a zero-length plan completes instantly.
-                let runtime = &mut runtimes[run_idx];
-                runtime.completion = Some(now);
-                runtime.state = TaskState::Completed;
+                state.complete(run_idx, now);
                 running = None;
             }
         }
 
-        let mut records: Vec<TaskRecord> = runtimes
+        // Build the id-sorted records, deriving the makespan in the same
+        // pass instead of re-scanning afterwards.
+        let mut makespan = Cycles::ZERO;
+        let mut records: Vec<TaskRecord> = state
+            .runtimes
             .iter()
-            .map(|r| TaskRecord {
-                id: r.prepared.request.id,
-                model: r.prepared.request.model,
-                batch: r.prepared.request.batch,
-                priority: r.prepared.request.priority,
-                arrival: r.prepared.request.arrival,
-                first_start: r.first_start.unwrap_or(r.prepared.request.arrival),
-                completion: r.completion.expect("all tasks completed"),
-                isolated_cycles: r.prepared.isolated_cycles(),
-                estimated_cycles: r.estimated,
-                preemption_count: r.preemption_count,
-                kill_restarts: r.kill_restarts,
-                checkpoint_overhead: r.checkpoint_overhead,
-                restore_overhead: r.restore_overhead,
-                max_checkpoint_bytes: r.max_checkpoint_bytes,
+            .map(|r| {
+                let completion = r.completion.expect("all tasks completed");
+                makespan = makespan.max(completion);
+                TaskRecord {
+                    id: r.prepared.request.id,
+                    model: r.prepared.request.model,
+                    batch: r.prepared.request.batch,
+                    priority: r.prepared.request.priority,
+                    arrival: r.prepared.request.arrival,
+                    first_start: r.first_start.unwrap_or(r.prepared.request.arrival),
+                    completion,
+                    isolated_cycles: r.prepared.isolated_cycles(),
+                    estimated_cycles: r.estimated,
+                    preemption_count: r.preemption_count,
+                    kill_restarts: r.kill_restarts,
+                    checkpoint_overhead: r.checkpoint_overhead,
+                    restore_overhead: r.restore_overhead,
+                    max_checkpoint_bytes: r.max_checkpoint_bytes,
+                }
             })
             .collect();
         records.sort_by_key(|r| r.id);
-        let makespan = records.iter().map(|r| r.completion).max().unwrap_or(Cycles::ZERO);
 
         SimOutcome {
             records,
@@ -472,67 +666,27 @@ impl NpuSimulator {
         }
     }
 
-    fn index_of(&self, runtimes: &[Runtime], id: TaskId) -> usize {
-        runtimes
-            .iter()
-            .position(|r| r.prepared.request.id == id)
-            .expect("policy returned an unknown task id")
-    }
-
-    /// Grants additional tokens to every waiting task, proportional to its
-    /// priority and the normalized slowdown it accumulated since the last
-    /// grant (Algorithm 2, line 7).
-    fn grant_tokens(&self, runtimes: &mut [Runtime]) {
-        for runtime in runtimes.iter_mut() {
-            if !runtime.is_waiting() {
-                continue;
-            }
-            let newly_waited = runtime.waited - runtime.waited_at_last_grant;
-            if newly_waited.is_zero() {
-                continue;
-            }
-            let slowdown = newly_waited.get() as f64 / runtime.estimated.get().max(1) as f64;
-            runtime.tokens += runtime.prepared.request.priority.token_grant()
-                * self.sched.token_scale
-                * slowdown;
-            runtime.waited_at_last_grant = runtime.waited;
-        }
-    }
-
-    /// Adds `dt` of waiting time to every admitted, non-running, non-complete
-    /// task.
-    fn accrue_wait(&self, runtimes: &mut [Runtime], running: Option<usize>, dt: Cycles) {
-        if dt.is_zero() {
-            return;
-        }
-        for (i, runtime) in runtimes.iter_mut().enumerate() {
-            if Some(i) == running {
-                continue;
-            }
-            if runtime.is_waiting() {
-                runtime.waited += dt;
-            }
-        }
-    }
-
     /// Starts (or resumes) `idx` on the NPU at time `now`, charging a restore
     /// latency if its context was previously checkpointed. Returns the time
     /// at which useful execution begins.
     fn dispatch(
         &self,
-        runtimes: &mut [Runtime],
+        state: &mut EngineState,
         idx: usize,
         now: Cycles,
         checkpoint_model: &CheckpointModel,
     ) -> Cycles {
+        // Leave the waiting set first: the dispatched task does not wait
+        // through its own restore DMA, but everyone else does.
+        state.leave_waiting(idx);
         let mut start = now;
-        if runtimes[idx].needs_restore && self.sched.charge_restore {
-            let restore = checkpoint_model.restore_cycles(runtimes[idx].checkpointed_bytes);
-            runtimes[idx].restore_overhead += restore;
-            self.accrue_wait(runtimes, Some(idx), restore);
+        if state.runtimes[idx].needs_restore && self.sched.charge_restore {
+            let restore = checkpoint_model.restore_cycles(state.runtimes[idx].checkpointed_bytes);
+            state.runtimes[idx].restore_overhead += restore;
+            state.accrue(restore);
             start += restore;
         }
-        let runtime = &mut runtimes[idx];
+        let runtime = &mut state.runtimes[idx];
         runtime.needs_restore = false;
         runtime.state = TaskState::Running;
         runtime.first_start = runtime.first_start.or(Some(start));
@@ -544,26 +698,28 @@ impl NpuSimulator {
     /// `GEMM_OP` interval, spills the live context, and returns the new time.
     fn preempt_checkpoint(
         &self,
-        runtimes: &mut [Runtime],
+        state: &mut EngineState,
         run_idx: usize,
         now: Cycles,
         checkpoint_model: &CheckpointModel,
     ) -> Cycles {
-        // Run to the next legal preemption point.
+        // Run to the next legal preemption point. The preempted task is
+        // still Running here, so the boundary cycles charge waiting time to
+        // everyone else only.
         let (boundary, live_bytes) = {
-            let runtime = &mut runtimes[run_idx];
+            let runtime = &mut state.runtimes[run_idx];
             let plan = Arc::clone(&runtime.prepared.plan);
             let boundary = runtime.cursor.cycles_to_boundary(&plan);
             runtime.cursor.advance(&plan, boundary);
             let live_bytes = runtime.cursor.live_checkpoint_bytes(&plan);
             (boundary, live_bytes)
         };
-        self.accrue_wait(runtimes, Some(run_idx), boundary);
+        state.accrue(boundary);
         let mut time = now + boundary;
 
         let checkpoint = checkpoint_model.checkpoint_cycles(live_bytes);
         {
-            let runtime = &mut runtimes[run_idx];
+            let runtime = &mut state.runtimes[run_idx];
             runtime.checkpoint_overhead += checkpoint;
             runtime.checkpointed_bytes = live_bytes;
             runtime.max_checkpoint_bytes = runtime.max_checkpoint_bytes.max(live_bytes);
@@ -573,21 +729,25 @@ impl NpuSimulator {
         }
         // During the checkpoint DMA nobody makes forward progress; everyone
         // waiting (including the just-preempted task) accrues wait time.
-        self.accrue_wait(runtimes, None, checkpoint);
+        state.enter_waiting(run_idx);
+        state.accrue(checkpoint);
         time += checkpoint;
         time
     }
 
     /// Preempts the running task with KILL: all progress is discarded and the
     /// task restarts from scratch when it is next scheduled.
-    fn preempt_kill(&self, runtimes: &mut [Runtime], run_idx: usize) {
-        let runtime = &mut runtimes[run_idx];
-        runtime.cursor.reset();
-        runtime.preemption_count += 1;
-        runtime.kill_restarts += 1;
-        runtime.checkpointed_bytes = 0;
-        runtime.needs_restore = false;
-        runtime.state = TaskState::Ready;
+    fn preempt_kill(&self, state: &mut EngineState, run_idx: usize) {
+        {
+            let runtime = &mut state.runtimes[run_idx];
+            runtime.cursor.reset();
+            runtime.preemption_count += 1;
+            runtime.kill_restarts += 1;
+            runtime.checkpointed_bytes = 0;
+            runtime.needs_restore = false;
+            runtime.state = TaskState::Ready;
+        }
+        state.enter_waiting(run_idx);
     }
 
     /// Chooses the preemption mechanism for displacing `run_idx` in favour of
@@ -650,7 +810,11 @@ mod tests {
         ]
     }
 
-    fn run(policy: PolicyKind, preemption: PreemptionMode, requests: Vec<TaskRequest>) -> SimOutcome {
+    fn run(
+        policy: PolicyKind,
+        preemption: PreemptionMode,
+        requests: Vec<TaskRequest>,
+    ) -> SimOutcome {
         let sim = NpuSimulator::new(npu(), SchedulerConfig::named(policy, preemption));
         let prepared = prepare(requests);
         sim.run(&prepared)
@@ -693,7 +857,11 @@ mod tests {
                 assert_eq!(outcome.records.len(), 3, "{policy:?}/{preemption:?}");
                 for record in &outcome.records {
                     assert!(record.completion >= record.arrival);
-                    assert!(record.ntt() >= 0.999, "{policy:?}/{preemption:?}: NTT {}", record.ntt());
+                    assert!(
+                        record.ntt() >= 0.999,
+                        "{policy:?}/{preemption:?}: NTT {}",
+                        record.ntt()
+                    );
                 }
             }
         }
@@ -701,7 +869,11 @@ mod tests {
 
     #[test]
     fn np_fcfs_makes_later_tasks_wait_for_earlier_ones() {
-        let outcome = run(PolicyKind::Fcfs, PreemptionMode::NonPreemptive, simple_requests());
+        let outcome = run(
+            PolicyKind::Fcfs,
+            PreemptionMode::NonPreemptive,
+            simple_requests(),
+        );
         // Task 1 (AlexNet, high priority) arrives while VGG runs; under
         // NP-FCFS it cannot start until VGG finishes.
         let vgg = outcome.record(TaskId(0)).unwrap();
@@ -712,7 +884,11 @@ mod tests {
 
     #[test]
     fn preemptive_hpf_lets_the_high_priority_task_jump_the_queue() {
-        let np = run(PolicyKind::Hpf, PreemptionMode::NonPreemptive, simple_requests());
+        let np = run(
+            PolicyKind::Hpf,
+            PreemptionMode::NonPreemptive,
+            simple_requests(),
+        );
         let preemptive = run(
             PolicyKind::Hpf,
             PreemptionMode::Static(PreemptionMechanism::Checkpoint),
@@ -792,8 +968,16 @@ mod tests {
 
     #[test]
     fn prema_improves_high_priority_latency_over_np_fcfs() {
-        let baseline = run(PolicyKind::Fcfs, PreemptionMode::NonPreemptive, simple_requests());
-        let prema = run(PolicyKind::Prema, PreemptionMode::Dynamic, simple_requests());
+        let baseline = run(
+            PolicyKind::Fcfs,
+            PreemptionMode::NonPreemptive,
+            simple_requests(),
+        );
+        let prema = run(
+            PolicyKind::Prema,
+            PreemptionMode::Dynamic,
+            simple_requests(),
+        );
         let base_high = baseline.record(TaskId(1)).unwrap();
         let prema_high = prema.record(TaskId(1)).unwrap();
         assert!(
@@ -827,14 +1011,17 @@ mod tests {
         let prepared = sim.prepare(&[TaskRequest::new(TaskId(0), ModelKind::CnnMobileNet)]);
         assert_eq!(prepared.len(), 1);
         assert!(prepared[0].isolated_cycles() > Cycles::ZERO);
-        assert_eq!(prepared[0].estimated_cycles(), prepared[0].isolated_cycles());
+        assert_eq!(
+            prepared[0].estimated_cycles(),
+            prepared[0].isolated_cycles()
+        );
     }
 
     #[test]
     fn estimates_override_plan_length() {
         let cfg = npu();
-        let request = TaskRequest::new(TaskId(0), ModelKind::CnnAlexNet)
-            .with_estimate(Cycles::new(42));
+        let request =
+            TaskRequest::new(TaskId(0), ModelKind::CnnAlexNet).with_estimate(Cycles::new(42));
         let prepared = PreparedTask::prepare(request, &cfg);
         assert_eq!(prepared.estimated_cycles(), Cycles::new(42));
         assert!(prepared.isolated_cycles() > Cycles::new(42));

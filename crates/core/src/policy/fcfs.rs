@@ -51,7 +51,10 @@ mod tests {
         let mut running = view(1, Priority::Low, 0);
         running.is_running = true;
         let waiting = view(2, Priority::High, 10);
-        assert_eq!(policy.select(Cycles::new(1000), &[running, waiting]), TaskId(1));
+        assert_eq!(
+            policy.select(Cycles::new(1000), &[running, waiting]),
+            TaskId(1)
+        );
     }
 
     #[test]

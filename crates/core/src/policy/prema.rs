@@ -69,7 +69,10 @@ mod tests {
         let mut short_high = view(2, Priority::High, 100);
         short_high.tokens = 9.0;
         short_high.estimated_total = Cycles::new(500_000);
-        assert_eq!(policy.select(Cycles::ZERO, &[long_high, short_high]), TaskId(2));
+        assert_eq!(
+            policy.select(Cycles::ZERO, &[long_high, short_high]),
+            TaskId(2)
+        );
     }
 
     #[test]
@@ -83,7 +86,10 @@ mod tests {
         let mut long_high = view(2, Priority::High, 100);
         long_high.tokens = 9.0;
         long_high.estimated_total = Cycles::new(5_000_000);
-        assert_eq!(policy.select(Cycles::ZERO, &[short_low, long_high]), TaskId(2));
+        assert_eq!(
+            policy.select(Cycles::ZERO, &[short_low, long_high]),
+            TaskId(2)
+        );
     }
 
     #[test]

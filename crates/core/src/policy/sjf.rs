@@ -50,7 +50,10 @@ mod tests {
         long_high.estimated_total = Cycles::new(10_000_000);
         let mut short_low = view(2, Priority::Low, 100);
         short_low.estimated_total = Cycles::new(100_000);
-        assert_eq!(policy.select(Cycles::ZERO, &[long_high, short_low]), TaskId(2));
+        assert_eq!(
+            policy.select(Cycles::ZERO, &[long_high, short_low]),
+            TaskId(2)
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ mod tests {
         early_low.tokens = 1.0;
         let mut late_high = view(2, Priority::High, 100);
         late_high.tokens = 9.0;
-        assert_eq!(policy.select(Cycles::ZERO, &[early_low, late_high]), TaskId(2));
+        assert_eq!(
+            policy.select(Cycles::ZERO, &[early_low, late_high]),
+            TaskId(2)
+        );
     }
 
     #[test]

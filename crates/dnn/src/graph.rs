@@ -140,10 +140,7 @@ impl NetworkGraph {
 
     /// Iterates over the layers in insertion order.
     pub fn layers(&self) -> impl Iterator<Item = (NodeId, &Layer)> {
-        self.layers
-            .iter()
-            .enumerate()
-            .map(|(i, l)| (NodeId(i), l))
+        self.layers.iter().enumerate().map(|(i, l)| (NodeId(i), l))
     }
 
     /// Successors of `id`.
@@ -280,7 +277,11 @@ mod tests {
         let g = linear_graph();
         let order = g.topological_order().unwrap();
         assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2)]);
-        let names: Vec<_> = g.execution_order().iter().map(|l| l.name().to_string()).collect();
+        let names: Vec<_> = g
+            .execution_order()
+            .iter()
+            .map(|l| l.name().to_string())
+            .collect();
         assert_eq!(names, vec!["a", "b", "c"]);
     }
 
@@ -315,10 +316,7 @@ mod tests {
     fn unknown_node_edge_rejected() {
         let mut g = NetworkGraph::new("g");
         let a = g.add_layer(fc("a", 4, 4));
-        assert_eq!(
-            g.add_edge(a, NodeId(5)),
-            Err(GraphError::UnknownNode(5))
-        );
+        assert_eq!(g.add_edge(a, NodeId(5)), Err(GraphError::UnknownNode(5)));
     }
 
     #[test]

@@ -64,8 +64,7 @@ pub fn lower_layer(layer: &Layer, batch: u64) -> LayerWork {
             // the vector unit even when no explicit activation was fused.
             if layer.fused_activation().is_none() {
                 if let LayerKind::Recurrent { .. } = layer.kind() {
-                    work = work
-                        .with_fused_vector(VectorOpKind::Tanh, layer.output_elements(batch));
+                    work = work.with_fused_vector(VectorOpKind::Tanh, layer.output_elements(batch));
                 }
             }
             work

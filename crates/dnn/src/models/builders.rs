@@ -4,6 +4,7 @@ use crate::graph::{NetworkGraph, NodeId};
 use crate::layer::{ActivationKind, Layer, LayerKind, PoolKind, RecurrentKind};
 
 /// Appends a ReLU-fused convolution after `from`.
+#[allow(clippy::too_many_arguments)]
 pub fn conv_relu(
     graph: &mut NetworkGraph,
     from: NodeId,
@@ -31,6 +32,7 @@ pub fn conv_relu(
 }
 
 /// Appends a ReLU-fused depthwise convolution after `from`.
+#[allow(clippy::too_many_arguments)]
 pub fn depthwise_relu(
     graph: &mut NetworkGraph,
     from: NodeId,
@@ -56,6 +58,7 @@ pub fn depthwise_relu(
 }
 
 /// Appends a pooling layer after `from`.
+#[allow(clippy::too_many_arguments)]
 pub fn pool(
     graph: &mut NetworkGraph,
     from: NodeId,
@@ -161,7 +164,14 @@ mod tests {
         let c = conv_relu(&mut g, input, "c", 8, 16, 3, 1, 1, 8);
         let d = depthwise_relu(&mut g, c, "dw", 16, 3, 1, 1, 8);
         let p = pool(&mut g, d, "p", PoolKind::Max, 2, 2, 16, 8);
-        let f = fully_connected(&mut g, p, "fc", 16 * 4 * 4, 10, Some(ActivationKind::Softmax));
+        let f = fully_connected(
+            &mut g,
+            p,
+            "fc",
+            16 * 4 * 4,
+            10,
+            Some(ActivationKind::Softmax),
+        );
         let l = lstm_step(&mut g, f, "lstm", 10, 10);
         let _e = elementwise(&mut g, l, "add", ActivationKind::Relu, 10);
         assert_eq!(g.layer_count(), 7);

@@ -52,16 +52,7 @@ pub fn build() -> NetworkGraph {
     let mut node = stem;
     for (idx, &(in_ch, out_ch, stride, hw)) in BLOCKS.iter().enumerate() {
         let block = idx + 1;
-        let dw = depthwise_relu(
-            &mut g,
-            node,
-            &format!("dw{block}"),
-            in_ch,
-            3,
-            stride,
-            1,
-            hw,
-        );
+        let dw = depthwise_relu(&mut g, node, &format!("dw{block}"), in_ch, 3, stride, 1, hw);
         let pw_hw = if stride == 2 { hw / 2 } else { hw };
         node = conv_relu(
             &mut g,
@@ -77,14 +68,7 @@ pub fn build() -> NetworkGraph {
     }
 
     let avg = pool(&mut g, node, "avg_pool", PoolKind::Avg, 7, 1, 1024, 7);
-    let _fc = fully_connected(
-        &mut g,
-        avg,
-        "fc",
-        1024,
-        1000,
-        Some(ActivationKind::Softmax),
-    );
+    let _fc = fully_connected(&mut g, avg, "fc", 1024, 1000, Some(ActivationKind::Softmax));
 
     g
 }

@@ -269,7 +269,10 @@ mod tests {
 
     #[test]
     fn seq_spec_for_cnn_is_none() {
-        assert_eq!(SeqSpec::for_model(ModelKind::CnnVggNet, 30), SeqSpec::none());
+        assert_eq!(
+            SeqSpec::for_model(ModelKind::CnnVggNet, 30),
+            SeqSpec::none()
+        );
         assert_eq!(SeqSpec::default(), SeqSpec::none());
     }
 
@@ -344,9 +347,7 @@ mod tests {
     fn known_mac_counts_are_in_the_right_ballpark() {
         // Published single-image MAC counts: AlexNet ~0.7 G, VGG-16 ~15.5 G,
         // GoogLeNet ~1.5 G, MobileNet ~0.57 G, ResNet-50 ~4 G.
-        let gmacs = |kind: ModelKind| {
-            kind.build(1, SeqSpec::none()).total_macs() as f64 / 1e9
-        };
+        let gmacs = |kind: ModelKind| kind.build(1, SeqSpec::none()).total_macs() as f64 / 1e9;
         let an = gmacs(ModelKind::CnnAlexNet);
         assert!(an > 0.4 && an < 1.2, "AlexNet {an} GMACs");
         let vn = gmacs(ModelKind::CnnVggNet);

@@ -179,14 +179,7 @@ pub fn build() -> NetworkGraph {
     }
 
     let avg = pool(&mut g, node, "avg_pool", PoolKind::Avg, 7, 1, 2048, 7);
-    let _fc = fully_connected(
-        &mut g,
-        avg,
-        "fc",
-        2048,
-        1000,
-        Some(ActivationKind::Softmax),
-    );
+    let _fc = fully_connected(&mut g, avg, "fc", 2048, 1000, Some(ActivationKind::Softmax));
 
     g
 }

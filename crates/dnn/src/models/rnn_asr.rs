@@ -98,7 +98,11 @@ mod tests {
     #[test]
     fn pyramidal_listener_halves_steps_per_layer() {
         let g = build(SeqSpec::new(40, 10));
-        let count = |prefix: &str| g.layers().filter(|(_, l)| l.name().starts_with(prefix)).count();
+        let count = |prefix: &str| {
+            g.layers()
+                .filter(|(_, l)| l.name().starts_with(prefix))
+                .count()
+        };
         assert_eq!(count("listen_l0_"), 40 * 2);
         assert_eq!(count("listen_l1_"), 20 * 2);
         assert_eq!(count("listen_l2_"), 10 * 2);

@@ -60,7 +60,13 @@ pub fn build(name: &str, vocab: u64, seq: SeqSpec) -> NetworkGraph {
     for t in 0..dec_steps {
         for layer in 0..LAYERS {
             let input_size = if layer == 0 { EMBED } else { HIDDEN };
-            prev = lstm_step(&mut g, prev, &format!("dec_l{layer}_t{t}"), input_size, HIDDEN);
+            prev = lstm_step(
+                &mut g,
+                prev,
+                &format!("dec_l{layer}_t{t}"),
+                input_size,
+                HIDDEN,
+            );
         }
         prev = fully_connected(
             &mut g,

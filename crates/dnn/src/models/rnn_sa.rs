@@ -35,17 +35,14 @@ pub fn build(seq: SeqSpec) -> NetworkGraph {
             let name = format!("lstm_l{layer}_t{t}");
             let node = match prev {
                 Some(p) => lstm_step(&mut g, p, &name, input_size, HIDDEN),
-                None => {
-                    let id = g.add_layer(crate::layer::Layer::new(
-                        name,
-                        crate::layer::LayerKind::Recurrent {
-                            kind: crate::layer::RecurrentKind::Lstm,
-                            input_size,
-                            hidden_size: HIDDEN,
-                        },
-                    ));
-                    id
-                }
+                None => g.add_layer(crate::layer::Layer::new(
+                    name,
+                    crate::layer::LayerKind::Recurrent {
+                        kind: crate::layer::RecurrentKind::Lstm,
+                        input_size,
+                        hidden_size: HIDDEN,
+                    },
+                )),
             };
             prev = Some(node);
         }

@@ -84,9 +84,7 @@ impl ActivationDensityModel {
         let mean_density = match layer.kind() {
             // Density decays with depth: early convs see dense natural-image
             // statistics, deep convs and classifiers see sparse ReLU outputs.
-            LayerKind::Conv { .. } | LayerKind::DepthwiseConv { .. } => {
-                0.85 - 0.5 * relative_depth
-            }
+            LayerKind::Conv { .. } | LayerKind::DepthwiseConv { .. } => 0.85 - 0.5 * relative_depth,
             LayerKind::FullyConnected { .. } => 0.35 - 0.15 * relative_depth,
             LayerKind::Recurrent { .. } => 0.55 - 0.1 * relative_depth,
             LayerKind::Activation { .. } | LayerKind::Pool { .. } => 0.5,

@@ -93,7 +93,10 @@ impl MultiTaskMetrics {
     ///
     /// Panics if `outcomes` is empty.
     pub fn from_outcomes(outcomes: &[TaskOutcome]) -> Self {
-        assert!(!outcomes.is_empty(), "at least one task outcome is required");
+        assert!(
+            !outcomes.is_empty(),
+            "at least one task outcome is required"
+        );
         let n = outcomes.len() as f64;
         let antt = outcomes.iter().map(TaskOutcome::ntt).sum::<f64>() / n;
         let stp = outcomes.iter().map(TaskOutcome::progress).sum::<f64>();
@@ -220,7 +223,10 @@ mod tests {
         assert!(m.fairness < 0.2, "fairness {}", m.fairness);
 
         // Progress proportional to priority share is perfectly fair.
-        let proportional = vec![outcome(100.0, 1000.0, 1.0), outcome(100.0, 1000.0 / 9.0, 9.0)];
+        let proportional = vec![
+            outcome(100.0, 1000.0, 1.0),
+            outcome(100.0, 1000.0 / 9.0, 9.0),
+        ];
         let m = MultiTaskMetrics::from_outcomes(&proportional);
         assert!((m.fairness - 1.0).abs() < 1e-9, "fairness {}", m.fairness);
     }

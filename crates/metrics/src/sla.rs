@@ -31,7 +31,10 @@ pub struct SlaCurve {
 ///
 /// Panics if `outcomes` is empty or `multiplier` is not positive.
 pub fn violation_rate(outcomes: &[TaskOutcome], multiplier: f64) -> f64 {
-    assert!(!outcomes.is_empty(), "at least one task outcome is required");
+    assert!(
+        !outcomes.is_empty(),
+        "at least one task outcome is required"
+    );
     assert!(multiplier > 0.0, "SLA multiplier must be positive");
     let violations = outcomes
         .iter()

@@ -125,7 +125,9 @@ mod tests {
 
     #[test]
     fn title_is_printed_first() {
-        let table = TableBuilder::new(vec!["x".into()]).title("Figure 11").build();
+        let table = TableBuilder::new(vec!["x".into()])
+            .title("Figure 11")
+            .build();
         assert!(table.starts_with("Figure 11\n"));
     }
 

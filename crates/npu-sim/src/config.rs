@@ -122,6 +122,27 @@ impl NpuConfig {
         self.activation_sram_bytes
     }
 
+    /// A 64-bit digest of every architectural parameter, used as the
+    /// NPU-configuration component of plan-compilation cache keys. Two
+    /// configurations share a fingerprint exactly when they are field-wise
+    /// identical (floats compared by bit pattern), so equal fingerprints
+    /// imply identical compiled timing.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.systolic_width.hash(&mut hasher);
+        self.systolic_height.hash(&mut hasher);
+        self.accumulator_depth.hash(&mut hasher);
+        self.frequency_mhz.to_bits().hash(&mut hasher);
+        self.activation_sram_bytes.hash(&mut hasher);
+        self.weight_sram_bytes.hash(&mut hasher);
+        self.memory_channels.hash(&mut hasher);
+        self.memory_bandwidth_gbps.to_bits().hash(&mut hasher);
+        self.memory_latency_cycles.hash(&mut hasher);
+        self.vector_lanes.hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// Validates the configuration, returning a description of the first
     /// problem found.
     ///
@@ -136,13 +157,13 @@ impl NpuConfig {
         if self.accumulator_depth == 0 {
             return Err("accumulator depth must be non-zero".into());
         }
-        if !(self.frequency_mhz > 0.0) {
+        if self.frequency_mhz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("frequency must be positive".into());
         }
         if self.activation_sram_bytes == 0 || self.weight_sram_bytes == 0 {
             return Err("on-chip SRAM sizes must be non-zero".into());
         }
-        if !(self.memory_bandwidth_gbps > 0.0) {
+        if self.memory_bandwidth_gbps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("memory bandwidth must be positive".into());
         }
         if self.vector_lanes == 0 {
@@ -283,7 +304,7 @@ mod tests {
         assert_eq!(cfg.streaming_cycles(0), Cycles::ZERO);
         assert_eq!(cfg.streaming_cycles(1), Cycles::new(1));
         let one_mb = cfg.streaming_cycles(1024 * 1024).get();
-        assert!(one_mb >= 2000 && one_mb <= 2100, "got {one_mb}");
+        assert!((2000..=2100).contains(&one_mb), "got {one_mb}");
     }
 
     #[test]
@@ -338,6 +359,16 @@ mod tests {
     #[test]
     fn default_is_paper_default() {
         assert_eq!(NpuConfig::default(), NpuConfig::paper_default());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configurations() {
+        let base = NpuConfig::paper_default();
+        assert_eq!(base.fingerprint(), NpuConfig::paper_default().fingerprint());
+        let small = NpuConfig::builder().systolic_width(64).build();
+        assert_ne!(base.fingerprint(), small.fingerprint());
+        let slow = NpuConfig::builder().frequency_mhz(350.0).build();
+        assert_ne!(base.fingerprint(), slow.fingerprint());
     }
 
     #[test]

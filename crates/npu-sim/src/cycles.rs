@@ -27,7 +27,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a - b, Cycles::ZERO); // saturating
 /// assert_eq!((a + b).to_micros(700.0), 3.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Cycles(u64);
 

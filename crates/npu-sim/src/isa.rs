@@ -114,7 +114,10 @@ impl Instruction {
     /// (`GEMM_OP` / `CONV_OP`), i.e. the instructions whose commit points are
     /// legal CHECKPOINT preemption points.
     pub fn is_gemm(&self) -> bool {
-        matches!(self, Instruction::GemmOp { .. } | Instruction::ConvOp { .. })
+        matches!(
+            self,
+            Instruction::GemmOp { .. } | Instruction::ConvOp { .. }
+        )
     }
 
     /// Returns `true` for DMA instructions (`LOAD_TILE` / `STORE_TILE`).

@@ -181,11 +181,7 @@ impl LayerTiming {
     /// # Panics
     ///
     /// Panics if `max_intervals` is zero.
-    pub fn model_with_intervals(
-        work: &LayerWork,
-        cfg: &NpuConfig,
-        max_intervals: usize,
-    ) -> Self {
+    pub fn model_with_intervals(work: &LayerWork, cfg: &NpuConfig, max_intervals: usize) -> Self {
         assert!(max_intervals > 0, "max_intervals must be non-zero");
         let dma = DmaModel::new(cfg);
 
@@ -352,7 +348,8 @@ mod tests {
         let work = LayerWork::gemm(shape, shape.output_bytes());
         let timing = LayerTiming::model(&work, &c);
         let plan = TilePlan::new(shape, &c);
-        let lead_in = plan.iter().next().unwrap().memory_cycles + Cycles::new(c.memory_latency_cycles);
+        let lead_in =
+            plan.iter().next().unwrap().memory_cycles + Cycles::new(c.memory_latency_cycles);
         assert_eq!(timing.total_cycles(), plan.total_cycles() + lead_in);
     }
 
@@ -395,7 +392,8 @@ mod tests {
     #[test]
     fn vector_only_layer_has_no_checkpoint_state() {
         let c = cfg();
-        let work = LayerWork::vector_only(VectorWork::new(VectorOpKind::MaxPool, 1_000_000), 2_000_000);
+        let work =
+            LayerWork::vector_only(VectorWork::new(VectorOpKind::MaxPool, 1_000_000), 2_000_000);
         let timing = LayerTiming::model(&work, &c);
         assert_eq!(timing.peak_checkpoint_bytes(), 0);
         assert!(timing.total_cycles() > Cycles::ZERO);
@@ -452,7 +450,9 @@ mod tests {
         let work = LayerWork::conv(shape, shape.output_bytes())
             .with_fused_vector(VectorOpKind::Relu, shape.output_elements());
         let stream = work.instructions(&c);
-        assert!(stream.iter().any(|i| matches!(i, Instruction::LoadTile { .. })));
+        assert!(stream
+            .iter()
+            .any(|i| matches!(i, Instruction::LoadTile { .. })));
         assert!(stream.iter().any(|i| i.is_gemm()));
         assert!(stream
             .iter()

@@ -106,10 +106,7 @@ mod tests {
         let d = dma();
         let single = d.transfer_cycles(1 << 20);
         let chunked = d.chunked_transfer_cycles(1 << 20, 8);
-        assert_eq!(
-            chunked.get() - single.get(),
-            d.access_latency().get() * 7
-        );
+        assert_eq!(chunked.get() - single.get(), d.access_latency().get() * 7);
     }
 
     #[test]

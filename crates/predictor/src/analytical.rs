@@ -120,7 +120,10 @@ impl AnalyticalPredictor {
 impl InferenceTimePredictor for AnalyticalPredictor {
     fn predict_cycles(&self, kind: ModelKind, batch: u64, input_len: u64) -> Cycles {
         let seq = if kind.is_rnn() {
-            SeqSpec::new(input_len.max(1), self.predict_output_len(kind, input_len.max(1)))
+            SeqSpec::new(
+                input_len.max(1),
+                self.predict_output_len(kind, input_len.max(1)),
+            )
         } else {
             SeqSpec::none()
         };
@@ -153,8 +156,8 @@ mod tests {
         };
         let t = estimate_layer_cycles(dims, &c);
         let c1 = c.accumulator_depth + c.systolic_height + 2 * c.systolic_width;
-        let m1 = ((c.systolic_height * c.systolic_width
-            + c.systolic_height * c.accumulator_depth) as f64
+        let m1 = ((c.systolic_height * c.systolic_width + c.systolic_height * c.accumulator_depth)
+            as f64
             * 2.0
             / c.bytes_per_cycle())
         .ceil() as u64;
@@ -164,7 +167,11 @@ mod tests {
     #[test]
     fn edge_only_layer_uses_outer_tile_formula() {
         let c = cfg();
-        let dims = GemmDims { m: 64, k: 64, n: 100 };
+        let dims = GemmDims {
+            m: 64,
+            k: 64,
+            n: 100,
+        };
         let t = estimate_layer_cycles(dims, &c);
         let c2 = 100 + c.systolic_height + 2 * c.systolic_width;
         let m2 = ((c.systolic_height * c.systolic_width + c.systolic_height * 100) as f64 * 2.0
@@ -237,18 +244,30 @@ mod tests {
     fn rnn_prediction_uses_seq_table_when_present() {
         let predictor = AnalyticalPredictor::new(cfg());
         let default_len = predictor.predict_output_len(ModelKind::RnnTranslation1, 20);
-        assert_eq!(default_len, ModelKind::RnnTranslation1.expected_output_len(20));
+        assert_eq!(
+            default_len,
+            ModelKind::RnnTranslation1.expected_output_len(20)
+        );
 
         let table = SeqLenTable::from_samples([(20, 40), (20, 40)]);
         let predictor = predictor.with_seq_table(ModelKind::RnnTranslation1, table);
-        assert_eq!(predictor.predict_output_len(ModelKind::RnnTranslation1, 20), 40);
+        assert_eq!(
+            predictor.predict_output_len(ModelKind::RnnTranslation1, 20),
+            40
+        );
 
         // A longer predicted output means a longer predicted latency.
         let short = AnalyticalPredictor::new(cfg())
-            .with_seq_table(ModelKind::RnnTranslation1, SeqLenTable::from_samples([(20, 10)]))
+            .with_seq_table(
+                ModelKind::RnnTranslation1,
+                SeqLenTable::from_samples([(20, 10)]),
+            )
             .predict_cycles(ModelKind::RnnTranslation1, 1, 20);
         let long = AnalyticalPredictor::new(cfg())
-            .with_seq_table(ModelKind::RnnTranslation1, SeqLenTable::from_samples([(20, 40)]))
+            .with_seq_table(
+                ModelKind::RnnTranslation1,
+                SeqLenTable::from_samples([(20, 40)]),
+            )
             .predict_cycles(ModelKind::RnnTranslation1, 1, 20);
         assert!(long > short);
     }

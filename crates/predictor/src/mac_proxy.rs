@@ -108,8 +108,10 @@ mod tests {
 
     #[test]
     fn rnn_prediction_respects_seq_table() {
-        let p = MacProxyPredictor::new(cfg())
-            .with_seq_table(ModelKind::RnnTranslation1, SeqLenTable::from_samples([(10, 50)]));
+        let p = MacProxyPredictor::new(cfg()).with_seq_table(
+            ModelKind::RnnTranslation1,
+            SeqLenTable::from_samples([(10, 50)]),
+        );
         let long = p.predict_cycles(ModelKind::RnnTranslation1, 1, 10);
         let short = MacProxyPredictor::new(cfg()).predict_cycles(ModelKind::RnnTranslation1, 1, 10);
         assert!(long > short);

@@ -140,7 +140,9 @@ impl SeqLenTable {
     /// Iterates over `(input_len, predicted_output_len)` pairs for every
     /// profiled input length, i.e. the regression curve of Figure 9.
     pub fn curve(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.buckets.keys().map(|&input_len| (input_len, self.predict(input_len)))
+        self.buckets
+            .keys()
+            .map(|&input_len| (input_len, self.predict(input_len)))
     }
 }
 

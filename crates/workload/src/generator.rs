@@ -70,7 +70,7 @@ impl WorkloadConfig {
         if self.priorities.is_empty() {
             return Err("priority pool must not be empty".into());
         }
-        if !(self.dispatch_window_ms >= 0.0) {
+        if self.dispatch_window_ms.is_nan() || self.dispatch_window_ms < 0.0 {
             return Err("dispatch window must be non-negative".into());
         }
         Ok(())
@@ -219,10 +219,19 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a = generate_workload(&WorkloadConfig::paper_default(), &mut StdRng::seed_from_u64(7));
-        let b = generate_workload(&WorkloadConfig::paper_default(), &mut StdRng::seed_from_u64(7));
+        let a = generate_workload(
+            &WorkloadConfig::paper_default(),
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = generate_workload(
+            &WorkloadConfig::paper_default(),
+            &mut StdRng::seed_from_u64(7),
+        );
         assert_eq!(a, b);
-        let c = generate_workload(&WorkloadConfig::paper_default(), &mut StdRng::seed_from_u64(8));
+        let c = generate_workload(
+            &WorkloadConfig::paper_default(),
+            &mut StdRng::seed_from_u64(8),
+        );
         assert_ne!(a, c);
     }
 
@@ -271,11 +280,26 @@ mod tests {
     fn validation_errors_cover_each_field() {
         let base = WorkloadConfig::paper_default();
         let cases = [
-            WorkloadConfig { models: vec![], ..base.clone() },
-            WorkloadConfig { batch_sizes: vec![], ..base.clone() },
-            WorkloadConfig { batch_sizes: vec![0], ..base.clone() },
-            WorkloadConfig { priorities: vec![], ..base.clone() },
-            WorkloadConfig { dispatch_window_ms: -1.0, ..base.clone() },
+            WorkloadConfig {
+                models: vec![],
+                ..base.clone()
+            },
+            WorkloadConfig {
+                batch_sizes: vec![],
+                ..base.clone()
+            },
+            WorkloadConfig {
+                batch_sizes: vec![0],
+                ..base.clone()
+            },
+            WorkloadConfig {
+                priorities: vec![],
+                ..base.clone()
+            },
+            WorkloadConfig {
+                dispatch_window_ms: -1.0,
+                ..base.clone()
+            },
         ];
         for case in cases {
             assert!(case.validate().is_err());

@@ -178,7 +178,8 @@ mod tests {
                 &mut rng,
             );
             let victim_isolated =
-                ExecutionPlan::compile(ModelKind::CnnAlexNet, 4, SeqSpec::none(), &c).total_cycles();
+                ExecutionPlan::compile(ModelKind::CnnAlexNet, 4, SeqSpec::none(), &c)
+                    .total_cycles();
             assert!(s.preemptor.arrival < victim_isolated);
         }
     }

@@ -65,10 +65,34 @@ impl PreparedWorkload {
 ///
 /// Pass `None` as the predictor to attach oracle estimates (the exact plan
 /// lengths), as used by the Section VI-D comparison.
+///
+/// Plans come from the process-wide compilation cache
+/// (`prema_core::plan::plan_cache`), so replaying the same model / batch /
+/// sequence combinations across a suite compiles each distinct plan once.
 pub fn prepare_workload(
     spec: &WorkloadSpec,
     npu: &NpuConfig,
     predictor: Option<&dyn InferenceTimePredictor>,
+) -> PreparedWorkload {
+    prepare_with(spec, npu, predictor, PreparedTask::prepare)
+}
+
+/// Like [`prepare_workload`] but compiles every plan from scratch,
+/// bypassing the plan cache. Exists for baseline measurements and the
+/// cache-correctness regression tests; the compiled timing is identical.
+pub fn prepare_workload_uncached(
+    spec: &WorkloadSpec,
+    npu: &NpuConfig,
+    predictor: Option<&dyn InferenceTimePredictor>,
+) -> PreparedWorkload {
+    prepare_with(spec, npu, predictor, PreparedTask::prepare_uncached)
+}
+
+fn prepare_with(
+    spec: &WorkloadSpec,
+    npu: &NpuConfig,
+    predictor: Option<&dyn InferenceTimePredictor>,
+    compile: fn(TaskRequest, &NpuConfig) -> PreparedTask,
 ) -> PreparedWorkload {
     let tasks = spec
         .requests
@@ -82,7 +106,7 @@ pub fn prepare_workload(
                 }
                 None => *request,
             };
-            PreparedTask::prepare(request, npu)
+            compile(request, npu)
         })
         .collect();
     PreparedWorkload { tasks }

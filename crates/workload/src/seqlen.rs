@@ -43,8 +43,14 @@ impl SeqLenCharacterization {
         samples_per_length: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(model.is_rnn(), "only RNN models have sequence characterizations");
-        assert!(samples_per_length > 0, "at least one sample per length is required");
+        assert!(
+            model.is_rnn(),
+            "only RNN models have sequence characterizations"
+        );
+        assert!(
+            samples_per_length > 0,
+            "at least one sample per length is required"
+        );
         let (lo, hi) = model.input_len_range();
         let mut samples = Vec::new();
         for input_len in lo..=hi {
@@ -123,7 +129,11 @@ mod tests {
     #[test]
     fn regression_table_tracks_the_mean_relation() {
         let mut rng = StdRng::seed_from_u64(11);
-        for model in [ModelKind::RnnTranslation1, ModelKind::RnnTranslation2, ModelKind::RnnSpeech] {
+        for model in [
+            ModelKind::RnnTranslation1,
+            ModelKind::RnnTranslation2,
+            ModelKind::RnnSpeech,
+        ] {
             let table = SeqLenCharacterization::profile(model, 50, &mut rng).to_table();
             let (lo, hi) = model.input_len_range();
             for input_len in [lo, (lo + hi) / 2, hi] {

@@ -36,7 +36,10 @@ fn main() {
     );
 
     let configurations = [
-        ("DRAIN  (NP-HPF)", SchedulerConfig::named(PolicyKind::Hpf, PreemptionMode::NonPreemptive)),
+        (
+            "DRAIN  (NP-HPF)",
+            SchedulerConfig::named(PolicyKind::Hpf, PreemptionMode::NonPreemptive),
+        ),
         (
             "KILL   (P-HPF)",
             SchedulerConfig::named(

@@ -6,9 +6,7 @@
 //! ```
 
 use prema::npu::Cycles;
-use prema::{
-    ModelKind, NpuConfig, NpuSimulator, Priority, SchedulerConfig, TaskId, TaskRequest,
-};
+use prema::{ModelKind, NpuConfig, NpuSimulator, Priority, SchedulerConfig, TaskId, TaskRequest};
 
 fn main() {
     let npu = NpuConfig::paper_default();

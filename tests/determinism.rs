@@ -1,0 +1,135 @@
+//! Determinism regression tests for the simulation fast path.
+//!
+//! The engine's incremental scheduler state, the plan-compilation cache and
+//! the rayon-parallel evaluation suite are all pure optimizations: none of
+//! them may change a single bit of any [`prema::SimOutcome`]. These tests
+//! pin that contract by replaying identical seeds through the optimized and
+//! reference paths and asserting full structural equality.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use prema::{
+    NpuConfig, NpuSimulator, PolicyKind, PreemptionMechanism, PreemptionMode, SchedulerConfig,
+    SimOutcome,
+};
+use prema_bench::suite::{run_grid, run_grid_reference, SuiteOptions};
+use prema_workload::generator::{generate_workload, WorkloadConfig};
+use prema_workload::prepare::{prepare_workload, prepare_workload_uncached};
+
+/// Every (policy, preemption mode) combination the paper evaluates.
+/// Static(KILL) + round-robin livelocks by construction (each task keeps
+/// discarding the other's progress every quantum), so it is excluded here
+/// exactly as it is excluded from the paper's evaluation.
+fn all_scheduler_configs() -> Vec<SchedulerConfig> {
+    let mut configs = Vec::new();
+    for policy in PolicyKind::ALL {
+        for preemption in [
+            PreemptionMode::NonPreemptive,
+            PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+            PreemptionMode::Static(PreemptionMechanism::Kill),
+            PreemptionMode::Dynamic,
+            PreemptionMode::DynamicKill,
+        ] {
+            if policy == PolicyKind::RoundRobin
+                && preemption == PreemptionMode::Static(PreemptionMechanism::Kill)
+            {
+                continue;
+            }
+            configs.push(SchedulerConfig::named(policy, preemption));
+        }
+    }
+    configs
+}
+
+/// The plan-cached preparation path must produce bit-identical outcomes to
+/// fresh per-task compilation, for every policy and preemption mode.
+#[test]
+fn cached_plans_match_uncached_plans_across_all_configs() {
+    let npu = NpuConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(0xDE7);
+    let spec = generate_workload(
+        &WorkloadConfig {
+            task_count: 5,
+            ..WorkloadConfig::paper_default()
+        },
+        &mut rng,
+    );
+    let cached = prepare_workload(&spec, &npu, None);
+    let uncached = prepare_workload_uncached(&spec, &npu, None);
+    assert_eq!(cached.len(), uncached.len());
+    for (a, b) in cached.tasks.iter().zip(&uncached.tasks) {
+        assert_eq!(a.request, b.request);
+        assert_eq!(*a.plan, *b.plan, "cached plan must equal fresh compile");
+    }
+
+    for cfg in all_scheduler_configs() {
+        let label = cfg.label();
+        let sim = NpuSimulator::new(npu.clone(), cfg);
+        let from_cached: SimOutcome = sim.run(&cached.tasks);
+        let from_uncached: SimOutcome = sim.run(&uncached.tasks);
+        assert_eq!(from_cached, from_uncached, "outcome diverged under {label}");
+    }
+}
+
+/// The parallel (run × config) suite must be bit-identical to the serial,
+/// uncached reference sweep: same per-run seeds, same outcomes, for every
+/// policy and preemption mode in one grid.
+#[test]
+fn parallel_cached_suite_matches_serial_uncached_reference() {
+    let opts = SuiteOptions {
+        runs: 2,
+        seed: 2020,
+        workload: WorkloadConfig {
+            task_count: 5,
+            ..WorkloadConfig::paper_default()
+        },
+        ..SuiteOptions::paper()
+    };
+    let configs = all_scheduler_configs();
+
+    // Optimized path: parallel fan-out + plan cache (the default).
+    let fast = run_grid(&configs, &opts);
+
+    // Reference path: single-threaded, plans compiled from scratch per run.
+    let reference: Vec<SimOutcome> = run_grid_reference(&configs, &opts);
+
+    assert_eq!(fast.len(), reference.len());
+    for (i, (a, b)) in fast.iter().zip(&reference).enumerate() {
+        let cfg = &configs[i % configs.len()];
+        assert_eq!(
+            a,
+            b,
+            "grid cell {} (run {}, {}) diverged between parallel+cached and serial+uncached",
+            i,
+            i / configs.len(),
+            cfg.label()
+        );
+    }
+}
+
+/// Re-running the parallel suite gives the same bits (no ordering or
+/// scheduling nondeterminism leaks into the results).
+#[test]
+fn parallel_suite_is_reproducible_across_invocations() {
+    let opts = SuiteOptions {
+        runs: 3,
+        seed: 7,
+        workload: WorkloadConfig {
+            task_count: 4,
+            ..WorkloadConfig::paper_default()
+        },
+        ..SuiteOptions::paper()
+    };
+    let configs = vec![
+        SchedulerConfig::np_fcfs(),
+        SchedulerConfig::named(PolicyKind::Prema, PreemptionMode::Dynamic),
+        SchedulerConfig::named(
+            PolicyKind::Hpf,
+            PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+        ),
+    ];
+    let first = run_grid(&configs, &opts);
+    let second = run_grid(&configs, &opts);
+    assert_eq!(first, second);
+}

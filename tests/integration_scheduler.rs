@@ -51,7 +51,10 @@ fn prema_beats_np_fcfs_on_antt_and_fairness_across_seeds() {
             fairness_wins += 1;
         }
     }
-    assert!(antt_wins >= 4, "PREMA better ANTT on only {antt_wins}/5 seeds");
+    assert!(
+        antt_wins >= 4,
+        "PREMA better ANTT on only {antt_wins}/5 seeds"
+    );
     assert!(
         fairness_wins >= 4,
         "PREMA better fairness on only {fairness_wins}/5 seeds"
@@ -97,7 +100,10 @@ fn sjf_is_latency_optimal_but_prema_stays_close() {
         prema_antt += prema.antt;
         fcfs_antt += fcfs.antt;
     }
-    assert!(sjf_antt <= prema_antt * 1.05, "SJF should be (near) latency optimal");
+    assert!(
+        sjf_antt <= prema_antt * 1.05,
+        "SJF should be (near) latency optimal"
+    );
     assert!(prema_antt < fcfs_antt, "PREMA should beat NP-FCFS on ANTT");
     // PREMA keeps a large share of SJF's ANTT advantage (the paper reports
     // 92% in the non-preemptive setting; PREMA additionally honours priority

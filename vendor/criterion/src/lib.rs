@@ -1,0 +1,140 @@
+//! Offline stand-in for `criterion` (the API subset this workspace uses).
+//!
+//! The workspace builds hermetically with no crates.io access. Benches under
+//! `crates/bench/benches/` use the classic criterion shape — `benchmark_group`,
+//! `sample_size`, `bench_function`, `b.iter(...)`, `criterion_group!` /
+//! `criterion_main!` — so this shim implements exactly that, with a simple
+//! wall-clock measurement loop (a warm-up iteration followed by `sample_size`
+//! timed samples) and a mean / min / max report per benchmark. Bench targets
+//! must set `harness = false`, which they do.
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("== bench group: {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls `iter`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let samples = &bencher.samples;
+        assert!(
+            !samples.is_empty(),
+            "bench_function closure must call Bencher::iter"
+        );
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().expect("non-empty");
+        let max = samples.iter().max().expect("non-empty");
+        println!(
+            "{}/{name}: mean {mean:?}, min {min:?}, max {max:?} ({} samples)",
+            self.group,
+            samples.len()
+        );
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; times the supplied routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` once as warm-up, then `sample_size` timed times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark entry point (a function running each bench fn).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // One warm-up + three samples.
+        assert_eq!(runs, 4);
+    }
+}

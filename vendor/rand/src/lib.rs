@@ -1,0 +1,293 @@
+//! Offline stand-in for `rand` (0.8-compatible API subset).
+//!
+//! The workspace builds hermetically with no crates.io access, so this shim
+//! implements the exact surface the PREMA reproduction uses: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], the [`Rng`] extension methods
+//! `gen`, `gen_range`, `gen_bool`, the [`distributions::Distribution`] trait
+//! and [`seq::SliceRandom::choose`].
+//!
+//! `StdRng` is a xoshiro256++ generator seeded through SplitMix64. The
+//! stream differs from the real `rand` crate's ChaCha12-based `StdRng` — all
+//! experiments in this repo are self-consistent (generated and replayed with
+//! this generator), so only determinism per seed matters, not stream
+//! compatibility.
+#![forbid(unsafe_code)]
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that can be sampled uniformly (`rand::distributions::uniform`
+/// stand-in, only what `Rng::gen_range` needs).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Each type is paired with its unsigned counterpart so the span is computed
+// with `wrapping_sub` in the unsigned domain: exact for the full signed
+// range (e.g. `i32::MIN..i32::MAX`), where a direct signed subtraction
+// would overflow. Offsets are added back the same way (two's complement).
+macro_rules! impl_int_sample_range {
+    ($($t:ty => $ut:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $ut).wrapping_sub(self.start as $ut) as u64;
+                let offset = rng.next_u64() % span;
+                (self.start as $ut).wrapping_add(offset as $ut) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $ut).wrapping_sub(lo as $ut) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let offset = rng.next_u64() % (span + 1);
+                (lo as $ut).wrapping_add(offset as $ut) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(
+    u8 => u8,
+    u16 => u16,
+    u32 => u32,
+    u64 => u64,
+    usize => usize,
+    i32 => u32,
+    i64 => u64
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be drawn from the "standard" distribution (`rand`'s
+/// `Standard`), as used by `Rng::gen`.
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing random value generation (the `rand::Rng` extension trait).
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution for `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators (`rand::rngs` stand-in).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A xoshiro256++ generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sampling from distributions (`rand::distributions` stand-in).
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+/// Random slice operations (`rand::seq` stand-in).
+pub mod seq {
+    use super::Rng;
+
+    /// Extension methods for slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Returns one uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let idx = (rng.next_u64() % self.len() as u64) as usize;
+                Some(&self[idx])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5u64..=5);
+            assert_eq!(y, 5);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let unit: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&unit));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_wider_than_the_signed_max_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2_000_000_000i32..2_000_000_000);
+            assert!((-2_000_000_000..2_000_000_000).contains(&x));
+            let y = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = y; // full-width inclusive range: any value is in range
+            let z = rng.gen_range(i32::MIN..i32::MAX);
+            assert!(z < i32::MAX);
+        }
+    }
+
+    #[test]
+    fn unit_samples_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..4096).map(|_| rng.gen::<f64>()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+        assert!(samples.iter().any(|&x| x < 0.1));
+        assert!(samples.iter().any(|&x| x > 0.9));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &x = pool.choose(&mut rng).unwrap();
+            seen[x - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds hermetically (no crates.io), and nothing in the
+//! PREMA reproduction serializes data at runtime — the `Serialize` /
+//! `Deserialize` derives exist so the public result types keep the same
+//! shape as they would with real serde. This shim provides empty marker
+//! traits plus the derive macros from the sibling `serde_derive` shim, so
+//! `use serde::{Serialize, Deserialize}` and `#[derive(Serialize,
+//! Deserialize)]` compile unchanged. Swapping in the real serde later is a
+//! one-line Cargo change.
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,49 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io, so the real `serde` cannot be vendored. Nothing in the
+//! reproduction actually serializes data (the derives only exist so that
+//! downstream users *could* persist configurations and results), so the
+//! stand-in derive emits impls of the empty marker traits defined by the
+//! sibling `serde` shim crate.
+//!
+//! The parser is deliberately tiny: it scans the derive input token stream
+//! for the `struct` / `enum` keyword and takes the following identifier as
+//! the type name, skipping attributes and visibility along the way. All
+//! types in this workspace that derive the serde traits are non-generic,
+//! which keeps the emitted impls trivial.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde_derive shim: could not find a struct/enum name in derive input");
+}
+
+/// Derives the no-op [`serde::Serialize`] marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the no-op [`serde::Deserialize`] marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
