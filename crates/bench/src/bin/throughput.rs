@@ -5,12 +5,17 @@
 //! `BENCH_sim_suite.json` report establishing the performance trajectory.
 //!
 //! ```text
-//! throughput [--runs N] [--seed S] [--out PATH]
+//! throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]
 //! ```
 //!
 //! Defaults reproduce the paper's setup: 25 runs of 8-task workloads under
 //! all six non-preemptive policies plus the eight static/dynamic preemptive
 //! configurations of Figure 12 (15 configurations with the NP-FCFS baseline).
+//!
+//! With `--check-baseline`, the committed report at PATH is read and the run
+//! fails (non-zero exit) if the freshly measured serial `events_per_sec`
+//! regressed more than 20 % below the baseline's — the CI throughput smoke
+//! gates on exactly this, alongside the always-on bit-identity check.
 
 use std::env;
 use std::process::ExitCode;
@@ -19,21 +24,27 @@ use std::time::Instant;
 use prema_bench::fig11_15::{fig11_configs, fig12_configs};
 use prema_bench::suite::{run_grid, run_grid_reference, SuiteOptions};
 use prema_core::plan::plan_cache;
-use prema_core::{SchedulerConfig, SimOutcome};
+use prema_core::{OutcomeSummary, SchedulerConfig, SimOutcome};
+
+/// Largest tolerated drop of `serial_uncached.events_per_sec` below the
+/// baseline before `--check-baseline` fails the run.
+const MAX_REGRESSION: f64 = 0.20;
 
 struct Options {
     runs: usize,
     seed: u64,
     out: String,
+    check_baseline: Option<String>,
 }
 
-const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH]";
+const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
         runs: SuiteOptions::paper().runs,
         seed: SuiteOptions::paper().seed,
         out: "BENCH_sim_suite.json".to_string(),
+        check_baseline: None,
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +66,10 @@ fn parse_args() -> Result<Options, String> {
             "--out" => {
                 options.out = args.next().ok_or("--out requires a value")?;
             }
+            "--check-baseline" => {
+                options.check_baseline =
+                    Some(args.next().ok_or("--check-baseline requires a value")?);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
@@ -67,6 +82,23 @@ fn parse_args() -> Result<Options, String> {
 
 fn total_events(outcomes: &[SimOutcome]) -> u64 {
     outcomes.iter().map(|o| o.scheduler_invocations).sum()
+}
+
+/// Extracts `"serial_uncached": { ..., "events_per_sec": <number> }` from a
+/// previously emitted report. The workspace is hermetic (no serde_json), so
+/// this parses the report's own fixed layout: find the section key, then the
+/// first `events_per_sec` after it.
+fn baseline_serial_events_per_sec(report: &str) -> Option<f64> {
+    let section = report.find("\"serial_uncached\"")?;
+    let rest = &report[section..];
+    let field = rest.find("\"events_per_sec\"")?;
+    let after = &rest[field + "\"events_per_sec\"".len()..];
+    let number: String = after
+        .chars()
+        .skip_while(|c| *c == ':' || c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E')
+        .collect();
+    number.parse().ok()
 }
 
 fn main() -> ExitCode {
@@ -114,17 +146,32 @@ fn main() -> ExitCode {
 
     let identical = fast == reference;
     let events = total_events(&fast);
+    let serial_events_per_sec = total_events(&reference) as f64 / serial_s.max(f64::EPSILON);
     let speedup = serial_s / parallel_s.max(f64::EPSILON);
 
+    // Grid-wide sanity aggregates, one summary() pass per outcome.
+    let grid_summary =
+        fast.iter()
+            .map(SimOutcome::summary)
+            .fold(OutcomeSummary::default(), |mut acc, s| {
+                acc.task_count += s.task_count;
+                acc.antt += s.antt;
+                acc.stp += s.stp;
+                acc.preemptions += s.preemptions;
+                acc.kill_restarts += s.kill_restarts;
+                acc
+            });
+    let cell_count = fast.len().max(1) as f64;
+
     let report = format!(
-        "{{\n  \"bench\": \"sim_suite_throughput\",\n  \"runs\": {},\n  \"configs\": {},\n  \"cells\": {},\n  \"threads\": {},\n  \"scheduler_events\": {},\n  \"serial_uncached\": {{ \"wall_s\": {:.4}, \"events_per_sec\": {:.0} }},\n  \"parallel_cached\": {{ \"wall_s\": {:.4}, \"events_per_sec\": {:.0} }},\n  \"speedup\": {:.2},\n  \"plan_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }},\n  \"outcomes_identical\": {}\n}}\n",
+        "{{\n  \"bench\": \"sim_suite_throughput\",\n  \"runs\": {},\n  \"configs\": {},\n  \"cells\": {},\n  \"threads\": {},\n  \"scheduler_events\": {},\n  \"serial_uncached\": {{ \"wall_s\": {:.4}, \"events_per_sec\": {:.0} }},\n  \"parallel_cached\": {{ \"wall_s\": {:.4}, \"events_per_sec\": {:.0} }},\n  \"speedup\": {:.2},\n  \"plan_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }},\n  \"grid\": {{ \"mean_antt\": {:.4}, \"mean_stp\": {:.4}, \"preemptions\": {}, \"kill_restarts\": {} }},\n  \"outcomes_identical\": {}\n}}\n",
         opts.runs,
         configs.len(),
         cells,
         threads,
         events,
         serial_s,
-        total_events(&reference) as f64 / serial_s.max(f64::EPSILON),
+        serial_events_per_sec,
         parallel_s,
         events as f64 / parallel_s.max(f64::EPSILON),
         speedup,
@@ -132,6 +179,10 @@ fn main() -> ExitCode {
         cache.misses,
         cache.entries,
         cache.hit_rate(),
+        grid_summary.antt / cell_count,
+        grid_summary.stp / cell_count,
+        grid_summary.preemptions,
+        grid_summary.kill_restarts,
         identical,
     );
     print!("{report}");
@@ -144,6 +195,40 @@ fn main() -> ExitCode {
     if !identical {
         eprintln!("[throughput] FAIL: fast path diverged from the reference outcomes");
         return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = &options.check_baseline {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(contents) => contents,
+            Err(error) => {
+                eprintln!("[throughput] FAIL: could not read baseline {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(baseline_eps) = baseline_serial_events_per_sec(&baseline) else {
+            eprintln!("[throughput] FAIL: no serial events_per_sec found in baseline {path}");
+            return ExitCode::FAILURE;
+        };
+        let floor = baseline_eps * (1.0 - MAX_REGRESSION);
+        if serial_events_per_sec < floor {
+            eprintln!(
+                "[throughput] FAIL: serial events/sec regressed more than {:.0}%: \
+                 measured {:.0} < floor {:.0} (baseline {:.0})",
+                MAX_REGRESSION * 100.0,
+                serial_events_per_sec,
+                floor,
+                baseline_eps
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[throughput] baseline check passed: {:.0} events/sec >= {:.0} \
+             (baseline {:.0}, tolerance {:.0}%)",
+            serial_events_per_sec,
+            floor,
+            baseline_eps,
+            MAX_REGRESSION * 100.0
+        );
     }
     ExitCode::SUCCESS
 }

@@ -18,12 +18,13 @@ use rayon::prelude::*;
 
 use dnn_models::{ModelKind, RNN_MODELS};
 use npu_sim::NpuConfig;
+use prema_core::plan::plan_cache;
 use prema_core::{NpuSimulator, Priority, SchedulerConfig, SimOutcome};
 use prema_metrics::{average_metrics, MultiTaskMetrics, Percentiles, SlaCurve, TaskOutcome};
 use prema_predictor::AnalyticalPredictor;
 use prema_workload::generator::{generate_workload, WorkloadConfig};
 use prema_workload::prepare::{
-    outcomes_of, prepare_workload, prepare_workload_uncached, PreparedWorkload,
+    outcomes_of, plan_keys, prepare_workload, prepare_workload_uncached, PreparedWorkload,
 };
 use prema_workload::seqlen::SeqLenCharacterization;
 
@@ -150,35 +151,52 @@ pub fn run_grid(configs: &[SchedulerConfig], opts: &SuiteOptions) -> Vec<SimOutc
     );
     assert!(opts.runs > 0, "at least one run is required");
     let predictor = build_predictor(&opts.npu, opts.seed);
+    // Results are bit-identical either way, so fanning out buys nothing on a
+    // single-core host — skip the dispatch overhead there.
+    let parallel = opts.parallel && rayon::current_num_threads() > 1;
 
-    // Phase 1: generate + compile every run's workload. Plan compilation is
-    // memoized process-wide (see `prema_core::plan::plan_cache`), so the 25
-    // runs share their per-(model, batch, seq) plans rather than recompiling.
-    let run_indices: Vec<usize> = (0..opts.runs).collect();
-    let prepare_run = |&run: &usize| -> PreparedWorkload {
-        let mut rng = StdRng::seed_from_u64(run_seed(opts.seed, run));
-        let spec = generate_workload(&opts.workload, &mut rng);
-        prepare_workload(&spec, &opts.npu, Some(&predictor))
-    };
-    let prepared: Vec<PreparedWorkload> = if opts.parallel {
-        run_indices.par_iter().map(&prepare_run).collect()
-    } else {
-        run_indices.iter().map(prepare_run).collect()
-    };
-
-    // Phase 2: simulate every (run, config) cell. Each cell is a pure
-    // function of its prepared workload and configuration, so execution
-    // order cannot affect the results.
-    let cells: Vec<(usize, usize)> = (0..opts.runs)
-        .flat_map(|run| (0..configs.len()).map(move |c| (run, c)))
+    // Phase 0: generate every run's workload spec (cheap, seeded RNG) and
+    // warm the plan cache on the suite's unique (model, batch, seq) keys,
+    // compiling each distinct plan exactly once — in parallel — before any
+    // run touches the cache. Without this, the parallel prepare phase races
+    // first touches of shared keys and compiles duplicates it then discards.
+    let specs: Vec<_> = (0..opts.runs)
+        .map(|run| {
+            let mut rng = StdRng::seed_from_u64(run_seed(opts.seed, run));
+            generate_workload(&opts.workload, &mut rng)
+        })
         .collect();
-    let simulate = |&(run, c): &(usize, usize)| -> SimOutcome {
-        NpuSimulator::new(opts.npu.clone(), configs[c].clone()).run(&prepared[run].tasks)
-    };
-    if opts.parallel {
+    plan_cache::warm(&plan_keys(&specs), &opts.npu, parallel);
+
+    // Phase 1: compile + estimate every run's workload. Plan compilation is
+    // memoized process-wide (see `prema_core::plan::plan_cache`) and fully
+    // warmed above, so every lookup here is a cache hit. Phase 2: simulate
+    // every (run, config) cell. Each cell is a pure function of its
+    // prepared workload and configuration, so execution order cannot affect
+    // the results; cells are aggregated run-major either way.
+    let prepare_run =
+        |spec: &_| -> PreparedWorkload { prepare_workload(spec, &opts.npu, Some(&predictor)) };
+    if parallel {
+        let prepared: Vec<PreparedWorkload> = specs.par_iter().map(&prepare_run).collect();
+        let cells: Vec<(usize, usize)> = (0..opts.runs)
+            .flat_map(|run| (0..configs.len()).map(move |c| (run, c)))
+            .collect();
+        let simulate = |&(run, c): &(usize, usize)| -> SimOutcome {
+            NpuSimulator::new(opts.npu.clone(), configs[c].clone()).run(&prepared[run].tasks)
+        };
         cells.par_iter().map(&simulate).collect()
     } else {
-        cells.iter().map(simulate).collect()
+        // One thread: interleave per run (prepare, then its cells) so each
+        // run's task state stays cache-hot through its simulations.
+        let mut outcomes = Vec::with_capacity(opts.runs * configs.len());
+        for spec in &specs {
+            let prepared = prepare_run(spec);
+            for cfg in configs {
+                outcomes
+                    .push(NpuSimulator::new(opts.npu.clone(), cfg.clone()).run(&prepared.tasks));
+            }
+        }
+        outcomes
     }
 }
 
@@ -379,6 +397,14 @@ mod tests {
         let parallel = run_grid(&configs, &opts);
         let serial = run_grid(&configs, &opts.clone().serial());
         assert_eq!(parallel, serial);
+        // The one-pass record aggregates agree cell-by-cell too (summary()
+        // is bit-identical to the two-pass antt()/stp() accessors).
+        for (a, b) in parallel.iter().zip(&serial) {
+            let (sa, sb) = (a.summary(), b.summary());
+            assert_eq!(sa, sb);
+            assert_eq!(sa.antt, a.antt());
+            assert_eq!(sa.stp, a.stp());
+        }
     }
 
     #[test]

@@ -12,6 +12,31 @@
 //! progress is tracked with a [`ProgressCursor`] over its [`ExecutionPlan`],
 //! and CHECKPOINT preemptions take effect at the next interval boundary, as
 //! on the real hardware (`GEMM_OP` commit points).
+//!
+//! # The event horizon
+//!
+//! Waking the scheduler at every expired quantum is faithful but wasteful:
+//! most wakeups provably cannot change the schedule. [`NpuSimulator::run`]
+//! therefore computes, at every execution step, the *event horizon* — the
+//! earliest moment at which a scheduling decision could actually change
+//! (the running task's completion or the next task arrival) — and, when
+//! every quantum wakeup before that horizon is provably inert, jumps `now`
+//! straight to the horizon. Skipped wakeups are fully accounted for: the
+//! invocation counter advances by the number of elided quanta and their
+//! token grants are replayed in one batched, bit-identical
+//! `grant_tokens_batch` call, so the produced [`SimOutcome`] — per-task
+//! records, makespan, even the scheduler-invocation count — is exactly what
+//! stepping every quantum produces. A wakeup is provably inert when a task
+//! is running and either (a) the waiting set is empty, so there is no
+//! alternative candidate (and the paper's policies are pure functions of
+//! the task views — see [`SchedulingPolicy::select`]'s contract), or (b)
+//! the preemption mode is non-preemptive, so the scheduler would not be
+//! consulted while a task runs anyway. The step-every-quantum loop stays
+//! in-tree as [`NpuSimulator::run_reference`]; `tests/determinism.rs`
+//! asserts the two paths are bit-identical across every policy and
+//! preemption mode.
+//!
+//! [`SchedulingPolicy::select`]: crate::policy::SchedulingPolicy::select
 
 use std::sync::Arc;
 
@@ -151,6 +176,26 @@ pub struct SimOutcome {
     pub drain_decisions: u64,
 }
 
+/// One-pass aggregate of a [`SimOutcome`]'s per-task records.
+///
+/// Computing [`SimOutcome::antt`] and [`SimOutcome::stp`] separately walks
+/// `records` twice; callers that need more than one aggregate (the bench
+/// figure modules, the suite, the throughput report) take a single
+/// [`SimOutcome::summary`] pass instead.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OutcomeSummary {
+    /// Number of per-task records aggregated.
+    pub task_count: usize,
+    /// Average normalized turnaround time (Equation 1 averaged over tasks).
+    pub antt: f64,
+    /// System throughput: sum of per-task progress.
+    pub stp: f64,
+    /// Total preemptions suffered across all tasks (CHECKPOINT or KILL).
+    pub preemptions: u64,
+    /// Total KILL restarts suffered across all tasks.
+    pub kill_restarts: u64,
+}
+
 impl SimOutcome {
     /// The record for `id`, if the task was part of the run.
     ///
@@ -162,6 +207,36 @@ impl SimOutcome {
         match self.records.binary_search_by_key(&id, |r| r.id) {
             Ok(i) => Some(&self.records[i]),
             Err(_) => self.records.iter().find(|r| r.id == id),
+        }
+    }
+
+    /// Aggregates the per-task records in a single pass.
+    ///
+    /// `summary().antt` and `summary().stp` accumulate in the same
+    /// per-record order as [`SimOutcome::antt`] / [`SimOutcome::stp`], so
+    /// the values are bit-identical to the two-pass accessors.
+    pub fn summary(&self) -> OutcomeSummary {
+        let mut ntt_sum = 0.0f64;
+        let mut stp = 0.0f64;
+        let mut preemptions = 0u64;
+        let mut kill_restarts = 0u64;
+        for record in &self.records {
+            ntt_sum += record.ntt();
+            stp += record.progress();
+            preemptions += record.preemption_count;
+            kill_restarts += record.kill_restarts;
+        }
+        let antt = if self.records.is_empty() {
+            0.0
+        } else {
+            ntt_sum / self.records.len() as f64
+        };
+        OutcomeSummary {
+            task_count: self.records.len(),
+            antt,
+            stp,
+            preemptions,
+            kill_restarts,
         }
     }
 
@@ -373,7 +448,8 @@ impl EngineState {
 
     /// Grants additional tokens to every waiting task, proportional to its
     /// priority and the normalized slowdown it accumulated since the last
-    /// grant (Algorithm 2, line 7).
+    /// grant (Algorithm 2, line 7; the formula lives in
+    /// [`crate::policy::period_token_grant`]).
     fn grant_tokens(&mut self, token_scale: f64) {
         let total_wait = self.total_wait;
         for &idx in &self.waiting {
@@ -383,9 +459,58 @@ impl EngineState {
             if newly_waited.is_zero() {
                 continue;
             }
-            let slowdown = newly_waited.get() as f64 / runtime.estimated.get().max(1) as f64;
-            runtime.tokens +=
-                runtime.prepared.request.priority.token_grant() * token_scale * slowdown;
+            runtime.tokens += crate::policy::period_token_grant(
+                runtime.prepared.request.priority,
+                token_scale,
+                newly_waited,
+                runtime.estimated,
+            );
+            runtime.waited_at_last_grant = effective;
+        }
+    }
+
+    /// Replays the token grants of `periods` consecutive scheduling-period
+    /// wakeups in one call. The last `periods - 1` wakeups each grant a full
+    /// `quantum` of newly-waited time; the first wakeup grants whatever each
+    /// task accumulated since its previous grant (derived per task from its
+    /// own `waited_at_last_grant`, so no alignment assumption is needed).
+    ///
+    /// Bit-identity with stepping: a task's token count depends only on the
+    /// sequence of its *own* grant additions, and this performs the same
+    /// per-period additions (same `f64` values, same order) per task as
+    /// `periods` separate [`EngineState::grant_tokens`] calls would — it
+    /// merely iterates per task instead of per period. Must be called
+    /// *after* the skipped periods' waiting time has been accrued into
+    /// `total_wait` (i.e. with `total_wait` as of the last skipped wakeup).
+    fn grant_tokens_batch(&mut self, token_scale: f64, quantum: Cycles, periods: u64) {
+        debug_assert!(periods >= 1);
+        let total_wait = self.total_wait;
+        let tail = quantum * (periods - 1);
+        for &idx in &self.waiting {
+            let runtime = &mut self.runtimes[idx];
+            let priority = runtime.prepared.request.priority;
+            let effective = runtime.effective_waited(total_wait);
+            // What the first skipped wakeup would have seen as newly waited.
+            let first_newly = effective - runtime.waited_at_last_grant - tail;
+            if !first_newly.is_zero() {
+                runtime.tokens += crate::policy::period_token_grant(
+                    priority,
+                    token_scale,
+                    first_newly,
+                    runtime.estimated,
+                );
+            }
+            if periods > 1 {
+                let per_period = crate::policy::period_token_grant(
+                    priority,
+                    token_scale,
+                    quantum,
+                    runtime.estimated,
+                );
+                for _ in 1..periods {
+                    runtime.tokens += per_period;
+                }
+            }
             runtime.waited_at_last_grant = effective;
         }
     }
@@ -415,6 +540,20 @@ impl EngineState {
         }
         &self.views
     }
+}
+
+/// The first quantum boundary strictly after `now`.
+///
+/// Replaces the former `while next_quantum <= now { next_quantum += quantum }`
+/// bump loops — O(quanta skipped) — with one arithmetic step that lands on
+/// exactly the same boundary (the boundaries are the fixed lattice
+/// `next_quantum + i * quantum`).
+fn realign_quantum(next_quantum: Cycles, now: Cycles, quantum: Cycles) -> Cycles {
+    if next_quantum > now {
+        return next_quantum;
+    }
+    let behind = (now.get() - next_quantum.get()) / quantum.get();
+    next_quantum + quantum * (behind + 1)
 }
 
 /// The multi-task NPU simulator.
@@ -464,12 +603,36 @@ impl NpuSimulator {
     /// [`EngineState`] — completion counter, id-sorted waiting set, O(1)
     /// global wait accrual and a reused view buffer — so a wakeup costs
     /// O(w log n) in the number of waiting tasks instead of rescanning all
-    /// tasks several times, and allocates nothing in steady state.
+    /// tasks several times, and allocates nothing in steady state. On top
+    /// of that, the event-horizon fast path (see the module docs) jumps
+    /// over every quantum wakeup that provably cannot change the schedule,
+    /// batching the skipped quanta's token grants and invocation counts so
+    /// the outcome is bit-identical to [`NpuSimulator::run_reference`].
     ///
     /// # Panics
     ///
     /// Panics if `tasks` is empty or contains duplicate task IDs.
     pub fn run(&self, tasks: &[PreparedTask]) -> SimOutcome {
+        self.run_impl(tasks, true)
+    }
+
+    /// The step-every-quantum reference engine: identical to
+    /// [`NpuSimulator::run`] with the event-horizon fast-forward disabled,
+    /// so the scheduler is actually woken at every expired quantum.
+    ///
+    /// This is the semantic oracle the determinism regression tests compare
+    /// the fast path against (per-task records, makespan and invocation
+    /// counts must match bit-for-bit); it is not used on any production
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty or contains duplicate task IDs.
+    pub fn run_reference(&self, tasks: &[PreparedTask]) -> SimOutcome {
+        self.run_impl(tasks, false)
+    }
+
+    fn run_impl(&self, tasks: &[PreparedTask], fast_forward: bool) -> SimOutcome {
         assert!(!tasks.is_empty(), "at least one task is required");
         let mut ids: Vec<TaskId> = tasks.iter().map(|t| t.request.id).collect();
         ids.sort_unstable();
@@ -536,9 +699,7 @@ impl NpuSimulator {
                     .map(|&i| state.runtimes[i].prepared.request.arrival)
                     .expect("tasks remain, so an arrival must be pending");
                 now = now.max(next);
-                while next_quantum <= now {
-                    next_quantum += quantum;
-                }
+                next_quantum = realign_quantum(next_quantum, now, quantum);
                 continue;
             }
 
@@ -588,9 +749,7 @@ impl NpuSimulator {
             let Some(run_idx) = running else {
                 continue;
             };
-            while next_quantum <= now {
-                next_quantum += quantum;
-            }
+            next_quantum = realign_quantum(next_quantum, now, quantum);
             let next_arrival = arrival_order
                 .get(next_arrival_idx)
                 .map(|&i| state.runtimes[i].prepared.request.arrival);
@@ -599,6 +758,43 @@ impl NpuSimulator {
                 runtime.cursor.remaining(&runtime.prepared.plan)
             };
             let completion_time = now + remaining;
+
+            // ---- Event-horizon fast-forward (see the module docs) -----------------
+            //
+            // The next true event is the running task's completion or the
+            // next arrival, whichever comes first. Every quantum wakeup
+            // strictly before that horizon is provably inert when (a) no
+            // other task is waiting — the policies are pure functions of
+            // the views, so a one-candidate selection is a foregone
+            // conclusion — or (b) the mode is non-preemptive, where the
+            // scheduler is never consulted while a task runs. Jump straight
+            // to the last such wakeup, crediting the skipped quanta's
+            // invocations and token grants in one batch.
+            if fast_forward {
+                let horizon = match next_arrival {
+                    Some(arrival) => completion_time.min(arrival.max(now)),
+                    None => completion_time,
+                };
+                let inert = state.waiting.is_empty() || !self.sched.preemption.is_preemptive();
+                if inert && next_quantum < horizon {
+                    let span = horizon - next_quantum;
+                    let periods = span.get().div_ceil(quantum.get());
+                    let last_boundary = next_quantum + quantum * (periods - 1);
+                    let skip_budget = last_boundary - now;
+                    let consumed = {
+                        let runtime = &mut state.runtimes[run_idx];
+                        let plan = Arc::clone(&runtime.prepared.plan);
+                        runtime.cursor.advance(&plan, skip_budget)
+                    };
+                    debug_assert_eq!(consumed, skip_budget, "horizon is before completion");
+                    state.accrue(consumed);
+                    now = last_boundary;
+                    next_quantum = last_boundary + quantum;
+                    scheduler_invocations += periods;
+                    state.grant_tokens_batch(self.sched.token_scale, quantum, periods);
+                }
+            }
+
             let mut t_next = completion_time.min(next_quantum);
             if let Some(arrival) = next_arrival {
                 t_next = t_next.min(arrival.max(now));
@@ -1042,6 +1238,79 @@ mod tests {
         assert_eq!(outcome.records.len(), 2);
         for record in &outcome.records {
             assert!(record.ntt() >= 0.999);
+        }
+    }
+
+    #[test]
+    fn realign_quantum_matches_the_bump_loop() {
+        for (next_quantum, now, quantum) in [
+            (175_000u64, 0u64, 175_000u64),
+            (175_000, 175_000, 175_000),
+            (175_000, 175_001, 175_000),
+            (175_000, 10_000_000, 175_000),
+            (350_000, 349_999, 175_000),
+            (1, 1_000_000_007, 3),
+        ] {
+            let mut looped = Cycles::new(next_quantum);
+            let now = Cycles::new(now);
+            let quantum = Cycles::new(quantum);
+            while looped <= now {
+                looped += quantum;
+            }
+            assert_eq!(
+                realign_quantum(Cycles::new(next_quantum), now, quantum),
+                looped,
+                "next_quantum {next_quantum:?} now {now:?} quantum {quantum:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_matches_the_two_pass_accessors() {
+        let outcome = run(
+            PolicyKind::Prema,
+            PreemptionMode::Dynamic,
+            simple_requests(),
+        );
+        let summary = outcome.summary();
+        assert_eq!(summary.task_count, outcome.records.len());
+        // Bit-identical: summary accumulates in the same record order.
+        assert_eq!(summary.antt, outcome.antt());
+        assert_eq!(summary.stp, outcome.stp());
+        let preemptions: u64 = outcome.records.iter().map(|r| r.preemption_count).sum();
+        let kills: u64 = outcome.records.iter().map(|r| r.kill_restarts).sum();
+        assert_eq!(summary.preemptions, preemptions);
+        assert_eq!(summary.kill_restarts, kills);
+
+        let empty = SimOutcome {
+            records: Vec::new(),
+            makespan: Cycles::ZERO,
+            scheduler_invocations: 0,
+            checkpoint_preemptions: 0,
+            kill_preemptions: 0,
+            drain_decisions: 0,
+        };
+        assert_eq!(empty.summary(), OutcomeSummary::default());
+        assert_eq!(empty.antt(), 0.0);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_to_the_stepped_reference() {
+        for policy in [PolicyKind::Fcfs, PolicyKind::Prema, PolicyKind::RoundRobin] {
+            for preemption in [
+                PreemptionMode::NonPreemptive,
+                PreemptionMode::Dynamic,
+                PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+            ] {
+                let sim = NpuSimulator::new(npu(), SchedulerConfig::named(policy, preemption));
+                let prepared = prepare(simple_requests());
+                let fast = sim.run(&prepared);
+                let stepped = sim.run_reference(&prepared);
+                assert_eq!(fast, stepped, "{policy:?}/{preemption:?}");
+                // The skipped quanta are still accounted for: the single
+                // isolated-task tail alone spans several quanta.
+                assert!(fast.scheduler_invocations > 3);
+            }
         }
     }
 

@@ -51,7 +51,7 @@ pub mod task;
 
 pub use config::{PolicyKind, PreemptionMode, SchedulerConfig};
 pub use context_table::{ContextEntry, ContextTable};
-pub use engine::{NpuSimulator, PreparedTask, SimOutcome, TaskRecord};
+pub use engine::{NpuSimulator, OutcomeSummary, PreparedTask, SimOutcome, TaskRecord};
 pub use plan::{ExecutionPlan, ProgressCursor};
 pub use policy::{SchedulingPolicy, TaskView};
 pub use preemption::PreemptionMechanism;

@@ -11,6 +11,28 @@
 //! supports advancing by an arbitrary number of cycles, and answers the two
 //! questions the preemption machinery needs: "how long until the next legal
 //! preemption point?" and "how many bytes are live right now?".
+//!
+//! # Design note: the plan arena and the event horizon
+//!
+//! The simulation engine advances a running task by hundreds of thousands of
+//! cycles per scheduling event, and a single advance used to walk the nested
+//! `layers → intervals` vectors one interval at a time — O(intervals crossed)
+//! per event, with a pointer chase per layer. Compilation therefore flattens
+//! every plan into a [`PlanArena`]: one cache-friendly prefix-sum table of
+//! cumulative interval end boundaries, plus parallel per-interval live-byte
+//! and layer-index tables and the flat offset of each layer's first interval.
+//! On the arena, [`ProgressCursor::advance`] is a bounds check in the common
+//! case and a binary search in the worst case, and
+//! [`ProgressCursor::cycles_to_boundary`] /
+//! [`ProgressCursor::live_checkpoint_bytes`] / [`ProgressCursor::layer_index`]
+//! are O(1) lookups. The arena is what lets the engine's *event-horizon*
+//! fast path (see [`crate::engine`]) jump a running task over thousands of
+//! provably uneventful scheduling quanta in a single bounded step.
+//!
+//! The original nested-vector walk survives as [`reference::ReferenceCursor`]
+//! — the oracle a property test replays random plans and budgets against to
+//! pin the flat cursor to the exact historical semantics (including
+//! zero-cycle intervals and layer-boundary normalization).
 
 use std::sync::Arc;
 
@@ -31,12 +53,71 @@ pub struct LayerPlan {
     pub macs: u64,
 }
 
+/// Flat prefix-sum view of every preemption interval in a plan (see the
+/// module-level design note). Built once at compile time; immutable after.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+struct PlanArena {
+    /// `bounds[i]` is the cumulative cycle count through the *end* of flat
+    /// interval `i`; strictly the running prefix sum of interval lengths.
+    bounds: Vec<Cycles>,
+    /// `live_bytes[i]` is the checkpoint footprint at the end of flat
+    /// interval `i`.
+    live_bytes: Vec<u64>,
+    /// `layer_of[i]` is the layer that flat interval `i` belongs to.
+    layer_of: Vec<u32>,
+    /// `layer_starts[l]` is the flat index of layer `l`'s first interval.
+    layer_starts: Vec<u32>,
+}
+
+impl PlanArena {
+    fn build(layers: &[LayerPlan]) -> Self {
+        let interval_count: usize = layers.iter().map(|l| l.intervals.len()).sum();
+        let mut arena = PlanArena {
+            bounds: Vec::with_capacity(interval_count),
+            live_bytes: Vec::with_capacity(interval_count),
+            layer_of: Vec::with_capacity(interval_count),
+            layer_starts: Vec::with_capacity(layers.len()),
+        };
+        let mut cumulative = Cycles::ZERO;
+        for (layer_idx, layer) in layers.iter().enumerate() {
+            arena.layer_starts.push(arena.bounds.len() as u32);
+            for interval in &layer.intervals {
+                cumulative += interval.cycles;
+                arena.bounds.push(cumulative);
+                arena.live_bytes.push(interval.live_output_bytes);
+                arena.layer_of.push(layer_idx as u32);
+            }
+        }
+        arena
+    }
+
+    /// Number of flat intervals.
+    fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Cumulative cycles at the *start* of flat interval `i`.
+    fn start_of(&self, i: usize) -> Cycles {
+        if i == 0 {
+            Cycles::ZERO
+        } else {
+            self.bounds[i - 1]
+        }
+    }
+
+    /// Whether flat interval `i` is the first interval of its layer.
+    fn is_layer_start(&self, i: usize) -> bool {
+        self.layer_starts[self.layer_of[i] as usize] as usize == i
+    }
+}
+
 /// A task's complete compiled execution plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionPlan {
     layers: Vec<LayerPlan>,
     total_cycles: Cycles,
     total_macs: u64,
+    arena: PlanArena,
 }
 
 impl ExecutionPlan {
@@ -45,22 +126,29 @@ impl ExecutionPlan {
         let network = model.build(batch, seq);
         let works = lower_graph(&network, batch);
         let mut layers = Vec::with_capacity(works.len());
-        let mut total_cycles = Cycles::ZERO;
-        let mut total_macs = 0u64;
         for work in &works {
             let timing = LayerTiming::model(work, cfg);
-            total_cycles += timing.total_cycles();
-            total_macs += timing.macs();
+            let total_cycles = timing.total_cycles();
+            let macs = timing.macs();
             layers.push(LayerPlan {
-                intervals: timing.intervals().to_vec(),
-                total_cycles: timing.total_cycles(),
-                macs: timing.macs(),
+                intervals: timing.into_intervals(),
+                total_cycles,
+                macs,
             });
         }
+        Self::from_layers(layers)
+    }
+
+    /// Assembles a plan (totals + flat arena) from per-layer plans.
+    fn from_layers(layers: Vec<LayerPlan>) -> Self {
+        let total_cycles = layers.iter().map(|l| l.total_cycles).sum();
+        let total_macs = layers.iter().map(|l| l.macs).sum();
+        let arena = PlanArena::build(&layers);
         ExecutionPlan {
             layers,
             total_cycles,
             total_macs,
+            arena,
         }
     }
 
@@ -116,7 +204,16 @@ impl ExecutionPlan {
 
     /// Total number of preemption intervals across all layers.
     pub fn interval_count(&self) -> usize {
-        self.layers.iter().map(|l| l.intervals.len()).sum()
+        self.arena.len()
+    }
+
+    /// The cumulative cycle offset at which `layer` starts executing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= layer_count()`.
+    pub fn layer_start_cycles(&self, layer: usize) -> Cycles {
+        self.arena.start_of(self.arena.layer_starts[layer] as usize)
     }
 }
 
@@ -130,20 +227,30 @@ impl ExecutionPlan {
 /// architectural configuration (compared field-wise; the
 /// [`NpuConfig::fingerprint`] digest is only used for hashing).
 ///
-/// Entries are `Arc`-shared and immutable; concurrent lookups from the
-/// parallel evaluation suite are safe and a racing first-compile simply
-/// keeps one winner. [`clear`] exists for benchmarks that want to measure
-/// the uncached path and for long-lived processes sweeping many NPU
-/// configurations.
+/// The cache is striped across [`SHARD_COUNT`] independently locked shards
+/// (selected by key hash), so concurrent lookups from the parallel
+/// evaluation suite contend only when they race on the same stripe instead
+/// of serializing on one global mutex. Entries are `Arc`-shared and
+/// immutable; a racing first-compile of the same key simply keeps one
+/// winner. [`warm`] pre-compiles a suite's unique keys in parallel before a
+/// grid run, eliminating first-touch duplicate compiles entirely. [`clear`]
+/// exists for benchmarks that want to measure the uncached path and for
+/// long-lived processes sweeping many NPU configurations.
 pub mod plan_cache {
-    use std::collections::HashMap;
+    use std::collections::{HashMap, HashSet};
+    use std::hash::{Hash, Hasher};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Arc, Mutex, OnceLock};
+
+    use rayon::prelude::*;
 
     use dnn_models::{ModelKind, SeqSpec};
     use npu_sim::NpuConfig;
 
     use super::ExecutionPlan;
+
+    /// Number of lock stripes the cache is sharded into.
+    pub const SHARD_COUNT: usize = 16;
 
     /// Cache key: equality compares the *full* `NpuConfig` field-wise (via
     /// its derived `PartialEq`), so a plan can never be served for a
@@ -164,8 +271,8 @@ pub mod plan_cache {
     // reflexive for every key that can reach the cache.
     impl Eq for PlanKey {}
 
-    impl std::hash::Hash for PlanKey {
-        fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+    impl Hash for PlanKey {
+        fn hash<H: Hasher>(&self, state: &mut H) {
             self.model.hash(state);
             self.batch.hash(state);
             self.seq.hash(state);
@@ -173,12 +280,25 @@ pub mod plan_cache {
         }
     }
 
-    static CACHE: OnceLock<Mutex<HashMap<PlanKey, Arc<ExecutionPlan>>>> = OnceLock::new();
+    type Shard = Mutex<HashMap<PlanKey, Arc<ExecutionPlan>>>;
+
+    static SHARDS: OnceLock<Vec<Shard>> = OnceLock::new();
     static HITS: AtomicU64 = AtomicU64::new(0);
     static MISSES: AtomicU64 = AtomicU64::new(0);
 
-    fn cache() -> &'static Mutex<HashMap<PlanKey, Arc<ExecutionPlan>>> {
-        CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    fn shards() -> &'static [Shard] {
+        SHARDS.get_or_init(|| {
+            (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect()
+        })
+    }
+
+    /// The lock stripe responsible for `key`.
+    fn shard_of(key: &PlanKey) -> &'static Shard {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &shards()[(hasher.finish() as usize) % SHARD_COUNT]
     }
 
     /// Cumulative cache statistics since process start (or the last
@@ -217,7 +337,8 @@ pub mod plan_cache {
             seq,
             npu: cfg.clone(),
         };
-        if let Some(plan) = cache().lock().expect("plan cache poisoned").get(&key) {
+        let shard = shard_of(&key);
+        if let Some(plan) = shard.lock().expect("plan cache poisoned").get(&key) {
             HITS.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(plan);
         }
@@ -227,8 +348,60 @@ pub mod plan_cache {
         // wins and the loser's work is discarded.
         MISSES.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(ExecutionPlan::compile(model, batch, seq, cfg));
-        let mut map = cache().lock().expect("plan cache poisoned");
+        let mut map = shard.lock().expect("plan cache poisoned");
         Arc::clone(map.entry(key).or_insert(plan))
+    }
+
+    /// Pre-compiles every not-yet-cached `(model, batch, seq)` key for `cfg`,
+    /// fanning the compiles out over all cores when `parallel` is set.
+    /// Returns the number of plans compiled.
+    ///
+    /// Duplicate keys are deduplicated first, so a grid run that warms the
+    /// cache with all of its workloads' plan keys compiles each distinct
+    /// plan exactly once — without warming, concurrent first touches of the
+    /// same key race and compile it redundantly. Warm compiles count as
+    /// cache misses; probing for already-resident keys does not count as a
+    /// hit (a warm pass is not a lookup).
+    pub fn warm(keys: &[(ModelKind, u64, SeqSpec)], cfg: &NpuConfig, parallel: bool) -> usize {
+        let mut seen = HashSet::with_capacity(keys.len());
+        let mut missing: Vec<PlanKey> = Vec::new();
+        for &(model, batch, seq) in keys {
+            let key = PlanKey {
+                model,
+                batch,
+                seq,
+                npu: cfg.clone(),
+            };
+            if !seen.insert(key.clone()) {
+                continue;
+            }
+            let resident = shard_of(&key)
+                .lock()
+                .expect("plan cache poisoned")
+                .contains_key(&key);
+            if !resident {
+                missing.push(key);
+            }
+        }
+        let compiled_count = missing.len();
+        let compile = |key: &PlanKey| -> (PlanKey, Arc<ExecutionPlan>) {
+            let plan = Arc::new(ExecutionPlan::compile(
+                key.model, key.batch, key.seq, &key.npu,
+            ));
+            (key.clone(), plan)
+        };
+        let compiled: Vec<(PlanKey, Arc<ExecutionPlan>)> = if parallel && missing.len() > 1 {
+            missing.par_iter().map(compile).collect()
+        } else {
+            missing.iter().map(compile).collect()
+        };
+        MISSES.fetch_add(compiled_count as u64, Ordering::Relaxed);
+        for (key, plan) in compiled {
+            let shard = shard_of(&key);
+            let mut map = shard.lock().expect("plan cache poisoned");
+            map.entry(key).or_insert(plan);
+        }
+        compiled_count
     }
 
     /// Current cache statistics.
@@ -236,26 +409,39 @@ pub mod plan_cache {
         CacheStats {
             hits: HITS.load(Ordering::Relaxed),
             misses: MISSES.load(Ordering::Relaxed),
-            entries: cache().lock().expect("plan cache poisoned").len(),
+            entries: shards()
+                .iter()
+                .map(|s| s.lock().expect("plan cache poisoned").len())
+                .sum(),
         }
     }
 
     /// Drops every cached plan and resets the statistics.
     pub fn clear() {
-        let mut map = cache().lock().expect("plan cache poisoned");
-        map.clear();
+        for shard in shards() {
+            shard.lock().expect("plan cache poisoned").clear();
+        }
         HITS.store(0, Ordering::Relaxed);
         MISSES.store(0, Ordering::Relaxed);
     }
 }
 
 /// A task's position within its execution plan.
+///
+/// The cursor works on the plan's flat [`PlanArena`]: its state is the total
+/// cycles executed plus the flat index of the interval the next cycle
+/// executes in. [`ProgressCursor::advance`] is a boundary comparison in the
+/// common case and a binary search over the prefix-sum table otherwise; the
+/// boundary/footprint/layer queries are O(1). The semantics — including the
+/// treatment of zero-cycle intervals and the normalization of a cursor that
+/// lands exactly on an interval boundary — are pinned bit-for-bit to the
+/// original nested interval walk, which survives as
+/// [`reference::ReferenceCursor`] for the equivalence property test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProgressCursor {
-    layer: usize,
+    /// Flat index (into the plan arena) of the interval in which the next
+    /// cycle executes; `interval_count` once the plan is complete.
     interval: usize,
-    /// Cycles already spent inside the current interval.
-    offset: Cycles,
     /// Total cycles executed so far.
     executed: Cycles,
 }
@@ -264,9 +450,7 @@ impl ProgressCursor {
     /// A cursor at the very beginning of a plan.
     pub fn start() -> Self {
         ProgressCursor {
-            layer: 0,
             interval: 0,
-            offset: Cycles::ZERO,
             executed: Cycles::ZERO,
         }
     }
@@ -276,14 +460,19 @@ impl ProgressCursor {
         self.executed
     }
 
-    /// Index of the layer currently being executed.
-    pub fn layer_index(&self) -> usize {
-        self.layer
+    /// Index of the layer currently being executed (`layer_count` once the
+    /// plan is complete).
+    pub fn layer_index(&self, plan: &ExecutionPlan) -> usize {
+        if self.interval >= plan.arena.len() {
+            plan.layer_count()
+        } else {
+            plan.arena.layer_of[self.interval] as usize
+        }
     }
 
     /// Whether the whole plan has finished.
     pub fn is_complete(&self, plan: &ExecutionPlan) -> bool {
-        self.layer >= plan.layers.len()
+        self.interval >= plan.arena.len()
     }
 
     /// Remaining cycles until the plan completes.
@@ -300,27 +489,35 @@ impl ProgressCursor {
     /// Advances the cursor by at most `budget` cycles, returning the cycles
     /// actually consumed (less than `budget` only if the plan completes).
     pub fn advance(&mut self, plan: &ExecutionPlan, budget: Cycles) -> Cycles {
-        let mut remaining_budget = budget;
-        let mut consumed = Cycles::ZERO;
-        while !remaining_budget.is_zero() && self.layer < plan.layers.len() {
-            let interval = &plan.layers[self.layer].intervals[self.interval];
-            let left_in_interval = interval.cycles - self.offset;
-            if remaining_budget >= left_in_interval {
-                remaining_budget -= left_in_interval;
-                consumed += left_in_interval;
-                self.offset = Cycles::ZERO;
+        let arena = &plan.arena;
+        let n = arena.len();
+        if budget.is_zero() || self.interval >= n {
+            return Cycles::ZERO;
+        }
+        let total = plan.total_cycles();
+        let target = (self.executed + budget).min(total);
+        let consumed = target - self.executed;
+        if self.executed + budget > total {
+            // Leftover budget walks the cursor through any trailing
+            // zero-cycle intervals and completes the plan.
+            self.interval = n;
+        } else {
+            // The budget is consumed exactly. The interval ending precisely
+            // at `target` (if any) counts as consumed; zero-cycle intervals
+            // *after* that boundary do not — matching the reference walk,
+            // which stops stepping the moment its budget reaches zero.
+            let bound = arena.bounds[self.interval];
+            if target < bound {
+                // Common case: still inside the current interval.
+            } else if target == bound {
                 self.interval += 1;
-                if self.interval >= plan.layers[self.layer].intervals.len() {
-                    self.interval = 0;
-                    self.layer += 1;
-                }
             } else {
-                self.offset += remaining_budget;
-                consumed += remaining_budget;
-                remaining_budget = Cycles::ZERO;
+                let offset = self.interval + 1;
+                let j = offset + arena.bounds[offset..].partition_point(|&b| b < target);
+                self.interval = if arena.bounds[j] == target { j + 1 } else { j };
             }
         }
-        self.executed += consumed;
+        self.executed = target;
         consumed
     }
 
@@ -328,10 +525,11 @@ impl ProgressCursor {
     /// currently executing interval). Zero when already at a boundary or when
     /// the plan is complete.
     pub fn cycles_to_boundary(&self, plan: &ExecutionPlan) -> Cycles {
-        if self.layer >= plan.layers.len() || self.offset.is_zero() {
+        let arena = &plan.arena;
+        if self.interval >= arena.len() || self.executed == arena.start_of(self.interval) {
             return Cycles::ZERO;
         }
-        plan.layers[self.layer].intervals[self.interval].cycles - self.offset
+        arena.bounds[self.interval] - self.executed
     }
 
     /// The output-activation bytes that are live (and would have to be
@@ -339,21 +537,21 @@ impl ProgressCursor {
     /// footprint if the task is preempted at the end of the interval it is
     /// currently in, or right now if it already sits at a boundary.
     pub fn live_checkpoint_bytes(&self, plan: &ExecutionPlan) -> u64 {
-        if self.layer >= plan.layers.len() {
+        let arena = &plan.arena;
+        if self.interval >= arena.len() {
             return 0;
         }
-        let intervals = &plan.layers[self.layer].intervals;
-        if self.offset.is_zero() {
+        if self.executed == arena.start_of(self.interval) {
             // At a boundary: the last *completed* interval of this layer
             // defines the live state; at a layer start nothing is live.
-            if self.interval == 0 {
+            if arena.is_layer_start(self.interval) {
                 0
             } else {
-                intervals[self.interval - 1].live_output_bytes
+                arena.live_bytes[self.interval - 1]
             }
         } else {
             // Mid-interval: preemption waits for this interval to commit.
-            intervals[self.interval].live_output_bytes
+            arena.live_bytes[self.interval]
         }
     }
 }
@@ -364,8 +562,132 @@ impl Default for ProgressCursor {
     }
 }
 
+/// The original nested-vector progress cursor, preserved verbatim as the
+/// semantic oracle for [`ProgressCursor`].
+///
+/// This walks `plan.layers()[..].intervals[..]` one interval at a time —
+/// O(intervals crossed) per advance — exactly as the engine did before the
+/// flat [`PlanArena`] existed. It is **not** used on any production path;
+/// the cursor-equivalence property test (`tests/property_tests.rs`) replays
+/// random plans and budgets through both cursors and asserts every
+/// observable (consumed cycles, executed total, boundary distance, live
+/// checkpoint bytes, layer index, completion) is identical at every step.
+pub mod reference {
+    use super::{Cycles, ExecutionPlan};
+
+    /// Nested interval-walk cursor (test oracle; see the module docs).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ReferenceCursor {
+        layer: usize,
+        interval: usize,
+        /// Cycles already spent inside the current interval.
+        offset: Cycles,
+        /// Total cycles executed so far.
+        executed: Cycles,
+    }
+
+    impl ReferenceCursor {
+        /// A cursor at the very beginning of a plan.
+        pub fn start() -> Self {
+            ReferenceCursor {
+                layer: 0,
+                interval: 0,
+                offset: Cycles::ZERO,
+                executed: Cycles::ZERO,
+            }
+        }
+
+        /// Total cycles executed so far.
+        pub fn executed(&self) -> Cycles {
+            self.executed
+        }
+
+        /// Index of the layer currently being executed.
+        pub fn layer_index(&self) -> usize {
+            self.layer
+        }
+
+        /// Whether the whole plan has finished.
+        pub fn is_complete(&self, plan: &ExecutionPlan) -> bool {
+            self.layer >= plan.layers().len()
+        }
+
+        /// Remaining cycles until the plan completes.
+        pub fn remaining(&self, plan: &ExecutionPlan) -> Cycles {
+            plan.total_cycles() - self.executed
+        }
+
+        /// Resets the cursor to the start of the plan.
+        pub fn reset(&mut self) {
+            *self = ReferenceCursor::start();
+        }
+
+        /// Advances the cursor by at most `budget` cycles, returning the
+        /// cycles actually consumed.
+        pub fn advance(&mut self, plan: &ExecutionPlan, budget: Cycles) -> Cycles {
+            let layers = plan.layers();
+            let mut remaining_budget = budget;
+            let mut consumed = Cycles::ZERO;
+            while !remaining_budget.is_zero() && self.layer < layers.len() {
+                let interval = &layers[self.layer].intervals[self.interval];
+                let left_in_interval = interval.cycles - self.offset;
+                if remaining_budget >= left_in_interval {
+                    remaining_budget -= left_in_interval;
+                    consumed += left_in_interval;
+                    self.offset = Cycles::ZERO;
+                    self.interval += 1;
+                    if self.interval >= layers[self.layer].intervals.len() {
+                        self.interval = 0;
+                        self.layer += 1;
+                    }
+                } else {
+                    self.offset += remaining_budget;
+                    consumed += remaining_budget;
+                    remaining_budget = Cycles::ZERO;
+                }
+            }
+            self.executed += consumed;
+            consumed
+        }
+
+        /// Cycles needed to reach the next legal preemption point.
+        pub fn cycles_to_boundary(&self, plan: &ExecutionPlan) -> Cycles {
+            let layers = plan.layers();
+            if self.layer >= layers.len() || self.offset.is_zero() {
+                return Cycles::ZERO;
+            }
+            layers[self.layer].intervals[self.interval].cycles - self.offset
+        }
+
+        /// The checkpoint footprint at the current boundary.
+        pub fn live_checkpoint_bytes(&self, plan: &ExecutionPlan) -> u64 {
+            let layers = plan.layers();
+            if self.layer >= layers.len() {
+                return 0;
+            }
+            let intervals = &layers[self.layer].intervals;
+            if self.offset.is_zero() {
+                if self.interval == 0 {
+                    0
+                } else {
+                    intervals[self.interval - 1].live_output_bytes
+                }
+            } else {
+                intervals[self.interval].live_output_bytes
+            }
+        }
+    }
+
+    impl Default for ReferenceCursor {
+        fn default() -> Self {
+            ReferenceCursor::start()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::reference::ReferenceCursor;
     use super::*;
 
     fn cfg() -> NpuConfig {
@@ -388,6 +710,36 @@ mod tests {
     }
 
     #[test]
+    fn arena_is_consistent_with_the_nested_layers() {
+        let plan =
+            ExecutionPlan::compile(ModelKind::RnnTranslation1, 2, SeqSpec::new(20, 15), &cfg());
+        let arena = &plan.arena;
+        assert_eq!(arena.len(), plan.interval_count());
+        assert_eq!(arena.layer_starts.len(), plan.layer_count());
+        // Bounds are the running prefix sum of interval cycles, ending at
+        // the plan total; live bytes and layer indices line up flat-to-nested.
+        let mut flat = 0usize;
+        let mut cumulative = Cycles::ZERO;
+        for (layer_idx, layer) in plan.layers().iter().enumerate() {
+            assert_eq!(arena.layer_starts[layer_idx] as usize, flat);
+            assert_eq!(plan.layer_start_cycles(layer_idx), cumulative);
+            for interval in &layer.intervals {
+                cumulative += interval.cycles;
+                assert_eq!(arena.bounds[flat], cumulative);
+                assert_eq!(arena.live_bytes[flat], interval.live_output_bytes);
+                assert_eq!(arena.layer_of[flat] as usize, layer_idx);
+                assert_eq!(
+                    arena.is_layer_start(flat),
+                    arena.layer_starts[layer_idx] as usize == flat
+                );
+                flat += 1;
+            }
+        }
+        assert_eq!(flat, arena.len());
+        assert_eq!(cumulative, plan.total_cycles());
+    }
+
+    #[test]
     fn rnn_plan_scales_with_output_length() {
         let c = cfg();
         let short = ExecutionPlan::compile(ModelKind::RnnTranslation1, 1, SeqSpec::new(20, 5), &c);
@@ -405,6 +757,7 @@ mod tests {
         assert!(cursor.is_complete(&plan));
         assert_eq!(cursor.remaining(&plan), Cycles::ZERO);
         assert_eq!(cursor.executed(), plan.total_cycles());
+        assert_eq!(cursor.layer_index(&plan), plan.layer_count());
         // Advancing past the end consumes nothing more.
         assert_eq!(cursor.advance(&plan, Cycles::new(1000)), Cycles::ZERO);
     }
@@ -457,7 +810,7 @@ mod tests {
         assert_eq!(cursor.live_checkpoint_bytes(&plan), 0);
         // Execute the whole first layer: cursor lands at the start of layer 1.
         cursor.advance(&plan, plan.layers()[0].total_cycles);
-        assert_eq!(cursor.layer_index(), 1);
+        assert_eq!(cursor.layer_index(&plan), 1);
         assert_eq!(cursor.live_checkpoint_bytes(&plan), 0);
         // Step partway into layer 1: some state is now live.
         cursor.advance(&plan, plan.layers()[1].total_cycles / 2);
@@ -476,6 +829,42 @@ mod tests {
         assert_eq!(cursor.executed(), Cycles::ZERO);
         assert_eq!(cursor, ProgressCursor::start());
         assert_eq!(ProgressCursor::default(), ProgressCursor::start());
+    }
+
+    #[test]
+    fn flat_cursor_matches_reference_cursor_on_a_real_plan() {
+        let plan = small_plan();
+        let mut flat = ProgressCursor::start();
+        let mut reference = ReferenceCursor::start();
+        // Step sizes chosen to land exactly on boundaries, mid-interval and
+        // past the end.
+        let first = plan.layers()[0].intervals[0].cycles;
+        let steps = [
+            first / 2,
+            first - first / 2, // exactly at the first boundary
+            Cycles::new(1),
+            Cycles::ZERO,
+            plan.layers()[0].total_cycles,
+            Cycles::new(123_457),
+            plan.total_cycles(), // overshoots: completes
+        ];
+        for &step in &steps {
+            let a = flat.advance(&plan, step);
+            let b = reference.advance(&plan, step);
+            assert_eq!(a, b);
+            assert_eq!(flat.executed(), reference.executed());
+            assert_eq!(flat.is_complete(&plan), reference.is_complete(&plan));
+            assert_eq!(flat.layer_index(&plan), reference.layer_index());
+            assert_eq!(
+                flat.cycles_to_boundary(&plan),
+                reference.cycles_to_boundary(&plan)
+            );
+            assert_eq!(
+                flat.live_checkpoint_bytes(&plan),
+                reference.live_checkpoint_bytes(&plan)
+            );
+        }
+        assert!(flat.is_complete(&plan));
     }
 
     #[test]
@@ -503,6 +892,35 @@ mod tests {
             ExecutionPlan::compile_cached(ModelKind::CnnAlexNet, 3, SeqSpec::none(), &small);
         assert!(!Arc::ptr_eq(&first, &other));
         assert_ne!(first.total_cycles(), other.total_cycles());
+    }
+
+    #[test]
+    fn warm_compiles_each_unique_key_once_and_later_lookups_hit() {
+        let c = cfg();
+        // Batch size 5 is unique to this test, so the keys cannot already be
+        // resident.
+        let keys = [
+            (ModelKind::CnnAlexNet, 5u64, SeqSpec::none()),
+            (ModelKind::CnnAlexNet, 5u64, SeqSpec::none()), // duplicate
+            (ModelKind::CnnMobileNet, 5u64, SeqSpec::none()),
+        ];
+        let before = plan_cache::stats();
+        let compiled = plan_cache::warm(&keys, &c, true);
+        assert_eq!(compiled, 2, "duplicates are compiled once");
+        let mid = plan_cache::stats();
+        assert_eq!(mid.misses - before.misses, 2);
+        assert_eq!(mid.hits, before.hits, "warming is not a lookup");
+
+        // Re-warming compiles nothing.
+        assert_eq!(plan_cache::warm(&keys, &c, false), 0);
+
+        // A post-warm lookup hits and returns the warmed plan.
+        let plan = ExecutionPlan::compile_cached(ModelKind::CnnAlexNet, 5, SeqSpec::none(), &c);
+        let after = plan_cache::stats();
+        assert_eq!(after.hits, mid.hits + 1);
+        assert_eq!(after.misses, mid.misses);
+        let fresh = ExecutionPlan::compile(ModelKind::CnnAlexNet, 5, SeqSpec::none(), &c);
+        assert_eq!(*plan, fresh);
     }
 
     #[test]

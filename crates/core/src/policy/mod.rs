@@ -19,7 +19,7 @@ pub use hpf::HighPriorityFirst;
 pub use prema::Prema;
 pub use round_robin::RoundRobin;
 pub use sjf::ShortestJobFirst;
-pub use token::TokenPolicy;
+pub use token::{period_token_grant, TokenPolicy};
 
 use npu_sim::Cycles;
 
@@ -64,6 +64,17 @@ pub trait SchedulingPolicy: std::fmt::Debug + Send {
 
     /// Selects the next task among `tasks` (never empty). `now` is the
     /// current simulation time.
+    ///
+    /// # Contract
+    ///
+    /// `select` must be a pure function of `(now, tasks)` — it must not
+    /// carry observable state between invocations. The engine's
+    /// event-horizon fast path relies on this: when the only schedulable
+    /// task is the one already running, the decision is a foregone
+    /// conclusion and the engine skips the wakeup (and therefore the
+    /// `select` call) entirely, which is only bit-identical to stepping if
+    /// elided calls could not have mutated the policy. All six paper
+    /// policies satisfy this; the determinism regression tests enforce it.
     fn select(&mut self, now: Cycles, tasks: &[TaskView]) -> TaskId;
 }
 

@@ -8,9 +8,30 @@
 
 use npu_sim::Cycles;
 
-use crate::task::TaskId;
+use crate::task::{Priority, TaskId};
 
 use super::{candidate_group, earliest_arrival, SchedulingPolicy, TaskView};
+
+/// The tokens granted to a waiting task for one scheduling period in which it
+/// newly waited `newly_waited` cycles (Algorithm 2, line 7): the task's
+/// priority grant, scaled by `token_scale` and by the normalized slowdown it
+/// accumulated over the period.
+///
+/// This is *the* token-accrual formula — the engine charges it both when it
+/// steps through a scheduling period and when its event-horizon fast path
+/// replays a run of skipped periods in a batch
+/// (`grant_tokens_batch`), so both paths produce bit-identical `f64` token
+/// state: a batch grant over `n` periods performs the same `n` additions of
+/// the same per-period values, in the same per-task order, as stepping.
+pub fn period_token_grant(
+    priority: Priority,
+    token_scale: f64,
+    newly_waited: Cycles,
+    estimated: Cycles,
+) -> f64 {
+    let slowdown = newly_waited.get() as f64 / estimated.get().max(1) as f64;
+    priority.token_grant() * token_scale * slowdown
+}
 
 /// Token-gated FCFS.
 #[derive(Debug, Clone, Copy)]
@@ -98,5 +119,24 @@ mod tests {
     #[test]
     fn name_matches_paper() {
         assert_eq!(TokenPolicy::default().name(), "TOKEN");
+    }
+
+    #[test]
+    fn period_grant_scales_with_priority_slowdown_and_scale() {
+        // One full period waited against an equal estimate: slowdown 1, so
+        // the grant is exactly the priority grant times the scale.
+        let quantum = Cycles::new(175_000);
+        for priority in Priority::ALL {
+            let grant = period_token_grant(priority, 1.0, quantum, quantum);
+            assert_eq!(grant, priority.token_grant());
+            let scaled = period_token_grant(priority, 2.0, quantum, quantum);
+            assert_eq!(scaled, priority.token_grant() * 2.0);
+        }
+        // Longer estimates dilute the per-period grant.
+        let diluted = period_token_grant(Priority::High, 1.0, quantum, quantum * 4);
+        assert_eq!(diluted, Priority::High.token_grant() * 0.25);
+        // A zero estimate is clamped rather than dividing by zero.
+        let clamped = period_token_grant(Priority::Low, 1.0, quantum, Cycles::ZERO);
+        assert!(clamped.is_finite());
     }
 }

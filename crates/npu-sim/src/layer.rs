@@ -178,6 +178,17 @@ impl LayerTiming {
     /// Models `work`, coalescing tiles into at most `max_intervals`
     /// preemption intervals.
     ///
+    /// A [`TilePlan`] contains at most two *distinct* tiles — the repeated
+    /// full-size inner tile and the optional n-dimension edge tile — so each
+    /// interval's cycle count and live-byte total is computed in closed form
+    /// from the number of inner/outer tiles it covers, instead of walking
+    /// every `GEMM_OP` individually. A GEMM lowering to tens of thousands of
+    /// tiles therefore models in O(`max_intervals`) rather than O(tiles),
+    /// and the produced intervals are bit-identical to the per-tile walk
+    /// (the grouping, the first-interval DMA lead-in and the per-tile
+    /// checkpoint-footprint clamp all commute with the batching; a
+    /// regression test in this module pins the equivalence).
+    ///
     /// # Panics
     ///
     /// Panics if `max_intervals` is zero.
@@ -192,50 +203,59 @@ impl LayerTiming {
 
         if let Some(shape) = work.gemm {
             let plan = TilePlan::new(shape, cfg);
+            let inner_count = plan.inner_tile_count();
             let tile_count = plan.tile_count();
             let tiles_per_interval = tile_count.div_ceil(max_intervals as u64).max(1);
+
+            let inner = plan.inner_tile();
+            let outer = plan.outer_tile();
+            let (outer_latency, outer_compute, outer_memory, outer_out_bytes) = outer
+                .map(|t| {
+                    (
+                        t.latency(),
+                        t.compute_cycles,
+                        t.memory_cycles,
+                        t.output_bytes,
+                    )
+                })
+                .unwrap_or((Cycles::ZERO, Cycles::ZERO, Cycles::ZERO, 0));
 
             // The first operand fetch cannot be hidden behind compute: charge
             // it as a lead-in on the first interval (double buffering warms up
             // after the first tile).
-            let lead_in = plan
-                .iter()
-                .next()
+            let first_tile = if inner_count > 0 { Some(inner) } else { outer };
+            let lead_in = first_tile
                 .map(|t| t.memory_cycles + dma.access_latency())
                 .unwrap_or(Cycles::ZERO);
 
-            let mut live_bytes: u64 = 0;
-            let mut acc_cycles = Cycles::ZERO;
-            let mut tiles_in_group = 0u64;
-            let mut emitted_lead_in = false;
+            let outer_count = tile_count - inner_count;
+            compute_total += inner.compute_cycles * inner_count + outer_compute * outer_count;
+            memory_total += inner.memory_cycles * inner_count + outer_memory * outer_count;
 
-            for tile in plan.iter() {
-                let mut cycles = tile.latency();
-                if !emitted_lead_in {
-                    cycles += lead_in;
-                    emitted_lead_in = true;
+            let cap = cfg.max_checkpoint_bytes();
+            let mut live_bytes: u64 = 0;
+            let mut start = 0u64;
+            while start < tile_count {
+                let end = (start + tiles_per_interval).min(tile_count);
+                let inner_in = end.min(inner_count).saturating_sub(start.min(inner_count));
+                let outer_in = (end - start) - inner_in;
+                let mut acc_cycles = inner.latency() * inner_in + outer_latency * outer_in;
+                if start == 0 {
+                    acc_cycles += lead_in;
                 }
-                compute_total += tile.compute_cycles;
-                memory_total += tile.memory_cycles;
-                acc_cycles += cycles;
-                live_bytes = (live_bytes + tile.output_bytes).min(cfg.max_checkpoint_bytes());
-                tiles_in_group += 1;
-                if tiles_in_group == tiles_per_interval {
-                    intervals.push(PreemptionInterval {
-                        cycles: acc_cycles,
-                        live_output_bytes: live_bytes,
-                    });
-                    total += acc_cycles;
-                    acc_cycles = Cycles::ZERO;
-                    tiles_in_group = 0;
-                }
-            }
-            if tiles_in_group > 0 {
+                // Saturating: the per-tile walk clamps at `cap` after every
+                // tile and so can never overflow; a saturated batched sum
+                // clamps to the same `cap`.
+                live_bytes = live_bytes
+                    .saturating_add(inner.output_bytes.saturating_mul(inner_in))
+                    .saturating_add(outer_out_bytes.saturating_mul(outer_in))
+                    .min(cap);
                 intervals.push(PreemptionInterval {
                     cycles: acc_cycles,
                     live_output_bytes: live_bytes,
                 });
                 total += acc_cycles;
+                start = end;
             }
         }
 
@@ -290,6 +310,13 @@ impl LayerTiming {
     /// The preemption intervals of this layer, in execution order.
     pub fn intervals(&self) -> &[PreemptionInterval] {
         &self.intervals
+    }
+
+    /// Consumes the timing and returns its intervals without cloning, for
+    /// callers (like `prema-core`'s execution-plan compiler) that flatten
+    /// many layers' intervals into one arena.
+    pub fn into_intervals(self) -> Vec<PreemptionInterval> {
+        self.intervals
     }
 
     /// Total modelled execution time of the layer.
@@ -472,6 +499,100 @@ mod tests {
         let c = cfg();
         let work = LayerWork::gemm(GemmShape::new(1, 1, 1), 2);
         let _ = LayerTiming::model_with_intervals(&work, &c, 0);
+    }
+
+    /// The original O(tiles) interval construction, kept as the test oracle
+    /// for the closed-form grouping in [`LayerTiming::model_with_intervals`].
+    fn intervals_by_tile_walk(
+        work: &LayerWork,
+        cfg: &NpuConfig,
+        max_intervals: usize,
+    ) -> Vec<PreemptionInterval> {
+        let dma = DmaModel::new(cfg);
+        let mut intervals = Vec::new();
+        let Some(shape) = work.gemm else {
+            return intervals;
+        };
+        let plan = TilePlan::new(shape, cfg);
+        let tiles_per_interval = plan.tile_count().div_ceil(max_intervals as u64).max(1);
+        let lead_in = plan
+            .iter()
+            .next()
+            .map(|t| t.memory_cycles + dma.access_latency())
+            .unwrap_or(Cycles::ZERO);
+        let mut live_bytes: u64 = 0;
+        let mut acc_cycles = Cycles::ZERO;
+        let mut tiles_in_group = 0u64;
+        let mut emitted_lead_in = false;
+        for tile in plan.iter() {
+            let mut cycles = tile.latency();
+            if !emitted_lead_in {
+                cycles += lead_in;
+                emitted_lead_in = true;
+            }
+            acc_cycles += cycles;
+            live_bytes = (live_bytes + tile.output_bytes).min(cfg.max_checkpoint_bytes());
+            tiles_in_group += 1;
+            if tiles_in_group == tiles_per_interval {
+                intervals.push(PreemptionInterval {
+                    cycles: acc_cycles,
+                    live_output_bytes: live_bytes,
+                });
+                acc_cycles = Cycles::ZERO;
+                tiles_in_group = 0;
+            }
+        }
+        if tiles_in_group > 0 {
+            intervals.push(PreemptionInterval {
+                cycles: acc_cycles,
+                live_output_bytes: live_bytes,
+            });
+        }
+        intervals
+    }
+
+    #[test]
+    fn closed_form_intervals_match_per_tile_walk() {
+        let c = cfg();
+        // Shapes chosen to cover: single outer tile, inner-only, inner+outer
+        // mixed groups, groups that straddle the inner/outer boundary, and
+        // live-byte saturation at the checkpoint cap.
+        let shapes = [
+            GemmShape::new(64, 64, 100),
+            GemmShape::new(256, 256, c.accumulator_depth * 3),
+            GemmShape::new(300, 520, c.accumulator_depth * 2 + 7),
+            GemmShape::new(4096, 25088, 64),
+            GemmShape::new(8192, 1024, 4096),
+            GemmShape::new(1, 1, 1),
+            GemmShape::new(512, 512, 5000),
+        ];
+        for shape in shapes {
+            let work = LayerWork::gemm(shape, shape.output_bytes());
+            for max_intervals in [1usize, 2, 7, 32, 1000] {
+                let timing = LayerTiming::model_with_intervals(&work, &c, max_intervals);
+                let reference = intervals_by_tile_walk(&work, &c, max_intervals);
+                assert_eq!(
+                    timing.intervals(),
+                    &reference[..],
+                    "{shape:?} with max_intervals {max_intervals}"
+                );
+                let plan = TilePlan::new(shape, &c);
+                let compute: Cycles = plan.iter().map(|t| t.compute_cycles).sum();
+                let memory: Cycles = plan.iter().map(|t| t.memory_cycles).sum();
+                assert_eq!(timing.compute_cycles(), compute);
+                assert_eq!(timing.memory_cycles(), memory);
+            }
+        }
+    }
+
+    #[test]
+    fn into_intervals_matches_borrowed_accessor() {
+        let c = cfg();
+        let shape = GemmShape::new(512, 512, 4096);
+        let work = LayerWork::gemm(shape, shape.output_bytes());
+        let timing = LayerTiming::model(&work, &c);
+        let borrowed = timing.intervals().to_vec();
+        assert_eq!(timing.into_intervals(), borrowed);
     }
 
     #[test]

@@ -7,13 +7,29 @@
 //! sequence lengths) once, so that the same prepared workload can be replayed
 //! under many scheduler configurations.
 
-use dnn_models::ModelKind;
+use dnn_models::{ModelKind, SeqSpec};
 use npu_sim::NpuConfig;
 use prema_core::{PreparedTask, TaskRequest};
 use prema_metrics::TaskOutcome;
 use prema_predictor::InferenceTimePredictor;
 
 use crate::generator::WorkloadSpec;
+
+/// The plan-cache keys a workload's tasks will compile under: one
+/// `(model, batch, seq)` triple per request, at the request's *actual*
+/// sequence lengths (duplicates included; the cache warm pass deduplicates).
+///
+/// Feeding these to `prema_core::plan::plan_cache::warm` before a grid run
+/// pre-compiles every distinct plan exactly once, so the (possibly parallel)
+/// prepare phase is all cache hits and never races two first-touch compiles
+/// of the same key.
+pub fn plan_keys(specs: &[WorkloadSpec]) -> Vec<(ModelKind, u64, SeqSpec)> {
+    specs
+        .iter()
+        .flat_map(|spec| spec.requests.iter())
+        .map(|request| (request.model, request.batch, request.seq))
+        .collect()
+}
 
 /// A workload whose plans have been compiled and whose requests carry
 /// predictor estimates.

@@ -72,8 +72,8 @@ pub mod metrics {
 pub use dnn_models::{ModelKind, SeqSpec};
 pub use npu_sim::{Cycles, NpuConfig};
 pub use prema_core::{
-    NpuSimulator, PolicyKind, PreemptionMechanism, PreemptionMode, PreparedTask, Priority,
-    SchedulerConfig, SimOutcome, TaskId, TaskRecord, TaskRequest,
+    NpuSimulator, OutcomeSummary, PolicyKind, PreemptionMechanism, PreemptionMode, PreparedTask,
+    Priority, SchedulerConfig, SimOutcome, TaskId, TaskRecord, TaskRequest,
 };
 pub use prema_metrics::{MultiTaskMetrics, TaskOutcome};
 pub use prema_predictor::{AnalyticalPredictor, InferenceTimePredictor};

@@ -1,10 +1,12 @@
 //! Determinism regression tests for the simulation fast path.
 //!
-//! The engine's incremental scheduler state, the plan-compilation cache and
-//! the rayon-parallel evaluation suite are all pure optimizations: none of
-//! them may change a single bit of any [`prema::SimOutcome`]. These tests
-//! pin that contract by replaying identical seeds through the optimized and
-//! reference paths and asserting full structural equality.
+//! The engine's incremental scheduler state, the flat plan arena, the
+//! event-horizon fast-forward, the sharded plan-compilation cache (and its
+//! warm pass) and the rayon-parallel evaluation suite are all pure
+//! optimizations: none of them may change a single bit of any
+//! [`prema::SimOutcome`]. These tests pin that contract by replaying
+//! identical seeds through the optimized and reference paths and asserting
+//! full structural equality.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,6 +71,36 @@ fn cached_plans_match_uncached_plans_across_all_configs() {
         let from_cached: SimOutcome = sim.run(&cached.tasks);
         let from_uncached: SimOutcome = sim.run(&uncached.tasks);
         assert_eq!(from_cached, from_uncached, "outcome diverged under {label}");
+    }
+}
+
+/// The event-horizon fast-forward must be bit-identical to waking the
+/// scheduler at every expired quantum, for every policy and preemption mode
+/// — per-task records, makespan, preemption counters *and* the
+/// scheduler-invocation count (skipped quanta are credited, not dropped).
+#[test]
+fn fast_forwarded_records_match_stepped_records_across_all_configs() {
+    let npu = NpuConfig::paper_default();
+    for seed in [0xFF01u64, 2020, 7] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = generate_workload(
+            &WorkloadConfig {
+                task_count: 6,
+                ..WorkloadConfig::paper_default()
+            },
+            &mut rng,
+        );
+        let prepared = prepare_workload(&spec, &npu, None);
+        for cfg in all_scheduler_configs() {
+            let label = cfg.label();
+            let sim = NpuSimulator::new(npu.clone(), cfg);
+            let fast: SimOutcome = sim.run(&prepared.tasks);
+            let stepped: SimOutcome = sim.run_reference(&prepared.tasks);
+            assert_eq!(
+                fast, stepped,
+                "fast-forwarded outcome diverged from step-every-quantum under {label} (seed {seed:#x})"
+            );
+        }
     }
 }
 

@@ -17,6 +17,7 @@ use prema::npu::gemm::{GemmShape, TilePlan};
 use prema::npu::{Cycles, NpuConfig};
 use prema::predictor::analytical::estimate_layer_cycles;
 use prema::predictor::SeqLenTable;
+use prema::scheduler::plan::reference::ReferenceCursor;
 use prema::scheduler::plan::{ExecutionPlan, ProgressCursor};
 use prema::scheduler::preemption::{select_mechanism, MechanismDecisionInputs};
 use prema::{
@@ -193,6 +194,79 @@ fn cursor_conserves_cycles_under_arbitrary_stepping() {
         cursor.advance(&plan, plan.total_cycles());
         assert!(cursor.is_complete(&plan));
         assert_eq!(cursor.executed(), plan.total_cycles());
+    }
+}
+
+/// The flat (prefix-sum arena) progress cursor is observably equivalent to
+/// the original nested interval-walk cursor on random plans under random
+/// budget sequences — including zero budgets, boundary-exact budgets and
+/// overshooting budgets. Every observable is compared after every step:
+/// consumed cycles, executed total, completion, layer index, distance to the
+/// next preemption boundary and the live checkpoint footprint.
+#[test]
+fn flat_cursor_is_equivalent_to_the_reference_interval_walk() {
+    let cfg = NpuConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(0xF1A7);
+    for case in 0..24 {
+        let model = ALL_EVAL_MODELS[rng.gen_range(0usize..ALL_EVAL_MODELS.len())];
+        let batch = [1u64, 2, 4, 8][rng.gen_range(0usize..4)];
+        let seq = SeqSpec::for_model(model, rng.gen_range(5u64..25));
+        let plan = ExecutionPlan::compile(model, batch, seq, &cfg);
+        let mut flat = ProgressCursor::start();
+        let mut reference = ReferenceCursor::start();
+        let step_count = rng.gen_range(8usize..96);
+        for step in 0..step_count {
+            // Mix step regimes: tiny, quantum-scale, occasionally zero, and
+            // occasionally exactly to the next boundary (the trickiest
+            // normalization point for the flat representation).
+            let budget = match rng.gen_range(0u32..8) {
+                0 => Cycles::ZERO,
+                1 => reference.cycles_to_boundary(&plan),
+                2 => Cycles::new(rng.gen_range(1u64..200)),
+                3..=5 => Cycles::new(rng.gen_range(1u64..400_000)),
+                _ => Cycles::new(rng.gen_range(1u64..4_000_000)),
+            };
+            let consumed_flat = flat.advance(&plan, budget);
+            let consumed_reference = reference.advance(&plan, budget);
+            let context = format!("case {case} step {step} model {model:?} budget {budget}");
+            assert_eq!(consumed_flat, consumed_reference, "{context}");
+            assert_eq!(flat.executed(), reference.executed(), "{context}");
+            assert_eq!(
+                flat.is_complete(&plan),
+                reference.is_complete(&plan),
+                "{context}"
+            );
+            assert_eq!(
+                flat.remaining(&plan),
+                reference.remaining(&plan),
+                "{context}"
+            );
+            assert_eq!(
+                flat.layer_index(&plan),
+                reference.layer_index(),
+                "{context}"
+            );
+            assert_eq!(
+                flat.cycles_to_boundary(&plan),
+                reference.cycles_to_boundary(&plan),
+                "{context}"
+            );
+            assert_eq!(
+                flat.live_checkpoint_bytes(&plan),
+                reference.live_checkpoint_bytes(&plan),
+                "{context}"
+            );
+        }
+        // Drive both to completion and compare the terminal state too.
+        flat.advance(&plan, plan.total_cycles());
+        reference.advance(&plan, plan.total_cycles());
+        assert_eq!(flat.is_complete(&plan), reference.is_complete(&plan));
+        assert_eq!(flat.executed(), reference.executed());
+        // KILL-style reset round-trips on both.
+        flat.reset();
+        reference.reset();
+        assert_eq!(flat.executed(), reference.executed());
+        assert_eq!(flat.layer_index(&plan), reference.layer_index());
     }
 }
 
