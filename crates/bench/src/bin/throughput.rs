@@ -6,28 +6,37 @@
 //!
 //! ```text
 //! throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]
+//! throughput cluster [--nodes N] [--duration-ms D] [--seed S] [--out PATH]
+//!                    [--check-baseline PATH]
 //! ```
 //!
 //! Defaults reproduce the paper's setup: 25 runs of 8-task workloads under
 //! all six non-preemptive policies plus the eight static/dynamic preemptive
 //! configurations of Figure 12 (15 configurations with the NP-FCFS baseline).
 //!
+//! The `cluster` subcommand instead runs the multi-NPU serving load sweep
+//! (offered load x dispatch policy on a 4-node cluster, see
+//! `prema_bench::cluster`) and emits `BENCH_cluster.json`.
+//!
 //! With `--check-baseline`, the committed report at PATH is read and the run
-//! fails (non-zero exit) if the freshly measured serial `events_per_sec`
-//! regressed more than 20 % below the baseline's — the CI throughput smoke
-//! gates on exactly this, alongside the always-on bit-identity check.
+//! fails (non-zero exit) if the freshly measured `events_per_sec` regressed
+//! more than 20 % below the baseline's — the CI smoke gates on exactly this,
+//! alongside the always-on bit-identity check (outcome equality for the
+//! suite, the deterministic `sweep_hash` digest for the cluster).
 
 use std::env;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use prema_bench::cluster::{cell_of, run_cluster_sweep, sweep_hash, ClusterSweepOptions};
 use prema_bench::fig11_15::{fig11_configs, fig12_configs};
 use prema_bench::suite::{run_grid, run_grid_reference, SuiteOptions};
+use prema_cluster::DispatchPolicy;
 use prema_core::plan::plan_cache;
 use prema_core::{OutcomeSummary, SchedulerConfig, SimOutcome};
 
-/// Largest tolerated drop of `serial_uncached.events_per_sec` below the
-/// baseline before `--check-baseline` fails the run.
+/// Largest tolerated drop of measured `events_per_sec` below the baseline
+/// before `--check-baseline` fails the run.
 const MAX_REGRESSION: f64 = 0.20;
 
 struct Options {
@@ -37,7 +46,7 @@ struct Options {
     check_baseline: Option<String>,
 }
 
-const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]";
+const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]\n       throughput cluster [--nodes N] [--duration-ms D] [--seed S] [--out PATH] [--check-baseline PATH]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
@@ -84,15 +93,18 @@ fn total_events(outcomes: &[SimOutcome]) -> u64 {
     outcomes.iter().map(|o| o.scheduler_invocations).sum()
 }
 
-/// Extracts `"serial_uncached": { ..., "events_per_sec": <number> }` from a
+/// Extracts the first `"key": <number>` after the `"section"` key in a
 /// previously emitted report. The workspace is hermetic (no serde_json), so
-/// this parses the report's own fixed layout: find the section key, then the
-/// first `events_per_sec` after it.
-fn baseline_serial_events_per_sec(report: &str) -> Option<f64> {
-    let section = report.find("\"serial_uncached\"")?;
-    let rest = &report[section..];
-    let field = rest.find("\"events_per_sec\"")?;
-    let after = &rest[field + "\"events_per_sec\"".len()..];
+/// this parses the report's own fixed layout: find the section key, then
+/// the first numeric field of that name after it. Both names are passed
+/// unquoted and matched as quoted JSON keys.
+fn baseline_number(report: &str, section: &str, key: &str) -> Option<f64> {
+    let section_needle = format!("\"{section}\"");
+    let section_start = report.find(&section_needle)?;
+    let rest = &report[section_start..];
+    let needle = format!("\"{key}\"");
+    let field = rest.find(&needle)?;
+    let after = &rest[field + needle.len()..];
     let number: String = after
         .chars()
         .skip_while(|c| *c == ':' || c.is_whitespace())
@@ -101,7 +113,254 @@ fn baseline_serial_events_per_sec(report: &str) -> Option<f64> {
     number.parse().ok()
 }
 
+/// Extracts the first `"key": "<string>"` value from a previously emitted
+/// report.
+fn baseline_string(report: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let field = report.find(&needle)?;
+    let after = &report[field + needle.len()..];
+    let open = after.find('"')?;
+    let rest = &after[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// Compares a measured events/sec figure against a baseline's, failing on a
+/// more-than-[`MAX_REGRESSION`] drop.
+fn check_events_per_sec(measured: f64, baseline: f64, what: &str) -> bool {
+    let floor = baseline * (1.0 - MAX_REGRESSION);
+    if measured < floor {
+        eprintln!(
+            "[throughput] FAIL: {what} events/sec regressed more than {:.0}%: \
+             measured {measured:.0} < floor {floor:.0} (baseline {baseline:.0})",
+            MAX_REGRESSION * 100.0,
+        );
+        false
+    } else {
+        eprintln!(
+            "[throughput] baseline check passed: {measured:.0} {what} events/sec >= {floor:.0} \
+             (baseline {baseline:.0}, tolerance {:.0}%)",
+            MAX_REGRESSION * 100.0
+        );
+        true
+    }
+}
+
+struct ClusterOptions {
+    nodes: usize,
+    duration_ms: f64,
+    seed: u64,
+    out: String,
+    check_baseline: Option<String>,
+}
+
+fn parse_cluster_args(args: impl Iterator<Item = String>) -> Result<ClusterOptions, String> {
+    let defaults = ClusterSweepOptions::baseline();
+    let mut options = ClusterOptions {
+        nodes: defaults.nodes,
+        duration_ms: defaults.duration_ms,
+        seed: defaults.seed,
+        out: "BENCH_cluster.json".to_string(),
+        check_baseline: None,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                options.nodes = args
+                    .next()
+                    .ok_or("--nodes requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --nodes value: {e}"))?;
+            }
+            "--duration-ms" => {
+                options.duration_ms = args
+                    .next()
+                    .ok_or("--duration-ms requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --duration-ms value: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .ok_or("--seed requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed value: {e}"))?;
+            }
+            "--out" => {
+                options.out = args.next().ok_or("--out requires a value")?;
+            }
+            "--check-baseline" => {
+                options.check_baseline =
+                    Some(args.next().ok_or("--check-baseline requires a value")?);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if options.nodes == 0 {
+        return Err("--nodes must be at least 1".into());
+    }
+    if !options.duration_ms.is_finite() || options.duration_ms <= 0.0 {
+        return Err("--duration-ms must be positive".into());
+    }
+    Ok(options)
+}
+
+fn cluster_main(options: ClusterOptions) -> ExitCode {
+    let opts = ClusterSweepOptions {
+        nodes: options.nodes,
+        seed: options.seed,
+        duration_ms: options.duration_ms,
+        ..ClusterSweepOptions::baseline()
+    };
+    eprintln!(
+        "[throughput] cluster sweep: {} nodes x {} loads x {} policies, {} ms windows",
+        opts.nodes,
+        opts.loads.len(),
+        opts.policies.len(),
+        opts.duration_ms
+    );
+
+    let start = Instant::now();
+    let cells = run_cluster_sweep(&opts);
+    let wall_s = start.elapsed().as_secs_f64();
+    let events: u64 = cells.iter().map(|c| c.events).sum();
+    // One request stream per load level, replayed by every policy — count
+    // each stream once by summing over a single policy's cells.
+    let unique_requests: usize = cells
+        .iter()
+        .filter(|cell| cell.policy == opts.policies[0])
+        .map(|cell| cell.requests)
+        .sum();
+    let events_per_sec = events as f64 / wall_s.max(f64::EPSILON);
+    let digest = sweep_hash(&cells);
+
+    // The acceptance comparison the sweep exists for: predictive dispatch vs
+    // the no-information random baseline at the highest offered load.
+    let top_load = opts.loads.iter().cloned().fold(f64::MIN, f64::max);
+    let queue_ms = |policy: DispatchPolicy| -> Option<f64> {
+        cell_of(&cells, top_load, policy).map(|c| c.metrics.mean_queueing_delay_ms)
+    };
+    let predictive_queue = queue_ms(DispatchPolicy::Predictive);
+    let random_queue = queue_ms(DispatchPolicy::Random);
+    if let (Some(predictive), Some(random)) = (predictive_queue, random_queue) {
+        eprintln!(
+            "[throughput] load {top_load:.2}: mean queueing delay predictive {predictive:.3} ms \
+             vs random {random:.3} ms"
+        );
+    }
+
+    let mut cell_rows = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let sla4 = cell.metrics.sla.rate_at(4.0).unwrap_or(0.0);
+        cell_rows.push_str(&format!(
+            "    {{ \"load\": {:.2}, \"policy\": \"{}\", \"requests\": {}, \"events\": {}, \
+             \"antt\": {:.4}, \"stp\": {:.4}, \"mean_queue_ms\": {:.4}, \"mean_service_ms\": {:.4}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"sla_violation_at_4x\": {:.4}, \
+             \"mean_utilization\": {:.4}, \"makespan_ms\": {:.4}, \"hash\": \"{:016x}\" }}{}\n",
+            cell.load,
+            cell.policy.label(),
+            cell.requests,
+            cell.events,
+            cell.metrics.antt,
+            cell.metrics.stp,
+            cell.metrics.mean_queueing_delay_ms,
+            cell.metrics.mean_service_ms,
+            cell.metrics.p50_ms,
+            cell.metrics.p95_ms,
+            cell.metrics.p99_ms,
+            sla4,
+            cell.metrics.mean_utilization(),
+            cell.metrics.makespan_ms,
+            cell.hash,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    let load_levels = opts
+        .loads
+        .iter()
+        .map(|load| format!("{load:.2}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let policy_labels = opts
+        .policies
+        .iter()
+        .map(|policy| format!("\"{}\"", policy.label()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let report = format!(
+        "{{\n  \"bench\": \"cluster_serving_sweep\",\n  \"nodes\": {},\n  \"seed\": {},\n  \"duration_ms\": {:.1},\n  \"load_levels\": [{}],\n  \"policies\": [{}],\n  \"unique_requests\": {},\n  \"cluster_events\": {},\n  \"wall_s\": {:.4},\n  \"events_per_sec\": {:.0},\n  \"top_load_queue_ms\": {{ \"load\": {:.2}, \"predictive\": {:.4}, \"random\": {:.4} }},\n  \"sweep_hash\": \"{:016x}\",\n  \"cells\": [\n{}  ]\n}}\n",
+        opts.nodes,
+        opts.seed,
+        opts.duration_ms,
+        load_levels,
+        policy_labels,
+        unique_requests,
+        events,
+        wall_s,
+        events_per_sec,
+        top_load,
+        predictive_queue.unwrap_or(0.0),
+        random_queue.unwrap_or(0.0),
+        digest,
+        cell_rows,
+    );
+    print!("{report}");
+    if let Err(error) = std::fs::write(&options.out, &report) {
+        eprintln!("[throughput] could not write {}: {error}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[throughput] report written to {}", options.out);
+
+    if let Some(path) = &options.check_baseline {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(contents) => contents,
+            Err(error) => {
+                eprintln!("[throughput] FAIL: could not read baseline {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(baseline_hash) = baseline_string(&baseline, "sweep_hash") else {
+            eprintln!("[throughput] FAIL: no sweep_hash found in baseline {path}");
+            return ExitCode::FAILURE;
+        };
+        let measured_hash = format!("{digest:016x}");
+        if baseline_hash != measured_hash {
+            eprintln!(
+                "[throughput] FAIL: cluster outcomes diverged from the baseline \
+                 (sweep_hash {measured_hash} != {baseline_hash}). The sweep is \
+                 deterministic per seed, so this is a behavioural change: \
+                 re-commit the baseline only if it is intentional."
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[throughput] baseline check passed: sweep_hash {measured_hash} matches");
+        let Some(baseline_eps) = baseline_number(&baseline, "cluster_events", "events_per_sec")
+        else {
+            eprintln!("[throughput] FAIL: no events_per_sec found in baseline {path}");
+            return ExitCode::FAILURE;
+        };
+        if !check_events_per_sec(events_per_sec, baseline_eps, "cluster") {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let mut args = env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("cluster") {
+        args.next();
+        return match parse_cluster_args(args) {
+            Ok(options) => cluster_main(options),
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    drop(args);
     let options = match parse_args() {
         Ok(options) => options,
         Err(message) => {
@@ -205,30 +464,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let Some(baseline_eps) = baseline_serial_events_per_sec(&baseline) else {
+        let Some(baseline_eps) = baseline_number(&baseline, "serial_uncached", "events_per_sec")
+        else {
             eprintln!("[throughput] FAIL: no serial events_per_sec found in baseline {path}");
             return ExitCode::FAILURE;
         };
-        let floor = baseline_eps * (1.0 - MAX_REGRESSION);
-        if serial_events_per_sec < floor {
-            eprintln!(
-                "[throughput] FAIL: serial events/sec regressed more than {:.0}%: \
-                 measured {:.0} < floor {:.0} (baseline {:.0})",
-                MAX_REGRESSION * 100.0,
-                serial_events_per_sec,
-                floor,
-                baseline_eps
-            );
+        if !check_events_per_sec(serial_events_per_sec, baseline_eps, "serial") {
             return ExitCode::FAILURE;
         }
-        eprintln!(
-            "[throughput] baseline check passed: {:.0} events/sec >= {:.0} \
-             (baseline {:.0}, tolerance {:.0}%)",
-            serial_events_per_sec,
-            floor,
-            baseline_eps,
-            MAX_REGRESSION * 100.0
-        );
     }
     ExitCode::SUCCESS
 }

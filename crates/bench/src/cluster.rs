@@ -1,0 +1,313 @@
+//! The cluster serving-layer load sweep: offered load x dispatch policy on
+//! an N-node NPU cluster under open-loop Poisson arrivals.
+//!
+//! Offered load is calibrated against the workload mix: a load of `rho`
+//! means the arrival rate is `rho * nodes / E[S]`, where `E[S]` is the mean
+//! isolated service time over the model/batch pools — so `rho -> 1`
+//! approaches the cluster's saturation point regardless of the mix. Every
+//! load level generates *one* seeded request stream that all dispatch
+//! policies replay, so policy comparisons are paired, and every cell is a
+//! pure function of the sweep seed (the `throughput cluster` baseline gate
+//! hashes the cells to detect any behavioural divergence).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dnn_models::{ModelKind, SeqSpec};
+use npu_sim::NpuConfig;
+use prema_cluster::{
+    outcome_hash, ClusterConfig, ClusterMetrics, ClusterSimulator, DispatchPolicy,
+};
+use prema_core::plan::ExecutionPlan;
+use prema_core::SchedulerConfig;
+use prema_workload::arrivals::{generate_open_loop, OpenLoopConfig};
+use prema_workload::prepare::prepare_workload;
+
+use crate::suite::{build_predictor, run_seed};
+
+/// Options controlling a cluster load sweep.
+#[derive(Debug, Clone)]
+pub struct ClusterSweepOptions {
+    /// Number of NPU nodes.
+    pub nodes: usize,
+    /// RNG seed: per-load request streams and the random dispatcher derive
+    /// from it.
+    pub seed: u64,
+    /// Length of each generated arrival window, in milliseconds.
+    pub duration_ms: f64,
+    /// Offered load levels (fraction of the cluster's service capacity).
+    pub loads: Vec<f64>,
+    /// Dispatch policies under comparison.
+    pub policies: Vec<DispatchPolicy>,
+    /// The per-node scheduler.
+    pub scheduler: SchedulerConfig,
+    /// The per-node NPU configuration.
+    pub npu: NpuConfig,
+    /// Whether to fan per-node simulations out over all cores (results are
+    /// bit-identical either way).
+    pub parallel: bool,
+}
+
+impl ClusterSweepOptions {
+    /// The committed-baseline sweep: 4 Dynamic-PREMA nodes, 400 ms Poisson
+    /// windows at 50 / 75 / 95 % offered load, all five dispatch policies.
+    pub fn baseline() -> Self {
+        ClusterSweepOptions {
+            nodes: 4,
+            seed: 2020,
+            duration_ms: 400.0,
+            loads: vec![0.50, 0.75, 0.95],
+            policies: DispatchPolicy::ALL.to_vec(),
+            scheduler: SchedulerConfig::paper_default(),
+            npu: NpuConfig::paper_default(),
+            parallel: true,
+        }
+    }
+
+    /// A reduced sweep for unit tests and quick local runs.
+    pub fn quick() -> Self {
+        ClusterSweepOptions {
+            duration_ms: 200.0,
+            loads: vec![0.6, 0.95],
+            policies: vec![
+                DispatchPolicy::Random,
+                DispatchPolicy::ShortestQueue,
+                DispatchPolicy::Predictive,
+            ],
+            ..ClusterSweepOptions::baseline()
+        }
+    }
+
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("at least one node is required".into());
+        }
+        if self.loads.is_empty() {
+            return Err("at least one load level is required".into());
+        }
+        if self.loads.iter().any(|rho| !rho.is_finite() || *rho <= 0.0) {
+            return Err("load levels must be positive and finite".into());
+        }
+        if self.policies.is_empty() {
+            return Err("at least one dispatch policy is required".into());
+        }
+        if !self.duration_ms.is_finite() || self.duration_ms <= 0.0 {
+            return Err("duration must be positive and finite".into());
+        }
+        Ok(())
+    }
+}
+
+/// Mean isolated service time (milliseconds) of the model/batch mix the
+/// open-loop stream draws from, used to calibrate offered load. Uses the
+/// same default sequence lengths as [`prema_core::TaskRequest::new`], so it
+/// matches the generated requests up to sequence-length noise.
+///
+/// Plans are compiled for `npu` (its microarchitecture sets the cycle
+/// counts), but cycles convert to milliseconds at the *Table I* frequency —
+/// the clock [`generate_open_loop`] timestamps the arrival timeline with —
+/// so the load calibration stays correct for non-default NPU frequencies
+/// (rate and service time must live on the same timeline).
+pub fn mean_service_ms(models: &[ModelKind], batch_sizes: &[u64], npu: &NpuConfig) -> f64 {
+    assert!(!models.is_empty() && !batch_sizes.is_empty());
+    let timeline = NpuConfig::paper_default();
+    let mut total = 0.0;
+    for &model in models {
+        for &batch in batch_sizes {
+            let seq = SeqSpec::for_model(model, 20);
+            let plan = ExecutionPlan::compile_cached(model, batch, seq, npu);
+            total += timeline.cycles_to_millis(plan.total_cycles());
+        }
+    }
+    total / (models.len() * batch_sizes.len()) as f64
+}
+
+/// The arrival rate (requests per millisecond) that offers load `rho` to a
+/// cluster of `nodes` servers with mean service time `service_ms`.
+pub fn offered_rate_per_ms(rho: f64, nodes: usize, service_ms: f64) -> f64 {
+    rho * nodes as f64 / service_ms
+}
+
+/// One cell of the sweep: a (load, policy) pair.
+#[derive(Debug, Clone)]
+pub struct ClusterCell {
+    /// Offered load (fraction of cluster capacity).
+    pub load: f64,
+    /// The calibrated arrival rate, requests per millisecond.
+    pub rate_per_ms: f64,
+    /// The dispatch policy.
+    pub policy: DispatchPolicy,
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Total scheduler wakeups across the cluster.
+    pub events: u64,
+    /// The cluster serving metrics.
+    pub metrics: ClusterMetrics,
+    /// The deterministic outcome digest of this cell.
+    pub hash: u64,
+}
+
+/// Runs the (load x policy) cluster sweep. Cells are laid out load-major:
+/// `cells[l * policies.len() + p]` is load level `l` under `policies[p]`,
+/// and every policy at one load level replays the identical request stream.
+///
+/// # Panics
+///
+/// Panics if the options are invalid.
+pub fn run_cluster_sweep(opts: &ClusterSweepOptions) -> Vec<ClusterCell> {
+    if let Err(msg) = opts.validate() {
+        panic!("invalid ClusterSweepOptions: {msg}");
+    }
+    let predictor = build_predictor(&opts.npu, opts.seed);
+    let template = OpenLoopConfig::poisson(1.0, opts.duration_ms);
+    let service_ms = mean_service_ms(&template.models, &template.batch_sizes, &opts.npu);
+
+    let mut cells = Vec::with_capacity(opts.loads.len() * opts.policies.len());
+    for (level, &load) in opts.loads.iter().enumerate() {
+        let rate = offered_rate_per_ms(load, opts.nodes, service_ms);
+        let config = OpenLoopConfig::poisson(rate, opts.duration_ms);
+        let mut rng = StdRng::seed_from_u64(run_seed(opts.seed, level));
+        let spec = generate_open_loop(&config, &mut rng);
+        let prepared = prepare_workload(&spec, &opts.npu, Some(&predictor));
+        for &policy in &opts.policies {
+            let cluster = ClusterSimulator::new(ClusterConfig {
+                nodes: opts.nodes,
+                npu: opts.npu.clone(),
+                scheduler: opts.scheduler.clone(),
+                dispatch: policy,
+                // Per-level seed: the random baseline redraws per level but
+                // stays a pure function of the sweep seed.
+                dispatch_seed: run_seed(opts.seed, 0x1000 + level),
+                parallel: opts.parallel,
+            });
+            let outcome = cluster.run(&prepared.tasks);
+            cells.push(ClusterCell {
+                load,
+                rate_per_ms: rate,
+                policy,
+                requests: spec.len(),
+                events: outcome.scheduler_invocations(),
+                hash: outcome_hash(&outcome),
+                metrics: ClusterMetrics::from_outcome(&outcome, &opts.npu),
+            });
+        }
+    }
+    cells
+}
+
+/// Folds every cell digest into one sweep-identity digest — the value the
+/// `throughput cluster` baseline gate compares across runs (see
+/// [`prema_cluster::outcome_hash`] for the portability caveat).
+pub fn sweep_hash(cells: &[ClusterCell]) -> u64 {
+    prema_cluster::fold_hashes(cells.iter().map(|cell| cell.hash))
+}
+
+/// The cell for (load, policy), if it was swept.
+pub fn cell_of(cells: &[ClusterCell], load: f64, policy: DispatchPolicy) -> Option<&ClusterCell> {
+    cells
+        .iter()
+        .find(|c| (c.load - load).abs() < 1e-12 && c.policy == policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::ALL_EVAL_MODELS;
+
+    #[test]
+    fn mean_service_time_is_milliseconds() {
+        let npu = NpuConfig::paper_default();
+        let ms = mean_service_ms(&ALL_EVAL_MODELS, &[1], &npu);
+        assert!(ms > 0.5 && ms < 50.0, "{ms}");
+        // Offered-load calibration scales linearly.
+        let rate = offered_rate_per_ms(0.5, 4, ms);
+        assert!((rate * ms / 4.0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_shapes_match() {
+        let opts = ClusterSweepOptions::quick();
+        let a = run_cluster_sweep(&opts);
+        let b = run_cluster_sweep(&opts);
+        assert_eq!(a.len(), opts.loads.len() * opts.policies.len());
+        assert_eq!(sweep_hash(&a), sweep_hash(&b));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.hash, y.hash);
+            assert_eq!(x.metrics, y.metrics);
+        }
+        // All policies at one load level see the same stream.
+        let per_level = opts.policies.len();
+        for level in 0..opts.loads.len() {
+            let row = &a[level * per_level..(level + 1) * per_level];
+            assert!(row.iter().all(|c| c.requests == row[0].requests));
+        }
+    }
+
+    #[test]
+    fn predictive_beats_random_on_queueing_delay_at_high_load() {
+        let opts = ClusterSweepOptions::quick();
+        let cells = run_cluster_sweep(&opts);
+        let top = *opts
+            .loads
+            .iter()
+            .max_by(|a, b| a.partial_cmp(b).unwrap())
+            .unwrap();
+        let random = cell_of(&cells, top, DispatchPolicy::Random).unwrap();
+        let predictive = cell_of(&cells, top, DispatchPolicy::Predictive).unwrap();
+        assert!(
+            predictive.metrics.mean_queueing_delay_ms < random.metrics.mean_queueing_delay_ms,
+            "predictive {:.3} ms should beat random {:.3} ms at load {top}",
+            predictive.metrics.mean_queueing_delay_ms,
+            random.metrics.mean_queueing_delay_ms
+        );
+    }
+
+    #[test]
+    fn higher_load_raises_queueing_delay() {
+        let opts = ClusterSweepOptions::quick();
+        let cells = run_cluster_sweep(&opts);
+        let low = cell_of(&cells, 0.6, DispatchPolicy::Predictive).unwrap();
+        let high = cell_of(&cells, 0.95, DispatchPolicy::Predictive).unwrap();
+        assert!(high.requests > low.requests);
+        assert!(
+            high.metrics.mean_queueing_delay_ms >= low.metrics.mean_queueing_delay_ms,
+            "queueing delay should not shrink as load grows ({:.3} vs {:.3})",
+            low.metrics.mean_queueing_delay_ms,
+            high.metrics.mean_queueing_delay_ms
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_options() {
+        for bad in [
+            ClusterSweepOptions {
+                nodes: 0,
+                ..ClusterSweepOptions::quick()
+            },
+            ClusterSweepOptions {
+                loads: vec![],
+                ..ClusterSweepOptions::quick()
+            },
+            ClusterSweepOptions {
+                loads: vec![0.0],
+                ..ClusterSweepOptions::quick()
+            },
+            ClusterSweepOptions {
+                policies: vec![],
+                ..ClusterSweepOptions::quick()
+            },
+            ClusterSweepOptions {
+                duration_ms: -5.0,
+                ..ClusterSweepOptions::quick()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+        assert!(ClusterSweepOptions::baseline().validate().is_ok());
+    }
+}

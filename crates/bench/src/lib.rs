@@ -20,7 +20,9 @@
 //! | [`prediction`] | Sections VI-A / VI-D — prediction accuracy vs oracle |
 //! | [`overhead`] | Section VI-F — context-table SRAM overhead |
 //! | [`sensitivity`] | Section VI-E — quantum / token / batch sensitivity |
+//! | [`cluster`] | Beyond the paper: multi-NPU cluster serving load sweep |
 
+pub mod cluster;
 pub mod fig01;
 pub mod fig05_06;
 pub mod fig07;
@@ -34,4 +36,5 @@ pub mod sensitivity;
 pub mod suite;
 pub mod tables;
 
+pub use cluster::{run_cluster_sweep, ClusterCell, ClusterSweepOptions};
 pub use suite::{ConfigResult, SuiteOptions};

@@ -11,6 +11,12 @@
 //! Both paths aggregate the cells in the same deterministic order, so their
 //! results are bit-identical — the determinism regression test under
 //! `tests/` asserts exactly that.
+//!
+//! The multi-NPU cluster serving sweep builds on the same harness plumbing
+//! (per-level [`run_seed`] derivation, [`build_predictor`]); see
+//! [`crate::cluster`], re-exported here as [`run_cluster_sweep`].
+
+pub use crate::cluster::{run_cluster_sweep, ClusterSweepOptions};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,0 +1,280 @@
+//! Cluster-wide serving metrics and the deterministic outcome hash.
+//!
+//! The single-NPU evaluation reports the Eyerman multi-program metrics per
+//! run; a serving cluster additionally needs the queueing view: how long
+//! requests waited before first receiving *any* NPU, how long they then
+//! resided in service, how the tail of the turnaround distribution behaves
+//! as offered load approaches saturation, and how evenly the nodes were
+//! utilized. [`ClusterMetrics`] computes all of that in one pass over a
+//! [`ClusterOutcome`]'s merged records.
+
+use serde::{Deserialize, Serialize};
+
+use npu_sim::{Cycles, NpuConfig};
+use prema_metrics::{MultiTaskMetrics, Percentiles, SlaCurve};
+use prema_workload::prepare::outcomes_of;
+
+use crate::cluster::ClusterOutcome;
+
+/// Aggregate serving metrics of one cluster simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterMetrics {
+    /// Number of served tasks across the cluster.
+    pub task_count: usize,
+    /// Cluster-wide average normalized turnaround time (Equation 1 over the
+    /// merged records).
+    pub antt: f64,
+    /// Cluster-wide system throughput (sum of per-task progress).
+    pub stp: f64,
+    /// Mean queueing delay: arrival until the task first received an NPU,
+    /// in milliseconds.
+    pub mean_queueing_delay_ms: f64,
+    /// Mean service residency: first start until completion (includes any
+    /// preemption-induced inflation on the node), in milliseconds.
+    pub mean_service_ms: f64,
+    /// Median turnaround latency, in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile turnaround latency, in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile turnaround latency, in milliseconds.
+    pub p99_ms: f64,
+    /// SLA violation curve over `N x isolated` targets, `N` swept 2..=20
+    /// (the Figure 13 definition applied cluster-wide).
+    pub sla: SlaCurve,
+    /// Per-node utilization: useful busy cycles (isolated work plus
+    /// checkpoint/restore DMA) over the cluster makespan.
+    pub node_utilization: Vec<f64>,
+    /// Completion time of the last task on any node, in milliseconds.
+    pub makespan_ms: f64,
+}
+
+impl ClusterMetrics {
+    /// Computes the metrics of one cluster outcome. An empty outcome yields
+    /// all-zero metrics (and an empty SLA curve).
+    pub fn from_outcome(outcome: &ClusterOutcome, npu: &NpuConfig) -> Self {
+        let records = outcome.merged_records();
+        let makespan = outcome.makespan();
+        let node_utilization = outcome
+            .node_outcomes
+            .iter()
+            .map(|node| {
+                let busy: Cycles = node
+                    .records
+                    .iter()
+                    .map(|r| r.isolated_cycles + r.checkpoint_overhead + r.restore_overhead)
+                    .sum();
+                if makespan.is_zero() {
+                    0.0
+                } else {
+                    busy.ratio(makespan)
+                }
+            })
+            .collect();
+        if records.is_empty() {
+            return ClusterMetrics {
+                task_count: 0,
+                antt: 0.0,
+                stp: 0.0,
+                mean_queueing_delay_ms: 0.0,
+                mean_service_ms: 0.0,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                sla: SlaCurve::default(),
+                node_utilization,
+                makespan_ms: 0.0,
+            };
+        }
+
+        let outcomes = outcomes_of(&records);
+        let eyerman = MultiTaskMetrics::from_outcomes(&outcomes);
+        let n = records.len() as f64;
+        let queueing_ms: f64 = records
+            .iter()
+            .map(|r| npu.cycles_to_millis(r.waiting()))
+            .sum();
+        let service_ms: f64 = records
+            .iter()
+            .map(|r| npu.cycles_to_millis(r.completion - r.first_start))
+            .sum();
+        let turnaround_ms: Vec<f64> = records
+            .iter()
+            .map(|r| npu.cycles_to_millis(r.turnaround()))
+            .collect();
+        let percentiles = Percentiles::summarize(&turnaround_ms).expect("records are non-empty");
+
+        ClusterMetrics {
+            task_count: records.len(),
+            antt: eyerman.antt,
+            stp: eyerman.stp,
+            mean_queueing_delay_ms: queueing_ms / n,
+            mean_service_ms: service_ms / n,
+            p50_ms: percentiles.p50,
+            p95_ms: percentiles.p95,
+            p99_ms: percentiles.p99,
+            sla: SlaCurve::sweep(&outcomes, (2..=20).map(|n| n as f64)),
+            node_utilization,
+            makespan_ms: npu.cycles_to_millis(makespan),
+        }
+    }
+
+    /// Mean utilization across the nodes.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.node_utilization.is_empty() {
+            return 0.0;
+        }
+        self.node_utilization.iter().sum::<f64>() / self.node_utilization.len() as f64
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn mix_u64(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn mix_bytes(hash: &mut u64, bytes: &[u8]) {
+    for &byte in bytes {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Folds a sequence of digests (e.g. per-cell [`outcome_hash`] values) into
+/// one combined FNV-1a digest, with the same primitive the per-outcome
+/// digest uses.
+pub fn fold_hashes(hashes: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for value in hashes {
+        mix_u64(&mut hash, value);
+    }
+    hash
+}
+
+/// A deterministic FNV-1a digest of a cluster outcome: every assignment and
+/// every per-task record field that is exact (integer cycles and counts —
+/// no floats), so the digest is independent of thread count, fan-out order
+/// and optimization level. The cluster baseline gate compares this digest
+/// to detect any behavioural divergence, not just throughput regressions.
+///
+/// One caveat on portability: the *inputs* (open-loop arrival cycles)
+/// derive from `f64::ln` in the arrival samplers, whose last-ulp rounding
+/// is up to the platform libm. On one platform the digest is exact; if a
+/// fresh checkout on a different OS/libc disagrees with a committed
+/// baseline without any code change, regenerate the baseline on the CI
+/// platform rather than loosening the gate.
+pub fn outcome_hash(outcome: &ClusterOutcome) -> u64 {
+    let mut hash = FNV_OFFSET;
+    mix_u64(&mut hash, outcome.node_outcomes.len() as u64);
+    for assignment in &outcome.assignments {
+        mix_u64(&mut hash, assignment.task.0);
+        mix_u64(&mut hash, assignment.node as u64);
+    }
+    for node in &outcome.node_outcomes {
+        mix_u64(&mut hash, node.scheduler_invocations);
+        mix_u64(&mut hash, node.checkpoint_preemptions);
+        mix_u64(&mut hash, node.kill_preemptions);
+        mix_u64(&mut hash, node.drain_decisions);
+        mix_u64(&mut hash, node.makespan.get());
+        for record in &node.records {
+            mix_u64(&mut hash, record.id.0);
+            mix_bytes(&mut hash, record.model.paper_name().as_bytes());
+            mix_u64(&mut hash, record.batch);
+            mix_u64(&mut hash, record.priority.weight() as u64);
+            mix_u64(&mut hash, record.arrival.get());
+            mix_u64(&mut hash, record.first_start.get());
+            mix_u64(&mut hash, record.completion.get());
+            mix_u64(&mut hash, record.isolated_cycles.get());
+            mix_u64(&mut hash, record.estimated_cycles.get());
+            mix_u64(&mut hash, record.preemption_count);
+            mix_u64(&mut hash, record.kill_restarts);
+            mix_u64(&mut hash, record.checkpoint_overhead.get());
+            mix_u64(&mut hash, record.restore_overhead.get());
+            mix_u64(&mut hash, record.max_checkpoint_bytes);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, ClusterSimulator};
+    use crate::dispatch::DispatchPolicy;
+    use prema_core::SchedulerConfig;
+    use prema_workload::arrivals::{generate_open_loop, OpenLoopConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn outcome(dispatch: DispatchPolicy, seed: u64) -> ClusterOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = generate_open_loop(&OpenLoopConfig::poisson(0.8, 40.0), &mut rng);
+        ClusterSimulator::new(ClusterConfig::new(
+            4,
+            SchedulerConfig::paper_default(),
+            dispatch,
+        ))
+        .run_requests(&spec.requests, None)
+    }
+
+    #[test]
+    fn metrics_are_plausible_for_a_moderate_load() {
+        let outcome = outcome(DispatchPolicy::Predictive, 0x11);
+        let npu = NpuConfig::paper_default();
+        let metrics = ClusterMetrics::from_outcome(&outcome, &npu);
+        assert_eq!(metrics.task_count, outcome.task_count());
+        assert!(metrics.antt >= 1.0 - 1e-9);
+        assert!(metrics.stp > 0.0 && metrics.stp <= metrics.task_count as f64 + 1e-9);
+        assert!(metrics.mean_queueing_delay_ms >= 0.0);
+        assert!(metrics.mean_service_ms > 0.0);
+        assert!(metrics.p50_ms <= metrics.p95_ms && metrics.p95_ms <= metrics.p99_ms);
+        assert_eq!(metrics.node_utilization.len(), 4);
+        assert!(metrics
+            .node_utilization
+            .iter()
+            .all(|u| (0.0..=1.0 + 1e-9).contains(u)));
+        assert!(metrics.mean_utilization() > 0.0);
+        assert!(metrics.makespan_ms > 0.0);
+        assert!(!metrics.sla.points().is_empty());
+        // Turnaround decomposes into queueing + service residency.
+        let turnaround = metrics.mean_queueing_delay_ms + metrics.mean_service_ms;
+        let direct: f64 = outcome
+            .merged_records()
+            .iter()
+            .map(|r| npu.cycles_to_millis(r.turnaround()))
+            .sum::<f64>()
+            / metrics.task_count as f64;
+        assert!((turnaround - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_outcome_yields_zero_metrics() {
+        let sim = ClusterSimulator::new(ClusterConfig::new(
+            2,
+            SchedulerConfig::paper_default(),
+            DispatchPolicy::Random,
+        ));
+        let outcome = sim.run(&[]);
+        let metrics = ClusterMetrics::from_outcome(&outcome, &NpuConfig::paper_default());
+        assert_eq!(metrics.task_count, 0);
+        assert_eq!(metrics.antt, 0.0);
+        assert_eq!(metrics.node_utilization, vec![0.0, 0.0]);
+        assert!(metrics.sla.points().is_empty());
+        assert_eq!(metrics.mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn hash_is_stable_per_outcome_and_sensitive_to_changes() {
+        let a = outcome(DispatchPolicy::Predictive, 0x22);
+        let b = outcome(DispatchPolicy::Predictive, 0x22);
+        assert_eq!(outcome_hash(&a), outcome_hash(&b));
+        let different_seed = outcome(DispatchPolicy::Predictive, 0x23);
+        assert_ne!(outcome_hash(&a), outcome_hash(&different_seed));
+        let different_policy = outcome(DispatchPolicy::RoundRobin, 0x22);
+        assert_ne!(outcome_hash(&a), outcome_hash(&different_policy));
+    }
+}

@@ -110,6 +110,49 @@ impl WorkloadSpec {
     }
 }
 
+/// Samples a dispatch time uniformly inside `[0, window_cycles)`.
+///
+/// A zero-cycle window degenerates to "everything arrives at time zero",
+/// but the draw still goes through the RNG so downstream samples stay
+/// aligned across window sizes. (The former inline special case skipped
+/// the draw when the window was zero, shifting every later sample of the
+/// same request relative to a non-zero window.)
+pub(crate) fn sample_window_arrival<R: Rng + ?Sized>(window_cycles: u64, rng: &mut R) -> Cycles {
+    Cycles::new(rng.gen_range(0..window_cycles.max(1)))
+}
+
+/// Samples the per-request fields shared by the finite-window generator and
+/// the open-loop arrival processes ([`crate::arrivals`]): model and batch
+/// from their pools, then priority, then arrival, then (for RNNs) the actual
+/// sequence lengths. Priority and arrival come from the caller via closures
+/// so each path keeps its own distribution while the RNG draw order stays
+/// identical — the finite-window stream is bit-compatible with the
+/// pre-refactor generator.
+pub(crate) fn sample_request<R: Rng + ?Sized>(
+    id: TaskId,
+    models: &[ModelKind],
+    batch_sizes: &[u64],
+    rng: &mut R,
+    pick_priority: impl FnOnce(&mut R) -> Priority,
+    pick_arrival: impl FnOnce(&mut R) -> Cycles,
+) -> TaskRequest {
+    let model = *models.choose(rng).expect("model pool is non-empty");
+    let batch = *batch_sizes.choose(rng).expect("batch pool is non-empty");
+    let priority = pick_priority(rng);
+    let arrival = pick_arrival(rng);
+    let seq = if model.is_rnn() {
+        let input_len = sample_input_len(model, rng);
+        SeqSpec::new(input_len, sample_output_len(model, input_len, rng))
+    } else {
+        SeqSpec::none()
+    };
+    TaskRequest::new(id, model)
+        .with_batch(batch)
+        .with_priority(priority)
+        .with_arrival(arrival)
+        .with_seq(seq)
+}
+
 /// Generates one multi-tasked workload.
 ///
 /// The dispatch window is interpreted against the Table I NPU frequency
@@ -127,33 +170,19 @@ pub fn generate_workload<R: Rng + ?Sized>(config: &WorkloadConfig, rng: &mut R) 
     let window_cycles = npu.millis_to_cycles(config.dispatch_window_ms).get();
     let mut requests = Vec::with_capacity(config.task_count);
     for id in 0..config.task_count {
-        let model = *config.models.choose(rng).expect("model pool is non-empty");
-        let batch = *config
-            .batch_sizes
-            .choose(rng)
-            .expect("batch pool is non-empty");
-        let priority = *config
-            .priorities
-            .choose(rng)
-            .expect("priority pool is non-empty");
-        let arrival = if window_cycles == 0 {
-            Cycles::ZERO
-        } else {
-            Cycles::new(rng.gen_range(0..window_cycles))
-        };
-        let seq = if model.is_rnn() {
-            let input_len = sample_input_len(model, rng);
-            SeqSpec::new(input_len, sample_output_len(model, input_len, rng))
-        } else {
-            SeqSpec::none()
-        };
-        requests.push(
-            TaskRequest::new(TaskId(id as u64), model)
-                .with_batch(batch)
-                .with_priority(priority)
-                .with_arrival(arrival)
-                .with_seq(seq),
-        );
+        requests.push(sample_request(
+            TaskId(id as u64),
+            &config.models,
+            &config.batch_sizes,
+            rng,
+            |rng| {
+                *config
+                    .priorities
+                    .choose(rng)
+                    .expect("priority pool is non-empty")
+            },
+            |rng| sample_window_arrival(window_cycles, rng),
+        ));
     }
     requests.sort_by_key(|r| r.id);
     WorkloadSpec { requests }
@@ -233,6 +262,31 @@ mod tests {
             &mut StdRng::seed_from_u64(8),
         );
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_window_arrivals_are_zero_without_desyncing_the_stream() {
+        // A zero-length dispatch window degenerates to "everything arrives at
+        // time zero" but still consumes one RNG draw per request through the
+        // shared arrival helper, so the rest of each request (sequence
+        // lengths in particular) matches what any non-zero window samples.
+        let zero = WorkloadConfig {
+            dispatch_window_ms: 0.0,
+            ..WorkloadConfig::paper_default()
+        };
+        let spec = generate_workload(&zero, &mut StdRng::seed_from_u64(11));
+        assert!(spec.requests.iter().all(|r| r.arrival == Cycles::ZERO));
+
+        let windowed = generate_workload(
+            &WorkloadConfig::paper_default(),
+            &mut StdRng::seed_from_u64(11),
+        );
+        for (z, w) in spec.requests.iter().zip(&windowed.requests) {
+            assert_eq!(z.model, w.model);
+            assert_eq!(z.batch, w.batch);
+            assert_eq!(z.priority, w.priority);
+            assert_eq!(z.seq, w.seq);
+        }
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! * [`generator`] — the Section III methodology: randomly select N inference
 //!   tasks among the eight evaluation DNNs, dispatch them at uniformly random
 //!   times, and assign each a random low/medium/high priority.
+//! * [`arrivals`] — open-loop arrival processes (Poisson, bursty on/off,
+//!   diurnal-trace) that stream requests over a configurable duration with a
+//!   per-priority rate mix, feeding the multi-NPU cluster serving layer.
 //! * [`seqlen`] — synthetic input→output sequence-length characterization for
 //!   the seq2seq applications (the Figure 9 substitution), producing both the
 //!   profiled sample sets that feed [`prema_predictor::SeqLenTable`] and the
@@ -31,12 +34,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arrivals;
 pub mod colocation;
 pub mod generator;
 pub mod microbench;
 pub mod prepare;
 pub mod seqlen;
 
+pub use arrivals::{generate_open_loop, ArrivalProcess, OpenLoopConfig};
 pub use generator::{generate_workload, WorkloadConfig, WorkloadSpec};
 pub use prepare::{prepare_workload, PreparedWorkload};
 pub use seqlen::SeqLenCharacterization;

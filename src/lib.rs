@@ -8,8 +8,11 @@
 //! * [`predictor`] — inference-time prediction ([`prema_predictor`]).
 //! * [`scheduler`] — preemption mechanisms, policies and the multi-task
 //!   engine ([`prema_core`]).
-//! * [`workload`] — Section III workload generation ([`prema_workload`]).
+//! * [`workload`] — Section III workload generation and open-loop arrival
+//!   processes ([`prema_workload`]).
 //! * [`metrics`] — ANTT / STP / fairness / SLA metrics ([`prema_metrics`]).
+//! * [`cluster`] — the multi-NPU cluster serving layer: front-end dispatch
+//!   across N simulator nodes ([`prema_cluster`]).
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -69,8 +72,16 @@ pub mod metrics {
     pub use prema_metrics::*;
 }
 
+/// The multi-NPU cluster serving layer (re-export of [`prema_cluster`]).
+pub mod cluster {
+    pub use prema_cluster::*;
+}
+
 pub use dnn_models::{ModelKind, SeqSpec};
 pub use npu_sim::{Cycles, NpuConfig};
+pub use prema_cluster::{
+    ClusterConfig, ClusterMetrics, ClusterOutcome, ClusterSimulator, DispatchPolicy,
+};
 pub use prema_core::{
     NpuSimulator, OutcomeSummary, PolicyKind, PreemptionMechanism, PreemptionMode, PreparedTask,
     Priority, SchedulerConfig, SimOutcome, TaskId, TaskRecord, TaskRequest,

@@ -11,11 +11,14 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use prema::cluster::{outcome_hash, ClusterConfig, ClusterSimulator, DispatchPolicy};
 use prema::{
     NpuConfig, NpuSimulator, PolicyKind, PreemptionMechanism, PreemptionMode, SchedulerConfig,
     SimOutcome,
 };
+use prema_bench::cluster::{run_cluster_sweep, sweep_hash, ClusterSweepOptions};
 use prema_bench::suite::{run_grid, run_grid_reference, SuiteOptions};
+use prema_workload::arrivals::{generate_open_loop, ArrivalProcess, OpenLoopConfig};
 use prema_workload::generator::{generate_workload, WorkloadConfig};
 use prema_workload::prepare::{prepare_workload, prepare_workload_uncached};
 
@@ -138,6 +141,82 @@ fn parallel_cached_suite_matches_serial_uncached_reference() {
             cfg.label()
         );
     }
+}
+
+/// The cluster serving layer is deterministic per seed for every dispatch
+/// policy and arrival process: the same seed produces a bit-identical
+/// [`prema::cluster::ClusterOutcome`] whether the per-node simulations run
+/// serially or fanned out over rayon, and across repeated invocations.
+#[test]
+fn cluster_runs_are_bit_identical_across_fanout_and_invocations() {
+    let npu = NpuConfig::paper_default();
+    for process in [
+        ArrivalProcess::Poisson { rate_per_ms: 0.3 },
+        ArrivalProcess::Bursty {
+            on_rate_per_ms: 1.2,
+            mean_on_ms: 10.0,
+            mean_off_ms: 30.0,
+        },
+        ArrivalProcess::Diurnal {
+            trough_rate_per_ms: 0.05,
+            peak_rate_per_ms: 0.6,
+            period_ms: 60.0,
+        },
+    ] {
+        let config = OpenLoopConfig::poisson(1.0, 60.0).with_process(process);
+        let mut rng = StdRng::seed_from_u64(0xC1D5);
+        let spec = generate_open_loop(&config, &mut rng);
+        let prepared = prepare_workload(&spec, &npu, None);
+        for dispatch in DispatchPolicy::ALL {
+            let make = |parallel: bool| {
+                let mut cluster_cfg =
+                    ClusterConfig::new(4, SchedulerConfig::paper_default(), dispatch)
+                        .with_dispatch_seed(0xC1D5);
+                cluster_cfg.parallel = parallel;
+                ClusterSimulator::new(cluster_cfg).run(&prepared.tasks)
+            };
+            let parallel = make(true);
+            let serial = make(false);
+            let repeat = make(true);
+            assert_eq!(
+                parallel, serial,
+                "cluster outcome diverged between parallel and serial node fan-out \
+                 under {dispatch} / {process:?}"
+            );
+            assert_eq!(
+                parallel, repeat,
+                "cluster outcome not reproducible across invocations under {dispatch}"
+            );
+            assert_eq!(outcome_hash(&parallel), outcome_hash(&serial));
+        }
+    }
+}
+
+/// The full (load x policy) cluster sweep — the `throughput cluster`
+/// baseline surface — is reproducible: identical cells and an identical
+/// sweep digest across invocations, and a different digest for a different
+/// seed.
+#[test]
+fn cluster_sweep_digest_is_reproducible_per_seed() {
+    let opts = ClusterSweepOptions {
+        duration_ms: 60.0,
+        loads: vec![0.5, 0.9],
+        policies: vec![DispatchPolicy::Random, DispatchPolicy::Predictive],
+        ..ClusterSweepOptions::baseline()
+    };
+    let first = run_cluster_sweep(&opts);
+    let second = run_cluster_sweep(&opts);
+    assert_eq!(sweep_hash(&first), sweep_hash(&second));
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.hash, b.hash);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.events, b.events);
+    }
+    let reseeded = run_cluster_sweep(&ClusterSweepOptions {
+        seed: opts.seed + 1,
+        ..opts
+    });
+    assert_ne!(sweep_hash(&first), sweep_hash(&reseeded));
 }
 
 /// Re-running the parallel suite gives the same bits (no ordering or

@@ -10,6 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use prema::cluster::{ClusterConfig, ClusterSimulator, DispatchPolicy};
 use prema::metrics::{MultiTaskMetrics, TaskOutcome};
 use prema::models::layer::{GemmDims, Layer, LayerKind};
 use prema::models::{SeqSpec, ALL_EVAL_MODELS};
@@ -328,6 +329,77 @@ fn engine_invariants_hold_for_random_workloads() {
             assert!(record.completion <= outcome.makespan);
             assert!(record.completion > record.arrival);
             assert!(record.turnaround() >= record.isolated_cycles);
+        }
+    }
+}
+
+/// Cluster conservation: for random open-loop workloads (random arrival
+/// process, rate, node count, per-node scheduler and dispatch policy),
+/// every generated request is served exactly once — no drops, no
+/// duplicates across nodes — each record lives on exactly the node its
+/// assignment names, and per-task invariants carry over to the cluster.
+#[test]
+fn cluster_serves_every_request_exactly_once() {
+    use prema::workload::arrivals::{generate_open_loop, ArrivalProcess, OpenLoopConfig};
+
+    let mut rng = StdRng::seed_from_u64(0xC1C5);
+    for case in 0..6 {
+        let process = match rng.gen_range(0u32..3) {
+            0 => ArrivalProcess::Poisson {
+                rate_per_ms: rng.gen_range(0.1f64..0.6),
+            },
+            1 => ArrivalProcess::Bursty {
+                on_rate_per_ms: rng.gen_range(0.5f64..2.0),
+                mean_on_ms: rng.gen_range(2.0f64..10.0),
+                mean_off_ms: rng.gen_range(5.0f64..20.0),
+            },
+            _ => ArrivalProcess::Diurnal {
+                trough_rate_per_ms: rng.gen_range(0.01f64..0.1),
+                peak_rate_per_ms: rng.gen_range(0.3f64..0.8),
+                period_ms: rng.gen_range(20.0f64..80.0),
+            },
+        };
+        let config =
+            OpenLoopConfig::poisson(1.0, rng.gen_range(20.0f64..60.0)).with_process(process);
+        let spec = generate_open_loop(&config, &mut rng);
+        if spec.is_empty() {
+            continue;
+        }
+        let nodes = rng.gen_range(1usize..6);
+        let dispatch = DispatchPolicy::ALL[rng.gen_range(0usize..DispatchPolicy::ALL.len())];
+        let scheduler = if rng.gen::<bool>() {
+            SchedulerConfig::paper_default()
+        } else {
+            SchedulerConfig::np_fcfs()
+        };
+        let cluster = ClusterSimulator::new(
+            ClusterConfig::new(nodes, scheduler, dispatch).with_dispatch_seed(case),
+        );
+        let outcome = cluster.run_requests(&spec.requests, None);
+        let context = format!("case {case} nodes {nodes} dispatch {dispatch}");
+
+        // Exactly-once service: merged ids == generated ids.
+        assert_eq!(outcome.task_count(), spec.len(), "{context}");
+        let served: Vec<u64> = outcome.merged_records().iter().map(|r| r.id.0).collect();
+        let mut expected: Vec<u64> = spec.requests.iter().map(|r| r.id.0).collect();
+        expected.sort_unstable();
+        assert_eq!(served, expected, "{context}");
+
+        // Assignments are a bijection onto the served records, each on the
+        // node it names.
+        assert_eq!(outcome.assignments.len(), spec.len(), "{context}");
+        for assignment in &outcome.assignments {
+            assert!(assignment.node < nodes, "{context}");
+            let node = &outcome.node_outcomes[assignment.node];
+            assert!(node.record(assignment.task).is_some(), "{context}");
+        }
+
+        // Per-task invariants hold cluster-wide.
+        let makespan = outcome.makespan();
+        for record in outcome.merged_records() {
+            assert!(record.completion <= makespan, "{context}");
+            assert!(record.first_start >= record.arrival, "{context}");
+            assert!(record.turnaround() >= record.isolated_cycles, "{context}");
         }
     }
 }
