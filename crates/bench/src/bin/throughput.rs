@@ -15,8 +15,9 @@
 //! configurations of Figure 12 (15 configurations with the NP-FCFS baseline).
 //!
 //! The `cluster` subcommand instead runs the multi-NPU serving load sweep
-//! (offered load x dispatch policy on a 4-node cluster, see
-//! `prema_bench::cluster`) and emits `BENCH_cluster.json`.
+//! (offered load x dispatch policy on a 4-node cluster — the five open-loop
+//! front-end policies plus the five closed-loop online variants, see
+//! `prema_bench::cluster`) and emits a combined `BENCH_cluster.json`.
 //!
 //! With `--check-baseline`, the committed report at PATH is read and the run
 //! fails (non-zero exit) if the freshly measured `events_per_sec` regressed
@@ -31,7 +32,6 @@ use std::time::Instant;
 use prema_bench::cluster::{cell_of, run_cluster_sweep, sweep_hash, ClusterSweepOptions};
 use prema_bench::fig11_15::{fig11_configs, fig12_configs};
 use prema_bench::suite::{run_grid, run_grid_reference, SuiteOptions};
-use prema_cluster::DispatchPolicy;
 use prema_core::plan::plan_cache;
 use prema_core::{OutcomeSummary, SchedulerConfig, SimOutcome};
 
@@ -207,6 +207,32 @@ fn parse_cluster_args(args: impl Iterator<Item = String>) -> Result<ClusterOptio
     Ok(options)
 }
 
+/// Per-load-level measurement aggregates, printed whenever a baseline check
+/// fails so CI logs localize *where* the sweep diverged or slowed down.
+fn per_level_events_per_sec(cells: &[prema_bench::cluster::ClusterCell]) -> Vec<(f64, u64, f64)> {
+    let mut levels: Vec<(f64, u64, f64)> = Vec::new();
+    for cell in cells {
+        match levels.iter_mut().find(|(load, _, _)| *load == cell.load) {
+            Some((_, events, wall)) => {
+                *events += cell.events;
+                *wall += cell.wall_s;
+            }
+            None => levels.push((cell.load, cell.events, cell.wall_s)),
+        }
+    }
+    levels
+}
+
+fn print_per_level_breakdown(cells: &[prema_bench::cluster::ClusterCell]) {
+    eprintln!("[throughput] per-level breakdown (load: events, events/sec):");
+    for (load, events, wall) in per_level_events_per_sec(cells) {
+        eprintln!(
+            "[throughput]   load {load:.2}: {events} events, {:.0} events/sec",
+            events as f64 / wall.max(f64::EPSILON)
+        );
+    }
+}
+
 fn cluster_main(options: ClusterOptions) -> ExitCode {
     let opts = ClusterSweepOptions {
         nodes: options.nodes,
@@ -215,10 +241,11 @@ fn cluster_main(options: ClusterOptions) -> ExitCode {
         ..ClusterSweepOptions::baseline()
     };
     eprintln!(
-        "[throughput] cluster sweep: {} nodes x {} loads x {} policies, {} ms windows",
+        "[throughput] cluster sweep: {} nodes x {} loads x ({} open + {} closed) policies, {} ms windows",
         opts.nodes,
         opts.loads.len(),
         opts.policies.len(),
+        opts.closed.len(),
         opts.duration_ms
     );
 
@@ -227,27 +254,41 @@ fn cluster_main(options: ClusterOptions) -> ExitCode {
     let wall_s = start.elapsed().as_secs_f64();
     let events: u64 = cells.iter().map(|c| c.events).sum();
     // One request stream per load level, replayed by every policy — count
-    // each stream once by summing over a single policy's cells.
+    // each stream once by summing over the first policy's cells.
+    let first_policy = cells.first().map(|c| c.policy).unwrap_or_default();
     let unique_requests: usize = cells
         .iter()
-        .filter(|cell| cell.policy == opts.policies[0])
+        .filter(|cell| cell.policy == first_policy)
         .map(|cell| cell.requests)
         .sum();
     let events_per_sec = events as f64 / wall_s.max(f64::EPSILON);
     let digest = sweep_hash(&cells);
 
-    // The acceptance comparison the sweep exists for: predictive dispatch vs
-    // the no-information random baseline at the highest offered load.
+    // The acceptance comparisons the sweep exists for, at the highest
+    // offered load: open-loop predictive vs the no-information random
+    // baseline on queueing delay, and closed-loop reactive dispatch vs
+    // open-loop predictive on p99 turnaround.
     let top_load = opts.loads.iter().cloned().fold(f64::MIN, f64::max);
-    let queue_ms = |policy: DispatchPolicy| -> Option<f64> {
+    let queue_ms = |policy: &str| -> Option<f64> {
         cell_of(&cells, top_load, policy).map(|c| c.metrics.mean_queueing_delay_ms)
     };
-    let predictive_queue = queue_ms(DispatchPolicy::Predictive);
-    let random_queue = queue_ms(DispatchPolicy::Random);
+    let p99_ms = |policy: &str| -> Option<f64> {
+        cell_of(&cells, top_load, policy).map(|c| c.metrics.p99_ms)
+    };
+    let predictive_queue = queue_ms("predictive");
+    let random_queue = queue_ms("random");
     if let (Some(predictive), Some(random)) = (predictive_queue, random_queue) {
         eprintln!(
             "[throughput] load {top_load:.2}: mean queueing delay predictive {predictive:.3} ms \
              vs random {random:.3} ms"
+        );
+    }
+    let open_p99 = p99_ms("predictive");
+    let reactive_p99 = p99_ms("work-steal").or_else(|| p99_ms("predictive-live"));
+    if let (Some(open), Some(reactive)) = (open_p99, reactive_p99) {
+        eprintln!(
+            "[throughput] load {top_load:.2}: p99 turnaround closed-loop reactive {reactive:.3} ms \
+             vs open-loop predictive {open:.3} ms"
         );
     }
 
@@ -255,13 +296,18 @@ fn cluster_main(options: ClusterOptions) -> ExitCode {
     for (i, cell) in cells.iter().enumerate() {
         let sla4 = cell.metrics.sla.rate_at(4.0).unwrap_or(0.0);
         cell_rows.push_str(&format!(
-            "    {{ \"load\": {:.2}, \"policy\": \"{}\", \"requests\": {}, \"events\": {}, \
+            "    {{ \"load\": {:.2}, \"mode\": \"{}\", \"policy\": \"{}\", \"requests\": {}, \
+             \"served\": {}, \"shed\": {}, \"steals\": {}, \"events\": {}, \
              \"antt\": {:.4}, \"stp\": {:.4}, \"mean_queue_ms\": {:.4}, \"mean_service_ms\": {:.4}, \
              \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"sla_violation_at_4x\": {:.4}, \
              \"mean_utilization\": {:.4}, \"makespan_ms\": {:.4}, \"hash\": \"{:016x}\" }}{}\n",
             cell.load,
-            cell.policy.label(),
+            cell.mode.label(),
+            cell.policy,
             cell.requests,
+            cell.served,
+            cell.shed,
+            cell.steals,
             cell.events,
             cell.metrics.antt,
             cell.metrics.stp,
@@ -287,10 +333,11 @@ fn cluster_main(options: ClusterOptions) -> ExitCode {
         .policies
         .iter()
         .map(|policy| format!("\"{}\"", policy.label()))
+        .chain(opts.closed.iter().map(|variant| format!("\"{variant}\"")))
         .collect::<Vec<_>>()
         .join(", ");
     let report = format!(
-        "{{\n  \"bench\": \"cluster_serving_sweep\",\n  \"nodes\": {},\n  \"seed\": {},\n  \"duration_ms\": {:.1},\n  \"load_levels\": [{}],\n  \"policies\": [{}],\n  \"unique_requests\": {},\n  \"cluster_events\": {},\n  \"wall_s\": {:.4},\n  \"events_per_sec\": {:.0},\n  \"top_load_queue_ms\": {{ \"load\": {:.2}, \"predictive\": {:.4}, \"random\": {:.4} }},\n  \"sweep_hash\": \"{:016x}\",\n  \"cells\": [\n{}  ]\n}}\n",
+        "{{\n  \"bench\": \"cluster_serving_sweep\",\n  \"nodes\": {},\n  \"seed\": {},\n  \"duration_ms\": {:.1},\n  \"load_levels\": [{}],\n  \"policies\": [{}],\n  \"unique_requests\": {},\n  \"cluster_events\": {},\n  \"wall_s\": {:.4},\n  \"events_per_sec\": {:.0},\n  \"top_load_queue_ms\": {{ \"load\": {:.2}, \"predictive\": {:.4}, \"random\": {:.4} }},\n  \"top_load_p99_ms\": {{ \"load\": {:.2}, \"open_predictive\": {:.4}, \"closed_reactive\": {:.4} }},\n  \"sweep_hash\": \"{:016x}\",\n  \"cells\": [\n{}  ]\n}}\n",
         opts.nodes,
         opts.seed,
         opts.duration_ms,
@@ -303,6 +350,9 @@ fn cluster_main(options: ClusterOptions) -> ExitCode {
         top_load,
         predictive_queue.unwrap_or(0.0),
         random_queue.unwrap_or(0.0),
+        top_load,
+        open_p99.unwrap_or(0.0),
+        reactive_p99.unwrap_or(0.0),
         digest,
         cell_rows,
     );
@@ -328,11 +378,13 @@ fn cluster_main(options: ClusterOptions) -> ExitCode {
         let measured_hash = format!("{digest:016x}");
         if baseline_hash != measured_hash {
             eprintln!(
-                "[throughput] FAIL: cluster outcomes diverged from the baseline \
-                 (sweep_hash {measured_hash} != {baseline_hash}). The sweep is \
-                 deterministic per seed, so this is a behavioural change: \
-                 re-commit the baseline only if it is intentional."
+                "[throughput] FAIL: cluster outcomes diverged from the baseline:\n\
+                 [throughput]   expected sweep_hash {baseline_hash}\n\
+                 [throughput]   actual   sweep_hash {measured_hash}\n\
+                 [throughput] The sweep is deterministic per seed, so this is a \
+                 behavioural change: re-commit the baseline only if it is intentional."
             );
+            print_per_level_breakdown(&cells);
             return ExitCode::FAILURE;
         }
         eprintln!("[throughput] baseline check passed: sweep_hash {measured_hash} matches");
@@ -342,6 +394,7 @@ fn cluster_main(options: ClusterOptions) -> ExitCode {
             return ExitCode::FAILURE;
         };
         if !check_events_per_sec(events_per_sec, baseline_eps, "cluster") {
+            print_per_level_breakdown(&cells);
             return ExitCode::FAILURE;
         }
     }

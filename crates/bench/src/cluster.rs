@@ -1,14 +1,20 @@
 //! The cluster serving-layer load sweep: offered load x dispatch policy on
-//! an N-node NPU cluster under open-loop Poisson arrivals.
+//! an N-node NPU cluster under open-loop Poisson arrivals, covering both
+//! dispatch paths — the *open-loop* front-end (commit on FCFS-approximation
+//! ledgers, then simulate) and the *closed-loop* online dispatcher (react to
+//! observed node state, with work stealing and SLA admission).
 //!
 //! Offered load is calibrated against the workload mix: a load of `rho`
 //! means the arrival rate is `rho * nodes / E[S]`, where `E[S]` is the mean
 //! isolated service time over the model/batch pools — so `rho -> 1`
 //! approaches the cluster's saturation point regardless of the mix. Every
 //! load level generates *one* seeded request stream that all dispatch
-//! policies replay, so policy comparisons are paired, and every cell is a
-//! pure function of the sweep seed (the `throughput cluster` baseline gate
-//! hashes the cells to detect any behavioural divergence).
+//! policies — open and closed — replay, so policy comparisons are paired,
+//! and every cell is a pure function of the sweep seed (the `throughput
+//! cluster` baseline gate hashes the cells to detect any behavioural
+//! divergence).
+
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,7 +22,8 @@ use rand::SeedableRng;
 use dnn_models::{ModelKind, SeqSpec};
 use npu_sim::NpuConfig;
 use prema_cluster::{
-    outcome_hash, ClusterConfig, ClusterMetrics, ClusterSimulator, DispatchPolicy,
+    online_outcome_hash, outcome_hash, ClusterConfig, ClusterMetrics, ClusterSimulator,
+    DispatchPolicy, OnlineClusterConfig, OnlineClusterSimulator, OnlineDispatchPolicy,
 };
 use prema_core::plan::ExecutionPlan;
 use prema_core::SchedulerConfig;
@@ -24,6 +31,84 @@ use prema_workload::arrivals::{generate_open_loop, OpenLoopConfig};
 use prema_workload::prepare::prepare_workload;
 
 use crate::suite::{build_predictor, run_seed};
+
+/// The p99 turnaround target (milliseconds) the sweep's `sla-admit` variant
+/// sheds against: between the committed baseline's p95 and p99 at high
+/// load, so shedding engages exactly in the saturated regime the admission
+/// policy exists for.
+pub const SLA_ADMIT_TARGET_P99_MS: f64 = 300.0;
+
+/// The closed-loop configurations the sweep compares, each a named
+/// combination of an [`OnlineDispatchPolicy`] and the closed-loop-only
+/// mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClosedLoopVariant {
+    /// Join-shortest-queue over live queue depth.
+    ShortestQueue,
+    /// Least true remaining predicted work.
+    LeastWork,
+    /// Priority-aware blocking work (the reactive mirror of the open-loop
+    /// predictive policy).
+    Predictive,
+    /// Predictive dispatch plus work stealing on node idle.
+    WorkStealing,
+    /// Predictive dispatch plus SLA-aware admission at
+    /// [`SLA_ADMIT_TARGET_P99_MS`].
+    SlaAdmission,
+}
+
+impl ClosedLoopVariant {
+    /// Every closed-loop variant, in the order the sweep reports them.
+    pub const ALL: [ClosedLoopVariant; 5] = [
+        ClosedLoopVariant::ShortestQueue,
+        ClosedLoopVariant::LeastWork,
+        ClosedLoopVariant::Predictive,
+        ClosedLoopVariant::WorkStealing,
+        ClosedLoopVariant::SlaAdmission,
+    ];
+
+    /// A short stable label for reports and baselines. The plain dispatch
+    /// variants delegate to [`OnlineDispatchPolicy::label`] so the strings
+    /// cannot drift apart.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClosedLoopVariant::ShortestQueue => OnlineDispatchPolicy::ShortestQueue.label(),
+            ClosedLoopVariant::LeastWork => OnlineDispatchPolicy::LeastWork.label(),
+            ClosedLoopVariant::Predictive => OnlineDispatchPolicy::Predictive.label(),
+            ClosedLoopVariant::WorkStealing => "work-steal",
+            ClosedLoopVariant::SlaAdmission => "sla-admit",
+        }
+    }
+
+    /// Builds the online cluster configuration for this variant.
+    pub fn config(
+        self,
+        nodes: usize,
+        scheduler: SchedulerConfig,
+        npu: NpuConfig,
+    ) -> OnlineClusterConfig {
+        let dispatch = match self {
+            ClosedLoopVariant::ShortestQueue => OnlineDispatchPolicy::ShortestQueue,
+            ClosedLoopVariant::LeastWork => OnlineDispatchPolicy::LeastWork,
+            ClosedLoopVariant::Predictive
+            | ClosedLoopVariant::WorkStealing
+            | ClosedLoopVariant::SlaAdmission => OnlineDispatchPolicy::Predictive,
+        };
+        let mut config = OnlineClusterConfig::new(nodes, scheduler, dispatch);
+        config.npu = npu;
+        match self {
+            ClosedLoopVariant::WorkStealing => config.with_work_stealing(),
+            ClosedLoopVariant::SlaAdmission => config.with_admission(SLA_ADMIT_TARGET_P99_MS),
+            _ => config,
+        }
+    }
+}
+
+impl std::fmt::Display for ClosedLoopVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Options controlling a cluster load sweep.
 #[derive(Debug, Clone)]
@@ -37,20 +122,24 @@ pub struct ClusterSweepOptions {
     pub duration_ms: f64,
     /// Offered load levels (fraction of the cluster's service capacity).
     pub loads: Vec<f64>,
-    /// Dispatch policies under comparison.
+    /// Open-loop dispatch policies under comparison.
     pub policies: Vec<DispatchPolicy>,
+    /// Closed-loop variants under comparison (replaying the same streams).
+    pub closed: Vec<ClosedLoopVariant>,
     /// The per-node scheduler.
     pub scheduler: SchedulerConfig,
     /// The per-node NPU configuration.
     pub npu: NpuConfig,
-    /// Whether to fan per-node simulations out over all cores (results are
-    /// bit-identical either way).
+    /// Whether to fan per-node open-loop simulations out over all cores
+    /// (results are bit-identical either way; the closed-loop event loop is
+    /// inherently serial).
     pub parallel: bool,
 }
 
 impl ClusterSweepOptions {
     /// The committed-baseline sweep: 4 Dynamic-PREMA nodes, 400 ms Poisson
-    /// windows at 50 / 75 / 95 % offered load, all five dispatch policies.
+    /// windows at 50 / 75 / 95 % offered load, all five open-loop dispatch
+    /// policies plus all five closed-loop variants.
     pub fn baseline() -> Self {
         ClusterSweepOptions {
             nodes: 4,
@@ -58,6 +147,7 @@ impl ClusterSweepOptions {
             duration_ms: 400.0,
             loads: vec![0.50, 0.75, 0.95],
             policies: DispatchPolicy::ALL.to_vec(),
+            closed: ClosedLoopVariant::ALL.to_vec(),
             scheduler: SchedulerConfig::paper_default(),
             npu: NpuConfig::paper_default(),
             parallel: true,
@@ -73,6 +163,10 @@ impl ClusterSweepOptions {
                 DispatchPolicy::Random,
                 DispatchPolicy::ShortestQueue,
                 DispatchPolicy::Predictive,
+            ],
+            closed: vec![
+                ClosedLoopVariant::Predictive,
+                ClosedLoopVariant::WorkStealing,
             ],
             ..ClusterSweepOptions::baseline()
         }
@@ -93,13 +187,18 @@ impl ClusterSweepOptions {
         if self.loads.iter().any(|rho| !rho.is_finite() || *rho <= 0.0) {
             return Err("load levels must be positive and finite".into());
         }
-        if self.policies.is_empty() {
+        if self.policies.is_empty() && self.closed.is_empty() {
             return Err("at least one dispatch policy is required".into());
         }
         if !self.duration_ms.is_finite() || self.duration_ms <= 0.0 {
             return Err("duration must be positive and finite".into());
         }
         Ok(())
+    }
+
+    /// Policies per load level (open + closed).
+    pub fn policies_per_level(&self) -> usize {
+        self.policies.len() + self.closed.len()
     }
 }
 
@@ -133,28 +232,60 @@ pub fn offered_rate_per_ms(rho: f64, nodes: usize, service_ms: f64) -> f64 {
     rho * nodes as f64 / service_ms
 }
 
-/// One cell of the sweep: a (load, policy) pair.
+/// Which dispatch path a sweep cell ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Front-end ledgers, commit before simulating.
+    Open,
+    /// Online event loop over live node state.
+    Closed,
+}
+
+impl DispatchMode {
+    /// The stable report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchMode::Open => "open",
+            DispatchMode::Closed => "closed",
+        }
+    }
+}
+
+/// One cell of the sweep: a (load, mode, policy) triple.
 #[derive(Debug, Clone)]
 pub struct ClusterCell {
     /// Offered load (fraction of cluster capacity).
     pub load: f64,
     /// The calibrated arrival rate, requests per millisecond.
     pub rate_per_ms: f64,
-    /// The dispatch policy.
-    pub policy: DispatchPolicy,
+    /// Open-loop or closed-loop dispatch.
+    pub mode: DispatchMode,
+    /// The dispatch policy / variant label.
+    pub policy: &'static str,
     /// Number of requests in the stream.
     pub requests: usize,
+    /// Number of requests actually served (less than `requests` only when
+    /// closed-loop admission shed work).
+    pub served: usize,
+    /// Requests shed by admission control (closed loop only).
+    pub shed: usize,
+    /// Work-stealing migrations (closed loop only).
+    pub steals: u64,
     /// Total scheduler wakeups across the cluster.
     pub events: u64,
-    /// The cluster serving metrics.
+    /// Wall-clock seconds this cell's simulation took (measurement only —
+    /// never part of the deterministic digest).
+    pub wall_s: f64,
+    /// The cluster serving metrics over the served work.
     pub metrics: ClusterMetrics,
     /// The deterministic outcome digest of this cell.
     pub hash: u64,
 }
 
-/// Runs the (load x policy) cluster sweep. Cells are laid out load-major:
-/// `cells[l * policies.len() + p]` is load level `l` under `policies[p]`,
-/// and every policy at one load level replays the identical request stream.
+/// Runs the (load x policy) cluster sweep over both dispatch paths. Cells
+/// are laid out load-major: each load level lists the open-loop policies in
+/// option order, then the closed-loop variants, and every cell at one load
+/// level replays the identical request stream.
 ///
 /// # Panics
 ///
@@ -167,7 +298,7 @@ pub fn run_cluster_sweep(opts: &ClusterSweepOptions) -> Vec<ClusterCell> {
     let template = OpenLoopConfig::poisson(1.0, opts.duration_ms);
     let service_ms = mean_service_ms(&template.models, &template.batch_sizes, &opts.npu);
 
-    let mut cells = Vec::with_capacity(opts.loads.len() * opts.policies.len());
+    let mut cells = Vec::with_capacity(opts.loads.len() * opts.policies_per_level());
     for (level, &load) in opts.loads.iter().enumerate() {
         let rate = offered_rate_per_ms(load, opts.nodes, service_ms);
         let config = OpenLoopConfig::poisson(rate, opts.duration_ms);
@@ -185,15 +316,46 @@ pub fn run_cluster_sweep(opts: &ClusterSweepOptions) -> Vec<ClusterCell> {
                 dispatch_seed: run_seed(opts.seed, 0x1000 + level),
                 parallel: opts.parallel,
             });
+            let start = Instant::now();
             let outcome = cluster.run(&prepared.tasks);
+            let wall_s = start.elapsed().as_secs_f64();
             cells.push(ClusterCell {
                 load,
                 rate_per_ms: rate,
-                policy,
+                mode: DispatchMode::Open,
+                policy: policy.label(),
                 requests: spec.len(),
+                served: outcome.task_count(),
+                shed: 0,
+                steals: 0,
                 events: outcome.scheduler_invocations(),
+                wall_s,
                 hash: outcome_hash(&outcome),
                 metrics: ClusterMetrics::from_outcome(&outcome, &opts.npu),
+            });
+        }
+        for &variant in &opts.closed {
+            let online = OnlineClusterSimulator::new(variant.config(
+                opts.nodes,
+                opts.scheduler.clone(),
+                opts.npu.clone(),
+            ));
+            let start = Instant::now();
+            let outcome = online.run(&prepared.tasks);
+            let wall_s = start.elapsed().as_secs_f64();
+            cells.push(ClusterCell {
+                load,
+                rate_per_ms: rate,
+                mode: DispatchMode::Closed,
+                policy: variant.label(),
+                requests: spec.len(),
+                served: outcome.served(),
+                shed: outcome.shed.len(),
+                steals: outcome.steals,
+                events: outcome.cluster.scheduler_invocations(),
+                wall_s,
+                hash: online_outcome_hash(&outcome),
+                metrics: ClusterMetrics::from_outcome(&outcome.cluster, &opts.npu),
             });
         }
     }
@@ -207,8 +369,9 @@ pub fn sweep_hash(cells: &[ClusterCell]) -> u64 {
     prema_cluster::fold_hashes(cells.iter().map(|cell| cell.hash))
 }
 
-/// The cell for (load, policy), if it was swept.
-pub fn cell_of(cells: &[ClusterCell], load: f64, policy: DispatchPolicy) -> Option<&ClusterCell> {
+/// The cell for (load, policy label), if it was swept. Labels are unique
+/// across modes, so the label alone identifies the cell.
+pub fn cell_of<'a>(cells: &'a [ClusterCell], load: f64, policy: &str) -> Option<&'a ClusterCell> {
     cells
         .iter()
         .find(|c| (c.load - load).abs() < 1e-12 && c.policy == policy)
@@ -234,18 +397,42 @@ mod tests {
         let opts = ClusterSweepOptions::quick();
         let a = run_cluster_sweep(&opts);
         let b = run_cluster_sweep(&opts);
-        assert_eq!(a.len(), opts.loads.len() * opts.policies.len());
+        assert_eq!(a.len(), opts.loads.len() * opts.policies_per_level());
         assert_eq!(sweep_hash(&a), sweep_hash(&b));
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.hash, y.hash);
             assert_eq!(x.metrics, y.metrics);
         }
-        // All policies at one load level see the same stream.
-        let per_level = opts.policies.len();
+        // All policies at one load level see the same stream, and the layout
+        // is open policies first, then closed variants.
+        let per_level = opts.policies_per_level();
         for level in 0..opts.loads.len() {
             let row = &a[level * per_level..(level + 1) * per_level];
             assert!(row.iter().all(|c| c.requests == row[0].requests));
+            for (i, cell) in row.iter().enumerate() {
+                let expected = if i < opts.policies.len() {
+                    DispatchMode::Open
+                } else {
+                    DispatchMode::Closed
+                };
+                assert_eq!(cell.mode, expected);
+            }
         }
+    }
+
+    #[test]
+    fn labels_are_unique_across_modes() {
+        let mut labels: Vec<&str> = DispatchPolicy::ALL
+            .iter()
+            .map(|p| p.label())
+            .chain(ClosedLoopVariant::ALL.iter().map(|v| v.label()))
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(
+            labels.len(),
+            DispatchPolicy::ALL.len() + ClosedLoopVariant::ALL.len()
+        );
     }
 
     #[test]
@@ -257,8 +444,8 @@ mod tests {
             .iter()
             .max_by(|a, b| a.partial_cmp(b).unwrap())
             .unwrap();
-        let random = cell_of(&cells, top, DispatchPolicy::Random).unwrap();
-        let predictive = cell_of(&cells, top, DispatchPolicy::Predictive).unwrap();
+        let random = cell_of(&cells, top, "random").unwrap();
+        let predictive = cell_of(&cells, top, "predictive").unwrap();
         assert!(
             predictive.metrics.mean_queueing_delay_ms < random.metrics.mean_queueing_delay_ms,
             "predictive {:.3} ms should beat random {:.3} ms at load {top}",
@@ -268,11 +455,41 @@ mod tests {
     }
 
     #[test]
+    fn closed_loop_reactive_dispatch_beats_open_loop_predictive_p99_at_peak_load() {
+        // The committed-baseline sweep (the BENCH_cluster.json surface):
+        // this is the acceptance comparison the closed loop exists for, so
+        // pin it at the exact configuration the baseline reports.
+        // Keep the baseline's load ladder so the 0.95 stream is the exact
+        // per-level seeded stream the committed baseline reports.
+        let opts = ClusterSweepOptions {
+            policies: vec![DispatchPolicy::Predictive],
+            closed: vec![
+                ClosedLoopVariant::Predictive,
+                ClosedLoopVariant::WorkStealing,
+            ],
+            ..ClusterSweepOptions::baseline()
+        };
+        let cells = run_cluster_sweep(&opts);
+        let open = cell_of(&cells, 0.95, "predictive").unwrap();
+        for reactive_label in ["predictive-live", "work-steal"] {
+            let reactive = cell_of(&cells, 0.95, reactive_label).unwrap();
+            assert_eq!(reactive.served, reactive.requests, "no shedding configured");
+            assert!(
+                reactive.metrics.p99_ms < open.metrics.p99_ms,
+                "closed-loop {reactive_label} p99 {:.3} ms should beat open-loop predictive \
+                 p99 {:.3} ms at rho=0.95",
+                reactive.metrics.p99_ms,
+                open.metrics.p99_ms
+            );
+        }
+    }
+
+    #[test]
     fn higher_load_raises_queueing_delay() {
         let opts = ClusterSweepOptions::quick();
         let cells = run_cluster_sweep(&opts);
-        let low = cell_of(&cells, 0.6, DispatchPolicy::Predictive).unwrap();
-        let high = cell_of(&cells, 0.95, DispatchPolicy::Predictive).unwrap();
+        let low = cell_of(&cells, 0.6, "predictive").unwrap();
+        let high = cell_of(&cells, 0.95, "predictive").unwrap();
         assert!(high.requests > low.requests);
         assert!(
             high.metrics.mean_queueing_delay_ms >= low.metrics.mean_queueing_delay_ms,
@@ -299,6 +516,7 @@ mod tests {
             },
             ClusterSweepOptions {
                 policies: vec![],
+                closed: vec![],
                 ..ClusterSweepOptions::quick()
             },
             ClusterSweepOptions {
@@ -309,5 +527,12 @@ mod tests {
             assert!(bad.validate().is_err());
         }
         assert!(ClusterSweepOptions::baseline().validate().is_ok());
+        // Closed-only sweeps are valid.
+        assert!(ClusterSweepOptions {
+            policies: vec![],
+            ..ClusterSweepOptions::quick()
+        }
+        .validate()
+        .is_ok());
     }
 }

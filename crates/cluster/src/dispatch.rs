@@ -9,7 +9,7 @@
 //! simulators.
 //!
 //! The book-keeping is a single-server FCFS approximation per node (a
-//! [`NodeLedger`]): each admitted request is predicted to start when the
+//! `NodeLedger`): each admitted request is predicted to start when the
 //! node's predicted backlog drains and to run for its estimated isolated
 //! time. The per-node schedulers (NP-FCFS, PREMA, ...) reorder and preempt
 //! in reality, so these are *estimates* — exactly the imprecision a real

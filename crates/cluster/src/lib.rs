@@ -28,13 +28,20 @@
 //!   with request priorities, picking the node that minimizes the request's
 //!   estimated completion given the work that actually outranks it there —
 //!   PREMA's predictor-plus-priority reasoning lifted to cluster scope.
-//! * [`cluster`] — the deterministic two-stage simulation: commit every
-//!   request to a node in arrival order, then run each node's engine to
-//!   completion (optionally fanned out over cores, bit-identically).
+//! * [`cluster`] — the deterministic two-stage *open-loop* simulation:
+//!   commit every request to a node in arrival order, then run each node's
+//!   engine to completion (optionally fanned out over cores,
+//!   bit-identically).
+//! * [`online`] — the *closed-loop* path: a global event queue interleaves
+//!   arrivals with node execution (each node a resumable
+//!   [`prema_core::SimSession`]), so every dispatch decision reads the
+//!   nodes' actual state — live queue depth, true remaining work — and two
+//!   policies impossible open-loop become expressible: work stealing on
+//!   node idle and SLA-aware admission shedding.
 //! * [`metrics`] — cluster-wide ANTT/STP, queueing-delay vs service-time
 //!   breakdown, p50/p95/p99 turnaround tails, Figure 13-style SLA curves,
 //!   per-node utilization, and the deterministic outcome digest the bench
-//!   baseline gate compares.
+//!   baseline gate compares (shared by both paths).
 //!
 //! # Example
 //!
@@ -64,7 +71,12 @@
 pub mod cluster;
 pub mod dispatch;
 pub mod metrics;
+pub mod online;
 
 pub use cluster::{ClusterConfig, ClusterOutcome, ClusterSimulator, NodeAssignment};
 pub use dispatch::{DispatchPolicy, Dispatcher};
 pub use metrics::{fold_hashes, outcome_hash, ClusterMetrics};
+pub use online::{
+    online_outcome_hash, OnlineClusterConfig, OnlineClusterSimulator, OnlineDispatchPolicy,
+    OnlineOutcome, SlaAdmissionConfig,
+};

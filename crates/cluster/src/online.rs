@@ -1,0 +1,708 @@
+//! Closed-loop (online) multi-NPU cluster simulation: dispatch on *observed*
+//! node state.
+//!
+//! The open-loop path ([`crate::cluster`]) commits every request to a node
+//! up front against front-end FCFS-approximation ledgers and only then
+//! simulates the nodes; the dispatcher never sees a real queue. This module
+//! closes that loop, which is PREMA's core architectural claim applied at
+//! cluster scope: scheduling decisions should react to *observed* system
+//! state (live queue depths, the predictor's remaining-work estimates over
+//! each task's true progress) rather than static assignment.
+//!
+//! [`OnlineClusterSimulator`] runs a global event queue that interleaves
+//! request arrivals with node execution. Every node is a paused
+//! [`prema_core::SimSession`]; at each arrival the nodes are advanced to the
+//! arrival instant ([`SimSession::run_until`]), the dispatcher inspects
+//! their *actual* state through the session's closed-loop surface, commits
+//! the request to the best node ([`SimSession::inject`]), and execution
+//! resumes. Two mechanisms that only a closed loop can express ride on the
+//! same surface:
+//!
+//! * **Work stealing** ([`OnlineClusterConfig::work_stealing`]) — when a
+//!   node drains while others hold never-started waiting work, the idle
+//!   node takes over the largest such task ([`SimSession::revoke`] on the
+//!   victim, inject on the thief). The global loop steps node execution to
+//!   every completion bound between arrivals, so idleness is detected at
+//!   the completion that caused it, not at the next arrival.
+//! * **SLA-aware admission** ([`OnlineClusterConfig::admission`]) — at each
+//!   arrival the front-end predicts the p99 turnaround over all resident
+//!   work plus the newcomer (per node: remaining work drained in
+//!   priority-then-arrival order); while the prediction exceeds the target,
+//!   the lowest-priority never-started task cluster-wide (possibly the
+//!   newcomer itself) is shed instead of served.
+//!
+//! Both the open- and closed-loop paths produce a [`ClusterOutcome`], so
+//! [`crate::metrics::ClusterMetrics`] and the deterministic
+//! [`crate::metrics::outcome_hash`] apply to either; the closed-loop extras
+//! (shed requests, steal count) live in [`OnlineOutcome`] and fold into
+//! [`online_outcome_hash`]. Everything is a pure function of the inputs —
+//! no RNG at all on the closed-loop path — pinned by `tests/determinism.rs`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use npu_sim::{Cycles, NpuConfig};
+use prema_core::{
+    NpuSimulator, PreparedTask, Priority, ResidentTask, SchedulerConfig, SimSession, TaskId,
+    TaskRequest,
+};
+use prema_metrics::Percentiles;
+
+use crate::cluster::{ClusterOutcome, NodeAssignment};
+use crate::metrics::fold_hashes;
+
+/// Which live-state signal the closed-loop dispatcher minimizes at each
+/// arrival. These mirror the open-loop policies of
+/// [`crate::dispatch::DispatchPolicy`], but read the nodes' *actual* state
+/// instead of front-end ledger approximations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OnlineDispatchPolicy {
+    /// Join-shortest-queue over the live queue depth (running + waiting).
+    ShortestQueue,
+    /// Least predicted remaining work over resident tasks, using each
+    /// task's true progress.
+    LeastWork,
+    /// Priority-aware: least predicted remaining work of equal-or-higher
+    /// priority (the work the node's preemptive scheduler will actually run
+    /// before the newcomer).
+    Predictive,
+}
+
+impl OnlineDispatchPolicy {
+    /// A short stable label for reports and baselines.
+    pub fn label(self) -> &'static str {
+        match self {
+            OnlineDispatchPolicy::ShortestQueue => "jsq-live",
+            OnlineDispatchPolicy::LeastWork => "least-work-live",
+            OnlineDispatchPolicy::Predictive => "predictive-live",
+        }
+    }
+}
+
+impl std::fmt::Display for OnlineDispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// SLA-aware admission control: shed lowest-priority work whenever the
+/// predicted p99 turnaround exceeds the target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaAdmissionConfig {
+    /// The p99 turnaround target, in milliseconds on the cluster NPU's
+    /// clock. When an arrival pushes the *predicted* p99 over this value,
+    /// never-started lowest-priority work is shed until the prediction
+    /// recovers (or nothing sheddable remains).
+    pub target_p99_ms: f64,
+}
+
+/// Configuration of a closed-loop cluster simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineClusterConfig {
+    /// Number of NPU nodes behind the front-end.
+    pub nodes: usize,
+    /// The NPU configuration every node runs (homogeneous cluster).
+    pub npu: NpuConfig,
+    /// The scheduler every node runs (e.g. NP-FCFS or Dynamic-PREMA).
+    pub scheduler: SchedulerConfig,
+    /// The live-state signal the dispatcher minimizes.
+    pub dispatch: OnlineDispatchPolicy,
+    /// Whether idle nodes steal never-started waiting work from loaded
+    /// peers.
+    pub work_stealing: bool,
+    /// Optional SLA-aware admission control.
+    pub admission: Option<SlaAdmissionConfig>,
+}
+
+impl OnlineClusterConfig {
+    /// A closed-loop cluster of `nodes` paper-default NPUs: no stealing, no
+    /// admission control.
+    pub fn new(nodes: usize, scheduler: SchedulerConfig, dispatch: OnlineDispatchPolicy) -> Self {
+        OnlineClusterConfig {
+            nodes,
+            npu: NpuConfig::paper_default(),
+            scheduler,
+            dispatch,
+            work_stealing: false,
+            admission: None,
+        }
+    }
+
+    /// Enables work stealing on node idle.
+    pub fn with_work_stealing(mut self) -> Self {
+        self.work_stealing = true;
+        self
+    }
+
+    /// Enables SLA-aware admission at the given p99 target.
+    pub fn with_admission(mut self, target_p99_ms: f64) -> Self {
+        self.admission = Some(SlaAdmissionConfig { target_p99_ms });
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("cluster must have at least one node".into());
+        }
+        self.npu.validate()?;
+        self.scheduler.validate()?;
+        if let Some(admission) = &self.admission {
+            if !admission.target_p99_ms.is_finite() || admission.target_p99_ms <= 0.0 {
+                return Err("admission p99 target must be positive and finite".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Results of one closed-loop cluster simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineOutcome {
+    /// The served work, in the same shape the open-loop path produces:
+    /// per-node engine outcomes plus the assignments (each request's *final*
+    /// serving node — a stolen task reports the thief). Shed requests appear
+    /// in neither.
+    pub cluster: ClusterOutcome,
+    /// Requests shed by admission control, in shed order.
+    pub shed: Vec<TaskRequest>,
+    /// Number of work-stealing migrations performed.
+    pub steals: u64,
+}
+
+impl OnlineOutcome {
+    /// Number of served tasks.
+    pub fn served(&self) -> usize {
+        self.cluster.task_count()
+    }
+}
+
+/// The deterministic digest of a closed-loop outcome: the open-loop
+/// [`crate::metrics::outcome_hash`] over the served work, folded with the
+/// shed request IDs and the steal count.
+pub fn online_outcome_hash(outcome: &OnlineOutcome) -> u64 {
+    fold_hashes(
+        std::iter::once(crate::metrics::outcome_hash(&outcome.cluster))
+            .chain(outcome.shed.iter().map(|request| request.id.0))
+            .chain(std::iter::once(outcome.steals)),
+    )
+}
+
+/// The closed-loop multi-NPU cluster simulator.
+#[derive(Debug, Clone)]
+pub struct OnlineClusterSimulator {
+    config: OnlineClusterConfig,
+}
+
+impl OnlineClusterSimulator {
+    /// Creates a closed-loop cluster simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn new(config: OnlineClusterConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid OnlineClusterConfig: {msg}");
+        }
+        OnlineClusterSimulator { config }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &OnlineClusterConfig {
+        &self.config
+    }
+
+    /// Runs the global event loop over the prepared tasks: arrivals
+    /// interleaved with node execution, each arrival dispatched on the
+    /// nodes' live state. An empty task list yields an empty outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if task IDs are not unique across the whole cluster workload.
+    pub fn run(&self, tasks: &[PreparedTask]) -> OnlineOutcome {
+        let mut ids: Vec<TaskId> = tasks.iter().map(|t| t.request.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), tasks.len(), "task IDs must be unique");
+
+        let simulator = NpuSimulator::new(self.config.npu.clone(), self.config.scheduler.clone());
+        let mut sessions: Vec<SimSession> = (0..self.config.nodes)
+            .map(|_| simulator.session(&[]))
+            .collect();
+
+        // The global arrival queue, in the order a front-end sees requests.
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        order.sort_by_key(|&i| (tasks[i].request.arrival, tasks[i].request.id));
+
+        let mut assignments: Vec<NodeAssignment> = Vec::with_capacity(tasks.len());
+        // Index into `assignments` per task, so steals can rewrite the
+        // serving node (lookups only — never iterated).
+        let mut assignment_index: HashMap<TaskId, usize> = HashMap::with_capacity(tasks.len());
+        let mut shed: Vec<TaskRequest> = Vec::new();
+        let mut steals = 0u64;
+
+        for &i in &order {
+            let task = &tasks[i];
+            let now = task.request.arrival;
+            self.advance_to(
+                &mut sessions,
+                now,
+                &mut steals,
+                &mut assignments,
+                &assignment_index,
+            );
+
+            let node = self.pick_node(&sessions, task);
+            if let Some(admission) = self.config.admission {
+                if !self.admit(&mut sessions, task, node, admission, &mut shed) {
+                    continue;
+                }
+            }
+            assignment_index.insert(task.request.id, assignments.len());
+            assignments.push(NodeAssignment {
+                task: task.request.id,
+                node,
+            });
+            sessions[node].inject(task.clone());
+        }
+
+        // Drain every node (still stealing at each completion bound).
+        self.advance_to(
+            &mut sessions,
+            Cycles::MAX,
+            &mut steals,
+            &mut assignments,
+            &assignment_index,
+        );
+
+        // Admission may have shed previously assigned (never-started) tasks;
+        // drop their assignment entries so assignments biject onto records.
+        if !shed.is_empty() {
+            let shed_ids: std::collections::HashSet<TaskId> =
+                shed.iter().map(|request| request.id).collect();
+            assignments.retain(|assignment| !shed_ids.contains(&assignment.task));
+        }
+
+        let node_outcomes = sessions.into_iter().map(SimSession::finish).collect();
+        OnlineOutcome {
+            cluster: ClusterOutcome {
+                node_outcomes,
+                assignments,
+            },
+            shed,
+            steals,
+        }
+    }
+
+    /// Advances every node to `t`. With work stealing enabled, execution is
+    /// stepped to every completion bound on the way, so a node that drains
+    /// between arrivals steals at its drain moment rather than at the next
+    /// arrival.
+    fn advance_to(
+        &self,
+        sessions: &mut [SimSession],
+        t: Cycles,
+        steals: &mut u64,
+        assignments: &mut [NodeAssignment],
+        assignment_index: &HashMap<TaskId, usize>,
+    ) {
+        if !self.config.work_stealing {
+            for session in sessions.iter_mut() {
+                let _ = session.run_until(t);
+            }
+            return;
+        }
+        loop {
+            // The earliest moment any node's task set can shrink. Bounds are
+            // strictly in the future (a paused node is running or idle), so
+            // every iteration advances the clock and the loop terminates.
+            let bound = sessions
+                .iter()
+                .filter_map(SimSession::next_completion_time)
+                .min();
+            let step = match bound {
+                Some(bound) if bound < t => bound,
+                _ => t,
+            };
+            for session in sessions.iter_mut() {
+                let _ = session.run_until(step);
+            }
+            *steals += steal_onto_idle_nodes(sessions, assignments, assignment_index);
+            if step == t {
+                return;
+            }
+        }
+    }
+
+    /// The dispatch decision: the node minimizing the configured live-state
+    /// signal. Ties break toward the node with the least total remaining
+    /// work, then the lowest index — without the load-aware tie-break, a
+    /// high-priority arrival in a mostly-low-priority mix sees near-zero
+    /// blocking work on *every* node and the whole high tier would pile
+    /// onto node 0.
+    fn pick_node(&self, sessions: &[SimSession], task: &PreparedTask) -> usize {
+        let priority = task.request.priority;
+        let score = |session: &SimSession| -> (u64, u64) {
+            let remaining = session.predicted_remaining_work().get();
+            match self.config.dispatch {
+                OnlineDispatchPolicy::ShortestQueue => (session.queue_depth() as u64, remaining),
+                OnlineDispatchPolicy::LeastWork => (remaining, remaining),
+                OnlineDispatchPolicy::Predictive => {
+                    (session.predicted_blocking_work(priority).get(), remaining)
+                }
+            }
+        };
+        sessions
+            .iter()
+            .enumerate()
+            .min_by_key(|(index, session)| (score(session), *index))
+            .expect("at least one node")
+            .0
+    }
+
+    /// SLA-aware admission: predicts the cluster-wide p99 turnaround over
+    /// all resident tasks plus the newcomer (headed for `node`); while it
+    /// exceeds the target, sheds the lowest-priority never-started task
+    /// cluster-wide. Returns whether the newcomer survived (it is pushed to
+    /// `shed` itself otherwise).
+    fn admit(
+        &self,
+        sessions: &mut [SimSession],
+        task: &PreparedTask,
+        node: usize,
+        admission: SlaAdmissionConfig,
+        shed: &mut Vec<TaskRequest>,
+    ) -> bool {
+        let npu = &self.config.npu;
+        let incoming_priority = task.request.priority;
+        let incoming_estimate = task.estimated_cycles();
+        loop {
+            let mut predicted_ms: Vec<f64> = Vec::new();
+            for session in sessions.iter() {
+                predicted_turnarounds_ms(session, npu, &mut predicted_ms);
+            }
+            let incoming_turnaround =
+                sessions[node].predicted_blocking_work(incoming_priority) + incoming_estimate;
+            predicted_ms.push(npu.cycles_to_millis(incoming_turnaround));
+            let p99 = Percentiles::summarize(&predicted_ms)
+                .expect("the newcomer is always present")
+                .p99;
+            if p99 <= admission.target_p99_ms {
+                return true;
+            }
+
+            // Shed candidate: lowest priority first, then the largest
+            // predicted remaining work, then the highest (newest) id. The
+            // newcomer competes with the same key.
+            let mut candidate: Option<(ShedKey, usize, TaskId)> = None;
+            for (index, session) in sessions.iter().enumerate() {
+                for resident in session.resident_tasks() {
+                    if !resident.revocable {
+                        continue;
+                    }
+                    let key = ShedKey::of(
+                        resident.priority,
+                        resident.estimated_remaining(),
+                        resident.id,
+                    );
+                    if candidate.as_ref().is_none_or(|(best, _, _)| key < *best) {
+                        candidate = Some((key, index, resident.id));
+                    }
+                }
+            }
+            let incoming_key = ShedKey::of(incoming_priority, incoming_estimate, task.request.id);
+            match candidate {
+                Some((key, victim_node, victim_id)) if key < incoming_key => {
+                    let revoked = sessions[victim_node]
+                        .revoke(victim_id)
+                        .expect("resident was reported revocable");
+                    shed.push(revoked.request);
+                }
+                _ => {
+                    // The newcomer is itself the lowest-priority work (or
+                    // nothing else is sheddable): reject it.
+                    shed.push(task.request);
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// The shed-preference ordering: lowest priority, then largest predicted
+/// remaining work, then newest id. Smaller keys shed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ShedKey(
+    Priority,
+    std::cmp::Reverse<Cycles>,
+    std::cmp::Reverse<TaskId>,
+);
+
+impl ShedKey {
+    fn of(priority: Priority, remaining: Cycles, id: TaskId) -> Self {
+        ShedKey(
+            priority,
+            std::cmp::Reverse(remaining),
+            std::cmp::Reverse(id),
+        )
+    }
+}
+
+/// Appends the predicted turnaround (milliseconds) of every resident task of
+/// one node: remaining work is drained in priority-then-arrival order (the
+/// preemptive scheduler's effective order), so task `k`'s predicted
+/// completion is the node clock plus the remaining work at or ahead of it.
+fn predicted_turnarounds_ms(session: &SimSession, npu: &NpuConfig, out: &mut Vec<f64>) {
+    let mut residents: Vec<ResidentTask> = session.resident_tasks();
+    residents.sort_by_key(|resident| {
+        (
+            std::cmp::Reverse(resident.priority),
+            resident.arrival,
+            resident.id,
+        )
+    });
+    let now = session.now();
+    let mut backlog = Cycles::ZERO;
+    for resident in residents {
+        backlog += resident.estimated_remaining();
+        let completion = now + backlog;
+        out.push(npu.cycles_to_millis(completion - resident.arrival));
+    }
+}
+
+/// One round of work stealing: every idle node (live queue depth zero) takes
+/// the largest never-started waiting task from the peer holding the most
+/// such work. Rewrites the victim's assignment to the thief. Returns the
+/// number of migrations.
+fn steal_onto_idle_nodes(
+    sessions: &mut [SimSession],
+    assignments: &mut [NodeAssignment],
+    assignment_index: &HashMap<TaskId, usize>,
+) -> u64 {
+    let mut steals = 0u64;
+    loop {
+        let Some(thief) = sessions.iter().position(|s| s.queue_depth() == 0) else {
+            return steals;
+        };
+        // Victim: the node with the most stealable (never-started) predicted
+        // work, provided it keeps at least one task for itself. One pass per
+        // node finds both the stealable sum and the task to take — the
+        // revocable task with the largest remaining work, ties to the
+        // lowest id.
+        let mut victim: Option<(Cycles, usize, ResidentTask)> = None;
+        for (index, session) in sessions.iter().enumerate() {
+            if session.queue_depth() < 2 {
+                continue;
+            }
+            let mut stealable = Cycles::ZERO;
+            let mut best: Option<ResidentTask> = None;
+            for resident in session.resident_tasks() {
+                if !resident.revocable {
+                    continue;
+                }
+                stealable += resident.estimated_remaining();
+                let better = best.as_ref().is_none_or(|current| {
+                    (
+                        resident.estimated_remaining(),
+                        std::cmp::Reverse(resident.id),
+                    ) > (current.estimated_remaining(), std::cmp::Reverse(current.id))
+                });
+                if better {
+                    best = Some(resident);
+                }
+            }
+            if stealable.is_zero() {
+                continue;
+            }
+            if victim.as_ref().is_none_or(|(most, _, _)| stealable > *most) {
+                victim = Some((
+                    stealable,
+                    index,
+                    best.expect("nonzero stealable work has a best task"),
+                ));
+            }
+        }
+        let Some((_, victim, stolen)) = victim else {
+            return steals;
+        };
+        let prepared = sessions[victim]
+            .revoke(stolen.id)
+            .expect("stolen task was revocable");
+        sessions[thief].inject(prepared);
+        if let Some(&slot) = assignment_index.get(&stolen.id) {
+            assignments[slot].node = thief;
+        }
+        steals += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prema_workload::arrivals::{generate_open_loop, OpenLoopConfig};
+    use prema_workload::prepare::prepare_requests;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn prepared(rate: f64, duration: f64, seed: u64) -> Vec<PreparedTask> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = generate_open_loop(&OpenLoopConfig::poisson(rate, duration), &mut rng);
+        prepare_requests(&spec.requests, &NpuConfig::paper_default(), None)
+    }
+
+    fn simulator(dispatch: OnlineDispatchPolicy) -> OnlineClusterSimulator {
+        OnlineClusterSimulator::new(OnlineClusterConfig::new(
+            4,
+            SchedulerConfig::paper_default(),
+            dispatch,
+        ))
+    }
+
+    #[test]
+    fn every_request_is_served_exactly_once_without_admission() {
+        let tasks = prepared(0.6, 60.0, 0xA11);
+        for dispatch in [
+            OnlineDispatchPolicy::ShortestQueue,
+            OnlineDispatchPolicy::LeastWork,
+            OnlineDispatchPolicy::Predictive,
+        ] {
+            let outcome = simulator(dispatch).run(&tasks);
+            assert!(outcome.shed.is_empty(), "{dispatch}");
+            assert_eq!(outcome.served(), tasks.len(), "{dispatch}");
+            let mut expected: Vec<TaskId> = tasks.iter().map(|t| t.request.id).collect();
+            expected.sort_unstable();
+            let served: Vec<TaskId> = outcome
+                .cluster
+                .merged_records()
+                .iter()
+                .map(|r| r.id)
+                .collect();
+            assert_eq!(served, expected, "{dispatch}");
+            // Each record lives on the node its assignment names.
+            assert_eq!(outcome.cluster.assignments.len(), tasks.len());
+            for assignment in &outcome.cluster.assignments {
+                let node = &outcome.cluster.node_outcomes[assignment.node];
+                assert!(node.record(assignment.task).is_some(), "{dispatch}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_runs_are_reproducible() {
+        let tasks = prepared(0.8, 60.0, 0xB22);
+        let config = OnlineClusterConfig::new(
+            4,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::Predictive,
+        )
+        .with_work_stealing();
+        let a = OnlineClusterSimulator::new(config.clone()).run(&tasks);
+        let b = OnlineClusterSimulator::new(config).run(&tasks);
+        assert_eq!(a, b);
+        assert_eq!(online_outcome_hash(&a), online_outcome_hash(&b));
+    }
+
+    #[test]
+    fn work_stealing_rewrites_assignments_consistently() {
+        // A two-node cluster with one long queue invites stealing: all
+        // requests arrive nearly at once, so the live signals are near-equal
+        // at dispatch and completions expose idleness later.
+        let tasks = prepared(2.0, 20.0, 0xC33);
+        let config = OnlineClusterConfig::new(
+            2,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::ShortestQueue,
+        )
+        .with_work_stealing();
+        let outcome = OnlineClusterSimulator::new(config).run(&tasks);
+        assert_eq!(outcome.served(), tasks.len());
+        // Every assignment matches the node that actually served the task,
+        // steals included.
+        for assignment in &outcome.cluster.assignments {
+            let node = &outcome.cluster.node_outcomes[assignment.node];
+            assert!(node.record(assignment.task).is_some());
+        }
+    }
+
+    #[test]
+    fn admission_sheds_under_an_impossible_target_and_serves_the_rest() {
+        let tasks = prepared(0.8, 60.0, 0xD44);
+        let config = OnlineClusterConfig::new(
+            2,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::Predictive,
+        )
+        .with_admission(1e-3);
+        let outcome = OnlineClusterSimulator::new(config).run(&tasks);
+        // A microsecond-scale p99 target is unattainable: work is shed.
+        assert!(!outcome.shed.is_empty());
+        assert_eq!(outcome.served() + outcome.shed.len(), tasks.len());
+        // Serving and shedding partition the request ids.
+        let mut all: Vec<TaskId> = outcome
+            .cluster
+            .merged_records()
+            .iter()
+            .map(|r| r.id)
+            .chain(outcome.shed.iter().map(|r| r.id))
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<TaskId> = tasks.iter().map(|t| t.request.id).collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+        // Assignments cover exactly the served tasks.
+        assert_eq!(outcome.cluster.assignments.len(), outcome.served());
+    }
+
+    #[test]
+    fn generous_admission_target_sheds_nothing() {
+        let tasks = prepared(0.4, 40.0, 0xE55);
+        let config = OnlineClusterConfig::new(
+            4,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::Predictive,
+        )
+        .with_admission(1e9);
+        let outcome = OnlineClusterSimulator::new(config).run(&tasks);
+        assert!(outcome.shed.is_empty());
+        assert_eq!(outcome.served(), tasks.len());
+    }
+
+    #[test]
+    fn empty_workload_yields_empty_outcome() {
+        let outcome = simulator(OnlineDispatchPolicy::LeastWork).run(&[]);
+        assert_eq!(outcome.served(), 0);
+        assert!(outcome.shed.is_empty());
+        assert_eq!(outcome.steals, 0);
+        assert_eq!(outcome.cluster.makespan(), Cycles::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "task IDs must be unique")]
+    fn duplicate_ids_rejected() {
+        use dnn_models::ModelKind;
+        let tasks = prepare_requests(
+            &[
+                TaskRequest::new(TaskId(1), ModelKind::CnnAlexNet),
+                TaskRequest::new(TaskId(1), ModelKind::CnnMobileNet),
+            ],
+            &NpuConfig::paper_default(),
+            None,
+        );
+        let _ = simulator(OnlineDispatchPolicy::ShortestQueue).run(&tasks);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid OnlineClusterConfig")]
+    fn invalid_config_rejected() {
+        let _ = OnlineClusterSimulator::new(OnlineClusterConfig::new(
+            0,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::Predictive,
+        ));
+    }
+}

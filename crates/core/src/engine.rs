@@ -36,6 +36,27 @@
 //! asserts the two paths are bit-identical across every policy and
 //! preemption mode.
 //!
+//! # Suspend / resume
+//!
+//! The event loop is factored into a state machine, [`SimSession`], that can
+//! be paused at an arbitrary *horizon* and resumed later:
+//! [`SimSession::run_until`] simulates until the clock reaches the horizon
+//! and returns [`StepOutcome::Paused`] (or [`StepOutcome::Drained`] once
+//! every admitted task has completed). [`NpuSimulator::run`] is literally
+//! `session(..) + run_until(Cycles::MAX) + finish()`, and pausing is pure
+//! suspension: composing `run_until` over *any* ascending sequence of
+//! horizons produces a [`SimOutcome`] bit-identical to the one-shot run —
+//! per-task records, makespan, even the scheduler-invocation count
+//! (`tests/property_tests.rs` pins this with random horizon sequences
+//! across every policy and preemption mode).
+//!
+//! A paused session also exposes what a cluster front-end could observe on
+//! a real accelerator node — the live queue depth, the predictor's remaining
+//! work over resident tasks, the next completion bound — and accepts *new*
+//! tasks mid-flight ([`SimSession::inject`]) or gives not-yet-started ones
+//! back ([`SimSession::revoke`]). This is what turns N independent
+//! simulators into a closed-loop cluster: see `prema_cluster::online`.
+//!
 //! [`SchedulingPolicy::select`]: crate::policy::SchedulingPolicy::select
 
 use std::sync::Arc;
@@ -281,6 +302,10 @@ struct Runtime {
     checkpoint_overhead: Cycles,
     restore_overhead: Cycles,
     max_checkpoint_bytes: u64,
+    /// Whether the task was handed back via [`SimSession::revoke`] before it
+    /// ever started. Revoked tasks count as finished for the loop condition
+    /// but produce no [`TaskRecord`].
+    revoked: bool,
 }
 
 impl Runtime {
@@ -307,6 +332,7 @@ impl Runtime {
             checkpoint_overhead: Cycles::ZERO,
             restore_overhead: Cycles::ZERO,
             max_checkpoint_bytes: 0,
+            revoked: false,
         }
     }
 
@@ -316,6 +342,7 @@ impl Runtime {
 
     fn is_waiting(&self) -> bool {
         self.arrived
+            && !self.revoked
             && matches!(self.state, TaskState::Ready | TaskState::Checkpointed)
             && self.completion.is_none()
     }
@@ -351,7 +378,8 @@ impl Runtime {
 /// all O(n) scans. This struct keeps that state up to date at each
 /// transition instead:
 ///
-/// * `completed` — completion counter, so the loop condition is O(1);
+/// * `finished` — counter of tasks that are done with the engine (completed
+///   or revoked), so the loop condition is O(1);
 /// * `waiting` — the indices of schedulable tasks, kept sorted by task id,
 ///   updated by O(log n) binary-search insert/remove at the (rare) state
 ///   transitions;
@@ -367,7 +395,7 @@ impl Runtime {
 struct EngineState {
     runtimes: Vec<Runtime>,
     waiting: Vec<usize>,
-    completed: usize,
+    finished: usize,
     total_wait: Cycles,
     id_index: Vec<(TaskId, usize)>,
     views: Vec<TaskView>,
@@ -386,7 +414,7 @@ impl EngineState {
         EngineState {
             runtimes,
             waiting: Vec::with_capacity(capacity),
-            completed: 0,
+            finished: 0,
             total_wait: Cycles::ZERO,
             id_index,
             views: Vec::with_capacity(capacity),
@@ -443,7 +471,7 @@ impl EngineState {
         debug_assert!(runtime.completion.is_none());
         runtime.completion = Some(now);
         runtime.state = TaskState::Completed;
-        self.completed += 1;
+        self.finished += 1;
     }
 
     /// Grants additional tokens to every waiting task, proportional to its
@@ -556,6 +584,61 @@ fn realign_quantum(next_quantum: Cycles, now: Cycles, quantum: Cycles) -> Cycles
     next_quantum + quantum * (behind + 1)
 }
 
+/// Result of one [`SimSession::run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The horizon was reached with tasks still outstanding. Resume with a
+    /// later horizon (or inject more work first).
+    Paused,
+    /// Every admitted task has completed (or been revoked). More tasks may
+    /// still be injected, or the session can be [`SimSession::finish`]ed.
+    Drained,
+}
+
+/// A point-in-time view of one resident (incomplete) task of a paused
+/// [`SimSession`] — what a cluster front-end could observe about a real
+/// node's queue: identity, priority, the predictor's estimate and the true
+/// progress made so far.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidentTask {
+    /// Task identifier.
+    pub id: TaskId,
+    /// User-defined priority.
+    pub priority: Priority,
+    /// The task's dispatch time.
+    pub arrival: Cycles,
+    /// The scheduler's estimate of the task's isolated execution time.
+    pub estimated_total: Cycles,
+    /// Cycles of real execution progress so far.
+    pub executed: Cycles,
+    /// Whether the task has ever started executing on the node.
+    pub started: bool,
+    /// Whether [`SimSession::revoke`] could still hand the task back (it has
+    /// made no progress and holds no node-resident context).
+    pub revocable: bool,
+}
+
+impl ResidentTask {
+    /// The predictor's estimate of the task's remaining execution time.
+    pub fn estimated_remaining(&self) -> Cycles {
+        self.estimated_total - self.executed
+    }
+}
+
+/// Where a paused [`SimSession`] resumes.
+///
+/// `Execute` exists because a horizon can clamp an execution step short of
+/// the next true event: resuming must *not* re-run the scheduler wakeup for
+/// that step (the invocation was already counted), only keep executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Top of the event loop: admit due arrivals, then wake the scheduler.
+    Wakeup,
+    /// Mid execution step: keep executing the running task towards the next
+    /// event without recounting the wakeup.
+    Execute,
+}
+
 /// The multi-task NPU simulator.
 #[derive(Debug, Clone)]
 pub struct NpuSimulator {
@@ -600,7 +683,7 @@ impl NpuSimulator {
     /// Runs the multi-task simulation to completion.
     ///
     /// Each scheduling event works against the incrementally maintained
-    /// [`EngineState`] — completion counter, id-sorted waiting set, O(1)
+    /// `EngineState` — completion counter, id-sorted waiting set, O(1)
     /// global wait accrual and a reused view buffer — so a wakeup costs
     /// O(w log n) in the number of waiting tasks instead of rescanning all
     /// tasks several times, and allocates nothing in steady state. On top
@@ -613,6 +696,7 @@ impl NpuSimulator {
     ///
     /// Panics if `tasks` is empty or contains duplicate task IDs.
     pub fn run(&self, tasks: &[PreparedTask]) -> SimOutcome {
+        assert!(!tasks.is_empty(), "at least one task is required");
         self.run_impl(tasks, true)
     }
 
@@ -629,21 +713,48 @@ impl NpuSimulator {
     ///
     /// Panics if `tasks` is empty or contains duplicate task IDs.
     pub fn run_reference(&self, tasks: &[PreparedTask]) -> SimOutcome {
+        assert!(!tasks.is_empty(), "at least one task is required");
         self.run_impl(tasks, false)
     }
 
     fn run_impl(&self, tasks: &[PreparedTask], fast_forward: bool) -> SimOutcome {
-        assert!(!tasks.is_empty(), "at least one task is required");
+        let mut session = self.session_impl(tasks, fast_forward);
+        match session.run_until(Cycles::MAX) {
+            StepOutcome::Drained => session.finish(),
+            StepOutcome::Paused => unreachable!("an unbounded horizon cannot pause"),
+        }
+    }
+
+    /// Opens a resumable simulation session over `tasks` (which may be
+    /// empty: a closed-loop driver injects work as it arrives). Driving the
+    /// session with [`SimSession::run_until`] over any ascending horizon
+    /// sequence and then [`SimSession::finish`]ing it is bit-identical to
+    /// [`NpuSimulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` contains duplicate task IDs.
+    pub fn session(&self, tasks: &[PreparedTask]) -> SimSession {
+        self.session_impl(tasks, true)
+    }
+
+    /// Like [`NpuSimulator::session`] with the event-horizon fast-forward
+    /// disabled (the step-every-quantum reference engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` contains duplicate task IDs.
+    pub fn session_reference(&self, tasks: &[PreparedTask]) -> SimSession {
+        self.session_impl(tasks, false)
+    }
+
+    fn session_impl(&self, tasks: &[PreparedTask], fast_forward: bool) -> SimSession {
         let mut ids: Vec<TaskId> = tasks.iter().map(|t| t.request.id).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), tasks.len(), "task IDs must be unique");
 
-        let mut policy = make_policy(self.sched.policy, self.sched.token_scale);
-        let checkpoint_model = CheckpointModel::new(&self.npu);
-        let quantum = self.sched.quantum_cycles(&self.npu);
-
-        let mut state = EngineState::new(tasks);
+        let state = EngineState::new(tasks);
         // Arrival cursor: indices sorted by arrival time, admitted in order.
         let mut arrival_order: Vec<usize> = (0..state.len()).collect();
         arrival_order.sort_by_key(|&i| {
@@ -652,183 +763,587 @@ impl NpuSimulator {
                 state.runtimes[i].id(),
             )
         });
-        let mut next_arrival_idx = 0usize;
 
-        let mut now = Cycles::ZERO;
-        let mut next_quantum = quantum;
-        let mut running: Option<usize> = None;
+        let quantum = self.sched.quantum_cycles(&self.npu);
+        SimSession {
+            sched: self.sched.clone(),
+            policy: make_policy(self.sched.policy, self.sched.token_scale),
+            checkpoint_model: CheckpointModel::new(&self.npu),
+            quantum,
+            fast_forward,
+            state,
+            arrival_order,
+            next_arrival_idx: 0,
+            now: Cycles::ZERO,
+            next_quantum: quantum,
+            running: None,
+            phase: Phase::Wakeup,
+            scheduler_invocations: 0,
+            checkpoint_preemptions: 0,
+            kill_preemptions: 0,
+            drain_decisions: 0,
+        }
+    }
+}
 
-        let mut scheduler_invocations = 0u64;
-        let mut checkpoint_preemptions = 0u64;
-        let mut kill_preemptions = 0u64;
-        let mut drain_decisions = 0u64;
+/// A suspended-and-resumable multi-task simulation: the
+/// [`NpuSimulator::run`] event loop factored into an explicit state machine.
+///
+/// Created by [`NpuSimulator::session`]. Drive it with
+/// [`SimSession::run_until`]; between calls the session is *paused* and
+/// exposes the node state a cluster front-end could observe (queue depth,
+/// predicted remaining work, next completion bound), accepts newly arrived
+/// work via [`SimSession::inject`], and can hand never-started tasks back
+/// via [`SimSession::revoke`] (work stealing, load shedding). Once drained,
+/// [`SimSession::finish`] produces the [`SimOutcome`].
+#[derive(Debug)]
+pub struct SimSession {
+    sched: SchedulerConfig,
+    policy: Box<dyn crate::policy::SchedulingPolicy>,
+    checkpoint_model: CheckpointModel,
+    quantum: Cycles,
+    fast_forward: bool,
+    state: EngineState,
+    arrival_order: Vec<usize>,
+    next_arrival_idx: usize,
+    now: Cycles,
+    next_quantum: Cycles,
+    running: Option<usize>,
+    phase: Phase,
+    scheduler_invocations: u64,
+    checkpoint_preemptions: u64,
+    kill_preemptions: u64,
+    drain_decisions: u64,
+}
 
-        // Safety valve against scheduler livelock. The one known pathological
-        // configuration is Static(KILL) combined with round-robin ordering:
-        // two tasks can keep discarding each other's progress forever. Real
-        // workloads finish with a few thousand wakeups, so this limit only
-        // trips on genuine livelock.
-        const MAX_SCHEDULER_INVOCATIONS: u64 = 5_000_000;
+impl SimSession {
+    /// Safety valve against scheduler livelock. The one known pathological
+    /// configuration is Static(KILL) combined with round-robin ordering:
+    /// two tasks can keep discarding each other's progress forever. Real
+    /// workloads finish with a few thousand wakeups, so this limit only
+    /// trips on genuine livelock.
+    const MAX_SCHEDULER_INVOCATIONS: u64 = 5_000_000;
 
-        while state.completed < state.len() {
-            assert!(
-                scheduler_invocations < MAX_SCHEDULER_INVOCATIONS,
-                "scheduler livelock detected after {MAX_SCHEDULER_INVOCATIONS} wakeups \
-                 (policy {:?}, preemption {:?})",
-                self.sched.policy,
-                self.sched.preemption
-            );
-            // Admit arrivals that have happened.
-            while next_arrival_idx < arrival_order.len()
-                && state.runtimes[arrival_order[next_arrival_idx]]
-                    .prepared
-                    .request
-                    .arrival
-                    <= now
-            {
-                let idx = arrival_order[next_arrival_idx];
-                state.runtimes[idx].arrived = true;
-                state.enter_waiting(idx);
-                next_arrival_idx += 1;
+    /// Advances the simulation until the clock reaches `horizon` (then
+    /// [`StepOutcome::Paused`]) or every admitted task has finished
+    /// ([`StepOutcome::Drained`]).
+    ///
+    /// Pausing is pure suspension: composing `run_until` over any ascending
+    /// horizon sequence performs exactly the state transitions of the
+    /// one-shot run, so the eventual [`SimOutcome`] is bit-identical —
+    /// including the scheduler-invocation count. Scheduler events due
+    /// exactly *at* the horizon are processed before pausing, so a paused
+    /// session is always either executing a running task or idle — never
+    /// holding an admitted task it has not reacted to — and the clock stops
+    /// at the horizon, except that a wakeup's own side effects (restore /
+    /// checkpoint DMA) may carry it slightly past.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler livelocks (see the engine docs).
+    pub fn run_until(&mut self, horizon: Cycles) -> StepOutcome {
+        loop {
+            if self.state.finished == self.state.len() {
+                return StepOutcome::Drained;
             }
+            match self.phase {
+                Phase::Wakeup => {
+                    if self.now > horizon {
+                        return StepOutcome::Paused;
+                    }
+                    self.admit_due_arrivals();
 
-            if running.is_none() && state.waiting.is_empty() {
-                // Idle: jump to the next arrival.
-                let next = arrival_order
-                    .get(next_arrival_idx)
-                    .map(|&i| state.runtimes[i].prepared.request.arrival)
-                    .expect("tasks remain, so an arrival must be pending");
-                now = now.max(next);
-                next_quantum = realign_quantum(next_quantum, now, quantum);
-                continue;
-            }
+                    if self.running.is_none() && self.state.waiting.is_empty() {
+                        // Idle: jump to the next arrival (or the horizon,
+                        // whichever comes first — the jump has no side
+                        // effects, so clamping composes exactly).
+                        let next = self
+                            .arrival_order
+                            .get(self.next_arrival_idx)
+                            .map(|&i| self.state.runtimes[i].prepared.request.arrival)
+                            .expect("tasks remain, so an arrival must be pending");
+                        if next > horizon {
+                            self.now = self.now.max(horizon);
+                            self.next_quantum =
+                                realign_quantum(self.next_quantum, self.now, self.quantum);
+                            return StepOutcome::Paused;
+                        }
+                        self.now = self.now.max(next);
+                        self.next_quantum =
+                            realign_quantum(self.next_quantum, self.now, self.quantum);
+                        continue;
+                    }
 
-            // ---- Scheduler wakeup -------------------------------------------------
-            scheduler_invocations += 1;
-            state.grant_tokens(self.sched.token_scale);
-
-            if running.is_none() {
-                if !state.waiting.is_empty() {
-                    let chosen = policy.select(now, state.build_views(None));
-                    let idx = state.index_of(chosen);
-                    now = self.dispatch(&mut state, idx, now, &checkpoint_model);
-                    running = Some(idx);
+                    self.wakeup();
+                    self.phase = Phase::Execute;
                 }
-            } else if self.sched.preemption.is_preemptive() {
-                let run_idx = running.expect("checked above");
-                let chosen = policy.select(now, state.build_views(running));
-                if chosen != state.runtimes[run_idx].id() {
-                    let cand_idx = state.index_of(chosen);
-                    let mechanism = self.pick_mechanism(&state.runtimes, run_idx, cand_idx);
-                    match mechanism {
-                        PreemptionMechanism::Drain => {
-                            drain_decisions += 1;
-                        }
-                        PreemptionMechanism::Checkpoint => {
-                            checkpoint_preemptions += 1;
-                            now = self.preempt_checkpoint(
-                                &mut state,
-                                run_idx,
-                                now,
-                                &checkpoint_model,
-                            );
-                            now = self.dispatch(&mut state, cand_idx, now, &checkpoint_model);
-                            running = Some(cand_idx);
-                        }
-                        PreemptionMechanism::Kill => {
-                            kill_preemptions += 1;
-                            self.preempt_kill(&mut state, run_idx);
-                            now = self.dispatch(&mut state, cand_idx, now, &checkpoint_model);
-                            running = Some(cand_idx);
-                        }
+                Phase::Execute => {
+                    let Some(run_idx) = self.running else {
+                        self.phase = Phase::Wakeup;
+                        continue;
+                    };
+                    if self.now >= horizon {
+                        return StepOutcome::Paused;
+                    }
+                    let reached_event = self.execute_step(run_idx, horizon);
+                    if reached_event {
+                        self.phase = Phase::Wakeup;
+                    }
+                    // Otherwise the horizon clamped the step; the loop pauses
+                    // at the top of the next Execute iteration.
+                }
+            }
+        }
+    }
+
+    /// Admits every pending arrival whose time has come.
+    fn admit_due_arrivals(&mut self) {
+        while self.next_arrival_idx < self.arrival_order.len()
+            && self.state.runtimes[self.arrival_order[self.next_arrival_idx]]
+                .prepared
+                .request
+                .arrival
+                <= self.now
+        {
+            let idx = self.arrival_order[self.next_arrival_idx];
+            self.state.runtimes[idx].arrived = true;
+            self.state.enter_waiting(idx);
+            self.next_arrival_idx += 1;
+        }
+    }
+
+    /// One scheduler wakeup: grant tokens, then select / dispatch / preempt.
+    fn wakeup(&mut self) {
+        assert!(
+            self.scheduler_invocations < Self::MAX_SCHEDULER_INVOCATIONS,
+            "scheduler livelock detected after {} wakeups (policy {:?}, preemption {:?})",
+            Self::MAX_SCHEDULER_INVOCATIONS,
+            self.sched.policy,
+            self.sched.preemption
+        );
+        self.scheduler_invocations += 1;
+        self.state.grant_tokens(self.sched.token_scale);
+
+        if self.running.is_none() {
+            if !self.state.waiting.is_empty() {
+                let chosen = self.policy.select(self.now, self.state.build_views(None));
+                let idx = self.state.index_of(chosen);
+                self.now = self.dispatch(idx);
+                self.running = Some(idx);
+            }
+        } else if self.sched.preemption.is_preemptive() {
+            let run_idx = self.running.expect("checked above");
+            let chosen = self
+                .policy
+                .select(self.now, self.state.build_views(self.running));
+            if chosen != self.state.runtimes[run_idx].id() {
+                let cand_idx = self.state.index_of(chosen);
+                let mechanism = self.pick_mechanism(run_idx, cand_idx);
+                match mechanism {
+                    PreemptionMechanism::Drain => {
+                        self.drain_decisions += 1;
+                    }
+                    PreemptionMechanism::Checkpoint => {
+                        self.checkpoint_preemptions += 1;
+                        self.now = self.preempt_checkpoint(run_idx);
+                        self.now = self.dispatch(cand_idx);
+                        self.running = Some(cand_idx);
+                    }
+                    PreemptionMechanism::Kill => {
+                        self.kill_preemptions += 1;
+                        self.preempt_kill(run_idx);
+                        self.now = self.dispatch(cand_idx);
+                        self.running = Some(cand_idx);
                     }
                 }
             }
+        }
+    }
 
-            // ---- Execute until the next event -------------------------------------
-            let Some(run_idx) = running else {
-                continue;
-            };
-            next_quantum = realign_quantum(next_quantum, now, quantum);
-            let next_arrival = arrival_order
-                .get(next_arrival_idx)
-                .map(|&i| state.runtimes[i].prepared.request.arrival);
-            let remaining = {
-                let runtime = &state.runtimes[run_idx];
-                runtime.cursor.remaining(&runtime.prepared.plan)
-            };
-            let completion_time = now + remaining;
+    /// Executes the running task towards the next event, clamped at
+    /// `horizon`. Returns whether the step reached a true event (so the
+    /// next iteration is a wakeup) rather than being cut short.
+    fn execute_step(&mut self, run_idx: usize, horizon: Cycles) -> bool {
+        self.next_quantum = realign_quantum(self.next_quantum, self.now, self.quantum);
+        let next_arrival = self
+            .arrival_order
+            .get(self.next_arrival_idx)
+            .map(|&i| self.state.runtimes[i].prepared.request.arrival);
+        let remaining = {
+            let runtime = &self.state.runtimes[run_idx];
+            runtime.cursor.remaining(&runtime.prepared.plan)
+        };
+        let completion_time = self.now + remaining;
 
-            // ---- Event-horizon fast-forward (see the module docs) -----------------
-            //
-            // The next true event is the running task's completion or the
-            // next arrival, whichever comes first. Every quantum wakeup
-            // strictly before that horizon is provably inert when (a) no
-            // other task is waiting — the policies are pure functions of
-            // the views, so a one-candidate selection is a foregone
-            // conclusion — or (b) the mode is non-preemptive, where the
-            // scheduler is never consulted while a task runs. Jump straight
-            // to the last such wakeup, crediting the skipped quanta's
-            // invocations and token grants in one batch.
-            if fast_forward {
-                let horizon = match next_arrival {
-                    Some(arrival) => completion_time.min(arrival.max(now)),
-                    None => completion_time,
+        // ---- Event-horizon fast-forward (see the module docs) -----------------
+        //
+        // The next true event is the running task's completion or the
+        // next arrival, whichever comes first. Every quantum wakeup
+        // strictly before that horizon is provably inert when (a) no
+        // other task is waiting — the policies are pure functions of
+        // the views, so a one-candidate selection is a foregone
+        // conclusion — or (b) the mode is non-preemptive, where the
+        // scheduler is never consulted while a task runs. Jump straight
+        // to the last such wakeup, crediting the skipped quanta's
+        // invocations and token grants in one batch. The pause horizon
+        // clamps the jump; the remaining inert wakeups are batched on
+        // resume, with the same per-task grant sequence (the split
+        // batches perform identical `f64` additions in identical order).
+        if self.fast_forward {
+            let event_horizon = match next_arrival {
+                Some(arrival) => completion_time.min(arrival.max(self.now)),
+                None => completion_time,
+            };
+            let ff_horizon = event_horizon.min(horizon);
+            let inert = self.state.waiting.is_empty() || !self.sched.preemption.is_preemptive();
+            if inert && self.next_quantum < ff_horizon {
+                let span = ff_horizon - self.next_quantum;
+                let periods = span.get().div_ceil(self.quantum.get());
+                let last_boundary = self.next_quantum + self.quantum * (periods - 1);
+                let skip_budget = last_boundary - self.now;
+                let consumed = {
+                    let runtime = &mut self.state.runtimes[run_idx];
+                    let plan = Arc::clone(&runtime.prepared.plan);
+                    runtime.cursor.advance(&plan, skip_budget)
                 };
-                let inert = state.waiting.is_empty() || !self.sched.preemption.is_preemptive();
-                if inert && next_quantum < horizon {
-                    let span = horizon - next_quantum;
-                    let periods = span.get().div_ceil(quantum.get());
-                    let last_boundary = next_quantum + quantum * (periods - 1);
-                    let skip_budget = last_boundary - now;
-                    let consumed = {
-                        let runtime = &mut state.runtimes[run_idx];
-                        let plan = Arc::clone(&runtime.prepared.plan);
-                        runtime.cursor.advance(&plan, skip_budget)
-                    };
-                    debug_assert_eq!(consumed, skip_budget, "horizon is before completion");
-                    state.accrue(consumed);
-                    now = last_boundary;
-                    next_quantum = last_boundary + quantum;
-                    scheduler_invocations += periods;
-                    state.grant_tokens_batch(self.sched.token_scale, quantum, periods);
-                }
-            }
-
-            let mut t_next = completion_time.min(next_quantum);
-            if let Some(arrival) = next_arrival {
-                t_next = t_next.min(arrival.max(now));
-            }
-            let budget = t_next - now;
-
-            let consumed = {
-                let runtime = &mut state.runtimes[run_idx];
-                let plan = Arc::clone(&runtime.prepared.plan);
-                runtime.cursor.advance(&plan, budget)
-            };
-            state.accrue(consumed);
-            now += consumed;
-
-            let finished = {
-                let runtime = &state.runtimes[run_idx];
-                runtime.cursor.is_complete(&runtime.prepared.plan)
-            };
-            if finished {
-                state.complete(run_idx, now);
-                running = None;
-            } else if consumed.is_zero() && budget.is_zero() && next_arrival.is_none() {
-                // Degenerate safety net: a zero-length plan completes instantly.
-                state.complete(run_idx, now);
-                running = None;
+                debug_assert_eq!(consumed, skip_budget, "horizon is before completion");
+                self.state.accrue(consumed);
+                self.now = last_boundary;
+                self.next_quantum = last_boundary + self.quantum;
+                self.scheduler_invocations += periods;
+                self.state
+                    .grant_tokens_batch(self.sched.token_scale, self.quantum, periods);
             }
         }
 
-        // Build the id-sorted records, deriving the makespan in the same
-        // pass instead of re-scanning afterwards.
+        let mut t_next = completion_time.min(self.next_quantum);
+        if let Some(arrival) = next_arrival {
+            t_next = t_next.min(arrival.max(self.now));
+        }
+        let t_exec = t_next.min(horizon);
+        let budget = t_exec - self.now;
+
+        let consumed = {
+            let runtime = &mut self.state.runtimes[run_idx];
+            let plan = Arc::clone(&runtime.prepared.plan);
+            runtime.cursor.advance(&plan, budget)
+        };
+        self.state.accrue(consumed);
+        self.now += consumed;
+
+        let finished = {
+            let runtime = &self.state.runtimes[run_idx];
+            runtime.cursor.is_complete(&runtime.prepared.plan)
+        };
+        if finished {
+            self.state.complete(run_idx, self.now);
+            self.running = None;
+            return true;
+        }
+        if consumed.is_zero() && budget.is_zero() && t_exec == t_next && next_arrival.is_none() {
+            // Degenerate safety net: a zero-length plan completes instantly.
+            self.state.complete(run_idx, self.now);
+            self.running = None;
+            return true;
+        }
+        t_exec == t_next
+    }
+
+    /// Starts (or resumes) `idx` on the NPU, charging a restore latency if
+    /// its context was previously checkpointed. Returns the time at which
+    /// useful execution begins.
+    fn dispatch(&mut self, idx: usize) -> Cycles {
+        let state = &mut self.state;
+        // Leave the waiting set first: the dispatched task does not wait
+        // through its own restore DMA, but everyone else does.
+        state.leave_waiting(idx);
+        let mut start = self.now;
+        if state.runtimes[idx].needs_restore && self.sched.charge_restore {
+            let restore = self
+                .checkpoint_model
+                .restore_cycles(state.runtimes[idx].checkpointed_bytes);
+            state.runtimes[idx].restore_overhead += restore;
+            state.accrue(restore);
+            start += restore;
+        }
+        let runtime = &mut state.runtimes[idx];
+        runtime.needs_restore = false;
+        runtime.state = TaskState::Running;
+        runtime.first_start = runtime.first_start.or(Some(start));
+        runtime.last_scheduled = Some(start);
+        start
+    }
+
+    /// Preempts the running task with CHECKPOINT: finishes the current
+    /// `GEMM_OP` interval, spills the live context, and returns the new time.
+    fn preempt_checkpoint(&mut self, run_idx: usize) -> Cycles {
+        let state = &mut self.state;
+        // Run to the next legal preemption point. The preempted task is
+        // still Running here, so the boundary cycles charge waiting time to
+        // everyone else only.
+        let (boundary, live_bytes) = {
+            let runtime = &mut state.runtimes[run_idx];
+            let plan = Arc::clone(&runtime.prepared.plan);
+            let boundary = runtime.cursor.cycles_to_boundary(&plan);
+            runtime.cursor.advance(&plan, boundary);
+            let live_bytes = runtime.cursor.live_checkpoint_bytes(&plan);
+            (boundary, live_bytes)
+        };
+        state.accrue(boundary);
+        let mut time = self.now + boundary;
+
+        let checkpoint = self.checkpoint_model.checkpoint_cycles(live_bytes);
+        {
+            let runtime = &mut state.runtimes[run_idx];
+            runtime.checkpoint_overhead += checkpoint;
+            runtime.checkpointed_bytes = live_bytes;
+            runtime.max_checkpoint_bytes = runtime.max_checkpoint_bytes.max(live_bytes);
+            runtime.needs_restore = true;
+            runtime.preemption_count += 1;
+            runtime.state = TaskState::Checkpointed;
+        }
+        // During the checkpoint DMA nobody makes forward progress; everyone
+        // waiting (including the just-preempted task) accrues wait time.
+        state.enter_waiting(run_idx);
+        state.accrue(checkpoint);
+        time += checkpoint;
+        time
+    }
+
+    /// Preempts the running task with KILL: all progress is discarded and the
+    /// task restarts from scratch when it is next scheduled.
+    fn preempt_kill(&mut self, run_idx: usize) {
+        let state = &mut self.state;
+        {
+            let runtime = &mut state.runtimes[run_idx];
+            runtime.cursor.reset();
+            runtime.preemption_count += 1;
+            runtime.kill_restarts += 1;
+            runtime.checkpointed_bytes = 0;
+            runtime.needs_restore = false;
+            runtime.state = TaskState::Ready;
+        }
+        state.enter_waiting(run_idx);
+    }
+
+    /// Chooses the preemption mechanism for displacing `run_idx` in favour of
+    /// `cand_idx` under the configured preemption mode.
+    fn pick_mechanism(&self, run_idx: usize, cand_idx: usize) -> PreemptionMechanism {
+        let runtimes = &self.state.runtimes;
+        match self.sched.preemption {
+            PreemptionMode::NonPreemptive => PreemptionMechanism::Drain,
+            PreemptionMode::Static(mechanism) => mechanism,
+            PreemptionMode::Dynamic | PreemptionMode::DynamicKill => {
+                let inputs = MechanismDecisionInputs {
+                    current_estimated: runtimes[run_idx].estimated,
+                    current_executed: runtimes[run_idx].cursor.executed(),
+                    candidate_estimated: runtimes[cand_idx].estimated,
+                    candidate_executed: runtimes[cand_idx].cursor.executed(),
+                };
+                match select_mechanism(inputs) {
+                    PreemptionMechanism::Drain => PreemptionMechanism::Drain,
+                    _ if self.sched.preemption == PreemptionMode::DynamicKill => {
+                        PreemptionMechanism::Kill
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    // ---- Closed-loop surface ---------------------------------------------
+
+    /// The session's current simulation clock.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Whether every admitted task has completed (or been revoked).
+    pub fn is_drained(&self) -> bool {
+        self.state.finished == self.state.len()
+    }
+
+    /// Number of resident (incomplete, not revoked) tasks: the node's live
+    /// queue depth, counting the running task and not-yet-admitted
+    /// injections.
+    pub fn queue_depth(&self) -> usize {
+        self.state.len() - self.state.finished
+    }
+
+    /// Scheduler wakeups performed so far.
+    pub fn scheduler_invocations(&self) -> u64 {
+        self.scheduler_invocations
+    }
+
+    /// Runtime indices of every resident (incomplete, not revoked) task:
+    /// the waiting set, the running task, and the not-yet-admitted pending
+    /// arrivals — disjoint by construction. Iterating these keeps the
+    /// closed-loop observation surface proportional to the *live* queue,
+    /// not to every task the session ever served.
+    fn resident_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.state
+            .waiting
+            .iter()
+            .copied()
+            .chain(self.running)
+            .chain(self.arrival_order[self.next_arrival_idx..].iter().copied())
+    }
+
+    /// A snapshot of every resident task (see [`ResidentTask`]): the
+    /// waiting set (task-id order), then the running task, then pending
+    /// arrivals (arrival order) — deterministic across calls.
+    pub fn resident_tasks(&self) -> Vec<ResidentTask> {
+        self.resident_indices()
+            .map(|idx| {
+                let r = &self.state.runtimes[idx];
+                ResidentTask {
+                    id: r.id(),
+                    priority: r.prepared.request.priority,
+                    arrival: r.prepared.request.arrival,
+                    estimated_total: r.estimated,
+                    executed: r.cursor.executed(),
+                    started: r.first_start.is_some(),
+                    revocable: r.first_start.is_none() && Some(idx) != self.running,
+                }
+            })
+            .collect()
+    }
+
+    /// The predictor's view of the node's total remaining work: summed
+    /// estimated-remaining cycles over every resident task, using each
+    /// task's *true* live progress.
+    pub fn predicted_remaining_work(&self) -> Cycles {
+        self.resident_indices()
+            .map(|idx| {
+                let r = &self.state.runtimes[idx];
+                r.estimated - r.cursor.executed()
+            })
+            .sum()
+    }
+
+    /// Like [`SimSession::predicted_remaining_work`], restricted to resident
+    /// tasks of equal-or-higher priority than `priority` — the work a
+    /// preemptive node would actually run before an arriving request of that
+    /// priority.
+    pub fn predicted_blocking_work(&self, priority: Priority) -> Cycles {
+        self.resident_indices()
+            .filter(|&idx| self.state.runtimes[idx].prepared.request.priority >= priority)
+            .map(|idx| {
+                let r = &self.state.runtimes[idx];
+                r.estimated - r.cursor.executed()
+            })
+            .sum()
+    }
+
+    /// A lower bound on the next time the node's task set can shrink: the
+    /// running task's completion time (assuming no further preemption), the
+    /// current clock if dispatching is imminent, or the next pending
+    /// arrival. `None` once drained.
+    pub fn next_completion_time(&self) -> Option<Cycles> {
+        if self.is_drained() {
+            return None;
+        }
+        if let Some(run_idx) = self.running {
+            let runtime = &self.state.runtimes[run_idx];
+            return Some(self.now + runtime.cursor.remaining(&runtime.prepared.plan));
+        }
+        if !self.state.waiting.is_empty() {
+            return Some(self.now);
+        }
+        self.arrival_order.get(self.next_arrival_idx).map(|&i| {
+            self.state.runtimes[i]
+                .prepared
+                .request
+                .arrival
+                .max(self.now)
+        })
+    }
+
+    /// Injects a newly arrived task into the paused session. The task is
+    /// admitted at the first wakeup at or after its arrival time; an arrival
+    /// in the session's past is admitted immediately at the current clock
+    /// (its record still carries the true arrival, so queueing-delay metrics
+    /// see the dispatch latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task with the same ID is already part of the session.
+    pub fn inject(&mut self, task: PreparedTask) {
+        let id = task.request.id;
+        let pos = self
+            .state
+            .id_index
+            .binary_search_by_key(&id, |&(id, _)| id)
+            .expect_err("task IDs must be unique");
+        let idx = self.state.runtimes.len();
+        let arrival = task.request.arrival;
+        self.state.runtimes.push(Runtime::new(task));
+        self.state.id_index.insert(pos, (id, idx));
+        // Keep the unadmitted tail of the arrival queue (arrival, id)-sorted
+        // so admission order stays deterministic.
+        let tail_start = self.next_arrival_idx;
+        let insert_at = self.arrival_order[tail_start..].partition_point(|&i| {
+            let request = &self.state.runtimes[i].prepared.request;
+            (request.arrival, request.id) <= (arrival, id)
+        });
+        self.arrival_order.insert(tail_start + insert_at, idx);
+    }
+
+    /// Hands a task back, if it has not started executing: the task is
+    /// removed from the node (no record will be produced) and returned for
+    /// re-injection elsewhere — the primitive behind work stealing and load
+    /// shedding. Returns `None` if the task is unknown, already running or
+    /// started, completed, or previously revoked.
+    pub fn revoke(&mut self, id: TaskId) -> Option<PreparedTask> {
+        let pos = self
+            .state
+            .id_index
+            .binary_search_by_key(&id, |&(id, _)| id)
+            .ok()?;
+        let idx = self.state.id_index[pos].1;
+        let runtime = &self.state.runtimes[idx];
+        if runtime.revoked
+            || runtime.completion.is_some()
+            || runtime.first_start.is_some()
+            || Some(idx) == self.running
+        {
+            return None;
+        }
+        if runtime.arrived {
+            debug_assert!(runtime.is_waiting(), "never-started admitted task waits");
+            self.state.leave_waiting(idx);
+        } else {
+            let tail = &self.arrival_order[self.next_arrival_idx..];
+            let offset = tail
+                .iter()
+                .position(|&i| i == idx)
+                .expect("unadmitted task is in the pending arrival queue");
+            self.arrival_order.remove(self.next_arrival_idx + offset);
+        }
+        let runtime = &mut self.state.runtimes[idx];
+        runtime.revoked = true;
+        self.state.finished += 1;
+        Some(runtime.prepared.clone())
+    }
+
+    /// Consumes the drained session and builds the [`SimOutcome`]: the
+    /// id-sorted records of every completed task (revoked tasks produce no
+    /// record), deriving the makespan in the same pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tasks are still outstanding (not [`StepOutcome::Drained`]).
+    pub fn finish(self) -> SimOutcome {
+        assert!(
+            self.is_drained(),
+            "finish() called with tasks still outstanding"
+        );
         let mut makespan = Cycles::ZERO;
-        let mut records: Vec<TaskRecord> = state
+        let mut records: Vec<TaskRecord> = self
+            .state
             .runtimes
             .iter()
+            .filter(|r| !r.revoked)
             .map(|r| {
                 let completion = r.completion.expect("all tasks completed");
                 makespan = makespan.max(completion);
@@ -855,123 +1370,10 @@ impl NpuSimulator {
         SimOutcome {
             records,
             makespan,
-            scheduler_invocations,
-            checkpoint_preemptions,
-            kill_preemptions,
-            drain_decisions,
-        }
-    }
-
-    /// Starts (or resumes) `idx` on the NPU at time `now`, charging a restore
-    /// latency if its context was previously checkpointed. Returns the time
-    /// at which useful execution begins.
-    fn dispatch(
-        &self,
-        state: &mut EngineState,
-        idx: usize,
-        now: Cycles,
-        checkpoint_model: &CheckpointModel,
-    ) -> Cycles {
-        // Leave the waiting set first: the dispatched task does not wait
-        // through its own restore DMA, but everyone else does.
-        state.leave_waiting(idx);
-        let mut start = now;
-        if state.runtimes[idx].needs_restore && self.sched.charge_restore {
-            let restore = checkpoint_model.restore_cycles(state.runtimes[idx].checkpointed_bytes);
-            state.runtimes[idx].restore_overhead += restore;
-            state.accrue(restore);
-            start += restore;
-        }
-        let runtime = &mut state.runtimes[idx];
-        runtime.needs_restore = false;
-        runtime.state = TaskState::Running;
-        runtime.first_start = runtime.first_start.or(Some(start));
-        runtime.last_scheduled = Some(start);
-        start
-    }
-
-    /// Preempts the running task with CHECKPOINT: finishes the current
-    /// `GEMM_OP` interval, spills the live context, and returns the new time.
-    fn preempt_checkpoint(
-        &self,
-        state: &mut EngineState,
-        run_idx: usize,
-        now: Cycles,
-        checkpoint_model: &CheckpointModel,
-    ) -> Cycles {
-        // Run to the next legal preemption point. The preempted task is
-        // still Running here, so the boundary cycles charge waiting time to
-        // everyone else only.
-        let (boundary, live_bytes) = {
-            let runtime = &mut state.runtimes[run_idx];
-            let plan = Arc::clone(&runtime.prepared.plan);
-            let boundary = runtime.cursor.cycles_to_boundary(&plan);
-            runtime.cursor.advance(&plan, boundary);
-            let live_bytes = runtime.cursor.live_checkpoint_bytes(&plan);
-            (boundary, live_bytes)
-        };
-        state.accrue(boundary);
-        let mut time = now + boundary;
-
-        let checkpoint = checkpoint_model.checkpoint_cycles(live_bytes);
-        {
-            let runtime = &mut state.runtimes[run_idx];
-            runtime.checkpoint_overhead += checkpoint;
-            runtime.checkpointed_bytes = live_bytes;
-            runtime.max_checkpoint_bytes = runtime.max_checkpoint_bytes.max(live_bytes);
-            runtime.needs_restore = true;
-            runtime.preemption_count += 1;
-            runtime.state = TaskState::Checkpointed;
-        }
-        // During the checkpoint DMA nobody makes forward progress; everyone
-        // waiting (including the just-preempted task) accrues wait time.
-        state.enter_waiting(run_idx);
-        state.accrue(checkpoint);
-        time += checkpoint;
-        time
-    }
-
-    /// Preempts the running task with KILL: all progress is discarded and the
-    /// task restarts from scratch when it is next scheduled.
-    fn preempt_kill(&self, state: &mut EngineState, run_idx: usize) {
-        {
-            let runtime = &mut state.runtimes[run_idx];
-            runtime.cursor.reset();
-            runtime.preemption_count += 1;
-            runtime.kill_restarts += 1;
-            runtime.checkpointed_bytes = 0;
-            runtime.needs_restore = false;
-            runtime.state = TaskState::Ready;
-        }
-        state.enter_waiting(run_idx);
-    }
-
-    /// Chooses the preemption mechanism for displacing `run_idx` in favour of
-    /// `cand_idx` under the configured preemption mode.
-    fn pick_mechanism(
-        &self,
-        runtimes: &[Runtime],
-        run_idx: usize,
-        cand_idx: usize,
-    ) -> PreemptionMechanism {
-        match self.sched.preemption {
-            PreemptionMode::NonPreemptive => PreemptionMechanism::Drain,
-            PreemptionMode::Static(mechanism) => mechanism,
-            PreemptionMode::Dynamic | PreemptionMode::DynamicKill => {
-                let inputs = MechanismDecisionInputs {
-                    current_estimated: runtimes[run_idx].estimated,
-                    current_executed: runtimes[run_idx].cursor.executed(),
-                    candidate_estimated: runtimes[cand_idx].estimated,
-                    candidate_executed: runtimes[cand_idx].cursor.executed(),
-                };
-                match select_mechanism(inputs) {
-                    PreemptionMechanism::Drain => PreemptionMechanism::Drain,
-                    _ if self.sched.preemption == PreemptionMode::DynamicKill => {
-                        PreemptionMechanism::Kill
-                    }
-                    other => other,
-                }
-            }
+            scheduler_invocations: self.scheduler_invocations,
+            checkpoint_preemptions: self.checkpoint_preemptions,
+            kill_preemptions: self.kill_preemptions,
+            drain_decisions: self.drain_decisions,
         }
     }
 }
@@ -1311,6 +1713,37 @@ mod tests {
                 // isolated-task tail alone spans several quanta.
                 assert!(fast.scheduler_invocations > 3);
             }
+        }
+    }
+
+    #[test]
+    fn resident_tasks_cover_exactly_the_incomplete_tasks_while_paused() {
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let prepared = prepare(simple_requests());
+        let mut session = sim.session(&prepared);
+        let mut horizon = Cycles::ZERO;
+        loop {
+            let outcome = session.run_until(horizon);
+            let residents = session.resident_tasks();
+            // The index-set walk (waiting + running + pending arrivals) must
+            // agree with the brute-force definition: every incomplete task,
+            // exactly once.
+            assert_eq!(residents.len(), session.queue_depth());
+            let mut ids: Vec<TaskId> = residents.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), residents.len(), "no duplicates");
+            for resident in &residents {
+                assert!(
+                    resident.estimated_remaining() <= resident.estimated_total,
+                    "progress never exceeds the estimate's frame"
+                );
+            }
+            if outcome == StepOutcome::Drained {
+                assert!(residents.is_empty());
+                break;
+            }
+            horizon += Cycles::new(250_000);
         }
     }
 

@@ -51,7 +51,10 @@ pub mod task;
 
 pub use config::{PolicyKind, PreemptionMode, SchedulerConfig};
 pub use context_table::{ContextEntry, ContextTable};
-pub use engine::{NpuSimulator, OutcomeSummary, PreparedTask, SimOutcome, TaskRecord};
+pub use engine::{
+    NpuSimulator, OutcomeSummary, PreparedTask, ResidentTask, SimOutcome, SimSession, StepOutcome,
+    TaskRecord,
+};
 pub use plan::{ExecutionPlan, ProgressCursor};
 pub use policy::{SchedulingPolicy, TaskView};
 pub use preemption::PreemptionMechanism;

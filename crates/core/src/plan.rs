@@ -18,7 +18,7 @@
 //! cycles per scheduling event, and a single advance used to walk the nested
 //! `layers → intervals` vectors one interval at a time — O(intervals crossed)
 //! per event, with a pointer chase per layer. Compilation therefore flattens
-//! every plan into a [`PlanArena`]: one cache-friendly prefix-sum table of
+//! every plan into a `PlanArena`: one cache-friendly prefix-sum table of
 //! cumulative interval end boundaries, plus parallel per-interval live-byte
 //! and layer-index tables and the flat offset of each layer's first interval.
 //! On the arena, [`ProgressCursor::advance`] is a bounds check in the common
@@ -227,13 +227,13 @@ impl ExecutionPlan {
 /// architectural configuration (compared field-wise; the
 /// [`NpuConfig::fingerprint`] digest is only used for hashing).
 ///
-/// The cache is striped across [`SHARD_COUNT`] independently locked shards
+/// The cache is striped across `SHARD_COUNT` independently locked shards
 /// (selected by key hash), so concurrent lookups from the parallel
 /// evaluation suite contend only when they race on the same stripe instead
 /// of serializing on one global mutex. Entries are `Arc`-shared and
 /// immutable; a racing first-compile of the same key simply keeps one
-/// winner. [`warm`] pre-compiles a suite's unique keys in parallel before a
-/// grid run, eliminating first-touch duplicate compiles entirely. [`clear`]
+/// winner. [`plan_cache::warm`] pre-compiles a suite's unique keys in parallel before a
+/// grid run, eliminating first-touch duplicate compiles entirely. [`plan_cache::clear`]
 /// exists for benchmarks that want to measure the uncached path and for
 /// long-lived processes sweeping many NPU configurations.
 pub mod plan_cache {
@@ -428,7 +428,7 @@ pub mod plan_cache {
 
 /// A task's position within its execution plan.
 ///
-/// The cursor works on the plan's flat [`PlanArena`]: its state is the total
+/// The cursor works on the plan's flat `PlanArena`: its state is the total
 /// cycles executed plus the flat index of the interval the next cycle
 /// executes in. [`ProgressCursor::advance`] is a boundary comparison in the
 /// common case and a binary search over the prefix-sum table otherwise; the
@@ -567,7 +567,7 @@ impl Default for ProgressCursor {
 ///
 /// This walks `plan.layers()[..].intervals[..]` one interval at a time —
 /// O(intervals crossed) per advance — exactly as the engine did before the
-/// flat [`PlanArena`] existed. It is **not** used on any production path;
+/// flat `PlanArena` existed. It is **not** used on any production path;
 /// the cursor-equivalence property test (`tests/property_tests.rs`) replays
 /// random plans and budgets through both cursors and asserts every
 /// observable (consumed cycles, executed total, boundary distance, live

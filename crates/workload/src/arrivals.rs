@@ -24,6 +24,12 @@
 //! the same shared helper as the finite-window generator; priorities come
 //! from a configurable per-priority rate mix instead of a uniform pool.
 //!
+//! Streams come in two forms: [`generate_open_loop`] materializes the whole
+//! window at once (the open-loop sweep's shape), while [`OpenLoopIter`]
+//! yields requests one at a time so a closed-loop driver can poll the
+//! stream incrementally as its global clock advances — collecting the
+//! iterator is bit-identical to the materialized form.
+//!
 //! All generation is a pure function of the seeded RNG, so a cluster sweep
 //! replaying the same seed sees bit-identical request streams.
 
@@ -32,7 +38,7 @@ use serde::{Deserialize, Serialize};
 
 use dnn_models::{ModelKind, ALL_EVAL_MODELS};
 use npu_sim::NpuConfig;
-use prema_core::{Priority, TaskId};
+use prema_core::{Priority, TaskId, TaskRequest};
 
 use crate::generator::{sample_request, WorkloadSpec};
 
@@ -300,10 +306,80 @@ fn pick_priority<R: Rng + ?Sized>(
     mix.last().expect("priority mix is non-empty").0
 }
 
+/// An incrementally polled open-loop request stream: an [`Iterator`] over
+/// [`prema_core::TaskRequest`]s in arrival order with dense IDs `0..n`.
+///
+/// The arrival *times* are drawn from the process up front (they are one
+/// contiguous RNG consumption, exactly as [`generate_open_loop`] consumes
+/// them), but each request's fields — model, batch, priority, sequence
+/// lengths — are sampled lazily on [`Iterator::next`]. A closed-loop driver
+/// can therefore pull requests one global event at a time instead of
+/// materializing the whole stream, and collecting the iterator is
+/// bit-identical to [`generate_open_loop`] on the same RNG state.
+#[derive(Debug)]
+pub struct OpenLoopIter<'a, R: Rng + ?Sized> {
+    times: std::vec::IntoIter<f64>,
+    next_id: u64,
+    config: &'a OpenLoopConfig,
+    total_weight: f64,
+    timeline: NpuConfig,
+    rng: &'a mut R,
+}
+
+impl<'a, R: Rng + ?Sized> OpenLoopIter<'a, R> {
+    /// Draws the stream's arrival times and returns the lazy per-request
+    /// iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: &'a OpenLoopConfig, rng: &'a mut R) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid OpenLoopConfig: {msg}");
+        }
+        let total_weight: f64 = config.priority_mix.iter().map(|(_, w)| w).sum();
+        let times = config.process.arrival_times(config.duration_ms, rng);
+        OpenLoopIter {
+            times: times.into_iter(),
+            next_id: 0,
+            config,
+            total_weight,
+            timeline: NpuConfig::paper_default(),
+            rng,
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Iterator for OpenLoopIter<'_, R> {
+    type Item = TaskRequest;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let t_ms = self.times.next()?;
+        let arrival = self.timeline.millis_to_cycles(t_ms);
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        Some(sample_request(
+            id,
+            &self.config.models,
+            &self.config.batch_sizes,
+            self.rng,
+            |rng| pick_priority(&self.config.priority_mix, self.total_weight, rng),
+            |_| arrival,
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.times.size_hint()
+    }
+}
+
+impl<R: Rng + ?Sized> ExactSizeIterator for OpenLoopIter<'_, R> {}
+
 /// Generates one open-loop request stream: arrival times from the configured
 /// process, per-request fields from the same shared sampler as the
 /// finite-window generator, priorities from the weighted mix. Requests are
-/// returned in arrival order with dense IDs `0..n`.
+/// returned in arrival order with dense IDs `0..n` (the collected form of
+/// [`OpenLoopIter`]).
 ///
 /// Arrival times are converted to cycles against the Table I NPU frequency,
 /// like the finite-window generator, so streams are reproducible
@@ -313,25 +389,9 @@ fn pick_priority<R: Rng + ?Sized>(
 ///
 /// Panics if the configuration is invalid.
 pub fn generate_open_loop<R: Rng + ?Sized>(config: &OpenLoopConfig, rng: &mut R) -> WorkloadSpec {
-    if let Err(msg) = config.validate() {
-        panic!("invalid OpenLoopConfig: {msg}");
+    WorkloadSpec {
+        requests: OpenLoopIter::new(config, rng).collect(),
     }
-    let npu = NpuConfig::paper_default();
-    let total_weight: f64 = config.priority_mix.iter().map(|(_, w)| w).sum();
-    let times = config.process.arrival_times(config.duration_ms, rng);
-    let mut requests = Vec::with_capacity(times.len());
-    for (id, t_ms) in times.iter().enumerate() {
-        let arrival = npu.millis_to_cycles(*t_ms);
-        requests.push(sample_request(
-            TaskId(id as u64),
-            &config.models,
-            &config.batch_sizes,
-            rng,
-            |rng| pick_priority(&config.priority_mix, total_weight, rng),
-            |_| arrival,
-        ));
-    }
-    WorkloadSpec { requests }
 }
 
 #[cfg(test)]
@@ -442,6 +502,24 @@ mod tests {
             if i > 0 {
                 assert!(request.arrival >= a.requests[i - 1].arrival);
             }
+        }
+    }
+
+    #[test]
+    fn incremental_iterator_matches_the_materialized_stream() {
+        for (rate, duration, seed) in [(1.0, 60.0, 5u64), (2.5, 120.0, 0xFEED)] {
+            let config = OpenLoopConfig::poisson(rate, duration);
+            let materialized = generate_open_loop(&config, &mut StdRng::seed_from_u64(seed));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut iter = OpenLoopIter::new(&config, &mut rng);
+            assert_eq!(iter.len(), materialized.requests.len());
+            let mut streamed = Vec::new();
+            while let Some(request) = iter.next() {
+                // The iterator advertises exactly the remaining count.
+                assert_eq!(iter.len(), materialized.requests.len() - streamed.len() - 1);
+                streamed.push(request);
+            }
+            assert_eq!(streamed, materialized.requests);
         }
     }
 

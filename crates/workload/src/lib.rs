@@ -41,7 +41,7 @@ pub mod microbench;
 pub mod prepare;
 pub mod seqlen;
 
-pub use arrivals::{generate_open_loop, ArrivalProcess, OpenLoopConfig};
+pub use arrivals::{generate_open_loop, ArrivalProcess, OpenLoopConfig, OpenLoopIter};
 pub use generator::{generate_workload, WorkloadConfig, WorkloadSpec};
 pub use prepare::{prepare_workload, PreparedWorkload};
 pub use seqlen::SeqLenCharacterization;

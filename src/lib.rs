@@ -11,8 +11,9 @@
 //! * [`workload`] — Section III workload generation and open-loop arrival
 //!   processes ([`prema_workload`]).
 //! * [`metrics`] — ANTT / STP / fairness / SLA metrics ([`prema_metrics`]).
-//! * [`cluster`] — the multi-NPU cluster serving layer: front-end dispatch
-//!   across N simulator nodes ([`prema_cluster`]).
+//! * [`cluster`] — the multi-NPU cluster serving layer: open-loop front-end
+//!   dispatch across N simulator nodes, plus the closed-loop online
+//!   dispatcher reacting to live node state ([`prema_cluster`]).
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -81,10 +82,12 @@ pub use dnn_models::{ModelKind, SeqSpec};
 pub use npu_sim::{Cycles, NpuConfig};
 pub use prema_cluster::{
     ClusterConfig, ClusterMetrics, ClusterOutcome, ClusterSimulator, DispatchPolicy,
+    OnlineClusterConfig, OnlineClusterSimulator, OnlineDispatchPolicy, OnlineOutcome,
 };
 pub use prema_core::{
     NpuSimulator, OutcomeSummary, PolicyKind, PreemptionMechanism, PreemptionMode, PreparedTask,
-    Priority, SchedulerConfig, SimOutcome, TaskId, TaskRecord, TaskRequest,
+    Priority, ResidentTask, SchedulerConfig, SimOutcome, SimSession, StepOutcome, TaskId,
+    TaskRecord, TaskRequest,
 };
 pub use prema_metrics::{MultiTaskMetrics, TaskOutcome};
 pub use prema_predictor::{AnalyticalPredictor, InferenceTimePredictor};

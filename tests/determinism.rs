@@ -11,12 +11,15 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use prema::cluster::{outcome_hash, ClusterConfig, ClusterSimulator, DispatchPolicy};
+use prema::cluster::{
+    online_outcome_hash, outcome_hash, ClusterConfig, ClusterSimulator, DispatchPolicy,
+    OnlineClusterConfig, OnlineClusterSimulator, OnlineDispatchPolicy,
+};
 use prema::{
     NpuConfig, NpuSimulator, PolicyKind, PreemptionMechanism, PreemptionMode, SchedulerConfig,
     SimOutcome,
 };
-use prema_bench::cluster::{run_cluster_sweep, sweep_hash, ClusterSweepOptions};
+use prema_bench::cluster::{run_cluster_sweep, sweep_hash, ClosedLoopVariant, ClusterSweepOptions};
 use prema_bench::suite::{run_grid, run_grid_reference, SuiteOptions};
 use prema_workload::arrivals::{generate_open_loop, ArrivalProcess, OpenLoopConfig};
 use prema_workload::generator::{generate_workload, WorkloadConfig};
@@ -192,16 +195,104 @@ fn cluster_runs_are_bit_identical_across_fanout_and_invocations() {
     }
 }
 
+/// The closed-loop (online) cluster path is deterministic end to end: the
+/// same prepared workload produces a bit-identical `OnlineOutcome` —
+/// served records, final assignments (steals included), shed list, steal
+/// count and digest — for every dispatch signal and closed-loop mechanism,
+/// across arrival processes. There is no RNG anywhere on the path, so two
+/// invocations must agree exactly.
+#[test]
+fn online_cluster_runs_are_bit_identical_across_invocations() {
+    let npu = NpuConfig::paper_default();
+    for process in [
+        ArrivalProcess::Poisson { rate_per_ms: 0.3 },
+        ArrivalProcess::Bursty {
+            on_rate_per_ms: 1.2,
+            mean_on_ms: 10.0,
+            mean_off_ms: 30.0,
+        },
+    ] {
+        let config = OpenLoopConfig::poisson(1.0, 60.0).with_process(process);
+        let mut rng = StdRng::seed_from_u64(0x0A11E);
+        let spec = generate_open_loop(&config, &mut rng);
+        let prepared = prepare_workload(&spec, &npu, None);
+        let variants: [(&str, OnlineClusterConfig); 5] = [
+            (
+                "jsq-live",
+                OnlineClusterConfig::new(
+                    3,
+                    SchedulerConfig::paper_default(),
+                    OnlineDispatchPolicy::ShortestQueue,
+                ),
+            ),
+            (
+                "least-work-live",
+                OnlineClusterConfig::new(
+                    3,
+                    SchedulerConfig::paper_default(),
+                    OnlineDispatchPolicy::LeastWork,
+                ),
+            ),
+            (
+                "predictive-live",
+                OnlineClusterConfig::new(
+                    3,
+                    SchedulerConfig::paper_default(),
+                    OnlineDispatchPolicy::Predictive,
+                ),
+            ),
+            (
+                "work-steal",
+                OnlineClusterConfig::new(
+                    3,
+                    SchedulerConfig::paper_default(),
+                    OnlineDispatchPolicy::Predictive,
+                )
+                .with_work_stealing(),
+            ),
+            (
+                "sla-admit",
+                OnlineClusterConfig::new(
+                    3,
+                    SchedulerConfig::paper_default(),
+                    OnlineDispatchPolicy::Predictive,
+                )
+                .with_admission(150.0),
+            ),
+        ];
+        for (label, config) in variants {
+            let first = OnlineClusterSimulator::new(config.clone()).run(&prepared.tasks);
+            let second = OnlineClusterSimulator::new(config).run(&prepared.tasks);
+            assert_eq!(
+                first, second,
+                "online outcome not reproducible under {label} / {process:?}"
+            );
+            assert_eq!(online_outcome_hash(&first), online_outcome_hash(&second));
+            // Conservation: served + shed partition the generated requests.
+            assert_eq!(
+                first.served() + first.shed.len(),
+                spec.len(),
+                "{label} / {process:?}"
+            );
+        }
+    }
+}
+
 /// The full (load x policy) cluster sweep — the `throughput cluster`
-/// baseline surface — is reproducible: identical cells and an identical
-/// sweep digest across invocations, and a different digest for a different
-/// seed.
+/// baseline surface, now spanning both the open- and closed-loop dispatch
+/// paths — is reproducible: identical cells and an identical sweep digest
+/// across invocations, and a different digest for a different seed.
 #[test]
 fn cluster_sweep_digest_is_reproducible_per_seed() {
     let opts = ClusterSweepOptions {
         duration_ms: 60.0,
         loads: vec![0.5, 0.9],
         policies: vec![DispatchPolicy::Random, DispatchPolicy::Predictive],
+        closed: vec![
+            ClosedLoopVariant::Predictive,
+            ClosedLoopVariant::WorkStealing,
+            ClosedLoopVariant::SlaAdmission,
+        ],
         ..ClusterSweepOptions::baseline()
     };
     let first = run_cluster_sweep(&opts);

@@ -23,7 +23,7 @@ use prema::scheduler::plan::{ExecutionPlan, ProgressCursor};
 use prema::scheduler::preemption::{select_mechanism, MechanismDecisionInputs};
 use prema::{
     NpuSimulator, PolicyKind, PreemptionMechanism, PreemptionMode, Priority, SchedulerConfig,
-    TaskId, TaskRequest,
+    StepOutcome, TaskId, TaskRequest,
 };
 
 /// Cycles arithmetic never panics and subtraction saturates at zero.
@@ -331,6 +331,86 @@ fn engine_invariants_hold_for_random_workloads() {
             assert!(record.turnaround() >= record.isolated_cycles);
         }
     }
+}
+
+/// `run_until` is pure suspension: a session resumed at arbitrary random
+/// horizons — from single-cycle nudges to multi-quantum jumps — produces a
+/// `SimOutcome` bit-identical to the one-shot `run()`, for every scheduling
+/// policy and preemption mode, on both the fast-forwarding engine and the
+/// step-every-quantum reference. Per-task records, makespan, preemption
+/// counters *and* the scheduler-invocation count must all survive the
+/// suspend/resume composition exactly.
+#[test]
+fn run_until_composed_over_random_horizons_is_bit_identical_to_one_shot() {
+    let cfg = NpuConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(0x5E55);
+    let mut policies_seen = 0usize;
+    let mut total_pauses = 0usize;
+    for policy in PolicyKind::ALL {
+        for mode in [
+            PreemptionMode::NonPreemptive,
+            PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+            PreemptionMode::Static(PreemptionMechanism::Kill),
+            PreemptionMode::Dynamic,
+            PreemptionMode::DynamicKill,
+        ] {
+            // Static(KILL) + round-robin livelocks by construction; the
+            // engine's safety valve reports it, so it is excluded exactly as
+            // the paper's evaluation excludes it.
+            if policy == PolicyKind::RoundRobin
+                && mode == PreemptionMode::Static(PreemptionMechanism::Kill)
+            {
+                continue;
+            }
+            policies_seen += 1;
+            let task_count = rng.gen_range(2usize..5);
+            let requests: Vec<TaskRequest> = (0..task_count)
+                .map(|i| {
+                    let model = ALL_EVAL_MODELS[rng.gen_range(0usize..ALL_EVAL_MODELS.len())];
+                    TaskRequest::new(TaskId(i as u64), model)
+                        .with_priority(Priority::ALL[rng.gen_range(0usize..3)])
+                        .with_arrival(Cycles::new(rng.gen_range(0u64..4_000_000)))
+                        .with_seq(SeqSpec::for_model(model, 12))
+                })
+                .collect();
+            let sim = NpuSimulator::new(cfg.clone(), SchedulerConfig::named(policy, mode));
+            let prepared = sim.prepare(&requests);
+            let one_shot = sim.run(&prepared);
+            let reference = sim.run_reference(&prepared);
+
+            for (label, mut session, expected) in [
+                ("fast", sim.session(&prepared), &one_shot),
+                ("reference", sim.session_reference(&prepared), &reference),
+            ] {
+                let mut horizon = Cycles::ZERO;
+                loop {
+                    // Random horizon schedule: mostly quantum-scale jumps,
+                    // sometimes single cycles (pausing mid-everything),
+                    // sometimes huge leaps.
+                    horizon += Cycles::new(match rng.gen_range(0u32..8) {
+                        0 => 1,
+                        1..=4 => rng.gen_range(1u64..400_000),
+                        5 | 6 => rng.gen_range(1u64..4_000_000),
+                        _ => rng.gen_range(1u64..40_000_000),
+                    });
+                    if session.run_until(horizon) == StepOutcome::Drained {
+                        break;
+                    }
+                    total_pauses += 1;
+                }
+                let composed = session.finish();
+                assert_eq!(
+                    &composed, expected,
+                    "resumed {label} session diverged from one-shot under {policy:?}/{mode:?}"
+                );
+            }
+        }
+    }
+    assert_eq!(policies_seen, PolicyKind::ALL.len() * 5 - 1);
+    assert!(
+        total_pauses > policies_seen,
+        "the horizon schedules must actually pause sessions ({total_pauses} pauses)"
+    );
 }
 
 /// Cluster conservation: for random open-loop workloads (random arrival

@@ -34,7 +34,20 @@ pub mod iter {
 }
 
 /// The number of worker threads a parallel map will use.
+///
+/// Like real rayon's global pool, the `RAYON_NUM_THREADS` environment
+/// variable overrides the detected parallelism when set to a positive
+/// integer (`0` or malformed values fall back to detection). CI's
+/// determinism matrix leg relies on this to pin serial (`1`) and genuinely
+/// parallel (`4`) runs on the same host.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|value| value.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
