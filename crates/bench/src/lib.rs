@@ -32,6 +32,7 @@ pub mod fig11_15;
 pub mod fig14;
 pub mod overhead;
 pub mod prediction;
+pub mod scale;
 pub mod sensitivity;
 pub mod suite;
 pub mod tables;

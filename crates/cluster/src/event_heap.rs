@@ -1,0 +1,480 @@
+//! The event-heap closed-loop cluster driver: lazy, O(events × log nodes)
+//! co-simulation, bit-identical to the naive stepping loop.
+//!
+//! [`crate::online::OnlineClusterSimulator::run_reference`] — the loop PR 4
+//! shipped — advances *every* node session at every global event and
+//! rescans every node's residents for every dispatch, admission and
+//! stealing decision: O(events × nodes) `run_until` calls plus
+//! O(events × nodes × residents) scan work. This module reproduces its
+//! decisions, and therefore its outcomes, exactly while doing asymptotically
+//! less work. Two pillars:
+//!
+//! **Pure suspension.** `SimSession::run_until` composed over *any*
+//! ascending horizon sequence yields a bit-identical `SimOutcome` (the PR 4
+//! resume-equivalence property). So a node that no decision needs to
+//! observe can simply be left paused in the past; only the *decisions* must
+//! see exactly what the reference saw.
+//!
+//! **Completion certificates.** [`SimSession::completion_lower_bound`] is a
+//! conservative bound: no resident of the node can complete strictly
+//! before it, regardless of preemptive interleaving. While a node's
+//! certificate exceeds the decision instant `t`:
+//!
+//! * its live queue depth is constant through `t` (depths change only at
+//!   completions and at injections, which this driver performs itself);
+//! * its predicted-work totals at `t` are at least `value_now - (t - now)`
+//!   (only the running task progresses, at ≤ 1 cycle per cycle, and no
+//!   completion can release an estimate-error remainder).
+//!
+//! The driver keeps the certificates in a binary min-heap with *lazy
+//! invalidation* (every session mutation pushes the fresh bound; stale
+//! entries are discarded at pop time). Per global event it advances only
+//! the nodes whose certificates are due, then picks the dispatch target by
+//! *branch and bound*: nodes whose lower-bounded score cannot strictly beat
+//! the best exact score are skipped without being advanced; genuine
+//! contenders are advanced and scored exactly, with ties breaking to the
+//! lowest index exactly like the reference scan.
+//!
+//! Work stealing and SLA admission run *synchronized* instead: stealing
+//! revokes never-started tasks whose availability depends on quantum-level
+//! dispatch timing, and admission's p99 prediction reads every node's exact
+//! resident set, so both must observe every node at the reference's own
+//! decision instants — the bound sequence itself is defined over
+//! synchronized node states. Those modes keep the reference's advance-all
+//! stepping but replace its per-decision resident rescans with the
+//! engine's O(1) incremental aggregates (`predicted_remaining_work`,
+//! `predicted_blocking_work`, `revocable_work`, `best_steal_candidate`,
+//! `best_shed_candidate`), reuse the admission scratch buffer across
+//! arrivals, and cache each node's predicted-turnaround segment keyed by
+//! its `state_version` — per arrival only nodes whose state actually moved
+//! are re-sorted, and within one arrival's shed loop only the shedded
+//! node's segment is rebuilt.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use npu_sim::{Cycles, NpuConfig};
+use prema_core::{NpuSimulator, PreparedTask, ResidentTask, SimSession, TaskId, TaskRequest};
+use prema_metrics::Percentiles;
+
+use crate::cluster::NodeAssignment;
+use crate::online::{
+    arrival_order, finish_outcome, OnlineClusterConfig, OnlineDispatchPolicy, OnlineOutcome,
+    ShedKey, SlaAdmissionConfig,
+};
+
+/// Runs the event-heap closed-loop simulation. Caller has validated the
+/// config and checked id uniqueness.
+pub(crate) fn run(config: &OnlineClusterConfig, tasks: &[PreparedTask]) -> OnlineOutcome {
+    let simulator = NpuSimulator::new(config.npu.clone(), config.scheduler.clone());
+    let sessions: Vec<SimSession> = (0..config.nodes).map(|_| simulator.session(&[])).collect();
+    let order = arrival_order(tasks);
+
+    let mut driver = EventHeapLoop::new(config, sessions);
+    let mut assignments: Vec<NodeAssignment> = Vec::with_capacity(tasks.len());
+    let mut assignment_index: HashMap<TaskId, usize> = HashMap::with_capacity(tasks.len());
+    let mut shed: Vec<TaskRequest> = Vec::new();
+    let mut steals = 0u64;
+
+    for &i in &order {
+        let task = &tasks[i];
+        let now = task.request.arrival;
+        driver.advance_to(now, &mut steals, &mut assignments, &assignment_index);
+
+        let node = driver.pick_node(now, task);
+        if let Some(admission) = config.admission {
+            if !driver.admit(task, node, admission, &mut shed) {
+                continue;
+            }
+        }
+        assignment_index.insert(task.request.id, assignments.len());
+        assignments.push(NodeAssignment {
+            task: task.request.id,
+            node,
+        });
+        driver.inject(node, task.clone());
+    }
+
+    driver.advance_to(
+        Cycles::MAX,
+        &mut steals,
+        &mut assignments,
+        &assignment_index,
+    );
+    finish_outcome(driver.sessions, assignments, shed, steals)
+}
+
+/// Per-node cache of the SLA-admission predicted-turnaround segment.
+///
+/// Each entry is one resident, in drain (priority, arrival, id) order:
+/// `(base, arrival, add_now)`. The resident's predicted completion is
+/// `base` when `add_now` is false (it drains at or behind the running
+/// task, whose absolute completion is time-invariant while the runner's
+/// *estimated* remaining is still positive: the runner executes one cycle
+/// per cycle with no stalls, so the clock's advance and the backlog's
+/// shrinkage cancel), or `now + base` when true (its backlog is constant
+/// but the clock still advances under it). The reference computes
+/// `millis((now + backlog) - arrival)` with saturating integer cycle
+/// arithmetic; these segments reproduce exactly those integers, then
+/// convert once per query.
+///
+/// One clamp makes the absolute entries *time-limited*: when the predictor
+/// underestimated the runner, its estimated remaining saturates at zero
+/// before the task actually completes, and from that instant the
+/// cancellation stops — the reference's recomputed turnarounds grow with
+/// the clock again, with no state-version change to signal it. The segment
+/// therefore records `valid_until` (the instant the runner's estimate runs
+/// out) and refuses reuse past it; a rebuild inside the overrun window
+/// emits every entry in `add_now` form (the runner contributes a constant
+/// zero), which is exact for the rest of the version.
+#[derive(Debug, Clone)]
+struct PredictionSegment {
+    version: u64,
+    valid: bool,
+    valid_until: Cycles,
+    entries: Vec<(Cycles, Cycles, bool)>,
+}
+
+impl Default for PredictionSegment {
+    fn default() -> Self {
+        PredictionSegment {
+            version: 0,
+            valid: false,
+            valid_until: Cycles::MAX,
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl PredictionSegment {
+    /// Rebuilds the segment if the session's state version moved or the
+    /// session clock passed the runner's estimate-exhaustion instant.
+    fn refresh(&mut self, session: &SimSession, scratch: &mut Vec<ResidentTask>) {
+        let now = session.now();
+        if self.valid && self.version == session.state_version() && now <= self.valid_until {
+            return;
+        }
+        scratch.clear();
+        session.resident_tasks_into(scratch);
+        scratch.sort_by_key(|resident| (Reverse(resident.priority), resident.arrival, resident.id));
+        let runner = session.running_task();
+        self.entries.clear();
+        self.entries.reserve(scratch.len());
+        self.valid_until = Cycles::MAX;
+        let mut backlog = Cycles::ZERO;
+        let mut runner_seen = false;
+        for resident in scratch.iter() {
+            let remaining = resident.estimated_remaining();
+            backlog += remaining;
+            if Some(resident.id) == runner && !remaining.is_zero() {
+                // The runner pins everything at or behind it to absolute
+                // completions — but only until its estimate runs out.
+                runner_seen = true;
+                self.valid_until = now + remaining;
+            }
+            if runner_seen {
+                self.entries.push((now + backlog, resident.arrival, false));
+            } else {
+                self.entries.push((backlog, resident.arrival, true));
+            }
+        }
+        self.version = session.state_version();
+        self.valid = true;
+    }
+
+    /// Appends the segment's predicted turnarounds (milliseconds) at the
+    /// session clock `now`.
+    fn append_ms(&self, now: Cycles, npu: &NpuConfig, out: &mut Vec<f64>) {
+        for &(base, arrival, add_now) in &self.entries {
+            let completion = if add_now { now + base } else { base };
+            out.push(npu.cycles_to_millis(completion - arrival));
+        }
+    }
+}
+
+/// The event-heap loop state: sessions, the lazily invalidated certificate
+/// heap, and the reused admission scratch buffers.
+#[derive(Debug)]
+struct EventHeapLoop<'a> {
+    config: &'a OnlineClusterConfig,
+    /// Whether decisions require every node synchronized at the decision
+    /// instant (work stealing / SLA admission) rather than lazy
+    /// certificates.
+    synchronized: bool,
+    sessions: Vec<SimSession>,
+    /// Min-heap of (completion-certificate, node) candidates, lazy mode
+    /// only. An entry is current iff the session still reports exactly
+    /// that bound; every session mutation pushes the fresh bound, stale
+    /// entries are dropped at pop time.
+    heap: BinaryHeap<Reverse<(Cycles, usize)>>,
+    /// Scratch for one `materialize_due` round (deduplicated due nodes).
+    due_scratch: Vec<usize>,
+    predictions: Vec<PredictionSegment>,
+    /// Reused across admission calls (the reference allocates this fresh
+    /// per arrival).
+    predicted_ms: Vec<f64>,
+    residents_scratch: Vec<ResidentTask>,
+}
+
+impl<'a> EventHeapLoop<'a> {
+    fn new(config: &'a OnlineClusterConfig, sessions: Vec<SimSession>) -> Self {
+        let nodes = sessions.len();
+        EventHeapLoop {
+            config,
+            synchronized: config.work_stealing || config.admission.is_some(),
+            sessions,
+            heap: BinaryHeap::with_capacity(nodes * 2),
+            due_scratch: Vec::with_capacity(nodes),
+            predictions: vec![PredictionSegment::default(); nodes],
+            predicted_ms: Vec::new(),
+            residents_scratch: Vec::new(),
+        }
+    }
+
+    /// Pushes node `i`'s current completion certificate (lazy mode). The
+    /// heap always holds each node's live bound plus stale leftovers that
+    /// pop-time validation discards.
+    fn reschedule(&mut self, i: usize) {
+        if self.synchronized {
+            return;
+        }
+        if let Some(bound) = self.sessions[i].completion_lower_bound() {
+            self.heap.push(Reverse((bound, i)));
+        }
+    }
+
+    /// Advances node `i` to `horizon` and refreshes its heap entry.
+    fn materialize(&mut self, i: usize, horizon: Cycles) {
+        let _ = self.sessions[i].run_until(horizon);
+        self.reschedule(i);
+    }
+
+    /// Pops every node whose live certificate is due at or before `t` and
+    /// advances it to `t` (lazy mode). Each due node is materialized once:
+    /// its post-advance certificate (pushed for *future* rounds) is not
+    /// re-examined, so the loop terminates even in the degenerate corner
+    /// where a certificate does not clear `t`.
+    fn materialize_due(&mut self, t: Cycles) {
+        self.due_scratch.clear();
+        while let Some(&Reverse((bound, i))) = self.heap.peek() {
+            if bound > t {
+                break;
+            }
+            self.heap.pop();
+            if self.sessions[i].completion_lower_bound() == Some(bound)
+                && !self.due_scratch.contains(&i)
+            {
+                self.due_scratch.push(i);
+            }
+        }
+        for k in 0..self.due_scratch.len() {
+            let i = self.due_scratch[k];
+            self.materialize(i, t);
+        }
+    }
+
+    /// Advances the cluster to `t`.
+    ///
+    /// Lazy mode advances only nodes whose certificates are due.
+    /// Synchronized mode replays the reference's stepping: with stealing,
+    /// execution is stepped to every completion bound on the way (the
+    /// reference's `next_completion_time` scan over synchronized nodes —
+    /// the moments the task set can shrink), advancing *all* sessions and
+    /// running a steal round at each; without stealing (admission only)
+    /// every session advances straight to `t`.
+    fn advance_to(
+        &mut self,
+        t: Cycles,
+        steals: &mut u64,
+        assignments: &mut [NodeAssignment],
+        assignment_index: &HashMap<TaskId, usize>,
+    ) {
+        if !self.synchronized {
+            self.materialize_due(t);
+            return;
+        }
+        if !self.config.work_stealing {
+            for session in self.sessions.iter_mut() {
+                let _ = session.run_until(t);
+            }
+            return;
+        }
+        loop {
+            let bound = self
+                .sessions
+                .iter()
+                .filter_map(SimSession::next_completion_time)
+                .min();
+            let step = match bound {
+                Some(bound) if bound < t => bound,
+                _ => t,
+            };
+            for session in self.sessions.iter_mut() {
+                let _ = session.run_until(step);
+            }
+            *steals += self.steal_round(assignments, assignment_index);
+            if step == t {
+                return;
+            }
+        }
+    }
+
+    /// One block of work-stealing rounds, mirroring the reference's
+    /// `steal_onto_idle_nodes` over synchronized sessions: while some node
+    /// is idle and some peer holds stealable work, move the largest
+    /// never-started task from the most-loaded peer to the first idle
+    /// node. All signals are O(1) engine aggregates instead of resident
+    /// rescans.
+    fn steal_round(
+        &mut self,
+        assignments: &mut [NodeAssignment],
+        assignment_index: &HashMap<TaskId, usize>,
+    ) -> u64 {
+        let mut steals = 0u64;
+        loop {
+            let Some(thief) = self.sessions.iter().position(|s| s.queue_depth() == 0) else {
+                return steals;
+            };
+            let mut victim: Option<(Cycles, usize)> = None;
+            for (i, session) in self.sessions.iter().enumerate() {
+                if session.queue_depth() < 2 {
+                    continue;
+                }
+                let stealable = session.revocable_work();
+                if stealable.is_zero() {
+                    continue;
+                }
+                if victim.is_none_or(|(most, _)| stealable > most) {
+                    victim = Some((stealable, i));
+                }
+            }
+            let Some((_, victim)) = victim else {
+                return steals;
+            };
+            let stolen = self.sessions[victim]
+                .best_steal_candidate()
+                .expect("nonzero stealable work has a best task");
+            let prepared = self.sessions[victim]
+                .revoke(stolen.id)
+                .expect("stolen task was revocable");
+            self.sessions[thief].inject(prepared);
+            if let Some(&slot) = assignment_index.get(&stolen.id) {
+                assignments[slot].node = thief;
+            }
+            steals += 1;
+        }
+    }
+
+    /// The dispatch decision at arrival time `t`: identical to the
+    /// reference's full scan — the node minimizing (signal, remaining,
+    /// index). In lazy mode only *contenders* are advanced: for a node
+    /// whose completion certificate clears `t`, the work-based signals at
+    /// `t` are lower-bounded by `value_now - (t - now)` and its queue
+    /// depth is exact, so a node whose lower bound cannot strictly beat
+    /// the best exact score cannot win the (score, index) minimum and is
+    /// skipped unadvanced. In synchronized mode every lag is zero and this
+    /// degenerates to the exact scan.
+    fn pick_node(&mut self, t: Cycles, task: &PreparedTask) -> usize {
+        let priority = task.request.priority;
+        let dispatch = self.config.dispatch;
+        let score = |session: &SimSession, lag: u64| -> (u64, u64) {
+            let remaining = session.predicted_remaining_work().get().saturating_sub(lag);
+            match dispatch {
+                OnlineDispatchPolicy::ShortestQueue => (session.queue_depth() as u64, remaining),
+                OnlineDispatchPolicy::LeastWork => (remaining, remaining),
+                OnlineDispatchPolicy::Predictive => (
+                    session
+                        .predicted_blocking_work(priority)
+                        .get()
+                        .saturating_sub(lag),
+                    remaining,
+                ),
+            }
+        };
+        let mut best: Option<((u64, u64), usize)> = None;
+        for i in 0..self.sessions.len() {
+            let lag = (t - self.sessions[i].now()).get();
+            let lower = score(&self.sessions[i], lag);
+            if best.is_some_and(|(exact, _)| lower >= exact) {
+                continue;
+            }
+            if lag > 0 {
+                self.materialize(i, t);
+            }
+            let exact = score(&self.sessions[i], 0);
+            if best.is_none_or(|(score, _)| exact < score) {
+                best = Some((exact, i));
+            }
+        }
+        best.expect("at least one node").1
+    }
+
+    /// SLA-aware admission, bit-identical to the reference's: predicts the
+    /// cluster-wide p99 turnaround over all residents plus the newcomer,
+    /// shedding the globally lowest-priority never-started task while the
+    /// prediction exceeds the target. Admission runs synchronized (every
+    /// session is already at the arrival instant), but unchanged nodes
+    /// reuse their cached prediction segments, the input vector reuses one
+    /// scratch buffer, and the shed scan is an O(1) peek per node.
+    fn admit(
+        &mut self,
+        task: &PreparedTask,
+        node: usize,
+        admission: SlaAdmissionConfig,
+        shed: &mut Vec<TaskRequest>,
+    ) -> bool {
+        let npu = &self.config.npu;
+        let incoming_priority = task.request.priority;
+        let incoming_estimate = task.estimated_cycles();
+        loop {
+            self.predicted_ms.clear();
+            for i in 0..self.sessions.len() {
+                self.predictions[i].refresh(&self.sessions[i], &mut self.residents_scratch);
+                self.predictions[i].append_ms(self.sessions[i].now(), npu, &mut self.predicted_ms);
+            }
+            let incoming_turnaround =
+                self.sessions[node].predicted_blocking_work(incoming_priority) + incoming_estimate;
+            self.predicted_ms
+                .push(npu.cycles_to_millis(incoming_turnaround));
+            let p99 = Percentiles::summarize(&self.predicted_ms)
+                .expect("the newcomer is always present")
+                .p99;
+            if p99 <= admission.target_p99_ms {
+                return true;
+            }
+
+            let mut candidate: Option<(ShedKey, usize, TaskId)> = None;
+            for (index, session) in self.sessions.iter().enumerate() {
+                if let Some(resident) = session.best_shed_candidate() {
+                    let key = ShedKey::of(
+                        resident.priority,
+                        resident.estimated_remaining(),
+                        resident.id,
+                    );
+                    if candidate.as_ref().is_none_or(|(best, _, _)| key < *best) {
+                        candidate = Some((key, index, resident.id));
+                    }
+                }
+            }
+            let incoming_key = ShedKey::of(incoming_priority, incoming_estimate, task.request.id);
+            match candidate {
+                Some((key, victim_node, victim_id)) if key < incoming_key => {
+                    let revoked = self.sessions[victim_node]
+                        .revoke(victim_id)
+                        .expect("resident was reported revocable");
+                    shed.push(revoked.request);
+                }
+                _ => {
+                    shed.push(task.request);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Commits the newcomer to `node` (which `pick_node` materialized).
+    fn inject(&mut self, node: usize, task: PreparedTask) {
+        self.sessions[node].inject(task);
+        self.reschedule(node);
+    }
+}

@@ -70,6 +70,7 @@
 
 pub mod cluster;
 pub mod dispatch;
+mod event_heap;
 pub mod metrics;
 pub mod online;
 

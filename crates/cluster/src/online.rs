@@ -11,12 +11,24 @@
 //!
 //! [`OnlineClusterSimulator`] runs a global event queue that interleaves
 //! request arrivals with node execution. Every node is a paused
-//! [`prema_core::SimSession`]; at each arrival the nodes are advanced to the
-//! arrival instant ([`SimSession::run_until`]), the dispatcher inspects
-//! their *actual* state through the session's closed-loop surface, commits
+//! [`prema_core::SimSession`]; at each arrival the dispatcher inspects the
+//! nodes' *actual* state through the session's closed-loop surface, commits
 //! the request to the best node ([`SimSession::inject`]), and execution
-//! resumes. Two mechanisms that only a closed loop can express ride on the
-//! same surface:
+//! resumes. Two drivers produce bit-identical results:
+//!
+//! * [`OnlineClusterSimulator::run`] — the production *event-heap* loop
+//!   (see the crate-private `event_heap` module): per-node completion certificates in a
+//!   lazily invalidated min-heap, branch-and-bound dispatch, and the
+//!   engine's O(1) incremental aggregates, so a global event advances only
+//!   the nodes it actually concerns.
+//! * [`OnlineClusterSimulator::run_reference`] — the naive stepping loop
+//!   PR 4 shipped, kept in this module as the semantic oracle (and the
+//!   baseline of the `cluster-scale` bench): every global event advances
+//!   *all* sessions via [`SimSession::run_until`], and every decision
+//!   rescans every node's residents.
+//!
+//! Two mechanisms that only a closed loop can express ride on the same
+//! surface:
 //!
 //! * **Work stealing** ([`OnlineClusterConfig::work_stealing`]) — when a
 //!   node drains while others hold never-started waiting work, the idle
@@ -217,28 +229,52 @@ impl OnlineClusterSimulator {
         &self.config
     }
 
-    /// Runs the global event loop over the prepared tasks: arrivals
+    /// Runs the closed-loop simulation over the prepared tasks: arrivals
     /// interleaved with node execution, each arrival dispatched on the
     /// nodes' live state. An empty task list yields an empty outcome.
+    ///
+    /// This is the production *event-heap* loop (see
+    /// the `event_heap` module): node completion bounds live in a lazily
+    /// invalidated binary min-heap, only nodes whose events are due (or
+    /// that genuinely contend for a dispatch decision) are advanced per
+    /// global event, and all dispatch / stealing / admission signals come
+    /// from the engine's O(1) incremental aggregates. It is bit-identical
+    /// to [`OnlineClusterSimulator::run_reference`] — same records, same
+    /// assignments, same shed and steal sequences, same
+    /// [`online_outcome_hash`] — pinned by a property test across random
+    /// node counts, policies and arrival processes.
     ///
     /// # Panics
     ///
     /// Panics if task IDs are not unique across the whole cluster workload.
     pub fn run(&self, tasks: &[PreparedTask]) -> OnlineOutcome {
-        let mut ids: Vec<TaskId> = tasks.iter().map(|t| t.request.id).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len(), tasks.len(), "task IDs must be unique");
+        assert_unique_ids(tasks);
+        crate::event_heap::run(&self.config, tasks)
+    }
+
+    /// The naive stepping loop PR 4 shipped, kept as the semantic oracle
+    /// for [`OnlineClusterSimulator::run`] and as the baseline the
+    /// `cluster-scale` bench measures the event-heap loop against: every
+    /// global event (arrival, and with stealing every completion bound)
+    /// advances *all* node sessions, and every dispatch / admission /
+    /// stealing decision rescans every node's residents — O(events x
+    /// nodes) and worse. Deliberately computes its signals from resident
+    /// scans rather than the engine's incremental aggregates, so the
+    /// equivalence property test cross-checks the aggregates against an
+    /// independent implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if task IDs are not unique across the whole cluster workload.
+    pub fn run_reference(&self, tasks: &[PreparedTask]) -> OnlineOutcome {
+        assert_unique_ids(tasks);
 
         let simulator = NpuSimulator::new(self.config.npu.clone(), self.config.scheduler.clone());
         let mut sessions: Vec<SimSession> = (0..self.config.nodes)
             .map(|_| simulator.session(&[]))
             .collect();
 
-        // The global arrival queue, in the order a front-end sees requests.
-        let mut order: Vec<usize> = (0..tasks.len()).collect();
-        order.sort_by_key(|&i| (tasks[i].request.arrival, tasks[i].request.id));
-
+        let order = arrival_order(tasks);
         let mut assignments: Vec<NodeAssignment> = Vec::with_capacity(tasks.len());
         // Index into `assignments` per task, so steals can rewrite the
         // serving node (lookups only — never iterated).
@@ -280,23 +316,7 @@ impl OnlineClusterSimulator {
             &assignment_index,
         );
 
-        // Admission may have shed previously assigned (never-started) tasks;
-        // drop their assignment entries so assignments biject onto records.
-        if !shed.is_empty() {
-            let shed_ids: std::collections::HashSet<TaskId> =
-                shed.iter().map(|request| request.id).collect();
-            assignments.retain(|assignment| !shed_ids.contains(&assignment.task));
-        }
-
-        let node_outcomes = sessions.into_iter().map(SimSession::finish).collect();
-        OnlineOutcome {
-            cluster: ClusterOutcome {
-                node_outcomes,
-                assignments,
-            },
-            shed,
-            steals,
-        }
+        finish_outcome(sessions, assignments, shed, steals)
     }
 
     /// Advances every node to `t`. With work stealing enabled, execution is
@@ -345,15 +365,31 @@ impl OnlineClusterSimulator {
     /// high-priority arrival in a mostly-low-priority mix sees near-zero
     /// blocking work on *every* node and the whole high tier would pile
     /// onto node 0.
+    ///
+    /// Deliberately computes the work signals by scanning every node's
+    /// residents — the PR 4 implementation this reference path preserves —
+    /// rather than through the engine's incremental totals, so the
+    /// equivalence property test cross-checks those totals against an
+    /// independent computation.
     fn pick_node(&self, sessions: &[SimSession], task: &PreparedTask) -> usize {
         let priority = task.request.priority;
         let score = |session: &SimSession| -> (u64, u64) {
-            let remaining = session.predicted_remaining_work().get();
+            let residents = session.resident_tasks();
+            let remaining: Cycles = residents
+                .iter()
+                .map(ResidentTask::estimated_remaining)
+                .sum();
+            let remaining = remaining.get();
             match self.config.dispatch {
                 OnlineDispatchPolicy::ShortestQueue => (session.queue_depth() as u64, remaining),
                 OnlineDispatchPolicy::LeastWork => (remaining, remaining),
                 OnlineDispatchPolicy::Predictive => {
-                    (session.predicted_blocking_work(priority).get(), remaining)
+                    let blocking: Cycles = residents
+                        .iter()
+                        .filter(|resident| resident.priority >= priority)
+                        .map(ResidentTask::estimated_remaining)
+                        .sum();
+                    (blocking.get(), remaining)
                 }
             }
         };
@@ -386,8 +422,15 @@ impl OnlineClusterSimulator {
             for session in sessions.iter() {
                 predicted_turnarounds_ms(session, npu, &mut predicted_ms);
             }
-            let incoming_turnaround =
-                sessions[node].predicted_blocking_work(incoming_priority) + incoming_estimate;
+            // The newcomer's own predicted turnaround, from a resident scan
+            // like everything else on this reference path.
+            let blocking: Cycles = sessions[node]
+                .resident_tasks()
+                .iter()
+                .filter(|resident| resident.priority >= incoming_priority)
+                .map(ResidentTask::estimated_remaining)
+                .sum();
+            let incoming_turnaround = blocking + incoming_estimate;
             predicted_ms.push(npu.cycles_to_millis(incoming_turnaround));
             let p99 = Percentiles::summarize(&predicted_ms)
                 .expect("the newcomer is always present")
@@ -437,19 +480,59 @@ impl OnlineClusterSimulator {
 /// The shed-preference ordering: lowest priority, then largest predicted
 /// remaining work, then newest id. Smaller keys shed first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct ShedKey(
+pub(crate) struct ShedKey(
     Priority,
     std::cmp::Reverse<Cycles>,
     std::cmp::Reverse<TaskId>,
 );
 
 impl ShedKey {
-    fn of(priority: Priority, remaining: Cycles, id: TaskId) -> Self {
+    pub(crate) fn of(priority: Priority, remaining: Cycles, id: TaskId) -> Self {
         ShedKey(
             priority,
             std::cmp::Reverse(remaining),
             std::cmp::Reverse(id),
         )
+    }
+}
+
+/// Panics unless every task id is unique.
+pub(crate) fn assert_unique_ids(tasks: &[PreparedTask]) {
+    let mut ids: Vec<TaskId> = tasks.iter().map(|t| t.request.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), tasks.len(), "task IDs must be unique");
+}
+
+/// The global arrival queue: task indices in the order a front-end sees
+/// requests — (arrival, id)-sorted.
+pub(crate) fn arrival_order(tasks: &[PreparedTask]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by_key(|&i| (tasks[i].request.arrival, tasks[i].request.id));
+    order
+}
+
+/// Finishes every session and assembles the [`OnlineOutcome`], dropping
+/// shed tasks' assignment entries so assignments biject onto records.
+pub(crate) fn finish_outcome(
+    sessions: Vec<SimSession>,
+    mut assignments: Vec<NodeAssignment>,
+    shed: Vec<TaskRequest>,
+    steals: u64,
+) -> OnlineOutcome {
+    if !shed.is_empty() {
+        let shed_ids: std::collections::HashSet<TaskId> =
+            shed.iter().map(|request| request.id).collect();
+        assignments.retain(|assignment| !shed_ids.contains(&assignment.task));
+    }
+    let node_outcomes = sessions.into_iter().map(SimSession::finish).collect();
+    OnlineOutcome {
+        cluster: ClusterOutcome {
+            node_outcomes,
+            assignments,
+        },
+        shed,
+        steals,
     }
 }
 
@@ -626,6 +709,58 @@ mod tests {
         for assignment in &outcome.cluster.assignments {
             let node = &outcome.cluster.node_outcomes[assignment.node];
             assert!(node.record(assignment.task).is_some());
+        }
+    }
+
+    #[test]
+    fn admission_stays_bit_identical_when_estimates_undershoot() {
+        // Regression: with an underestimating predictor, a running task's
+        // estimated remaining clamps at zero while it keeps executing, so a
+        // node's predicted turnarounds *grow with the clock* between state
+        // versions. The heap loop's admission cache froze the runner-pinned
+        // entries as absolute constants and reused them across a shed-only
+        // arrival (which changes no node's state version), disagreeing with
+        // the reference's fresh recomputation inside exactly that overrun
+        // window. Estimates at half the true plan length, a shed-prone p99
+        // target and an arrival landing in the overrun window pin the fix.
+        use dnn_models::ModelKind;
+        let npu = NpuConfig::paper_default();
+        let half = |model: ModelKind, id: u64, arrival: u64| {
+            let exact =
+                prema_core::PreparedTask::prepare(TaskRequest::new(TaskId(id), model), &npu)
+                    .isolated_cycles();
+            prema_core::PreparedTask::prepare(
+                TaskRequest::new(TaskId(id), model)
+                    .with_arrival(Cycles::new(arrival))
+                    .with_estimate(exact / 2),
+                &npu,
+            )
+        };
+        let vgg = prema_core::PreparedTask::prepare(
+            TaskRequest::new(TaskId(0), ModelKind::CnnVggNet),
+            &npu,
+        )
+        .isolated_cycles()
+        .get();
+        // Arrival 1 lands before the VggNet runner exhausts its halved
+        // estimate (and should be shed); arrival 2 lands in the overrun
+        // window (estimate exhausted at vgg/2, true completion at vgg).
+        let tasks = vec![
+            half(ModelKind::CnnVggNet, 0, 0),
+            half(ModelKind::CnnAlexNet, 1, vgg / 10),
+            half(ModelKind::CnnAlexNet, 2, vgg / 2 + vgg / 4),
+        ];
+        for target_ms in [1.0, 2.0, 3.0, 3.5, 4.0, 5.0, 8.0] {
+            let config = OnlineClusterConfig::new(
+                1,
+                SchedulerConfig::np_fcfs(),
+                OnlineDispatchPolicy::Predictive,
+            )
+            .with_admission(target_ms);
+            let simulator = OnlineClusterSimulator::new(config);
+            let heap = simulator.run(&tasks);
+            let reference = simulator.run_reference(&tasks);
+            assert_eq!(heap, reference, "target {target_ms} ms");
         }
     }
 

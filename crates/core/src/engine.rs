@@ -340,6 +340,12 @@ impl Runtime {
         self.prepared.request.id
     }
 
+    /// The predictor's estimate of this task's remaining execution time,
+    /// saturating at zero when the estimate undershoots the true length.
+    fn remaining_estimate(&self) -> Cycles {
+        self.estimated - self.cursor.executed()
+    }
+
     fn is_waiting(&self) -> bool {
         self.arrived
             && !self.revoked
@@ -390,7 +396,24 @@ impl Runtime {
 /// * `id_index` — id-sorted (id, index) pairs, so resolving the policy's
 ///   chosen [`TaskId`] back to a runtime is a binary search;
 /// * `views` — a reusable scratch buffer for the policy's task views, so
-///   steady-state scheduling events allocate nothing.
+///   steady-state scheduling events allocate nothing;
+/// * `remaining_work` / `remaining_by_priority` — running totals of the
+///   predictor's remaining-work estimate over every live (not completed,
+///   not revoked) task, per-task saturating exactly like the former
+///   resident scans, updated at every cursor advance / reset and at
+///   completion, injection and revocation — so the closed-loop accessors
+///   [`SimSession::predicted_remaining_work`] and
+///   [`SimSession::predicted_blocking_work`] are O(1);
+/// * `steal_order` / `shed_order` / `revocable_work` — the never-started
+///   (revocable) tasks kept in the work-stealing and load-shedding
+///   preference orders, with their summed estimates, so a cluster
+///   front-end's victim searches are O(1) peeks instead of resident scans;
+/// * `state_version` — a monotone counter bumped at every transition that
+///   can move the closed-loop observation surface (waiting-set entry/exit,
+///   completion, injection, revocation). Between equal versions a paused
+///   session either idles or executes one task continuously with no
+///   checkpoint/restore stalls, which is what lets cluster-side caches
+///   reuse derived per-node state (see `prema_cluster`).
 #[derive(Debug)]
 struct EngineState {
     runtimes: Vec<Runtime>,
@@ -399,6 +422,18 @@ struct EngineState {
     total_wait: Cycles,
     id_index: Vec<(TaskId, usize)>,
     views: Vec<TaskView>,
+    remaining_work: Cycles,
+    remaining_by_priority: [Cycles; Priority::ALL.len()],
+    revocable_work: Cycles,
+    steal_order: Vec<usize>,
+    shed_order: Vec<usize>,
+    /// The *true* (plan-cursor) remaining cycles of every live resident
+    /// that is not currently running, sorted ascending. A non-running
+    /// resident's plan remaining is constant, so entries change only at
+    /// dispatch / preemption / completion / injection / revocation. The
+    /// minimum feeds [`SimSession::completion_lower_bound`].
+    static_remaining: Vec<(Cycles, TaskId)>,
+    state_version: u64,
 }
 
 impl EngineState {
@@ -411,14 +446,167 @@ impl EngineState {
             .collect();
         id_index.sort_unstable_by_key(|&(id, _)| id);
         let capacity = runtimes.len();
-        EngineState {
+        let mut remaining_work = Cycles::ZERO;
+        let mut remaining_by_priority = [Cycles::ZERO; Priority::ALL.len()];
+        let mut revocable_work = Cycles::ZERO;
+        for runtime in &runtimes {
+            let priority = runtime.prepared.request.priority;
+            remaining_work += runtime.estimated;
+            remaining_by_priority[priority.index()] += runtime.estimated;
+            revocable_work += runtime.estimated;
+        }
+        let mut static_remaining: Vec<(Cycles, TaskId)> = runtimes
+            .iter()
+            .map(|r| (r.prepared.plan.total_cycles(), r.id()))
+            .collect();
+        static_remaining.sort_unstable();
+        let mut state = EngineState {
             runtimes,
             waiting: Vec::with_capacity(capacity),
             finished: 0,
             total_wait: Cycles::ZERO,
             id_index,
             views: Vec::with_capacity(capacity),
-        }
+            remaining_work,
+            remaining_by_priority,
+            revocable_work,
+            steal_order: (0..capacity).collect(),
+            shed_order: (0..capacity).collect(),
+            static_remaining,
+            state_version: 0,
+        };
+        // Keys are indexed by *runtime index*, matching the indices stored
+        // in the order vectors (whatever their initial permutation).
+        let steal_keys: Vec<_> = (0..capacity).map(|i| state.steal_key(i)).collect();
+        state.steal_order.sort_by_key(|&i| steal_keys[i]);
+        let shed_keys: Vec<_> = (0..capacity).map(|i| state.shed_key(i)).collect();
+        state.shed_order.sort_by_key(|&i| shed_keys[i]);
+        state
+    }
+
+    /// The work-stealing preference key: a thief takes the revocable task
+    /// with the largest remaining estimate (never-started, so the estimate
+    /// itself), ties to the lowest id — the *last* entry of `steal_order`.
+    fn steal_key(&self, idx: usize) -> (Cycles, std::cmp::Reverse<TaskId>) {
+        let runtime = &self.runtimes[idx];
+        (runtime.estimated, std::cmp::Reverse(runtime.id()))
+    }
+
+    /// The load-shedding preference key: lowest priority first, then the
+    /// largest estimate, then the newest id — the *first* entry of
+    /// `shed_order` sheds first.
+    fn shed_key(
+        &self,
+        idx: usize,
+    ) -> (
+        Priority,
+        std::cmp::Reverse<Cycles>,
+        std::cmp::Reverse<TaskId>,
+    ) {
+        let runtime = &self.runtimes[idx];
+        (
+            runtime.prepared.request.priority,
+            std::cmp::Reverse(runtime.estimated),
+            std::cmp::Reverse(runtime.id()),
+        )
+    }
+
+    /// Adds a never-started task to the revocable indexes.
+    fn track_revocable(&mut self, idx: usize) {
+        debug_assert!(self.runtimes[idx].first_start.is_none());
+        self.revocable_work += self.runtimes[idx].estimated;
+        let steal = self.steal_key(idx);
+        let pos = self
+            .steal_order
+            .binary_search_by(|&i| self.steal_key(i).cmp(&steal))
+            .expect_err("task is not already steal-tracked");
+        self.steal_order.insert(pos, idx);
+        let shed = self.shed_key(idx);
+        let pos = self
+            .shed_order
+            .binary_search_by(|&i| self.shed_key(i).cmp(&shed))
+            .expect_err("task is not already shed-tracked");
+        self.shed_order.insert(pos, idx);
+    }
+
+    /// Removes a task from the revocable indexes: it is starting for the
+    /// first time, or being revoked.
+    fn untrack_revocable(&mut self, idx: usize) {
+        self.revocable_work -= self.runtimes[idx].estimated;
+        let steal = self.steal_key(idx);
+        let pos = self
+            .steal_order
+            .binary_search_by(|&i| self.steal_key(i).cmp(&steal))
+            .expect("task is steal-tracked");
+        self.steal_order.remove(pos);
+        let shed = self.shed_key(idx);
+        let pos = self
+            .shed_order
+            .binary_search_by(|&i| self.shed_key(i).cmp(&shed))
+            .expect("task is shed-tracked");
+        self.shed_order.remove(pos);
+    }
+
+    /// The plan-cursor remaining cycles of runtime `idx`.
+    fn plan_remaining(&self, idx: usize) -> Cycles {
+        let runtime = &self.runtimes[idx];
+        runtime.cursor.remaining(&runtime.prepared.plan)
+    }
+
+    /// Adds a non-running resident to the static-remaining index. Must be
+    /// called when the task's cursor is at the position it will keep while
+    /// off the NPU.
+    fn static_insert(&mut self, idx: usize) {
+        let key = (self.plan_remaining(idx), self.runtimes[idx].id());
+        let pos = self
+            .static_remaining
+            .binary_search(&key)
+            .expect_err("task is not already static-tracked");
+        self.static_remaining.insert(pos, key);
+    }
+
+    /// Removes a resident from the static-remaining index (it is starting
+    /// to run, completing while resident, or leaving the session).
+    fn static_remove(&mut self, idx: usize) {
+        let key = (self.plan_remaining(idx), self.runtimes[idx].id());
+        let pos = self
+            .static_remaining
+            .binary_search(&key)
+            .expect("task is static-tracked");
+        self.static_remaining.remove(pos);
+    }
+
+    /// Advances `idx`'s progress cursor by at most `budget` cycles, keeping
+    /// the predicted-work totals in sync with the task's live progress.
+    /// Returns the cycles actually consumed.
+    fn advance_cursor(&mut self, idx: usize, budget: Cycles) -> Cycles {
+        let runtime = &mut self.runtimes[idx];
+        // Split borrows: the cursor advances against the plan in place, no
+        // Arc refcount round-trip on this per-event hot path.
+        let Runtime {
+            cursor,
+            prepared,
+            estimated,
+            ..
+        } = runtime;
+        let before = *estimated - cursor.executed();
+        let consumed = cursor.advance(&prepared.plan, budget);
+        let freed = before - (*estimated - cursor.executed());
+        let priority = prepared.request.priority;
+        self.remaining_work -= freed;
+        self.remaining_by_priority[priority.index()] -= freed;
+        consumed
+    }
+
+    /// Resets `idx`'s progress cursor (KILL preemption), restoring the
+    /// discarded progress to the predicted-work totals.
+    fn reset_cursor(&mut self, idx: usize) {
+        let runtime = &mut self.runtimes[idx];
+        let regained = runtime.estimated - runtime.remaining_estimate();
+        runtime.cursor.reset();
+        let priority = runtime.prepared.request.priority;
+        self.remaining_work += regained;
+        self.remaining_by_priority[priority.index()] += regained;
     }
 
     fn len(&self) -> usize {
@@ -442,6 +630,7 @@ impl EngineState {
     /// state satisfies `is_waiting`.
     fn enter_waiting(&mut self, idx: usize) {
         debug_assert!(self.runtimes[idx].is_waiting());
+        self.state_version += 1;
         self.runtimes[idx].wait_baseline = self.total_wait;
         let id = self.runtimes[idx].id();
         let pos = self
@@ -455,6 +644,7 @@ impl EngineState {
     /// waiting time. Must be called *before* the runtime's state changes.
     fn leave_waiting(&mut self, idx: usize) {
         debug_assert!(self.runtimes[idx].is_waiting());
+        self.state_version += 1;
         let id = self.runtimes[idx].id();
         let pos = self
             .waiting
@@ -465,12 +655,18 @@ impl EngineState {
         runtime.waited += self.total_wait - runtime.wait_baseline;
     }
 
-    /// Marks the running task `idx` complete at `now`.
+    /// Marks the running task `idx` complete at `now`, dropping any leftover
+    /// estimate (a predictor overestimate) from the predicted-work totals.
     fn complete(&mut self, idx: usize, now: Cycles) {
+        self.state_version += 1;
         let runtime = &mut self.runtimes[idx];
         debug_assert!(runtime.completion.is_none());
         runtime.completion = Some(now);
         runtime.state = TaskState::Completed;
+        let leftover = runtime.remaining_estimate();
+        let priority = runtime.prepared.request.priority;
+        self.remaining_work -= leftover;
+        self.remaining_by_priority[priority.index()] -= leftover;
         self.finished += 1;
     }
 
@@ -883,7 +1079,23 @@ impl SimSession {
                         continue;
                     };
                     if self.now >= horizon {
-                        return StepOutcome::Paused;
+                        // Pause — unless the running task has zero remaining
+                        // cycles (its plan ends in zero-cycle intervals the
+                        // cursor has not walked yet). Such a task completes
+                        // *at* `now`, so pausing would freeze the session
+                        // with `next_completion_time() == now` forever — a
+                        // livelock for completion-driven drivers like the
+                        // cluster's work-stealing loop, which advance to
+                        // exactly that bound and expect the task set to
+                        // shrink. Falling through performs the same
+                        // zero-budget completion step a later, larger
+                        // horizon would perform, at the same simulated time.
+                        let runtime = &self.state.runtimes[run_idx];
+                        let zero_remaining =
+                            runtime.cursor.remaining(&runtime.prepared.plan).is_zero();
+                        if self.now > horizon || !zero_remaining {
+                            return StepOutcome::Paused;
+                        }
                     }
                     let reached_event = self.execute_step(run_idx, horizon);
                     if reached_event {
@@ -1001,11 +1213,7 @@ impl SimSession {
                 let periods = span.get().div_ceil(self.quantum.get());
                 let last_boundary = self.next_quantum + self.quantum * (periods - 1);
                 let skip_budget = last_boundary - self.now;
-                let consumed = {
-                    let runtime = &mut self.state.runtimes[run_idx];
-                    let plan = Arc::clone(&runtime.prepared.plan);
-                    runtime.cursor.advance(&plan, skip_budget)
-                };
+                let consumed = self.state.advance_cursor(run_idx, skip_budget);
                 debug_assert_eq!(consumed, skip_budget, "horizon is before completion");
                 self.state.accrue(consumed);
                 self.now = last_boundary;
@@ -1023,11 +1231,7 @@ impl SimSession {
         let t_exec = t_next.min(horizon);
         let budget = t_exec - self.now;
 
-        let consumed = {
-            let runtime = &mut self.state.runtimes[run_idx];
-            let plan = Arc::clone(&runtime.prepared.plan);
-            runtime.cursor.advance(&plan, budget)
-        };
+        let consumed = self.state.advance_cursor(run_idx, budget);
         self.state.accrue(consumed);
         self.now += consumed;
 
@@ -1040,8 +1244,19 @@ impl SimSession {
             self.running = None;
             return true;
         }
-        if consumed.is_zero() && budget.is_zero() && t_exec == t_next && next_arrival.is_none() {
-            // Degenerate safety net: a zero-length plan completes instantly.
+        if consumed.is_zero()
+            && budget.is_zero()
+            && t_exec == t_next
+            && next_arrival.is_none_or(|arrival| arrival > self.now)
+        {
+            // Degenerate safety net: a task with zero remaining cycles (a
+            // zero-length plan, or a plan whose trailing zero-cycle
+            // intervals the cursor has not walked) completes instantly. A
+            // *due* arrival (<= now) still takes precedence — it must be
+            // admitted by the next wakeup before the completion is recorded
+            // — but a strictly future arrival cannot: without this the
+            // wakeup/execute cycle would spin without advancing the clock
+            // until the livelock valve trips.
             self.state.complete(run_idx, self.now);
             self.running = None;
             return true;
@@ -1054,6 +1269,12 @@ impl SimSession {
     /// useful execution begins.
     fn dispatch(&mut self, idx: usize) -> Cycles {
         let state = &mut self.state;
+        state.static_remove(idx);
+        if state.runtimes[idx].first_start.is_none() {
+            // The task is starting for the first time: it can no longer be
+            // revoked (stolen or shed) by a cluster front-end.
+            state.untrack_revocable(idx);
+        }
         // Leave the waiting set first: the dispatched task does not wait
         // through its own restore DMA, but everyone else does.
         state.leave_waiting(idx);
@@ -1082,11 +1303,11 @@ impl SimSession {
         // still Running here, so the boundary cycles charge waiting time to
         // everyone else only.
         let (boundary, live_bytes) = {
-            let runtime = &mut state.runtimes[run_idx];
+            let runtime = &state.runtimes[run_idx];
             let plan = Arc::clone(&runtime.prepared.plan);
             let boundary = runtime.cursor.cycles_to_boundary(&plan);
-            runtime.cursor.advance(&plan, boundary);
-            let live_bytes = runtime.cursor.live_checkpoint_bytes(&plan);
+            state.advance_cursor(run_idx, boundary);
+            let live_bytes = state.runtimes[run_idx].cursor.live_checkpoint_bytes(&plan);
             (boundary, live_bytes)
         };
         state.accrue(boundary);
@@ -1104,6 +1325,7 @@ impl SimSession {
         }
         // During the checkpoint DMA nobody makes forward progress; everyone
         // waiting (including the just-preempted task) accrues wait time.
+        state.static_insert(run_idx);
         state.enter_waiting(run_idx);
         state.accrue(checkpoint);
         time += checkpoint;
@@ -1114,15 +1336,16 @@ impl SimSession {
     /// task restarts from scratch when it is next scheduled.
     fn preempt_kill(&mut self, run_idx: usize) {
         let state = &mut self.state;
+        state.reset_cursor(run_idx);
         {
             let runtime = &mut state.runtimes[run_idx];
-            runtime.cursor.reset();
             runtime.preemption_count += 1;
             runtime.kill_restarts += 1;
             runtime.checkpointed_bytes = 0;
             runtime.needs_restore = false;
             runtime.state = TaskState::Ready;
         }
+        state.static_insert(run_idx);
         state.enter_waiting(run_idx);
     }
 
@@ -1189,50 +1412,113 @@ impl SimSession {
             .chain(self.arrival_order[self.next_arrival_idx..].iter().copied())
     }
 
+    /// Builds the [`ResidentTask`] snapshot of runtime `idx`.
+    fn resident_view(&self, idx: usize) -> ResidentTask {
+        let r = &self.state.runtimes[idx];
+        ResidentTask {
+            id: r.id(),
+            priority: r.prepared.request.priority,
+            arrival: r.prepared.request.arrival,
+            estimated_total: r.estimated,
+            executed: r.cursor.executed(),
+            started: r.first_start.is_some(),
+            revocable: r.first_start.is_none() && Some(idx) != self.running,
+        }
+    }
+
     /// A snapshot of every resident task (see [`ResidentTask`]): the
     /// waiting set (task-id order), then the running task, then pending
     /// arrivals (arrival order) — deterministic across calls.
     pub fn resident_tasks(&self) -> Vec<ResidentTask> {
-        self.resident_indices()
-            .map(|idx| {
-                let r = &self.state.runtimes[idx];
-                ResidentTask {
-                    id: r.id(),
-                    priority: r.prepared.request.priority,
-                    arrival: r.prepared.request.arrival,
-                    estimated_total: r.estimated,
-                    executed: r.cursor.executed(),
-                    started: r.first_start.is_some(),
-                    revocable: r.first_start.is_none() && Some(idx) != self.running,
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.resident_tasks_into(&mut out);
+        out
+    }
+
+    /// Like [`SimSession::resident_tasks`], appending into a caller-owned
+    /// buffer so tight observation loops can reuse their allocation.
+    pub fn resident_tasks_into(&self, out: &mut Vec<ResidentTask>) {
+        out.reserve(self.queue_depth());
+        for idx in self.resident_indices() {
+            out.push(self.resident_view(idx));
+        }
     }
 
     /// The predictor's view of the node's total remaining work: summed
     /// estimated-remaining cycles over every resident task, using each
-    /// task's *true* live progress.
+    /// task's *true* live progress. O(1): the engine maintains the total
+    /// incrementally at every progress / membership transition.
     pub fn predicted_remaining_work(&self) -> Cycles {
-        self.resident_indices()
-            .map(|idx| {
-                let r = &self.state.runtimes[idx];
-                r.estimated - r.cursor.executed()
-            })
-            .sum()
+        debug_assert_eq!(
+            self.state.remaining_work,
+            self.resident_indices()
+                .map(|idx| self.state.runtimes[idx].remaining_estimate())
+                .sum(),
+            "incremental remaining-work total diverged from the resident scan"
+        );
+        self.state.remaining_work
     }
 
     /// Like [`SimSession::predicted_remaining_work`], restricted to resident
     /// tasks of equal-or-higher priority than `priority` — the work a
     /// preemptive node would actually run before an arriving request of that
-    /// priority.
+    /// priority. O(1) via the per-priority running totals.
     pub fn predicted_blocking_work(&self, priority: Priority) -> Cycles {
-        self.resident_indices()
-            .filter(|&idx| self.state.runtimes[idx].prepared.request.priority >= priority)
-            .map(|idx| {
-                let r = &self.state.runtimes[idx];
-                r.estimated - r.cursor.executed()
-            })
+        debug_assert_eq!(
+            self.state
+                .remaining_by_priority
+                .iter()
+                .copied()
+                .sum::<Cycles>(),
+            self.state.remaining_work,
+            "per-priority totals diverged from the overall total"
+        );
+        self.state.remaining_by_priority[priority.index()..]
+            .iter()
+            .copied()
             .sum()
+    }
+
+    /// The id of the task currently executing on the NPU, if any.
+    pub fn running_task(&self) -> Option<TaskId> {
+        self.running.map(|idx| self.state.runtimes[idx].id())
+    }
+
+    /// Total predicted work of the revocable (never-started) resident
+    /// tasks — what a cluster front-end could still steal or shed. O(1).
+    pub fn revocable_work(&self) -> Cycles {
+        self.state.revocable_work
+    }
+
+    /// The revocable task an idle peer would steal: largest remaining
+    /// estimate, ties to the lowest id. O(1) peek of the maintained
+    /// steal-preference order.
+    pub fn best_steal_candidate(&self) -> Option<ResidentTask> {
+        self.state
+            .steal_order
+            .last()
+            .map(|&idx| self.resident_view(idx))
+    }
+
+    /// The revocable task SLA admission would shed first: lowest priority,
+    /// then the largest remaining estimate, then the newest id. O(1) peek
+    /// of the maintained shed-preference order.
+    pub fn best_shed_candidate(&self) -> Option<ResidentTask> {
+        self.state
+            .shed_order
+            .first()
+            .map(|&idx| self.resident_view(idx))
+    }
+
+    /// A monotone counter that advances whenever the closed-loop
+    /// observation surface can move: waiting-set entries/exits (dispatch,
+    /// preemption, admission), completions, injections and revocations.
+    /// Between two observations with equal versions a paused session has
+    /// either idled or executed exactly one task continuously with no
+    /// checkpoint/restore stalls — so derived per-node state (e.g. the
+    /// cluster's predicted-turnaround segments) stays exactly reusable.
+    pub fn state_version(&self) -> u64 {
+        self.state.state_version
     }
 
     /// A lower bound on the next time the node's task set can shrink: the
@@ -1259,26 +1545,105 @@ impl SimSession {
         })
     }
 
+    /// A *conservative* lower bound on the next time any resident task can
+    /// complete: no completion can occur strictly before the returned
+    /// instant, no matter how the scheduler interleaves the residents.
+    ///
+    /// [`SimSession::next_completion_time`] reports when the *currently
+    /// running* task would finish if it kept the NPU — an optimistic
+    /// figure: a preemptive switch to a shorter task can produce an
+    /// earlier completion. This bound instead takes the minimum of
+    ///
+    /// * the running task's true (plan-cursor) remaining time, and
+    /// * the earliest instant any *other* resident could finish: the first
+    ///   wakeup that could dispatch it (the next scheduling-period expiry
+    ///   or the next pending arrival, both strictly in the future of a
+    ///   paused session — only relevant under preemptive modes) plus the
+    ///   smallest plan remaining over non-running residents.
+    ///
+    /// A lazy cluster driver uses this as a certificate: while the bound
+    /// exceeds `t`, the node's queue depth is constant through `t`, its
+    /// predicted-work totals shrink at most one cycle per cycle, and no
+    /// completion-time estimate error can be released — which is what
+    /// makes branch-and-bound dispatch on unadvanced nodes exact.
+    /// `None` once drained.
+    pub fn completion_lower_bound(&self) -> Option<Cycles> {
+        if self.is_drained() {
+            return None;
+        }
+        let pending_wakeup = self.arrival_order.get(self.next_arrival_idx).map(|&i| {
+            self.state.runtimes[i]
+                .prepared
+                .request
+                .arrival
+                .max(self.now)
+        });
+        if let Some(run_idx) = self.running {
+            let run_completion = self.now + self.state.plan_remaining(run_idx);
+            if !self.sched.preemption.is_preemptive() {
+                // Non-preemptive: nothing can displace the runner, so the
+                // first possible completion is the runner's own.
+                return Some(run_completion);
+            }
+            let mut bound = run_completion;
+            if let Some(&(min_static, _)) = self.state.static_remaining.first() {
+                // Both wakeup sources are strictly after `now` for a paused
+                // session, so the bound always makes strict progress.
+                let wakeup = self.next_quantum.min(pending_wakeup.unwrap_or(Cycles::MAX));
+                bound = bound.min(wakeup + min_static);
+            }
+            return Some(bound);
+        }
+        if !self.state.waiting.is_empty() {
+            return Some(self.now);
+        }
+        pending_wakeup
+    }
+
     /// Injects a newly arrived task into the paused session. The task is
     /// admitted at the first wakeup at or after its arrival time; an arrival
     /// in the session's past is admitted immediately at the current clock
     /// (its record still carries the true arrival, so queueing-delay metrics
     /// see the dispatch latency).
     ///
+    /// Re-injecting an id this session previously [`SimSession::revoke`]d
+    /// is allowed and revives the task from scratch — multi-hop work
+    /// stealing can route a request back through an earlier owner.
+    ///
     /// # Panics
     ///
-    /// Panics if a task with the same ID is already part of the session.
+    /// Panics if a task with the same ID is already *live* (not revoked) in
+    /// the session.
     pub fn inject(&mut self, task: PreparedTask) {
         let id = task.request.id;
-        let pos = self
-            .state
-            .id_index
-            .binary_search_by_key(&id, |&(id, _)| id)
-            .expect_err("task IDs must be unique");
-        let idx = self.state.runtimes.len();
         let arrival = task.request.arrival;
-        self.state.runtimes.push(Runtime::new(task));
-        self.state.id_index.insert(pos, (id, idx));
+        let idx = match self.state.id_index.binary_search_by_key(&id, |&(id, _)| id) {
+            Err(pos) => {
+                let idx = self.state.runtimes.len();
+                self.state.runtimes.push(Runtime::new(task));
+                self.state.id_index.insert(pos, (id, idx));
+                idx
+            }
+            Ok(pos) => {
+                // The id exists: only a previously revoked slot may be
+                // revived (the task bounced back via work stealing).
+                let idx = self.state.id_index[pos].1;
+                assert!(self.state.runtimes[idx].revoked, "task IDs must be unique");
+                self.state.runtimes[idx] = Runtime::new(task);
+                self.state.finished -= 1;
+                idx
+            }
+        };
+        self.state.state_version += 1;
+        {
+            let state = &mut self.state;
+            let estimated = state.runtimes[idx].estimated;
+            let priority = state.runtimes[idx].prepared.request.priority;
+            state.remaining_work += estimated;
+            state.remaining_by_priority[priority.index()] += estimated;
+            state.track_revocable(idx);
+            state.static_insert(idx);
+        }
         // Keep the unadmitted tail of the arrival queue (arrival, id)-sorted
         // so admission order stays deterministic.
         let tail_start = self.next_arrival_idx;
@@ -1319,6 +1684,17 @@ impl SimSession {
                 .position(|&i| i == idx)
                 .expect("unadmitted task is in the pending arrival queue");
             self.arrival_order.remove(self.next_arrival_idx + offset);
+        }
+        self.state.state_version += 1;
+        self.state.untrack_revocable(idx);
+        self.state.static_remove(idx);
+        {
+            let state = &mut self.state;
+            let removed = state.runtimes[idx].remaining_estimate();
+            debug_assert_eq!(removed, state.runtimes[idx].estimated, "never started");
+            let priority = state.runtimes[idx].prepared.request.priority;
+            state.remaining_work -= removed;
+            state.remaining_by_priority[priority.index()] -= removed;
         }
         let runtime = &mut self.state.runtimes[idx];
         runtime.revoked = true;
@@ -1745,6 +2121,87 @@ mod tests {
             }
             horizon += Cycles::new(250_000);
         }
+    }
+
+    #[test]
+    fn revoked_task_can_be_reinjected_into_the_same_session() {
+        // Multi-hop work stealing can hand a task back to a node that
+        // previously revoked it; the session revives the slot.
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let prepared = prepare(vec![
+            TaskRequest::new(TaskId(0), ModelKind::CnnVggNet),
+            TaskRequest::new(TaskId(1), ModelKind::CnnAlexNet).with_arrival(Cycles::new(500_000)),
+        ]);
+        let mut session = sim.session(&prepared);
+        assert_eq!(session.run_until(Cycles::new(100_000)), StepOutcome::Paused);
+        let handed_back = session.revoke(TaskId(1)).expect("never started");
+        assert_eq!(session.queue_depth(), 1);
+        session.inject(handed_back);
+        assert_eq!(session.queue_depth(), 2);
+        assert_eq!(session.run_until(Cycles::MAX), StepOutcome::Drained);
+        let outcome = session.finish();
+        assert_eq!(outcome.records.len(), 2, "revived task completes once");
+        assert!(outcome.record(TaskId(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "task IDs must be unique")]
+    fn reinjecting_a_live_id_still_panics() {
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let prepared = prepare(vec![TaskRequest::new(TaskId(0), ModelKind::CnnAlexNet)]);
+        let mut session = sim.session(&prepared);
+        session.inject(prepared[0].clone());
+    }
+
+    #[test]
+    fn zero_remaining_running_task_completes_at_the_pause_horizon() {
+        // Regression: a running task whose plan ends in zero-cycle
+        // intervals can reach remaining == 0 exactly at a pause horizon
+        // without being complete. `run_until(now)` must then finish it
+        // rather than pausing forever — the cluster's completion-driven
+        // loops advance sessions to exactly `next_completion_time()` and
+        // rely on the task set shrinking there. Drive a session to every
+        // reported completion bound and require global progress.
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let prepared = prepare(simple_requests());
+        let mut session = sim.session(&prepared);
+        let mut guard = 0u64;
+        while let Some(bound) = session.next_completion_time() {
+            let _ = session.run_until(bound);
+            guard += 1;
+            // Pre-fix, a zero-remaining runner paused at `now == bound`
+            // repeats this state forever; post-fix the loop drains.
+            assert!(guard < 100_000, "completion-bound driving livelocked");
+        }
+        assert!(session.is_drained());
+        let outcome = session.finish();
+        assert_eq!(outcome.records.len(), 3);
+    }
+
+    #[test]
+    fn completion_lower_bound_never_exceeds_an_actual_completion() {
+        // The certificate contract: advancing to any horizon strictly below
+        // the reported lower bound never shrinks the task set.
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let prepared = prepare(simple_requests());
+        let mut session = sim.session(&prepared);
+        let mut guard = 0u64;
+        while let Some(bound) = session.completion_lower_bound() {
+            let depth_before = session.queue_depth();
+            if bound > session.now() {
+                // One cycle short of the certificate: nothing may complete.
+                let _ = session.run_until(bound - Cycles::new(1));
+                assert_eq!(
+                    session.queue_depth(),
+                    depth_before,
+                    "a completion occurred strictly before the certificate"
+                );
+            }
+            let _ = session.run_until(bound);
+            guard += 1;
+            assert!(guard < 100_000, "certificate driving livelocked");
+        }
+        assert!(session.is_drained());
     }
 
     #[test]

@@ -35,6 +35,13 @@ impl Priority {
     /// All priority levels in ascending order.
     pub const ALL: [Priority; 3] = [Priority::Low, Priority::Medium, Priority::High];
 
+    /// The level's position in [`Priority::ALL`] — a dense index for
+    /// per-priority bucket arrays (e.g. the engine's incrementally
+    /// maintained blocking-work totals).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The token grant associated with this priority level (Table II).
     pub fn token_grant(self) -> f64 {
         match self {
@@ -163,6 +170,13 @@ mod tests {
         assert!(Priority::Low < Priority::Medium);
         assert!(Priority::Medium < Priority::High);
         assert_eq!(Priority::ALL.len(), 3);
+    }
+
+    #[test]
+    fn priority_index_is_dense_and_matches_all_order() {
+        for (expected, priority) in Priority::ALL.into_iter().enumerate() {
+            assert_eq!(priority.index(), expected);
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!   the paper reports a 1.6 % average estimation error.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use dnn_models::layer::GemmDims;
 use dnn_models::{ModelKind, NetworkGraph, SeqSpec};
@@ -70,12 +71,43 @@ pub fn estimate_network_cycles(network: &NetworkGraph, batch: u64, cfg: &NpuConf
         .sum()
 }
 
+/// Statistics of one predictor's estimate cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EstimateCacheStats {
+    /// Estimates answered from the cache.
+    pub hits: u64,
+    /// Estimates computed by running Algorithm 1 over the built network.
+    pub misses: u64,
+}
+
+/// The estimate cache: one predicted cycle count per distinct
+/// `(model, batch, input_len)` request shape.
+///
+/// A cluster sweep's dispatch path asks for estimates once per request, but
+/// requests repeat a small pool of shapes thousands of times — and every
+/// uncached estimate rebuilds the network graph and walks Algorithm 1 over
+/// all of its layers. Both the graph and the estimate are pure functions of
+/// the key (given the predictor's NPU configuration and sequence tables),
+/// so a hit is bit-identical to a recomputation by construction; a unit
+/// test pins it anyway.
+type EstimateKey = (ModelKind, u64, u64);
+
+#[derive(Debug, Default)]
+struct EstimateCache {
+    map: Mutex<(HashMap<EstimateKey, Cycles>, EstimateCacheStats)>,
+}
+
 /// The PREMA default predictor: Algorithm 1 plus the profile-driven sequence
-/// length regression for seq2seq models.
+/// length regression for seq2seq models, with a per-predictor estimate
+/// cache keyed by `(model, batch, input_len)` so the repeated estimates a
+/// cluster sweep's prepare/dispatch path issues are O(1) lookups.
 #[derive(Debug, Clone)]
 pub struct AnalyticalPredictor {
     cfg: NpuConfig,
     seq_tables: HashMap<ModelKind, SeqLenTable>,
+    /// Shared by clones (they predict identically); replaced whenever a
+    /// sequence table is registered, since that changes RNN predictions.
+    cache: Arc<EstimateCache>,
 }
 
 impl AnalyticalPredictor {
@@ -86,13 +118,38 @@ impl AnalyticalPredictor {
         AnalyticalPredictor {
             cfg,
             seq_tables: HashMap::new(),
+            cache: Arc::new(EstimateCache::default()),
         }
     }
 
     /// Registers the profiled sequence-length regression table for a model.
+    /// Invalidates the estimate cache: the table changes the predicted
+    /// output lengths RNN estimates build on.
     pub fn with_seq_table(mut self, kind: ModelKind, table: SeqLenTable) -> Self {
         self.seq_tables.insert(kind, table);
+        self.cache = Arc::new(EstimateCache::default());
         self
+    }
+
+    /// Hit/miss counters of the estimate cache.
+    pub fn cache_stats(&self) -> EstimateCacheStats {
+        self.cache.map.lock().expect("estimate cache poisoned").1
+    }
+
+    /// Computes the estimate without consulting or filling the cache.
+    /// Exists for the cache-identity regression test and baseline
+    /// measurements; the cached result is bit-identical.
+    pub fn predict_cycles_uncached(&self, kind: ModelKind, batch: u64, input_len: u64) -> Cycles {
+        let seq = if kind.is_rnn() {
+            SeqSpec::new(
+                input_len.max(1),
+                self.predict_output_len(kind, input_len.max(1)),
+            )
+        } else {
+            SeqSpec::none()
+        };
+        let network = kind.build(batch, seq);
+        estimate_network_cycles(&network, batch, &self.cfg)
     }
 
     /// The NPU configuration this predictor targets.
@@ -119,16 +176,21 @@ impl AnalyticalPredictor {
 
 impl InferenceTimePredictor for AnalyticalPredictor {
     fn predict_cycles(&self, kind: ModelKind, batch: u64, input_len: u64) -> Cycles {
-        let seq = if kind.is_rnn() {
-            SeqSpec::new(
-                input_len.max(1),
-                self.predict_output_len(kind, input_len.max(1)),
-            )
-        } else {
-            SeqSpec::none()
-        };
-        let network = kind.build(batch, seq);
-        estimate_network_cycles(&network, batch, &self.cfg)
+        let key = (kind, batch, input_len);
+        {
+            let mut guard = self.cache.map.lock().expect("estimate cache poisoned");
+            if let Some(&cycles) = guard.0.get(&key) {
+                guard.1.hits += 1;
+                return cycles;
+            }
+        }
+        // Compute outside the lock: estimates are pure, so a racing
+        // duplicate computation inserts the identical value.
+        let cycles = self.predict_cycles_uncached(kind, batch, input_len);
+        let mut guard = self.cache.map.lock().expect("estimate cache poisoned");
+        guard.1.misses += 1;
+        guard.0.insert(key, cycles);
+        cycles
     }
 
     fn name(&self) -> &'static str {
@@ -276,6 +338,44 @@ mod tests {
     fn cnn_output_len_prediction_is_zero() {
         let predictor = AnalyticalPredictor::new(cfg());
         assert_eq!(predictor.predict_output_len(ModelKind::CnnVggNet, 30), 0);
+    }
+
+    #[test]
+    fn estimate_cache_is_bit_identical_to_uncached_calls() {
+        use crate::InferenceTimePredictor;
+        use dnn_models::ALL_EVAL_MODELS;
+
+        let predictor = AnalyticalPredictor::new(cfg()).with_seq_table(
+            ModelKind::RnnTranslation1,
+            SeqLenTable::from_samples([(20, 35)]),
+        );
+        for &kind in &ALL_EVAL_MODELS {
+            for batch in [1u64, 4, 16] {
+                for input_len in [0u64, 10, 20] {
+                    let uncached = predictor.predict_cycles_uncached(kind, batch, input_len);
+                    let first = predictor.predict_cycles(kind, batch, input_len);
+                    let second = predictor.predict_cycles(kind, batch, input_len);
+                    assert_eq!(first, uncached, "{kind} b{batch} len{input_len}");
+                    assert_eq!(second, uncached, "{kind} b{batch} len{input_len}");
+                }
+            }
+        }
+        let stats = predictor.cache_stats();
+        let shapes = (ALL_EVAL_MODELS.len() * 9) as u64;
+        assert_eq!(stats.misses, shapes, "one miss per distinct shape");
+        assert_eq!(stats.hits, shapes, "one hit per repeated shape");
+
+        // Registering a sequence table invalidates the cache (predictions
+        // may change), and a clone shares its parent's cache.
+        let retabled = predictor.clone().with_seq_table(
+            ModelKind::RnnTranslation1,
+            SeqLenTable::from_samples([(20, 60)]),
+        );
+        assert_eq!(retabled.cache_stats(), EstimateCacheStats::default());
+        let longer = retabled.predict_cycles(ModelKind::RnnTranslation1, 1, 20);
+        assert!(longer > predictor.predict_cycles(ModelKind::RnnTranslation1, 1, 20));
+        let shared = predictor.clone();
+        assert_eq!(shared.cache_stats(), predictor.cache_stats());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod seqlen;
 use dnn_models::ModelKind;
 use npu_sim::Cycles;
 
-pub use analytical::AnalyticalPredictor;
+pub use analytical::{AnalyticalPredictor, EstimateCacheStats};
 pub use mac_proxy::MacProxyPredictor;
 pub use oracle::OraclePredictor;
 pub use profile::ProfiledPredictor;

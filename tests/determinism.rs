@@ -310,6 +310,33 @@ fn cluster_sweep_digest_is_reproducible_per_seed() {
     assert_ne!(sweep_hash(&first), sweep_hash(&reseeded));
 }
 
+/// The cluster-scale sweep — the `throughput cluster-scale` baseline
+/// surface — is reproducible: identical cell digests and sweep hash across
+/// invocations (each cell already asserts event-heap == reference
+/// internally), and a different digest for a different seed. Runs under
+/// the CI determinism matrix, so the digest is also pinned across
+/// RAYON_NUM_THREADS settings.
+#[test]
+fn cluster_scale_sweep_digest_is_reproducible_per_seed() {
+    use prema_bench::scale::{run_scale_sweep, scale_sweep_hash, ScaleSweepOptions};
+
+    let opts = ScaleSweepOptions::quick();
+    let first = run_scale_sweep(&opts);
+    let second = run_scale_sweep(&opts);
+    assert_eq!(scale_sweep_hash(&first), scale_sweep_hash(&second));
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.hash, b.hash);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.steals, b.steals);
+    }
+    let reseeded = run_scale_sweep(&ScaleSweepOptions {
+        seed: opts.seed + 1,
+        ..opts
+    });
+    assert_ne!(scale_sweep_hash(&first), scale_sweep_hash(&reseeded));
+}
+
 /// Re-running the parallel suite gives the same bits (no ordering or
 /// scheduling nondeterminism leaks into the results).
 #[test]

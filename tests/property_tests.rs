@@ -483,3 +483,210 @@ fn cluster_serves_every_request_exactly_once() {
         }
     }
 }
+
+/// The event-heap closed-loop driver is bit-identical to the naive stepping
+/// reference: for random node counts, per-node schedulers, dispatch
+/// policies, arrival processes, work-stealing and SLA-admission settings,
+/// `OnlineClusterSimulator::run` and `run_reference` produce the same
+/// `OnlineOutcome` — records, assignments (steal rewrites included), shed
+/// sequence, steal count — and the same `online_outcome_hash`. Since the
+/// reference computes its dispatch/steal/shed signals from resident scans
+/// while the heap loop reads the engine's incremental aggregates, this also
+/// cross-checks those aggregates against an independent implementation.
+#[test]
+fn event_heap_closed_loop_is_bit_identical_to_the_stepping_reference() {
+    use prema::cluster::{online_outcome_hash, OnlineClusterConfig, OnlineClusterSimulator};
+    use prema::workload::arrivals::{generate_open_loop, ArrivalProcess, OpenLoopConfig};
+    use prema::workload::prepare::prepare_requests;
+
+    let mut rng = StdRng::seed_from_u64(0x0EA9_4EA9);
+    let npu = NpuConfig::paper_default();
+    // Real (analytical) estimates, not oracle ones: the predictor's
+    // undershoot makes running tasks overrun their estimates, exercising
+    // the estimated-remaining clamp paths in the heap loop's admission
+    // caches that perfect estimates can never reach.
+    let predictor = prema::AnalyticalPredictor::new(npu.clone());
+    let mut nontrivial_cases = 0usize;
+    let mut steals_seen = 0u64;
+    let mut sheds_seen = 0usize;
+    for case in 0..18 {
+        let process = match rng.gen_range(0u32..3) {
+            0 => ArrivalProcess::Poisson {
+                rate_per_ms: rng.gen_range(0.2f64..1.6),
+            },
+            1 => ArrivalProcess::Bursty {
+                on_rate_per_ms: rng.gen_range(0.5f64..3.0),
+                mean_on_ms: rng.gen_range(2.0f64..10.0),
+                mean_off_ms: rng.gen_range(5.0f64..20.0),
+            },
+            _ => ArrivalProcess::Diurnal {
+                trough_rate_per_ms: rng.gen_range(0.01f64..0.2),
+                peak_rate_per_ms: rng.gen_range(0.5f64..1.5),
+                period_ms: rng.gen_range(20.0f64..80.0),
+            },
+        };
+        let config =
+            OpenLoopConfig::poisson(1.0, rng.gen_range(20.0f64..70.0)).with_process(process);
+        let spec = generate_open_loop(&config, &mut rng);
+        if spec.is_empty() {
+            continue;
+        }
+        let prepared = prepare_requests(&spec.requests, &npu, Some(&predictor));
+
+        let nodes = rng.gen_range(1usize..9);
+        let dispatch = [
+            prema::cluster::OnlineDispatchPolicy::ShortestQueue,
+            prema::cluster::OnlineDispatchPolicy::LeastWork,
+            prema::cluster::OnlineDispatchPolicy::Predictive,
+        ][rng.gen_range(0usize..3)];
+        let scheduler = match rng.gen_range(0u32..3) {
+            0 => SchedulerConfig::paper_default(),
+            1 => SchedulerConfig::np_fcfs(),
+            _ => SchedulerConfig::named(
+                PolicyKind::Hpf,
+                PreemptionMode::Static(PreemptionMechanism::Checkpoint),
+            ),
+        };
+        let mut online = OnlineClusterConfig::new(nodes, scheduler, dispatch);
+        if rng.gen_bool(0.4) {
+            online = online.with_work_stealing();
+        }
+        if rng.gen_bool(0.4) {
+            // Mid-range targets so shedding actually engages on some cases.
+            online = online.with_admission(rng.gen_range(20.0f64..400.0));
+        }
+
+        let simulator = OnlineClusterSimulator::new(online.clone());
+        let heap = simulator.run(&prepared);
+        let reference = simulator.run_reference(&prepared);
+        assert_eq!(
+            heap, reference,
+            "event-heap loop diverged from the stepping reference \
+             (case {case}, nodes {nodes}, dispatch {dispatch}, config {online:?})"
+        );
+        assert_eq!(online_outcome_hash(&heap), online_outcome_hash(&reference));
+        nontrivial_cases += 1;
+        steals_seen += heap.steals;
+        sheds_seen += heap.shed.len();
+    }
+    assert!(nontrivial_cases >= 12, "enough non-empty cases ran");
+    assert!(
+        steals_seen > 0,
+        "the random cases must exercise work stealing"
+    );
+    assert!(sheds_seen > 0, "the random cases must exercise shedding");
+}
+
+/// The engine's incrementally maintained closed-loop aggregates
+/// (`predicted_remaining_work`, `predicted_blocking_work`,
+/// `revocable_work`, `best_steal_candidate`, `best_shed_candidate`) always
+/// agree with a brute-force scan over `resident_tasks()`, at every pause of
+/// randomly driven sessions that also inject, revoke and re-inject work
+/// mid-flight.
+#[test]
+fn incremental_aggregates_match_resident_scans_under_random_driving() {
+    use prema::PreparedTask;
+
+    let npu = NpuConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(0xA66E);
+    for case in 0..8 {
+        let scheduler = if case % 2 == 0 {
+            SchedulerConfig::paper_default()
+        } else {
+            SchedulerConfig::np_fcfs()
+        };
+        let sim = NpuSimulator::new(npu.clone(), scheduler);
+        let task_count = rng.gen_range(3usize..8);
+        let requests: Vec<TaskRequest> = (0..task_count)
+            .map(|i| {
+                let model = ALL_EVAL_MODELS[rng.gen_range(0usize..ALL_EVAL_MODELS.len())];
+                TaskRequest::new(TaskId(i as u64), model)
+                    .with_priority(Priority::ALL[rng.gen_range(0usize..3)])
+                    .with_arrival(Cycles::new(rng.gen_range(0u64..6_000_000)))
+                    .with_seq(SeqSpec::for_model(model, 10))
+            })
+            .collect();
+        let prepared = sim.prepare(&requests);
+        let mut session = sim.session(&prepared[..2]);
+        let mut to_inject: Vec<PreparedTask> = prepared[2..].to_vec();
+        let mut horizon = Cycles::ZERO;
+        let mut revoked: Vec<PreparedTask> = Vec::new();
+        loop {
+            let residents = session.resident_tasks();
+            // Aggregates vs brute force.
+            let remaining: Cycles = residents
+                .iter()
+                .map(|r| r.estimated_total - r.executed)
+                .sum();
+            assert_eq!(session.predicted_remaining_work(), remaining, "case {case}");
+            for priority in Priority::ALL {
+                let blocking: Cycles = residents
+                    .iter()
+                    .filter(|r| r.priority >= priority)
+                    .map(|r| r.estimated_total - r.executed)
+                    .sum();
+                assert_eq!(
+                    session.predicted_blocking_work(priority),
+                    blocking,
+                    "case {case} {priority:?}"
+                );
+            }
+            let revocable: Vec<_> = residents.iter().filter(|r| r.revocable).collect();
+            let stealable: Cycles = revocable.iter().map(|r| r.estimated_remaining()).sum();
+            assert_eq!(session.revocable_work(), stealable, "case {case}");
+            let best_steal = revocable
+                .iter()
+                .max_by_key(|r| (r.estimated_remaining(), std::cmp::Reverse(r.id)))
+                .map(|r| r.id);
+            assert_eq!(
+                session.best_steal_candidate().map(|r| r.id),
+                best_steal,
+                "case {case}"
+            );
+            let best_shed = revocable
+                .iter()
+                .min_by_key(|r| {
+                    (
+                        r.priority,
+                        std::cmp::Reverse(r.estimated_remaining()),
+                        std::cmp::Reverse(r.id),
+                    )
+                })
+                .map(|r| r.id);
+            assert_eq!(
+                session.best_shed_candidate().map(|r| r.id),
+                best_shed,
+                "case {case}"
+            );
+
+            // Random driving: inject, revoke (and remember for re-injection).
+            if !to_inject.is_empty() && rng.gen_bool(0.5) {
+                session.inject(to_inject.pop().expect("nonempty"));
+            }
+            if rng.gen_bool(0.3) {
+                if let Some(candidate) = session.best_steal_candidate() {
+                    let handed_back = session
+                        .revoke(candidate.id)
+                        .expect("steal candidate is revocable");
+                    revoked.push(handed_back);
+                }
+            }
+            if !revoked.is_empty() && rng.gen_bool(0.5) {
+                // Re-inject a previously revoked task into the same session
+                // (the multi-hop work-stealing shape).
+                session.inject(revoked.pop().expect("nonempty"));
+            }
+            if session.run_until(horizon) == StepOutcome::Drained
+                && to_inject.is_empty()
+                && revoked.is_empty()
+            {
+                break;
+            }
+            horizon += Cycles::new(rng.gen_range(50_000u64..900_000));
+        }
+        let outcome = session.finish();
+        // Revoked-and-never-reinjected tasks produce no record; everything
+        // else completes exactly once.
+        assert!(outcome.records.len() <= task_count);
+    }
+}
