@@ -30,6 +30,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use prema_bench::cluster::{cell_of, run_cluster_sweep, sweep_hash, ClusterSweepOptions};
+use prema_bench::faults::{fault_sweep_hash, run_fault_sweep, FaultSweepOptions};
 use prema_bench::fig11_15::{fig11_configs, fig12_configs};
 use prema_bench::scale::{run_scale_sweep, scale_aggregates, scale_sweep_hash, ScaleSweepOptions};
 use prema_bench::suite::{run_grid, run_grid_reference, SuiteOptions};
@@ -47,7 +48,7 @@ struct Options {
     check_baseline: Option<String>,
 }
 
-const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]\n       throughput cluster [--nodes N] [--duration-ms D] [--seed S] [--out PATH] [--check-baseline PATH]\n       throughput cluster-scale [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH]";
+const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]\n       throughput cluster [--nodes N] [--duration-ms D] [--seed S] [--out PATH] [--check-baseline PATH]\n       throughput cluster-scale [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH]\n       throughput cluster-faults [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
@@ -638,8 +639,233 @@ fn scale_main(options: ScaleOptions) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct FaultsOptions {
+    nodes: usize,
+    rho: f64,
+    duration_ms: f64,
+    seed: u64,
+    reps: usize,
+    out: String,
+    check_baseline: Option<String>,
+}
+
+fn parse_faults_args(args: impl Iterator<Item = String>) -> Result<FaultsOptions, String> {
+    let defaults = FaultSweepOptions::baseline();
+    let mut options = FaultsOptions {
+        nodes: defaults.nodes,
+        rho: defaults.rho,
+        duration_ms: defaults.duration_ms,
+        seed: defaults.seed,
+        reps: defaults.repetitions,
+        out: "BENCH_cluster_faults.json".to_string(),
+        check_baseline: None,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                options.nodes = args
+                    .next()
+                    .ok_or("--nodes requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --nodes value: {e}"))?;
+            }
+            "--rho" => {
+                options.rho = args
+                    .next()
+                    .ok_or("--rho requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --rho value: {e}"))?;
+            }
+            "--duration-ms" => {
+                options.duration_ms = args
+                    .next()
+                    .ok_or("--duration-ms requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --duration-ms value: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .ok_or("--seed requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed value: {e}"))?;
+            }
+            "--reps" => {
+                options.reps = args
+                    .next()
+                    .ok_or("--reps requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --reps value: {e}"))?;
+            }
+            "--out" => {
+                options.out = args.next().ok_or("--out requires a value")?;
+            }
+            "--check-baseline" => {
+                options.check_baseline =
+                    Some(args.next().ok_or("--check-baseline requires a value")?);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if options.nodes == 0 {
+        return Err("--nodes must be at least 1".into());
+    }
+    if !options.rho.is_finite() || options.rho <= 0.0 {
+        return Err("--rho must be positive".into());
+    }
+    if !options.duration_ms.is_finite() || options.duration_ms <= 0.0 {
+        return Err("--duration-ms must be positive".into());
+    }
+    if options.reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    Ok(options)
+}
+
+fn faults_main(options: FaultsOptions) -> ExitCode {
+    let opts = FaultSweepOptions {
+        nodes: options.nodes,
+        rho: options.rho,
+        duration_ms: options.duration_ms,
+        seed: options.seed,
+        repetitions: options.reps,
+        ..FaultSweepOptions::baseline()
+    };
+    eprintln!(
+        "[throughput] cluster-faults sweep: {} nodes at rho {:.2}, {} ms windows, MTBF {:?}x mean service, best-of-{} walls",
+        opts.nodes, opts.rho, opts.duration_ms, opts.mtbf_multipliers, opts.repetitions,
+    );
+
+    let cells = run_fault_sweep(&opts);
+    let digest = fault_sweep_hash(&cells);
+    for cell in &cells {
+        eprintln!(
+            "[throughput] MTBF {:>5.1}x ({:>6.2} ms) {:<12}: {}/{} served, {} abandoned, {} recoveries, availability {:.4}, goodput {:.4}, p99 {:.3} ms",
+            cell.mtbf_multiplier,
+            cell.mtbf_ms,
+            cell.recovery,
+            cell.served,
+            cell.requests,
+            cell.abandoned,
+            cell.recoveries,
+            cell.availability,
+            cell.goodput,
+            cell.p99_ms,
+        );
+    }
+    // The headline comparison: checkpoint recovery vs restart-from-zero p99
+    // at each MTBF level (cells are paired, checkpoint first).
+    for pair in cells.chunks(2) {
+        let [checkpoint, restart] = pair else {
+            continue;
+        };
+        eprintln!(
+            "[throughput] MTBF {:>5.1}x: checkpoint p99 {:.3} ms vs restart-zero p99 {:.3} ms ({:+.1} %)",
+            checkpoint.mtbf_multiplier,
+            checkpoint.p99_ms,
+            restart.p99_ms,
+            (checkpoint.p99_ms / restart.p99_ms - 1.0) * 100.0,
+        );
+    }
+
+    let mtbf_list = opts
+        .mtbf_multipliers
+        .iter()
+        .map(|m| format!("{m:.1}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut cell_rows = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        cell_rows.push_str(&format!(
+            "    {{ \"mtbf_multiplier\": {:.1}, \"mtbf_ms\": {:.3}, \"recovery\": \"{}\", \
+             \"requests\": {}, \"served\": {}, \"shed\": {}, \"abandoned\": {}, \
+             \"crashes\": {}, \"freezes\": {}, \"recoveries\": {}, \
+             \"availability\": {:.6}, \"goodput\": {:.6}, \"p99_ms\": {:.4}, \
+             \"antt\": {:.4}, \"events\": {}, \"wall_s\": {:.4}, \
+             \"events_per_sec\": {:.0}, \"hash\": \"{:016x}\" }}{}\n",
+            cell.mtbf_multiplier,
+            cell.mtbf_ms,
+            cell.recovery,
+            cell.requests,
+            cell.served,
+            cell.shed,
+            cell.abandoned,
+            cell.crashes,
+            cell.freezes,
+            cell.recoveries,
+            cell.availability,
+            cell.goodput,
+            cell.p99_ms,
+            cell.antt,
+            cell.events,
+            cell.wall_s,
+            cell.events_per_sec(),
+            cell.hash,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    let report = format!(
+        "{{\n  \"bench\": \"cluster_faults\",\n  \"nodes\": {},\n  \"rho\": {:.2},\n  \"seed\": {},\n  \"duration_ms\": {:.1},\n  \"mtbf_multipliers\": [{}],\n  \"downtime_ms\": {:.1},\n  \"freeze_fraction\": {:.2},\n  \"scheduler\": \"prema\",\n  \"dispatch\": \"predictive-live\",\n  \"repetitions\": {},\n  \"sweep_hash\": \"{:016x}\",\n  \"cells\": [\n{}  ]\n}}\n",
+        opts.nodes,
+        opts.rho,
+        opts.seed,
+        opts.duration_ms,
+        mtbf_list,
+        opts.downtime_ms,
+        opts.freeze_fraction,
+        opts.repetitions,
+        digest,
+        cell_rows,
+    );
+    print!("{report}");
+    if let Err(error) = std::fs::write(&options.out, &report) {
+        eprintln!("[throughput] could not write {}: {error}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[throughput] report written to {}", options.out);
+
+    if let Some(path) = &options.check_baseline {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(contents) => contents,
+            Err(error) => {
+                eprintln!("[throughput] FAIL: could not read baseline {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(baseline_hash) = baseline_string(&baseline, "sweep_hash") else {
+            eprintln!("[throughput] FAIL: no sweep_hash found in baseline {path}");
+            return ExitCode::FAILURE;
+        };
+        let measured_hash = format!("{digest:016x}");
+        if baseline_hash != measured_hash {
+            eprintln!(
+                "[throughput] FAIL: cluster-faults outcomes diverged from the baseline:\n\
+                 [throughput]   expected sweep_hash {baseline_hash}\n\
+                 [throughput]   actual   sweep_hash {measured_hash}\n\
+                 [throughput] The sweep is deterministic per seed, so this is a \
+                 behavioural change: re-commit the baseline only if it is intentional."
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[throughput] baseline check passed: sweep_hash {measured_hash} matches");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("cluster-faults") {
+        args.next();
+        return match parse_faults_args(args) {
+            Ok(options) => faults_main(options),
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.peek().map(String::as_str) == Some("cluster-scale") {
         args.next();
         return match parse_scale_args(args) {

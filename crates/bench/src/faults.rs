@@ -1,0 +1,364 @@
+//! The cluster fault-tolerance benchmark: checkpoint-priced recovery vs
+//! restart-from-zero under seeded node crashes.
+//!
+//! This sweep answers the fault-injection question the serving benches
+//! leave open: *what does PREMA's checkpointing actually buy when nodes
+//! fail?* For each MTBF level (expressed as a multiple of the mean service
+//! time, so the fault pressure is load-relative) it generates one seeded
+//! open-loop request stream and one seeded crash/freeze schedule, then
+//! serves the identical driving twice — once with
+//! [`RecoveryConfig::checkpointed`] (salvaged tasks resume from their last
+//! commit point, paying the restore DMA) and once with
+//! [`RecoveryConfig::restart_from_zero`] (identical retry/backoff policy,
+//! all progress discarded). Both cells run through **both** closed-loop
+//! drivers and are asserted bit-identical, every cell asserts exactly-once
+//! conservation (served + shed + abandoned == generated), and the per-cell
+//! digests fold into the sweep hash the `throughput cluster-faults
+//! --check-baseline` gate compares.
+//!
+//! The headline row is MTBF ≈ 10× the mean service time: frequent enough
+//! that most crashes land on started work, rare enough that the cluster
+//! still mostly serves — there, checkpoint recovery's p99 turnaround must
+//! beat restart-from-zero's (the committed `BENCH_cluster_faults.json`
+//! records the margin).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use npu_sim::NpuConfig;
+use prema_cluster::{
+    online_outcome_hash, ClusterFaultPlan, ClusterMetrics, OnlineClusterConfig,
+    OnlineClusterSimulator, OnlineDispatchPolicy, OnlineOutcome, RecoveryConfig,
+};
+use prema_core::SchedulerConfig;
+use prema_workload::arrivals::{generate_open_loop, OpenLoopConfig};
+use prema_workload::prepare::prepare_workload;
+use prema_workload::FaultProcess;
+
+use crate::cluster::{mean_service_ms, offered_rate_per_ms};
+use crate::suite::{build_predictor, run_seed};
+
+/// Options controlling a cluster fault-tolerance sweep.
+#[derive(Debug, Clone)]
+pub struct FaultSweepOptions {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Offered load (fraction of cluster capacity).
+    pub rho: f64,
+    /// RNG seed; per-level request streams and fault schedules derive
+    /// from it.
+    pub seed: u64,
+    /// Length of each generated arrival window, in milliseconds.
+    pub duration_ms: f64,
+    /// The MTBF levels, as multiples of the mean service time.
+    pub mtbf_multipliers: Vec<f64>,
+    /// Mean fault-window length, in milliseconds.
+    pub downtime_ms: f64,
+    /// Fraction of faults that freeze (straggle) instead of crashing.
+    pub freeze_fraction: f64,
+    /// The per-node scheduler.
+    pub scheduler: SchedulerConfig,
+    /// The per-node NPU configuration.
+    pub npu: NpuConfig,
+    /// Wall-clock repetitions per (cell, driver); the minimum is reported.
+    pub repetitions: usize,
+}
+
+impl FaultSweepOptions {
+    /// The committed-baseline sweep: 4 PREMA nodes at 75 % offered load,
+    /// 400 ms windows, MTBF at 5× / 10× / 20× the mean service time with
+    /// 2 ms fault windows, a fifth of them freezes.
+    pub fn baseline() -> Self {
+        FaultSweepOptions {
+            nodes: 4,
+            rho: 0.75,
+            seed: 2020,
+            duration_ms: 400.0,
+            mtbf_multipliers: vec![5.0, 10.0, 20.0],
+            downtime_ms: 2.0,
+            freeze_fraction: 0.2,
+            scheduler: SchedulerConfig::paper_default(),
+            npu: NpuConfig::paper_default(),
+            repetitions: 3,
+        }
+    }
+
+    /// A reduced sweep for unit tests and quick local runs.
+    pub fn quick() -> Self {
+        FaultSweepOptions {
+            nodes: 2,
+            duration_ms: 80.0,
+            mtbf_multipliers: vec![10.0],
+            repetitions: 1,
+            ..FaultSweepOptions::baseline()
+        }
+    }
+
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("at least one node is required".into());
+        }
+        if !self.rho.is_finite() || self.rho <= 0.0 {
+            return Err("rho must be positive and finite".into());
+        }
+        if !self.duration_ms.is_finite() || self.duration_ms <= 0.0 {
+            return Err("duration must be positive and finite".into());
+        }
+        if self.mtbf_multipliers.is_empty()
+            || self
+                .mtbf_multipliers
+                .iter()
+                .any(|m| !m.is_finite() || *m <= 0.0)
+        {
+            return Err("MTBF multipliers must be non-empty, positive and finite".into());
+        }
+        if !self.downtime_ms.is_finite() || self.downtime_ms <= 0.0 {
+            return Err("downtime must be positive and finite".into());
+        }
+        if !(0.0..=1.0).contains(&self.freeze_fraction) {
+            return Err("freeze fraction must be within [0, 1]".into());
+        }
+        if self.repetitions == 0 {
+            return Err("at least one repetition is required".into());
+        }
+        self.npu.validate()?;
+        self.scheduler.validate()?;
+        Ok(())
+    }
+}
+
+/// One cell of the fault sweep: an (MTBF level, recovery policy) pair
+/// measured under both drivers on the identical driving.
+#[derive(Debug, Clone)]
+pub struct FaultCell {
+    /// The level's MTBF as a multiple of the mean service time.
+    pub mtbf_multiplier: f64,
+    /// The resulting per-node MTBF, in milliseconds.
+    pub mtbf_ms: f64,
+    /// The recovery policy label (`checkpoint` or `restart-zero`).
+    pub recovery: &'static str,
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Requests served to completion.
+    pub served: usize,
+    /// Requests shed by admission control (zero in this sweep — admission
+    /// is off so recovery effects stay isolated).
+    pub shed: usize,
+    /// Requests abandoned after exhausting the retry budget.
+    pub abandoned: usize,
+    /// Node crash windows injected.
+    pub crashes: u64,
+    /// Node freeze windows injected.
+    pub freezes: u64,
+    /// Salvaged-task re-dispatches performed.
+    pub recoveries: u64,
+    /// Fraction of node-time the nodes were up.
+    pub availability: f64,
+    /// Useful served work per unit of provisioned capacity.
+    pub goodput: f64,
+    /// 99th-percentile turnaround of the served work, milliseconds.
+    pub p99_ms: f64,
+    /// Average normalized turnaround time of the served work.
+    pub antt: f64,
+    /// Total scheduler wakeups (identical under both drivers).
+    pub events: u64,
+    /// Best event-heap wall clock, seconds.
+    pub wall_s: f64,
+    /// The deterministic outcome digest (identical under both drivers).
+    pub hash: u64,
+}
+
+impl FaultCell {
+    /// Event-heap events per second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(f64::EPSILON)
+    }
+}
+
+fn timed<F: FnMut() -> OnlineOutcome>(mut run: F, repetitions: usize) -> (OnlineOutcome, f64) {
+    let mut best = f64::INFINITY;
+    let mut outcome: Option<OnlineOutcome> = None;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        let this = run();
+        let wall = start.elapsed().as_secs_f64();
+        best = best.min(wall);
+        if let Some(previous) = &outcome {
+            assert_eq!(previous, &this, "nondeterministic faulty closed-loop run");
+        }
+        outcome = Some(this);
+    }
+    (outcome.expect("at least one repetition"), best)
+}
+
+/// Runs the fault sweep. Cells are laid out level-major, checkpoint before
+/// restart-zero; per level both policies answer the *identical* request
+/// stream and fault schedule, so the comparison is paired. Every cell's
+/// reference and event-heap outcomes are asserted bit-identical, and every
+/// cell asserts exactly-once conservation.
+///
+/// # Panics
+///
+/// Panics if the options are invalid, if the two drivers ever diverge, or
+/// if any request is lost or duplicated.
+pub fn run_fault_sweep(opts: &FaultSweepOptions) -> Vec<FaultCell> {
+    if let Err(msg) = opts.validate() {
+        panic!("invalid FaultSweepOptions: {msg}");
+    }
+    let predictor = build_predictor(&opts.npu, opts.seed);
+    let template = OpenLoopConfig::poisson(1.0, opts.duration_ms);
+    let service_ms = mean_service_ms(&template.models, &template.batch_sizes, &opts.npu);
+    let rate = offered_rate_per_ms(opts.rho, opts.nodes, service_ms);
+
+    let mut cells = Vec::with_capacity(opts.mtbf_multipliers.len() * 2);
+    for (level, &multiplier) in opts.mtbf_multipliers.iter().enumerate() {
+        let mtbf_ms = multiplier * service_ms;
+        let mut rng = StdRng::seed_from_u64(run_seed(opts.seed, level));
+        let spec = generate_open_loop(&OpenLoopConfig::poisson(rate, opts.duration_ms), &mut rng);
+        let prepared = prepare_workload(&spec, &opts.npu, Some(&predictor));
+        // The fault schedule draws from the same per-level stream, after
+        // the arrivals — one driving per level, answered by both policies.
+        let schedule =
+            FaultProcess::crashes(opts.nodes, mtbf_ms, opts.downtime_ms, opts.duration_ms)
+                .with_freeze_fraction(opts.freeze_fraction)
+                .generate(&mut rng);
+
+        for (label, recovery) in [
+            ("checkpoint", RecoveryConfig::checkpointed()),
+            ("restart-zero", RecoveryConfig::restart_from_zero()),
+        ] {
+            let config = OnlineClusterConfig::new(
+                opts.nodes,
+                opts.scheduler.clone(),
+                OnlineDispatchPolicy::Predictive,
+            )
+            .with_faults(ClusterFaultPlan::new(schedule.clone()).with_recovery(recovery));
+            let online = OnlineClusterSimulator::new(config);
+            let (reference, _) = timed(|| online.run_reference(&prepared.tasks), opts.repetitions);
+            let (heap, wall_s) = timed(|| online.run(&prepared.tasks), opts.repetitions);
+            assert_eq!(
+                heap, reference,
+                "event-heap loop diverged from the stepping reference at \
+                 MTBF {multiplier}x under {label} recovery"
+            );
+            let mut accounted: Vec<u64> = heap
+                .cluster
+                .merged_records()
+                .iter()
+                .map(|r| r.id.0)
+                .chain(heap.shed.iter().map(|r| r.id.0))
+                .chain(heap.abandoned.iter().map(|r| r.id.0))
+                .collect();
+            accounted.sort_unstable();
+            let mut expected: Vec<u64> = prepared.tasks.iter().map(|t| t.request.id.0).collect();
+            expected.sort_unstable();
+            assert_eq!(
+                accounted, expected,
+                "task conservation violated at MTBF {multiplier}x under {label} recovery"
+            );
+            let metrics = ClusterMetrics::from_online(&heap, &opts.npu);
+            cells.push(FaultCell {
+                mtbf_multiplier: multiplier,
+                mtbf_ms,
+                recovery: label,
+                requests: prepared.tasks.len(),
+                served: heap.served(),
+                shed: heap.shed.len(),
+                abandoned: heap.abandoned.len(),
+                crashes: heap.crashes,
+                freezes: heap.freezes,
+                recoveries: heap.recoveries,
+                availability: metrics.availability,
+                goodput: metrics.goodput,
+                p99_ms: metrics.p99_ms,
+                antt: metrics.antt,
+                events: heap.cluster.scheduler_invocations(),
+                wall_s,
+                hash: online_outcome_hash(&heap),
+            });
+        }
+    }
+    cells
+}
+
+/// Folds every cell digest into the sweep-identity digest the
+/// `throughput cluster-faults` baseline gate compares.
+pub fn fault_sweep_hash(cells: &[FaultCell]) -> u64 {
+    prema_cluster::fold_hashes(cells.iter().map(|cell| cell.hash))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fault_sweep_is_deterministic_and_actually_faults() {
+        let opts = FaultSweepOptions::quick();
+        let a = run_fault_sweep(&opts);
+        let b = run_fault_sweep(&opts);
+        assert_eq!(a.len(), opts.mtbf_multipliers.len() * 2);
+        assert_eq!(fault_sweep_hash(&a), fault_sweep_hash(&b));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.hash, y.hash);
+            assert_eq!(x.served, y.served);
+        }
+        // Both policies answered the same driving: same stream, same
+        // faults, different service outcomes.
+        let checkpoint = &a[0];
+        let restart = &a[1];
+        assert_eq!(checkpoint.recovery, "checkpoint");
+        assert_eq!(restart.recovery, "restart-zero");
+        assert_eq!(checkpoint.requests, restart.requests);
+        assert_eq!(checkpoint.crashes, restart.crashes);
+        assert_eq!(checkpoint.freezes, restart.freezes);
+        assert!(checkpoint.crashes > 0, "the process must crash nodes");
+        assert!(checkpoint.recoveries > 0, "crashes must trigger recovery");
+        assert!(checkpoint.availability < 1.0);
+        assert!(checkpoint.goodput > 0.0);
+        assert_eq!(checkpoint.shed, 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_options() {
+        for bad in [
+            FaultSweepOptions {
+                nodes: 0,
+                ..FaultSweepOptions::quick()
+            },
+            FaultSweepOptions {
+                rho: -1.0,
+                ..FaultSweepOptions::quick()
+            },
+            FaultSweepOptions {
+                mtbf_multipliers: vec![],
+                ..FaultSweepOptions::quick()
+            },
+            FaultSweepOptions {
+                mtbf_multipliers: vec![0.0],
+                ..FaultSweepOptions::quick()
+            },
+            FaultSweepOptions {
+                downtime_ms: f64::NAN,
+                ..FaultSweepOptions::quick()
+            },
+            FaultSweepOptions {
+                freeze_fraction: 1.5,
+                ..FaultSweepOptions::quick()
+            },
+            FaultSweepOptions {
+                repetitions: 0,
+                ..FaultSweepOptions::quick()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+        assert!(FaultSweepOptions::baseline().validate().is_ok());
+    }
+}

@@ -21,8 +21,11 @@
 //! | [`overhead`] | Section VI-F — context-table SRAM overhead |
 //! | [`sensitivity`] | Section VI-E — quantum / token / batch sensitivity |
 //! | [`cluster`] | Beyond the paper: multi-NPU cluster serving load sweep |
+//! | [`scale`] | Beyond the paper: closed-loop co-simulation scaling sweep |
+//! | [`faults`] | Beyond the paper: checkpoint recovery vs restart-from-zero under node faults |
 
 pub mod cluster;
+pub mod faults;
 pub mod fig01;
 pub mod fig05_06;
 pub mod fig07;

@@ -57,10 +57,13 @@ use npu_sim::{Cycles, NpuConfig};
 use prema_core::{NpuSimulator, PreparedTask, ResidentTask, SimSession, TaskId, TaskRequest};
 use prema_metrics::Percentiles;
 
+use prema_workload::FaultKind;
+
 use crate::cluster::NodeAssignment;
+use crate::faults::{FaultDriver, FaultEvent};
 use crate::online::{
-    arrival_order, finish_outcome, OnlineClusterConfig, OnlineDispatchPolicy, OnlineOutcome,
-    ShedKey, SlaAdmissionConfig,
+    arrival_order, finish_outcome, scaled_admission_target, OnlineClusterConfig,
+    OnlineDispatchPolicy, OnlineOutcome, ShedKey, SlaAdmissionConfig,
 };
 
 /// Runs the event-heap closed-loop simulation. Caller has validated the
@@ -75,13 +78,24 @@ pub(crate) fn run(config: &OnlineClusterConfig, tasks: &[PreparedTask]) -> Onlin
     let mut assignment_index: HashMap<TaskId, usize> = HashMap::with_capacity(tasks.len());
     let mut shed: Vec<TaskRequest> = Vec::new();
     let mut steals = 0u64;
+    let mut faults = config
+        .faults
+        .as_ref()
+        .map(|plan| FaultDriver::new(plan, &config.npu, config.nodes));
 
     for &i in &order {
         let task = &tasks[i];
         let now = task.request.arrival;
+        driver.drain_fault_events(
+            &mut faults,
+            now,
+            &mut steals,
+            &mut assignments,
+            &assignment_index,
+        );
         driver.advance_to(now, &mut steals, &mut assignments, &assignment_index);
 
-        let node = driver.pick_node(now, task);
+        let node = driver.pick_node(now, task, faults.as_ref());
         if let Some(admission) = config.admission {
             if !driver.admit(task, node, admission, &mut shed) {
                 continue;
@@ -95,13 +109,26 @@ pub(crate) fn run(config: &OnlineClusterConfig, tasks: &[PreparedTask]) -> Onlin
         driver.inject(node, task.clone());
     }
 
+    driver.drain_fault_events(
+        &mut faults,
+        Cycles::MAX,
+        &mut steals,
+        &mut assignments,
+        &assignment_index,
+    );
     driver.advance_to(
         Cycles::MAX,
         &mut steals,
         &mut assignments,
         &assignment_index,
     );
-    finish_outcome(driver.sessions, assignments, shed, steals)
+    finish_outcome(
+        driver.sessions,
+        assignments,
+        shed,
+        steals,
+        faults.map(FaultDriver::finish),
+    )
 }
 
 /// Per-node cache of the SLA-admission predicted-turnaround segment.
@@ -127,6 +154,14 @@ pub(crate) fn run(config: &OnlineClusterConfig, tasks: &[PreparedTask]) -> Onlin
 /// out) and refuses reuse past it; a rebuild inside the overrun window
 /// emits every entry in `add_now` form (the runner contributes a constant
 /// zero), which is exact for the rest of the version.
+///
+/// A *stalled* node (inside a fault window) breaks the same cancellation
+/// the opposite way: the clock advances but the runner makes no progress
+/// at all, so the reference's recomputed turnarounds grow with the clock
+/// over a *constant* backlog. A rebuild while stalled therefore also emits
+/// every entry in `add_now` form — exact through the stall — with
+/// `valid_until` at the stall's end (the injection of the stall itself
+/// bumps the state version, forcing the rebuild onto this path).
 #[derive(Debug, Clone)]
 struct PredictionSegment {
     version: u64,
@@ -157,18 +192,21 @@ impl PredictionSegment {
         scratch.clear();
         session.resident_tasks_into(scratch);
         scratch.sort_by_key(|resident| (Reverse(resident.priority), resident.arrival, resident.id));
+        let stalled = session.stalled_until();
         let runner = session.running_task();
         self.entries.clear();
         self.entries.reserve(scratch.len());
-        self.valid_until = Cycles::MAX;
+        self.valid_until = stalled.unwrap_or(Cycles::MAX);
         let mut backlog = Cycles::ZERO;
         let mut runner_seen = false;
         for resident in scratch.iter() {
             let remaining = resident.estimated_remaining();
             backlog += remaining;
-            if Some(resident.id) == runner && !remaining.is_zero() {
+            if stalled.is_none() && Some(resident.id) == runner && !remaining.is_zero() {
                 // The runner pins everything at or behind it to absolute
-                // completions — but only until its estimate runs out.
+                // completions — but only until its estimate runs out. A
+                // stalled runner pins nothing (no progress while the clock
+                // advances), so the whole segment stays in add_now form.
                 runner_seen = true;
                 self.valid_until = now + remaining;
             }
@@ -332,7 +370,13 @@ impl<'a> EventHeapLoop<'a> {
     ) -> u64 {
         let mut steals = 0u64;
         loop {
-            let Some(thief) = self.sessions.iter().position(|s| s.queue_depth() == 0) else {
+            // Mirrors the reference: a stalled node (crashed-and-drained or
+            // frozen) cannot be a thief, but may still be a victim.
+            let Some(thief) = self
+                .sessions
+                .iter()
+                .position(|s| s.queue_depth() == 0 && s.stalled_until().is_none())
+            else {
                 return steals;
             };
             let mut victim: Option<(Cycles, usize)> = None;
@@ -357,7 +401,9 @@ impl<'a> EventHeapLoop<'a> {
             let prepared = self.sessions[victim]
                 .revoke(stolen.id)
                 .expect("stolen task was revocable");
-            self.sessions[thief].inject(prepared);
+            self.sessions[thief]
+                .inject(prepared)
+                .expect("revoked task re-injects cleanly");
             if let Some(&slot) = assignment_index.get(&stolen.id) {
                 assignments[slot].node = thief;
             }
@@ -374,7 +420,45 @@ impl<'a> EventHeapLoop<'a> {
     /// the best exact score cannot win the (score, index) minimum and is
     /// skipped unadvanced. In synchronized mode every lag is zero and this
     /// degenerates to the exact scan.
-    fn pick_node(&mut self, t: Cycles, task: &PreparedTask) -> usize {
+    ///
+    /// Under fault injection the key gains the failure-aware penalty tier
+    /// in front (down / cooling-down / healthy, exactly the reference's).
+    /// The tier is *exact* regardless of lag — it reads the fault driver,
+    /// not session state — so prefixing it preserves the branch-and-bound
+    /// invariant: the lower-bounded key is still lexicographically ≤ the
+    /// exact key, and the skip rule stays sound.
+    fn pick_node(
+        &mut self,
+        t: Cycles,
+        task: &PreparedTask,
+        faults: Option<&FaultDriver<'_>>,
+    ) -> usize {
+        self.pick_node_inner(t, task, faults, false)
+    }
+
+    /// [`Self::pick_node`] for callers that have already materialized every
+    /// session to `t` (the fault drain's synchronization points). Any
+    /// residual `t - now()` lag is inert there — a drained or stalled node
+    /// parks its clock before `t` even after `run_until(t)` — so scores are
+    /// taken as-is, and crucially no session is ever materialized: running
+    /// a target engine between two same-instant salvage injections would
+    /// admit a partial batch and diverge from the reference.
+    fn pick_node_synchronized(
+        &mut self,
+        t: Cycles,
+        task: &PreparedTask,
+        faults: Option<&FaultDriver<'_>>,
+    ) -> usize {
+        self.pick_node_inner(t, task, faults, true)
+    }
+
+    fn pick_node_inner(
+        &mut self,
+        t: Cycles,
+        task: &PreparedTask,
+        faults: Option<&FaultDriver<'_>>,
+        synchronized: bool,
+    ) -> usize {
         let priority = task.request.priority;
         let dispatch = self.config.dispatch;
         let score = |session: &SimSession, lag: u64| -> (u64, u64) {
@@ -391,22 +475,88 @@ impl<'a> EventHeapLoop<'a> {
                 ),
             }
         };
-        let mut best: Option<((u64, u64), usize)> = None;
+        type PenaltyScore = (u8, (u64, u64));
+        let mut best: Option<(PenaltyScore, usize)> = None;
         for i in 0..self.sessions.len() {
-            let lag = (t - self.sessions[i].now()).get();
-            let lower = score(&self.sessions[i], lag);
+            let penalty = faults.map_or(0u8, |driver| driver.penalty(i, t));
+            let lag = if synchronized {
+                0
+            } else {
+                (t - self.sessions[i].now()).get()
+            };
+            let lower = (penalty, score(&self.sessions[i], lag));
             if best.is_some_and(|(exact, _)| lower >= exact) {
                 continue;
             }
             if lag > 0 {
                 self.materialize(i, t);
             }
-            let exact = score(&self.sessions[i], 0);
+            let exact = (penalty, score(&self.sessions[i], 0));
             if best.is_none_or(|(score, _)| exact < score) {
                 best = Some((exact, i));
             }
         }
         best.expect("at least one node").1
+    }
+
+    /// The event-heap half of the shared fault timeline (see the
+    /// reference's `drain_fault_events`): processes every due event through
+    /// the *same* [`FaultDriver`]. A crash or freeze fails/stalls the
+    /// faulted node at the fault instant; a due recovery runs the
+    /// branch-and-bound dispatch over penalty-tiered nodes and re-injects
+    /// the salvage with its admission gated to the recovery instant.
+    ///
+    /// Every fault-event instant is a *global* synchronization point:
+    /// all sessions are materialized to `t` before the batch due there is
+    /// processed, exactly as the reference's advance-all stepping does
+    /// (pure suspension makes each node's state at `t` bit-identical
+    /// either way). This is load-bearing for same-instant recovery
+    /// batches — with zero lag, `pick_node` never materializes a target
+    /// mid-batch, so a node receiving several salvages at one instant
+    /// admits them atomically at its next wakeup, like the reference,
+    /// instead of dispatching a partial batch between two injections.
+    fn drain_fault_events(
+        &mut self,
+        faults: &mut Option<FaultDriver<'_>>,
+        limit: Cycles,
+        steals: &mut u64,
+        assignments: &mut [NodeAssignment],
+        assignment_index: &HashMap<TaskId, usize>,
+    ) {
+        let Some(driver) = faults.as_mut() else {
+            return;
+        };
+        while let Some(t) = driver.next_event_time().filter(|&t| t <= limit) {
+            self.advance_to(t, steals, assignments, assignment_index);
+            for i in 0..self.sessions.len() {
+                self.materialize(i, t);
+            }
+            while let Some(event) = driver.pop_due(t) {
+                match event {
+                    FaultEvent::Fault(fault) => {
+                        if fault.kind == FaultKind::Crash {
+                            let salvaged = self.sessions[fault.node].fail();
+                            driver.on_salvaged(fault.node, t, salvaged);
+                        }
+                        self.sessions[fault.node].stall(fault.end);
+                        self.reschedule(fault.node);
+                    }
+                    FaultEvent::Recovery(pending) => {
+                        let node =
+                            self.pick_node_synchronized(t, &pending.salvage.prepared, Some(driver));
+                        let salvage = driver.redispatch(pending, node, t);
+                        let id = salvage.prepared.request.id;
+                        self.sessions[node]
+                            .inject_salvaged(salvage, t)
+                            .expect("salvaged task id is not live");
+                        self.reschedule(node);
+                        if let Some(&slot) = assignment_index.get(&id) {
+                            assignments[slot].node = node;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// SLA-aware admission, bit-identical to the reference's: predicts the
@@ -426,6 +576,7 @@ impl<'a> EventHeapLoop<'a> {
         let npu = &self.config.npu;
         let incoming_priority = task.request.priority;
         let incoming_estimate = task.estimated_cycles();
+        let target_p99_ms = scaled_admission_target(&self.sessions, admission.target_p99_ms);
         loop {
             self.predicted_ms.clear();
             for i in 0..self.sessions.len() {
@@ -439,7 +590,7 @@ impl<'a> EventHeapLoop<'a> {
             let p99 = Percentiles::summarize(&self.predicted_ms)
                 .expect("the newcomer is always present")
                 .p99;
-            if p99 <= admission.target_p99_ms {
+            if p99 <= target_p99_ms {
                 return true;
             }
 
@@ -474,7 +625,9 @@ impl<'a> EventHeapLoop<'a> {
 
     /// Commits the newcomer to `node` (which `pick_node` materialized).
     fn inject(&mut self, node: usize, task: PreparedTask) {
-        self.sessions[node].inject(task);
+        self.sessions[node]
+            .inject(task)
+            .expect("arrival ids are unique");
         self.reschedule(node);
     }
 }

@@ -1,0 +1,567 @@
+//! Node fault injection and checkpoint-priced recovery for the closed-loop
+//! cluster.
+//!
+//! A [`prema_workload::FaultSchedule`] says *when* nodes crash or freeze;
+//! this module says what the cluster *does* about it. [`ClusterFaultPlan`]
+//! pairs a schedule with a [`RecoveryConfig`] — the retry budget,
+//! exponential re-dispatch backoff, post-recovery dispatch cooldown, and
+//! whether recovery resumes from the last checkpoint commit or restarts
+//! from zero (the baseline the checkpoint pricing is compared against).
+//!
+//! The crate-private `FaultDriver` is the shared state machine **both**
+//! closed-loop drivers consume. It owns everything about faults that is a
+//! *decision* rather than a session mutation: the merged event timeline
+//! (fault starts interleaved with due re-dispatches, faults first on ties),
+//! per-task attempt counts and backoff arithmetic, the abandon rule, the
+//! failure-aware dispatch penalty, and the recovery log. The two loops
+//! differ only in how they advance sessions to an event instant; every
+//! fault-policy decision comes from this one implementation, so the
+//! heap-vs-reference bit-identity contract extends over faulty drivings by
+//! construction (and is pinned by the chaos property tests).
+//!
+//! The recovery cost model follows the engine's commit-point salvage
+//! ([`prema_core::SimSession::fail`]): a crash loses in-flight progress
+//! back to the last `GEMM_OP` interval boundary, and a checkpoint-priced
+//! re-dispatch pays the restore DMA for exactly the context bytes that
+//! were live at that boundary. Restart-from-zero recovery discards the
+//! cursor (and pays no restore) but repeats all the work.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use npu_sim::{Cycles, NpuConfig};
+use prema_core::{SalvagedTask, TaskId, TaskRequest};
+use prema_workload::{FaultKind, FaultSchedule, NodeFault};
+
+/// How salvaged work is re-dispatched after a node crash.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Maximum number of re-dispatch attempts per task across its lifetime.
+    /// A task salvaged more than this many times is *abandoned* (reported
+    /// separately from admission sheds). Zero abandons on first crash.
+    pub retry_budget: u32,
+    /// Base of the exponential re-dispatch backoff, in milliseconds:
+    /// attempt `k` re-enters dispatch `base * 2^(k-1)` after the crash.
+    pub backoff_base_ms: f64,
+    /// How long after a node's fault window ends its dispatches stay
+    /// deprioritized (the failure-aware dispatch cooldown), in
+    /// milliseconds.
+    pub cooldown_ms: f64,
+    /// Whether recovery resumes from the last checkpoint commit point
+    /// (paying the restore DMA) or restarts the task from zero.
+    pub checkpoint_recovery: bool,
+}
+
+impl RecoveryConfig {
+    /// The checkpoint-priced recovery policy: resume from the last commit
+    /// point, three attempts, 0.5 ms backoff base, 2 ms dispatch cooldown.
+    pub fn checkpointed() -> Self {
+        RecoveryConfig {
+            retry_budget: 3,
+            backoff_base_ms: 0.5,
+            cooldown_ms: 2.0,
+            checkpoint_recovery: true,
+        }
+    }
+
+    /// The restart-from-zero baseline: identical retry/backoff/cooldown,
+    /// but every recovery discards all execution progress.
+    pub fn restart_from_zero() -> Self {
+        RecoveryConfig {
+            checkpoint_recovery: false,
+            ..RecoveryConfig::checkpointed()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.backoff_base_ms.is_finite() || self.backoff_base_ms < 0.0 {
+            return Err("recovery backoff base must be non-negative and finite".into());
+        }
+        if !self.cooldown_ms.is_finite() || self.cooldown_ms < 0.0 {
+            return Err("recovery cooldown must be non-negative and finite".into());
+        }
+        if self.retry_budget > 32 {
+            return Err("retry budget above 32 overflows the exponential backoff".into());
+        }
+        Ok(())
+    }
+}
+
+/// A fault schedule plus the recovery policy that answers it — the
+/// fault-injection configuration of one closed-loop cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterFaultPlan {
+    /// When nodes crash and freeze.
+    pub schedule: FaultSchedule,
+    /// How salvaged work is re-dispatched.
+    pub recovery: RecoveryConfig,
+}
+
+impl ClusterFaultPlan {
+    /// A plan answering `schedule` with checkpoint-priced recovery.
+    pub fn new(schedule: FaultSchedule) -> Self {
+        ClusterFaultPlan {
+            schedule,
+            recovery: RecoveryConfig::checkpointed(),
+        }
+    }
+
+    /// Replaces the recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Validates schedule invariants and the recovery policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.schedule.validate()?;
+        self.recovery.validate()
+    }
+}
+
+/// One completed re-dispatch of a salvaged task — a hop in its recovery
+/// history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// The recovered task.
+    pub task: TaskId,
+    /// The node whose crash salvaged it.
+    pub from_node: usize,
+    /// The node it was re-dispatched to.
+    pub to_node: usize,
+    /// Which lifetime attempt this was (1 = first recovery).
+    pub attempt: u32,
+    /// The checkpoint cursor it re-entered with (zero under
+    /// restart-from-zero recovery). Monotonically non-decreasing across one
+    /// task's hops — a later crash can never salvage less committed
+    /// progress than an earlier recovery resumed from.
+    pub resume_executed: Cycles,
+    /// When the re-dispatch happened (global cycles).
+    pub at: Cycles,
+}
+
+/// A salvaged task waiting out its re-dispatch backoff.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingRecovery {
+    due: Cycles,
+    /// Tie-break for identical due instants: scheduling order.
+    seq: u64,
+    pub(crate) salvage: SalvagedTask,
+    pub(crate) attempt: u32,
+    pub(crate) from_node: usize,
+}
+
+impl PartialEq for PendingRecovery {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+
+impl Eq for PendingRecovery {}
+
+impl PartialOrd for PendingRecovery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PendingRecovery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// One due fault-timeline event, in processing order.
+#[derive(Debug)]
+pub(crate) enum FaultEvent {
+    /// A fault window begins (the loop fails/stalls the session).
+    Fault(NodeFault),
+    /// A salvaged task's backoff expired (the loop re-dispatches it).
+    Recovery(PendingRecovery),
+}
+
+/// Everything the fault machinery contributes to an [`crate::OnlineOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FaultTally {
+    pub(crate) abandoned: Vec<TaskRequest>,
+    pub(crate) crashes: u64,
+    pub(crate) freezes: u64,
+    pub(crate) recoveries: u64,
+    pub(crate) recovery_log: Vec<RecoveryRecord>,
+    pub(crate) node_downtime: Vec<Cycles>,
+}
+
+impl FaultTally {
+    /// The fault-free tally (the degenerate driving).
+    pub(crate) fn empty(nodes: usize) -> Self {
+        FaultTally {
+            abandoned: Vec::new(),
+            crashes: 0,
+            freezes: 0,
+            recoveries: 0,
+            recovery_log: Vec::new(),
+            node_downtime: vec![Cycles::ZERO; nodes],
+        }
+    }
+}
+
+/// The shared fault/recovery state machine both closed-loop drivers consume
+/// (see the module docs): a cursor over the fault schedule, the backoff
+/// heap of salvaged tasks, per-task attempt counts, per-node failure
+/// history for the dispatch penalty, and the outcome tallies.
+#[derive(Debug)]
+pub(crate) struct FaultDriver<'a> {
+    plan: &'a ClusterFaultPlan,
+    npu: &'a NpuConfig,
+    next_fault: usize,
+    pending: BinaryHeap<Reverse<PendingRecovery>>,
+    seq: u64,
+    attempts: HashMap<TaskId, u32>,
+    /// Per node: the end of its latest fault window seen so far (`ZERO`
+    /// until the node first faults).
+    down_until: Vec<Cycles>,
+    cooldown: Cycles,
+    tally: FaultTally,
+}
+
+impl<'a> FaultDriver<'a> {
+    pub(crate) fn new(plan: &'a ClusterFaultPlan, npu: &'a NpuConfig, nodes: usize) -> Self {
+        FaultDriver {
+            plan,
+            npu,
+            next_fault: 0,
+            pending: BinaryHeap::new(),
+            seq: 0,
+            attempts: HashMap::new(),
+            down_until: vec![Cycles::ZERO; nodes],
+            cooldown: npu.millis_to_cycles(plan.recovery.cooldown_ms),
+            tally: FaultTally::empty(nodes),
+        }
+    }
+
+    /// The instant of the next fault-timeline event (fault start or due
+    /// re-dispatch), if any remain.
+    pub(crate) fn next_event_time(&self) -> Option<Cycles> {
+        let fault = self
+            .plan
+            .schedule
+            .events
+            .get(self.next_fault)
+            .map(|event| event.start);
+        let recovery = self.pending.peek().map(|Reverse(p)| p.due);
+        match (fault, recovery) {
+            (Some(f), Some(r)) => Some(f.min(r)),
+            (f, r) => f.or(r),
+        }
+    }
+
+    /// Pops the next event due at or before `t`, faults before recoveries
+    /// on ties (a crash at the very instant a task would re-enter dispatch
+    /// is observed by that re-dispatch as a down node).
+    pub(crate) fn pop_due(&mut self, t: Cycles) -> Option<FaultEvent> {
+        let fault_start = self
+            .plan
+            .schedule
+            .events
+            .get(self.next_fault)
+            .map(|event| event.start);
+        let recovery_due = self.pending.peek().map(|Reverse(p)| p.due);
+        if let Some(start) = fault_start {
+            if start <= t && recovery_due.is_none_or(|due| start <= due) {
+                let fault = self.plan.schedule.events[self.next_fault];
+                self.next_fault += 1;
+                self.down_until[fault.node] = self.down_until[fault.node].max(fault.end);
+                self.tally.node_downtime[fault.node] += fault.duration();
+                match fault.kind {
+                    FaultKind::Crash => self.tally.crashes += 1,
+                    FaultKind::Freeze => self.tally.freezes += 1,
+                }
+                return Some(FaultEvent::Fault(fault));
+            }
+        }
+        if recovery_due.is_some_and(|due| due <= t) {
+            let Reverse(pending) = self.pending.pop().expect("peeked entry");
+            return Some(FaultEvent::Recovery(pending));
+        }
+        None
+    }
+
+    /// Accepts a crash's salvage manifests (taken at `at` off `node`):
+    /// tasks within their retry budget enter the backoff heap, the rest are
+    /// abandoned.
+    pub(crate) fn on_salvaged(&mut self, node: usize, at: Cycles, salvaged: Vec<SalvagedTask>) {
+        for salvage in salvaged {
+            let id = salvage.prepared.request.id;
+            let attempt = self.attempts.get(&id).copied().unwrap_or(0) + 1;
+            if attempt > self.plan.recovery.retry_budget {
+                self.tally.abandoned.push(salvage.prepared.request);
+                continue;
+            }
+            self.attempts.insert(id, attempt);
+            let backoff_ms =
+                self.plan.recovery.backoff_base_ms * f64::powi(2.0, attempt as i32 - 1);
+            let due = at + self.npu.millis_to_cycles(backoff_ms);
+            self.pending.push(Reverse(PendingRecovery {
+                due,
+                seq: self.seq,
+                salvage,
+                attempt,
+                from_node: node,
+            }));
+            self.seq += 1;
+        }
+    }
+
+    /// The failure-aware dispatch penalty of `node` at instant `t`: 2 while
+    /// the node is inside a fault window, 1 inside the post-recovery
+    /// cooldown, 0 for a healthy node. Dispatch minimizes `(penalty,
+    /// live-state score, index)`, so faulty nodes only win when every
+    /// healthier node loses on the penalty tier.
+    pub(crate) fn penalty(&self, node: usize, t: Cycles) -> u8 {
+        let until = self.down_until[node];
+        if until.is_zero() {
+            0
+        } else if t < until {
+            2
+        } else if t < until + self.cooldown {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Commits a due re-dispatch onto `to_node` at `at`: applies the
+    /// recovery policy (restart-from-zero discards the cursor), logs the
+    /// hop, and returns the manifest for the loop to inject.
+    pub(crate) fn redispatch(
+        &mut self,
+        pending: PendingRecovery,
+        to_node: usize,
+        at: Cycles,
+    ) -> SalvagedTask {
+        let salvage = if self.plan.recovery.checkpoint_recovery {
+            pending.salvage
+        } else {
+            pending.salvage.restarted_from_zero()
+        };
+        self.tally.recoveries += 1;
+        self.tally.recovery_log.push(RecoveryRecord {
+            task: salvage.prepared.request.id,
+            from_node: pending.from_node,
+            to_node,
+            attempt: pending.attempt,
+            resume_executed: salvage.resume_executed,
+            at,
+        });
+        salvage
+    }
+
+    /// Consumes the driver into its outcome tally.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the timeline was fully drained (no unprocessed faults
+    /// or pending re-dispatches).
+    pub(crate) fn finish(self) -> FaultTally {
+        debug_assert_eq!(
+            self.next_fault,
+            self.plan.schedule.len(),
+            "fault schedule fully processed"
+        );
+        debug_assert!(self.pending.is_empty(), "no re-dispatch left pending");
+        self.tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::ModelKind;
+    use prema_core::PreparedTask;
+
+    fn salvage_of(id: u64) -> SalvagedTask {
+        let prepared = PreparedTask::prepare(
+            TaskRequest::new(TaskId(id), ModelKind::CnnAlexNet),
+            &NpuConfig::paper_default(),
+        );
+        SalvagedTask {
+            prepared,
+            resume_executed: Cycles::ZERO,
+            checkpoint_bytes: 0,
+            first_start: None,
+            preemption_count: 0,
+            kill_restarts: 0,
+            checkpoint_overhead: Cycles::ZERO,
+            restore_overhead: Cycles::ZERO,
+            max_checkpoint_bytes: 0,
+        }
+    }
+
+    fn crash(node: usize, start: u64, end: u64) -> NodeFault {
+        NodeFault {
+            node,
+            start: Cycles::new(start),
+            end: Cycles::new(end),
+            kind: FaultKind::Crash,
+        }
+    }
+
+    #[test]
+    fn timeline_merges_faults_before_recoveries_on_ties() {
+        let npu = NpuConfig::paper_default();
+        let plan = ClusterFaultPlan::new(FaultSchedule::from_events(vec![
+            crash(0, 1_000, 2_000),
+            crash(1, 5_000, 6_000),
+        ]))
+        .with_recovery(RecoveryConfig {
+            backoff_base_ms: 0.0,
+            ..RecoveryConfig::checkpointed()
+        });
+        let mut driver = FaultDriver::new(&plan, &npu, 2);
+        assert_eq!(driver.next_event_time(), Some(Cycles::new(1_000)));
+        // Nothing due before the first fault.
+        assert!(driver.pop_due(Cycles::new(999)).is_none());
+        let Some(FaultEvent::Fault(fault)) = driver.pop_due(Cycles::new(1_000)) else {
+            panic!("fault due at its start");
+        };
+        assert_eq!(fault.node, 0);
+        // Zero backoff: the salvage is due immediately, and a fault at the
+        // same instant would still pop first.
+        driver.on_salvaged(0, Cycles::new(1_000), vec![salvage_of(7)]);
+        assert_eq!(driver.next_event_time(), Some(Cycles::new(1_000)));
+        let Some(FaultEvent::Recovery(pending)) = driver.pop_due(Cycles::new(1_000)) else {
+            panic!("recovery due at its backoff expiry");
+        };
+        assert_eq!(pending.attempt, 1);
+        assert_eq!(pending.from_node, 0);
+        let salvage = driver.redispatch(pending, 1, Cycles::new(1_000));
+        assert_eq!(salvage.prepared.request.id, TaskId(7));
+        let Some(FaultEvent::Fault(fault)) = driver.pop_due(Cycles::MAX) else {
+            panic!("second fault still queued");
+        };
+        assert_eq!(fault.node, 1);
+        let tally = driver.finish();
+        assert_eq!(tally.crashes, 2);
+        assert_eq!(tally.recoveries, 1);
+        assert_eq!(tally.recovery_log.len(), 1);
+        assert_eq!(tally.recovery_log[0].to_node, 1);
+        assert!(tally.abandoned.is_empty());
+    }
+
+    #[test]
+    fn retry_budget_abandons_and_backoff_doubles() {
+        let npu = NpuConfig::paper_default();
+        let plan = ClusterFaultPlan::new(FaultSchedule::none()).with_recovery(RecoveryConfig {
+            retry_budget: 2,
+            backoff_base_ms: 1.0,
+            ..RecoveryConfig::checkpointed()
+        });
+        let mut driver = FaultDriver::new(&plan, &npu, 1);
+        let base = npu.millis_to_cycles(1.0);
+        driver.on_salvaged(0, Cycles::ZERO, vec![salvage_of(1)]);
+        assert_eq!(driver.next_event_time(), Some(base));
+        let Some(FaultEvent::Recovery(first)) = driver.pop_due(base) else {
+            panic!("first attempt due after one backoff base");
+        };
+        let _ = driver.redispatch(first, 0, base);
+        // Second salvage: the backoff doubles.
+        driver.on_salvaged(0, base, vec![salvage_of(1)]);
+        assert_eq!(driver.next_event_time(), Some(base + base + base));
+        let Some(FaultEvent::Recovery(second)) = driver.pop_due(Cycles::MAX) else {
+            panic!("second attempt queued");
+        };
+        assert_eq!(second.attempt, 2);
+        let _ = driver.redispatch(second, 0, base + base + base);
+        // Third salvage exhausts the budget of 2.
+        driver.on_salvaged(0, base, vec![salvage_of(1)]);
+        assert!(driver.pending.is_empty());
+        let tally = driver.finish();
+        assert_eq!(tally.abandoned.len(), 1);
+        assert_eq!(tally.abandoned[0].id, TaskId(1));
+        assert_eq!(tally.recoveries, 2);
+    }
+
+    #[test]
+    fn penalty_tiers_track_down_and_cooldown_windows() {
+        let npu = NpuConfig::paper_default();
+        let plan = ClusterFaultPlan::new(FaultSchedule::from_events(vec![crash(1, 100, 200)]))
+            .with_recovery(RecoveryConfig {
+                cooldown_ms: 1.0,
+                ..RecoveryConfig::checkpointed()
+            });
+        let mut driver = FaultDriver::new(&plan, &npu, 2);
+        // Never-faulted nodes are always healthy.
+        assert_eq!(driver.penalty(0, Cycles::new(150)), 0);
+        assert_eq!(driver.penalty(1, Cycles::new(50)), 0);
+        let _ = driver.pop_due(Cycles::new(100));
+        assert_eq!(driver.penalty(1, Cycles::new(150)), 2);
+        assert_eq!(driver.penalty(1, Cycles::new(200)), 1);
+        let cooldown_end = Cycles::new(200) + npu.millis_to_cycles(1.0);
+        assert_eq!(driver.penalty(1, cooldown_end - Cycles::new(1)), 1);
+        assert_eq!(driver.penalty(1, cooldown_end), 0);
+        let _ = driver.finish();
+    }
+
+    #[test]
+    fn restart_from_zero_discards_the_cursor_in_log_and_manifest() {
+        let npu = NpuConfig::paper_default();
+        let plan = ClusterFaultPlan::new(FaultSchedule::none())
+            .with_recovery(RecoveryConfig::restart_from_zero());
+        let mut driver = FaultDriver::new(&plan, &npu, 1);
+        let mut salvage = salvage_of(3);
+        salvage.resume_executed = Cycles::new(4_096);
+        salvage.checkpoint_bytes = 64;
+        driver.on_salvaged(0, Cycles::ZERO, vec![salvage]);
+        let Some(FaultEvent::Recovery(pending)) = driver.pop_due(Cycles::MAX) else {
+            panic!("recovery queued");
+        };
+        let restarted = driver.redispatch(pending, 0, Cycles::new(9_999));
+        assert!(!restarted.resumes_from_checkpoint());
+        assert_eq!(restarted.checkpoint_bytes, 0);
+        let tally = driver.finish();
+        assert_eq!(tally.recovery_log[0].resume_executed, Cycles::ZERO);
+    }
+
+    #[test]
+    fn validation_covers_recovery_fields() {
+        assert!(RecoveryConfig::checkpointed().validate().is_ok());
+        assert!(RecoveryConfig::restart_from_zero().validate().is_ok());
+        let bad = [
+            RecoveryConfig {
+                backoff_base_ms: f64::NAN,
+                ..RecoveryConfig::checkpointed()
+            },
+            RecoveryConfig {
+                cooldown_ms: -1.0,
+                ..RecoveryConfig::checkpointed()
+            },
+            RecoveryConfig {
+                retry_budget: 64,
+                ..RecoveryConfig::checkpointed()
+            },
+        ];
+        for config in bad {
+            assert!(config.validate().is_err(), "{config:?}");
+        }
+        let plan = ClusterFaultPlan::new(FaultSchedule::none());
+        assert!(plan.validate().is_ok());
+        assert!(plan
+            .with_recovery(RecoveryConfig {
+                backoff_base_ms: -0.5,
+                ..RecoveryConfig::checkpointed()
+            })
+            .validate()
+            .is_err());
+    }
+}

@@ -38,6 +38,12 @@
 //!   nodes' actual state — live queue depth, true remaining work — and two
 //!   policies impossible open-loop become expressible: work stealing on
 //!   node idle and SLA-aware admission shedding.
+//! * [`faults`] — node fault injection for the closed-loop path: a
+//!   [`prema_workload::FaultSchedule`] crashes (salvaging resident work at
+//!   its last checkpoint commit point) or freezes nodes mid-run, and a
+//!   [`RecoveryConfig`] governs re-dispatch — retry budget, exponential
+//!   backoff, failure-aware dispatch cooldown, and checkpoint-priced resume
+//!   versus the restart-from-zero baseline.
 //! * [`metrics`] — cluster-wide ANTT/STP, queueing-delay vs service-time
 //!   breakdown, p50/p95/p99 turnaround tails, Figure 13-style SLA curves,
 //!   per-node utilization, and the deterministic outcome digest the bench
@@ -71,11 +77,13 @@
 pub mod cluster;
 pub mod dispatch;
 mod event_heap;
+pub mod faults;
 pub mod metrics;
 pub mod online;
 
 pub use cluster::{ClusterConfig, ClusterOutcome, ClusterSimulator, NodeAssignment};
 pub use dispatch::{DispatchPolicy, Dispatcher};
+pub use faults::{ClusterFaultPlan, RecoveryConfig, RecoveryRecord};
 pub use metrics::{fold_hashes, outcome_hash, ClusterMetrics};
 pub use online::{
     online_outcome_hash, OnlineClusterConfig, OnlineClusterSimulator, OnlineDispatchPolicy,

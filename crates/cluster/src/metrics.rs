@@ -11,10 +11,11 @@
 use serde::{Deserialize, Serialize};
 
 use npu_sim::{Cycles, NpuConfig};
-use prema_metrics::{MultiTaskMetrics, Percentiles, SlaCurve};
+use prema_metrics::{MultiTaskMetrics, Percentiles, SlaCurve, TaskOutcome};
 use prema_workload::prepare::outcomes_of;
 
 use crate::cluster::ClusterOutcome;
+use crate::online::OnlineOutcome;
 
 /// Aggregate serving metrics of one cluster simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +47,22 @@ pub struct ClusterMetrics {
     pub node_utilization: Vec<f64>,
     /// Completion time of the last task on any node, in milliseconds.
     pub makespan_ms: f64,
+    /// Fraction of total node-time the nodes were *up* (not inside a fault
+    /// window): `1 - downtime / (nodes x makespan)`. Exactly 1.0 for
+    /// fault-free runs.
+    pub availability: f64,
+    /// Useful served work per unit of provisioned capacity: the served
+    /// tasks' isolated cycles over `nodes x makespan`. Unlike utilization
+    /// it excludes checkpoint/restore DMA and work repeated after a crash
+    /// or kill — throughput that reached a completion, not cycles burnt.
+    pub goodput: f64,
+    /// Requests shed by admission control (a pre-service policy decision).
+    pub shed_count: usize,
+    /// Requests abandoned after exhausting the recovery retry budget (a
+    /// post-admission fault-tolerance failure). Counted as SLA violations
+    /// at every target in [`ClusterMetrics::sla`]; sheds are excluded from
+    /// the curve entirely.
+    pub abandoned_count: usize,
 }
 
 impl ClusterMetrics {
@@ -70,6 +87,13 @@ impl ClusterMetrics {
                 }
             })
             .collect();
+        let provisioned = makespan.get() as f64 * outcome.node_outcomes.len() as f64;
+        let goodput = if provisioned == 0.0 {
+            0.0
+        } else {
+            let useful: Cycles = records.iter().map(|r| r.isolated_cycles).sum();
+            useful.get() as f64 / provisioned
+        };
         if records.is_empty() {
             return ClusterMetrics {
                 task_count: 0,
@@ -83,6 +107,10 @@ impl ClusterMetrics {
                 sla: SlaCurve::default(),
                 node_utilization,
                 makespan_ms: 0.0,
+                availability: 1.0,
+                goodput: 0.0,
+                shed_count: 0,
+                abandoned_count: 0,
             };
         }
 
@@ -115,7 +143,40 @@ impl ClusterMetrics {
             sla: SlaCurve::sweep(&outcomes, (2..=20).map(|n| n as f64)),
             node_utilization,
             makespan_ms: npu.cycles_to_millis(makespan),
+            availability: 1.0,
+            goodput,
+            shed_count: 0,
+            abandoned_count: 0,
         }
+    }
+
+    /// Computes the metrics of one *closed-loop* outcome, folding in its
+    /// extras: the shed/abandoned separation, fault-window availability,
+    /// and the SLA curve's treatment of abandoned work. An abandoned task
+    /// has no completion, so it enters the curve as an infinite turnaround
+    /// — a violation at every target — while a shed request (a deliberate
+    /// refusal, not a missed promise) stays out of the curve and is only
+    /// counted.
+    pub fn from_online(outcome: &OnlineOutcome, npu: &NpuConfig) -> Self {
+        let mut metrics = ClusterMetrics::from_outcome(&outcome.cluster, npu);
+        metrics.shed_count = outcome.shed.len();
+        metrics.abandoned_count = outcome.abandoned.len();
+        let provisioned =
+            outcome.cluster.makespan().get() as f64 * outcome.cluster.node_outcomes.len() as f64;
+        if provisioned > 0.0 {
+            let downtime: Cycles = outcome.node_downtime.iter().copied().sum();
+            metrics.availability = (1.0 - downtime.get() as f64 / provisioned).max(0.0);
+        }
+        if !outcome.abandoned.is_empty() {
+            let mut outcomes = outcomes_of(&outcome.cluster.merged_records());
+            outcomes.extend(outcome.abandoned.iter().map(|request| TaskOutcome {
+                isolated_time: 1.0,
+                turnaround_time: f64::INFINITY,
+                priority_weight: request.priority.weight(),
+            }));
+            metrics.sla = SlaCurve::sweep(&outcomes, (2..=20).map(|n| n as f64));
+        }
+        metrics
     }
 
     /// Mean utilization across the nodes.
@@ -265,6 +326,56 @@ mod tests {
         assert_eq!(metrics.node_utilization, vec![0.0, 0.0]);
         assert!(metrics.sla.points().is_empty());
         assert_eq!(metrics.mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn online_metrics_separate_sheds_from_abandonment_and_price_downtime() {
+        use crate::faults::{ClusterFaultPlan, RecoveryConfig};
+        use crate::online::{OnlineClusterConfig, OnlineClusterSimulator, OnlineDispatchPolicy};
+        use prema_workload::prepare::prepare_requests;
+        use prema_workload::FaultProcess;
+
+        let npu = NpuConfig::paper_default();
+        let mut rng = StdRng::seed_from_u64(0x33);
+        let spec = generate_open_loop(&OpenLoopConfig::poisson(0.8, 50.0), &mut rng);
+        let tasks = prepare_requests(&spec.requests, &npu, None);
+        let schedule = FaultProcess::crashes(2, 10.0, 2.0, 50.0).generate(&mut rng);
+        assert!(!schedule.is_empty());
+        // A zero retry budget abandons every crashed-while-resident task.
+        let config = OnlineClusterConfig::new(
+            2,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::Predictive,
+        )
+        .with_admission(8.0)
+        .with_faults(
+            ClusterFaultPlan::new(schedule).with_recovery(RecoveryConfig {
+                retry_budget: 0,
+                ..RecoveryConfig::checkpointed()
+            }),
+        );
+        let outcome = OnlineClusterSimulator::new(config).run(&tasks);
+        assert!(!outcome.abandoned.is_empty(), "crashes must strand work");
+        assert!(!outcome.shed.is_empty(), "the tight target must shed");
+        let metrics = ClusterMetrics::from_online(&outcome, &npu);
+        assert_eq!(metrics.shed_count, outcome.shed.len());
+        assert_eq!(metrics.abandoned_count, outcome.abandoned.len());
+        assert!(metrics.availability < 1.0 && metrics.availability > 0.0);
+        assert!(metrics.goodput > 0.0 && metrics.goodput <= 1.0 + 1e-9);
+        // Abandoned tasks violate the SLA at every target: each point's
+        // violation rate is at least abandoned / (served + abandoned).
+        let floor =
+            metrics.abandoned_count as f64 / (metrics.task_count + metrics.abandoned_count) as f64;
+        assert!(!metrics.sla.points().is_empty());
+        for point in metrics.sla.points() {
+            assert!(point.violation_rate >= floor - 1e-12);
+        }
+        // The open-loop view of the same served records reports full
+        // availability and no shed/abandoned counts.
+        let plain = ClusterMetrics::from_outcome(&outcome.cluster, &npu);
+        assert_eq!(plain.availability, 1.0);
+        assert_eq!(plain.shed_count + plain.abandoned_count, 0);
+        assert_eq!(plain.goodput, metrics.goodput);
     }
 
     #[test]

@@ -43,6 +43,21 @@
 //!   the lowest-priority never-started task cluster-wide (possibly the
 //!   newcomer itself) is shed instead of served.
 //!
+//! A third mechanism, **fault tolerance**
+//! ([`OnlineClusterConfig::with_faults`]), injects a
+//! [`prema_workload::FaultSchedule`] into the same global timeline: a
+//! *crash* fails the node ([`SimSession::fail`]), salvaging every resident
+//! task at its last checkpoint commit point, and a *freeze* stalls it
+//! (a straggler that makes no progress until the window ends). Salvaged
+//! work re-enters dispatch under the [`crate::RecoveryConfig`] policy —
+//! exponential backoff, a per-task retry budget (exhaustion *abandons* the
+//! task, reported separately from admission sheds), and checkpoint-priced
+//! resume versus restart-from-zero. Dispatch becomes failure-aware (down
+//! and cooling-down nodes are deprioritized) and admission degrades
+//! gracefully (the p99 target tightens to the surviving-capacity
+//! fraction). Recoveries bypass admission — the task was already admitted
+//! once, and re-shedding it would double-count the decision.
+//!
 //! Both the open- and closed-loop paths produce a [`ClusterOutcome`], so
 //! [`crate::metrics::ClusterMetrics`] and the deterministic
 //! [`crate::metrics::outcome_hash`] apply to either; the closed-loop extras
@@ -61,7 +76,10 @@ use prema_core::{
 };
 use prema_metrics::Percentiles;
 
+use prema_workload::FaultKind;
+
 use crate::cluster::{ClusterOutcome, NodeAssignment};
+use crate::faults::{ClusterFaultPlan, FaultDriver, FaultEvent, FaultTally, RecoveryRecord};
 use crate::metrics::fold_hashes;
 
 /// Which live-state signal the closed-loop dispatcher minimizes at each
@@ -125,6 +143,8 @@ pub struct OnlineClusterConfig {
     pub work_stealing: bool,
     /// Optional SLA-aware admission control.
     pub admission: Option<SlaAdmissionConfig>,
+    /// Optional node fault injection and the recovery policy answering it.
+    pub faults: Option<ClusterFaultPlan>,
 }
 
 impl OnlineClusterConfig {
@@ -138,6 +158,7 @@ impl OnlineClusterConfig {
             dispatch,
             work_stealing: false,
             admission: None,
+            faults: None,
         }
     }
 
@@ -150,6 +171,12 @@ impl OnlineClusterConfig {
     /// Enables SLA-aware admission at the given p99 target.
     pub fn with_admission(mut self, target_p99_ms: f64) -> Self {
         self.admission = Some(SlaAdmissionConfig { target_p99_ms });
+        self
+    }
+
+    /// Injects the given fault plan into the run's global timeline.
+    pub fn with_faults(mut self, faults: ClusterFaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -169,6 +196,20 @@ impl OnlineClusterConfig {
                 return Err("admission p99 target must be positive and finite".into());
             }
         }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
+            if let Some(event) = faults
+                .schedule
+                .events
+                .iter()
+                .find(|event| event.node >= self.nodes)
+            {
+                return Err(format!(
+                    "fault schedule names node {} but the cluster has {} nodes",
+                    event.node, self.nodes
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -181,10 +222,25 @@ pub struct OnlineOutcome {
     /// serving node — a stolen task reports the thief). Shed requests appear
     /// in neither.
     pub cluster: ClusterOutcome,
-    /// Requests shed by admission control, in shed order.
+    /// Requests shed by admission control, in shed order. Disjoint from
+    /// [`OnlineOutcome::abandoned`]: shedding is a *policy* decision made
+    /// before service, abandonment is a fault-tolerance failure after it.
     pub shed: Vec<TaskRequest>,
     /// Number of work-stealing migrations performed.
     pub steals: u64,
+    /// Requests abandoned after exhausting the recovery retry budget, in
+    /// abandonment order.
+    pub abandoned: Vec<TaskRequest>,
+    /// Number of node crash windows that began.
+    pub crashes: u64,
+    /// Number of node freeze windows that began.
+    pub freezes: u64,
+    /// Number of salvaged-task re-dispatches performed.
+    pub recoveries: u64,
+    /// Every recovery hop, in re-dispatch order.
+    pub recovery_log: Vec<RecoveryRecord>,
+    /// Per-node total fault-window downtime.
+    pub node_downtime: Vec<Cycles>,
 }
 
 impl OnlineOutcome {
@@ -192,17 +248,41 @@ impl OnlineOutcome {
     pub fn served(&self) -> usize {
         self.cluster.task_count()
     }
+
+    /// Whether any fault-tolerance machinery actually fired in this run.
+    /// False for fault-free runs *and* for runs configured with an empty
+    /// (or never-triggering) schedule, keeping their digests identical.
+    pub fn has_fault_activity(&self) -> bool {
+        self.crashes > 0 || self.freezes > 0 || self.recoveries > 0 || !self.abandoned.is_empty()
+    }
 }
 
 /// The deterministic digest of a closed-loop outcome: the open-loop
 /// [`crate::metrics::outcome_hash`] over the served work, folded with the
-/// shed request IDs and the steal count.
+/// shed request IDs and the steal count. When fault machinery fired
+/// ([`OnlineOutcome::has_fault_activity`]) the fold extends over the
+/// abandoned IDs, the fault counters, every recovery hop and the per-node
+/// downtime; fault-free runs keep the historical digest byte-for-byte.
 pub fn online_outcome_hash(outcome: &OnlineOutcome) -> u64 {
-    fold_hashes(
-        std::iter::once(crate::metrics::outcome_hash(&outcome.cluster))
-            .chain(outcome.shed.iter().map(|request| request.id.0))
-            .chain(std::iter::once(outcome.steals)),
-    )
+    let mut parts: Vec<u64> = vec![crate::metrics::outcome_hash(&outcome.cluster)];
+    parts.extend(outcome.shed.iter().map(|request| request.id.0));
+    parts.push(outcome.steals);
+    if outcome.has_fault_activity() {
+        parts.extend(outcome.abandoned.iter().map(|request| request.id.0));
+        parts.extend([outcome.crashes, outcome.freezes, outcome.recoveries]);
+        for record in &outcome.recovery_log {
+            parts.extend([
+                record.task.0,
+                record.from_node as u64,
+                record.to_node as u64,
+                u64::from(record.attempt),
+                record.resume_executed.get(),
+                record.at.get(),
+            ]);
+        }
+        parts.extend(outcome.node_downtime.iter().map(|downtime| downtime.get()));
+    }
+    fold_hashes(parts)
 }
 
 /// The closed-loop multi-NPU cluster simulator.
@@ -276,15 +356,28 @@ impl OnlineClusterSimulator {
 
         let order = arrival_order(tasks);
         let mut assignments: Vec<NodeAssignment> = Vec::with_capacity(tasks.len());
-        // Index into `assignments` per task, so steals can rewrite the
-        // serving node (lookups only — never iterated).
+        // Index into `assignments` per task, so steals and recoveries can
+        // rewrite the serving node (lookups only — never iterated).
         let mut assignment_index: HashMap<TaskId, usize> = HashMap::with_capacity(tasks.len());
         let mut shed: Vec<TaskRequest> = Vec::new();
         let mut steals = 0u64;
+        let mut driver = self
+            .config
+            .faults
+            .as_ref()
+            .map(|plan| FaultDriver::new(plan, &self.config.npu, self.config.nodes));
 
         for &i in &order {
             let task = &tasks[i];
             let now = task.request.arrival;
+            self.drain_fault_events(
+                &mut sessions,
+                &mut driver,
+                now,
+                &mut steals,
+                &mut assignments,
+                &assignment_index,
+            );
             self.advance_to(
                 &mut sessions,
                 now,
@@ -293,7 +386,7 @@ impl OnlineClusterSimulator {
                 &assignment_index,
             );
 
-            let node = self.pick_node(&sessions, task);
+            let node = self.pick_node(&sessions, task, driver.as_ref(), now);
             if let Some(admission) = self.config.admission {
                 if !self.admit(&mut sessions, task, node, admission, &mut shed) {
                     continue;
@@ -304,10 +397,22 @@ impl OnlineClusterSimulator {
                 task: task.request.id,
                 node,
             });
-            sessions[node].inject(task.clone());
+            sessions[node]
+                .inject(task.clone())
+                .expect("arrival ids are unique");
         }
 
-        // Drain every node (still stealing at each completion bound).
+        // Play out the remaining fault timeline (crashes spawn recoveries
+        // that re-enter it), then drain every node (still stealing at each
+        // completion bound).
+        self.drain_fault_events(
+            &mut sessions,
+            &mut driver,
+            Cycles::MAX,
+            &mut steals,
+            &mut assignments,
+            &assignment_index,
+        );
         self.advance_to(
             &mut sessions,
             Cycles::MAX,
@@ -316,7 +421,59 @@ impl OnlineClusterSimulator {
             &assignment_index,
         );
 
-        finish_outcome(sessions, assignments, shed, steals)
+        finish_outcome(
+            sessions,
+            assignments,
+            shed,
+            steals,
+            driver.map(FaultDriver::finish),
+        )
+    }
+
+    /// Processes every fault-timeline event due at or before `limit`, in
+    /// timeline order: advance the cluster to the event instant, then fail
+    /// (crash), stall (freeze) or re-dispatch (due recovery). Crashes push
+    /// their salvage manifests back into the driver, so the timeline grows
+    /// while it drains; the retry budget bounds it.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_fault_events(
+        &self,
+        sessions: &mut [SimSession],
+        driver: &mut Option<FaultDriver<'_>>,
+        limit: Cycles,
+        steals: &mut u64,
+        assignments: &mut [NodeAssignment],
+        assignment_index: &HashMap<TaskId, usize>,
+    ) {
+        let Some(driver) = driver.as_mut() else {
+            return;
+        };
+        while let Some(t) = driver.next_event_time().filter(|&t| t <= limit) {
+            self.advance_to(sessions, t, steals, assignments, assignment_index);
+            while let Some(event) = driver.pop_due(t) {
+                match event {
+                    FaultEvent::Fault(fault) => {
+                        if fault.kind == FaultKind::Crash {
+                            let salvaged = sessions[fault.node].fail();
+                            driver.on_salvaged(fault.node, t, salvaged);
+                        }
+                        sessions[fault.node].stall(fault.end);
+                    }
+                    FaultEvent::Recovery(pending) => {
+                        let node =
+                            self.pick_node(sessions, &pending.salvage.prepared, Some(driver), t);
+                        let salvage = driver.redispatch(pending, node, t);
+                        let id = salvage.prepared.request.id;
+                        sessions[node]
+                            .inject_salvaged(salvage, t)
+                            .expect("salvaged task id is not live");
+                        if let Some(&slot) = assignment_index.get(&id) {
+                            assignments[slot].node = node;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Advances every node to `t`. With work stealing enabled, execution is
@@ -371,7 +528,19 @@ impl OnlineClusterSimulator {
     /// rather than through the engine's incremental totals, so the
     /// equivalence property test cross-checks those totals against an
     /// independent computation.
-    fn pick_node(&self, sessions: &[SimSession], task: &PreparedTask) -> usize {
+    ///
+    /// Under fault injection the live-state signal is preceded by the
+    /// failure-aware penalty tier (down now, inside the post-fault
+    /// cooldown, healthy): a down or cooling-down node only wins when every
+    /// healthier node is worse *by tier*. Fault-free runs see a uniform
+    /// zero tier, leaving the historical ordering untouched.
+    fn pick_node(
+        &self,
+        sessions: &[SimSession],
+        task: &PreparedTask,
+        faults: Option<&FaultDriver<'_>>,
+        now: Cycles,
+    ) -> usize {
         let priority = task.request.priority;
         let score = |session: &SimSession| -> (u64, u64) {
             let residents = session.resident_tasks();
@@ -393,10 +562,11 @@ impl OnlineClusterSimulator {
                 }
             }
         };
+        let penalty = |index: usize| faults.map_or(0u8, |driver| driver.penalty(index, now));
         sessions
             .iter()
             .enumerate()
-            .min_by_key(|(index, session)| (score(session), *index))
+            .min_by_key(|(index, session)| (penalty(*index), score(session), *index))
             .expect("at least one node")
             .0
     }
@@ -417,6 +587,7 @@ impl OnlineClusterSimulator {
         let npu = &self.config.npu;
         let incoming_priority = task.request.priority;
         let incoming_estimate = task.estimated_cycles();
+        let target_p99_ms = scaled_admission_target(sessions, admission.target_p99_ms);
         loop {
             let mut predicted_ms: Vec<f64> = Vec::new();
             for session in sessions.iter() {
@@ -435,7 +606,7 @@ impl OnlineClusterSimulator {
             let p99 = Percentiles::summarize(&predicted_ms)
                 .expect("the newcomer is always present")
                 .p99;
-            if p99 <= admission.target_p99_ms {
+            if p99 <= target_p99_ms {
                 return true;
             }
 
@@ -512,18 +683,37 @@ pub(crate) fn arrival_order(tasks: &[PreparedTask]) -> Vec<usize> {
     order
 }
 
+/// The SLA admission target under graceful degradation: the configured p99
+/// tightened to the fraction of nodes currently up (not inside a fault
+/// window), so a degraded cluster sheds proportionally earlier instead of
+/// queueing work the surviving capacity cannot absorb. Fault-free (and
+/// fault-idle) instants leave the target exactly unchanged.
+pub(crate) fn scaled_admission_target(sessions: &[SimSession], target_p99_ms: f64) -> f64 {
+    let up = sessions
+        .iter()
+        .filter(|session| session.stalled_until().is_none())
+        .count();
+    target_p99_ms * (up.max(1) as f64 / sessions.len() as f64)
+}
+
 /// Finishes every session and assembles the [`OnlineOutcome`], dropping
-/// shed tasks' assignment entries so assignments biject onto records.
+/// shed and abandoned tasks' assignment entries so assignments biject onto
+/// records.
 pub(crate) fn finish_outcome(
     sessions: Vec<SimSession>,
     mut assignments: Vec<NodeAssignment>,
     shed: Vec<TaskRequest>,
     steals: u64,
+    faults: Option<FaultTally>,
 ) -> OnlineOutcome {
-    if !shed.is_empty() {
-        let shed_ids: std::collections::HashSet<TaskId> =
-            shed.iter().map(|request| request.id).collect();
-        assignments.retain(|assignment| !shed_ids.contains(&assignment.task));
+    let tally = faults.unwrap_or_else(|| FaultTally::empty(sessions.len()));
+    if !shed.is_empty() || !tally.abandoned.is_empty() {
+        let dropped: std::collections::HashSet<TaskId> = shed
+            .iter()
+            .chain(tally.abandoned.iter())
+            .map(|request| request.id)
+            .collect();
+        assignments.retain(|assignment| !dropped.contains(&assignment.task));
     }
     let node_outcomes = sessions.into_iter().map(SimSession::finish).collect();
     OnlineOutcome {
@@ -533,6 +723,12 @@ pub(crate) fn finish_outcome(
         },
         shed,
         steals,
+        abandoned: tally.abandoned,
+        crashes: tally.crashes,
+        freezes: tally.freezes,
+        recoveries: tally.recoveries,
+        recovery_log: tally.recovery_log,
+        node_downtime: tally.node_downtime,
     }
 }
 
@@ -569,7 +765,14 @@ fn steal_onto_idle_nodes(
 ) -> u64 {
     let mut steals = 0u64;
     loop {
-        let Some(thief) = sessions.iter().position(|s| s.queue_depth() == 0) else {
+        // A crashed node drains to queue depth zero the instant it fails —
+        // the stall check keeps it from masquerading as an eager thief
+        // (frozen nodes may still be *victims*: their waiting work is
+        // exactly what is worth migrating off a straggler).
+        let Some(thief) = sessions
+            .iter()
+            .position(|s| s.queue_depth() == 0 && s.stalled_until().is_none())
+        else {
             return steals;
         };
         // Victim: the node with the most stealable (never-started) predicted
@@ -616,7 +819,9 @@ fn steal_onto_idle_nodes(
         let prepared = sessions[victim]
             .revoke(stolen.id)
             .expect("stolen task was revocable");
-        sessions[thief].inject(prepared);
+        sessions[thief]
+            .inject(prepared)
+            .expect("revoked task re-injects cleanly");
         if let Some(&slot) = assignment_index.get(&stolen.id) {
             assignments[slot].node = thief;
         }
@@ -805,6 +1010,108 @@ mod tests {
         let outcome = OnlineClusterSimulator::new(config).run(&tasks);
         assert!(outcome.shed.is_empty());
         assert_eq!(outcome.served(), tasks.len());
+    }
+
+    #[test]
+    fn faulty_runs_stay_bit_identical_and_conserve_tasks() {
+        use prema_workload::FaultProcess;
+        let tasks = prepared(0.8, 60.0, 0xF66);
+        let mut rng = StdRng::seed_from_u64(0xF77);
+        let schedule = FaultProcess::crashes(3, 30.0, 2.0, 60.0)
+            .with_freeze_fraction(0.3)
+            .generate(&mut rng);
+        assert!(!schedule.is_empty(), "the process must actually fault");
+        for (stealing, admission) in [(false, None), (true, None), (false, Some(50.0))] {
+            let mut config = OnlineClusterConfig::new(
+                3,
+                SchedulerConfig::paper_default(),
+                OnlineDispatchPolicy::Predictive,
+            )
+            .with_faults(ClusterFaultPlan::new(schedule.clone()));
+            if stealing {
+                config = config.with_work_stealing();
+            }
+            if let Some(target) = admission {
+                config = config.with_admission(target);
+            }
+            let simulator = OnlineClusterSimulator::new(config);
+            let heap = simulator.run(&tasks);
+            let reference = simulator.run_reference(&tasks);
+            assert_eq!(
+                heap, reference,
+                "stealing {stealing}, admission {admission:?}"
+            );
+            assert_eq!(online_outcome_hash(&heap), online_outcome_hash(&reference));
+            // Exactly-once conservation: served, shed and abandoned
+            // partition the generated ids.
+            let mut all: Vec<TaskId> = heap
+                .cluster
+                .merged_records()
+                .iter()
+                .map(|r| r.id)
+                .chain(heap.shed.iter().map(|r| r.id))
+                .chain(heap.abandoned.iter().map(|r| r.id))
+                .collect();
+            all.sort_unstable();
+            let mut expected: Vec<TaskId> = tasks.iter().map(|t| t.request.id).collect();
+            expected.sort_unstable();
+            assert_eq!(
+                all, expected,
+                "stealing {stealing}, admission {admission:?}"
+            );
+            assert!(heap.has_fault_activity());
+            assert_eq!(heap.crashes + heap.freezes, schedule.len() as u64);
+        }
+    }
+
+    #[test]
+    fn fault_activity_extends_the_digest_and_idle_schedules_do_not() {
+        let tasks = prepared(0.5, 40.0, 0x1A2);
+        let plain = simulator(OnlineDispatchPolicy::Predictive).run(&tasks);
+        // A configured-but-empty schedule must not perturb the digest.
+        let idle_config = OnlineClusterConfig::new(
+            4,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::Predictive,
+        )
+        .with_faults(ClusterFaultPlan::new(prema_workload::FaultSchedule::none()));
+        let idle = OnlineClusterSimulator::new(idle_config).run(&tasks);
+        assert!(!idle.has_fault_activity());
+        assert_eq!(online_outcome_hash(&plain), online_outcome_hash(&idle));
+        assert_eq!(plain.cluster, idle.cluster);
+        // A firing schedule flips has_fault_activity and moves the digest.
+        let mut rng = StdRng::seed_from_u64(0x1B3);
+        let schedule = prema_workload::FaultProcess::crashes(4, 15.0, 1.0, 40.0).generate(&mut rng);
+        assert!(!schedule.is_empty());
+        let faulty_config = OnlineClusterConfig::new(
+            4,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::Predictive,
+        )
+        .with_faults(ClusterFaultPlan::new(schedule));
+        let faulty = OnlineClusterSimulator::new(faulty_config).run(&tasks);
+        assert!(faulty.has_fault_activity());
+        assert_ne!(online_outcome_hash(&plain), online_outcome_hash(&faulty));
+    }
+
+    #[test]
+    #[should_panic(expected = "names node 7")]
+    fn fault_schedule_must_fit_the_cluster() {
+        use prema_workload::{FaultKind, NodeFault};
+        let schedule = prema_workload::FaultSchedule::from_events(vec![NodeFault {
+            node: 7,
+            start: Cycles::new(10),
+            end: Cycles::new(20),
+            kind: FaultKind::Crash,
+        }]);
+        let _ = OnlineClusterSimulator::new(
+            OnlineClusterConfig::new(
+                2,
+                SchedulerConfig::paper_default(),
+                OnlineDispatchPolicy::Predictive,
+            )
+            .with_faults(ClusterFaultPlan::new(schedule)),
+        );
     }
 
     #[test]

@@ -282,6 +282,12 @@ struct Runtime {
     cursor: ProgressCursor,
     state: TaskState,
     arrived: bool,
+    /// When the session's admission loop hands the task to the scheduler.
+    /// Equals the request's arrival for ordinary tasks; salvage re-injection
+    /// sets it to the recovery instant so a node whose clock lags the
+    /// cluster's cannot run the task before it was actually re-admitted
+    /// (the record still carries the original arrival).
+    admit_at: Cycles,
     tokens: f64,
     /// Waiting time materialized at the task's last transition *out of* the
     /// waiting set. While the task is waiting, its effective waiting time is
@@ -312,11 +318,13 @@ impl Runtime {
     fn new(prepared: PreparedTask) -> Self {
         let estimated = prepared.estimated_cycles();
         let tokens = prepared.request.priority.token_grant();
+        let admit_at = prepared.request.arrival;
         Runtime {
             prepared,
             cursor: ProgressCursor::start(),
             state: TaskState::Ready,
             arrived: false,
+            admit_at,
             tokens,
             waited: Cycles::ZERO,
             wait_baseline: Cycles::ZERO,
@@ -791,6 +799,98 @@ pub enum StepOutcome {
     Drained,
 }
 
+/// Typed misuse errors for the closed-loop session surface
+/// ([`SimSession::inject`] / [`SimSession::revoke`] and the salvage path).
+///
+/// A cluster fault handler drives these calls from retry loops where a task
+/// may race a node failure; a panic there would take the whole chaos run
+/// down, so misuse is reported as a value. Internal invariants (index
+/// consistency, tracked-set membership) remain debug assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// An `inject` id is still *live* (not revoked, not completed) in the
+    /// session.
+    DuplicateTaskId(TaskId),
+    /// The session has never seen the task id.
+    UnknownTask(TaskId),
+    /// The task already started executing (it holds node-resident context),
+    /// so it can no longer be revoked.
+    TaskAlreadyStarted(TaskId),
+    /// The task already ran to completion on this session.
+    TaskCompleted(TaskId),
+    /// The task was already revoked (or salvaged) from this session.
+    TaskRevoked(TaskId),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::DuplicateTaskId(id) => {
+                write!(f, "task {id:?} is still live in the session")
+            }
+            EngineError::UnknownTask(id) => write!(f, "task {id:?} is unknown to the session"),
+            EngineError::TaskAlreadyStarted(id) => {
+                write!(f, "task {id:?} has already started executing")
+            }
+            EngineError::TaskCompleted(id) => write!(f, "task {id:?} has already completed"),
+            EngineError::TaskRevoked(id) => write!(f, "task {id:?} was already revoked"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The salvage manifest of one resident task drained off a failed node by
+/// [`SimSession::fail`].
+///
+/// Recovery re-injects the manifest into a surviving node via
+/// [`SimSession::inject_salvaged`]: a never-started task verbatim, a started
+/// task from its last checkpoint boundary (`resume_executed` /
+/// `checkpoint_bytes` — the commit-point recovery model), carrying the
+/// bookkeeping the final [`TaskRecord`] must not lose across hops.
+#[derive(Debug, Clone)]
+pub struct SalvagedTask {
+    /// The task (original request + compiled plan).
+    pub prepared: PreparedTask,
+    /// Execution progress preserved across the failure: the cursor position
+    /// of the task's last checkpoint (`GEMM_OP` commit) boundary. Zero for
+    /// never-started tasks and KILL-reset tasks.
+    pub resume_executed: Cycles,
+    /// The context bytes the recovering node must restore to resume from
+    /// `resume_executed` (prices the recovery restore DMA).
+    pub checkpoint_bytes: u64,
+    /// When the task first started executing, on any node, if ever.
+    pub first_start: Option<Cycles>,
+    /// Preemptions suffered so far (carried into the final record).
+    pub preemption_count: u64,
+    /// KILL restarts suffered so far.
+    pub kill_restarts: u64,
+    /// Checkpoint DMA cycles charged so far.
+    pub checkpoint_overhead: Cycles,
+    /// Restore DMA cycles charged so far.
+    pub restore_overhead: Cycles,
+    /// Largest context ever checkpointed, in bytes.
+    pub max_checkpoint_bytes: u64,
+}
+
+impl SalvagedTask {
+    /// Whether the manifest resumes mid-plan (vs. restarting from scratch).
+    pub fn resumes_from_checkpoint(&self) -> bool {
+        !self.resume_executed.is_zero()
+    }
+
+    /// A restart-from-zero copy of this manifest: all execution progress is
+    /// discarded, the failure/preemption bookkeeping is kept. This is the
+    /// recovery baseline the checkpoint-priced path is compared against.
+    pub fn restarted_from_zero(&self) -> SalvagedTask {
+        SalvagedTask {
+            resume_executed: Cycles::ZERO,
+            checkpoint_bytes: 0,
+            ..self.clone()
+        }
+    }
+}
+
 /// A point-in-time view of one resident (incomplete) task of a paused
 /// [`SimSession`] — what a cluster front-end could observe about a real
 /// node's queue: identity, priority, the predictor's estimate and the true
@@ -951,14 +1051,10 @@ impl NpuSimulator {
         assert_eq!(ids.len(), tasks.len(), "task IDs must be unique");
 
         let state = EngineState::new(tasks);
-        // Arrival cursor: indices sorted by arrival time, admitted in order.
+        // Arrival cursor: indices sorted by admission time, admitted in
+        // order (admission time == arrival for every task built here).
         let mut arrival_order: Vec<usize> = (0..state.len()).collect();
-        arrival_order.sort_by_key(|&i| {
-            (
-                state.runtimes[i].prepared.request.arrival,
-                state.runtimes[i].id(),
-            )
-        });
+        arrival_order.sort_by_key(|&i| (state.runtimes[i].admit_at, state.runtimes[i].id()));
 
         let quantum = self.sched.quantum_cycles(&self.npu);
         SimSession {
@@ -972,6 +1068,7 @@ impl NpuSimulator {
             next_arrival_idx: 0,
             now: Cycles::ZERO,
             next_quantum: quantum,
+            stall_until: Cycles::ZERO,
             running: None,
             phase: Phase::Wakeup,
             scheduler_invocations: 0,
@@ -1004,6 +1101,11 @@ pub struct SimSession {
     next_arrival_idx: usize,
     now: Cycles,
     next_quantum: Cycles,
+    /// The node makes no forward progress before this instant (a fault
+    /// window: crash downtime or a freeze/straggler stall). While stalled
+    /// the scheduler is frozen — no wakeups, no dispatches, no execution —
+    /// and resident tasks simply accrue waiting time. `ZERO` = not stalled.
+    stall_until: Cycles,
     running: Option<usize>,
     phase: Phase,
     scheduler_invocations: u64,
@@ -1042,6 +1144,22 @@ impl SimSession {
             if self.state.finished == self.state.len() {
                 return StepOutcome::Drained;
             }
+            if self.now < self.stall_until {
+                // The node is inside a fault window: jump the clock to the
+                // stall's end (or the horizon), charging the dead time as
+                // waiting to every waiting task. The scheduler is frozen —
+                // no invocations are counted and the phase is preserved, so
+                // a stall that interrupts an execution step resumes that
+                // exact step.
+                let resume = self.stall_until.min(horizon);
+                let dt = resume - self.now;
+                self.state.accrue(dt);
+                self.now = resume;
+                self.next_quantum = realign_quantum(self.next_quantum, self.now, self.quantum);
+                if self.stall_until > horizon {
+                    return StepOutcome::Paused;
+                }
+            }
             match self.phase {
                 Phase::Wakeup => {
                     if self.now > horizon {
@@ -1056,7 +1174,7 @@ impl SimSession {
                         let next = self
                             .arrival_order
                             .get(self.next_arrival_idx)
-                            .map(|&i| self.state.runtimes[i].prepared.request.arrival)
+                            .map(|&i| self.state.runtimes[i].admit_at)
                             .expect("tasks remain, so an arrival must be pending");
                         if next > horizon {
                             self.now = self.now.max(horizon);
@@ -1111,11 +1229,7 @@ impl SimSession {
     /// Admits every pending arrival whose time has come.
     fn admit_due_arrivals(&mut self) {
         while self.next_arrival_idx < self.arrival_order.len()
-            && self.state.runtimes[self.arrival_order[self.next_arrival_idx]]
-                .prepared
-                .request
-                .arrival
-                <= self.now
+            && self.state.runtimes[self.arrival_order[self.next_arrival_idx]].admit_at <= self.now
         {
             let idx = self.arrival_order[self.next_arrival_idx];
             self.state.runtimes[idx].arrived = true;
@@ -1180,7 +1294,7 @@ impl SimSession {
         let next_arrival = self
             .arrival_order
             .get(self.next_arrival_idx)
-            .map(|&i| self.state.runtimes[i].prepared.request.arrival);
+            .map(|&i| self.state.runtimes[i].admit_at);
         let remaining = {
             let runtime = &self.state.runtimes[run_idx];
             runtime.cursor.remaining(&runtime.prepared.plan)
@@ -1529,20 +1643,20 @@ impl SimSession {
         if self.is_drained() {
             return None;
         }
+        // Nothing happens before a fault stall ends: every term shifts to
+        // the resume instant, keeping completion-driven drivers progressing
+        // monotonically through fault windows.
+        let resume = self.now.max(self.stall_until);
         if let Some(run_idx) = self.running {
             let runtime = &self.state.runtimes[run_idx];
-            return Some(self.now + runtime.cursor.remaining(&runtime.prepared.plan));
+            return Some(resume + runtime.cursor.remaining(&runtime.prepared.plan));
         }
         if !self.state.waiting.is_empty() {
-            return Some(self.now);
+            return Some(resume);
         }
-        self.arrival_order.get(self.next_arrival_idx).map(|&i| {
-            self.state.runtimes[i]
-                .prepared
-                .request
-                .arrival
-                .max(self.now)
-        })
+        self.arrival_order
+            .get(self.next_arrival_idx)
+            .map(|&i| self.state.runtimes[i].admit_at.max(resume))
     }
 
     /// A *conservative* lower bound on the next time any resident task can
@@ -1571,15 +1685,17 @@ impl SimSession {
         if self.is_drained() {
             return None;
         }
-        let pending_wakeup = self.arrival_order.get(self.next_arrival_idx).map(|&i| {
-            self.state.runtimes[i]
-                .prepared
-                .request
-                .arrival
-                .max(self.now)
-        });
+        // A stalled node performs no work and no wakeups before the stall
+        // ends, so every term is floored at the resume instant — the bound
+        // stays sound (nothing completes during the stall) and makes strict
+        // progress for drivers paused inside the fault window.
+        let resume = self.now.max(self.stall_until);
+        let pending_wakeup = self
+            .arrival_order
+            .get(self.next_arrival_idx)
+            .map(|&i| self.state.runtimes[i].admit_at.max(resume));
         if let Some(run_idx) = self.running {
-            let run_completion = self.now + self.state.plan_remaining(run_idx);
+            let run_completion = resume + self.state.plan_remaining(run_idx);
             if !self.sched.preemption.is_preemptive() {
                 // Non-preemptive: nothing can displace the runner, so the
                 // first possible completion is the runner's own.
@@ -1589,13 +1705,16 @@ impl SimSession {
             if let Some(&(min_static, _)) = self.state.static_remaining.first() {
                 // Both wakeup sources are strictly after `now` for a paused
                 // session, so the bound always makes strict progress.
-                let wakeup = self.next_quantum.min(pending_wakeup.unwrap_or(Cycles::MAX));
+                let wakeup = self
+                    .next_quantum
+                    .max(resume)
+                    .min(pending_wakeup.unwrap_or(Cycles::MAX));
                 bound = bound.min(wakeup + min_static);
             }
             return Some(bound);
         }
         if !self.state.waiting.is_empty() {
-            return Some(self.now);
+            return Some(resume);
         }
         pending_wakeup
     }
@@ -1610,26 +1729,90 @@ impl SimSession {
     /// is allowed and revives the task from scratch — multi-hop work
     /// stealing can route a request back through an earlier owner.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a task with the same ID is already *live* (not revoked) in
-    /// the session.
-    pub fn inject(&mut self, task: PreparedTask) {
-        let id = task.request.id;
-        let arrival = task.request.arrival;
+    /// [`EngineError::DuplicateTaskId`] if a task with the same ID is
+    /// already *live* (not revoked) in the session; the session is
+    /// unchanged.
+    pub fn inject(&mut self, task: PreparedTask) -> Result<(), EngineError> {
+        let idx = self.admit_runtime(Runtime::new(task))?;
+        // A freshly injected task is never-started: a cluster front-end can
+        // still steal or shed it.
+        self.state.track_revocable(idx);
+        Ok(())
+    }
+
+    /// Re-injects a [`SalvagedTask`] recovered from a failed node, resuming
+    /// from its checkpoint cursor. Admission is gated on `admit_at` — the
+    /// cluster's recovery instant — so a node whose local clock lags cannot
+    /// causally run the task before it was re-admitted; the task's record
+    /// still carries its original arrival (recovery latency is turnaround,
+    /// not a new arrival) and the bookkeeping accumulated on earlier hops.
+    ///
+    /// A manifest with progress re-enters in the checkpointed state: its
+    /// first dispatch charges the restore DMA for `checkpoint_bytes` — the
+    /// checkpoint-priced cost of recovery. Started tasks are *not*
+    /// revocable on their new home (their context is node-resident, exactly
+    /// as if they had started there).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::DuplicateTaskId`] if the task id is still live in the
+    /// session; the session is unchanged.
+    pub fn inject_salvaged(
+        &mut self,
+        salvage: SalvagedTask,
+        admit_at: Cycles,
+    ) -> Result<(), EngineError> {
+        let mut runtime = Runtime::new(salvage.prepared);
+        runtime.admit_at = admit_at.max(runtime.prepared.request.arrival);
+        if !salvage.resume_executed.is_zero() {
+            let consumed = runtime
+                .cursor
+                .advance(&runtime.prepared.plan, salvage.resume_executed);
+            debug_assert_eq!(consumed, salvage.resume_executed, "resume point is in-plan");
+            runtime.state = TaskState::Checkpointed;
+            runtime.needs_restore = true;
+            runtime.checkpointed_bytes = salvage.checkpoint_bytes;
+        }
+        runtime.first_start = salvage.first_start;
+        runtime.preemption_count = salvage.preemption_count;
+        runtime.kill_restarts = salvage.kill_restarts;
+        runtime.checkpoint_overhead = salvage.checkpoint_overhead;
+        runtime.restore_overhead = salvage.restore_overhead;
+        runtime.max_checkpoint_bytes = salvage.max_checkpoint_bytes.max(salvage.checkpoint_bytes);
+        let started = runtime.first_start.is_some();
+        let idx = self.admit_runtime(runtime)?;
+        if !started {
+            self.state.track_revocable(idx);
+        }
+        Ok(())
+    }
+
+    /// Shared admission path of [`SimSession::inject`] /
+    /// [`SimSession::inject_salvaged`]: places the runtime in the id index,
+    /// the predicted-work totals, the static-remaining index and the
+    /// pending-arrival queue. Does *not* touch the revocable indexes — the
+    /// callers decide stealability.
+    fn admit_runtime(&mut self, runtime: Runtime) -> Result<usize, EngineError> {
+        let id = runtime.id();
+        let admit_at = runtime.admit_at;
         let idx = match self.state.id_index.binary_search_by_key(&id, |&(id, _)| id) {
             Err(pos) => {
                 let idx = self.state.runtimes.len();
-                self.state.runtimes.push(Runtime::new(task));
+                self.state.runtimes.push(runtime);
                 self.state.id_index.insert(pos, (id, idx));
                 idx
             }
             Ok(pos) => {
                 // The id exists: only a previously revoked slot may be
-                // revived (the task bounced back via work stealing).
+                // revived (the task bounced back via work stealing, or is
+                // being recovered after a node failure).
                 let idx = self.state.id_index[pos].1;
-                assert!(self.state.runtimes[idx].revoked, "task IDs must be unique");
-                self.state.runtimes[idx] = Runtime::new(task);
+                if !self.state.runtimes[idx].revoked {
+                    return Err(EngineError::DuplicateTaskId(id));
+                }
+                self.state.runtimes[idx] = runtime;
                 self.state.finished -= 1;
                 idx
             }
@@ -1637,42 +1820,50 @@ impl SimSession {
         self.state.state_version += 1;
         {
             let state = &mut self.state;
-            let estimated = state.runtimes[idx].estimated;
+            let remaining = state.runtimes[idx].remaining_estimate();
             let priority = state.runtimes[idx].prepared.request.priority;
-            state.remaining_work += estimated;
-            state.remaining_by_priority[priority.index()] += estimated;
-            state.track_revocable(idx);
+            state.remaining_work += remaining;
+            state.remaining_by_priority[priority.index()] += remaining;
             state.static_insert(idx);
         }
-        // Keep the unadmitted tail of the arrival queue (arrival, id)-sorted
+        // Keep the unadmitted tail of the arrival queue (admit_at, id)-sorted
         // so admission order stays deterministic.
         let tail_start = self.next_arrival_idx;
         let insert_at = self.arrival_order[tail_start..].partition_point(|&i| {
-            let request = &self.state.runtimes[i].prepared.request;
-            (request.arrival, request.id) <= (arrival, id)
+            let runtime = &self.state.runtimes[i];
+            (runtime.admit_at, runtime.id()) <= (admit_at, id)
         });
         self.arrival_order.insert(tail_start + insert_at, idx);
+        Ok(idx)
     }
 
     /// Hands a task back, if it has not started executing: the task is
     /// removed from the node (no record will be produced) and returned for
     /// re-injection elsewhere — the primitive behind work stealing and load
-    /// shedding. Returns `None` if the task is unknown, already running or
-    /// started, completed, or previously revoked.
-    pub fn revoke(&mut self, id: TaskId) -> Option<PreparedTask> {
+    /// shedding.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownTask`] / [`EngineError::TaskRevoked`] /
+    /// [`EngineError::TaskCompleted`] / [`EngineError::TaskAlreadyStarted`]
+    /// describe why the task cannot be handed back; the session is
+    /// unchanged.
+    pub fn revoke(&mut self, id: TaskId) -> Result<PreparedTask, EngineError> {
         let pos = self
             .state
             .id_index
             .binary_search_by_key(&id, |&(id, _)| id)
-            .ok()?;
+            .map_err(|_| EngineError::UnknownTask(id))?;
         let idx = self.state.id_index[pos].1;
         let runtime = &self.state.runtimes[idx];
-        if runtime.revoked
-            || runtime.completion.is_some()
-            || runtime.first_start.is_some()
-            || Some(idx) == self.running
-        {
-            return None;
+        if runtime.revoked {
+            return Err(EngineError::TaskRevoked(id));
+        }
+        if runtime.completion.is_some() {
+            return Err(EngineError::TaskCompleted(id));
+        }
+        if runtime.first_start.is_some() || Some(idx) == self.running {
+            return Err(EngineError::TaskAlreadyStarted(id));
         }
         if runtime.arrived {
             debug_assert!(runtime.is_waiting(), "never-started admitted task waits");
@@ -1699,7 +1890,107 @@ impl SimSession {
         let runtime = &mut self.state.runtimes[idx];
         runtime.revoked = true;
         self.state.finished += 1;
-        Some(runtime.prepared.clone())
+        Ok(runtime.prepared.clone())
+    }
+
+    // ---- Fault injection -------------------------------------------------
+
+    /// Freezes the node until `until`: no execution progress, no scheduler
+    /// wakeups, no admissions before that instant. Models both a
+    /// freeze/straggler window and the downtime after a crash. Stalls
+    /// compose by taking the later end; a stall entirely in the past is a
+    /// no-op.
+    ///
+    /// Bumps the state version even though no task state changes: a stall
+    /// breaks the time-invariance that external predicted-turnaround caches
+    /// (keyed on the version) rely on, so they must observe it.
+    pub fn stall(&mut self, until: Cycles) {
+        self.stall_until = self.stall_until.max(until);
+        self.state.state_version += 1;
+    }
+
+    /// The instant the current fault stall ends, if the node is stalled.
+    pub fn stalled_until(&self) -> Option<Cycles> {
+        (self.now < self.stall_until).then_some(self.stall_until)
+    }
+
+    /// Crashes the node: every resident task is drained off the session and
+    /// returned as a [`SalvagedTask`] manifest, in ascending task-id order.
+    ///
+    /// Salvage follows the commit-point recovery model: a task that never
+    /// started executing is salvaged verbatim; a task with execution
+    /// progress (running, checkpointed, or awaiting restore) resumes from
+    /// its last `GEMM_OP` interval boundary — the last commit point — with
+    /// the checkpoint footprint that was live there, so in-window progress
+    /// past the boundary is lost and recovery pays the restore DMA for
+    /// exactly the committed context. A KILL-reset task salvages from zero.
+    ///
+    /// The session itself survives (its clock, records of already-completed
+    /// tasks, and counters are intact); pair with [`SimSession::stall`] to
+    /// model the crash's downtime window. Salvaged tasks produce no record
+    /// here — recovery re-injects them elsewhere via
+    /// [`SimSession::inject_salvaged`], or abandons them.
+    pub fn fail(&mut self) -> Vec<SalvagedTask> {
+        let mut indices: Vec<usize> = self.resident_indices().collect();
+        indices.sort_unstable_by_key(|&idx| self.state.runtimes[idx].id());
+        let mut salvaged = Vec::with_capacity(indices.len());
+        for idx in indices {
+            let was_running = Some(idx) == self.running;
+            if was_running {
+                self.running = None;
+            } else if self.state.runtimes[idx].arrived {
+                self.state.leave_waiting(idx);
+                self.state.static_remove(idx);
+            } else {
+                let tail = &self.arrival_order[self.next_arrival_idx..];
+                let offset = tail
+                    .iter()
+                    .position(|&i| i == idx)
+                    .expect("unadmitted resident is in the pending arrival queue");
+                self.arrival_order.remove(self.next_arrival_idx + offset);
+                self.state.static_remove(idx);
+            }
+            if self.state.runtimes[idx].first_start.is_none() {
+                self.state.untrack_revocable(idx);
+            }
+            {
+                let state = &mut self.state;
+                let removed = state.runtimes[idx].remaining_estimate();
+                let priority = state.runtimes[idx].prepared.request.priority;
+                state.remaining_work -= removed;
+                state.remaining_by_priority[priority.index()] -= removed;
+            }
+            let runtime = &mut self.state.runtimes[idx];
+            // The last commit point: the start of the interval the cursor
+            // is in (everything before it committed at interval
+            // boundaries). A cursor already at a boundary keeps all its
+            // progress; mid-interval progress is lost.
+            let plan = Arc::clone(&runtime.prepared.plan);
+            let resume_executed = runtime.cursor.executed() - runtime.cursor.in_interval(&plan);
+            let checkpoint_bytes = if resume_executed.is_zero() {
+                0
+            } else {
+                let mut floor = ProgressCursor::start();
+                floor.advance(&plan, resume_executed);
+                floor.live_checkpoint_bytes(&plan)
+            };
+            salvaged.push(SalvagedTask {
+                prepared: runtime.prepared.clone(),
+                resume_executed,
+                checkpoint_bytes,
+                first_start: runtime.first_start,
+                preemption_count: runtime.preemption_count,
+                kill_restarts: runtime.kill_restarts,
+                checkpoint_overhead: runtime.checkpoint_overhead,
+                restore_overhead: runtime.restore_overhead,
+                max_checkpoint_bytes: runtime.max_checkpoint_bytes,
+            });
+            runtime.revoked = true;
+            self.state.finished += 1;
+        }
+        self.state.state_version += 1;
+        self.phase = Phase::Wakeup;
+        salvaged
     }
 
     /// Consumes the drained session and builds the [`SimOutcome`]: the
@@ -2136,7 +2427,7 @@ mod tests {
         assert_eq!(session.run_until(Cycles::new(100_000)), StepOutcome::Paused);
         let handed_back = session.revoke(TaskId(1)).expect("never started");
         assert_eq!(session.queue_depth(), 1);
-        session.inject(handed_back);
+        session.inject(handed_back).expect("id was revoked");
         assert_eq!(session.queue_depth(), 2);
         assert_eq!(session.run_until(Cycles::MAX), StepOutcome::Drained);
         let outcome = session.finish();
@@ -2145,12 +2436,172 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "task IDs must be unique")]
-    fn reinjecting_a_live_id_still_panics() {
+    fn session_misuse_returns_typed_errors_and_leaves_the_session_intact() {
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let prepared = prepare(vec![
+            TaskRequest::new(TaskId(0), ModelKind::CnnAlexNet),
+            TaskRequest::new(TaskId(1), ModelKind::CnnMobileNet)
+                .with_arrival(Cycles::new(10 * prepared_alexnet_cycles().get())),
+        ]);
+        let mut session = sim.session(&prepared);
+        // Injecting a live duplicate is refused as a value.
+        assert_eq!(
+            session.inject(prepared[0].clone()),
+            Err(EngineError::DuplicateTaskId(TaskId(0))),
+        );
+        let version = session.state_version();
+        assert_eq!(
+            session.revoke(TaskId(99)).unwrap_err(),
+            EngineError::UnknownTask(TaskId(99))
+        );
+        assert_eq!(
+            session.state_version(),
+            version,
+            "failed calls mutate nothing"
+        );
+        // Run task 0 to completion (task 1 arrives much later).
+        let _ = session.run_until(Cycles::new(1));
+        assert_eq!(
+            session.revoke(TaskId(0)).unwrap_err(),
+            EngineError::TaskAlreadyStarted(TaskId(0))
+        );
+        while session.running_task() == Some(TaskId(0)) {
+            let bound = session.next_completion_time().unwrap();
+            let _ = session.run_until(bound);
+        }
+        assert_eq!(
+            session.revoke(TaskId(0)).unwrap_err(),
+            EngineError::TaskCompleted(TaskId(0))
+        );
+        let handed = session.revoke(TaskId(1)).expect("never started");
+        assert_eq!(
+            session.revoke(TaskId(1)).unwrap_err(),
+            EngineError::TaskRevoked(TaskId(1))
+        );
+        // Errors carry a human-readable description.
+        let err = session.inject(prepared[0].clone()).unwrap_err();
+        assert!(err.to_string().contains("TaskId(0)"), "{err}");
+        session.inject(handed).expect("revoked slot revives");
+        assert_eq!(session.run_until(Cycles::MAX), StepOutcome::Drained);
+        assert_eq!(session.finish().records.len(), 2);
+    }
+
+    fn prepared_alexnet_cycles() -> Cycles {
+        PreparedTask::prepare(TaskRequest::new(TaskId(0), ModelKind::CnnAlexNet), &npu())
+            .isolated_cycles()
+    }
+
+    #[test]
+    fn fail_salvages_residents_at_their_last_commit_point() {
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let prepared = prepare(simple_requests());
+        let mut session = sim.session(&prepared);
+        // Pause mid-flight: task 0 is running, the others are queued or
+        // pending.
+        assert_eq!(session.run_until(Cycles::new(500_000)), StepOutcome::Paused);
+        let depth = session.queue_depth();
+        assert!(depth > 0);
+        let salvaged = session.fail();
+        assert_eq!(salvaged.len(), depth);
+        assert_eq!(session.queue_depth(), 0);
+        assert!(session.is_drained());
+        // Manifests come back in ascending id order, and a started task
+        // resumes from an interval boundary with its progress floored, not
+        // zeroed.
+        for pair in salvaged.windows(2) {
+            assert!(pair[0].prepared.request.id < pair[1].prepared.request.id);
+        }
+        for s in &salvaged {
+            assert!(s.resume_executed <= s.prepared.isolated_cycles());
+            if s.first_start.is_none() {
+                assert!(
+                    s.resume_executed.is_zero(),
+                    "never started salvages verbatim"
+                );
+                assert_eq!(s.checkpoint_bytes, 0);
+            }
+            // The commit point sits exactly on an interval boundary.
+            let mut floor = ProgressCursor::start();
+            floor.advance(&s.prepared.plan, s.resume_executed);
+            assert_eq!(floor.cycles_to_boundary(&s.prepared.plan), Cycles::ZERO);
+            assert_eq!(floor.in_interval(&s.prepared.plan), Cycles::ZERO);
+        }
+        let started = salvaged.iter().find(|s| s.first_start.is_some());
+        let started = started.expect("the running task had started");
+        assert!(!started.resume_executed.is_zero(), "progress was preserved");
+    }
+
+    #[test]
+    fn salvaged_task_resumes_on_a_new_session_and_pays_the_restore_dma() {
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let prepared = prepare(vec![TaskRequest::new(TaskId(0), ModelKind::CnnVggNet)]);
+        let mut session = sim.session(&prepared);
+        assert_eq!(session.run_until(Cycles::new(600_000)), StepOutcome::Paused);
+        let salvaged = session.fail().remove(0);
+        assert!(salvaged.resumes_from_checkpoint());
+        assert!(salvaged.checkpoint_bytes > 0);
+
+        // Checkpoint-priced recovery on a fresh node at t = 1_000_000.
+        let recover_at = Cycles::new(1_000_000);
+        let mut node = sim.session(&[]);
+        node.inject_salvaged(salvaged.clone(), recover_at)
+            .expect("fresh node");
+        assert_eq!(node.run_until(Cycles::MAX), StepOutcome::Drained);
+        let resumed = node.finish();
+        let record = &resumed.records[0];
+        assert!(
+            record.restore_overhead > Cycles::ZERO,
+            "recovery pays the restore DMA for the checkpointed context"
+        );
+        assert!(
+            record.first_start < recover_at,
+            "the original first start survives the hop"
+        );
+        // The resumed run only executes the remaining cycles: completion is
+        // admission + restore + remaining, well short of a from-zero rerun.
+        let remaining = record.isolated_cycles - salvaged.resume_executed;
+        assert_eq!(
+            record.completion,
+            recover_at + record.restore_overhead + remaining
+        );
+
+        // Restart-from-zero recovery re-executes the whole plan.
+        let mut zero_node = sim.session(&[]);
+        zero_node
+            .inject_salvaged(salvaged.restarted_from_zero(), recover_at)
+            .expect("fresh node");
+        assert_eq!(zero_node.run_until(Cycles::MAX), StepOutcome::Drained);
+        let zero = zero_node.finish();
+        assert!(
+            zero.records[0].completion > record.completion,
+            "checkpoint recovery beats restart-from-zero"
+        );
+    }
+
+    #[test]
+    fn stall_freezes_the_clock_and_shifts_completion_bounds() {
         let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
         let prepared = prepare(vec![TaskRequest::new(TaskId(0), ModelKind::CnnAlexNet)]);
         let mut session = sim.session(&prepared);
-        session.inject(prepared[0].clone());
+        assert_eq!(session.run_until(Cycles::new(100_000)), StepOutcome::Paused);
+        let before = session.next_completion_time().unwrap();
+        let stall_end = Cycles::new(5_000_000);
+        session.stall(stall_end);
+        assert_eq!(session.stalled_until(), Some(stall_end));
+        let shifted = session.next_completion_time().unwrap();
+        assert_eq!(shifted, before - Cycles::new(100_000) + stall_end);
+        assert!(session.completion_lower_bound().unwrap() >= stall_end);
+        // Pausing inside the stall makes clock progress but no execution.
+        assert_eq!(session.run_until(Cycles::new(200_000)), StepOutcome::Paused);
+        assert_eq!(session.now(), Cycles::new(200_000));
+        assert_eq!(session.stalled_until(), Some(stall_end));
+        assert_eq!(session.run_until(Cycles::MAX), StepOutcome::Drained);
+        let outcome = session.finish();
+        assert_eq!(
+            outcome.records[0].completion,
+            stall_end + before - Cycles::new(100_000),
+            "the frozen window pushes completion out one-for-one"
+        );
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub mod task;
 pub use config::{PolicyKind, PreemptionMode, SchedulerConfig};
 pub use context_table::{ContextEntry, ContextTable};
 pub use engine::{
-    NpuSimulator, OutcomeSummary, PreparedTask, ResidentTask, SimOutcome, SimSession, StepOutcome,
-    TaskRecord,
+    EngineError, NpuSimulator, OutcomeSummary, PreparedTask, ResidentTask, SalvagedTask,
+    SimOutcome, SimSession, StepOutcome, TaskRecord,
 };
 pub use plan::{ExecutionPlan, ProgressCursor};
 pub use policy::{SchedulingPolicy, TaskView};

@@ -521,6 +521,19 @@ impl ProgressCursor {
         consumed
     }
 
+    /// Cycles executed *inside* the currently executing interval — progress
+    /// past the last interval boundary, which a node failure loses under
+    /// the commit-point recovery model (`executed - in_interval` is the
+    /// last `GEMM_OP` commit the task can resume from). Zero when sitting
+    /// exactly on a boundary or when the plan is complete.
+    pub fn in_interval(&self, plan: &ExecutionPlan) -> Cycles {
+        let arena = &plan.arena;
+        if self.interval >= arena.len() {
+            return Cycles::ZERO;
+        }
+        self.executed - arena.start_of(self.interval)
+    }
+
     /// Cycles needed to reach the next legal preemption point (the end of the
     /// currently executing interval). Zero when already at a boundary or when
     /// the plan is complete.
@@ -648,6 +661,11 @@ pub mod reference {
             }
             self.executed += consumed;
             consumed
+        }
+
+        /// Cycles executed inside the currently executing interval.
+        pub fn in_interval(&self, _plan: &ExecutionPlan) -> Cycles {
+            self.offset
         }
 
         /// Cycles needed to reach the next legal preemption point.

@@ -1,0 +1,416 @@
+//! Seeded node-fault processes for the fault-tolerant cluster layer.
+//!
+//! A serving cluster's reliability questions — what does a crash cost, how
+//! much progress does checkpoint-priced recovery preserve, how far do
+//! stragglers drag the tail — need fault *schedules* that are as
+//! reproducible as the arrival streams they are driven against. This module
+//! is the fault-side sibling of [`crate::arrivals`]: a [`FaultProcess`]
+//! draws per-node alternating up-time / fault-window renewals from a seeded
+//! RNG and materializes them as a [`FaultSchedule`] — a time-sorted stream
+//! of node-scoped [`NodeFault`] events the cluster loops merge into their
+//! global event timeline.
+//!
+//! Two fault kinds are modeled:
+//!
+//! * [`FaultKind::Crash`] — the node loses all non-checkpointed progress at
+//!   the window's start and is down (no execution, no dispatch) until the
+//!   window's end, when it recovers empty.
+//! * [`FaultKind::Freeze`] — a straggler window: the node freezes in place
+//!   (resident tasks keep their state but make no progress) and resumes
+//!   where it left off at the window's end.
+//!
+//! Up-times are exponential with mean `mtbf_ms`; fault windows are
+//! exponential with mean `mean_downtime_ms`; each window is a crash with
+//! probability `1 - freeze_fraction`. All sampling is a pure function of
+//! the seeded RNG — node `k`'s renewal chain is drawn before node `k+1`'s —
+//! so a sweep replaying the same seed sees a bit-identical schedule.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use npu_sim::{Cycles, NpuConfig};
+
+/// Floor on sampled exponential gaps, in milliseconds (see
+/// [`crate::arrivals`]'s identically named constant).
+const MIN_GAP_MS: f64 = 1e-9;
+
+/// What a fault window does to the node it strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The node crashes: resident tasks are salvaged at their last
+    /// checkpoint boundary (non-checkpointed progress is lost) and the node
+    /// is down for the window.
+    Crash,
+    /// The node freezes (straggler window): resident tasks stay in place
+    /// but make no progress until the window ends.
+    Freeze,
+}
+
+impl FaultKind {
+    /// A short stable label for reports and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Freeze => "freeze",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One node-scoped fault window on the cluster's global timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeFault {
+    /// The node the fault strikes.
+    pub node: usize,
+    /// When the fault begins (global cycles).
+    pub start: Cycles,
+    /// When the node recovers (global cycles); strictly after `start`.
+    pub end: Cycles,
+    /// Crash or freeze.
+    pub kind: FaultKind,
+}
+
+impl NodeFault {
+    /// The window's length in cycles.
+    pub fn duration(&self) -> Cycles {
+        self.end - self.start
+    }
+}
+
+/// A deterministic, time-sorted schedule of node fault windows.
+///
+/// Invariants (enforced by the generators and checked by
+/// [`FaultSchedule::validate`]): events are sorted by `(start, node)`,
+/// every window has positive length, and windows on the *same* node do not
+/// overlap — a node is either up, crashed, or frozen, never two at once.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// The fault windows, sorted by `(start, node)`.
+    pub events: Vec<NodeFault>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no faults (the degenerate fault-free driving).
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Builds a schedule from explicit windows, sorting them into canonical
+    /// `(start, node)` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the windows violate the schedule invariants (empty
+    /// windows, or overlapping windows on one node).
+    pub fn from_events(mut events: Vec<NodeFault>) -> Self {
+        events.sort_by_key(|e| (e.start, e.node));
+        let schedule = FaultSchedule { events };
+        if let Err(msg) = schedule.validate() {
+            panic!("invalid FaultSchedule: {msg}");
+        }
+        schedule
+    }
+
+    /// Whether the schedule contains no fault windows.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of fault windows.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Validates the schedule invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for pair in self.events.windows(2) {
+            if (pair[0].start, pair[0].node) > (pair[1].start, pair[1].node) {
+                return Err("events must be sorted by (start, node)".into());
+            }
+        }
+        for (i, event) in self.events.iter().enumerate() {
+            if event.end <= event.start {
+                return Err(format!(
+                    "event {i}: fault window on node {} is empty",
+                    event.node
+                ));
+            }
+            for later in &self.events[i + 1..] {
+                if later.node == event.node && later.start < event.end {
+                    return Err(format!("node {} has overlapping fault windows", event.node));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total down/frozen cycles per node over `nodes` nodes (nodes beyond
+    /// the schedule's highest-numbered faulty node report zero).
+    pub fn downtime_per_node(&self, nodes: usize) -> Vec<Cycles> {
+        let mut downtime = vec![Cycles::ZERO; nodes];
+        for event in &self.events {
+            if event.node < nodes {
+                downtime[event.node] += event.duration();
+            }
+        }
+        downtime
+    }
+}
+
+/// A seeded renewal fault process: the generator of [`FaultSchedule`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultProcess {
+    /// Number of nodes the process covers (faults strike nodes `0..nodes`).
+    pub nodes: usize,
+    /// Mean up-time between consecutive fault windows on one node, in
+    /// milliseconds (the node-level MTBF).
+    pub mtbf_ms: f64,
+    /// Mean length of one fault window, in milliseconds.
+    pub mean_downtime_ms: f64,
+    /// Fraction of fault windows that are freezes instead of crashes, in
+    /// `[0, 1]`.
+    pub freeze_fraction: f64,
+    /// Faults start inside `[0, duration_ms)`; a window that starts inside
+    /// the horizon may end past it.
+    pub duration_ms: f64,
+}
+
+impl FaultProcess {
+    /// A crash-only process — the configuration the recovery-policy sweep
+    /// drives.
+    pub fn crashes(nodes: usize, mtbf_ms: f64, mean_downtime_ms: f64, duration_ms: f64) -> Self {
+        FaultProcess {
+            nodes,
+            mtbf_ms,
+            mean_downtime_ms,
+            freeze_fraction: 0.0,
+            duration_ms,
+        }
+    }
+
+    /// Sets the freeze fraction, keeping the rest of the process.
+    pub fn with_freeze_fraction(mut self, freeze_fraction: f64) -> Self {
+        self.freeze_fraction = freeze_fraction;
+        self
+    }
+
+    /// Validates the process parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("at least one node is required".into());
+        }
+        let positive = |value: f64, what: &str| -> Result<(), String> {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(format!("{what} must be positive and finite"));
+            }
+            Ok(())
+        };
+        positive(self.mtbf_ms, "MTBF")?;
+        positive(self.mean_downtime_ms, "mean downtime")?;
+        positive(self.duration_ms, "duration")?;
+        if !self.freeze_fraction.is_finite() || !(0.0..=1.0).contains(&self.freeze_fraction) {
+            return Err("freeze fraction must be within [0, 1]".into());
+        }
+        Ok(())
+    }
+
+    /// Samples one fault schedule from the seeded RNG.
+    ///
+    /// Per node, in node order, one sequential renewal chain: up-time ~
+    /// Exp(`mtbf_ms`), then a window ~ Exp(`mean_downtime_ms`) that is a
+    /// freeze with probability `freeze_fraction`, repeating until the next
+    /// window would start at or past `duration_ms`. Times convert to cycles
+    /// on the Table I timeline (like the arrival streams), so schedules are
+    /// reproducible independent of the simulated NPU configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process parameters are invalid.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> FaultSchedule {
+        if let Err(msg) = self.validate() {
+            panic!("invalid FaultProcess: {msg}");
+        }
+        let timeline = NpuConfig::paper_default();
+        let mut events = Vec::new();
+        for node in 0..self.nodes {
+            let mut t_ms = 0.0;
+            loop {
+                t_ms += exp_sample(self.mtbf_ms, rng);
+                if t_ms >= self.duration_ms {
+                    break;
+                }
+                let window_ms = exp_sample(self.mean_downtime_ms, rng);
+                let kind = if rng.gen::<f64>() < self.freeze_fraction {
+                    FaultKind::Freeze
+                } else {
+                    FaultKind::Crash
+                };
+                let start = timeline.millis_to_cycles(t_ms);
+                // A window shorter than one cycle still occupies one: the
+                // schedule invariant requires strictly positive windows.
+                let end = timeline.millis_to_cycles(t_ms + window_ms).max(start) + Cycles::new(1);
+                events.push(NodeFault {
+                    node,
+                    start,
+                    end,
+                    kind,
+                });
+                t_ms += window_ms;
+            }
+        }
+        FaultSchedule::from_events(events)
+    }
+
+    /// The expected number of fault windows over the whole cluster: each
+    /// node renews roughly every `mtbf + downtime` milliseconds.
+    pub fn expected_faults(&self) -> f64 {
+        self.nodes as f64 * self.duration_ms / (self.mtbf_ms + self.mean_downtime_ms)
+    }
+}
+
+/// Draws one exponential gap with the given mean via inverse-CDF sampling.
+fn exp_sample<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.gen();
+    (-(1.0 - u).ln() * mean).max(MIN_GAP_MS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic_and_canonical() {
+        let process = FaultProcess::crashes(4, 50.0, 10.0, 400.0).with_freeze_fraction(0.3);
+        let a = process.generate(&mut StdRng::seed_from_u64(7));
+        let b = process.generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        assert_ne!(a, process.generate(&mut StdRng::seed_from_u64(8)));
+        assert!(!a.is_empty());
+        assert!(a.validate().is_ok());
+        // Both kinds appear at a 30% freeze fraction over ~20+ windows.
+        assert!(a.events.iter().any(|e| e.kind == FaultKind::Crash));
+        assert!(a.events.iter().any(|e| e.kind == FaultKind::Freeze));
+        let horizon = NpuConfig::paper_default().millis_to_cycles(400.0);
+        for event in &a.events {
+            assert!(event.node < 4);
+            assert!(event.start < horizon);
+            assert!(event.end > event.start);
+        }
+    }
+
+    #[test]
+    fn fault_count_tracks_the_renewal_rate() {
+        let process = FaultProcess::crashes(8, 40.0, 10.0, 2000.0);
+        let mut total = 0usize;
+        for seed in 0..4 {
+            total += process.generate(&mut StdRng::seed_from_u64(seed)).len();
+        }
+        let mean = total as f64 / 4.0;
+        let expected = process.expected_faults();
+        assert!(
+            (mean - expected).abs() < 0.25 * expected,
+            "mean fault count {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn per_node_windows_never_overlap() {
+        let process = FaultProcess::crashes(3, 5.0, 20.0, 500.0).with_freeze_fraction(0.5);
+        let schedule = process.generate(&mut StdRng::seed_from_u64(42));
+        assert!(schedule.validate().is_ok());
+        let downtime = schedule.downtime_per_node(3);
+        assert_eq!(downtime.len(), 3);
+        assert!(downtime.iter().any(|d| *d > Cycles::ZERO));
+        // Nodes past the process's range have no downtime.
+        assert_eq!(schedule.downtime_per_node(5)[4], Cycles::ZERO);
+    }
+
+    #[test]
+    fn from_events_sorts_into_canonical_order() {
+        let schedule = FaultSchedule::from_events(vec![
+            NodeFault {
+                node: 1,
+                start: Cycles::new(500),
+                end: Cycles::new(600),
+                kind: FaultKind::Freeze,
+            },
+            NodeFault {
+                node: 0,
+                start: Cycles::new(100),
+                end: Cycles::new(900),
+                kind: FaultKind::Crash,
+            },
+        ]);
+        assert_eq!(schedule.events[0].node, 0);
+        assert_eq!(schedule.len(), 2);
+        assert!(!schedule.is_empty());
+        assert!(FaultSchedule::none().is_empty());
+        assert_eq!(schedule.events[0].duration(), Cycles::new(800));
+        assert_eq!(FaultKind::Crash.to_string(), "crash");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_windows_on_one_node_are_rejected() {
+        let _ = FaultSchedule::from_events(vec![
+            NodeFault {
+                node: 0,
+                start: Cycles::new(100),
+                end: Cycles::new(900),
+                kind: FaultKind::Crash,
+            },
+            NodeFault {
+                node: 0,
+                start: Cycles::new(500),
+                end: Cycles::new(600),
+                kind: FaultKind::Freeze,
+            },
+        ]);
+    }
+
+    #[test]
+    fn validation_errors_cover_each_field() {
+        let base = FaultProcess::crashes(2, 10.0, 5.0, 100.0);
+        assert!(base.validate().is_ok());
+        let cases = [
+            FaultProcess {
+                nodes: 0,
+                ..base.clone()
+            },
+            FaultProcess {
+                mtbf_ms: 0.0,
+                ..base.clone()
+            },
+            FaultProcess {
+                mean_downtime_ms: -1.0,
+                ..base.clone()
+            },
+            FaultProcess {
+                duration_ms: f64::NAN,
+                ..base.clone()
+            },
+            FaultProcess {
+                freeze_fraction: 1.5,
+                ..base.clone()
+            },
+        ];
+        for case in cases {
+            assert!(case.validate().is_err(), "{case:?}");
+        }
+    }
+}

@@ -8,6 +8,9 @@
 //! * [`arrivals`] — open-loop arrival processes (Poisson, bursty on/off,
 //!   diurnal-trace) that stream requests over a configurable duration with a
 //!   per-priority rate mix, feeding the multi-NPU cluster serving layer.
+//! * [`faults`] — seeded node-fault processes (crash / freeze renewal
+//!   chains per node) whose schedules drive the cluster's fault-injection
+//!   and recovery machinery.
 //! * [`seqlen`] — synthetic input→output sequence-length characterization for
 //!   the seq2seq applications (the Figure 9 substitution), producing both the
 //!   profiled sample sets that feed [`prema_predictor::SeqLenTable`] and the
@@ -36,12 +39,14 @@
 
 pub mod arrivals;
 pub mod colocation;
+pub mod faults;
 pub mod generator;
 pub mod microbench;
 pub mod prepare;
 pub mod seqlen;
 
 pub use arrivals::{generate_open_loop, ArrivalProcess, OpenLoopConfig, OpenLoopIter};
+pub use faults::{FaultKind, FaultProcess, FaultSchedule, NodeFault};
 pub use generator::{generate_workload, WorkloadConfig, WorkloadSpec};
 pub use prepare::{prepare_workload, PreparedWorkload};
 pub use seqlen::SeqLenCharacterization;

@@ -1,0 +1,106 @@
+//! Fault-tolerant cluster serving: what checkpoint-based recovery buys when
+//! NPU nodes crash and freeze under load.
+//!
+//! A 4-node closed-loop cluster serves a Poisson stream at rho = 0.75 of
+//! capacity while a seeded fault process crashes nodes at an MTBF of about
+//! ten mean service times (with a fraction of the windows downgraded to
+//! freezes). A crash salvages every resident task at its last commit point
+//! — the last `GEMM_OP` interval boundary — and the recovery policy
+//! re-dispatches the salvage to a surviving node after an exponential
+//! backoff, deprioritizing recently-failed nodes.
+//!
+//! Two recovery policies replay the identical driving:
+//!
+//! * **checkpoint** — salvaged tasks resume from their commit-point cursor,
+//!   paying the restore DMA for the committed context;
+//! * **restart-zero** — salvaged tasks discard all progress and rerun from
+//!   scratch, as a cluster without on-accelerator checkpointing must.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerant_cluster
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use prema::cluster::{
+    ClusterFaultPlan, ClusterMetrics, OnlineClusterConfig, OnlineClusterSimulator,
+    OnlineDispatchPolicy, RecoveryConfig,
+};
+use prema::workload::arrivals::{generate_open_loop, ArrivalProcess, OpenLoopConfig};
+use prema::workload::prepare::prepare_requests;
+use prema::workload::FaultProcess;
+use prema::{NpuConfig, SchedulerConfig};
+use prema_bench::cluster::{mean_service_ms, offered_rate_per_ms};
+
+const NODES: usize = 4;
+const RHO: f64 = 0.75;
+const DURATION_MS: f64 = 400.0;
+const MTBF_MULTIPLIER: f64 = 10.0;
+const DOWNTIME_MS: f64 = 2.0;
+const FREEZE_FRACTION: f64 = 0.2;
+
+fn main() {
+    let npu = NpuConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(2020);
+
+    // One request stream and one fault schedule, shared by both policies:
+    // the comparison isolates the recovery policy, nothing else.
+    let mut stream_cfg = OpenLoopConfig::poisson(1.0, DURATION_MS);
+    let service_ms = mean_service_ms(&stream_cfg.models, &stream_cfg.batch_sizes, &npu);
+    stream_cfg.process = ArrivalProcess::Poisson {
+        rate_per_ms: offered_rate_per_ms(RHO, NODES, service_ms),
+    };
+    let spec = generate_open_loop(&stream_cfg, &mut rng);
+    let tasks = prepare_requests(&spec.requests, &npu, None);
+
+    let mtbf_ms = MTBF_MULTIPLIER * service_ms;
+    let schedule = FaultProcess::crashes(NODES, mtbf_ms, DOWNTIME_MS, DURATION_MS)
+        .with_freeze_fraction(FREEZE_FRACTION)
+        .generate(&mut rng);
+
+    println!(
+        "fault-tolerant cluster: {NODES} nodes, rho {RHO}, {} requests, \
+         {} fault windows (MTBF {:.1} ms = {MTBF_MULTIPLIER}x mean service)",
+        tasks.len(),
+        schedule.len(),
+        mtbf_ms
+    );
+    println!();
+
+    for (label, recovery) in [
+        ("checkpoint", RecoveryConfig::checkpointed()),
+        ("restart-zero", RecoveryConfig::restart_from_zero()),
+    ] {
+        let config = OnlineClusterConfig::new(
+            NODES,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::Predictive,
+        )
+        .with_faults(ClusterFaultPlan::new(schedule.clone()).with_recovery(recovery));
+        let simulator = OnlineClusterSimulator::new(config);
+        let outcome = simulator.run(&tasks);
+        let metrics = ClusterMetrics::from_online(&outcome, &npu);
+        println!(
+            "  {label:<13} p99 {:>7.2} ms | ANTT {:>5.2} | availability {:>6.4} | \
+             goodput {:>5.3} | {} crashes, {} freezes, {} recoveries, {} abandoned",
+            metrics.p99_ms,
+            metrics.antt,
+            metrics.availability,
+            metrics.goodput,
+            outcome.crashes,
+            outcome.freezes,
+            outcome.recoveries,
+            outcome.abandoned.len(),
+        );
+    }
+
+    println!();
+    println!(
+        "Identical crashes, identical arrivals: the only difference is whether a\n\
+         salvaged task resumes from its last commit point or replays from zero.\n\
+         Checkpoint recovery turns each crash into a bounded setback (restore DMA\n\
+         plus the uncommitted tail of one interval), so less rework queues behind\n\
+         every failure and the p99 tail stays closer to the fault-free baseline."
+    );
+}

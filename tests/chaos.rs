@@ -1,0 +1,291 @@
+//! Chaos-testing harness for the fault-tolerant closed-loop cluster.
+//!
+//! Each driving samples a random cluster shape (node count, scheduler,
+//! dispatch policy, stealing/admission toggles), a random arrival process
+//! and a random fault schedule (crash/freeze mix, MTBF, downtime), then
+//! asserts the invariants that must survive *any* fault pattern:
+//!
+//! * **Exactly-once conservation** — served, shed and abandoned requests
+//!   partition the generated ids; no task is lost or double-served across
+//!   crash/salvage/re-dispatch hops.
+//! * **Bit-identical repeats** — running the same driving twice produces
+//!   the same outcome, byte for byte.
+//! * **Heap == reference** — the event-heap loop and the horizon-stepping
+//!   reference loop agree exactly, faults included, pinned through
+//!   [`online_outcome_hash`].
+//!
+//! A separate deterministic scenario exercises multi-hop salvage: a task
+//! crashes on its first node, recovers onto a second, crashes *there* too,
+//! and still completes — with a monotonically advancing checkpoint cursor.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use prema::cluster::{
+    online_outcome_hash, ClusterFaultPlan, OnlineClusterConfig, OnlineClusterSimulator,
+    OnlineDispatchPolicy, RecoveryConfig,
+};
+use prema::workload::prepare::prepare_requests;
+use prema::workload::{
+    generate_open_loop, ArrivalProcess, FaultKind, FaultProcess, FaultSchedule, NodeFault,
+    OpenLoopConfig,
+};
+use prema::{Cycles, ModelKind, NpuConfig, PreparedTask, SchedulerConfig, TaskId, TaskRequest};
+
+/// One random driving: everything the chaos loop varies, drawn up-front so
+/// failures print a self-contained reproduction.
+#[derive(Debug)]
+struct Driving {
+    nodes: usize,
+    duration_ms: f64,
+    process: ArrivalProcess,
+    fcfs: bool,
+    dispatch: OnlineDispatchPolicy,
+    stealing: bool,
+    admission: Option<f64>,
+    mtbf_ms: f64,
+    downtime_ms: f64,
+    freeze_fraction: f64,
+    recovery: RecoveryConfig,
+}
+
+fn draw_driving(rng: &mut StdRng) -> Driving {
+    let nodes = rng.gen_range(2usize..=4);
+    let duration_ms = rng.gen_range(12.0..24.0);
+    let rate_per_ms = rng.gen_range(0.3..0.9);
+    let process = match rng.gen_range(0u8..3) {
+        0 => ArrivalProcess::Poisson { rate_per_ms },
+        1 => ArrivalProcess::Bursty {
+            on_rate_per_ms: rate_per_ms * 2.0,
+            mean_on_ms: rng.gen_range(1.0..4.0),
+            mean_off_ms: rng.gen_range(1.0..4.0),
+        },
+        _ => ArrivalProcess::Diurnal {
+            trough_rate_per_ms: rate_per_ms * 0.5,
+            peak_rate_per_ms: rate_per_ms * 1.5,
+            period_ms: rng.gen_range(6.0..18.0),
+        },
+    };
+    let dispatch = match rng.gen_range(0u8..3) {
+        0 => OnlineDispatchPolicy::ShortestQueue,
+        1 => OnlineDispatchPolicy::LeastWork,
+        _ => OnlineDispatchPolicy::Predictive,
+    };
+    let mut recovery = if rng.gen_bool(0.5) {
+        RecoveryConfig::checkpointed()
+    } else {
+        RecoveryConfig::restart_from_zero()
+    };
+    recovery.retry_budget = rng.gen_range(0u32..=4);
+    recovery.backoff_base_ms = rng.gen_range(0.25..1.0);
+    Driving {
+        nodes,
+        duration_ms,
+        process,
+        fcfs: rng.gen_bool(0.3),
+        dispatch,
+        stealing: rng.gen_bool(0.4),
+        admission: if rng.gen_bool(0.3) {
+            Some(rng.gen_range(20.0..80.0))
+        } else {
+            None
+        },
+        mtbf_ms: rng.gen_range(5.0..40.0),
+        downtime_ms: rng.gen_range(0.5..2.0),
+        freeze_fraction: rng.gen_range(0.0..0.5),
+        recovery,
+    }
+}
+
+fn config_of(driving: &Driving, schedule: FaultSchedule) -> OnlineClusterConfig {
+    let scheduler = if driving.fcfs {
+        SchedulerConfig::np_fcfs()
+    } else {
+        SchedulerConfig::paper_default()
+    };
+    let mut config = OnlineClusterConfig::new(driving.nodes, scheduler, driving.dispatch)
+        .with_faults(ClusterFaultPlan::new(schedule).with_recovery(driving.recovery));
+    if driving.stealing {
+        config = config.with_work_stealing();
+    }
+    if let Some(target) = driving.admission {
+        config = config.with_admission(target);
+    }
+    config
+}
+
+/// The chaos sweep: ≥50 random fault drivings, every invariant checked on
+/// each one.
+#[test]
+fn random_fault_drivings_conserve_tasks_and_stay_deterministic() {
+    const DRIVINGS: usize = 56;
+    let npu = NpuConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(0xC4A0_5EED);
+    let mut faulty = 0usize;
+    for case in 0..DRIVINGS {
+        let driving = draw_driving(&mut rng);
+        let arrivals =
+            OpenLoopConfig::poisson(1.0, driving.duration_ms).with_process(driving.process);
+        let spec = generate_open_loop(&arrivals, &mut rng);
+        let tasks = prepare_requests(&spec.requests, &npu, None);
+        if tasks.is_empty() {
+            continue;
+        }
+        // Resample until the fault process actually fires: the acceptance
+        // criterion counts *fault* drivings, not quiet ones.
+        let mut schedule = FaultSchedule::none();
+        for _ in 0..32 {
+            schedule = FaultProcess::crashes(
+                driving.nodes,
+                driving.mtbf_ms,
+                driving.downtime_ms,
+                driving.duration_ms,
+            )
+            .with_freeze_fraction(driving.freeze_fraction)
+            .generate(&mut rng);
+            if !schedule.is_empty() {
+                break;
+            }
+        }
+        assert!(
+            !schedule.is_empty(),
+            "case {case}: fault process never fired"
+        );
+        let scheduled = schedule.len() as u64;
+        let simulator = OnlineClusterSimulator::new(config_of(&driving, schedule));
+
+        let heap = simulator.run(&tasks);
+        let reference = simulator.run_reference(&tasks);
+        assert_eq!(
+            heap, reference,
+            "case {case}: heap != reference\n{driving:?}"
+        );
+        assert_eq!(
+            online_outcome_hash(&heap),
+            online_outcome_hash(&reference),
+            "case {case}: digest divergence\n{driving:?}"
+        );
+        let repeat = simulator.run(&tasks);
+        assert_eq!(
+            heap, repeat,
+            "case {case}: repeat not bit-identical\n{driving:?}"
+        );
+
+        // Exactly-once conservation: served ∪ shed ∪ abandoned == generated.
+        let mut all: Vec<TaskId> = heap
+            .cluster
+            .merged_records()
+            .iter()
+            .map(|r| r.id)
+            .chain(heap.shed.iter().map(|r| r.id))
+            .chain(heap.abandoned.iter().map(|r| r.id))
+            .collect();
+        all.sort_unstable();
+        let before = all.len();
+        all.dedup();
+        assert_eq!(
+            before,
+            all.len(),
+            "case {case}: a task was double-served\n{driving:?}"
+        );
+        let mut expected: Vec<TaskId> = tasks.iter().map(|t| t.request.id).collect();
+        expected.sort_unstable();
+        assert_eq!(
+            all, expected,
+            "case {case}: conservation broken\n{driving:?}"
+        );
+
+        assert_eq!(
+            heap.crashes + heap.freezes,
+            scheduled,
+            "case {case}: not every scheduled fault window fired\n{driving:?}"
+        );
+        if heap.has_fault_activity() {
+            faulty += 1;
+        }
+    }
+    assert!(
+        faulty >= 50,
+        "only {faulty} drivings exercised fault machinery; need at least 50"
+    );
+}
+
+/// Multi-hop salvage: crash the task's first node mid-inference, let it
+/// recover onto the second node, crash *that* node too, and check the task
+/// still completes — resuming from a strictly later checkpoint on the
+/// second hop and appearing exactly once in the merged records.
+#[test]
+fn multi_hop_salvage_resumes_from_advancing_checkpoints() {
+    let npu = NpuConfig::paper_default();
+    let request = TaskRequest::new(TaskId(0), ModelKind::CnnVggNet);
+    let tasks: Vec<PreparedTask> = prepare_requests(&[request], &npu, None);
+    let total = tasks[0].plan.total_cycles();
+    assert!(
+        total > Cycles::new(1_000_000),
+        "VggNet must be long enough to crash twice"
+    );
+
+    let backoff = RecoveryConfig::checkpointed().backoff_base_ms;
+    let downtime = npu.millis_to_cycles(2.0);
+    // First crash a quarter of the way in; the second once the recovered
+    // copy has run for over half the plan again on the other node.
+    let crash0 = Cycles::new(total.get() / 4);
+    let crash1 = crash0 + npu.millis_to_cycles(backoff) + Cycles::new(total.get() * 11 / 20);
+    let schedule = FaultSchedule::from_events(vec![
+        NodeFault {
+            node: 0,
+            start: crash0,
+            end: crash0 + downtime,
+            kind: FaultKind::Crash,
+        },
+        NodeFault {
+            node: 1,
+            start: crash1,
+            end: crash1 + downtime,
+            kind: FaultKind::Crash,
+        },
+    ]);
+
+    let config = OnlineClusterConfig::new(
+        2,
+        SchedulerConfig::paper_default(),
+        OnlineDispatchPolicy::Predictive,
+    )
+    .with_faults(ClusterFaultPlan::new(schedule));
+    let simulator = OnlineClusterSimulator::new(config);
+    let heap = simulator.run(&tasks);
+    let reference = simulator.run_reference(&tasks);
+    assert_eq!(heap, reference);
+
+    // The task survives both crashes and is served exactly once.
+    assert!(heap.abandoned.is_empty());
+    let records = heap.cluster.merged_records();
+    assert_eq!(records.iter().filter(|r| r.id == TaskId(0)).count(), 1);
+    assert_eq!(heap.crashes, 2);
+    assert_eq!(heap.recoveries, 2);
+
+    // Two hops: node 0 → node 1 → node 0, with lifetime attempt numbers.
+    assert_eq!(heap.recovery_log.len(), 2);
+    let first = heap.recovery_log[0];
+    let second = heap.recovery_log[1];
+    assert_eq!(
+        (first.task, first.from_node, first.to_node, first.attempt),
+        (TaskId(0), 0, 1, 1)
+    );
+    assert_eq!(
+        (
+            second.task,
+            second.from_node,
+            second.to_node,
+            second.attempt
+        ),
+        (TaskId(0), 1, 0, 2)
+    );
+
+    // Checkpoint cursors advance monotonically: the first crash salvages
+    // real committed progress, and the second salvages strictly more — the
+    // second hop never replays work the first already committed.
+    assert!(first.resume_executed > Cycles::new(0));
+    assert!(second.resume_executed > first.resume_executed);
+    assert!(second.resume_executed < total);
+}

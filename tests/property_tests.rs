@@ -661,7 +661,9 @@ fn incremental_aggregates_match_resident_scans_under_random_driving() {
 
             // Random driving: inject, revoke (and remember for re-injection).
             if !to_inject.is_empty() && rng.gen_bool(0.5) {
-                session.inject(to_inject.pop().expect("nonempty"));
+                session
+                    .inject(to_inject.pop().expect("nonempty"))
+                    .expect("fresh id injects cleanly");
             }
             if rng.gen_bool(0.3) {
                 if let Some(candidate) = session.best_steal_candidate() {
@@ -674,7 +676,9 @@ fn incremental_aggregates_match_resident_scans_under_random_driving() {
             if !revoked.is_empty() && rng.gen_bool(0.5) {
                 // Re-inject a previously revoked task into the same session
                 // (the multi-hop work-stealing shape).
-                session.inject(revoked.pop().expect("nonempty"));
+                session
+                    .inject(revoked.pop().expect("nonempty"))
+                    .expect("revoked id re-injects cleanly");
             }
             if session.run_until(horizon) == StepOutcome::Drained
                 && to_inject.is_empty()
