@@ -23,6 +23,7 @@
 //! | [`cluster`] | Beyond the paper: multi-NPU cluster serving load sweep |
 //! | [`scale`] | Beyond the paper: closed-loop co-simulation scaling sweep |
 //! | [`faults`] | Beyond the paper: checkpoint recovery vs restart-from-zero under node faults |
+//! | [`migration`] | Beyond the paper: deadline-triggered checkpoint migration vs riding out stragglers |
 
 pub mod cluster;
 pub mod faults;
@@ -33,6 +34,7 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11_15;
 pub mod fig14;
+pub mod migration;
 pub mod overhead;
 pub mod prediction;
 pub mod scale;

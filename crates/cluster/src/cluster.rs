@@ -323,7 +323,7 @@ mod tests {
             .iter()
             .map(|o| o.makespan)
             .max()
-            .unwrap();
+            .expect("a round-robin run over a non-empty request set has at least one node outcome");
         assert_eq!(outcome.makespan(), max);
         assert!(outcome.scheduler_invocations() > 0);
         let id = outcome.assignments[0].task;

@@ -61,9 +61,10 @@ use prema_workload::FaultKind;
 
 use crate::cluster::NodeAssignment;
 use crate::faults::{FaultDriver, FaultEvent};
+use crate::migration::MigrationDriver;
 use crate::online::{
-    arrival_order, finish_outcome, scaled_admission_target, OnlineClusterConfig,
-    OnlineDispatchPolicy, OnlineOutcome, ShedKey, SlaAdmissionConfig,
+    arrival_order, deliver_due_migrations, finish_outcome, scaled_admission_target,
+    OnlineClusterConfig, OnlineDispatchPolicy, OnlineOutcome, ShedKey, SlaAdmissionConfig,
 };
 
 /// Runs the event-heap closed-loop simulation. Caller has validated the
@@ -82,18 +83,29 @@ pub(crate) fn run(config: &OnlineClusterConfig, tasks: &[PreparedTask]) -> Onlin
         .faults
         .as_ref()
         .map(|plan| FaultDriver::new(plan, &config.npu, config.nodes));
+    let mut migration = config
+        .migration
+        .as_ref()
+        .map(|policy| MigrationDriver::new(policy, &config.npu, config.nodes));
 
     for &i in &order {
         let task = &tasks[i];
         let now = task.request.arrival;
         driver.drain_fault_events(
             &mut faults,
+            &mut migration,
             now,
             &mut steals,
             &mut assignments,
             &assignment_index,
         );
-        driver.advance_to(now, &mut steals, &mut assignments, &assignment_index);
+        driver.advance_to(
+            &mut migration,
+            now,
+            &mut steals,
+            &mut assignments,
+            &assignment_index,
+        );
 
         let node = driver.pick_node(now, task, faults.as_ref());
         if let Some(admission) = config.admission {
@@ -111,12 +123,14 @@ pub(crate) fn run(config: &OnlineClusterConfig, tasks: &[PreparedTask]) -> Onlin
 
     driver.drain_fault_events(
         &mut faults,
+        &mut migration,
         Cycles::MAX,
         &mut steals,
         &mut assignments,
         &assignment_index,
     );
     driver.advance_to(
+        &mut migration,
         Cycles::MAX,
         &mut steals,
         &mut assignments,
@@ -128,6 +142,7 @@ pub(crate) fn run(config: &OnlineClusterConfig, tasks: &[PreparedTask]) -> Onlin
         shed,
         steals,
         faults.map(FaultDriver::finish),
+        migration.map(MigrationDriver::finish),
     )
 }
 
@@ -182,11 +197,20 @@ impl Default for PredictionSegment {
 }
 
 impl PredictionSegment {
-    /// Rebuilds the segment if the session's state version moved or the
-    /// session clock passed the runner's estimate-exhaustion instant.
+    /// Rebuilds the segment if the session's state version moved, the
+    /// session clock passed the runner's estimate-exhaustion instant, or
+    /// the session clock is scaled. Under a degrade window neither entry
+    /// form is time-invariant (the runner's backlog shrinks at `num/den`
+    /// work per wall cycle, so neither the absolute completions nor the
+    /// backlogs stay constant between queries); rebuilding at every query
+    /// reproduces exactly the reference's fresh recomputation.
     fn refresh(&mut self, session: &SimSession, scratch: &mut Vec<ResidentTask>) {
         let now = session.now();
-        if self.valid && self.version == session.state_version() && now <= self.valid_until {
+        if self.valid
+            && self.version == session.state_version()
+            && now <= self.valid_until
+            && session.clock_scale() == (1, 1)
+        {
             return;
         }
         scratch.clear();
@@ -259,7 +283,9 @@ impl<'a> EventHeapLoop<'a> {
         let nodes = sessions.len();
         EventHeapLoop {
             config,
-            synchronized: config.work_stealing || config.admission.is_some(),
+            synchronized: config.work_stealing
+                || config.admission.is_some()
+                || config.migration.is_some(),
             sessions,
             heap: BinaryHeap::with_capacity(nodes * 2),
             due_scratch: Vec::with_capacity(nodes),
@@ -314,14 +340,15 @@ impl<'a> EventHeapLoop<'a> {
     /// Advances the cluster to `t`.
     ///
     /// Lazy mode advances only nodes whose certificates are due.
-    /// Synchronized mode replays the reference's stepping: with stealing,
-    /// execution is stepped to every completion bound on the way (the
-    /// reference's `next_completion_time` scan over synchronized nodes —
-    /// the moments the task set can shrink), advancing *all* sessions and
-    /// running a steal round at each; without stealing (admission only)
+    /// Synchronized mode replays the reference's stepping: with stealing or
+    /// migration, execution is stepped to every completion bound (and every
+    /// in-flight migration delivery) on the way — the moments the task set
+    /// can shrink or a deadline can slip — advancing *all* sessions and
+    /// running steal and migration rounds at each; with admission only,
     /// every session advances straight to `t`.
     fn advance_to(
         &mut self,
+        migration: &mut Option<MigrationDriver<'_>>,
         t: Cycles,
         steals: &mut u64,
         assignments: &mut [NodeAssignment],
@@ -331,7 +358,7 @@ impl<'a> EventHeapLoop<'a> {
             self.materialize_due(t);
             return;
         }
-        if !self.config.work_stealing {
+        if !self.config.work_stealing && migration.is_none() {
             for session in self.sessions.iter_mut() {
                 let _ = session.run_until(t);
             }
@@ -343,14 +370,38 @@ impl<'a> EventHeapLoop<'a> {
                 .iter()
                 .filter_map(SimSession::next_completion_time)
                 .min();
-            let step = match bound {
+            let mut step = match bound {
                 Some(bound) if bound < t => bound,
                 _ => t,
             };
+            // Mirrors the reference: deliveries strictly before `t` land
+            // mid-advance; one due exactly at `t` belongs to the caller's
+            // event batch.
+            if let Some(due) = migration
+                .as_ref()
+                .and_then(MigrationDriver::next_due)
+                .filter(|&due| due < step)
+            {
+                step = due;
+            }
             for session in self.sessions.iter_mut() {
                 let _ = session.run_until(step);
             }
-            *steals += self.steal_round(assignments, assignment_index);
+            if self.config.work_stealing {
+                *steals += self.steal_round(assignments, assignment_index);
+            }
+            if let Some(migration) = migration.as_mut() {
+                if step < t {
+                    deliver_due_migrations(
+                        migration,
+                        &mut self.sessions,
+                        step,
+                        assignments,
+                        assignment_index,
+                    );
+                }
+                migration.round(&mut self.sessions, step);
+            }
             if step == t {
                 return;
             }
@@ -499,12 +550,15 @@ impl<'a> EventHeapLoop<'a> {
         best.expect("at least one node").1
     }
 
-    /// The event-heap half of the shared fault timeline (see the
+    /// The event-heap half of the shared fault/migration timeline (see the
     /// reference's `drain_fault_events`): processes every due event through
-    /// the *same* [`FaultDriver`]. A crash or freeze fails/stalls the
-    /// faulted node at the fault instant; a due recovery runs the
+    /// the *same* [`FaultDriver`] and [`MigrationDriver`]. A crash or
+    /// freeze fails/stalls the faulted node at the fault instant; a
+    /// degrade start/end rescales its clock; a due recovery runs the
     /// branch-and-bound dispatch over penalty-tiered nodes and re-injects
-    /// the salvage with its admission gated to the recovery instant.
+    /// the salvage with its admission gated to the recovery instant; a due
+    /// migration delivery lands at its destination, and each instant ends
+    /// with a migration round over the synchronized cluster.
     ///
     /// Every fault-event instant is a *global* synchronization point:
     /// all sessions are materialized to `t` before the batch due there is
@@ -515,46 +569,92 @@ impl<'a> EventHeapLoop<'a> {
     /// mid-batch, so a node receiving several salvages at one instant
     /// admits them atomically at its next wakeup, like the reference,
     /// instead of dispatching a partial batch between two injections.
+    #[allow(clippy::too_many_arguments)]
     fn drain_fault_events(
         &mut self,
         faults: &mut Option<FaultDriver<'_>>,
+        migration: &mut Option<MigrationDriver<'_>>,
         limit: Cycles,
         steals: &mut u64,
         assignments: &mut [NodeAssignment],
         assignment_index: &HashMap<TaskId, usize>,
     ) {
-        let Some(driver) = faults.as_mut() else {
-            return;
-        };
-        while let Some(t) = driver.next_event_time().filter(|&t| t <= limit) {
-            self.advance_to(t, steals, assignments, assignment_index);
-            for i in 0..self.sessions.len() {
-                self.materialize(i, t);
+        loop {
+            let fault_next = faults.as_ref().and_then(FaultDriver::next_event_time);
+            let migration_next = migration.as_ref().and_then(MigrationDriver::next_due);
+            let Some(t) = [fault_next, migration_next]
+                .into_iter()
+                .flatten()
+                .min()
+                .filter(|&t| t <= limit)
+            else {
+                return;
+            };
+            self.advance_to(migration, t, steals, assignments, assignment_index);
+            if !self.synchronized {
+                // Lazy mode: nodes may still lag `t`; pull them all up before
+                // the batch. In synchronized mode `advance_to` already ran
+                // every session to `t` — and re-running `run_until(t)` here
+                // would NOT be a no-op after a migration round evacuated a
+                // running task (the session would wake up and dispatch its
+                // next resident, a state transition the reference loop only
+                // performs on its next advance), so the pass must be skipped.
+                for i in 0..self.sessions.len() {
+                    self.materialize(i, t);
+                }
             }
-            while let Some(event) = driver.pop_due(t) {
-                match event {
-                    FaultEvent::Fault(fault) => {
-                        if fault.kind == FaultKind::Crash {
-                            let salvaged = self.sessions[fault.node].fail();
-                            driver.on_salvaged(fault.node, t, salvaged);
+            if let Some(driver) = faults.as_mut() {
+                while let Some(event) = driver.pop_due(t) {
+                    match event {
+                        FaultEvent::Fault(fault) => {
+                            match fault.kind {
+                                FaultKind::Crash => {
+                                    let salvaged = self.sessions[fault.node].fail();
+                                    driver.on_salvaged(fault.node, t, salvaged);
+                                    self.sessions[fault.node].stall(fault.end);
+                                }
+                                FaultKind::Freeze => self.sessions[fault.node].stall(fault.end),
+                                FaultKind::Degrade {
+                                    speed_num,
+                                    speed_den,
+                                } => {
+                                    self.sessions[fault.node].set_clock_scale(speed_num, speed_den)
+                                }
+                            }
+                            self.reschedule(fault.node);
                         }
-                        self.sessions[fault.node].stall(fault.end);
-                        self.reschedule(fault.node);
-                    }
-                    FaultEvent::Recovery(pending) => {
-                        let node =
-                            self.pick_node_synchronized(t, &pending.salvage.prepared, Some(driver));
-                        let salvage = driver.redispatch(pending, node, t);
-                        let id = salvage.prepared.request.id;
-                        self.sessions[node]
-                            .inject_salvaged(salvage, t)
-                            .expect("salvaged task id is not live");
-                        self.reschedule(node);
-                        if let Some(&slot) = assignment_index.get(&id) {
-                            assignments[slot].node = node;
+                        FaultEvent::DegradeEnd { node } => {
+                            self.sessions[node].set_clock_scale(1, 1);
+                            self.reschedule(node);
+                        }
+                        FaultEvent::Recovery(pending) => {
+                            let node = self.pick_node_synchronized(
+                                t,
+                                &pending.salvage.prepared,
+                                Some(driver),
+                            );
+                            let salvage = driver.redispatch(pending, node, t);
+                            let id = salvage.prepared.request.id;
+                            self.sessions[node]
+                                .inject_salvaged(salvage, t)
+                                .expect("salvaged task id is not live");
+                            self.reschedule(node);
+                            if let Some(&slot) = assignment_index.get(&id) {
+                                assignments[slot].node = node;
+                            }
                         }
                     }
                 }
+            }
+            if let Some(migration) = migration.as_mut() {
+                deliver_due_migrations(
+                    migration,
+                    &mut self.sessions,
+                    t,
+                    assignments,
+                    assignment_index,
+                );
+                migration.round(&mut self.sessions, t);
             }
         }
     }

@@ -1,9 +1,9 @@
 //! Node fault injection and checkpoint-priced recovery for the closed-loop
 //! cluster.
 //!
-//! A [`prema_workload::FaultSchedule`] says *when* nodes crash or freeze;
-//! this module says what the cluster *does* about it. [`ClusterFaultPlan`]
-//! pairs a schedule with a [`RecoveryConfig`] — the retry budget,
+//! A [`prema_workload::FaultSchedule`] says *when* nodes crash, freeze or
+//! degrade; this module says what the cluster *does* about it.
+//! [`ClusterFaultPlan`] pairs a schedule with a [`RecoveryConfig`] — the retry budget,
 //! exponential re-dispatch backoff, post-recovery dispatch cooldown, and
 //! whether recovery resumes from the last checkpoint commit or restarts
 //! from zero (the baseline the checkpoint pricing is compared against).
@@ -11,13 +11,26 @@
 //! The crate-private `FaultDriver` is the shared state machine **both**
 //! closed-loop drivers consume. It owns everything about faults that is a
 //! *decision* rather than a session mutation: the merged event timeline
-//! (fault starts interleaved with due re-dispatches, faults first on ties),
-//! per-task attempt counts and backoff arithmetic, the abandon rule, the
-//! failure-aware dispatch penalty, and the recovery log. The two loops
-//! differ only in how they advance sessions to an event instant; every
-//! fault-policy decision comes from this one implementation, so the
-//! heap-vs-reference bit-identity contract extends over faulty drivings by
-//! construction (and is pinned by the chaos property tests).
+//! (fault starts interleaved with degrade-window ends and due
+//! re-dispatches; ties process degrade ends first, then fault starts, then
+//! recoveries), per-task attempt counts and backoff arithmetic, the
+//! abandon rule, the failure-aware dispatch penalty, and the recovery log.
+//! The two loops differ only in how they advance sessions to an event
+//! instant; every fault-policy decision comes from this one
+//! implementation, so the heap-vs-reference bit-identity contract extends
+//! over faulty drivings by construction (and is pinned by the chaos
+//! property tests).
+//!
+//! A *degrade* window ([`prema_workload::FaultKind::Degrade`]) is the
+//! straggler fault: the node keeps serving but its clock runs at
+//! `speed_num / speed_den` of full speed
+//! ([`prema_core::SimSession::set_clock_scale`]). Unlike crash and freeze
+//! it contributes no downtime — the node is *up*, just slow — so it is
+//! tracked separately (`degrades`, `node_degraded_time`) and earns the
+//! middle dispatch-penalty tier rather than the down tier. Both the window
+//! start and its end are global synchronization points (all sessions are
+//! materialized there before the clock scale flips), which is what keeps
+//! the bit-identity contract intact over scaled clocks.
 //!
 //! The recovery cost model follows the engine's commit-point salvage
 //! ([`prema_core::SimSession::fail`]): a crash loses in-flight progress
@@ -125,7 +138,9 @@ impl ClusterFaultPlan {
     ///
     /// Returns a description of the first problem found.
     pub fn validate(&self) -> Result<(), String> {
-        self.schedule.validate()?;
+        self.schedule
+            .validate()
+            .map_err(|error| error.to_string())?;
         self.recovery.validate()
     }
 }
@@ -185,8 +200,14 @@ impl Ord for PendingRecovery {
 /// One due fault-timeline event, in processing order.
 #[derive(Debug)]
 pub(crate) enum FaultEvent {
-    /// A fault window begins (the loop fails/stalls the session).
+    /// A fault window begins (the loop fails/stalls the session, or scales
+    /// its clock for a degrade window).
     Fault(NodeFault),
+    /// A degrade window ends (the loop restores the node's full clock).
+    DegradeEnd {
+        /// The node whose clock returns to full speed.
+        node: usize,
+    },
     /// A salvaged task's backoff expired (the loop re-dispatches it).
     Recovery(PendingRecovery),
 }
@@ -197,9 +218,11 @@ pub(crate) struct FaultTally {
     pub(crate) abandoned: Vec<TaskRequest>,
     pub(crate) crashes: u64,
     pub(crate) freezes: u64,
+    pub(crate) degrades: u64,
     pub(crate) recoveries: u64,
     pub(crate) recovery_log: Vec<RecoveryRecord>,
     pub(crate) node_downtime: Vec<Cycles>,
+    pub(crate) node_degraded_time: Vec<Cycles>,
 }
 
 impl FaultTally {
@@ -209,9 +232,11 @@ impl FaultTally {
             abandoned: Vec::new(),
             crashes: 0,
             freezes: 0,
+            degrades: 0,
             recoveries: 0,
             recovery_log: Vec::new(),
             node_downtime: vec![Cycles::ZERO; nodes],
+            node_degraded_time: vec![Cycles::ZERO; nodes],
         }
     }
 }
@@ -226,11 +251,18 @@ pub(crate) struct FaultDriver<'a> {
     npu: &'a NpuConfig,
     next_fault: usize,
     pending: BinaryHeap<Reverse<PendingRecovery>>,
+    /// Open degrade windows, keyed by their end instant: the clock-restore
+    /// events still to come. (node index second for deterministic ties.)
+    degrade_ends: BinaryHeap<Reverse<(Cycles, usize)>>,
     seq: u64,
     attempts: HashMap<TaskId, u32>,
-    /// Per node: the end of its latest fault window seen so far (`ZERO`
-    /// until the node first faults).
+    /// Per node: the end of its latest crash/freeze window seen so far
+    /// (`ZERO` until the node first faults). Degrade windows do not count —
+    /// a degraded node is up.
     down_until: Vec<Cycles>,
+    /// Per node: the end of its latest degrade window seen so far (`ZERO`
+    /// until the node first degrades).
+    degraded_until: Vec<Cycles>,
     cooldown: Cycles,
     tally: FaultTally,
 }
@@ -242,16 +274,18 @@ impl<'a> FaultDriver<'a> {
             npu,
             next_fault: 0,
             pending: BinaryHeap::new(),
+            degrade_ends: BinaryHeap::new(),
             seq: 0,
             attempts: HashMap::new(),
             down_until: vec![Cycles::ZERO; nodes],
+            degraded_until: vec![Cycles::ZERO; nodes],
             cooldown: npu.millis_to_cycles(plan.recovery.cooldown_ms),
             tally: FaultTally::empty(nodes),
         }
     }
 
-    /// The instant of the next fault-timeline event (fault start or due
-    /// re-dispatch), if any remain.
+    /// The instant of the next fault-timeline event (fault start, degrade
+    /// end or due re-dispatch), if any remain.
     pub(crate) fn next_event_time(&self) -> Option<Cycles> {
         let fault = self
             .plan
@@ -259,16 +293,18 @@ impl<'a> FaultDriver<'a> {
             .events
             .get(self.next_fault)
             .map(|event| event.start);
+        let degrade_end = self.degrade_ends.peek().map(|&Reverse((end, _))| end);
         let recovery = self.pending.peek().map(|Reverse(p)| p.due);
-        match (fault, recovery) {
-            (Some(f), Some(r)) => Some(f.min(r)),
-            (f, r) => f.or(r),
-        }
+        [fault, degrade_end, recovery].into_iter().flatten().min()
     }
 
-    /// Pops the next event due at or before `t`, faults before recoveries
-    /// on ties (a crash at the very instant a task would re-enter dispatch
-    /// is observed by that re-dispatch as a down node).
+    /// Pops the next event due at or before `t`. Ties at one instant
+    /// process degrade-window ends first, then fault starts, then
+    /// recoveries: windows are half-open, so a degrade window ending
+    /// exactly when the node's next one begins hands the clock straight to
+    /// the new scale (the restore must not clobber it); a crash at the very
+    /// instant a task would re-enter dispatch is observed by that
+    /// re-dispatch as a down node.
     pub(crate) fn pop_due(&mut self, t: Cycles) -> Option<FaultEvent> {
         let fault_start = self
             .plan
@@ -276,17 +312,37 @@ impl<'a> FaultDriver<'a> {
             .events
             .get(self.next_fault)
             .map(|event| event.start);
+        let degrade_end = self.degrade_ends.peek().map(|&Reverse((end, _))| end);
         let recovery_due = self.pending.peek().map(|Reverse(p)| p.due);
+        if let Some(end) = degrade_end {
+            if end <= t
+                && fault_start.is_none_or(|start| end <= start)
+                && recovery_due.is_none_or(|due| end <= due)
+            {
+                let Reverse((_, node)) = self.degrade_ends.pop().expect("peeked entry");
+                return Some(FaultEvent::DegradeEnd { node });
+            }
+        }
         if let Some(start) = fault_start {
             if start <= t && recovery_due.is_none_or(|due| start <= due) {
                 let fault = self.plan.schedule.events[self.next_fault];
                 self.next_fault += 1;
-                self.down_until[fault.node] = self.down_until[fault.node].max(fault.end);
-                self.tally.node_downtime[fault.node] += fault.duration();
                 match fault.kind {
                     FaultKind::Crash => self.tally.crashes += 1,
                     FaultKind::Freeze => self.tally.freezes += 1,
+                    FaultKind::Degrade { .. } => {
+                        // A degraded node is up: no downtime, a separate
+                        // tally, and a pending clock-restore event.
+                        self.tally.degrades += 1;
+                        self.tally.node_degraded_time[fault.node] += fault.duration();
+                        self.degraded_until[fault.node] =
+                            self.degraded_until[fault.node].max(fault.end);
+                        self.degrade_ends.push(Reverse((fault.end, fault.node)));
+                        return Some(FaultEvent::Fault(fault));
+                    }
                 }
+                self.down_until[fault.node] = self.down_until[fault.node].max(fault.end);
+                self.tally.node_downtime[fault.node] += fault.duration();
                 return Some(FaultEvent::Fault(fault));
             }
         }
@@ -324,21 +380,25 @@ impl<'a> FaultDriver<'a> {
     }
 
     /// The failure-aware dispatch penalty of `node` at instant `t`: 2 while
-    /// the node is inside a fault window, 1 inside the post-recovery
-    /// cooldown, 0 for a healthy node. Dispatch minimizes `(penalty,
+    /// the node is inside a crash/freeze window, 1 inside the post-recovery
+    /// cooldown *or* inside a degrade window (the straggler tier — up, but
+    /// slow), 0 for a healthy node. Dispatch minimizes `(penalty,
     /// live-state score, index)`, so faulty nodes only win when every
     /// healthier node loses on the penalty tier.
     pub(crate) fn penalty(&self, node: usize, t: Cycles) -> u8 {
         let until = self.down_until[node];
-        if until.is_zero() {
-            0
-        } else if t < until {
-            2
-        } else if t < until + self.cooldown {
-            1
-        } else {
-            0
+        if !until.is_zero() {
+            if t < until {
+                return 2;
+            }
+            if t < until + self.cooldown {
+                return 1;
+            }
         }
+        if t < self.degraded_until[node] {
+            return 1;
+        }
+        0
     }
 
     /// Commits a due re-dispatch onto `to_node` at `at`: applies the
@@ -380,6 +440,10 @@ impl<'a> FaultDriver<'a> {
             "fault schedule fully processed"
         );
         debug_assert!(self.pending.is_empty(), "no re-dispatch left pending");
+        debug_assert!(
+            self.degrade_ends.is_empty(),
+            "every degrade window was closed"
+        );
         self.tally
     }
 }
@@ -511,6 +575,76 @@ mod tests {
         assert_eq!(driver.penalty(1, cooldown_end - Cycles::new(1)), 1);
         assert_eq!(driver.penalty(1, cooldown_end), 0);
         let _ = driver.finish();
+    }
+
+    fn degrade(node: usize, start: u64, end: u64, num: u32, den: u32) -> NodeFault {
+        NodeFault {
+            node,
+            start: Cycles::new(start),
+            end: Cycles::new(end),
+            kind: FaultKind::Degrade {
+                speed_num: num,
+                speed_den: den,
+            },
+        }
+    }
+
+    #[test]
+    fn degrade_windows_tally_separately_and_emit_end_events() {
+        let npu = NpuConfig::paper_default();
+        let plan =
+            ClusterFaultPlan::new(FaultSchedule::from_events(vec![degrade(0, 100, 300, 1, 4)]));
+        let mut driver = FaultDriver::new(&plan, &npu, 2);
+        let Some(FaultEvent::Fault(fault)) = driver.pop_due(Cycles::new(100)) else {
+            panic!("degrade window due at its start");
+        };
+        assert!(matches!(fault.kind, FaultKind::Degrade { .. }));
+        // Straggler tier inside the window, healthy at and past its end —
+        // a degrade never reaches the down tier or the cooldown.
+        assert_eq!(driver.penalty(0, Cycles::new(200)), 1);
+        assert_eq!(driver.penalty(0, Cycles::new(300)), 0);
+        assert_eq!(driver.penalty(1, Cycles::new(200)), 0);
+        // The clock-restore event closes the window.
+        assert_eq!(driver.next_event_time(), Some(Cycles::new(300)));
+        let Some(FaultEvent::DegradeEnd { node }) = driver.pop_due(Cycles::new(300)) else {
+            panic!("degrade end due at the window end");
+        };
+        assert_eq!(node, 0);
+        let tally = driver.finish();
+        assert_eq!(tally.degrades, 1);
+        assert_eq!(tally.crashes + tally.freezes, 0);
+        assert_eq!(tally.node_degraded_time[0], Cycles::new(200));
+        assert_eq!(tally.node_downtime[0], Cycles::ZERO);
+    }
+
+    #[test]
+    fn touching_degrade_windows_restore_before_the_next_scale_applies() {
+        // Half-open windows [100,200) at 1/2 and [200,300) at 1/4: at 200
+        // the first window's restore must pop before the second window's
+        // start, or the restore would clobber the fresh scale.
+        let npu = NpuConfig::paper_default();
+        let plan = ClusterFaultPlan::new(FaultSchedule::from_events(vec![
+            degrade(0, 100, 200, 1, 2),
+            degrade(0, 200, 300, 1, 4),
+        ]));
+        let mut driver = FaultDriver::new(&plan, &npu, 1);
+        let Some(FaultEvent::Fault(first)) = driver.pop_due(Cycles::MAX) else {
+            panic!("first degrade start");
+        };
+        assert_eq!(first.start, Cycles::new(100));
+        let Some(FaultEvent::DegradeEnd { node: 0 }) = driver.pop_due(Cycles::MAX) else {
+            panic!("restore of the first window pops before the second start");
+        };
+        let Some(FaultEvent::Fault(second)) = driver.pop_due(Cycles::MAX) else {
+            panic!("second degrade start");
+        };
+        assert_eq!(second.start, Cycles::new(200));
+        let Some(FaultEvent::DegradeEnd { node: 0 }) = driver.pop_due(Cycles::MAX) else {
+            panic!("restore of the second window");
+        };
+        let tally = driver.finish();
+        assert_eq!(tally.degrades, 2);
+        assert_eq!(tally.node_degraded_time[0], Cycles::new(200));
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! The priced cluster interconnect: what moving checkpointed context
+//! between nodes costs.
+//!
+//! PR 6's recovery path re-dispatches salvaged tasks for free — the crash
+//! already paid the data loss, and the restore DMA is priced by the
+//! engine's [`npu_sim::CheckpointModel`]. Proactive *migration* is
+//! different: evacuating a live task off a straggler ships its checkpoint
+//! context across the cluster fabric, and whether the move beats staying
+//! depends directly on how expensive that shipment is. [`InterconnectConfig`]
+//! is the deliberately simple deterministic model the migration arbiter
+//! prices against: every ordered node pair is a link with a fixed
+//! propagation latency and a fixed bandwidth, and a transfer of `bytes`
+//! costs `latency + ceil(bytes / bytes_per_cycle)` cycles. Integer
+//! arithmetic only, so the bit-identity contract extends over priced
+//! transfers.
+
+use serde::{Deserialize, Serialize};
+
+use npu_sim::Cycles;
+
+/// The deterministic interconnect cost model: uniform per-link latency and
+/// bandwidth over all node pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterconnectConfig {
+    /// Fixed per-transfer propagation latency, in cycles. Paid once per
+    /// migration regardless of size — this is the term that makes tiny
+    /// checkpoints not free to move.
+    pub latency_cycles: u64,
+    /// Link bandwidth, in checkpoint bytes moved per cycle. The serialization
+    /// term of a transfer is `ceil(bytes / bytes_per_cycle)`.
+    pub bytes_per_cycle: u64,
+}
+
+impl InterconnectConfig {
+    /// A paper-scale default: 2 µs-class propagation (2 000 cycles at the
+    /// reproduction's 0.5 ns cycle) and 16 bytes per cycle — a PCIe-class
+    /// fabric next to the NPU's local checkpoint DMA.
+    pub fn paper_default() -> Self {
+        InterconnectConfig {
+            latency_cycles: 2_000,
+            bytes_per_cycle: 16,
+        }
+    }
+
+    /// The cost of moving `bytes` of checkpoint context over one link:
+    /// `latency + ceil(bytes / bytes_per_cycle)` cycles. The model is
+    /// uniform, so the cost depends only on the payload, not on which pair
+    /// of nodes the transfer connects.
+    pub fn transfer_cycles(&self, bytes: u64) -> Cycles {
+        let serialization = bytes.div_ceil(self.bytes_per_cycle.max(1));
+        Cycles::new(self.latency_cycles.saturating_add(serialization))
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bytes_per_cycle == 0 {
+            return Err("interconnect bandwidth must be at least one byte per cycle".into());
+        }
+        if self.latency_cycles == 0 {
+            return Err(
+                "interconnect latency must be at least one cycle (a zero-latency transfer \
+                 would deliver a migration at its own decision instant)"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_is_latency_plus_ceil_serialization() {
+        let link = InterconnectConfig {
+            latency_cycles: 100,
+            bytes_per_cycle: 16,
+        };
+        assert_eq!(link.transfer_cycles(0), Cycles::new(100));
+        assert_eq!(link.transfer_cycles(1), Cycles::new(101));
+        assert_eq!(link.transfer_cycles(16), Cycles::new(101));
+        assert_eq!(link.transfer_cycles(17), Cycles::new(102));
+        assert_eq!(link.transfer_cycles(1_024), Cycles::new(164));
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_links() {
+        assert!(InterconnectConfig::paper_default().validate().is_ok());
+        let zero_bw = InterconnectConfig {
+            bytes_per_cycle: 0,
+            ..InterconnectConfig::paper_default()
+        };
+        assert!(zero_bw.validate().is_err());
+        let zero_latency = InterconnectConfig {
+            latency_cycles: 0,
+            ..InterconnectConfig::paper_default()
+        };
+        assert!(zero_latency.validate().is_err());
+    }
+}

@@ -40,10 +40,17 @@
 //!   node idle and SLA-aware admission shedding.
 //! * [`faults`] — node fault injection for the closed-loop path: a
 //!   [`prema_workload::FaultSchedule`] crashes (salvaging resident work at
-//!   its last checkpoint commit point) or freezes nodes mid-run, and a
+//!   its last checkpoint commit point), freezes, or *degrades* nodes
+//!   mid-run (a straggler window at a fractional clock), and a
 //!   [`RecoveryConfig`] governs re-dispatch — retry budget, exponential
 //!   backoff, failure-aware dispatch cooldown, and checkpoint-priced resume
 //!   versus the restart-from-zero baseline.
+//! * [`interconnect`] + [`migration`] — the straggler answer: a priced
+//!   cluster fabric (`latency + ceil(bytes / bandwidth)`) and a deadline
+//!   monitor that, when a started task's predicted completion slips past
+//!   its SLA, compares stay-vs-move cost and evacuates the task's
+//!   checkpoint context to a healthier node, with hysteresis and a
+//!   per-node budget preventing thrash.
 //! * [`metrics`] — cluster-wide ANTT/STP, queueing-delay vs service-time
 //!   breakdown, p50/p95/p99 turnaround tails, Figure 13-style SLA curves,
 //!   per-node utilization, and the deterministic outcome digest the bench
@@ -78,13 +85,17 @@ pub mod cluster;
 pub mod dispatch;
 mod event_heap;
 pub mod faults;
+pub mod interconnect;
 pub mod metrics;
+pub mod migration;
 pub mod online;
 
 pub use cluster::{ClusterConfig, ClusterOutcome, ClusterSimulator, NodeAssignment};
 pub use dispatch::{DispatchPolicy, Dispatcher};
 pub use faults::{ClusterFaultPlan, RecoveryConfig, RecoveryRecord};
+pub use interconnect::InterconnectConfig;
 pub use metrics::{fold_hashes, outcome_hash, ClusterMetrics};
+pub use migration::{MigrationConfig, MigrationRecord};
 pub use online::{
     online_outcome_hash, OnlineClusterConfig, OnlineClusterSimulator, OnlineDispatchPolicy,
     OnlineOutcome, SlaAdmissionConfig,

@@ -63,6 +63,17 @@ pub struct ClusterMetrics {
     /// at every target in [`ClusterMetrics::sla`]; sheds are excluded from
     /// the curve entirely.
     pub abandoned_count: usize,
+    /// Deadline-triggered checkpoint evacuations performed.
+    pub migrations: u64,
+    /// Checkpoint context shipped over the interconnect, in bytes.
+    pub migration_bytes: u64,
+    /// Mean evacuation latency (decision instant until delivery at the
+    /// destination), in milliseconds. Zero when nothing migrated.
+    pub mean_evacuation_ms: f64,
+    /// Fraction of total node-time spent inside a degrade window. Degraded
+    /// nodes are *up* (see [`ClusterMetrics::availability`]) — this tracks
+    /// how much of the provisioned capacity ran at reduced speed.
+    pub degraded_fraction: f64,
 }
 
 impl ClusterMetrics {
@@ -111,6 +122,10 @@ impl ClusterMetrics {
                 goodput: 0.0,
                 shed_count: 0,
                 abandoned_count: 0,
+                migrations: 0,
+                migration_bytes: 0,
+                mean_evacuation_ms: 0.0,
+                degraded_fraction: 0.0,
             };
         }
 
@@ -147,6 +162,10 @@ impl ClusterMetrics {
             goodput,
             shed_count: 0,
             abandoned_count: 0,
+            migrations: 0,
+            migration_bytes: 0,
+            mean_evacuation_ms: 0.0,
+            degraded_fraction: 0.0,
         }
     }
 
@@ -166,6 +185,18 @@ impl ClusterMetrics {
         if provisioned > 0.0 {
             let downtime: Cycles = outcome.node_downtime.iter().copied().sum();
             metrics.availability = (1.0 - downtime.get() as f64 / provisioned).max(0.0);
+            let degraded: Cycles = outcome.node_degraded_time.iter().copied().sum();
+            metrics.degraded_fraction = (degraded.get() as f64 / provisioned).min(1.0);
+        }
+        metrics.migrations = outcome.migrations;
+        metrics.migration_bytes = outcome.migration_bytes;
+        if !outcome.migration_log.is_empty() {
+            let total_ms: f64 = outcome
+                .migration_log
+                .iter()
+                .map(|record| npu.cycles_to_millis(record.arrive_at - record.at))
+                .sum();
+            metrics.mean_evacuation_ms = total_ms / outcome.migration_log.len() as f64;
         }
         if !outcome.abandoned.is_empty() {
             let mut outcomes = outcomes_of(&outcome.cluster.merged_records());

@@ -1,0 +1,419 @@
+//! Deadline-triggered checkpoint migration: evacuating started tasks off
+//! straggler nodes over the priced interconnect.
+//!
+//! PR 6's fault tolerance reacts to nodes that *die*; this module reacts to
+//! nodes that merely *slow down* (the degrade windows of
+//! [`prema_workload::FaultKind::Degrade`]). Work stealing cannot help a
+//! straggler's started tasks — stealing moves only never-started work — but
+//! the engine's checkpoint machinery can:
+//! [`prema_core::SimSession::checkpoint_out`] extracts a started resident
+//! at its last `GEMM_OP` commit point, the voluntary twin of crash salvage,
+//! and [`prema_core::SimSession::inject_salvaged`] restores it elsewhere
+//! for exactly the restore-DMA price the paper's CHECKPOINT mechanism
+//! defines.
+//!
+//! The crate-private `MigrationDriver` is — like the fault driver — one
+//! shared decision machine both closed-loop drivers consume, so the
+//! heap-vs-reference bit-identity contract extends over migration by
+//! construction. At every global synchronization instant it runs a
+//! *migration round*:
+//!
+//! 1. **Deadline check.** Per source node, residents are walked in the
+//!    preemptive scheduler's drain order (priority, then arrival, then id);
+//!    each task's predicted completion is the node clock plus the
+//!    *clock-scaled* wall time of the backlog at or ahead of it. The first
+//!    started task whose prediction slips past `arrival + sla + margin` is
+//!    the evacuation candidate.
+//! 2. **Stay-vs-move pricing.** Staying costs the scaled wall time of the
+//!    candidate's backlog on the straggler. Moving to a target costs the
+//!    interconnect transfer of its `live_checkpoint_bytes`
+//!    ([`crate::InterconnectConfig::transfer_cycles`]), plus the restore
+//!    DMA ([`npu_sim::CheckpointModel`]), plus the scaled wall time of the
+//!    target's blocking work ahead of the newcomer. The cheapest healthy
+//!    target wins, ties to the lowest index.
+//! 3. **Hysteresis and budget.** The move must beat staying by the
+//!    configured hysteresis factor, and each source node may initiate at
+//!    most `node_budget` evacuations per run — together these prevent
+//!    migration thrash when every node is slow.
+//!
+//! A decided migration extracts the task immediately and schedules its
+//! *delivery* (`decision instant + transfer time`) on an in-flight heap;
+//! the loops treat deliveries as arrival events at the destination, global
+//! synchronization points exactly like fault instants.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use npu_sim::{CheckpointModel, Cycles, NpuConfig};
+use prema_core::{ResidentTask, SalvagedTask, SimSession, TaskId};
+
+use crate::interconnect::InterconnectConfig;
+
+/// Configuration of deadline-triggered checkpoint migration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationConfig {
+    /// The per-task turnaround SLA, in milliseconds: each task's deadline is
+    /// its arrival plus this (plus the margin).
+    pub sla_ms: f64,
+    /// Slack past the SLA before the arbiter reacts, in milliseconds — a
+    /// prediction has to slip *this far* beyond the target to trigger the
+    /// stay-vs-move comparison.
+    pub margin_ms: f64,
+    /// The move must beat staying by this factor
+    /// (`move_cost * hysteresis < stay_cost`) before the task is evacuated.
+    /// 1.0 migrates on any predicted win; higher values demand a clearer
+    /// one.
+    pub hysteresis: f64,
+    /// Maximum number of evacuations each source node may initiate per run —
+    /// the thrash bound.
+    pub node_budget: u32,
+    /// The interconnect the checkpoint context travels over.
+    pub interconnect: InterconnectConfig,
+}
+
+impl MigrationConfig {
+    /// A migration policy answering the given SLA: half-millisecond margin,
+    /// 1.25x hysteresis, eight evacuations per node, paper-default fabric.
+    pub fn new(sla_ms: f64) -> Self {
+        MigrationConfig {
+            sla_ms,
+            margin_ms: 0.5,
+            hysteresis: 1.25,
+            node_budget: 8,
+            interconnect: InterconnectConfig::paper_default(),
+        }
+    }
+
+    /// Replaces the hysteresis factor.
+    pub fn with_hysteresis(mut self, hysteresis: f64) -> Self {
+        self.hysteresis = hysteresis;
+        self
+    }
+
+    /// Replaces the per-node evacuation budget.
+    pub fn with_node_budget(mut self, node_budget: u32) -> Self {
+        self.node_budget = node_budget;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.sla_ms.is_finite() || self.sla_ms <= 0.0 {
+            return Err("migration SLA must be positive and finite".into());
+        }
+        if !self.margin_ms.is_finite() || self.margin_ms < 0.0 {
+            return Err("migration margin must be non-negative and finite".into());
+        }
+        if !self.hysteresis.is_finite() || self.hysteresis < 1.0 {
+            return Err("migration hysteresis must be at least 1.0 and finite".into());
+        }
+        self.interconnect.validate()
+    }
+}
+
+/// One completed evacuation decision — a hop in a task's migration history.
+/// Logged at the *decision* instant; the task reaches its destination at
+/// [`MigrationRecord::arrive_at`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// The evacuated task.
+    pub task: TaskId,
+    /// The straggler it was extracted from.
+    pub from_node: usize,
+    /// The node it was shipped to.
+    pub to_node: usize,
+    /// The live checkpoint context that travelled, in bytes.
+    pub bytes: u64,
+    /// When the arbiter decided (and the checkpoint was taken).
+    pub at: Cycles,
+    /// When the task lands at the destination (`at` plus the interconnect
+    /// transfer time).
+    pub arrive_at: Cycles,
+}
+
+/// A checkpointed task in flight over the interconnect.
+#[derive(Debug)]
+pub(crate) struct PendingMigration {
+    due: Cycles,
+    /// Tie-break for identical delivery instants: decision order.
+    seq: u64,
+    pub(crate) salvage: SalvagedTask,
+    pub(crate) to_node: usize,
+}
+
+impl PartialEq for PendingMigration {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+
+impl Eq for PendingMigration {}
+
+impl PartialOrd for PendingMigration {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PendingMigration {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// Everything the migration machinery contributes to an
+/// [`crate::OnlineOutcome`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct MigrationTally {
+    pub(crate) migrations: u64,
+    pub(crate) migration_bytes: u64,
+    pub(crate) migration_log: Vec<MigrationRecord>,
+}
+
+/// The shared migration decision machine both closed-loop drivers consume
+/// (see the module docs): the deadline monitor, the stay-vs-move arbiter,
+/// the in-flight transfer heap and the outcome tally. Every method must be
+/// called with all sessions materialized at the decision instant — the
+/// loops' global synchronization points.
+#[derive(Debug)]
+pub(crate) struct MigrationDriver<'a> {
+    config: &'a MigrationConfig,
+    checkpoint: CheckpointModel,
+    /// `sla + margin`, in cycles: each task's deadline is its arrival plus
+    /// this.
+    deadline_offset: Cycles,
+    pending: BinaryHeap<Reverse<PendingMigration>>,
+    seq: u64,
+    budget_used: Vec<u32>,
+    /// Scratch for one source node's resident scan.
+    residents: Vec<ResidentTask>,
+    tally: MigrationTally,
+}
+
+impl<'a> MigrationDriver<'a> {
+    pub(crate) fn new(config: &'a MigrationConfig, npu: &NpuConfig, nodes: usize) -> Self {
+        MigrationDriver {
+            config,
+            checkpoint: CheckpointModel::new(npu),
+            deadline_offset: npu.millis_to_cycles(config.sla_ms + config.margin_ms),
+            pending: BinaryHeap::new(),
+            seq: 0,
+            budget_used: vec![0; nodes],
+            residents: Vec::new(),
+            tally: MigrationTally::default(),
+        }
+    }
+
+    /// The delivery instant of the earliest in-flight migration, if any.
+    pub(crate) fn next_due(&self) -> Option<Cycles> {
+        self.pending.peek().map(|Reverse(p)| p.due)
+    }
+
+    /// Pops the next delivery due at or before `t` (the loop injects the
+    /// salvage at the destination).
+    pub(crate) fn pop_due(&mut self, t: Cycles) -> Option<PendingMigration> {
+        if self.next_due().is_some_and(|due| due <= t) {
+            let Reverse(pending) = self.pending.pop().expect("peeked entry");
+            return Some(pending);
+        }
+        None
+    }
+
+    /// One migration round at global instant `t` over sessions all
+    /// materialized at `t`: per source node in index order, find the first
+    /// deadline-blown started task in drain order, price stay-vs-move, and
+    /// (budget and hysteresis permitting) extract it and put it in flight.
+    /// At most one evacuation per source per round.
+    pub(crate) fn round(&mut self, sessions: &mut [SimSession], t: Cycles) {
+        for from in 0..sessions.len() {
+            if sessions[from].stalled_until().is_some()
+                || self.budget_used[from] >= self.config.node_budget
+            {
+                continue;
+            }
+            let Some((id, priority, remaining, stay)) = self.deadline_candidate(&sessions[from])
+            else {
+                continue;
+            };
+            let (_, bytes) = sessions[from]
+                .checkpoint_preview(id)
+                .expect("a started resident is checkpointable");
+            let transfer = self.config.interconnect.transfer_cycles(bytes);
+            let restore = self.checkpoint.restore_cycles(bytes);
+            // The cheapest healthy target: transfer + restore + the scaled
+            // wall time of the work that outranks the newcomer there. Ties
+            // break to the lowest index.
+            let mut best: Option<(Cycles, usize)> = None;
+            for (to, target) in sessions.iter().enumerate() {
+                if to == from || target.stalled_until().is_some() {
+                    continue;
+                }
+                let queue = target.predicted_blocking_work(priority) + remaining;
+                let move_cost = transfer + restore + target.scaled_wall_for_work(queue);
+                if best.is_none_or(|(cost, _)| move_cost < cost) {
+                    best = Some((move_cost, to));
+                }
+            }
+            let Some((move_cost, to)) = best else {
+                continue;
+            };
+            if move_cost.get() as f64 * self.config.hysteresis >= stay.get() as f64 {
+                continue;
+            }
+            let salvage = sessions[from]
+                .checkpoint_out(id)
+                .expect("the previewed task is still checkpointable");
+            self.budget_used[from] += 1;
+            let due = t + transfer;
+            self.tally.migrations += 1;
+            self.tally.migration_bytes += bytes;
+            self.tally.migration_log.push(MigrationRecord {
+                task: id,
+                from_node: from,
+                to_node: to,
+                bytes,
+                at: t,
+                arrive_at: due,
+            });
+            self.pending.push(Reverse(PendingMigration {
+                due,
+                seq: self.seq,
+                salvage,
+                to_node: to,
+            }));
+            self.seq += 1;
+        }
+    }
+
+    /// The deadline monitor over one source node: walks residents in drain
+    /// order accumulating the backlog; the first *started* task whose
+    /// clock-scaled predicted completion slips past `arrival + sla + margin`
+    /// is the candidate. Returns `(id, priority, estimated remaining, stay
+    /// cost)` — the stay cost is the scaled wall time of everything at or
+    /// ahead of the candidate.
+    fn deadline_candidate(
+        &mut self,
+        session: &SimSession,
+    ) -> Option<(TaskId, prema_core::Priority, Cycles, Cycles)> {
+        self.residents.clear();
+        session.resident_tasks_into(&mut self.residents);
+        self.residents
+            .sort_by_key(|r| (Reverse(r.priority), r.arrival, r.id));
+        let now = session.now();
+        let mut backlog = Cycles::ZERO;
+        for resident in &self.residents {
+            backlog += resident.estimated_remaining();
+            if !resident.started {
+                continue;
+            }
+            let stay = session.scaled_wall_for_work(backlog);
+            if now + stay > resident.arrival + self.deadline_offset {
+                return Some((
+                    resident.id,
+                    resident.priority,
+                    resident.estimated_remaining(),
+                    stay,
+                ));
+            }
+        }
+        None
+    }
+
+    /// Consumes the driver into its outcome tally.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts every in-flight migration was delivered.
+    pub(crate) fn finish(self) -> MigrationTally {
+        debug_assert!(self.pending.is_empty(), "no migration left in flight");
+        self.tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_covers_every_field() {
+        assert!(MigrationConfig::new(8.0).validate().is_ok());
+        let bad = [
+            MigrationConfig {
+                sla_ms: 0.0,
+                ..MigrationConfig::new(8.0)
+            },
+            MigrationConfig {
+                sla_ms: f64::NAN,
+                ..MigrationConfig::new(8.0)
+            },
+            MigrationConfig {
+                margin_ms: -0.1,
+                ..MigrationConfig::new(8.0)
+            },
+            MigrationConfig {
+                hysteresis: 0.9,
+                ..MigrationConfig::new(8.0)
+            },
+            MigrationConfig {
+                hysteresis: f64::INFINITY,
+                ..MigrationConfig::new(8.0)
+            },
+            MigrationConfig {
+                interconnect: InterconnectConfig {
+                    bytes_per_cycle: 0,
+                    ..InterconnectConfig::paper_default()
+                },
+                ..MigrationConfig::new(8.0)
+            },
+        ];
+        for config in bad {
+            assert!(config.validate().is_err(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn in_flight_heap_orders_by_due_then_decision_order() {
+        use dnn_models::ModelKind;
+        use prema_core::{PreparedTask, TaskRequest};
+        let npu = NpuConfig::paper_default();
+        let config = MigrationConfig::new(8.0);
+        let mut driver = MigrationDriver::new(&config, &npu, 2);
+        let salvage = |id: u64| SalvagedTask {
+            prepared: PreparedTask::prepare(
+                TaskRequest::new(TaskId(id), ModelKind::CnnAlexNet),
+                &npu,
+            ),
+            resume_executed: Cycles::ZERO,
+            checkpoint_bytes: 0,
+            first_start: None,
+            preemption_count: 0,
+            kill_restarts: 0,
+            checkpoint_overhead: Cycles::ZERO,
+            restore_overhead: Cycles::ZERO,
+            max_checkpoint_bytes: 0,
+        };
+        for (due, id) in [(500u64, 1u64), (300, 2), (500, 3)] {
+            driver.pending.push(Reverse(PendingMigration {
+                due: Cycles::new(due),
+                seq: driver.seq,
+                salvage: salvage(id),
+                to_node: 0,
+            }));
+            driver.seq += 1;
+        }
+        assert_eq!(driver.next_due(), Some(Cycles::new(300)));
+        assert!(driver.pop_due(Cycles::new(299)).is_none());
+        let order: Vec<u64> = std::iter::from_fn(|| driver.pop_due(Cycles::MAX))
+            .map(|p| p.salvage.prepared.request.id.0)
+            .collect();
+        assert_eq!(order, vec![2, 1, 3]);
+        let tally = driver.finish();
+        assert_eq!(tally.migrations, 0);
+    }
+}

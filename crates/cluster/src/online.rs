@@ -58,6 +58,21 @@
 //! fraction). Recoveries bypass admission — the task was already admitted
 //! once, and re-shedding it would double-count the decision.
 //!
+//! A fourth mechanism, **straggler tolerance**
+//! ([`OnlineClusterConfig::with_migration`]), answers *degrade* windows —
+//! nodes that stay up but run at a fractional clock
+//! ([`prema_core::SimSession::set_clock_scale`]). A deadline monitor
+//! re-checks per-task completion predictions at every global
+//! synchronization point; when a started task's prediction slips past its
+//! SLA-derived deadline, a stay-vs-move arbiter prices evacuation over the
+//! [`crate::InterconnectConfig`] fabric (checkpoint transfer plus restore
+//! DMA plus queueing at the target, against the scaled remaining time on
+//! the straggler) and, hysteresis and budget permitting, extracts the task at
+//! its last checkpoint commit point
+//! ([`prema_core::SimSession::checkpoint_out`]) and ships it — in-flight
+//! tasks land as arrival events at the destination. See [`crate::migration`]'s
+//! module docs for the full decision pipeline.
+//!
 //! Both the open- and closed-loop paths produce a [`ClusterOutcome`], so
 //! [`crate::metrics::ClusterMetrics`] and the deterministic
 //! [`crate::metrics::outcome_hash`] apply to either; the closed-loop extras
@@ -81,6 +96,7 @@ use prema_workload::FaultKind;
 use crate::cluster::{ClusterOutcome, NodeAssignment};
 use crate::faults::{ClusterFaultPlan, FaultDriver, FaultEvent, FaultTally, RecoveryRecord};
 use crate::metrics::fold_hashes;
+use crate::migration::{MigrationConfig, MigrationDriver, MigrationRecord, MigrationTally};
 
 /// Which live-state signal the closed-loop dispatcher minimizes at each
 /// arrival. These mirror the open-loop policies of
@@ -145,6 +161,9 @@ pub struct OnlineClusterConfig {
     pub admission: Option<SlaAdmissionConfig>,
     /// Optional node fault injection and the recovery policy answering it.
     pub faults: Option<ClusterFaultPlan>,
+    /// Optional deadline-triggered checkpoint migration (the straggler
+    /// answer — see [`crate::MigrationConfig`]).
+    pub migration: Option<MigrationConfig>,
 }
 
 impl OnlineClusterConfig {
@@ -159,6 +178,7 @@ impl OnlineClusterConfig {
             work_stealing: false,
             admission: None,
             faults: None,
+            migration: None,
         }
     }
 
@@ -177,6 +197,13 @@ impl OnlineClusterConfig {
     /// Injects the given fault plan into the run's global timeline.
     pub fn with_faults(mut self, faults: ClusterFaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Enables deadline-triggered checkpoint migration under the given
+    /// policy.
+    pub fn with_migration(mut self, migration: MigrationConfig) -> Self {
+        self.migration = Some(migration);
         self
     }
 
@@ -210,6 +237,12 @@ impl OnlineClusterConfig {
                 ));
             }
         }
+        if let Some(migration) = &self.migration {
+            migration.validate()?;
+            if self.nodes < 2 {
+                return Err("migration needs at least two nodes (there is nowhere to move)".into());
+            }
+        }
         Ok(())
     }
 }
@@ -241,6 +274,17 @@ pub struct OnlineOutcome {
     pub recovery_log: Vec<RecoveryRecord>,
     /// Per-node total fault-window downtime.
     pub node_downtime: Vec<Cycles>,
+    /// Number of degrade windows that began (straggler intervals — the node
+    /// stayed up at a fractional clock, so these contribute no downtime).
+    pub degrades: u64,
+    /// Per-node total time spent inside degrade windows.
+    pub node_degraded_time: Vec<Cycles>,
+    /// Number of deadline-triggered checkpoint migrations performed.
+    pub migrations: u64,
+    /// Total checkpoint context moved over the interconnect, in bytes.
+    pub migration_bytes: u64,
+    /// Every migration hop, in decision order.
+    pub migration_log: Vec<MigrationRecord>,
 }
 
 impl OnlineOutcome {
@@ -253,7 +297,11 @@ impl OnlineOutcome {
     /// False for fault-free runs *and* for runs configured with an empty
     /// (or never-triggering) schedule, keeping their digests identical.
     pub fn has_fault_activity(&self) -> bool {
-        self.crashes > 0 || self.freezes > 0 || self.recoveries > 0 || !self.abandoned.is_empty()
+        self.crashes > 0
+            || self.freezes > 0
+            || self.degrades > 0
+            || self.recoveries > 0
+            || !self.abandoned.is_empty()
     }
 }
 
@@ -262,7 +310,11 @@ impl OnlineOutcome {
 /// shed request IDs and the steal count. When fault machinery fired
 /// ([`OnlineOutcome::has_fault_activity`]) the fold extends over the
 /// abandoned IDs, the fault counters, every recovery hop and the per-node
-/// downtime; fault-free runs keep the historical digest byte-for-byte.
+/// downtime; when degrade windows fired it further extends over the degrade
+/// tally, and when migrations fired over the migration tally and every
+/// migration hop. Each extension is gated on its own activity, so runs
+/// predating a mechanism (and runs where it never triggers) keep their
+/// historical digests byte-for-byte.
 pub fn online_outcome_hash(outcome: &OnlineOutcome) -> u64 {
     let mut parts: Vec<u64> = vec![crate::metrics::outcome_hash(&outcome.cluster)];
     parts.extend(outcome.shed.iter().map(|request| request.id.0));
@@ -281,6 +333,23 @@ pub fn online_outcome_hash(outcome: &OnlineOutcome) -> u64 {
             ]);
         }
         parts.extend(outcome.node_downtime.iter().map(|downtime| downtime.get()));
+    }
+    if outcome.degrades > 0 {
+        parts.push(outcome.degrades);
+        parts.extend(outcome.node_degraded_time.iter().map(|time| time.get()));
+    }
+    if outcome.migrations > 0 {
+        parts.extend([outcome.migrations, outcome.migration_bytes]);
+        for record in &outcome.migration_log {
+            parts.extend([
+                record.task.0,
+                record.from_node as u64,
+                record.to_node as u64,
+                record.bytes,
+                record.at.get(),
+                record.arrive_at.get(),
+            ]);
+        }
     }
     fold_hashes(parts)
 }
@@ -366,6 +435,11 @@ impl OnlineClusterSimulator {
             .faults
             .as_ref()
             .map(|plan| FaultDriver::new(plan, &self.config.npu, self.config.nodes));
+        let mut migration = self
+            .config
+            .migration
+            .as_ref()
+            .map(|config| MigrationDriver::new(config, &self.config.npu, self.config.nodes));
 
         for &i in &order {
             let task = &tasks[i];
@@ -373,6 +447,7 @@ impl OnlineClusterSimulator {
             self.drain_fault_events(
                 &mut sessions,
                 &mut driver,
+                &mut migration,
                 now,
                 &mut steals,
                 &mut assignments,
@@ -380,6 +455,7 @@ impl OnlineClusterSimulator {
             );
             self.advance_to(
                 &mut sessions,
+                &mut migration,
                 now,
                 &mut steals,
                 &mut assignments,
@@ -402,12 +478,14 @@ impl OnlineClusterSimulator {
                 .expect("arrival ids are unique");
         }
 
-        // Play out the remaining fault timeline (crashes spawn recoveries
-        // that re-enter it), then drain every node (still stealing at each
-        // completion bound).
+        // Play out the remaining fault/migration timeline (crashes spawn
+        // recoveries that re-enter it, migration rounds put new transfers
+        // in flight), then drain every node (still stealing and migrating
+        // at each completion bound).
         self.drain_fault_events(
             &mut sessions,
             &mut driver,
+            &mut migration,
             Cycles::MAX,
             &mut steals,
             &mut assignments,
@@ -415,6 +493,7 @@ impl OnlineClusterSimulator {
         );
         self.advance_to(
             &mut sessions,
+            &mut migration,
             Cycles::MAX,
             &mut steals,
             &mut assignments,
@@ -427,68 +506,105 @@ impl OnlineClusterSimulator {
             shed,
             steals,
             driver.map(FaultDriver::finish),
+            migration.map(MigrationDriver::finish),
         )
     }
 
-    /// Processes every fault-timeline event due at or before `limit`, in
-    /// timeline order: advance the cluster to the event instant, then fail
-    /// (crash), stall (freeze) or re-dispatch (due recovery). Crashes push
-    /// their salvage manifests back into the driver, so the timeline grows
-    /// while it drains; the retry budget bounds it.
+    /// Processes every fault- and migration-timeline event due at or before
+    /// `limit`, in timeline order: advance the cluster to the event
+    /// instant, then fail (crash), stall (freeze), scale (degrade start /
+    /// end), re-dispatch (due recovery) or deliver (due migration). Each
+    /// instant ends with a migration round over the synchronized cluster.
+    /// Crashes push their salvage manifests back into the fault driver and
+    /// migration rounds put new transfers in flight, so the timeline grows
+    /// while it drains; the retry and per-node migration budgets bound it.
     #[allow(clippy::too_many_arguments)]
     fn drain_fault_events(
         &self,
         sessions: &mut [SimSession],
         driver: &mut Option<FaultDriver<'_>>,
+        migration: &mut Option<MigrationDriver<'_>>,
         limit: Cycles,
         steals: &mut u64,
         assignments: &mut [NodeAssignment],
         assignment_index: &HashMap<TaskId, usize>,
     ) {
-        let Some(driver) = driver.as_mut() else {
-            return;
-        };
-        while let Some(t) = driver.next_event_time().filter(|&t| t <= limit) {
-            self.advance_to(sessions, t, steals, assignments, assignment_index);
-            while let Some(event) = driver.pop_due(t) {
-                match event {
-                    FaultEvent::Fault(fault) => {
-                        if fault.kind == FaultKind::Crash {
-                            let salvaged = sessions[fault.node].fail();
-                            driver.on_salvaged(fault.node, t, salvaged);
-                        }
-                        sessions[fault.node].stall(fault.end);
-                    }
-                    FaultEvent::Recovery(pending) => {
-                        let node =
-                            self.pick_node(sessions, &pending.salvage.prepared, Some(driver), t);
-                        let salvage = driver.redispatch(pending, node, t);
-                        let id = salvage.prepared.request.id;
-                        sessions[node]
-                            .inject_salvaged(salvage, t)
-                            .expect("salvaged task id is not live");
-                        if let Some(&slot) = assignment_index.get(&id) {
-                            assignments[slot].node = node;
+        loop {
+            let fault_next = driver.as_ref().and_then(FaultDriver::next_event_time);
+            let migration_next = migration.as_ref().and_then(MigrationDriver::next_due);
+            let Some(t) = [fault_next, migration_next]
+                .into_iter()
+                .flatten()
+                .min()
+                .filter(|&t| t <= limit)
+            else {
+                return;
+            };
+            self.advance_to(
+                sessions,
+                migration,
+                t,
+                steals,
+                assignments,
+                assignment_index,
+            );
+            if let Some(driver) = driver.as_mut() {
+                while let Some(event) = driver.pop_due(t) {
+                    match event {
+                        FaultEvent::Fault(fault) => match fault.kind {
+                            FaultKind::Crash => {
+                                let salvaged = sessions[fault.node].fail();
+                                driver.on_salvaged(fault.node, t, salvaged);
+                                sessions[fault.node].stall(fault.end);
+                            }
+                            FaultKind::Freeze => sessions[fault.node].stall(fault.end),
+                            FaultKind::Degrade {
+                                speed_num,
+                                speed_den,
+                            } => sessions[fault.node].set_clock_scale(speed_num, speed_den),
+                        },
+                        FaultEvent::DegradeEnd { node } => sessions[node].set_clock_scale(1, 1),
+                        FaultEvent::Recovery(pending) => {
+                            let node = self.pick_node(
+                                sessions,
+                                &pending.salvage.prepared,
+                                Some(driver),
+                                t,
+                            );
+                            let salvage = driver.redispatch(pending, node, t);
+                            let id = salvage.prepared.request.id;
+                            sessions[node]
+                                .inject_salvaged(salvage, t)
+                                .expect("salvaged task id is not live");
+                            if let Some(&slot) = assignment_index.get(&id) {
+                                assignments[slot].node = node;
+                            }
                         }
                     }
                 }
             }
+            if let Some(migration) = migration.as_mut() {
+                deliver_due_migrations(migration, sessions, t, assignments, assignment_index);
+                migration.round(sessions, t);
+            }
         }
     }
 
-    /// Advances every node to `t`. With work stealing enabled, execution is
-    /// stepped to every completion bound on the way, so a node that drains
-    /// between arrivals steals at its drain moment rather than at the next
-    /// arrival.
+    /// Advances every node to `t`. With work stealing or migration enabled,
+    /// execution is stepped to every completion bound (and every in-flight
+    /// migration delivery) on the way, so a node that drains between
+    /// arrivals steals at its drain moment — and a deadline that slips at a
+    /// completion is caught there — rather than at the next arrival.
     fn advance_to(
         &self,
         sessions: &mut [SimSession],
+        migration: &mut Option<MigrationDriver<'_>>,
         t: Cycles,
         steals: &mut u64,
         assignments: &mut [NodeAssignment],
         assignment_index: &HashMap<TaskId, usize>,
     ) {
-        if !self.config.work_stealing {
+        if !self.config.work_stealing && migration.is_none() {
             for session in sessions.iter_mut() {
                 let _ = session.run_until(t);
             }
@@ -502,14 +618,38 @@ impl OnlineClusterSimulator {
                 .iter()
                 .filter_map(SimSession::next_completion_time)
                 .min();
-            let step = match bound {
+            let mut step = match bound {
                 Some(bound) if bound < t => bound,
                 _ => t,
             };
+            // In-flight deliveries strictly before `t` land mid-advance;
+            // one due exactly at `t` belongs to the caller's event batch
+            // (the fault drain processes it after the fault events there).
+            if let Some(due) = migration
+                .as_ref()
+                .and_then(MigrationDriver::next_due)
+                .filter(|&due| due < step)
+            {
+                step = due;
+            }
             for session in sessions.iter_mut() {
                 let _ = session.run_until(step);
             }
-            *steals += steal_onto_idle_nodes(sessions, assignments, assignment_index);
+            if self.config.work_stealing {
+                *steals += steal_onto_idle_nodes(sessions, assignments, assignment_index);
+            }
+            if let Some(migration) = migration.as_mut() {
+                if step < t {
+                    deliver_due_migrations(
+                        migration,
+                        sessions,
+                        step,
+                        assignments,
+                        assignment_index,
+                    );
+                }
+                migration.round(sessions, step);
+            }
             if step == t {
                 return;
             }
@@ -705,8 +845,10 @@ pub(crate) fn finish_outcome(
     shed: Vec<TaskRequest>,
     steals: u64,
     faults: Option<FaultTally>,
+    migration: Option<MigrationTally>,
 ) -> OnlineOutcome {
     let tally = faults.unwrap_or_else(|| FaultTally::empty(sessions.len()));
+    let migration = migration.unwrap_or_default();
     if !shed.is_empty() || !tally.abandoned.is_empty() {
         let dropped: std::collections::HashSet<TaskId> = shed
             .iter()
@@ -729,6 +871,35 @@ pub(crate) fn finish_outcome(
         recoveries: tally.recoveries,
         recovery_log: tally.recovery_log,
         node_downtime: tally.node_downtime,
+        degrades: tally.degrades,
+        node_degraded_time: tally.node_degraded_time,
+        migrations: migration.migrations,
+        migration_bytes: migration.migration_bytes,
+        migration_log: migration.migration_log,
+    }
+}
+
+/// Lands every in-flight migration due at or before `t`: the salvage is
+/// injected at its destination (paying the restore DMA there) and the
+/// task's assignment is rewritten to the new serving node. Shared by the
+/// reference loop and (with a certificate refresh on top) mirrored by the
+/// event-heap loop.
+pub(crate) fn deliver_due_migrations(
+    migration: &mut MigrationDriver<'_>,
+    sessions: &mut [SimSession],
+    t: Cycles,
+    assignments: &mut [NodeAssignment],
+    assignment_index: &HashMap<TaskId, usize>,
+) {
+    while let Some(pending) = migration.pop_due(t) {
+        let node = pending.to_node;
+        let id = pending.salvage.prepared.request.id;
+        sessions[node]
+            .inject_salvaged(pending.salvage, t)
+            .expect("migrated task id is not live");
+        if let Some(&slot) = assignment_index.get(&id) {
+            assignments[slot].node = node;
+        }
     }
 }
 
@@ -1062,6 +1233,150 @@ mod tests {
             assert!(heap.has_fault_activity());
             assert_eq!(heap.crashes + heap.freezes, schedule.len() as u64);
         }
+    }
+
+    #[test]
+    fn degraded_runs_stay_bit_identical_and_lose_no_work() {
+        use prema_workload::FaultProcess;
+        let tasks = prepared(0.8, 60.0, 0x2A1);
+        let mut rng = StdRng::seed_from_u64(0x2B2);
+        // degrade_fraction 1.0 turns every sampled fault into a straggler
+        // window at quarter speed.
+        let schedule = FaultProcess::crashes(3, 20.0, 4.0, 60.0)
+            .with_degradation(1.0, 1, 4)
+            .generate(&mut rng);
+        assert!(!schedule.is_empty(), "the process must actually degrade");
+        let plain = OnlineClusterSimulator::new(OnlineClusterConfig::new(
+            3,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::Predictive,
+        ))
+        .run(&tasks);
+        for stealing in [false, true] {
+            let mut config = OnlineClusterConfig::new(
+                3,
+                SchedulerConfig::paper_default(),
+                OnlineDispatchPolicy::Predictive,
+            )
+            .with_faults(ClusterFaultPlan::new(schedule.clone()));
+            if stealing {
+                config = config.with_work_stealing();
+            }
+            let simulator = OnlineClusterSimulator::new(config);
+            let heap = simulator.run(&tasks);
+            let reference = simulator.run_reference(&tasks);
+            assert_eq!(heap, reference, "stealing {stealing}");
+            assert_eq!(online_outcome_hash(&heap), online_outcome_hash(&reference));
+            // Degradation slows nodes but kills nothing: every request is
+            // still served, the windows are tallied as degrades (not
+            // downtime), and the digest reflects the activity.
+            assert_eq!(heap.served(), tasks.len(), "stealing {stealing}");
+            assert!(heap.abandoned.is_empty());
+            assert_eq!(heap.degrades, schedule.len() as u64);
+            assert_eq!(heap.crashes + heap.freezes, 0);
+            assert!(heap
+                .node_degraded_time
+                .iter()
+                .any(|&time| time > Cycles::ZERO));
+            assert_eq!(
+                heap.node_downtime.iter().copied().sum::<Cycles>(),
+                Cycles::ZERO
+            );
+            assert!(heap.has_fault_activity());
+            if !stealing {
+                assert_ne!(online_outcome_hash(&plain), online_outcome_hash(&heap));
+            }
+        }
+    }
+
+    #[test]
+    fn migration_rescues_stragglers_bit_identically() {
+        use prema_workload::{FaultKind, FaultSchedule, NodeFault};
+        let tasks = prepared(1.5, 40.0, 0x3C1);
+        let npu = NpuConfig::paper_default();
+        // One node limps at an eighth of full speed for most of the run; a
+        // tight SLA with no hysteresis invites the arbiter to evacuate.
+        let schedule = FaultSchedule::from_events(vec![NodeFault {
+            node: 0,
+            start: npu.millis_to_cycles(2.0),
+            end: npu.millis_to_cycles(38.0),
+            kind: FaultKind::Degrade {
+                speed_num: 1,
+                speed_den: 8,
+            },
+        }]);
+        let config = OnlineClusterConfig::new(
+            2,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::Predictive,
+        )
+        .with_faults(ClusterFaultPlan::new(schedule))
+        .with_migration(MigrationConfig::new(4.0).with_hysteresis(1.0));
+        let simulator = OnlineClusterSimulator::new(config);
+        let heap = simulator.run(&tasks);
+        let reference = simulator.run_reference(&tasks);
+        assert_eq!(heap, reference);
+        assert_eq!(online_outcome_hash(&heap), online_outcome_hash(&reference));
+        assert!(
+            heap.migrations > 0,
+            "the straggler window must trigger evacuations"
+        );
+        assert_eq!(heap.migrations as usize, heap.migration_log.len());
+        assert_eq!(
+            heap.migration_bytes,
+            heap.migration_log.iter().map(|r| r.bytes).sum::<u64>()
+        );
+        for record in &heap.migration_log {
+            assert_ne!(record.from_node, record.to_node);
+            assert!(record.arrive_at > record.at, "transfers take time");
+        }
+        // Migration moves work, it never duplicates or loses it: the served
+        // ids are exactly the generated ids, once each, and every migrated
+        // task's final assignment names the node that actually served it.
+        assert_eq!(heap.served(), tasks.len());
+        let mut served: Vec<TaskId> = heap.cluster.merged_records().iter().map(|r| r.id).collect();
+        served.sort_unstable();
+        let mut expected: Vec<TaskId> = tasks.iter().map(|t| t.request.id).collect();
+        expected.sort_unstable();
+        assert_eq!(served, expected);
+        for assignment in &heap.cluster.assignments {
+            let node = &heap.cluster.node_outcomes[assignment.node];
+            assert!(node.record(assignment.task).is_some());
+        }
+    }
+
+    #[test]
+    fn idle_migration_config_is_digest_neutral() {
+        // Enabling migration switches the heap loop to synchronized
+        // bound-stepping; a policy that never fires must not perturb the
+        // outcome or its digest (stepping purity), and the digest must not
+        // grow speculative fields.
+        let tasks = prepared(0.5, 40.0, 0x4D1);
+        let plain = simulator(OnlineDispatchPolicy::Predictive).run(&tasks);
+        let config = OnlineClusterConfig::new(
+            4,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::Predictive,
+        )
+        .with_migration(MigrationConfig::new(1e6));
+        let idle = OnlineClusterSimulator::new(config).run(&tasks);
+        assert_eq!(idle.migrations, 0);
+        assert!(idle.migration_log.is_empty());
+        assert_eq!(plain.cluster, idle.cluster);
+        assert_eq!(online_outcome_hash(&plain), online_outcome_hash(&idle));
+    }
+
+    #[test]
+    #[should_panic(expected = "nowhere to move")]
+    fn migration_needs_a_destination() {
+        let _ = OnlineClusterSimulator::new(
+            OnlineClusterConfig::new(
+                1,
+                SchedulerConfig::paper_default(),
+                OnlineDispatchPolicy::Predictive,
+            )
+            .with_migration(MigrationConfig::new(8.0)),
+        );
     }
 
     #[test]

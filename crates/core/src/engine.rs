@@ -820,6 +820,9 @@ pub enum EngineError {
     TaskCompleted(TaskId),
     /// The task was already revoked (or salvaged) from this session.
     TaskRevoked(TaskId),
+    /// The task has not started executing, so it has no checkpoint to
+    /// extract — revoke it instead ([`SimSession::checkpoint_out`]).
+    TaskNotStarted(TaskId),
 }
 
 impl std::fmt::Display for EngineError {
@@ -834,6 +837,12 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::TaskCompleted(id) => write!(f, "task {id:?} has already completed"),
             EngineError::TaskRevoked(id) => write!(f, "task {id:?} was already revoked"),
+            EngineError::TaskNotStarted(id) => {
+                write!(
+                    f,
+                    "task {id:?} has not started executing (revoke it instead)"
+                )
+            }
         }
     }
 }
@@ -918,6 +927,94 @@ impl ResidentTask {
     /// The predictor's estimate of the task's remaining execution time.
     pub fn estimated_remaining(&self) -> Cycles {
         self.estimated_total - self.executed
+    }
+}
+
+/// Exact integer-rational clock stretching: while a node is degraded to
+/// speed `num / den` (`0 < num <= den`), every elapsed *wall* cycle yields
+/// `num / den` cycles of plan progress (*work*), tracked without rounding
+/// drift through a fractional-work accumulator.
+///
+/// The representation keeps `acc` (work numerator carry, `0 <= acc < den`):
+/// advancing `t` wall cycles yields `(acc + t * num) / den` whole work
+/// cycles with the remainder carried forward. The carry makes conversion
+/// *additive-exact* — converting a wall span in any number of pieces yields
+/// the same total work as converting it at once — which is what lets the
+/// event-horizon fast-forward, the step-every-quantum reference and any
+/// `run_until` horizon sequence stay bit-identical under degradation.
+///
+/// Dually, `wall_needed(w)` is the *minimal* wall span after which exactly
+/// `w` more work cycles have accrued: running exactly that span consumes
+/// exactly `w` work with no overshoot, so completion instants computed from
+/// it are exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ClockScale {
+    num: u32,
+    den: u32,
+    acc: u64,
+}
+
+impl ClockScale {
+    /// Full speed: 1 work cycle per wall cycle, zero carry.
+    fn unit() -> Self {
+        ClockScale {
+            num: 1,
+            den: 1,
+            acc: 0,
+        }
+    }
+
+    fn new(num: u32, den: u32) -> Self {
+        debug_assert!(num > 0 && num <= den, "validated by set_clock_scale");
+        ClockScale { num, den, acc: 0 }
+    }
+
+    fn is_unit(&self) -> bool {
+        self.num == self.den
+    }
+
+    /// Work cycles accrued over `wall` elapsed wall cycles, carrying the
+    /// fractional remainder.
+    fn work_in(&mut self, wall: Cycles) -> Cycles {
+        if self.is_unit() {
+            debug_assert_eq!(self.acc, 0, "unit scale never carries");
+            return wall;
+        }
+        let total = self.acc as u128 + wall.get() as u128 * self.num as u128;
+        let work = total / self.den as u128;
+        self.acc = (total % self.den as u128) as u64;
+        Cycles::new(u64::try_from(work).unwrap_or(u64::MAX))
+    }
+
+    /// Minimal wall span after which exactly `work` more work cycles have
+    /// accrued from the current carry. Non-mutating (a completion-time
+    /// peek).
+    fn wall_needed(&self, work: Cycles) -> Cycles {
+        if self.is_unit() || work.is_zero() {
+            return work;
+        }
+        // Minimal t with acc + t*num >= work*den; acc < den <= work*den.
+        let need = work.get() as u128 * self.den as u128 - self.acc as u128;
+        let wall = need.div_ceil(self.num as u128);
+        Cycles::new(u64::try_from(wall).unwrap_or(u64::MAX))
+    }
+
+    /// Advances the wall clock by exactly [`ClockScale::wall_needed`]`(work)`
+    /// cycles, consuming exactly `work` work cycles; returns that wall span.
+    fn consume_work(&mut self, work: Cycles) -> Cycles {
+        if self.is_unit() {
+            return work;
+        }
+        if work.is_zero() {
+            return Cycles::ZERO;
+        }
+        let need = work.get() as u128 * self.den as u128 - self.acc as u128;
+        let wall = need.div_ceil(self.num as u128);
+        // Residue of the final partially-used wall cycle: in [0, num).
+        let residue = wall * self.num as u128 - need;
+        debug_assert!(residue < self.num as u128, "wall_needed is minimal");
+        self.acc = residue as u64;
+        Cycles::new(u64::try_from(wall).unwrap_or(u64::MAX))
     }
 }
 
@@ -1069,6 +1166,7 @@ impl NpuSimulator {
             now: Cycles::ZERO,
             next_quantum: quantum,
             stall_until: Cycles::ZERO,
+            clock: ClockScale::unit(),
             running: None,
             phase: Phase::Wakeup,
             scheduler_invocations: 0,
@@ -1106,6 +1204,10 @@ pub struct SimSession {
     /// the scheduler is frozen — no wakeups, no dispatches, no execution —
     /// and resident tasks simply accrue waiting time. `ZERO` = not stalled.
     stall_until: Cycles,
+    /// Degraded-node clock stretching (see [`ClockScale`]): wall cycles map
+    /// to plan-progress cycles at `num / den`. Unit unless the cluster's
+    /// fault driver put the node in a degrade window.
+    clock: ClockScale,
     running: Option<usize>,
     phase: Phase,
     scheduler_invocations: u64,
@@ -1299,7 +1401,9 @@ impl SimSession {
             let runtime = &self.state.runtimes[run_idx];
             runtime.cursor.remaining(&runtime.prepared.plan)
         };
-        let completion_time = self.now + remaining;
+        // `remaining` is plan-progress (work); the completion instant is a
+        // wall time, exact under the current clock scale and carry.
+        let completion_time = self.now + self.clock.wall_needed(remaining);
 
         // ---- Event-horizon fast-forward (see the module docs) -----------------
         //
@@ -1327,9 +1431,13 @@ impl SimSession {
                 let periods = span.get().div_ceil(self.quantum.get());
                 let last_boundary = self.next_quantum + self.quantum * (periods - 1);
                 let skip_budget = last_boundary - self.now;
-                let consumed = self.state.advance_cursor(run_idx, skip_budget);
-                debug_assert_eq!(consumed, skip_budget, "horizon is before completion");
-                self.state.accrue(consumed);
+                // Wall budget → work: `work_in` carries the fractional
+                // remainder, so fast-forwarding one long span performs
+                // exactly the conversions of stepping every quantum.
+                let skip_work = self.clock.work_in(skip_budget);
+                let consumed = self.state.advance_cursor(run_idx, skip_work);
+                debug_assert_eq!(consumed, skip_work, "horizon is before completion");
+                self.state.accrue(skip_budget);
                 self.now = last_boundary;
                 self.next_quantum = last_boundary + self.quantum;
                 self.scheduler_invocations += periods;
@@ -1345,9 +1453,15 @@ impl SimSession {
         let t_exec = t_next.min(horizon);
         let budget = t_exec - self.now;
 
-        let consumed = self.state.advance_cursor(run_idx, budget);
-        self.state.accrue(consumed);
-        self.now += consumed;
+        // The wall budget never reaches past `completion_time`, so the
+        // converted work budget never exceeds the cursor's remaining cycles
+        // (`wall_needed` is minimal: strictly less wall yields strictly
+        // less work).
+        let work_budget = self.clock.work_in(budget);
+        let consumed = self.state.advance_cursor(run_idx, work_budget);
+        debug_assert_eq!(consumed, work_budget, "work budget is within the plan");
+        self.state.accrue(budget);
+        self.now += budget;
 
         let finished = {
             let runtime = &self.state.runtimes[run_idx];
@@ -1424,8 +1538,13 @@ impl SimSession {
             let live_bytes = state.runtimes[run_idx].cursor.live_checkpoint_bytes(&plan);
             (boundary, live_bytes)
         };
-        state.accrue(boundary);
-        let mut time = self.now + boundary;
+        // The boundary drain is plan progress, so a degraded clock
+        // stretches it; the checkpoint DMA below is *not* stretched — the
+        // DMA engine runs at full speed even when the compute clock is
+        // throttled.
+        let wall_drain = self.clock.consume_work(boundary);
+        state.accrue(wall_drain);
+        let mut time = self.now + wall_drain;
 
         let checkpoint = self.checkpoint_model.checkpoint_cycles(live_bytes);
         {
@@ -1649,7 +1768,9 @@ impl SimSession {
         let resume = self.now.max(self.stall_until);
         if let Some(run_idx) = self.running {
             let runtime = &self.state.runtimes[run_idx];
-            return Some(resume + runtime.cursor.remaining(&runtime.prepared.plan));
+            let remaining = runtime.cursor.remaining(&runtime.prepared.plan);
+            // Work → wall under the current clock scale (exact carry peek).
+            return Some(resume + self.clock.wall_needed(remaining));
         }
         if !self.state.waiting.is_empty() {
             return Some(resume);
@@ -1695,7 +1816,8 @@ impl SimSession {
             .get(self.next_arrival_idx)
             .map(|&i| self.state.runtimes[i].admit_at.max(resume));
         if let Some(run_idx) = self.running {
-            let run_completion = resume + self.state.plan_remaining(run_idx);
+            let run_completion =
+                resume + self.clock.wall_needed(self.state.plan_remaining(run_idx));
             if !self.sched.preemption.is_preemptive() {
                 // Non-preemptive: nothing can displace the runner, so the
                 // first possible completion is the runner's own.
@@ -1705,6 +1827,10 @@ impl SimSession {
             if let Some(&(min_static, _)) = self.state.static_remaining.first() {
                 // Both wakeup sources are strictly after `now` for a paused
                 // session, so the bound always makes strict progress.
+                // `min_static` is *work* left deliberately unscaled: work
+                // cycles never exceed the wall cycles they take (the scale
+                // is slowdown-only), so the bound stays sound without
+                // guessing the carry at a future dispatch instant.
                 let wakeup = self
                     .next_quantum
                     .max(resume)
@@ -1914,6 +2040,48 @@ impl SimSession {
         (self.now < self.stall_until).then_some(self.stall_until)
     }
 
+    /// Sets the node's clock scale: from now on, every elapsed wall cycle
+    /// yields `num / den` cycles of plan progress — the degraded-node
+    /// (thermal throttle / contention straggler) model. `(1, 1)` restores
+    /// full speed. The fractional-progress carry resets, so call this only
+    /// at the globally synchronized instants the cluster's fault driver
+    /// uses (degrade window edges), where both simulation loops observe the
+    /// same session state.
+    ///
+    /// Scaling stretches *execution* only. Checkpoint and restore DMA, the
+    /// scheduling-quantum lattice and fault stalls stay on the wall clock:
+    /// the DMA engine and the scheduler's timer tick at full speed even
+    /// when the compute clock is throttled.
+    ///
+    /// Bumps the state version: external predicted-turnaround caches rely
+    /// on time-invariance that holds only at unit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < num <= den` (slowdown only — a speed-up would
+    /// break the conservative completion bounds the cluster loops rely on).
+    pub fn set_clock_scale(&mut self, num: u32, den: u32) {
+        assert!(
+            num > 0 && num <= den,
+            "clock scale must satisfy 0 < num <= den (slowdown only), got {num}/{den}"
+        );
+        self.clock = ClockScale::new(num, den);
+        self.state.state_version += 1;
+    }
+
+    /// The current clock scale as `(num, den)`; `(1, 1)` when undegraded.
+    pub fn clock_scale(&self) -> (u32, u32) {
+        (self.clock.num, self.clock.den)
+    }
+
+    /// The exact wall cycles the node needs, from this instant, to make
+    /// `work` cycles of plan progress under its current clock scale
+    /// (including the fractional carry). Equals `work` at unit scale. A
+    /// migration arbiter prices "stay on this straggler" with this.
+    pub fn scaled_wall_for_work(&self, work: Cycles) -> Cycles {
+        self.clock.wall_needed(work)
+    }
+
     /// Crashes the node: every resident task is drained off the session and
     /// returned as a [`SalvagedTask`] manifest, in ascending task-id order.
     ///
@@ -1935,62 +2103,148 @@ impl SimSession {
         indices.sort_unstable_by_key(|&idx| self.state.runtimes[idx].id());
         let mut salvaged = Vec::with_capacity(indices.len());
         for idx in indices {
-            let was_running = Some(idx) == self.running;
-            if was_running {
-                self.running = None;
-            } else if self.state.runtimes[idx].arrived {
-                self.state.leave_waiting(idx);
-                self.state.static_remove(idx);
-            } else {
-                let tail = &self.arrival_order[self.next_arrival_idx..];
-                let offset = tail
-                    .iter()
-                    .position(|&i| i == idx)
-                    .expect("unadmitted resident is in the pending arrival queue");
-                self.arrival_order.remove(self.next_arrival_idx + offset);
-                self.state.static_remove(idx);
-            }
-            if self.state.runtimes[idx].first_start.is_none() {
-                self.state.untrack_revocable(idx);
-            }
-            {
-                let state = &mut self.state;
-                let removed = state.runtimes[idx].remaining_estimate();
-                let priority = state.runtimes[idx].prepared.request.priority;
-                state.remaining_work -= removed;
-                state.remaining_by_priority[priority.index()] -= removed;
-            }
-            let runtime = &mut self.state.runtimes[idx];
-            // The last commit point: the start of the interval the cursor
-            // is in (everything before it committed at interval
-            // boundaries). A cursor already at a boundary keeps all its
-            // progress; mid-interval progress is lost.
-            let plan = Arc::clone(&runtime.prepared.plan);
-            let resume_executed = runtime.cursor.executed() - runtime.cursor.in_interval(&plan);
-            let checkpoint_bytes = if resume_executed.is_zero() {
-                0
-            } else {
-                let mut floor = ProgressCursor::start();
-                floor.advance(&plan, resume_executed);
-                floor.live_checkpoint_bytes(&plan)
-            };
-            salvaged.push(SalvagedTask {
-                prepared: runtime.prepared.clone(),
-                resume_executed,
-                checkpoint_bytes,
-                first_start: runtime.first_start,
-                preemption_count: runtime.preemption_count,
-                kill_restarts: runtime.kill_restarts,
-                checkpoint_overhead: runtime.checkpoint_overhead,
-                restore_overhead: runtime.restore_overhead,
-                max_checkpoint_bytes: runtime.max_checkpoint_bytes,
-            });
-            runtime.revoked = true;
-            self.state.finished += 1;
+            salvaged.push(self.salvage_runtime(idx));
         }
         self.state.state_version += 1;
         self.phase = Phase::Wakeup;
         salvaged
+    }
+
+    /// Voluntarily extracts one *started*, resident task at its last
+    /// `GEMM_OP` commit point — the migration twin of [`SimSession::fail`]:
+    /// same commit-point salvage semantics, but scoped to a single task on
+    /// a node that keeps running. The manifest re-injects elsewhere via
+    /// [`SimSession::inject_salvaged`] after the cluster has paid the
+    /// interconnect transfer; in-window progress past the commit point is
+    /// the migration's replay cost.
+    ///
+    /// Never-started tasks hold no node-resident context — move those with
+    /// [`SimSession::revoke`], which is free.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownTask`] / [`EngineError::TaskRevoked`] /
+    /// [`EngineError::TaskCompleted`] if the task is not resident, and
+    /// [`EngineError::TaskNotStarted`] if it has no checkpointable context;
+    /// the session is unchanged on error.
+    pub fn checkpoint_out(&mut self, id: TaskId) -> Result<SalvagedTask, EngineError> {
+        let idx = self.checkpointable_index(id)?;
+        let was_running = Some(idx) == self.running;
+        let salvage = self.salvage_runtime(idx);
+        self.state.state_version += 1;
+        if was_running {
+            // The NPU lost its running task; the next step must be a fresh
+            // scheduler wakeup, exactly as after a crash.
+            self.phase = Phase::Wakeup;
+        }
+        Ok(salvage)
+    }
+
+    /// A read-only preview of what [`SimSession::checkpoint_out`] would
+    /// salvage for `id` right now: `(resume_executed, checkpoint_bytes)` at
+    /// the task's last commit point. The migration arbiter prices the
+    /// stay-vs-move comparison with this *before* deciding to extract —
+    /// the returned bytes are exactly what the interconnect would carry.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`SimSession::checkpoint_out`].
+    pub fn checkpoint_preview(&self, id: TaskId) -> Result<(Cycles, u64), EngineError> {
+        let idx = self.checkpointable_index(id)?;
+        let runtime = &self.state.runtimes[idx];
+        let plan = &runtime.prepared.plan;
+        let resume_executed = runtime.cursor.executed() - runtime.cursor.in_interval(plan);
+        let checkpoint_bytes = if resume_executed.is_zero() {
+            0
+        } else {
+            let mut floor = ProgressCursor::start();
+            floor.advance(plan, resume_executed);
+            floor.live_checkpoint_bytes(plan)
+        };
+        Ok((resume_executed, checkpoint_bytes))
+    }
+
+    /// Validates that `id` names a started, resident task and returns its
+    /// runtime index (the shared gate of [`SimSession::checkpoint_out`] and
+    /// [`SimSession::checkpoint_preview`]).
+    fn checkpointable_index(&self, id: TaskId) -> Result<usize, EngineError> {
+        let pos = self
+            .state
+            .id_index
+            .binary_search_by_key(&id, |&(id, _)| id)
+            .map_err(|_| EngineError::UnknownTask(id))?;
+        let idx = self.state.id_index[pos].1;
+        let runtime = &self.state.runtimes[idx];
+        if runtime.revoked {
+            return Err(EngineError::TaskRevoked(id));
+        }
+        if runtime.completion.is_some() {
+            return Err(EngineError::TaskCompleted(id));
+        }
+        if runtime.first_start.is_none() {
+            return Err(EngineError::TaskNotStarted(id));
+        }
+        Ok(idx)
+    }
+
+    /// Drains resident runtime `idx` off the session as a [`SalvagedTask`]
+    /// at its last commit point. Shared by [`SimSession::fail`] (all
+    /// residents) and [`SimSession::checkpoint_out`] (one task); callers
+    /// bump the state version.
+    fn salvage_runtime(&mut self, idx: usize) -> SalvagedTask {
+        let was_running = Some(idx) == self.running;
+        if was_running {
+            self.running = None;
+        } else if self.state.runtimes[idx].arrived {
+            self.state.leave_waiting(idx);
+            self.state.static_remove(idx);
+        } else {
+            let tail = &self.arrival_order[self.next_arrival_idx..];
+            let offset = tail
+                .iter()
+                .position(|&i| i == idx)
+                .expect("unadmitted resident is in the pending arrival queue");
+            self.arrival_order.remove(self.next_arrival_idx + offset);
+            self.state.static_remove(idx);
+        }
+        if self.state.runtimes[idx].first_start.is_none() {
+            self.state.untrack_revocable(idx);
+        }
+        {
+            let state = &mut self.state;
+            let removed = state.runtimes[idx].remaining_estimate();
+            let priority = state.runtimes[idx].prepared.request.priority;
+            state.remaining_work -= removed;
+            state.remaining_by_priority[priority.index()] -= removed;
+        }
+        let runtime = &mut self.state.runtimes[idx];
+        // The last commit point: the start of the interval the cursor
+        // is in (everything before it committed at interval
+        // boundaries). A cursor already at a boundary keeps all its
+        // progress; mid-interval progress is lost.
+        let plan = Arc::clone(&runtime.prepared.plan);
+        let resume_executed = runtime.cursor.executed() - runtime.cursor.in_interval(&plan);
+        let checkpoint_bytes = if resume_executed.is_zero() {
+            0
+        } else {
+            let mut floor = ProgressCursor::start();
+            floor.advance(&plan, resume_executed);
+            floor.live_checkpoint_bytes(&plan)
+        };
+        let salvage = SalvagedTask {
+            prepared: runtime.prepared.clone(),
+            resume_executed,
+            checkpoint_bytes,
+            first_start: runtime.first_start,
+            preemption_count: runtime.preemption_count,
+            kill_restarts: runtime.kill_restarts,
+            checkpoint_overhead: runtime.checkpoint_overhead,
+            restore_overhead: runtime.restore_overhead,
+            max_checkpoint_bytes: runtime.max_checkpoint_bytes,
+        };
+        runtime.revoked = true;
+        self.state.finished += 1;
+        salvage
     }
 
     /// Consumes the drained session and builds the [`SimOutcome`]: the
@@ -2671,5 +2925,171 @@ mod tests {
             TaskRequest::new(TaskId(0), ModelKind::CnnMobileNet),
         ]);
         let _ = sim.run(&prepared);
+    }
+
+    #[test]
+    fn clock_scale_conversions_are_exact_and_partition_invariant() {
+        // work_in over any partition of a wall span equals work_in of the
+        // whole span, and consume_work's wall span converts back to exactly
+        // the requested work — the two invariants the bit-identity contract
+        // under degradation stands on.
+        for &(num, den) in &[(1u32, 2u32), (2, 3), (3, 7), (1, 1), (5, 5)] {
+            let mut whole = ClockScale::new(num, den);
+            let total_work = whole.work_in(Cycles::new(10_007));
+            let mut split = ClockScale::new(num, den);
+            let mut split_work = Cycles::ZERO;
+            let mut left = 10_007u64;
+            for piece in [1u64, 2, 3, 500, 4_999] {
+                split_work += split.work_in(Cycles::new(piece));
+                left -= piece;
+            }
+            split_work += split.work_in(Cycles::new(left));
+            assert_eq!(split_work, total_work, "{num}/{den}");
+            assert_eq!(split.acc, whole.acc, "{num}/{den}: carries agree");
+
+            for work in [0u64, 1, 2, 97, 1_000] {
+                let mut scale = ClockScale::new(num, den);
+                scale.work_in(Cycles::new(13)); // arbitrary non-zero carry
+                let peek = scale.wall_needed(Cycles::new(work));
+                let mut consumer = scale;
+                let wall = consumer.consume_work(Cycles::new(work));
+                assert_eq!(wall, peek, "peek matches consumption");
+                // Replaying that wall span yields exactly the work back.
+                let mut replay = scale;
+                assert_eq!(replay.work_in(wall), Cycles::new(work));
+                assert_eq!(replay.acc, consumer.acc, "residues agree");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_sessions_stay_bit_identical_across_engines_and_horizons() {
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let prepared = prepare(simple_requests());
+
+        let run_scaled = |mut session: SimSession, chop: Option<u64>| {
+            session.set_clock_scale(2, 7);
+            if let Some(step) = chop {
+                let mut horizon = Cycles::new(step);
+                while session.run_until(horizon) == StepOutcome::Paused {
+                    horizon += Cycles::new(step);
+                }
+            } else {
+                assert_eq!(session.run_until(Cycles::MAX), StepOutcome::Drained);
+            }
+            session.finish()
+        };
+
+        let fast = run_scaled(sim.session(&prepared), None);
+        let reference = run_scaled(sim.session_reference(&prepared), None);
+        let chopped = run_scaled(sim.session(&prepared), Some(77_773));
+        assert_eq!(fast, reference, "fast-forward == step-every-quantum");
+        assert_eq!(fast, chopped, "suspension is pure under scaling");
+
+        // 2/7 speed stretches the makespan strictly (and roughly 7/2x).
+        let unscaled = sim.run(&prepared);
+        assert!(fast.makespan > unscaled.makespan * 3);
+        assert!(fast.makespan < unscaled.makespan * 4);
+    }
+
+    #[test]
+    fn scaled_completion_bounds_are_exact_for_a_lone_runner() {
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let prepared = prepare(vec![TaskRequest::new(TaskId(0), ModelKind::CnnAlexNet)]);
+        let mut session = sim.session(&prepared);
+        session.set_clock_scale(1, 3);
+        assert_eq!(session.clock_scale(), (1, 3));
+        assert_eq!(session.run_until(Cycles::new(100_000)), StepOutcome::Paused);
+        let bound = session.next_completion_time().expect("running");
+        assert!(session.completion_lower_bound().expect("running") <= bound);
+        let wall = session.scaled_wall_for_work(Cycles::new(100));
+        assert!(
+            wall >= Cycles::new(298) && wall <= Cycles::new(300),
+            "100 work cycles at 1/3 speed cost 300 wall cycles minus the carry, got {wall:?}"
+        );
+        // The bound is exact: one cycle earlier the task is still live.
+        assert_eq!(
+            session.run_until(bound - Cycles::new(1)),
+            StepOutcome::Paused
+        );
+        assert!(!session.is_drained());
+        assert_eq!(session.run_until(bound), StepOutcome::Drained);
+        let record = session.finish();
+        assert_eq!(record.records[0].completion, bound);
+    }
+
+    #[test]
+    fn checkpoint_out_is_the_voluntary_twin_of_fail() {
+        let sim = NpuSimulator::new(npu(), SchedulerConfig::paper_default());
+        let prepared = prepare(simple_requests());
+        let mut session = sim.session(&prepared);
+        assert_eq!(session.run_until(Cycles::new(500_000)), StepOutcome::Paused);
+        let running = session.running_task().expect("mid-flight");
+
+        // Misuse surfaces as typed errors, mutating nothing.
+        let version = session.state_version();
+        assert_eq!(
+            session.checkpoint_out(TaskId(99)).unwrap_err(),
+            EngineError::UnknownTask(TaskId(99))
+        );
+        let never_started = session
+            .resident_tasks()
+            .iter()
+            .find(|r| !r.started)
+            .map(|r| r.id)
+            .expect("a lower-priority resident has not started at 500k cycles");
+        assert_eq!(
+            session.checkpoint_out(never_started).unwrap_err(),
+            EngineError::TaskNotStarted(never_started),
+            "a never-started resident has no checkpoint"
+        );
+        assert_eq!(session.state_version(), version, "errors mutate nothing");
+
+        // Extracting the runner salvages its last commit point, exactly
+        // like fail() reports for the same task at the same instant on an
+        // identically driven twin session.
+        let mut twin = sim.session(&prepared);
+        assert_eq!(twin.run_until(Cycles::new(500_000)), StepOutcome::Paused);
+        let expected = twin
+            .fail()
+            .into_iter()
+            .find(|s| s.prepared.request.id == running)
+            .expect("runner is resident on the twin");
+        let depth = session.queue_depth();
+        let preview = session
+            .checkpoint_preview(running)
+            .expect("started resident");
+        let salvage = session.checkpoint_out(running).expect("started resident");
+        assert_eq!(
+            preview,
+            (salvage.resume_executed, salvage.checkpoint_bytes),
+            "the preview prices exactly what extraction salvages"
+        );
+        assert_eq!(session.queue_depth(), depth - 1);
+        assert!(session.running_task().is_none());
+        assert_eq!(salvage.resume_executed, expected.resume_executed);
+        assert_eq!(salvage.checkpoint_bytes, expected.checkpoint_bytes);
+        assert!(salvage.resume_executed > Cycles::ZERO);
+        assert!(salvage.checkpoint_bytes > 0);
+        assert_eq!(
+            session.checkpoint_out(running).unwrap_err(),
+            EngineError::TaskRevoked(running)
+        );
+
+        // The manifest resumes elsewhere and the task completes exactly
+        // once across the two sessions.
+        let mut target = sim.session(&[]);
+        target
+            .inject_salvaged(salvage, Cycles::new(600_000))
+            .expect("fresh session");
+        assert_eq!(target.run_until(Cycles::MAX), StepOutcome::Drained);
+        assert_eq!(session.run_until(Cycles::MAX), StepOutcome::Drained);
+        let moved = target.finish();
+        let stayed = session.finish();
+        assert_eq!(moved.records.len(), 1);
+        assert_eq!(moved.records[0].id, running);
+        assert!(moved.records[0].restore_overhead > Cycles::ZERO);
+        assert_eq!(stayed.records.len(), 2);
+        assert!(stayed.records.iter().all(|r| r.id != running));
     }
 }

@@ -10,7 +10,7 @@
 //! of node-scoped [`NodeFault`] events the cluster loops merge into their
 //! global event timeline.
 //!
-//! Two fault kinds are modeled:
+//! Three fault kinds are modeled:
 //!
 //! * [`FaultKind::Crash`] — the node loses all non-checkpointed progress at
 //!   the window's start and is down (no execution, no dispatch) until the
@@ -18,12 +18,28 @@
 //! * [`FaultKind::Freeze`] — a straggler window: the node freezes in place
 //!   (resident tasks keep their state but make no progress) and resumes
 //!   where it left off at the window's end.
+//! * [`FaultKind::Degrade`] — a soft straggler window: the node keeps
+//!   running but its clock is stretched to the rational fraction
+//!   `speed_num / speed_den` of nominal (thermal throttling, contention).
 //!
 //! Up-times are exponential with mean `mtbf_ms`; fault windows are
-//! exponential with mean `mean_downtime_ms`; each window is a crash with
-//! probability `1 - freeze_fraction`. All sampling is a pure function of
+//! exponential with mean `mean_downtime_ms`; one uniform draw per window
+//! picks the kind (freeze below `freeze_fraction`, degrade in the next
+//! `degrade_fraction`, crash otherwise). All sampling is a pure function of
 //! the seeded RNG — node `k`'s renewal chain is drawn before node `k+1`'s —
 //! so a sweep replaying the same seed sees a bit-identical schedule.
+//!
+//! # Window composition and precedence
+//!
+//! Windows on one node must be pairwise disjoint **regardless of kind**: a
+//! node is up, crashed, frozen, or degraded — never two at once. There is
+//! deliberately no nesting (no "crash inside a degrade window"); a crash
+//! that interrupts a degraded phase is expressed by *splitting* the degrade
+//! window around the crash. [`FaultSchedule::validate`] rejects same-kind
+//! overlap with [`FaultScheduleError::OverlappingWindows`] and mixed-kind
+//! overlap with the dedicated
+//! [`FaultScheduleError::MixedKindOverlap`], so the sequential-composition
+//! rule is explicit rather than implicit.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -44,6 +60,15 @@ pub enum FaultKind {
     /// The node freezes (straggler window): resident tasks stay in place
     /// but make no progress until the window ends.
     Freeze,
+    /// The node degrades (soft straggler window): it keeps executing, but
+    /// its clock runs at `speed_num / speed_den` of nominal speed until the
+    /// window ends. Slowdown only: `0 < speed_num <= speed_den`.
+    Degrade {
+        /// Numerator of the degraded speed fraction.
+        speed_num: u32,
+        /// Denominator of the degraded speed fraction.
+        speed_den: u32,
+    },
 }
 
 impl FaultKind {
@@ -52,6 +77,7 @@ impl FaultKind {
         match self {
             FaultKind::Crash => "crash",
             FaultKind::Freeze => "freeze",
+            FaultKind::Degrade { .. } => "degrade",
         }
     }
 }
@@ -82,12 +108,78 @@ impl NodeFault {
     }
 }
 
+/// A violation of the [`FaultSchedule`] invariants.
+///
+/// Overlap on one node is split into two variants so that mixed-kind
+/// composition mistakes (a crash window nested inside a degrade window,
+/// say) surface with a message that names the rule being broken: windows
+/// compose *sequentially*, never by nesting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultScheduleError {
+    /// Events are not sorted by `(start, node)`.
+    Unsorted,
+    /// A window has `end <= start`.
+    EmptyWindow {
+        /// Index of the offending event in the schedule.
+        index: usize,
+        /// Node the window names.
+        node: usize,
+    },
+    /// A degrade window names an invalid speed fraction (`speed_num` must
+    /// satisfy `0 < speed_num <= speed_den`).
+    InvalidDegradeSpeed {
+        /// Index of the offending event in the schedule.
+        index: usize,
+        /// Node the window names.
+        node: usize,
+    },
+    /// Two windows of the *same* kind overlap on one node.
+    OverlappingWindows {
+        /// Node with the overlapping pair.
+        node: usize,
+    },
+    /// Two windows of *different* kinds overlap on one node — nesting (for
+    /// example crash-inside-degrade) is not a supported composition; split
+    /// the outer window instead.
+    MixedKindOverlap {
+        /// Node with the overlapping pair.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for FaultScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultScheduleError::Unsorted => f.write_str("events must be sorted by (start, node)"),
+            FaultScheduleError::EmptyWindow { index, node } => {
+                write!(f, "event {index}: fault window on node {node} is empty")
+            }
+            FaultScheduleError::InvalidDegradeSpeed { index, node } => write!(
+                f,
+                "event {index}: degrade window on node {node} needs 0 < speed_num <= speed_den"
+            ),
+            FaultScheduleError::OverlappingWindows { node } => {
+                write!(f, "node {node} has overlapping fault windows")
+            }
+            FaultScheduleError::MixedKindOverlap { node } => write!(
+                f,
+                "node {node} has overlapping fault windows of different kinds; \
+                 windows compose sequentially — split the outer window instead of nesting"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultScheduleError {}
+
 /// A deterministic, time-sorted schedule of node fault windows.
 ///
 /// Invariants (enforced by the generators and checked by
 /// [`FaultSchedule::validate`]): events are sorted by `(start, node)`,
-/// every window has positive length, and windows on the *same* node do not
-/// overlap — a node is either up, crashed, or frozen, never two at once.
+/// every window has positive length, degrade windows carry a valid speed
+/// fraction, and windows on the *same* node do not overlap — a node is
+/// either up, crashed, frozen, or degraded, never two at once. See the
+/// module docs for the sequential-composition precedence rule.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FaultSchedule {
     /// The fault windows, sorted by `(start, node)`.
@@ -130,23 +222,41 @@ impl FaultSchedule {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first [`FaultScheduleError`] found. Mixed-kind overlap
+    /// on one node reports [`FaultScheduleError::MixedKindOverlap`] so the
+    /// no-nesting precedence rule (see the module docs) is named explicitly.
+    pub fn validate(&self) -> Result<(), FaultScheduleError> {
         for pair in self.events.windows(2) {
             if (pair[0].start, pair[0].node) > (pair[1].start, pair[1].node) {
-                return Err("events must be sorted by (start, node)".into());
+                return Err(FaultScheduleError::Unsorted);
             }
         }
         for (i, event) in self.events.iter().enumerate() {
             if event.end <= event.start {
-                return Err(format!(
-                    "event {i}: fault window on node {} is empty",
-                    event.node
-                ));
+                return Err(FaultScheduleError::EmptyWindow {
+                    index: i,
+                    node: event.node,
+                });
+            }
+            if let FaultKind::Degrade {
+                speed_num,
+                speed_den,
+            } = event.kind
+            {
+                if speed_num == 0 || speed_num > speed_den {
+                    return Err(FaultScheduleError::InvalidDegradeSpeed {
+                        index: i,
+                        node: event.node,
+                    });
+                }
             }
             for later in &self.events[i + 1..] {
                 if later.node == event.node && later.start < event.end {
-                    return Err(format!("node {} has overlapping fault windows", event.node));
+                    return Err(if later.kind == event.kind {
+                        FaultScheduleError::OverlappingWindows { node: event.node }
+                    } else {
+                        FaultScheduleError::MixedKindOverlap { node: event.node }
+                    });
                 }
             }
         }
@@ -179,6 +289,14 @@ pub struct FaultProcess {
     /// Fraction of fault windows that are freezes instead of crashes, in
     /// `[0, 1]`.
     pub freeze_fraction: f64,
+    /// Fraction of fault windows that are degrade (throttle) windows, in
+    /// `[0, 1]`; `freeze_fraction + degrade_fraction` must not exceed 1.
+    pub degrade_fraction: f64,
+    /// Numerator of the degraded speed fraction drawn for degrade windows.
+    pub degrade_speed_num: u32,
+    /// Denominator of the degraded speed fraction drawn for degrade
+    /// windows; `0 < degrade_speed_num <= degrade_speed_den`.
+    pub degrade_speed_den: u32,
     /// Faults start inside `[0, duration_ms)`; a window that starts inside
     /// the horizon may end past it.
     pub duration_ms: f64,
@@ -193,6 +311,9 @@ impl FaultProcess {
             mtbf_ms,
             mean_downtime_ms,
             freeze_fraction: 0.0,
+            degrade_fraction: 0.0,
+            degrade_speed_num: 1,
+            degrade_speed_den: 2,
             duration_ms,
         }
     }
@@ -200,6 +321,15 @@ impl FaultProcess {
     /// Sets the freeze fraction, keeping the rest of the process.
     pub fn with_freeze_fraction(mut self, freeze_fraction: f64) -> Self {
         self.freeze_fraction = freeze_fraction;
+        self
+    }
+
+    /// Sets the degrade fraction and the degraded speed `num / den` drawn
+    /// for those windows, keeping the rest of the process.
+    pub fn with_degradation(mut self, degrade_fraction: f64, num: u32, den: u32) -> Self {
+        self.degrade_fraction = degrade_fraction;
+        self.degrade_speed_num = num;
+        self.degrade_speed_den = den;
         self
     }
 
@@ -224,14 +354,26 @@ impl FaultProcess {
         if !self.freeze_fraction.is_finite() || !(0.0..=1.0).contains(&self.freeze_fraction) {
             return Err("freeze fraction must be within [0, 1]".into());
         }
+        if !self.degrade_fraction.is_finite() || !(0.0..=1.0).contains(&self.degrade_fraction) {
+            return Err("degrade fraction must be within [0, 1]".into());
+        }
+        if self.freeze_fraction + self.degrade_fraction > 1.0 {
+            return Err("freeze and degrade fractions must sum to at most 1".into());
+        }
+        if self.degrade_speed_num == 0 || self.degrade_speed_num > self.degrade_speed_den {
+            return Err("degrade speed needs 0 < num <= den (slowdown only)".into());
+        }
         Ok(())
     }
 
     /// Samples one fault schedule from the seeded RNG.
     ///
     /// Per node, in node order, one sequential renewal chain: up-time ~
-    /// Exp(`mtbf_ms`), then a window ~ Exp(`mean_downtime_ms`) that is a
-    /// freeze with probability `freeze_fraction`, repeating until the next
+    /// Exp(`mtbf_ms`), then a window ~ Exp(`mean_downtime_ms`) whose kind
+    /// is picked by one uniform draw (freeze below `freeze_fraction`,
+    /// degrade in the next `degrade_fraction`, crash otherwise — so streams
+    /// with `degrade_fraction == 0` are bit-identical to pre-degrade ones),
+    /// repeating until the next
     /// window would start at or past `duration_ms`. Times convert to cycles
     /// on the Table I timeline (like the arrival streams), so schedules are
     /// reproducible independent of the simulated NPU configuration.
@@ -253,8 +395,14 @@ impl FaultProcess {
                     break;
                 }
                 let window_ms = exp_sample(self.mean_downtime_ms, rng);
-                let kind = if rng.gen::<f64>() < self.freeze_fraction {
+                let u: f64 = rng.gen();
+                let kind = if u < self.freeze_fraction {
                     FaultKind::Freeze
+                } else if u < self.freeze_fraction + self.degrade_fraction {
+                    FaultKind::Degrade {
+                        speed_num: self.degrade_speed_num,
+                        speed_den: self.degrade_speed_den,
+                    }
                 } else {
                     FaultKind::Crash
                 };
@@ -384,6 +532,104 @@ mod tests {
     }
 
     #[test]
+    fn degrade_windows_are_drawn_and_validated() {
+        let process = FaultProcess::crashes(4, 20.0, 8.0, 600.0).with_degradation(0.6, 1, 4);
+        let schedule = process.generate(&mut StdRng::seed_from_u64(11));
+        assert!(schedule.validate().is_ok());
+        assert!(schedule.events.iter().any(|e| matches!(
+            e.kind,
+            FaultKind::Degrade {
+                speed_num: 1,
+                speed_den: 4
+            }
+        )));
+        assert!(schedule.events.iter().any(|e| e.kind == FaultKind::Crash));
+        assert_eq!(
+            FaultKind::Degrade {
+                speed_num: 1,
+                speed_den: 4
+            }
+            .to_string(),
+            "degrade"
+        );
+    }
+
+    #[test]
+    fn degrade_free_streams_are_bit_identical_to_pre_degrade_draws() {
+        // degrade_fraction == 0 must consume the RNG exactly as before the
+        // degrade kind existed: one uniform per window.
+        let base = FaultProcess::crashes(3, 15.0, 5.0, 300.0).with_freeze_fraction(0.4);
+        let with_zero_degrade = base.clone().with_degradation(0.0, 1, 8);
+        assert_eq!(
+            base.generate(&mut StdRng::seed_from_u64(99)),
+            with_zero_degrade.generate(&mut StdRng::seed_from_u64(99)),
+        );
+    }
+
+    #[test]
+    fn mixed_kind_overlap_gets_its_dedicated_error() {
+        let make = |kind0: FaultKind, kind1: FaultKind| FaultSchedule {
+            events: vec![
+                NodeFault {
+                    node: 2,
+                    start: Cycles::new(100),
+                    end: Cycles::new(900),
+                    kind: kind0,
+                },
+                NodeFault {
+                    node: 2,
+                    start: Cycles::new(500),
+                    end: Cycles::new(600),
+                    kind: kind1,
+                },
+            ],
+        };
+        let degrade = FaultKind::Degrade {
+            speed_num: 1,
+            speed_den: 2,
+        };
+        assert_eq!(
+            make(degrade, FaultKind::Crash).validate(),
+            Err(FaultScheduleError::MixedKindOverlap { node: 2 })
+        );
+        assert_eq!(
+            make(FaultKind::Crash, FaultKind::Crash).validate(),
+            Err(FaultScheduleError::OverlappingWindows { node: 2 })
+        );
+        // Both overlap errors say "overlapping"; only the mixed one names
+        // the no-nesting rule.
+        let mixed = FaultScheduleError::MixedKindOverlap { node: 2 }.to_string();
+        assert!(mixed.contains("overlapping") && mixed.contains("split"));
+    }
+
+    #[test]
+    fn invalid_degrade_speeds_are_rejected() {
+        let event = |num, den| NodeFault {
+            node: 0,
+            start: Cycles::new(10),
+            end: Cycles::new(20),
+            kind: FaultKind::Degrade {
+                speed_num: num,
+                speed_den: den,
+            },
+        };
+        for (num, den) in [(0, 2), (3, 2)] {
+            assert_eq!(
+                FaultSchedule {
+                    events: vec![event(num, den)]
+                }
+                .validate(),
+                Err(FaultScheduleError::InvalidDegradeSpeed { index: 0, node: 0 })
+            );
+        }
+        assert!(FaultSchedule {
+            events: vec![event(2, 2)]
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
     fn validation_errors_cover_each_field() {
         let base = FaultProcess::crashes(2, 10.0, 5.0, 100.0);
         assert!(base.validate().is_ok());
@@ -406,6 +652,26 @@ mod tests {
             },
             FaultProcess {
                 freeze_fraction: 1.5,
+                ..base.clone()
+            },
+            FaultProcess {
+                degrade_fraction: -0.1,
+                ..base.clone()
+            },
+            FaultProcess {
+                freeze_fraction: 0.7,
+                degrade_fraction: 0.7,
+                ..base.clone()
+            },
+            FaultProcess {
+                degrade_fraction: 0.5,
+                degrade_speed_num: 0,
+                ..base.clone()
+            },
+            FaultProcess {
+                degrade_fraction: 0.5,
+                degrade_speed_num: 3,
+                degrade_speed_den: 2,
                 ..base.clone()
             },
         ];

@@ -8,9 +8,9 @@
 //! * [`arrivals`] — open-loop arrival processes (Poisson, bursty on/off,
 //!   diurnal-trace) that stream requests over a configurable duration with a
 //!   per-priority rate mix, feeding the multi-NPU cluster serving layer.
-//! * [`faults`] — seeded node-fault processes (crash / freeze renewal
-//!   chains per node) whose schedules drive the cluster's fault-injection
-//!   and recovery machinery.
+//! * [`faults`] — seeded node-fault processes (crash / freeze / degrade
+//!   renewal chains per node) whose schedules drive the cluster's
+//!   fault-injection, straggler and recovery machinery.
 //! * [`seqlen`] — synthetic input→output sequence-length characterization for
 //!   the seq2seq applications (the Figure 9 substitution), producing both the
 //!   profiled sample sets that feed [`prema_predictor::SeqLenTable`] and the
@@ -46,7 +46,7 @@ pub mod prepare;
 pub mod seqlen;
 
 pub use arrivals::{generate_open_loop, ArrivalProcess, OpenLoopConfig, OpenLoopIter};
-pub use faults::{FaultKind, FaultProcess, FaultSchedule, NodeFault};
+pub use faults::{FaultKind, FaultProcess, FaultSchedule, FaultScheduleError, NodeFault};
 pub use generator::{generate_workload, WorkloadConfig, WorkloadSpec};
 pub use prepare::{prepare_workload, PreparedWorkload};
 pub use seqlen::SeqLenCharacterization;

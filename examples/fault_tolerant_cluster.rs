@@ -1,13 +1,14 @@
 //! Fault-tolerant cluster serving: what checkpoint-based recovery buys when
-//! NPU nodes crash and freeze under load.
+//! NPU nodes crash and freeze under load, and what deadline-triggered
+//! migration buys when they merely *slow down*.
 //!
-//! A 4-node closed-loop cluster serves a Poisson stream at rho = 0.75 of
-//! capacity while a seeded fault process crashes nodes at an MTBF of about
-//! ten mean service times (with a fraction of the windows downgraded to
-//! freezes). A crash salvages every resident task at its last commit point
-//! — the last `GEMM_OP` interval boundary — and the recovery policy
-//! re-dispatches the salvage to a surviving node after an exponential
-//! backoff, deprioritizing recently-failed nodes.
+//! **Act one — crashes.** A 4-node closed-loop cluster serves a Poisson
+//! stream at rho = 0.75 of capacity while a seeded fault process crashes
+//! nodes at an MTBF of about ten mean service times (with a fraction of
+//! the windows downgraded to freezes). A crash salvages every resident
+//! task at its last commit point — the last `GEMM_OP` interval boundary —
+//! and the recovery policy re-dispatches the salvage to a surviving node
+//! after an exponential backoff, deprioritizing recently-failed nodes.
 //!
 //! Two recovery policies replay the identical driving:
 //!
@@ -15,6 +16,14 @@
 //!   paying the restore DMA for the committed context;
 //! * **restart-zero** — salvaged tasks discard all progress and rerun from
 //!   scratch, as a cluster without on-accelerator checkpointing must.
+//!
+//! **Act two — stragglers.** The same cluster, but now two nodes degrade
+//! to 1/4 clock speed in long windows instead of crashing. A degraded
+//! node keeps serving — slowly — so nothing is salvaged and nothing
+//! recovers; the tail just rots. With a migration policy, a deadline
+//! monitor spots residents whose predicted completion has blown the SLA,
+//! prices stay-vs-move against a checkpoint transfer over the
+//! interconnect, and evacuates to a healthy node when moving is cheaper.
 //!
 //! ```text
 //! cargo run --release --example fault_tolerant_cluster
@@ -24,7 +33,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use prema::cluster::{
-    ClusterFaultPlan, ClusterMetrics, OnlineClusterConfig, OnlineClusterSimulator,
+    ClusterFaultPlan, ClusterMetrics, MigrationConfig, OnlineClusterConfig, OnlineClusterSimulator,
     OnlineDispatchPolicy, RecoveryConfig,
 };
 use prema::workload::arrivals::{generate_open_loop, ArrivalProcess, OpenLoopConfig};
@@ -39,6 +48,10 @@ const DURATION_MS: f64 = 400.0;
 const MTBF_MULTIPLIER: f64 = 10.0;
 const DOWNTIME_MS: f64 = 2.0;
 const FREEZE_FRACTION: f64 = 0.2;
+const DEGRADED_NODES: usize = 2;
+const DEGRADE_MTBF_MS: f64 = 250.0;
+const DEGRADE_WINDOW_MS: f64 = 120.0;
+const SLA_MULTIPLIER: f64 = 8.0;
 
 fn main() {
     let npu = NpuConfig::paper_default();
@@ -102,5 +115,68 @@ fn main() {
          Checkpoint recovery turns each crash into a bounded setback (restore DMA\n\
          plus the uncommitted tail of one interval), so less rework queues behind\n\
          every failure and the p99 tail stays closer to the fault-free baseline."
+    );
+
+    // Act two: the same cluster, but two nodes become stragglers — their
+    // clocks run at 1/4 speed in ~120 ms windows — and nothing crashes.
+    // The schedule draws from its own seeded stream so the act is
+    // self-contained and reproducible independent of act one.
+    let mut straggler_rng = StdRng::seed_from_u64(4);
+    let straggler_schedule = FaultProcess::crashes(
+        DEGRADED_NODES,
+        DEGRADE_MTBF_MS,
+        DEGRADE_WINDOW_MS,
+        DURATION_MS,
+    )
+    .with_degradation(1.0, 1, 4)
+    .generate(&mut straggler_rng);
+    let sla_ms = SLA_MULTIPLIER * service_ms;
+
+    println!();
+    println!(
+        "straggler cluster: {DEGRADED_NODES} of {NODES} nodes degrade to 1/4 speed, \
+         {} degrade windows (~{DEGRADE_WINDOW_MS} ms every ~{DEGRADE_MTBF_MS} ms), \
+         SLA {sla_ms:.1} ms",
+        straggler_schedule.len(),
+    );
+    println!();
+
+    for (label, migration) in [
+        ("migrate", Some(MigrationConfig::new(sla_ms))),
+        ("stay-put", None),
+    ] {
+        let mut config = OnlineClusterConfig::new(
+            NODES,
+            SchedulerConfig::paper_default(),
+            OnlineDispatchPolicy::Predictive,
+        )
+        .with_faults(ClusterFaultPlan::new(straggler_schedule.clone()));
+        if let Some(migration) = migration {
+            config = config.with_migration(migration);
+        }
+        let simulator = OnlineClusterSimulator::new(config);
+        let outcome = simulator.run(&tasks);
+        let metrics = ClusterMetrics::from_online(&outcome, &npu);
+        println!(
+            "  {label:<13} p99 {:>7.2} ms | ANTT {:>5.2} | degraded {:>5.1} % of time | \
+             {} degrades, {} migrations ({} B over the wire, mean evac {:.3} ms)",
+            metrics.p99_ms,
+            metrics.antt,
+            100.0 * metrics.degraded_fraction,
+            outcome.degrades,
+            outcome.migrations,
+            outcome.migration_bytes,
+            metrics.mean_evacuation_ms,
+        );
+    }
+
+    println!();
+    println!(
+        "Identical slowdowns, identical arrivals: a straggler never crashes, so\n\
+         recovery policy is irrelevant — resident work must move or wait. The\n\
+         deadline monitor evacuates exactly the tasks whose predicted finish has\n\
+         blown the SLA and for which a checkpoint flight beats riding out the\n\
+         slow clock, so the p99 tail tracks the healthy nodes instead of the\n\
+         slowest one."
     );
 }

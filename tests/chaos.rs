@@ -1,18 +1,24 @@
 //! Chaos-testing harness for the fault-tolerant closed-loop cluster.
 //!
 //! Each driving samples a random cluster shape (node count, scheduler,
-//! dispatch policy, stealing/admission toggles), a random arrival process
-//! and a random fault schedule (crash/freeze mix, MTBF, downtime), then
-//! asserts the invariants that must survive *any* fault pattern:
+//! dispatch policy, stealing/admission/migration toggles), a random arrival
+//! process and a random fault schedule (crash/freeze/degrade mix, MTBF,
+//! downtime, straggler speed), then asserts the invariants that must
+//! survive *any* fault pattern:
 //!
 //! * **Exactly-once conservation** — served, shed and abandoned requests
 //!   partition the generated ids; no task is lost or double-served across
-//!   crash/salvage/re-dispatch hops.
+//!   crash/salvage/re-dispatch hops *or* checkpoint migrations.
 //! * **Bit-identical repeats** — running the same driving twice produces
 //!   the same outcome, byte for byte.
 //! * **Heap == reference** — the event-heap loop and the horizon-stepping
-//!   reference loop agree exactly, faults included, pinned through
-//!   [`online_outcome_hash`].
+//!   reference loop agree exactly, faults and migrations included, pinned
+//!   through [`online_outcome_hash`].
+//! * **Byte accounting** — the interconnect tally equals the sum of the
+//!   per-migration checkpoint payloads in the log.
+//!
+//! The sweep size defaults to 56 drivings; set the `CHAOS_ITERS`
+//! environment variable to run a longer (or shorter) campaign.
 //!
 //! A separate deterministic scenario exercises multi-hop salvage: a task
 //! crashes on its first node, recovers onto a second, crashes *there* too,
@@ -22,8 +28,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use prema::cluster::{
-    online_outcome_hash, ClusterFaultPlan, OnlineClusterConfig, OnlineClusterSimulator,
-    OnlineDispatchPolicy, RecoveryConfig,
+    online_outcome_hash, ClusterFaultPlan, MigrationConfig, OnlineClusterConfig,
+    OnlineClusterSimulator, OnlineDispatchPolicy, RecoveryConfig,
 };
 use prema::workload::prepare::prepare_requests;
 use prema::workload::{
@@ -46,6 +52,9 @@ struct Driving {
     mtbf_ms: f64,
     downtime_ms: f64,
     freeze_fraction: f64,
+    degrade_fraction: f64,
+    degrade_speed: (u32, u32),
+    migration: Option<MigrationConfig>,
     recovery: RecoveryConfig,
 }
 
@@ -92,7 +101,17 @@ fn draw_driving(rng: &mut StdRng) -> Driving {
         },
         mtbf_ms: rng.gen_range(5.0..40.0),
         downtime_ms: rng.gen_range(0.5..2.0),
-        freeze_fraction: rng.gen_range(0.0..0.5),
+        freeze_fraction: rng.gen_range(0.0..0.4),
+        degrade_fraction: rng.gen_range(0.0..0.5),
+        degrade_speed: (1, rng.gen_range(2u32..=8)),
+        migration: if rng.gen_bool(0.5) {
+            Some(
+                MigrationConfig::new(rng.gen_range(2.0..20.0))
+                    .with_hysteresis(rng.gen_range(1.0..1.5)),
+            )
+        } else {
+            None
+        },
         recovery,
     }
 }
@@ -111,18 +130,25 @@ fn config_of(driving: &Driving, schedule: FaultSchedule) -> OnlineClusterConfig 
     if let Some(target) = driving.admission {
         config = config.with_admission(target);
     }
+    if let Some(migration) = &driving.migration {
+        config = config.with_migration(migration.clone());
+    }
     config
 }
 
-/// The chaos sweep: ≥50 random fault drivings, every invariant checked on
-/// each one.
+/// The chaos sweep: ≥50 random fault drivings (default; scale with
+/// `CHAOS_ITERS`), every invariant checked on each one.
 #[test]
 fn random_fault_drivings_conserve_tasks_and_stay_deterministic() {
-    const DRIVINGS: usize = 56;
+    let drivings: usize = std::env::var("CHAOS_ITERS")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(56);
     let npu = NpuConfig::paper_default();
     let mut rng = StdRng::seed_from_u64(0xC4A0_5EED);
     let mut faulty = 0usize;
-    for case in 0..DRIVINGS {
+    let mut migrated = 0usize;
+    for case in 0..drivings {
         let driving = draw_driving(&mut rng);
         let arrivals =
             OpenLoopConfig::poisson(1.0, driving.duration_ms).with_process(driving.process);
@@ -142,6 +168,11 @@ fn random_fault_drivings_conserve_tasks_and_stay_deterministic() {
                 driving.duration_ms,
             )
             .with_freeze_fraction(driving.freeze_fraction)
+            .with_degradation(
+                driving.degrade_fraction,
+                driving.degrade_speed.0,
+                driving.degrade_speed.1,
+            )
             .generate(&mut rng);
             if !schedule.is_empty() {
                 break;
@@ -196,17 +227,46 @@ fn random_fault_drivings_conserve_tasks_and_stay_deterministic() {
         );
 
         assert_eq!(
-            heap.crashes + heap.freezes,
+            heap.crashes + heap.freezes + heap.degrades,
             scheduled,
             "case {case}: not every scheduled fault window fired\n{driving:?}"
         );
+
+        // Interconnect byte accounting: the tally is exactly the sum of the
+        // live checkpoint payloads the log says travelled.
+        assert_eq!(
+            heap.migration_bytes,
+            heap.migration_log.iter().map(|r| r.bytes).sum::<u64>(),
+            "case {case}: migration byte tally diverges from the log\n{driving:?}"
+        );
+        assert_eq!(
+            heap.migrations as usize,
+            heap.migration_log.len(),
+            "case {case}: migration count diverges from the log\n{driving:?}"
+        );
+        if driving.migration.is_none() {
+            assert_eq!(
+                heap.migrations, 0,
+                "case {case}: migration fired without a policy\n{driving:?}"
+            );
+        }
+        if heap.migrations > 0 {
+            migrated += 1;
+        }
         if heap.has_fault_activity() {
             faulty += 1;
         }
     }
+    let need_faulty = drivings * 50 / 56;
     assert!(
-        faulty >= 50,
-        "only {faulty} drivings exercised fault machinery; need at least 50"
+        faulty >= need_faulty,
+        "only {faulty} drivings exercised fault machinery; need at least {need_faulty}"
+    );
+    // The default campaign must also exercise the migration arbiter end to
+    // end at least once; longer CHAOS_ITERS campaigns inherit the bar.
+    assert!(
+        migrated >= 1,
+        "no driving triggered a checkpoint migration; the sweep lost its straggler coverage"
     );
 }
 
