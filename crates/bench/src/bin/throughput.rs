@@ -34,7 +34,10 @@ use prema_bench::faults::{fault_sweep_hash, run_fault_sweep, FaultSweepOptions};
 use prema_bench::fig11_15::{fig11_configs, fig12_configs};
 use prema_bench::migration::{migration_sweep_hash, run_migration_sweep, MigrationSweepOptions};
 use prema_bench::scale::{run_scale_sweep, scale_aggregates, scale_sweep_hash, ScaleSweepOptions};
-use prema_bench::suite::{run_grid, run_grid_reference, SuiteOptions};
+use prema_bench::suite::{run_grid_instrumented, run_grid_reference, SuiteOptions};
+use prema_bench::trace::{
+    json_is_well_formed, run_trace_scenario, verify_reconciliation, TraceScenarioOptions,
+};
 use prema_core::plan::plan_cache;
 use prema_core::{OutcomeSummary, SchedulerConfig, SimOutcome};
 
@@ -49,7 +52,7 @@ struct Options {
     check_baseline: Option<String>,
 }
 
-const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]\n       throughput cluster [--nodes N] [--duration-ms D] [--seed S] [--out PATH] [--check-baseline PATH]\n       throughput cluster-scale [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH]\n       throughput cluster-faults [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH]\n       throughput cluster-migration [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH]";
+const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]\n       throughput cluster [--nodes N] [--duration-ms D] [--seed S] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput cluster-scale [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH]\n       throughput cluster-faults [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput cluster-migration [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput trace [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--out PATH]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
@@ -163,12 +166,137 @@ fn check_events_per_sec(measured: f64, baseline: f64, what: &str) -> bool {
     check_events_per_sec_with(measured, baseline, what, MAX_REGRESSION)
 }
 
+/// Runs one traced closed-loop scenario, checks the trace's counters
+/// against the outcome and its JSON for well-formedness, and writes the
+/// Perfetto file. Shared by `throughput trace` and the sweeps' `--trace-out`.
+fn export_trace(opts: &TraceScenarioOptions, path: &str) -> bool {
+    let artifacts = run_trace_scenario(opts);
+    if let Err(mismatch) = verify_reconciliation(&artifacts) {
+        eprintln!("[throughput] FAIL: trace does not reconcile with the outcome: {mismatch}");
+        return false;
+    }
+    if !json_is_well_formed(&artifacts.json) {
+        eprintln!("[throughput] FAIL: emitted trace JSON is not well-formed");
+        return false;
+    }
+    if let Err(error) = std::fs::write(path, &artifacts.json) {
+        eprintln!("[throughput] could not write {path}: {error}");
+        return false;
+    }
+    let rec = &artifacts.reconciliation;
+    eprintln!(
+        "[throughput] trace written to {path}: {} nodes, {}/{} served, {} slices \
+         ({} tasks), {} dispatch decisions, {} steals, {} migrations, {} recoveries, \
+         {} faults, {} sheds — outcome reconciled, load at https://ui.perfetto.dev",
+        artifacts.nodes,
+        artifacts.outcome.served(),
+        artifacts.requests,
+        rec.slices,
+        rec.slice_tasks,
+        rec.dispatch_decisions,
+        rec.steals,
+        rec.migrations,
+        rec.recoveries,
+        rec.faults,
+        rec.sheds,
+    );
+    true
+}
+
+struct TraceOptions {
+    nodes: usize,
+    rho: f64,
+    duration_ms: f64,
+    seed: u64,
+    out: String,
+}
+
+fn parse_trace_args(args: impl Iterator<Item = String>) -> Result<TraceOptions, String> {
+    let defaults = TraceScenarioOptions::combined();
+    let mut options = TraceOptions {
+        nodes: defaults.nodes,
+        rho: defaults.rho,
+        duration_ms: defaults.duration_ms,
+        seed: defaults.seed,
+        out: "TRACE_cluster.json".to_string(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                options.nodes = args
+                    .next()
+                    .ok_or("--nodes requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --nodes value: {e}"))?;
+            }
+            "--rho" => {
+                options.rho = args
+                    .next()
+                    .ok_or("--rho requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --rho value: {e}"))?;
+            }
+            "--duration-ms" => {
+                options.duration_ms = args
+                    .next()
+                    .ok_or("--duration-ms requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --duration-ms value: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .ok_or("--seed requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed value: {e}"))?;
+            }
+            "--out" => {
+                options.out = args.next().ok_or("--out requires a value")?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if options.nodes < 2 {
+        return Err("--nodes must be at least 2".into());
+    }
+    if !options.rho.is_finite() || options.rho <= 0.0 {
+        return Err("--rho must be positive".into());
+    }
+    if !options.duration_ms.is_finite() || options.duration_ms <= 0.0 {
+        return Err("--duration-ms must be positive".into());
+    }
+    Ok(options)
+}
+
+fn trace_main(options: TraceOptions) -> ExitCode {
+    let opts = TraceScenarioOptions {
+        nodes: options.nodes,
+        rho: options.rho,
+        duration_ms: options.duration_ms,
+        seed: options.seed,
+        ..TraceScenarioOptions::combined()
+    };
+    eprintln!(
+        "[throughput] traced combined scenario: {} nodes at rho {:.2}, {} ms window, \
+         faults + migration + stealing on",
+        opts.nodes, opts.rho, opts.duration_ms
+    );
+    if export_trace(&opts, &options.out) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 struct ClusterOptions {
     nodes: usize,
     duration_ms: f64,
     seed: u64,
     out: String,
     check_baseline: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_cluster_args(args: impl Iterator<Item = String>) -> Result<ClusterOptions, String> {
@@ -179,6 +307,7 @@ fn parse_cluster_args(args: impl Iterator<Item = String>) -> Result<ClusterOptio
         seed: defaults.seed,
         out: "BENCH_cluster.json".to_string(),
         check_baseline: None,
+        trace_out: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -206,6 +335,9 @@ fn parse_cluster_args(args: impl Iterator<Item = String>) -> Result<ClusterOptio
             }
             "--out" => {
                 options.out = args.next().ok_or("--out requires a value")?;
+            }
+            "--trace-out" => {
+                options.trace_out = Some(args.next().ok_or("--trace-out requires a value")?);
             }
             "--check-baseline" => {
                 options.check_baseline =
@@ -412,6 +544,16 @@ fn cluster_main(options: ClusterOptions) -> ExitCode {
         };
         if !check_events_per_sec(events_per_sec, baseline_eps, "cluster") {
             print_per_level_breakdown(&cells);
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &options.trace_out {
+        let trace_opts = TraceScenarioOptions {
+            nodes: options.nodes,
+            seed: options.seed,
+            ..TraceScenarioOptions::serving()
+        };
+        if !export_trace(&trace_opts, path) {
             return ExitCode::FAILURE;
         }
     }
@@ -648,6 +790,7 @@ struct FaultsOptions {
     reps: usize,
     out: String,
     check_baseline: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_faults_args(args: impl Iterator<Item = String>) -> Result<FaultsOptions, String> {
@@ -660,6 +803,7 @@ fn parse_faults_args(args: impl Iterator<Item = String>) -> Result<FaultsOptions
         reps: defaults.repetitions,
         out: "BENCH_cluster_faults.json".to_string(),
         check_baseline: None,
+        trace_out: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -701,6 +845,9 @@ fn parse_faults_args(args: impl Iterator<Item = String>) -> Result<FaultsOptions
             }
             "--out" => {
                 options.out = args.next().ok_or("--out requires a value")?;
+            }
+            "--trace-out" => {
+                options.trace_out = Some(args.next().ok_or("--trace-out requires a value")?);
             }
             "--check-baseline" => {
                 options.check_baseline =
@@ -852,6 +999,17 @@ fn faults_main(options: FaultsOptions) -> ExitCode {
         }
         eprintln!("[throughput] baseline check passed: sweep_hash {measured_hash} matches");
     }
+    if let Some(path) = &options.trace_out {
+        let trace_opts = TraceScenarioOptions {
+            nodes: options.nodes,
+            rho: options.rho,
+            seed: options.seed,
+            ..TraceScenarioOptions::faults()
+        };
+        if !export_trace(&trace_opts, path) {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -863,6 +1021,7 @@ struct MigrationOptions {
     reps: usize,
     out: String,
     check_baseline: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_migration_args(args: impl Iterator<Item = String>) -> Result<MigrationOptions, String> {
@@ -875,6 +1034,7 @@ fn parse_migration_args(args: impl Iterator<Item = String>) -> Result<MigrationO
         reps: defaults.repetitions,
         out: "BENCH_cluster_migration.json".to_string(),
         check_baseline: None,
+        trace_out: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -916,6 +1076,9 @@ fn parse_migration_args(args: impl Iterator<Item = String>) -> Result<MigrationO
             }
             "--out" => {
                 options.out = args.next().ok_or("--out requires a value")?;
+            }
+            "--trace-out" => {
+                options.trace_out = Some(args.next().ok_or("--trace-out requires a value")?);
             }
             "--check-baseline" => {
                 options.check_baseline =
@@ -1084,11 +1247,32 @@ fn migration_main(options: MigrationOptions) -> ExitCode {
              p99 win at {wins} severity level(s)"
         );
     }
+    if let Some(path) = &options.trace_out {
+        let trace_opts = TraceScenarioOptions {
+            nodes: options.nodes,
+            rho: options.rho,
+            seed: options.seed,
+            ..TraceScenarioOptions::migration()
+        };
+        if !export_trace(&trace_opts, path) {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut args = env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("trace") {
+        args.next();
+        return match parse_trace_args(args) {
+            Ok(options) => trace_main(options),
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.peek().map(String::as_str) == Some("cluster-migration") {
         args.next();
         return match parse_migration_args(args) {
@@ -1168,7 +1352,7 @@ fn main() -> ExitCode {
     eprintln!("[throughput] parallel / plan-cached fast path ...");
     plan_cache::clear();
     let parallel_start = Instant::now();
-    let fast = run_grid(&configs, &opts);
+    let (fast, estimate_cache) = run_grid_instrumented(&configs, &opts);
     let parallel_s = parallel_start.elapsed().as_secs_f64();
     let cache = plan_cache::stats();
 
@@ -1187,12 +1371,16 @@ fn main() -> ExitCode {
                 acc.stp += s.stp;
                 acc.preemptions += s.preemptions;
                 acc.kill_restarts += s.kill_restarts;
+                acc.quanta_skipped += s.quanta_skipped;
+                acc.replayed_token_grants += s.replayed_token_grants;
                 acc
             });
     let cell_count = fast.len().max(1) as f64;
+    let estimate_lookups = estimate_cache.hits + estimate_cache.misses;
+    let estimate_hit_rate = estimate_cache.hits as f64 / (estimate_lookups.max(1)) as f64;
 
     let report = format!(
-        "{{\n  \"bench\": \"sim_suite_throughput\",\n  \"runs\": {},\n  \"configs\": {},\n  \"cells\": {},\n  \"threads\": {},\n  \"scheduler_events\": {},\n  \"serial_uncached\": {{ \"wall_s\": {:.4}, \"events_per_sec\": {:.0} }},\n  \"parallel_cached\": {{ \"wall_s\": {:.4}, \"events_per_sec\": {:.0} }},\n  \"speedup\": {:.2},\n  \"plan_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }},\n  \"grid\": {{ \"mean_antt\": {:.4}, \"mean_stp\": {:.4}, \"preemptions\": {}, \"kill_restarts\": {} }},\n  \"outcomes_identical\": {}\n}}\n",
+        "{{\n  \"bench\": \"sim_suite_throughput\",\n  \"runs\": {},\n  \"configs\": {},\n  \"cells\": {},\n  \"threads\": {},\n  \"scheduler_events\": {},\n  \"serial_uncached\": {{ \"wall_s\": {:.4}, \"events_per_sec\": {:.0} }},\n  \"parallel_cached\": {{ \"wall_s\": {:.4}, \"events_per_sec\": {:.0} }},\n  \"speedup\": {:.2},\n  \"plan_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }},\n  \"predictor_cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }},\n  \"grid\": {{ \"mean_antt\": {:.4}, \"mean_stp\": {:.4}, \"preemptions\": {}, \"kill_restarts\": {}, \"quanta_skipped\": {}, \"replayed_token_grants\": {} }},\n  \"outcomes_identical\": {}\n}}\n",
         opts.runs,
         configs.len(),
         cells,
@@ -1207,10 +1395,15 @@ fn main() -> ExitCode {
         cache.misses,
         cache.entries,
         cache.hit_rate(),
+        estimate_cache.hits,
+        estimate_cache.misses,
+        estimate_hit_rate,
         grid_summary.antt / cell_count,
         grid_summary.stp / cell_count,
         grid_summary.preemptions,
         grid_summary.kill_restarts,
+        grid_summary.quanta_skipped,
+        grid_summary.replayed_token_grants,
         identical,
     );
     print!("{report}");

@@ -41,6 +41,7 @@ pub mod scale;
 pub mod sensitivity;
 pub mod suite;
 pub mod tables;
+pub mod trace;
 
 pub use cluster::{run_cluster_sweep, ClusterCell, ClusterSweepOptions};
 pub use suite::{ConfigResult, SuiteOptions};

@@ -27,7 +27,7 @@ use npu_sim::NpuConfig;
 use prema_core::plan::plan_cache;
 use prema_core::{NpuSimulator, Priority, SchedulerConfig, SimOutcome};
 use prema_metrics::{average_metrics, MultiTaskMetrics, Percentiles, SlaCurve, TaskOutcome};
-use prema_predictor::AnalyticalPredictor;
+use prema_predictor::{AnalyticalPredictor, EstimateCacheStats};
 use prema_workload::generator::{generate_workload, WorkloadConfig};
 use prema_workload::prepare::{
     outcomes_of, plan_keys, prepare_workload, prepare_workload_uncached, PreparedWorkload,
@@ -151,6 +151,16 @@ pub fn build_predictor(npu: &NpuConfig, seed: u64) -> AnalyticalPredictor {
 /// configuration order, so `grid[run * configs.len() + c]` is run `run`
 /// under `configs[c]`.
 pub fn run_grid(configs: &[SchedulerConfig], opts: &SuiteOptions) -> Vec<SimOutcome> {
+    run_grid_instrumented(configs, opts).0
+}
+
+/// [`run_grid`], additionally returning the hit/miss counters of the
+/// estimate cache the grid's prepare phase consulted — the throughput
+/// report surfaces them next to the plan cache's.
+pub fn run_grid_instrumented(
+    configs: &[SchedulerConfig],
+    opts: &SuiteOptions,
+) -> (Vec<SimOutcome>, EstimateCacheStats) {
     assert!(
         !configs.is_empty(),
         "at least one configuration is required"
@@ -182,7 +192,7 @@ pub fn run_grid(configs: &[SchedulerConfig], opts: &SuiteOptions) -> Vec<SimOutc
     // the results; cells are aggregated run-major either way.
     let prepare_run =
         |spec: &_| -> PreparedWorkload { prepare_workload(spec, &opts.npu, Some(&predictor)) };
-    if parallel {
+    let outcomes = if parallel {
         let prepared: Vec<PreparedWorkload> = specs.par_iter().map(&prepare_run).collect();
         let cells: Vec<(usize, usize)> = (0..opts.runs)
             .flat_map(|run| (0..configs.len()).map(move |c| (run, c)))
@@ -203,7 +213,9 @@ pub fn run_grid(configs: &[SchedulerConfig], opts: &SuiteOptions) -> Vec<SimOutc
             }
         }
         outcomes
-    }
+    };
+    let estimate_cache = predictor.cache_stats();
+    (outcomes, estimate_cache)
 }
 
 /// The single-threaded, cache-free reference sweep over the same

@@ -160,6 +160,8 @@ fn empty_outcome() -> SimOutcome {
         checkpoint_preemptions: 0,
         kill_preemptions: 0,
         drain_decisions: 0,
+        quanta_skipped: 0,
+        replayed_token_grants: 0,
     }
 }
 

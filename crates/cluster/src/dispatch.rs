@@ -15,12 +15,16 @@
 //! in reality, so these are *estimates* — exactly the imprecision a real
 //! cluster front-end operates under.
 
+use std::cell::RefCell;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use npu_sim::Cycles;
-use prema_core::Priority;
+use prema_core::{Priority, TaskId};
+
+use crate::trace::{ClusterTraceEvent, ClusterTraceSink, NodeKey, NodeKeySet, NullClusterSink};
 
 /// Which node an arriving request is sent to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -202,9 +206,46 @@ impl Dispatcher {
     /// non-decreasing arrival order. Load-based policies break ties toward
     /// the lowest node index.
     pub fn assign(&mut self, arrival: Cycles, estimate: Cycles, priority: Priority) -> usize {
+        self.assign_with(
+            TaskId(u64::MAX),
+            arrival,
+            estimate,
+            priority,
+            &RefCell::new(NullClusterSink),
+        )
+    }
+
+    /// [`Dispatcher::assign`] with a [`ClusterTraceSink`] attached: the
+    /// decision is recorded as a [`ClusterTraceEvent::DispatchDecision`]
+    /// carrying `task` and, for the load-based policies, the per-node
+    /// front-end ledger scores actually compared (the stateless policies —
+    /// random, round-robin — record an empty key set). The sink only
+    /// observes: the chosen node is identical to [`Dispatcher::assign`]'s.
+    pub fn assign_with<C: ClusterTraceSink>(
+        &mut self,
+        task: TaskId,
+        arrival: Cycles,
+        estimate: Cycles,
+        priority: Priority,
+        trace: &RefCell<C>,
+    ) -> usize {
         for ledger in &mut self.ledgers {
             ledger.prune(arrival);
         }
+        let score = |ledger: &NodeLedger| -> Option<(u64, u64)> {
+            let work = ledger.work_left_at(arrival).get();
+            match self.policy {
+                DispatchPolicy::Random | DispatchPolicy::RoundRobin => None,
+                DispatchPolicy::ShortestQueue => Some((ledger.queued_at() as u64, work)),
+                DispatchPolicy::LeastWork => Some((work, work)),
+                DispatchPolicy::Predictive => Some((
+                    ledger
+                        .predicted_completion(arrival, estimate, priority)
+                        .get(),
+                    work,
+                )),
+            }
+        };
         let node = match self.policy {
             DispatchPolicy::Random => self.rng.gen_range(0..self.ledgers.len()),
             DispatchPolicy::RoundRobin => {
@@ -220,6 +261,27 @@ impl Dispatcher {
                     .get()
             }),
         };
+        if C::ENABLED {
+            let mut keys = NodeKeySet::default();
+            for (index, ledger) in self.ledgers.iter().enumerate() {
+                if let Some(key) = score(ledger) {
+                    keys.push(NodeKey {
+                        node: index,
+                        penalty: 0,
+                        key,
+                        lower_bounded: false,
+                    });
+                }
+            }
+            trace.borrow_mut().cluster_event(
+                arrival,
+                ClusterTraceEvent::DispatchDecision {
+                    task,
+                    chosen: node,
+                    keys,
+                },
+            );
+        }
         self.ledgers[node].admit(arrival, estimate, priority);
         node
     }

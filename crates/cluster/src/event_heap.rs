@@ -50,11 +50,15 @@
 //! are re-sorted, and within one arrival's shed loop only the shedded
 //! node's segment is rebuilt.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
 
 use npu_sim::{Cycles, NpuConfig};
-use prema_core::{NpuSimulator, PreparedTask, ResidentTask, SimSession, TaskId, TaskRequest};
+use prema_core::{
+    NpuSimulator, PreparedTask, ResidentTask, SimSession, TaskId, TaskRequest, TraceSink,
+};
 use prema_metrics::Percentiles;
 
 use prema_workload::FaultKind;
@@ -66,15 +70,33 @@ use crate::online::{
     arrival_order, deliver_due_migrations, finish_outcome, scaled_admission_target,
     OnlineClusterConfig, OnlineDispatchPolicy, OnlineOutcome, ShedKey, SlaAdmissionConfig,
 };
+use crate::trace::{
+    sample_nodes, ClusterTraceEvent, ClusterTraceSink, FaultTraceKind, NodeKey, NodeKeySet,
+    NodeTap, NullClusterSink,
+};
 
 /// Runs the event-heap closed-loop simulation. Caller has validated the
 /// config and checked id uniqueness.
 pub(crate) fn run(config: &OnlineClusterConfig, tasks: &[PreparedTask]) -> OnlineOutcome {
+    let trace = Rc::new(RefCell::new(NullClusterSink));
+    run_impl(config, tasks, &trace)
+}
+
+/// [`run`] with a cluster trace sink shared between the loop and every node
+/// session. The sink only observes — outcomes are bit-identical to the
+/// untraced run.
+pub(crate) fn run_impl<C: ClusterTraceSink>(
+    config: &OnlineClusterConfig,
+    tasks: &[PreparedTask],
+    trace: &Rc<RefCell<C>>,
+) -> OnlineOutcome {
     let simulator = NpuSimulator::new(config.npu.clone(), config.scheduler.clone());
-    let sessions: Vec<SimSession> = (0..config.nodes).map(|_| simulator.session(&[])).collect();
+    let sessions: Vec<SimSession<NodeTap<C>>> = (0..config.nodes)
+        .map(|node| simulator.session_with_sink(&[], NodeTap::new(node, Rc::clone(trace))))
+        .collect();
     let order = arrival_order(tasks);
 
-    let mut driver = EventHeapLoop::new(config, sessions);
+    let mut driver = EventHeapLoop::new(config, sessions, Rc::clone(trace));
     let mut assignments: Vec<NodeAssignment> = Vec::with_capacity(tasks.len());
     let mut assignment_index: HashMap<TaskId, usize> = HashMap::with_capacity(tasks.len());
     let mut shed: Vec<TaskRequest> = Vec::new();
@@ -106,6 +128,7 @@ pub(crate) fn run(config: &OnlineClusterConfig, tasks: &[PreparedTask]) -> Onlin
             &mut assignments,
             &assignment_index,
         );
+        sample_nodes(&driver.sessions, now, trace);
 
         let node = driver.pick_node(now, task, faults.as_ref());
         if let Some(admission) = config.admission {
@@ -204,7 +227,7 @@ impl PredictionSegment {
     /// work per wall cycle, so neither the absolute completions nor the
     /// backlogs stay constant between queries); rebuilding at every query
     /// reproduces exactly the reference's fresh recomputation.
-    fn refresh(&mut self, session: &SimSession, scratch: &mut Vec<ResidentTask>) {
+    fn refresh<S: TraceSink>(&mut self, session: &SimSession<S>, scratch: &mut Vec<ResidentTask>) {
         let now = session.now();
         if self.valid
             && self.version == session.state_version()
@@ -257,13 +280,17 @@ impl PredictionSegment {
 /// The event-heap loop state: sessions, the lazily invalidated certificate
 /// heap, and the reused admission scratch buffers.
 #[derive(Debug)]
-struct EventHeapLoop<'a> {
+struct EventHeapLoop<'a, C: ClusterTraceSink> {
     config: &'a OnlineClusterConfig,
     /// Whether decisions require every node synchronized at the decision
     /// instant (work stealing / SLA admission) rather than lazy
     /// certificates.
     synchronized: bool,
-    sessions: Vec<SimSession>,
+    sessions: Vec<SimSession<NodeTap<C>>>,
+    /// The shared cluster trace sink (disabled sinks compile the emission
+    /// sites away). Borrowed only *between* session calls: the sessions'
+    /// node taps borrow the same cell from inside engine methods.
+    trace: Rc<RefCell<C>>,
     /// Min-heap of (completion-certificate, node) candidates, lazy mode
     /// only. An entry is current iff the session still reports exactly
     /// that bound; every session mutation pushes the fresh bound, stale
@@ -278,8 +305,12 @@ struct EventHeapLoop<'a> {
     residents_scratch: Vec<ResidentTask>,
 }
 
-impl<'a> EventHeapLoop<'a> {
-    fn new(config: &'a OnlineClusterConfig, sessions: Vec<SimSession>) -> Self {
+impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
+    fn new(
+        config: &'a OnlineClusterConfig,
+        sessions: Vec<SimSession<NodeTap<C>>>,
+        trace: Rc<RefCell<C>>,
+    ) -> Self {
         let nodes = sessions.len();
         EventHeapLoop {
             config,
@@ -287,6 +318,7 @@ impl<'a> EventHeapLoop<'a> {
                 || config.admission.is_some()
                 || config.migration.is_some(),
             sessions,
+            trace,
             heap: BinaryHeap::with_capacity(nodes * 2),
             due_scratch: Vec::with_capacity(nodes),
             predictions: vec![PredictionSegment::default(); nodes],
@@ -304,6 +336,11 @@ impl<'a> EventHeapLoop<'a> {
         }
         if let Some(bound) = self.sessions[i].completion_lower_bound() {
             self.heap.push(Reverse((bound, i)));
+            if C::ENABLED {
+                self.trace
+                    .borrow_mut()
+                    .cluster_event(bound, ClusterTraceEvent::HeapPush { node: i, bound });
+            }
         }
     }
 
@@ -328,7 +365,16 @@ impl<'a> EventHeapLoop<'a> {
             if self.sessions[i].completion_lower_bound() == Some(bound)
                 && !self.due_scratch.contains(&i)
             {
+                if C::ENABLED {
+                    self.trace
+                        .borrow_mut()
+                        .cluster_event(t, ClusterTraceEvent::HeapPop { node: i, bound });
+                }
                 self.due_scratch.push(i);
+            } else if C::ENABLED {
+                self.trace
+                    .borrow_mut()
+                    .cluster_event(t, ClusterTraceEvent::HeapStaleDrop { node: i, bound });
             }
         }
         for k in 0..self.due_scratch.len() {
@@ -398,9 +444,10 @@ impl<'a> EventHeapLoop<'a> {
                         step,
                         assignments,
                         assignment_index,
+                        &self.trace,
                     );
                 }
-                migration.round(&mut self.sessions, step);
+                migration.round(&mut self.sessions, step, &self.trace);
             }
             if step == t {
                 return;
@@ -455,6 +502,16 @@ impl<'a> EventHeapLoop<'a> {
             self.sessions[thief]
                 .inject(prepared)
                 .expect("revoked task re-injects cleanly");
+            if C::ENABLED {
+                self.trace.borrow_mut().cluster_event(
+                    self.sessions[thief].now(),
+                    ClusterTraceEvent::Steal {
+                        task: stolen.id,
+                        from: victim,
+                        to: thief,
+                    },
+                );
+            }
             if let Some(&slot) = assignment_index.get(&stolen.id) {
                 assignments[slot].node = thief;
             }
@@ -512,7 +569,7 @@ impl<'a> EventHeapLoop<'a> {
     ) -> usize {
         let priority = task.request.priority;
         let dispatch = self.config.dispatch;
-        let score = |session: &SimSession, lag: u64| -> (u64, u64) {
+        let score = |session: &SimSession<NodeTap<C>>, lag: u64| -> (u64, u64) {
             let remaining = session.predicted_remaining_work().get().saturating_sub(lag);
             match dispatch {
                 OnlineDispatchPolicy::ShortestQueue => (session.queue_depth() as u64, remaining),
@@ -527,6 +584,7 @@ impl<'a> EventHeapLoop<'a> {
             }
         };
         type PenaltyScore = (u8, (u64, u64));
+        let mut keys = NodeKeySet::default();
         let mut best: Option<(PenaltyScore, usize)> = None;
         for i in 0..self.sessions.len() {
             let penalty = faults.map_or(0u8, |driver| driver.penalty(i, t));
@@ -537,17 +595,46 @@ impl<'a> EventHeapLoop<'a> {
             };
             let lower = (penalty, score(&self.sessions[i], lag));
             if best.is_some_and(|(exact, _)| lower >= exact) {
+                if C::ENABLED {
+                    // Skipped unmaterialized: the trace records the lower
+                    // bound the branch-and-bound rule actually compared.
+                    keys.push(NodeKey {
+                        node: i,
+                        penalty,
+                        key: lower.1,
+                        lower_bounded: lag > 0,
+                    });
+                }
                 continue;
             }
             if lag > 0 {
                 self.materialize(i, t);
             }
             let exact = (penalty, score(&self.sessions[i], 0));
+            if C::ENABLED {
+                keys.push(NodeKey {
+                    node: i,
+                    penalty,
+                    key: exact.1,
+                    lower_bounded: false,
+                });
+            }
             if best.is_none_or(|(score, _)| exact < score) {
                 best = Some((exact, i));
             }
         }
-        best.expect("at least one node").1
+        let chosen = best.expect("at least one node").1;
+        if C::ENABLED {
+            self.trace.borrow_mut().cluster_event(
+                t,
+                ClusterTraceEvent::DispatchDecision {
+                    task: task.request.id,
+                    chosen,
+                    keys,
+                },
+            );
+        }
+        chosen
     }
 
     /// The event-heap half of the shared fault/migration timeline (see the
@@ -607,10 +694,31 @@ impl<'a> EventHeapLoop<'a> {
                 while let Some(event) = driver.pop_due(t) {
                     match event {
                         FaultEvent::Fault(fault) => {
+                            if C::ENABLED {
+                                let kind = match fault.kind {
+                                    FaultKind::Crash => FaultTraceKind::Crash,
+                                    FaultKind::Freeze => FaultTraceKind::Freeze,
+                                    FaultKind::Degrade {
+                                        speed_num,
+                                        speed_den,
+                                    } => FaultTraceKind::Degrade {
+                                        num: speed_num,
+                                        den: speed_den,
+                                    },
+                                };
+                                self.trace.borrow_mut().cluster_event(
+                                    t,
+                                    ClusterTraceEvent::Fault {
+                                        node: fault.node,
+                                        kind,
+                                        until: fault.end,
+                                    },
+                                );
+                            }
                             match fault.kind {
                                 FaultKind::Crash => {
                                     let salvaged = self.sessions[fault.node].fail();
-                                    driver.on_salvaged(fault.node, t, salvaged);
+                                    driver.on_salvaged(fault.node, t, salvaged, &self.trace);
                                     self.sessions[fault.node].stall(fault.end);
                                 }
                                 FaultKind::Freeze => self.sessions[fault.node].stall(fault.end),
@@ -624,6 +732,16 @@ impl<'a> EventHeapLoop<'a> {
                             self.reschedule(fault.node);
                         }
                         FaultEvent::DegradeEnd { node } => {
+                            if C::ENABLED {
+                                self.trace.borrow_mut().cluster_event(
+                                    t,
+                                    ClusterTraceEvent::Fault {
+                                        node,
+                                        kind: FaultTraceKind::DegradeEnd,
+                                        until: t,
+                                    },
+                                );
+                            }
                             self.sessions[node].set_clock_scale(1, 1);
                             self.reschedule(node);
                         }
@@ -633,8 +751,20 @@ impl<'a> EventHeapLoop<'a> {
                                 &pending.salvage.prepared,
                                 Some(driver),
                             );
+                            let origin = (pending.from_node, pending.attempt);
                             let salvage = driver.redispatch(pending, node, t);
                             let id = salvage.prepared.request.id;
+                            if C::ENABLED {
+                                self.trace.borrow_mut().cluster_event(
+                                    t,
+                                    ClusterTraceEvent::Recovery {
+                                        task: id,
+                                        from: origin.0,
+                                        to: node,
+                                        attempt: origin.1,
+                                    },
+                                );
+                            }
                             self.sessions[node]
                                 .inject_salvaged(salvage, t)
                                 .expect("salvaged task id is not live");
@@ -653,9 +783,11 @@ impl<'a> EventHeapLoop<'a> {
                     t,
                     assignments,
                     assignment_index,
+                    &self.trace,
                 );
-                migration.round(&mut self.sessions, t);
+                migration.round(&mut self.sessions, t, &self.trace);
             }
+            sample_nodes(&self.sessions, t, &self.trace);
         }
     }
 
@@ -713,9 +845,27 @@ impl<'a> EventHeapLoop<'a> {
                     let revoked = self.sessions[victim_node]
                         .revoke(victim_id)
                         .expect("resident was reported revocable");
+                    if C::ENABLED {
+                        self.trace.borrow_mut().cluster_event(
+                            self.sessions[victim_node].now(),
+                            ClusterTraceEvent::Shed {
+                                task: victim_id,
+                                node: victim_node,
+                            },
+                        );
+                    }
                     shed.push(revoked.request);
                 }
                 _ => {
+                    if C::ENABLED {
+                        self.trace.borrow_mut().cluster_event(
+                            self.sessions[node].now(),
+                            ClusterTraceEvent::Shed {
+                                task: task.request.id,
+                                node,
+                            },
+                        );
+                    }
                     shed.push(task.request);
                     return false;
                 }

@@ -39,6 +39,7 @@
 //! were live at that boundary. Restart-from-zero recovery discards the
 //! cursor (and pays no restore) but repeats all the work.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -47,6 +48,8 @@ use serde::{Deserialize, Serialize};
 use npu_sim::{Cycles, NpuConfig};
 use prema_core::{SalvagedTask, TaskId, TaskRequest};
 use prema_workload::{FaultKind, FaultSchedule, NodeFault};
+
+use crate::trace::{ClusterTraceEvent, ClusterTraceSink};
 
 /// How salvaged work is re-dispatched after a node crash.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -355,12 +358,28 @@ impl<'a> FaultDriver<'a> {
 
     /// Accepts a crash's salvage manifests (taken at `at` off `node`):
     /// tasks within their retry budget enter the backoff heap, the rest are
-    /// abandoned.
-    pub(crate) fn on_salvaged(&mut self, node: usize, at: Cycles, salvaged: Vec<SalvagedTask>) {
+    /// abandoned (and reported to the trace sink).
+    pub(crate) fn on_salvaged<C: ClusterTraceSink>(
+        &mut self,
+        node: usize,
+        at: Cycles,
+        salvaged: Vec<SalvagedTask>,
+        trace: &RefCell<C>,
+    ) {
         for salvage in salvaged {
             let id = salvage.prepared.request.id;
             let attempt = self.attempts.get(&id).copied().unwrap_or(0) + 1;
             if attempt > self.plan.recovery.retry_budget {
+                if C::ENABLED {
+                    trace.borrow_mut().cluster_event(
+                        at,
+                        ClusterTraceEvent::Abandon {
+                            task: id,
+                            node,
+                            attempts: attempt,
+                        },
+                    );
+                }
                 self.tally.abandoned.push(salvage.prepared.request);
                 continue;
             }
@@ -454,6 +473,10 @@ mod tests {
     use dnn_models::ModelKind;
     use prema_core::PreparedTask;
 
+    fn null_trace() -> RefCell<crate::trace::NullClusterSink> {
+        RefCell::new(crate::trace::NullClusterSink)
+    }
+
     fn salvage_of(id: u64) -> SalvagedTask {
         let prepared = PreparedTask::prepare(
             TaskRequest::new(TaskId(id), ModelKind::CnnAlexNet),
@@ -502,7 +525,7 @@ mod tests {
         assert_eq!(fault.node, 0);
         // Zero backoff: the salvage is due immediately, and a fault at the
         // same instant would still pop first.
-        driver.on_salvaged(0, Cycles::new(1_000), vec![salvage_of(7)]);
+        driver.on_salvaged(0, Cycles::new(1_000), vec![salvage_of(7)], &null_trace());
         assert_eq!(driver.next_event_time(), Some(Cycles::new(1_000)));
         let Some(FaultEvent::Recovery(pending)) = driver.pop_due(Cycles::new(1_000)) else {
             panic!("recovery due at its backoff expiry");
@@ -533,14 +556,14 @@ mod tests {
         });
         let mut driver = FaultDriver::new(&plan, &npu, 1);
         let base = npu.millis_to_cycles(1.0);
-        driver.on_salvaged(0, Cycles::ZERO, vec![salvage_of(1)]);
+        driver.on_salvaged(0, Cycles::ZERO, vec![salvage_of(1)], &null_trace());
         assert_eq!(driver.next_event_time(), Some(base));
         let Some(FaultEvent::Recovery(first)) = driver.pop_due(base) else {
             panic!("first attempt due after one backoff base");
         };
         let _ = driver.redispatch(first, 0, base);
         // Second salvage: the backoff doubles.
-        driver.on_salvaged(0, base, vec![salvage_of(1)]);
+        driver.on_salvaged(0, base, vec![salvage_of(1)], &null_trace());
         assert_eq!(driver.next_event_time(), Some(base + base + base));
         let Some(FaultEvent::Recovery(second)) = driver.pop_due(Cycles::MAX) else {
             panic!("second attempt queued");
@@ -548,7 +571,7 @@ mod tests {
         assert_eq!(second.attempt, 2);
         let _ = driver.redispatch(second, 0, base + base + base);
         // Third salvage exhausts the budget of 2.
-        driver.on_salvaged(0, base, vec![salvage_of(1)]);
+        driver.on_salvaged(0, base, vec![salvage_of(1)], &null_trace());
         assert!(driver.pending.is_empty());
         let tally = driver.finish();
         assert_eq!(tally.abandoned.len(), 1);
@@ -656,7 +679,7 @@ mod tests {
         let mut salvage = salvage_of(3);
         salvage.resume_executed = Cycles::new(4_096);
         salvage.checkpoint_bytes = 64;
-        driver.on_salvaged(0, Cycles::ZERO, vec![salvage]);
+        driver.on_salvaged(0, Cycles::ZERO, vec![salvage], &null_trace());
         let Some(FaultEvent::Recovery(pending)) = driver.pop_due(Cycles::MAX) else {
             panic!("recovery queued");
         };

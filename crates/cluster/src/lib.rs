@@ -89,6 +89,7 @@ pub mod interconnect;
 pub mod metrics;
 pub mod migration;
 pub mod online;
+pub mod trace;
 
 pub use cluster::{ClusterConfig, ClusterOutcome, ClusterSimulator, NodeAssignment};
 pub use dispatch::{DispatchPolicy, Dispatcher};
@@ -99,4 +100,9 @@ pub use migration::{MigrationConfig, MigrationRecord};
 pub use online::{
     online_outcome_hash, OnlineClusterConfig, OnlineClusterSimulator, OnlineDispatchPolicy,
     OnlineOutcome, SlaAdmissionConfig,
+};
+pub use trace::{
+    ClusterTraceEvent, ClusterTraceSink, FaultTraceKind, FlightEntry, FlightRecorder,
+    JsonTraceSink, NodeKey, NodeKeySet, NodeSamplePoint, NodeTap, NullClusterSink,
+    TraceReconciliation, VecClusterSink, MAX_TRACE_NODES,
 };

@@ -41,15 +41,17 @@
 //! the loops treat deliveries as arrival events at the destination, global
 //! synchronization points exactly like fault instants.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
 use npu_sim::{CheckpointModel, Cycles, NpuConfig};
-use prema_core::{ResidentTask, SalvagedTask, SimSession, TaskId};
+use prema_core::{ResidentTask, SalvagedTask, SimSession, TaskId, TraceSink};
 
 use crate::interconnect::InterconnectConfig;
+use crate::trace::{ClusterTraceEvent, ClusterTraceSink};
 
 /// Configuration of deadline-triggered checkpoint migration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -230,7 +232,15 @@ impl<'a> MigrationDriver<'a> {
     /// deadline-blown started task in drain order, price stay-vs-move, and
     /// (budget and hysteresis permitting) extract it and put it in flight.
     /// At most one evacuation per source per round.
-    pub(crate) fn round(&mut self, sessions: &mut [SimSession], t: Cycles) {
+    ///
+    /// The trace sink is borrowed only *between* session calls — the
+    /// sessions' own taps borrow the same cell from inside `checkpoint_out`.
+    pub(crate) fn round<S: TraceSink, C: ClusterTraceSink>(
+        &mut self,
+        sessions: &mut [SimSession<S>],
+        t: Cycles,
+        trace: &RefCell<C>,
+    ) {
         for from in 0..sessions.len() {
             if sessions[from].stalled_until().is_some()
                 || self.budget_used[from] >= self.config.node_budget
@@ -281,6 +291,20 @@ impl<'a> MigrationDriver<'a> {
                 at: t,
                 arrive_at: due,
             });
+            if C::ENABLED {
+                trace.borrow_mut().cluster_event(
+                    t,
+                    ClusterTraceEvent::MigrationOut {
+                        task: id,
+                        from,
+                        to,
+                        bytes,
+                        stay_cost: stay,
+                        move_cost,
+                        arrive_at: due,
+                    },
+                );
+            }
             self.pending.push(Reverse(PendingMigration {
                 due,
                 seq: self.seq,
@@ -297,9 +321,9 @@ impl<'a> MigrationDriver<'a> {
     /// is the candidate. Returns `(id, priority, estimated remaining, stay
     /// cost)` — the stay cost is the scaled wall time of everything at or
     /// ahead of the candidate.
-    fn deadline_candidate(
+    fn deadline_candidate<S: TraceSink>(
         &mut self,
-        session: &SimSession,
+        session: &SimSession<S>,
     ) -> Option<(TaskId, prema_core::Priority, Cycles, Cycles)> {
         self.residents.clear();
         session.resident_tasks_into(&mut self.residents);

@@ -80,14 +80,16 @@
 //! [`online_outcome_hash`]. Everything is a pure function of the inputs —
 //! no RNG at all on the closed-loop path — pinned by `tests/determinism.rs`.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
 
 use npu_sim::{Cycles, NpuConfig};
 use prema_core::{
     NpuSimulator, PreparedTask, Priority, ResidentTask, SchedulerConfig, SimSession, TaskId,
-    TaskRequest,
+    TaskRequest, TraceSink,
 };
 use prema_metrics::Percentiles;
 
@@ -97,6 +99,10 @@ use crate::cluster::{ClusterOutcome, NodeAssignment};
 use crate::faults::{ClusterFaultPlan, FaultDriver, FaultEvent, FaultTally, RecoveryRecord};
 use crate::metrics::fold_hashes;
 use crate::migration::{MigrationConfig, MigrationDriver, MigrationRecord, MigrationTally};
+use crate::trace::{
+    sample_nodes, ClusterTraceEvent, ClusterTraceSink, FaultTraceKind, NodeKey, NodeKeySet,
+    NodeTap, NullClusterSink,
+};
 
 /// Which live-state signal the closed-loop dispatcher minimizes at each
 /// arrival. These mirror the open-loop policies of
@@ -401,6 +407,31 @@ impl OnlineClusterSimulator {
         crate::event_heap::run(&self.config, tasks)
     }
 
+    /// Like [`OnlineClusterSimulator::run`] with a [`ClusterTraceSink`]
+    /// attached: every dispatch decision (with the per-node keys actually
+    /// compared), steal, shed, fault, recovery, migration and
+    /// certificate-heap event is streamed to `sink`, which is returned
+    /// alongside the outcome. Tracing never perturbs the simulation — the
+    /// outcome is bit-identical to the untraced run (property-tested by
+    /// `tests/trace.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if task IDs are not unique across the whole cluster workload.
+    pub fn run_traced<C: ClusterTraceSink>(
+        &self,
+        tasks: &[PreparedTask],
+        sink: C,
+    ) -> (OnlineOutcome, C) {
+        assert_unique_ids(tasks);
+        let trace = Rc::new(RefCell::new(sink));
+        let outcome = crate::event_heap::run_impl(&self.config, tasks, &trace);
+        let sink = Rc::try_unwrap(trace)
+            .expect("every node tap is dropped with its finished session")
+            .into_inner();
+        (outcome, sink)
+    }
+
     /// The naive stepping loop PR 4 shipped, kept as the semantic oracle
     /// for [`OnlineClusterSimulator::run`] and as the baseline the
     /// `cluster-scale` bench measures the event-heap loop against: every
@@ -417,10 +448,39 @@ impl OnlineClusterSimulator {
     /// Panics if task IDs are not unique across the whole cluster workload.
     pub fn run_reference(&self, tasks: &[PreparedTask]) -> OnlineOutcome {
         assert_unique_ids(tasks);
+        let trace = Rc::new(RefCell::new(NullClusterSink));
+        self.run_reference_impl(tasks, &trace)
+    }
 
+    /// Like [`OnlineClusterSimulator::run_reference`] with a
+    /// [`ClusterTraceSink`] attached (the oracle counterpart of
+    /// [`OnlineClusterSimulator::run_traced`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if task IDs are not unique across the whole cluster workload.
+    pub fn run_reference_traced<C: ClusterTraceSink>(
+        &self,
+        tasks: &[PreparedTask],
+        sink: C,
+    ) -> (OnlineOutcome, C) {
+        assert_unique_ids(tasks);
+        let trace = Rc::new(RefCell::new(sink));
+        let outcome = self.run_reference_impl(tasks, &trace);
+        let sink = Rc::try_unwrap(trace)
+            .expect("every node tap is dropped with its finished session")
+            .into_inner();
+        (outcome, sink)
+    }
+
+    fn run_reference_impl<C: ClusterTraceSink>(
+        &self,
+        tasks: &[PreparedTask],
+        trace: &Rc<RefCell<C>>,
+    ) -> OnlineOutcome {
         let simulator = NpuSimulator::new(self.config.npu.clone(), self.config.scheduler.clone());
-        let mut sessions: Vec<SimSession> = (0..self.config.nodes)
-            .map(|_| simulator.session(&[]))
+        let mut sessions: Vec<SimSession<NodeTap<C>>> = (0..self.config.nodes)
+            .map(|node| simulator.session_with_sink(&[], NodeTap::new(node, Rc::clone(trace))))
             .collect();
 
         let order = arrival_order(tasks);
@@ -452,6 +512,7 @@ impl OnlineClusterSimulator {
                 &mut steals,
                 &mut assignments,
                 &assignment_index,
+                trace,
             );
             self.advance_to(
                 &mut sessions,
@@ -460,11 +521,13 @@ impl OnlineClusterSimulator {
                 &mut steals,
                 &mut assignments,
                 &assignment_index,
+                trace,
             );
+            sample_nodes(&sessions, now, trace);
 
-            let node = self.pick_node(&sessions, task, driver.as_ref(), now);
+            let node = self.pick_node(&sessions, task, driver.as_ref(), now, trace);
             if let Some(admission) = self.config.admission {
-                if !self.admit(&mut sessions, task, node, admission, &mut shed) {
+                if !self.admit(&mut sessions, task, node, admission, &mut shed, trace) {
                     continue;
                 }
             }
@@ -490,6 +553,7 @@ impl OnlineClusterSimulator {
             &mut steals,
             &mut assignments,
             &assignment_index,
+            trace,
         );
         self.advance_to(
             &mut sessions,
@@ -498,6 +562,7 @@ impl OnlineClusterSimulator {
             &mut steals,
             &mut assignments,
             &assignment_index,
+            trace,
         );
 
         finish_outcome(
@@ -519,15 +584,16 @@ impl OnlineClusterSimulator {
     /// migration rounds put new transfers in flight, so the timeline grows
     /// while it drains; the retry and per-node migration budgets bound it.
     #[allow(clippy::too_many_arguments)]
-    fn drain_fault_events(
+    fn drain_fault_events<S: TraceSink, C: ClusterTraceSink>(
         &self,
-        sessions: &mut [SimSession],
+        sessions: &mut [SimSession<S>],
         driver: &mut Option<FaultDriver<'_>>,
         migration: &mut Option<MigrationDriver<'_>>,
         limit: Cycles,
         steals: &mut u64,
         assignments: &mut [NodeAssignment],
         assignment_index: &HashMap<TaskId, usize>,
+        trace: &RefCell<C>,
     ) {
         loop {
             let fault_next = driver.as_ref().and_then(FaultDriver::next_event_time);
@@ -547,32 +613,81 @@ impl OnlineClusterSimulator {
                 steals,
                 assignments,
                 assignment_index,
+                trace,
             );
             if let Some(driver) = driver.as_mut() {
                 while let Some(event) = driver.pop_due(t) {
                     match event {
-                        FaultEvent::Fault(fault) => match fault.kind {
-                            FaultKind::Crash => {
-                                let salvaged = sessions[fault.node].fail();
-                                driver.on_salvaged(fault.node, t, salvaged);
-                                sessions[fault.node].stall(fault.end);
+                        FaultEvent::Fault(fault) => {
+                            if C::ENABLED {
+                                let kind = match fault.kind {
+                                    FaultKind::Crash => FaultTraceKind::Crash,
+                                    FaultKind::Freeze => FaultTraceKind::Freeze,
+                                    FaultKind::Degrade {
+                                        speed_num,
+                                        speed_den,
+                                    } => FaultTraceKind::Degrade {
+                                        num: speed_num,
+                                        den: speed_den,
+                                    },
+                                };
+                                trace.borrow_mut().cluster_event(
+                                    t,
+                                    ClusterTraceEvent::Fault {
+                                        node: fault.node,
+                                        kind,
+                                        until: fault.end,
+                                    },
+                                );
                             }
-                            FaultKind::Freeze => sessions[fault.node].stall(fault.end),
-                            FaultKind::Degrade {
-                                speed_num,
-                                speed_den,
-                            } => sessions[fault.node].set_clock_scale(speed_num, speed_den),
-                        },
-                        FaultEvent::DegradeEnd { node } => sessions[node].set_clock_scale(1, 1),
+                            match fault.kind {
+                                FaultKind::Crash => {
+                                    let salvaged = sessions[fault.node].fail();
+                                    driver.on_salvaged(fault.node, t, salvaged, trace);
+                                    sessions[fault.node].stall(fault.end);
+                                }
+                                FaultKind::Freeze => sessions[fault.node].stall(fault.end),
+                                FaultKind::Degrade {
+                                    speed_num,
+                                    speed_den,
+                                } => sessions[fault.node].set_clock_scale(speed_num, speed_den),
+                            }
+                        }
+                        FaultEvent::DegradeEnd { node } => {
+                            if C::ENABLED {
+                                trace.borrow_mut().cluster_event(
+                                    t,
+                                    ClusterTraceEvent::Fault {
+                                        node,
+                                        kind: FaultTraceKind::DegradeEnd,
+                                        until: t,
+                                    },
+                                );
+                            }
+                            sessions[node].set_clock_scale(1, 1);
+                        }
                         FaultEvent::Recovery(pending) => {
                             let node = self.pick_node(
                                 sessions,
                                 &pending.salvage.prepared,
                                 Some(driver),
                                 t,
+                                trace,
                             );
+                            let origin = (pending.from_node, pending.attempt);
                             let salvage = driver.redispatch(pending, node, t);
                             let id = salvage.prepared.request.id;
+                            if C::ENABLED {
+                                trace.borrow_mut().cluster_event(
+                                    t,
+                                    ClusterTraceEvent::Recovery {
+                                        task: id,
+                                        from: origin.0,
+                                        to: node,
+                                        attempt: origin.1,
+                                    },
+                                );
+                            }
                             sessions[node]
                                 .inject_salvaged(salvage, t)
                                 .expect("salvaged task id is not live");
@@ -584,9 +699,17 @@ impl OnlineClusterSimulator {
                 }
             }
             if let Some(migration) = migration.as_mut() {
-                deliver_due_migrations(migration, sessions, t, assignments, assignment_index);
-                migration.round(sessions, t);
+                deliver_due_migrations(
+                    migration,
+                    sessions,
+                    t,
+                    assignments,
+                    assignment_index,
+                    trace,
+                );
+                migration.round(sessions, t, trace);
             }
+            sample_nodes(sessions, t, trace);
         }
     }
 
@@ -595,14 +718,16 @@ impl OnlineClusterSimulator {
     /// migration delivery) on the way, so a node that drains between
     /// arrivals steals at its drain moment — and a deadline that slips at a
     /// completion is caught there — rather than at the next arrival.
-    fn advance_to(
+    #[allow(clippy::too_many_arguments)]
+    fn advance_to<S: TraceSink, C: ClusterTraceSink>(
         &self,
-        sessions: &mut [SimSession],
+        sessions: &mut [SimSession<S>],
         migration: &mut Option<MigrationDriver<'_>>,
         t: Cycles,
         steals: &mut u64,
         assignments: &mut [NodeAssignment],
         assignment_index: &HashMap<TaskId, usize>,
+        trace: &RefCell<C>,
     ) {
         if !self.config.work_stealing && migration.is_none() {
             for session in sessions.iter_mut() {
@@ -636,7 +761,7 @@ impl OnlineClusterSimulator {
                 let _ = session.run_until(step);
             }
             if self.config.work_stealing {
-                *steals += steal_onto_idle_nodes(sessions, assignments, assignment_index);
+                *steals += steal_onto_idle_nodes(sessions, assignments, assignment_index, trace);
             }
             if let Some(migration) = migration.as_mut() {
                 if step < t {
@@ -646,9 +771,10 @@ impl OnlineClusterSimulator {
                         step,
                         assignments,
                         assignment_index,
+                        trace,
                     );
                 }
-                migration.round(sessions, step);
+                migration.round(sessions, step, trace);
             }
             if step == t {
                 return;
@@ -674,15 +800,16 @@ impl OnlineClusterSimulator {
     /// cooldown, healthy): a down or cooling-down node only wins when every
     /// healthier node is worse *by tier*. Fault-free runs see a uniform
     /// zero tier, leaving the historical ordering untouched.
-    fn pick_node(
+    fn pick_node<S: TraceSink, C: ClusterTraceSink>(
         &self,
-        sessions: &[SimSession],
+        sessions: &[SimSession<S>],
         task: &PreparedTask,
         faults: Option<&FaultDriver<'_>>,
         now: Cycles,
+        trace: &RefCell<C>,
     ) -> usize {
         let priority = task.request.priority;
-        let score = |session: &SimSession| -> (u64, u64) {
+        let score = |session: &SimSession<S>| -> (u64, u64) {
             let residents = session.resident_tasks();
             let remaining: Cycles = residents
                 .iter()
@@ -703,12 +830,34 @@ impl OnlineClusterSimulator {
             }
         };
         let penalty = |index: usize| faults.map_or(0u8, |driver| driver.penalty(index, now));
-        sessions
+        let chosen = sessions
             .iter()
             .enumerate()
             .min_by_key(|(index, session)| (penalty(*index), score(session), *index))
             .expect("at least one node")
-            .0
+            .0;
+        if C::ENABLED {
+            // The reference path compares every node exactly; rebuild the
+            // keys in a separate pass so the decision code stays untouched.
+            let mut keys = NodeKeySet::default();
+            for (index, session) in sessions.iter().enumerate() {
+                keys.push(NodeKey {
+                    node: index,
+                    penalty: penalty(index),
+                    key: score(session),
+                    lower_bounded: false,
+                });
+            }
+            trace.borrow_mut().cluster_event(
+                now,
+                ClusterTraceEvent::DispatchDecision {
+                    task: task.request.id,
+                    chosen,
+                    keys,
+                },
+            );
+        }
+        chosen
     }
 
     /// SLA-aware admission: predicts the cluster-wide p99 turnaround over
@@ -716,13 +865,15 @@ impl OnlineClusterSimulator {
     /// exceeds the target, sheds the lowest-priority never-started task
     /// cluster-wide. Returns whether the newcomer survived (it is pushed to
     /// `shed` itself otherwise).
-    fn admit(
+    #[allow(clippy::too_many_arguments)]
+    fn admit<S: TraceSink, C: ClusterTraceSink>(
         &self,
-        sessions: &mut [SimSession],
+        sessions: &mut [SimSession<S>],
         task: &PreparedTask,
         node: usize,
         admission: SlaAdmissionConfig,
         shed: &mut Vec<TaskRequest>,
+        trace: &RefCell<C>,
     ) -> bool {
         let npu = &self.config.npu;
         let incoming_priority = task.request.priority;
@@ -775,11 +926,29 @@ impl OnlineClusterSimulator {
                     let revoked = sessions[victim_node]
                         .revoke(victim_id)
                         .expect("resident was reported revocable");
+                    if C::ENABLED {
+                        trace.borrow_mut().cluster_event(
+                            sessions[victim_node].now(),
+                            ClusterTraceEvent::Shed {
+                                task: victim_id,
+                                node: victim_node,
+                            },
+                        );
+                    }
                     shed.push(revoked.request);
                 }
                 _ => {
                     // The newcomer is itself the lowest-priority work (or
                     // nothing else is sheddable): reject it.
+                    if C::ENABLED {
+                        trace.borrow_mut().cluster_event(
+                            sessions[node].now(),
+                            ClusterTraceEvent::Shed {
+                                task: task.request.id,
+                                node,
+                            },
+                        );
+                    }
                     shed.push(task.request);
                     return false;
                 }
@@ -828,7 +997,10 @@ pub(crate) fn arrival_order(tasks: &[PreparedTask]) -> Vec<usize> {
 /// window), so a degraded cluster sheds proportionally earlier instead of
 /// queueing work the surviving capacity cannot absorb. Fault-free (and
 /// fault-idle) instants leave the target exactly unchanged.
-pub(crate) fn scaled_admission_target(sessions: &[SimSession], target_p99_ms: f64) -> f64 {
+pub(crate) fn scaled_admission_target<S: TraceSink>(
+    sessions: &[SimSession<S>],
+    target_p99_ms: f64,
+) -> f64 {
     let up = sessions
         .iter()
         .filter(|session| session.stalled_until().is_none())
@@ -839,8 +1011,8 @@ pub(crate) fn scaled_admission_target(sessions: &[SimSession], target_p99_ms: f6
 /// Finishes every session and assembles the [`OnlineOutcome`], dropping
 /// shed and abandoned tasks' assignment entries so assignments biject onto
 /// records.
-pub(crate) fn finish_outcome(
-    sessions: Vec<SimSession>,
+pub(crate) fn finish_outcome<S: TraceSink>(
+    sessions: Vec<SimSession<S>>,
     mut assignments: Vec<NodeAssignment>,
     shed: Vec<TaskRequest>,
     steals: u64,
@@ -884,12 +1056,13 @@ pub(crate) fn finish_outcome(
 /// task's assignment is rewritten to the new serving node. Shared by the
 /// reference loop and (with a certificate refresh on top) mirrored by the
 /// event-heap loop.
-pub(crate) fn deliver_due_migrations(
+pub(crate) fn deliver_due_migrations<S: TraceSink, C: ClusterTraceSink>(
     migration: &mut MigrationDriver<'_>,
-    sessions: &mut [SimSession],
+    sessions: &mut [SimSession<S>],
     t: Cycles,
     assignments: &mut [NodeAssignment],
     assignment_index: &HashMap<TaskId, usize>,
+    trace: &RefCell<C>,
 ) {
     while let Some(pending) = migration.pop_due(t) {
         let node = pending.to_node;
@@ -897,6 +1070,11 @@ pub(crate) fn deliver_due_migrations(
         sessions[node]
             .inject_salvaged(pending.salvage, t)
             .expect("migrated task id is not live");
+        if C::ENABLED {
+            trace
+                .borrow_mut()
+                .cluster_event(t, ClusterTraceEvent::MigrationLand { task: id, node });
+        }
         if let Some(&slot) = assignment_index.get(&id) {
             assignments[slot].node = node;
         }
@@ -907,7 +1085,11 @@ pub(crate) fn deliver_due_migrations(
 /// one node: remaining work is drained in priority-then-arrival order (the
 /// preemptive scheduler's effective order), so task `k`'s predicted
 /// completion is the node clock plus the remaining work at or ahead of it.
-fn predicted_turnarounds_ms(session: &SimSession, npu: &NpuConfig, out: &mut Vec<f64>) {
+fn predicted_turnarounds_ms<S: TraceSink>(
+    session: &SimSession<S>,
+    npu: &NpuConfig,
+    out: &mut Vec<f64>,
+) {
     let mut residents: Vec<ResidentTask> = session.resident_tasks();
     residents.sort_by_key(|resident| {
         (
@@ -929,10 +1111,11 @@ fn predicted_turnarounds_ms(session: &SimSession, npu: &NpuConfig, out: &mut Vec
 /// the largest never-started waiting task from the peer holding the most
 /// such work. Rewrites the victim's assignment to the thief. Returns the
 /// number of migrations.
-fn steal_onto_idle_nodes(
-    sessions: &mut [SimSession],
+fn steal_onto_idle_nodes<S: TraceSink, C: ClusterTraceSink>(
+    sessions: &mut [SimSession<S>],
     assignments: &mut [NodeAssignment],
     assignment_index: &HashMap<TaskId, usize>,
+    trace: &RefCell<C>,
 ) -> u64 {
     let mut steals = 0u64;
     loop {
@@ -993,6 +1176,16 @@ fn steal_onto_idle_nodes(
         sessions[thief]
             .inject(prepared)
             .expect("revoked task re-injects cleanly");
+        if C::ENABLED {
+            trace.borrow_mut().cluster_event(
+                sessions[thief].now(),
+                ClusterTraceEvent::Steal {
+                    task: stolen.id,
+                    from: victim,
+                    to: thief,
+                },
+            );
+        }
         if let Some(&slot) = assignment_index.get(&stolen.id) {
             assignments[slot].node = thief;
         }

@@ -71,6 +71,7 @@ use crate::plan::{ExecutionPlan, ProgressCursor};
 use crate::policy::{make_policy, TaskView};
 use crate::preemption::{select_mechanism, MechanismDecisionInputs, PreemptionMechanism};
 use crate::task::{Priority, TaskId, TaskRequest, TaskState};
+use crate::trace::{CandidateSet, NullSink, TraceEvent, TraceSink};
 
 /// A request whose execution plan has been compiled for a specific NPU
 /// configuration. Plans are shared via [`Arc`] so the same workload can be
@@ -181,7 +182,17 @@ impl TaskRecord {
 }
 
 /// Aggregate results of one simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// # Equality
+///
+/// `PartialEq` compares the *semantic* outcome — records, makespan and the
+/// decision counters — and deliberately excludes the engine-diagnostic
+/// fields ([`SimOutcome::quanta_skipped`],
+/// [`SimOutcome::replayed_token_grants`]): those describe *how* the
+/// event-horizon fast path got there, and are the only fields on which the
+/// fast engine legitimately differs from the step-every-quantum reference
+/// it must otherwise match bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimOutcome {
     /// Per-task records, in task-ID order.
     pub records: Vec<TaskRecord>,
@@ -195,6 +206,24 @@ pub struct SimOutcome {
     pub kill_preemptions: u64,
     /// Number of times the dynamic mechanism selection chose DRAIN.
     pub drain_decisions: u64,
+    /// Quantum wakeups the event-horizon fast path elided (diagnostic;
+    /// always zero on the reference engine, excluded from equality).
+    pub quanta_skipped: u64,
+    /// Per-task token grants replayed in fast-forward batches — each
+    /// skipped period's grant to each then-waiting task (diagnostic;
+    /// always zero on the reference engine, excluded from equality).
+    pub replayed_token_grants: u64,
+}
+
+impl PartialEq for SimOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+            && self.makespan == other.makespan
+            && self.scheduler_invocations == other.scheduler_invocations
+            && self.checkpoint_preemptions == other.checkpoint_preemptions
+            && self.kill_preemptions == other.kill_preemptions
+            && self.drain_decisions == other.drain_decisions
+    }
 }
 
 /// One-pass aggregate of a [`SimOutcome`]'s per-task records.
@@ -215,6 +244,12 @@ pub struct OutcomeSummary {
     pub preemptions: u64,
     /// Total KILL restarts suffered across all tasks.
     pub kill_restarts: u64,
+    /// Quantum wakeups the event-horizon fast path elided (zero on the
+    /// reference engine).
+    pub quanta_skipped: u64,
+    /// Per-task token grants replayed in fast-forward batches (zero on the
+    /// reference engine).
+    pub replayed_token_grants: u64,
 }
 
 impl SimOutcome {
@@ -258,6 +293,8 @@ impl SimOutcome {
             stp,
             preemptions,
             kill_restarts,
+            quanta_skipped: self.quanta_skipped,
+            replayed_token_grants: self.replayed_token_grants,
         }
     }
 
@@ -1111,9 +1148,26 @@ impl NpuSimulator {
     }
 
     fn run_impl(&self, tasks: &[PreparedTask], fast_forward: bool) -> SimOutcome {
-        let mut session = self.session_impl(tasks, fast_forward);
+        let mut session = self.session_impl(tasks, fast_forward, NullSink);
         match session.run_until(Cycles::MAX) {
             StepOutcome::Drained => session.finish(),
+            StepOutcome::Paused => unreachable!("an unbounded horizon cannot pause"),
+        }
+    }
+
+    /// Like [`NpuSimulator::run`] with a [`TraceSink`] attached: every
+    /// scheduling decision is streamed to `sink`, which is returned
+    /// alongside the outcome. Tracing never perturbs the simulation — the
+    /// outcome is bit-identical to [`NpuSimulator::run`] (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty or contains duplicate task IDs.
+    pub fn run_traced<S: TraceSink>(&self, tasks: &[PreparedTask], sink: S) -> (SimOutcome, S) {
+        assert!(!tasks.is_empty(), "at least one task is required");
+        let mut session = self.session_impl(tasks, true, sink);
+        match session.run_until(Cycles::MAX) {
+            StepOutcome::Drained => session.finish_with_sink(),
             StepOutcome::Paused => unreachable!("an unbounded horizon cannot pause"),
         }
     }
@@ -1128,7 +1182,7 @@ impl NpuSimulator {
     ///
     /// Panics if `tasks` contains duplicate task IDs.
     pub fn session(&self, tasks: &[PreparedTask]) -> SimSession {
-        self.session_impl(tasks, true)
+        self.session_impl(tasks, true, NullSink)
     }
 
     /// Like [`NpuSimulator::session`] with the event-horizon fast-forward
@@ -1138,10 +1192,44 @@ impl NpuSimulator {
     ///
     /// Panics if `tasks` contains duplicate task IDs.
     pub fn session_reference(&self, tasks: &[PreparedTask]) -> SimSession {
-        self.session_impl(tasks, false)
+        self.session_impl(tasks, false, NullSink)
     }
 
-    fn session_impl(&self, tasks: &[PreparedTask], fast_forward: bool) -> SimSession {
+    /// Like [`NpuSimulator::session`] with a [`TraceSink`] attached. The
+    /// sink observes every decision and never perturbs the run; retrieve it
+    /// with [`SimSession::finish_with_sink`] or [`SimSession::sink_mut`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` contains duplicate task IDs.
+    pub fn session_with_sink<S: TraceSink>(
+        &self,
+        tasks: &[PreparedTask],
+        sink: S,
+    ) -> SimSession<S> {
+        self.session_impl(tasks, true, sink)
+    }
+
+    /// Like [`NpuSimulator::session_reference`] with a [`TraceSink`]
+    /// attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` contains duplicate task IDs.
+    pub fn session_reference_with_sink<S: TraceSink>(
+        &self,
+        tasks: &[PreparedTask],
+        sink: S,
+    ) -> SimSession<S> {
+        self.session_impl(tasks, false, sink)
+    }
+
+    fn session_impl<S: TraceSink>(
+        &self,
+        tasks: &[PreparedTask],
+        fast_forward: bool,
+        sink: S,
+    ) -> SimSession<S> {
         let mut ids: Vec<TaskId> = tasks.iter().map(|t| t.request.id).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -1173,6 +1261,9 @@ impl NpuSimulator {
             checkpoint_preemptions: 0,
             kill_preemptions: 0,
             drain_decisions: 0,
+            quanta_skipped: 0,
+            replayed_token_grants: 0,
+            sink,
         }
     }
 }
@@ -1187,8 +1278,14 @@ impl NpuSimulator {
 /// work via [`SimSession::inject`], and can hand never-started tasks back
 /// via [`SimSession::revoke`] (work stealing, load shedding). Once drained,
 /// [`SimSession::finish`] produces the [`SimOutcome`].
+///
+/// The `S` parameter is the session's [`TraceSink`]. The default
+/// [`NullSink`] disables tracing and compiles every emission site away
+/// (`S::ENABLED` is an associated constant, so the guard folds at
+/// monomorphization); [`NpuSimulator::session_with_sink`] attaches a real
+/// sink. A sink only observes — attaching one never changes the outcome.
 #[derive(Debug)]
-pub struct SimSession {
+pub struct SimSession<S: TraceSink = NullSink> {
     sched: SchedulerConfig,
     policy: Box<dyn crate::policy::SchedulingPolicy>,
     checkpoint_model: CheckpointModel,
@@ -1214,9 +1311,14 @@ pub struct SimSession {
     checkpoint_preemptions: u64,
     kill_preemptions: u64,
     drain_decisions: u64,
+    /// Quantum wakeups elided by the event-horizon fast path.
+    quanta_skipped: u64,
+    /// Per-task token grants replayed in fast-forward batches.
+    replayed_token_grants: u64,
+    sink: S,
 }
 
-impl SimSession {
+impl<S: TraceSink> SimSession<S> {
     /// Safety valve against scheduler livelock. The one known pathological
     /// configuration is Static(KILL) combined with round-robin ordering:
     /// two tasks can keep discarding each other's progress forever. Real
@@ -1355,6 +1457,17 @@ impl SimSession {
         if self.running.is_none() {
             if !self.state.waiting.is_empty() {
                 let chosen = self.policy.select(self.now, self.state.build_views(None));
+                if S::ENABLED {
+                    let candidates = CandidateSet::capture(&self.state.views);
+                    self.sink.record(
+                        self.now,
+                        TraceEvent::Wakeup {
+                            invocation: self.scheduler_invocations,
+                            chosen,
+                            candidates,
+                        },
+                    );
+                }
                 let idx = self.state.index_of(chosen);
                 self.now = self.dispatch(idx);
                 self.running = Some(idx);
@@ -1364,22 +1477,76 @@ impl SimSession {
             let chosen = self
                 .policy
                 .select(self.now, self.state.build_views(self.running));
+            if S::ENABLED {
+                let candidates = CandidateSet::capture(&self.state.views);
+                self.sink.record(
+                    self.now,
+                    TraceEvent::Wakeup {
+                        invocation: self.scheduler_invocations,
+                        chosen,
+                        candidates,
+                    },
+                );
+            }
             if chosen != self.state.runtimes[run_idx].id() {
+                let running_id = self.state.runtimes[run_idx].id();
                 let cand_idx = self.state.index_of(chosen);
                 let mechanism = self.pick_mechanism(run_idx, cand_idx);
+                if S::ENABLED && mechanism != PreemptionMechanism::Drain {
+                    self.sink.record(
+                        self.now,
+                        TraceEvent::PreemptBegin {
+                            task: running_id,
+                            by: chosen,
+                            mechanism,
+                        },
+                    );
+                }
                 match mechanism {
                     PreemptionMechanism::Drain => {
                         self.drain_decisions += 1;
+                        if S::ENABLED {
+                            self.sink.record(
+                                self.now,
+                                TraceEvent::DrainDecision {
+                                    running: running_id,
+                                    contender: chosen,
+                                },
+                            );
+                        }
                     }
                     PreemptionMechanism::Checkpoint => {
                         self.checkpoint_preemptions += 1;
                         self.now = self.preempt_checkpoint(run_idx);
+                        if S::ENABLED {
+                            let bytes = self.state.runtimes[run_idx].checkpointed_bytes;
+                            self.sink.record(
+                                self.now,
+                                TraceEvent::PreemptEnd {
+                                    task: running_id,
+                                    checkpoint_bytes: bytes,
+                                    checkpoint_cycles: self
+                                        .checkpoint_model
+                                        .checkpoint_cycles(bytes),
+                                },
+                            );
+                        }
                         self.now = self.dispatch(cand_idx);
                         self.running = Some(cand_idx);
                     }
                     PreemptionMechanism::Kill => {
                         self.kill_preemptions += 1;
                         self.preempt_kill(run_idx);
+                        if S::ENABLED {
+                            self.sink.record(
+                                self.now,
+                                TraceEvent::PreemptEnd {
+                                    task: running_id,
+                                    checkpoint_bytes: 0,
+                                    checkpoint_cycles: Cycles::ZERO,
+                                },
+                            );
+                        }
                         self.now = self.dispatch(cand_idx);
                         self.running = Some(cand_idx);
                     }
@@ -1438,9 +1605,24 @@ impl SimSession {
                 let consumed = self.state.advance_cursor(run_idx, skip_work);
                 debug_assert_eq!(consumed, skip_work, "horizon is before completion");
                 self.state.accrue(skip_budget);
+                let skipped_from = self.now;
                 self.now = last_boundary;
                 self.next_quantum = last_boundary + self.quantum;
                 self.scheduler_invocations += periods;
+                let grants = periods * self.state.waiting.len() as u64;
+                self.quanta_skipped += periods;
+                self.replayed_token_grants += grants;
+                if S::ENABLED {
+                    self.sink.record(
+                        skipped_from,
+                        TraceEvent::QuantumSkip {
+                            from: skipped_from,
+                            to: last_boundary,
+                            quanta: periods,
+                            grants,
+                        },
+                    );
+                }
                 self.state
                     .grant_tokens_batch(self.sched.token_scale, self.quantum, periods);
             }
@@ -1468,6 +1650,10 @@ impl SimSession {
             runtime.cursor.is_complete(&runtime.prepared.plan)
         };
         if finished {
+            if S::ENABLED {
+                let task = self.state.runtimes[run_idx].id();
+                self.sink.record(self.now, TraceEvent::Complete { task });
+            }
             self.state.complete(run_idx, self.now);
             self.running = None;
             return true;
@@ -1485,6 +1671,10 @@ impl SimSession {
             // — but a strictly future arrival cannot: without this the
             // wakeup/execute cycle would spin without advancing the clock
             // until the livelock valve trips.
+            if S::ENABLED {
+                let task = self.state.runtimes[run_idx].id();
+                self.sink.record(self.now, TraceEvent::Complete { task });
+            }
             self.state.complete(run_idx, self.now);
             self.running = None;
             return true;
@@ -1507,6 +1697,7 @@ impl SimSession {
         // through its own restore DMA, but everyone else does.
         state.leave_waiting(idx);
         let mut start = self.now;
+        let mut restore_charged = Cycles::ZERO;
         if state.runtimes[idx].needs_restore && self.sched.charge_restore {
             let restore = self
                 .checkpoint_model
@@ -1514,7 +1705,19 @@ impl SimSession {
             state.runtimes[idx].restore_overhead += restore;
             state.accrue(restore);
             start += restore;
+            restore_charged = restore;
         }
+        if S::ENABLED {
+            let task = state.runtimes[idx].id();
+            self.sink.record(
+                start,
+                TraceEvent::Dispatch {
+                    task,
+                    restore: restore_charged,
+                },
+            );
+        }
+        let state = &mut self.state;
         let runtime = &mut state.runtimes[idx];
         runtime.needs_restore = false;
         runtime.state = TaskState::Running;
@@ -1861,10 +2064,21 @@ impl SimSession {
     /// already *live* (not revoked) in the session; the session is
     /// unchanged.
     pub fn inject(&mut self, task: PreparedTask) -> Result<(), EngineError> {
+        let id = task.request.id;
         let idx = self.admit_runtime(Runtime::new(task))?;
         // A freshly injected task is never-started: a cluster front-end can
         // still steal or shed it.
         self.state.track_revocable(idx);
+        if S::ENABLED {
+            self.sink.record(
+                self.now,
+                TraceEvent::Inject {
+                    task: id,
+                    salvaged: false,
+                    resume_executed: Cycles::ZERO,
+                },
+            );
+        }
         Ok(())
     }
 
@@ -1908,9 +2122,21 @@ impl SimSession {
         runtime.restore_overhead = salvage.restore_overhead;
         runtime.max_checkpoint_bytes = salvage.max_checkpoint_bytes.max(salvage.checkpoint_bytes);
         let started = runtime.first_start.is_some();
+        let id = runtime.id();
+        let resume_executed = salvage.resume_executed;
         let idx = self.admit_runtime(runtime)?;
         if !started {
             self.state.track_revocable(idx);
+        }
+        if S::ENABLED {
+            self.sink.record(
+                self.now,
+                TraceEvent::Inject {
+                    task: id,
+                    salvaged: true,
+                    resume_executed,
+                },
+            );
         }
         Ok(())
     }
@@ -2015,8 +2241,12 @@ impl SimSession {
         }
         let runtime = &mut self.state.runtimes[idx];
         runtime.revoked = true;
+        let prepared = runtime.prepared.clone();
         self.state.finished += 1;
-        Ok(runtime.prepared.clone())
+        if S::ENABLED {
+            self.sink.record(self.now, TraceEvent::Revoke { task: id });
+        }
+        Ok(prepared)
     }
 
     // ---- Fault injection -------------------------------------------------
@@ -2033,6 +2263,14 @@ impl SimSession {
     pub fn stall(&mut self, until: Cycles) {
         self.stall_until = self.stall_until.max(until);
         self.state.state_version += 1;
+        if S::ENABLED {
+            self.sink.record(
+                self.now,
+                TraceEvent::Stall {
+                    until: self.stall_until,
+                },
+            );
+        }
     }
 
     /// The instant the current fault stall ends, if the node is stalled.
@@ -2067,6 +2305,10 @@ impl SimSession {
         );
         self.clock = ClockScale::new(num, den);
         self.state.state_version += 1;
+        if S::ENABLED {
+            self.sink
+                .record(self.now, TraceEvent::ClockScale { num, den });
+        }
     }
 
     /// The current clock scale as `(num, den)`; `(1, 1)` when undegraded.
@@ -2244,6 +2486,16 @@ impl SimSession {
         };
         runtime.revoked = true;
         self.state.finished += 1;
+        if S::ENABLED {
+            self.sink.record(
+                self.now,
+                TraceEvent::Salvage {
+                    task: salvage.prepared.request.id,
+                    resume_executed: salvage.resume_executed,
+                    checkpoint_bytes: salvage.checkpoint_bytes,
+                },
+            );
+        }
         salvage
     }
 
@@ -2255,6 +2507,16 @@ impl SimSession {
     ///
     /// Panics if tasks are still outstanding (not [`StepOutcome::Drained`]).
     pub fn finish(self) -> SimOutcome {
+        self.finish_with_sink().0
+    }
+
+    /// [`SimSession::finish`], but also hands the trace sink back so a
+    /// caller can inspect what it recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tasks are still outstanding (not [`StepOutcome::Drained`]).
+    pub fn finish_with_sink(self) -> (SimOutcome, S) {
         assert!(
             self.is_drained(),
             "finish() called with tasks still outstanding"
@@ -2288,14 +2550,23 @@ impl SimSession {
             .collect();
         records.sort_by_key(|r| r.id);
 
-        SimOutcome {
+        let outcome = SimOutcome {
             records,
             makespan,
             scheduler_invocations: self.scheduler_invocations,
             checkpoint_preemptions: self.checkpoint_preemptions,
             kill_preemptions: self.kill_preemptions,
             drain_decisions: self.drain_decisions,
-        }
+            quanta_skipped: self.quanta_skipped,
+            replayed_token_grants: self.replayed_token_grants,
+        };
+        (outcome, self.sink)
+    }
+
+    /// Mutable access to the attached trace sink (e.g. to drain a ring
+    /// buffer mid-run).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
     }
 }
 
@@ -2612,6 +2883,8 @@ mod tests {
             checkpoint_preemptions: 0,
             kill_preemptions: 0,
             drain_decisions: 0,
+            quanta_skipped: 0,
+            replayed_token_grants: 0,
         };
         assert_eq!(empty.summary(), OutcomeSummary::default());
         assert_eq!(empty.antt(), 0.0);

@@ -48,6 +48,7 @@ pub mod plan;
 pub mod policy;
 pub mod preemption;
 pub mod task;
+pub mod trace;
 
 pub use config::{PolicyKind, PreemptionMode, SchedulerConfig};
 pub use context_table::{ContextEntry, ContextTable};
@@ -59,3 +60,6 @@ pub use plan::{ExecutionPlan, ProgressCursor};
 pub use policy::{SchedulingPolicy, TaskView};
 pub use preemption::PreemptionMechanism;
 pub use task::{Priority, TaskId, TaskRequest, TaskState};
+pub use trace::{
+    CandidateScore, CandidateSet, NullSink, TraceEvent, TraceSink, VecSink, MAX_TRACE_CANDIDATES,
+};

@@ -190,6 +190,24 @@ mod tests {
     }
 
     #[test]
+    fn single_outcome_metrics_are_degenerate_but_exact() {
+        let m = MultiTaskMetrics::from_outcomes(&[outcome(100.0, 250.0, 4.0)]);
+        assert!((m.antt - 2.5).abs() < 1e-12);
+        assert!((m.stp - 0.4).abs() < 1e-12);
+        assert!((m.fairness - 1.0).abs() < 1e-12);
+        assert_eq!(m.task_count, 1);
+    }
+
+    #[test]
+    fn averaging_one_run_is_the_identity() {
+        let m = MultiTaskMetrics::from_outcomes(&[
+            outcome(100.0, 250.0, 1.0),
+            outcome(10.0, 20.0, 3.0),
+        ]);
+        assert_eq!(average_metrics(&[m]), m);
+    }
+
+    #[test]
     fn degenerate_times_do_not_divide_by_zero() {
         assert_eq!(outcome(0.0, 10.0, 1.0).ntt(), 1.0);
         assert_eq!(outcome(10.0, 0.0, 1.0).progress(), 1.0);

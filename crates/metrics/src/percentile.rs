@@ -93,6 +93,23 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_summary_is_the_sample_everywhere() {
+        let s = Percentiles::summarize(&[42.0]).unwrap();
+        assert_eq!(
+            (s.min, s.p50, s.p95, s.p99, s.max, s.mean, s.count),
+            (42.0, 42.0, 42.0, 42.0, 42.0, 42.0, 1)
+        );
+    }
+
+    #[test]
+    fn constant_distribution_has_flat_percentiles() {
+        let values = vec![5.0; 10];
+        for p in [0.0, 37.5, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&values, p), Some(5.0));
+        }
+    }
+
+    #[test]
     fn interpolation_between_ranks() {
         let values = vec![10.0, 20.0];
         assert_eq!(percentile(&values, 50.0), Some(15.0));

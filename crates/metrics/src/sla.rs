@@ -134,6 +134,29 @@ mod tests {
     }
 
     #[test]
+    fn empty_sweep_yields_an_empty_curve() {
+        let o = outcomes();
+        let curve = SlaCurve::sweep(&o, std::iter::empty());
+        assert!(curve.points().is_empty());
+        assert_eq!(curve.rate_at(2.0), None);
+        assert_eq!(curve.target_meeting(1.0), None);
+        assert_eq!(curve, SlaCurve::default());
+    }
+
+    #[test]
+    fn single_outcome_curve_is_a_step() {
+        let o = vec![TaskOutcome {
+            isolated_time: 100.0,
+            turnaround_time: 350.0,
+            priority_weight: 1.0,
+        }];
+        let curve = SlaCurve::sweep(&o, (1..=5).map(|n| n as f64));
+        assert_eq!(curve.rate_at(3.0), Some(1.0));
+        assert_eq!(curve.rate_at(4.0), Some(0.0));
+        assert_eq!(curve.target_meeting(0.0), Some(4.0));
+    }
+
+    #[test]
     fn boundary_is_not_a_violation() {
         let o = vec![TaskOutcome {
             isolated_time: 100.0,

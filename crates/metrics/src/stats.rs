@@ -85,6 +85,16 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_statistics_are_degenerate_but_defined() {
+        assert_eq!(mean(&[7.5]), Some(7.5));
+        assert_eq!(std_dev(&[7.5]), Some(0.0));
+        assert!((geometric_mean(&[7.5]).unwrap() - 7.5).abs() < 1e-12);
+        // A single pair has zero variance on both axes, so no correlation
+        // is defined.
+        assert_eq!(correlation(&[7.5], &[3.0]), None);
+    }
+
+    #[test]
     fn correlation_of_identical_series_is_one() {
         let xs: Vec<f64> = (1..=10).map(|v| v as f64).collect();
         assert!((correlation(&xs, &xs).unwrap() - 1.0).abs() < 1e-12);

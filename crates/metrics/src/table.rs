@@ -163,6 +163,25 @@ mod tests {
     }
 
     #[test]
+    fn empty_table_still_renders_a_separator() {
+        let empty = TableBuilder::new(vec![]);
+        assert_eq!(empty.row_count(), 0);
+        let text = empty.build();
+        let lines: Vec<&str> = text.lines().collect();
+        // Header line (blank) plus the minimum-width separator, no rows.
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].starts_with("----"));
+    }
+
+    #[test]
+    fn metric_row_with_no_values_is_just_the_label() {
+        let builder =
+            TableBuilder::new(vec!["policy".into(), "v".into()]).metric_row("NP-FCFS", &[], 2);
+        assert_eq!(builder.row_count(), 1);
+        assert!(builder.build().contains("NP-FCFS"));
+    }
+
+    #[test]
     fn display_matches_build() {
         let builder = TableBuilder::new(vec!["h".into()]).row(vec!["v".into()]);
         assert_eq!(builder.to_string(), builder.build());

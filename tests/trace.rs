@@ -1,0 +1,375 @@
+//! Property tests for the tracing layer's two contracts:
+//!
+//! * **Observe, never perturb** — attaching any sink to the engine or the
+//!   closed-loop cluster produces an outcome bit-identical to the untraced
+//!   run. The emission sites are guarded by a compile-time `ENABLED` flag
+//!   and sinks only receive copies, so this must hold for *every* workload;
+//!   the tests drive randomized campaigns over policies, arrival processes,
+//!   fault schedules and migration settings.
+//! * **The stream tells the truth** — the recorded events must agree with
+//!   the outcome's own books: `Complete` events match the task records,
+//!   `QuantumSkip` totals match the engine's skip counters, and the
+//!   cluster's `Recovery` / `MigrationOut` event sequences reproduce
+//!   `recovery_log` / `migration_log` entry for entry, in order, with
+//!   matching timestamps. Per-node streams must be causally ordered
+//!   (non-decreasing timestamps).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use prema::cluster::{
+    ClusterFaultPlan, ClusterTraceEvent, FaultTraceKind, FlightEntry, MigrationConfig,
+    OnlineClusterConfig, OnlineClusterSimulator, OnlineDispatchPolicy, OnlineOutcome,
+    RecoveryConfig, VecClusterSink,
+};
+use prema::models::ALL_EVAL_MODELS;
+use prema::scheduler::trace::{TraceEvent, VecSink};
+use prema::workload::prepare::prepare_requests;
+use prema::workload::{
+    generate_open_loop, ArrivalProcess, FaultProcess, FaultSchedule, OpenLoopConfig,
+};
+use prema::{
+    Cycles, NpuConfig, NpuSimulator, PolicyKind, PreemptionMode, PreparedTask, Priority,
+    SchedulerConfig, SeqSpec, TaskId, TaskRequest,
+};
+
+/// Attaching a [`VecSink`] to the single-node engine never changes the
+/// outcome, the recorded stream is causally ordered, `Complete` events
+/// biject onto the task records, and the `QuantumSkip` events sum to
+/// exactly the engine's own skip counters.
+#[test]
+fn engine_traced_runs_are_bit_identical_and_events_reconcile() {
+    let cfg = NpuConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(0x7AC3_0001);
+    let mut skips_seen = 0u64;
+    for case in 0..10 {
+        let policy = PolicyKind::ALL[rng.gen_range(0usize..PolicyKind::ALL.len())];
+        let mode = match rng.gen_range(0u32..3) {
+            0 => PreemptionMode::NonPreemptive,
+            1 => PreemptionMode::Dynamic,
+            _ => PreemptionMode::DynamicKill,
+        };
+        let task_count = rng.gen_range(2usize..6);
+        let requests: Vec<TaskRequest> = (0..task_count)
+            .map(|i| {
+                let model = ALL_EVAL_MODELS[rng.gen_range(0usize..ALL_EVAL_MODELS.len())];
+                TaskRequest::new(TaskId(i as u64), model)
+                    .with_priority(Priority::ALL[rng.gen_range(0usize..3)])
+                    .with_arrival(Cycles::new(rng.gen_range(0u64..20_000_000)))
+                    .with_seq(SeqSpec::for_model(model, 10))
+            })
+            .collect();
+        let sim = NpuSimulator::new(cfg.clone(), SchedulerConfig::named(policy, mode));
+        let prepared = sim.prepare(&requests);
+        let untraced = sim.run(&prepared);
+        let (traced, sink) = sim.run_traced(&prepared, VecSink::default());
+        let context = format!("case {case} {policy:?}/{mode:?}");
+        assert_eq!(traced, untraced, "{context}: tracing perturbed the run");
+        // `SimOutcome`'s equality deliberately ignores the observability
+        // counters; pin them separately.
+        assert_eq!(traced.quanta_skipped, untraced.quanta_skipped, "{context}");
+        assert_eq!(
+            traced.replayed_token_grants, untraced.replayed_token_grants,
+            "{context}"
+        );
+
+        let mut prev = Cycles::ZERO;
+        for (at, _) in &sink.events {
+            assert!(*at >= prev, "{context}: stream went backwards in time");
+            prev = *at;
+        }
+
+        let mut completed: Vec<TaskId> = sink
+            .events
+            .iter()
+            .filter_map(|(_, event)| match event {
+                TraceEvent::Complete { task } => Some(*task),
+                _ => None,
+            })
+            .collect();
+        completed.sort_unstable();
+        let mut recorded: Vec<TaskId> = untraced.records.iter().map(|r| r.id).collect();
+        recorded.sort_unstable();
+        assert_eq!(completed, recorded, "{context}: Complete events != records");
+
+        let (quanta, grants) =
+            sink.events
+                .iter()
+                .fold((0u64, 0u64), |(q, g), (_, event)| match event {
+                    TraceEvent::QuantumSkip { quanta, grants, .. } => (q + quanta, g + grants),
+                    _ => (q, g),
+                });
+        assert_eq!(quanta, traced.quanta_skipped, "{context}");
+        assert_eq!(grants, traced.replayed_token_grants, "{context}");
+        skips_seen += quanta;
+    }
+    assert!(
+        skips_seen > 0,
+        "the random cases must exercise the event-horizon fast path"
+    );
+}
+
+/// One random closed-loop driving for the cluster tracing properties.
+struct ClusterDriving {
+    tasks: Vec<PreparedTask>,
+    simulator: OnlineClusterSimulator,
+}
+
+fn draw_cluster_driving(rng: &mut StdRng, npu: &NpuConfig) -> Option<ClusterDriving> {
+    let nodes = rng.gen_range(2usize..=4);
+    let duration_ms = rng.gen_range(15.0..30.0);
+    let process = match rng.gen_range(0u8..2) {
+        0 => ArrivalProcess::Poisson {
+            rate_per_ms: rng.gen_range(0.3..0.8),
+        },
+        _ => ArrivalProcess::Bursty {
+            on_rate_per_ms: rng.gen_range(0.6..1.6),
+            mean_on_ms: rng.gen_range(1.0..4.0),
+            mean_off_ms: rng.gen_range(1.0..4.0),
+        },
+    };
+    let arrivals = OpenLoopConfig::poisson(1.0, duration_ms).with_process(process);
+    let spec = generate_open_loop(&arrivals, rng);
+    if spec.is_empty() {
+        return None;
+    }
+    let tasks = prepare_requests(&spec.requests, npu, None);
+
+    // Fault only the first half of the nodes so migrations have healthy
+    // destinations to win on; stragglers (slow degrades) dominate the mix
+    // so the migration arbiter actually fires.
+    let faulted = (nodes / 2).max(1);
+    let mut schedule = FaultSchedule::none();
+    for _ in 0..16 {
+        schedule = FaultProcess::crashes(faulted, rng.gen_range(8.0..25.0), 10.0, duration_ms)
+            .with_freeze_fraction(0.1)
+            .with_degradation(0.6, 1, rng.gen_range(4u32..=8))
+            .generate(rng);
+        if !schedule.is_empty() {
+            break;
+        }
+    }
+    let dispatch = match rng.gen_range(0u8..3) {
+        0 => OnlineDispatchPolicy::ShortestQueue,
+        1 => OnlineDispatchPolicy::LeastWork,
+        _ => OnlineDispatchPolicy::Predictive,
+    };
+    let mut config = OnlineClusterConfig::new(nodes, SchedulerConfig::paper_default(), dispatch)
+        .with_faults(ClusterFaultPlan::new(schedule).with_recovery(RecoveryConfig::checkpointed()))
+        .with_migration(MigrationConfig::new(rng.gen_range(4.0..12.0)));
+    if rng.gen_bool(0.5) {
+        config = config.with_work_stealing();
+    }
+    Some(ClusterDriving {
+        tasks,
+        simulator: OnlineClusterSimulator::new(config),
+    })
+}
+
+/// Checks that the cluster-level event stream reproduces the outcome's own
+/// recovery and migration logs entry for entry.
+fn assert_stream_matches_logs(outcome: &OnlineOutcome, sink: &VecClusterSink, context: &str) {
+    // Per-node causal order: each node's engine events and each node's
+    // fault windows are non-decreasing in time.
+    let nodes = outcome.cluster.node_outcomes.len();
+    let mut node_clock = vec![Cycles::ZERO; nodes];
+    for entry in &sink.entries {
+        if let FlightEntry::Node { node, now, .. } = entry {
+            assert!(
+                *now >= node_clock[*node],
+                "{context}: node {node} stream went backwards in time"
+            );
+            node_clock[*node] = *now;
+        }
+    }
+    // Cluster-level events are emitted while the loop processes its global
+    // event sequence, so they are globally ordered.
+    let mut prev = Cycles::ZERO;
+    for entry in &sink.entries {
+        if let FlightEntry::Cluster { now, .. } = entry {
+            assert!(
+                *now >= prev,
+                "{context}: cluster stream went backwards in time"
+            );
+            prev = *now;
+        }
+    }
+
+    // Recovery events == recovery_log, in order, timestamps included.
+    let recoveries: Vec<(Cycles, TaskId, usize, usize, u32)> = sink
+        .entries
+        .iter()
+        .filter_map(|entry| match entry {
+            FlightEntry::Cluster {
+                now,
+                event:
+                    ClusterTraceEvent::Recovery {
+                        task,
+                        from,
+                        to,
+                        attempt,
+                    },
+            } => Some((*now, *task, *from, *to, *attempt)),
+            _ => None,
+        })
+        .collect();
+    let logged: Vec<(Cycles, TaskId, usize, usize, u32)> = outcome
+        .recovery_log
+        .iter()
+        .map(|r| (r.at, r.task, r.from_node, r.to_node, r.attempt))
+        .collect();
+    assert_eq!(recoveries, logged, "{context}: Recovery events != log");
+
+    // MigrationOut events == migration_log, in order; every MigrationLand
+    // pairs with a logged hop whose arrival instant it fires at.
+    let outs: Vec<(Cycles, TaskId, usize, usize, u64, Cycles)> = sink
+        .entries
+        .iter()
+        .filter_map(|entry| match entry {
+            FlightEntry::Cluster {
+                now,
+                event:
+                    ClusterTraceEvent::MigrationOut {
+                        task,
+                        from,
+                        to,
+                        bytes,
+                        arrive_at,
+                        ..
+                    },
+            } => Some((*now, *task, *from, *to, *bytes, *arrive_at)),
+            _ => None,
+        })
+        .collect();
+    let logged: Vec<(Cycles, TaskId, usize, usize, u64, Cycles)> = outcome
+        .migration_log
+        .iter()
+        .map(|r| (r.at, r.task, r.from_node, r.to_node, r.bytes, r.arrive_at))
+        .collect();
+    assert_eq!(outs, logged, "{context}: MigrationOut events != log");
+    for entry in &sink.entries {
+        if let FlightEntry::Cluster {
+            now,
+            event: ClusterTraceEvent::MigrationLand { task, node },
+        } = entry
+        {
+            assert!(
+                outcome
+                    .migration_log
+                    .iter()
+                    .any(|r| r.task == *task && r.to_node == *node && r.arrive_at == *now),
+                "{context}: MigrationLand without a matching logged hop"
+            );
+        }
+    }
+
+    // Fault windows: one event per fired window of each kind.
+    let mut crashes = 0u64;
+    let mut freezes = 0u64;
+    let mut degrades = 0u64;
+    for entry in &sink.entries {
+        if let FlightEntry::Cluster {
+            event: ClusterTraceEvent::Fault { kind, .. },
+            ..
+        } = entry
+        {
+            match kind {
+                FaultTraceKind::Crash => crashes += 1,
+                FaultTraceKind::Freeze => freezes += 1,
+                FaultTraceKind::Degrade { .. } => degrades += 1,
+                FaultTraceKind::DegradeEnd => {}
+            }
+        }
+    }
+    assert_eq!(crashes, outcome.crashes, "{context}: crash events != tally");
+    assert_eq!(
+        freezes, outcome.freezes,
+        "{context}: freeze events != tally"
+    );
+    assert_eq!(
+        degrades, outcome.degrades,
+        "{context}: degrade events != tally"
+    );
+
+    // Steal and shed events match the outcome's counters too.
+    let steals = sink
+        .entries
+        .iter()
+        .filter(|entry| {
+            matches!(
+                entry,
+                FlightEntry::Cluster {
+                    event: ClusterTraceEvent::Steal { .. },
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(steals, outcome.steals, "{context}: steal events != tally");
+    let sheds = sink
+        .entries
+        .iter()
+        .filter(|entry| {
+            matches!(
+                entry,
+                FlightEntry::Cluster {
+                    event: ClusterTraceEvent::Shed { .. },
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(sheds, outcome.shed.len(), "{context}: shed events != tally");
+}
+
+/// Random closed-loop drivings with faults, recoveries and migrations: the
+/// traced event-heap run and the traced stepping reference are both
+/// bit-identical to their untraced counterparts, and both event streams
+/// reproduce the outcome's recovery/migration logs in order.
+#[test]
+fn cluster_tracing_never_perturbs_and_streams_match_the_logs() {
+    let npu = NpuConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(0x7AC3_0002);
+    let mut cases = 0usize;
+    let mut recoveries_seen = 0u64;
+    let mut migrations_seen = 0u64;
+    for case in 0..8 {
+        let Some(driving) = draw_cluster_driving(&mut rng, &npu) else {
+            continue;
+        };
+        let context = format!("case {case}");
+        let untraced = driving.simulator.run(&driving.tasks);
+        let (traced, sink) = driving
+            .simulator
+            .run_traced(&driving.tasks, VecClusterSink::default());
+        assert_eq!(
+            traced, untraced,
+            "{context}: tracing perturbed the heap loop"
+        );
+        assert_stream_matches_logs(&traced, &sink, &context);
+
+        let reference = driving.simulator.run_reference(&driving.tasks);
+        let (traced_reference, reference_sink) = driving
+            .simulator
+            .run_reference_traced(&driving.tasks, VecClusterSink::default());
+        assert_eq!(
+            traced_reference, reference,
+            "{context}: tracing perturbed the reference loop"
+        );
+        assert_eq!(reference, untraced, "{context}: heap != reference");
+        assert_stream_matches_logs(&traced_reference, &reference_sink, &context);
+
+        cases += 1;
+        recoveries_seen += traced.recoveries;
+        migrations_seen += traced.migrations;
+    }
+    assert!(cases >= 6, "enough non-empty drivings ran");
+    assert!(
+        recoveries_seen > 0,
+        "the campaign must exercise crash recovery"
+    );
+    assert!(
+        migrations_seen > 0,
+        "the campaign must exercise checkpoint migration"
+    );
+}
