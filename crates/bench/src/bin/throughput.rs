@@ -33,7 +33,10 @@ use prema_bench::cluster::{cell_of, run_cluster_sweep, sweep_hash, ClusterSweepO
 use prema_bench::faults::{fault_sweep_hash, run_fault_sweep, FaultSweepOptions};
 use prema_bench::fig11_15::{fig11_configs, fig12_configs};
 use prema_bench::migration::{migration_sweep_hash, run_migration_sweep, MigrationSweepOptions};
-use prema_bench::scale::{run_scale_sweep, scale_aggregates, scale_sweep_hash, ScaleSweepOptions};
+use prema_bench::scale::{
+    run_scale_sweep, scale_aggregates, scale_extended_sweep_hash, scale_sweep_hash,
+    ScaleSweepOptions,
+};
 use prema_bench::suite::{run_grid_instrumented, run_grid_reference, SuiteOptions};
 use prema_bench::trace::{
     json_is_well_formed, run_trace_scenario, verify_reconciliation, TraceScenarioOptions,
@@ -52,7 +55,7 @@ struct Options {
     check_baseline: Option<String>,
 }
 
-const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]\n       throughput cluster [--nodes N] [--duration-ms D] [--seed S] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput cluster-scale [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH]\n       throughput cluster-faults [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput cluster-migration [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput trace [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--out PATH]";
+const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]\n       throughput cluster [--nodes N] [--duration-ms D] [--seed S] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput cluster-scale [--nodes A,B,C] [--heap-only] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH]\n       throughput cluster-faults [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput cluster-migration [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput trace [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--out PATH]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
@@ -164,6 +167,54 @@ fn check_events_per_sec_with(measured: f64, baseline: f64, what: &str, tolerance
 /// more-than-[`MAX_REGRESSION`] drop.
 fn check_events_per_sec(measured: f64, baseline: f64, what: &str) -> bool {
     check_events_per_sec_with(measured, baseline, what, MAX_REGRESSION)
+}
+
+/// Emits a GitHub Actions `::error` workflow command so a failed baseline
+/// gate surfaces as an annotation on the run, not just a log line. Message
+/// newlines are escaped per the workflow-command grammar. No-op outside
+/// Actions (detected via `GITHUB_ACTIONS`).
+fn gha_error(title: &str, message: &str) {
+    if env::var_os("GITHUB_ACTIONS").is_none() {
+        return;
+    }
+    let escaped = message
+        .replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A");
+    println!("::error title={title}::{escaped}");
+}
+
+/// Appends markdown to the job's step summary when `GITHUB_STEP_SUMMARY`
+/// points at the collector file; no-op otherwise.
+fn gha_step_summary(markdown: &str) {
+    use std::io::Write;
+    let Some(path) = env::var_os("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(path)
+    {
+        let _ = writeln!(file, "{markdown}");
+    }
+}
+
+/// Reports a `--check-baseline` failure to GitHub Actions: one `::error`
+/// annotation plus an expected-vs-actual step-summary table covering every
+/// gate the run tripped. The detailed `eprintln` diagnostics stay the
+/// primary record; this makes them legible from the Actions UI.
+fn report_baseline_failure(bench: &str, rows: &[(String, String, String)]) {
+    let mut detail = String::new();
+    let mut table = format!(
+        "### ❌ `{bench}` baseline check failed\n\n| metric | expected | actual |\n| --- | --- | --- |\n"
+    );
+    for (metric, expected, actual) in rows {
+        detail.push_str(&format!("{metric}: expected {expected}, actual {actual}\n"));
+        table.push_str(&format!("| {metric} | {expected} | {actual} |\n"));
+    }
+    gha_error(&format!("{bench} baseline check failed"), detail.trim_end());
+    gha_step_summary(&table);
 }
 
 /// Runs one traced closed-loop scenario, checks the trace's counters
@@ -533,6 +584,10 @@ fn cluster_main(options: ClusterOptions) -> ExitCode {
                  [throughput] The sweep is deterministic per seed, so this is a \
                  behavioural change: re-commit the baseline only if it is intentional."
             );
+            report_baseline_failure(
+                "cluster",
+                &[("sweep_hash".into(), baseline_hash, measured_hash)],
+            );
             print_per_level_breakdown(&cells);
             return ExitCode::FAILURE;
         }
@@ -543,6 +598,18 @@ fn cluster_main(options: ClusterOptions) -> ExitCode {
             return ExitCode::FAILURE;
         };
         if !check_events_per_sec(events_per_sec, baseline_eps, "cluster") {
+            report_baseline_failure(
+                "cluster",
+                &[(
+                    "events_per_sec".into(),
+                    format!(
+                        ">= {:.0} (baseline {baseline_eps:.0}, -{:.0}% floor)",
+                        baseline_eps * (1.0 - MAX_REGRESSION),
+                        MAX_REGRESSION * 100.0
+                    ),
+                    format!("{events_per_sec:.0}"),
+                )],
+            );
             print_per_level_breakdown(&cells);
             return ExitCode::FAILURE;
         }
@@ -561,6 +628,8 @@ fn cluster_main(options: ClusterOptions) -> ExitCode {
 }
 
 struct ScaleOptions {
+    nodes: Option<Vec<usize>>,
+    heap_only: bool,
     rho: f64,
     duration_ms: f64,
     seed: u64,
@@ -572,6 +641,8 @@ struct ScaleOptions {
 fn parse_scale_args(args: impl Iterator<Item = String>) -> Result<ScaleOptions, String> {
     let defaults = ScaleSweepOptions::baseline();
     let mut options = ScaleOptions {
+        nodes: None,
+        heap_only: false,
         rho: defaults.rho,
         duration_ms: defaults.duration_ms,
         seed: defaults.seed,
@@ -582,6 +653,19 @@ fn parse_scale_args(args: impl Iterator<Item = String>) -> Result<ScaleOptions, 
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--nodes" => {
+                let list = args.next().ok_or("--nodes requires a value")?;
+                let counts: Result<Vec<usize>, _> =
+                    list.split(',').map(|n| n.trim().parse()).collect();
+                let counts = counts.map_err(|e| format!("invalid --nodes value {list:?}: {e}"))?;
+                if counts.is_empty() || counts.contains(&0) {
+                    return Err("--nodes needs a comma-separated list of positive counts".into());
+                }
+                options.nodes = Some(counts);
+            }
+            "--heap-only" => {
+                options.heap_only = true;
+            }
             "--rho" => {
                 options.rho = args
                     .next()
@@ -633,35 +717,82 @@ fn parse_scale_args(args: impl Iterator<Item = String>) -> Result<ScaleOptions, 
     Ok(options)
 }
 
+/// Formats an optional figure as JSON: the number, or `null` for heap-only
+/// cells where the stepping reference did not run.
+fn json_opt(value: Option<f64>, decimals: usize) -> String {
+    value.map_or_else(|| "null".to_string(), |v| format!("{v:.decimals$}"))
+}
+
+/// Finds the baseline's aggregate `heap_events_per_sec` at one node count.
+/// The report lays the `aggregates` section out before `cells`, so the
+/// first `"nodes": N` row after the section key is the aggregate.
+fn baseline_aggregate_heap_eps(report: &str, nodes: usize) -> Option<f64> {
+    let section = report.find("\"aggregates\"")?;
+    let rest = &report[section..];
+    let row = rest.find(&format!("\"nodes\": {nodes},"))?;
+    baseline_number(&rest[row..], "heap_events_per_sec", "heap_events_per_sec")
+}
+
+/// Extracts a baseline's `"key": [ ... ]` list with whitespace stripped,
+/// for whole-grid comparisons.
+fn baseline_list(report: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let field = report.find(&needle)?;
+    let after = &report[field + needle.len()..];
+    let open = after.find('[')?;
+    let close = after.find(']')?;
+    Some(after[open + 1..close].split_whitespace().collect())
+}
+
 fn scale_main(options: ScaleOptions) -> ExitCode {
+    let baseline_defaults = ScaleSweepOptions::baseline();
     let opts = ScaleSweepOptions {
+        node_counts: options
+            .nodes
+            .clone()
+            .unwrap_or(baseline_defaults.node_counts.clone()),
         rho: options.rho,
         duration_ms: options.duration_ms,
         seed: options.seed,
         repetitions: options.reps,
-        ..ScaleSweepOptions::baseline()
+        reference_cap: if options.heap_only {
+            0
+        } else {
+            baseline_defaults.reference_cap
+        },
+        ..baseline_defaults
     };
     eprintln!(
-        "[throughput] cluster-scale sweep: nodes {:?} x {} variants at rho {:.2}, {} ms windows, best-of-{} walls",
+        "[throughput] cluster-scale sweep: nodes {:?} x {} variants at rho {:.2}, {} ms windows, best-of-{} walls, reference capped at {} nodes",
         opts.node_counts,
         opts.variants.len(),
         opts.rho,
         opts.duration_ms,
         opts.repetitions,
+        opts.reference_cap,
     );
 
     let cells = run_scale_sweep(&opts);
     let aggregates = scale_aggregates(&cells);
     let digest = scale_sweep_hash(&cells);
+    let extended_digest = scale_extended_sweep_hash(&cells);
     for aggregate in &aggregates {
-        eprintln!(
-            "[throughput] {:>3} nodes: {} events, reference {:.0} events/sec, heap {:.0} events/sec, speedup {:.2}x",
-            aggregate.nodes,
-            aggregate.events,
-            aggregate.reference_events_per_sec(),
-            aggregate.heap_events_per_sec(),
-            aggregate.speedup(),
-        );
+        match (aggregate.reference_events_per_sec(), aggregate.speedup()) {
+            (Some(reference_eps), Some(speedup)) => eprintln!(
+                "[throughput] {:>4} nodes: {} events, reference {:.0} events/sec, heap {:.0} events/sec, speedup {:.2}x",
+                aggregate.nodes,
+                aggregate.events,
+                reference_eps,
+                aggregate.heap_events_per_sec(),
+                speedup,
+            ),
+            _ => eprintln!(
+                "[throughput] {:>4} nodes: {} events, heap {:.0} events/sec (heap-only, above the reference cap)",
+                aggregate.nodes,
+                aggregate.events,
+                aggregate.heap_events_per_sec(),
+            ),
+        }
     }
     let top = aggregates
         .iter()
@@ -672,9 +803,9 @@ fn scale_main(options: ScaleOptions) -> ExitCode {
     for (i, cell) in cells.iter().enumerate() {
         cell_rows.push_str(&format!(
             "    {{ \"nodes\": {}, \"policy\": \"{}\", \"requests\": {}, \"served\": {}, \
-             \"shed\": {}, \"steals\": {}, \"events\": {}, \"wall_reference_s\": {:.4}, \
-             \"wall_heap_s\": {:.4}, \"reference_events_per_sec\": {:.0}, \
-             \"heap_events_per_sec\": {:.0}, \"speedup\": {:.2}, \"hash\": \"{:016x}\" }}{}\n",
+             \"shed\": {}, \"steals\": {}, \"events\": {}, \"wall_reference_s\": {}, \
+             \"wall_heap_s\": {:.4}, \"reference_events_per_sec\": {}, \
+             \"heap_events_per_sec\": {:.0}, \"speedup\": {}, \"hash\": \"{:016x}\" }}{}\n",
             cell.nodes,
             cell.policy,
             cell.requests,
@@ -682,11 +813,11 @@ fn scale_main(options: ScaleOptions) -> ExitCode {
             cell.shed,
             cell.steals,
             cell.events,
-            cell.wall_reference_s,
+            json_opt(cell.wall_reference_s, 4),
             cell.wall_heap_s,
-            cell.reference_events_per_sec(),
+            json_opt(cell.reference_events_per_sec(), 0),
             cell.heap_events_per_sec(),
-            cell.speedup(),
+            json_opt(cell.speedup(), 2),
             cell.hash,
             if i + 1 == cells.len() { "" } else { "," },
         ));
@@ -694,13 +825,13 @@ fn scale_main(options: ScaleOptions) -> ExitCode {
     let mut aggregate_rows = String::new();
     for (i, aggregate) in aggregates.iter().enumerate() {
         aggregate_rows.push_str(&format!(
-            "    {{ \"nodes\": {}, \"events\": {}, \"reference_events_per_sec\": {:.0}, \
-             \"heap_events_per_sec\": {:.0}, \"speedup\": {:.2} }}{}\n",
+            "    {{ \"nodes\": {}, \"events\": {}, \"reference_events_per_sec\": {}, \
+             \"heap_events_per_sec\": {:.0}, \"speedup\": {} }}{}\n",
             aggregate.nodes,
             aggregate.events,
-            aggregate.reference_events_per_sec(),
+            json_opt(aggregate.reference_events_per_sec(), 0),
             aggregate.heap_events_per_sec(),
-            aggregate.speedup(),
+            json_opt(aggregate.speedup(), 2),
             if i + 1 == aggregates.len() { "" } else { "," },
         ));
     }
@@ -717,17 +848,19 @@ fn scale_main(options: ScaleOptions) -> ExitCode {
         .collect::<Vec<_>>()
         .join(", ");
     let report = format!(
-        "{{\n  \"bench\": \"cluster_scale_cosim\",\n  \"node_counts\": [{}],\n  \"rho\": {:.2},\n  \"seed\": {},\n  \"duration_ms\": {:.1},\n  \"scheduler\": \"np-fcfs\",\n  \"variants\": [{}],\n  \"repetitions\": {},\n  \"max_nodes\": {},\n  \"speedup_at_max_nodes\": {:.2},\n  \"heap_events_per_sec_at_max_nodes\": {:.0},\n  \"sweep_hash\": \"{:016x}\",\n  \"aggregates\": [\n{}  ],\n  \"cells\": [\n{}  ]\n}}\n",
+        "{{\n  \"bench\": \"cluster_scale_cosim\",\n  \"node_counts\": [{}],\n  \"rho\": {:.2},\n  \"seed\": {},\n  \"duration_ms\": {:.1},\n  \"scheduler\": \"np-fcfs\",\n  \"variants\": [{}],\n  \"repetitions\": {},\n  \"reference_cap\": {},\n  \"max_nodes\": {},\n  \"speedup_at_max_nodes\": {},\n  \"heap_events_per_sec_at_max_nodes\": {:.0},\n  \"sweep_hash\": \"{:016x}\",\n  \"extended_sweep_hash\": \"{:016x}\",\n  \"aggregates\": [\n{}  ],\n  \"cells\": [\n{}  ]\n}}\n",
         node_list,
         opts.rho,
         opts.seed,
         opts.duration_ms,
         variant_list,
         opts.repetitions,
+        opts.reference_cap,
         top.nodes,
-        top.speedup(),
+        json_opt(top.speedup(), 2),
         top.heap_events_per_sec(),
         digest,
+        extended_digest,
         aggregate_rows,
         cell_rows,
     );
@@ -759,23 +892,82 @@ fn scale_main(options: ScaleOptions) -> ExitCode {
                  [throughput] The sweep is deterministic per seed, so this is a \
                  behavioural change: re-commit the baseline only if it is intentional."
             );
+            report_baseline_failure(
+                "cluster-scale",
+                &[("sweep_hash".into(), baseline_hash, measured_hash)],
+            );
             return ExitCode::FAILURE;
         }
         eprintln!("[throughput] baseline check passed: sweep_hash {measured_hash} matches");
-        let Some(baseline_eps) =
-            baseline_number(&baseline, "max_nodes", "heap_events_per_sec_at_max_nodes")
-        else {
+
+        // The extended digest (heap-only columns included) is only
+        // comparable when the measured grid matches the baseline's; the
+        // per-PR smoke runs a prefix of the nightly grid and skips it.
+        let grids_match =
+            baseline_list(&baseline, "node_counts") == Some(node_list.split_whitespace().collect());
+        if grids_match {
+            if let Some(baseline_extended) = baseline_string(&baseline, "extended_sweep_hash") {
+                let measured_extended = format!("{extended_digest:016x}");
+                if baseline_extended != measured_extended {
+                    eprintln!(
+                        "[throughput] FAIL: heap-only scale columns diverged from the baseline:\n\
+                         [throughput]   expected extended_sweep_hash {baseline_extended}\n\
+                         [throughput]   actual   extended_sweep_hash {measured_extended}"
+                    );
+                    report_baseline_failure(
+                        "cluster-scale",
+                        &[(
+                            "extended_sweep_hash".into(),
+                            baseline_extended,
+                            measured_extended,
+                        )],
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "[throughput] baseline check passed: extended_sweep_hash \
+                     {measured_extended} matches"
+                );
+            }
+        } else {
             eprintln!(
-                "[throughput] FAIL: no heap_events_per_sec_at_max_nodes found in baseline {path}"
+                "[throughput] note: measured node grid differs from the baseline's; \
+                 skipping the extended_sweep_hash comparison"
             );
-            return ExitCode::FAILURE;
-        };
-        if !check_events_per_sec_with(
-            top.heap_events_per_sec(),
-            baseline_eps,
-            "cluster-scale heap",
-            SCALE_MAX_REGRESSION,
-        ) {
+        }
+
+        // Gate throughput per node count against the baseline aggregate at
+        // the *same* node count, so a 64-node smoke and the 1024-node
+        // nightly column each compare against their own figure.
+        let mut failures: Vec<(String, String, String)> = Vec::new();
+        for aggregate in &aggregates {
+            let Some(baseline_eps) = baseline_aggregate_heap_eps(&baseline, aggregate.nodes) else {
+                eprintln!(
+                    "[throughput] note: baseline {path} has no aggregate at {} nodes; \
+                     skipping its events/sec gate",
+                    aggregate.nodes
+                );
+                continue;
+            };
+            if !check_events_per_sec_with(
+                aggregate.heap_events_per_sec(),
+                baseline_eps,
+                &format!("cluster-scale heap @ {} nodes", aggregate.nodes),
+                SCALE_MAX_REGRESSION,
+            ) {
+                failures.push((
+                    format!("heap events/sec @ {} nodes", aggregate.nodes),
+                    format!(
+                        ">= {:.0} (baseline {baseline_eps:.0}, -{:.0}% floor)",
+                        baseline_eps * (1.0 - SCALE_MAX_REGRESSION),
+                        SCALE_MAX_REGRESSION * 100.0
+                    ),
+                    format!("{:.0}", aggregate.heap_events_per_sec()),
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            report_baseline_failure("cluster-scale", &failures);
             return ExitCode::FAILURE;
         }
     }
@@ -994,6 +1186,10 @@ fn faults_main(options: FaultsOptions) -> ExitCode {
                  [throughput]   actual   sweep_hash {measured_hash}\n\
                  [throughput] The sweep is deterministic per seed, so this is a \
                  behavioural change: re-commit the baseline only if it is intentional."
+            );
+            report_baseline_failure(
+                "cluster-faults",
+                &[("sweep_hash".into(), baseline_hash, measured_hash)],
             );
             return ExitCode::FAILURE;
         }
@@ -1231,6 +1427,10 @@ fn migration_main(options: MigrationOptions) -> ExitCode {
                  [throughput] The sweep is deterministic per seed, so this is a \
                  behavioural change: re-commit the baseline only if it is intentional."
             );
+            report_baseline_failure(
+                "cluster-migration",
+                &[("sweep_hash".into(), baseline_hash, measured_hash)],
+            );
             return ExitCode::FAILURE;
         }
         // The gated claim is not just identity — the committed baseline must
@@ -1239,6 +1439,14 @@ fn migration_main(options: MigrationOptions) -> ExitCode {
             eprintln!(
                 "[throughput] FAIL: migration beat stay-put on p99 at only {wins} \
                  severity level(s); the baseline promises at least 2"
+            );
+            report_baseline_failure(
+                "cluster-migration",
+                &[(
+                    "p99 wins".into(),
+                    ">= 2 severity levels".into(),
+                    format!("{wins}"),
+                )],
             );
             return ExitCode::FAILURE;
         }
@@ -1432,6 +1640,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         if !check_events_per_sec(serial_events_per_sec, baseline_eps, "serial") {
+            report_baseline_failure(
+                "suite",
+                &[(
+                    "serial events_per_sec".into(),
+                    format!(
+                        ">= {:.0} (baseline {baseline_eps:.0}, -{:.0}% floor)",
+                        baseline_eps * (1.0 - MAX_REGRESSION),
+                        MAX_REGRESSION * 100.0
+                    ),
+                    format!("{serial_events_per_sec:.0}"),
+                )],
+            );
             return ExitCode::FAILURE;
         }
     }

@@ -68,6 +68,13 @@ pub struct ScaleSweepOptions {
     pub npu: NpuConfig,
     /// Wall-clock repetitions per (cell, driver); the minimum is reported.
     pub repetitions: usize,
+    /// Largest node count the O(events × nodes) stepping reference still
+    /// runs at. Cells above the cap run the event-heap loop only (their
+    /// [`ScaleCell::wall_reference_s`] is `None` and they fold into
+    /// [`scale_extended_sweep_hash`] but not [`scale_sweep_hash`]); `0`
+    /// makes the whole sweep heap-only. The heap outcome is independent of
+    /// whether the reference ran, so capped sweeps keep the same digests.
+    pub reference_cap: usize,
 }
 
 impl ScaleSweepOptions {
@@ -88,7 +95,19 @@ impl ScaleSweepOptions {
             scheduler: SchedulerConfig::np_fcfs(),
             npu: NpuConfig::paper_default(),
             repetitions: 3,
+            reference_cap: 64,
         }
+    }
+
+    /// The nightly extended sweep: the baseline grid plus heap-only 256-
+    /// and 1024-node levels, appended *after* the baseline levels so the
+    /// per-level request streams (seeded by grid position) — and therefore
+    /// the baseline cells' digests and the capped sweep hash — are
+    /// untouched.
+    pub fn extended() -> Self {
+        let mut opts = ScaleSweepOptions::baseline();
+        opts.node_counts.extend([256, 1024]);
+        opts
     }
 
     /// A reduced sweep for unit tests and quick local runs, covering the
@@ -153,8 +172,10 @@ pub struct ScaleCell {
     /// Total scheduler wakeups across the cluster (identical under both
     /// drivers — part of the bit-identity contract).
     pub events: u64,
-    /// Best wall clock of the naive stepping reference, seconds.
-    pub wall_reference_s: f64,
+    /// Best wall clock of the naive stepping reference, seconds. `None`
+    /// when the cell's node count exceeds
+    /// [`ScaleSweepOptions::reference_cap`] and only the heap loop ran.
+    pub wall_reference_s: Option<f64>,
     /// Best wall clock of the event-heap loop, seconds.
     pub wall_heap_s: f64,
     /// The deterministic outcome digest (identical under both drivers).
@@ -162,9 +183,10 @@ pub struct ScaleCell {
 }
 
 impl ScaleCell {
-    /// Reference events per second.
-    pub fn reference_events_per_sec(&self) -> f64 {
-        self.events as f64 / self.wall_reference_s.max(f64::EPSILON)
+    /// Reference events per second; `None` for heap-only cells.
+    pub fn reference_events_per_sec(&self) -> Option<f64> {
+        self.wall_reference_s
+            .map(|wall| self.events as f64 / wall.max(f64::EPSILON))
     }
 
     /// Event-heap events per second.
@@ -172,9 +194,11 @@ impl ScaleCell {
         self.events as f64 / self.wall_heap_s.max(f64::EPSILON)
     }
 
-    /// Wall-clock speedup of the event-heap loop over the reference.
-    pub fn speedup(&self) -> f64 {
-        self.wall_reference_s / self.wall_heap_s.max(f64::EPSILON)
+    /// Wall-clock speedup of the event-heap loop over the reference;
+    /// `None` for heap-only cells.
+    pub fn speedup(&self) -> Option<f64> {
+        self.wall_reference_s
+            .map(|wall| wall / self.wall_heap_s.max(f64::EPSILON))
     }
 }
 
@@ -185,16 +209,18 @@ pub struct ScaleAggregate {
     pub nodes: usize,
     /// Total scheduler wakeups over the node count's cells.
     pub events: u64,
-    /// Summed reference wall, seconds.
-    pub wall_reference_s: f64,
+    /// Summed reference wall, seconds; `None` at heap-only node counts.
+    pub wall_reference_s: Option<f64>,
     /// Summed event-heap wall, seconds.
     pub wall_heap_s: f64,
 }
 
 impl ScaleAggregate {
-    /// Reference events per second at this node count.
-    pub fn reference_events_per_sec(&self) -> f64 {
-        self.events as f64 / self.wall_reference_s.max(f64::EPSILON)
+    /// Reference events per second at this node count; `None` when the
+    /// node count ran heap-only.
+    pub fn reference_events_per_sec(&self) -> Option<f64> {
+        self.wall_reference_s
+            .map(|wall| self.events as f64 / wall.max(f64::EPSILON))
     }
 
     /// Event-heap events per second at this node count.
@@ -202,9 +228,11 @@ impl ScaleAggregate {
         self.events as f64 / self.wall_heap_s.max(f64::EPSILON)
     }
 
-    /// Aggregate speedup (ratio of the events/sec figures).
-    pub fn speedup(&self) -> f64 {
-        self.wall_reference_s / self.wall_heap_s.max(f64::EPSILON)
+    /// Aggregate speedup (ratio of the events/sec figures); `None` at
+    /// heap-only node counts.
+    pub fn speedup(&self) -> Option<f64> {
+        self.wall_reference_s
+            .map(|wall| wall / self.wall_heap_s.max(f64::EPSILON))
     }
 }
 
@@ -253,14 +281,20 @@ pub fn run_scale_sweep(opts: &ScaleSweepOptions) -> Vec<ScaleCell> {
                 opts.scheduler.clone(),
                 opts.npu.clone(),
             ));
-            let (reference, wall_reference_s) =
-                timed(|| online.run_reference(&prepared.tasks), opts.repetitions);
+            let wall_reference_s = (nodes <= opts.reference_cap).then(|| {
+                let (reference, wall) =
+                    timed(|| online.run_reference(&prepared.tasks), opts.repetitions);
+                (reference, wall)
+            });
             let (heap, wall_heap_s) = timed(|| online.run(&prepared.tasks), opts.repetitions);
-            assert_eq!(
-                heap, reference,
-                "event-heap loop diverged from the stepping reference at \
-                 {nodes} nodes under {variant}"
-            );
+            let wall_reference_s = wall_reference_s.map(|(reference, wall)| {
+                assert_eq!(
+                    heap, reference,
+                    "event-heap loop diverged from the stepping reference at \
+                     {nodes} nodes under {variant}"
+                );
+                wall
+            });
             cells.push(ScaleCell {
                 nodes,
                 policy: variant.label(),
@@ -278,9 +312,24 @@ pub fn run_scale_sweep(opts: &ScaleSweepOptions) -> Vec<ScaleCell> {
     cells
 }
 
-/// Folds every cell digest into the sweep-identity digest the
-/// `throughput cluster-scale` baseline gate compares.
+/// Folds the *reference-verified* cell digests (node counts within
+/// [`ScaleSweepOptions::reference_cap`]) into the sweep-identity digest the
+/// `throughput cluster-scale` baseline gate compares. Heap-only cells are
+/// excluded so the digest is stable whether or not a run extends the grid
+/// past the cap — the committed baseline value survives nightly's 256- and
+/// 1024-node columns.
 pub fn scale_sweep_hash(cells: &[ScaleCell]) -> u64 {
+    prema_cluster::fold_hashes(
+        cells
+            .iter()
+            .filter(|cell| cell.wall_reference_s.is_some())
+            .map(|cell| cell.hash),
+    )
+}
+
+/// Folds *every* cell digest, heap-only columns included — the identity
+/// the nightly extended sweep pins in addition to [`scale_sweep_hash`].
+pub fn scale_extended_sweep_hash(cells: &[ScaleCell]) -> u64 {
     prema_cluster::fold_hashes(cells.iter().map(|cell| cell.hash))
 }
 
@@ -291,7 +340,9 @@ pub fn scale_aggregates(cells: &[ScaleCell]) -> Vec<ScaleAggregate> {
         match aggregates.iter_mut().find(|a| a.nodes == cell.nodes) {
             Some(aggregate) => {
                 aggregate.events += cell.events;
-                aggregate.wall_reference_s += cell.wall_reference_s;
+                if let Some(wall) = cell.wall_reference_s {
+                    *aggregate.wall_reference_s.get_or_insert(0.0) += wall;
+                }
                 aggregate.wall_heap_s += cell.wall_heap_s;
             }
             None => aggregates.push(ScaleAggregate {
@@ -335,8 +386,55 @@ mod tests {
         assert_eq!(aggregates.len(), opts.node_counts.len());
         for aggregate in aggregates {
             assert!(aggregate.events > 0);
-            assert!(aggregate.speedup() > 0.0);
+            assert!(aggregate.speedup().expect("within the reference cap") > 0.0);
         }
+    }
+
+    /// Heap-only cells (above the reference cap) keep the exact digests a
+    /// fully verified sweep produces — the heap outcome cannot depend on
+    /// whether the reference ran — while the capped sweep hash folds only
+    /// the verified prefix and the extended hash folds everything.
+    #[test]
+    fn reference_cap_preserves_digests_and_splits_the_hashes() {
+        let verified = run_scale_sweep(&ScaleSweepOptions::quick());
+        let capped_opts = ScaleSweepOptions {
+            reference_cap: 2,
+            ..ScaleSweepOptions::quick()
+        };
+        let capped = run_scale_sweep(&capped_opts);
+        assert_eq!(capped.len(), verified.len());
+        for (cell, full) in capped.iter().zip(&verified) {
+            assert_eq!(cell.hash, full.hash);
+            assert_eq!(cell.events, full.events);
+            assert_eq!(
+                cell.wall_reference_s.is_some(),
+                cell.nodes <= capped_opts.reference_cap
+            );
+            assert_eq!(cell.reference_events_per_sec().is_some(), cell.nodes <= 2);
+            assert_eq!(cell.speedup().is_some(), cell.nodes <= 2);
+        }
+        // The gate digest folds only verified cells; the extended digest
+        // folds all of them and matches the uncapped sweep's.
+        let verified_prefix: Vec<ScaleCell> = capped
+            .iter()
+            .filter(|cell| cell.wall_reference_s.is_some())
+            .cloned()
+            .collect();
+        assert!(!verified_prefix.is_empty());
+        assert_eq!(
+            scale_sweep_hash(&capped),
+            scale_extended_sweep_hash(&verified_prefix)
+        );
+        assert_eq!(
+            scale_extended_sweep_hash(&capped),
+            scale_extended_sweep_hash(&verified)
+        );
+        // Heap-only node counts aggregate without a reference wall.
+        let aggregates = scale_aggregates(&capped);
+        assert!(aggregates
+            .iter()
+            .any(|aggregate| aggregate.wall_reference_s.is_none()
+                && aggregate.heap_events_per_sec() > 0.0));
     }
 
     #[test]

@@ -35,6 +35,17 @@
 //! contenders are advanced and scored exactly, with ties breaking to the
 //! lowest index exactly like the reference scan.
 //!
+//! At hundreds of nodes the scan itself becomes the wall — O(nodes) per
+//! arrival even when every node is skipped. [`crate::contender`] therefore
+//! keeps the *same* lower bounds in ordered structures (queue-depth buckets
+//! for `jsq-live`, tournament trees keyed on predicted work for
+//! `least-work-live` / `predictive-live`, fault-penalty tiers as the major
+//! key), refreshed from the one `reschedule` funnel every lazy-mode
+//! mutation already flows through. A dispatch then examines O(log nodes)
+//! candidates off the structure minimum and provably picks the scan's
+//! node; `debug_assertions` builds replay the linear scan after every
+//! indexed pick and assert the argmin agrees.
+//!
 //! Work stealing and SLA admission run *synchronized* instead: stealing
 //! revokes never-started tasks whose availability depends on quantum-level
 //! dispatch timing, and admission's p99 prediction reads every node's exact
@@ -57,13 +68,14 @@ use std::rc::Rc;
 
 use npu_sim::{Cycles, NpuConfig};
 use prema_core::{
-    NpuSimulator, PreparedTask, ResidentTask, SimSession, TaskId, TaskRequest, TraceSink,
+    NpuSimulator, PreparedTask, Priority, ResidentTask, SimSession, TaskId, TaskRequest, TraceSink,
 };
 use prema_metrics::Percentiles;
 
 use prema_workload::FaultKind;
 
 use crate::cluster::NodeAssignment;
+use crate::contender::ContenderIndex;
 use crate::faults::{FaultDriver, FaultEvent};
 use crate::migration::MigrationDriver;
 use crate::online::{
@@ -296,8 +308,17 @@ struct EventHeapLoop<'a, C: ClusterTraceSink> {
     /// that bound; every session mutation pushes the fresh bound, stale
     /// entries are dropped at pop time.
     heap: BinaryHeap<Reverse<(Cycles, usize)>>,
+    /// The ordered contender structures the per-arrival dispatch walks
+    /// instead of scanning every node — lazy mode only (`None` when
+    /// synchronized: with zero lag the exact linear scan is the decision
+    /// procedure, and fault sync points must never materialize). Refreshed
+    /// from [`Self::reschedule`], the single funnel every lazy-mode session
+    /// mutation already flows through.
+    index: Option<ContenderIndex>,
     /// Scratch for one `materialize_due` round (deduplicated due nodes).
     due_scratch: Vec<usize>,
+    /// Scratch for the dispatch query's stalled/degraded side scan.
+    side_scratch: Vec<usize>,
     predictions: Vec<PredictionSegment>,
     /// Reused across admission calls (the reference allocates this fresh
     /// per arrival).
@@ -312,15 +333,23 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
         trace: Rc<RefCell<C>>,
     ) -> Self {
         let nodes = sessions.len();
+        let synchronized =
+            config.work_stealing || config.admission.is_some() || config.migration.is_some();
+        let mut index = (!synchronized).then(|| ContenderIndex::new(config.dispatch, nodes));
+        if let Some(index) = index.as_mut() {
+            for (i, session) in sessions.iter().enumerate() {
+                index.refresh(i, &session.dispatch_signals());
+            }
+        }
         EventHeapLoop {
             config,
-            synchronized: config.work_stealing
-                || config.admission.is_some()
-                || config.migration.is_some(),
+            synchronized,
             sessions,
             trace,
             heap: BinaryHeap::with_capacity(nodes * 2),
+            index,
             due_scratch: Vec::with_capacity(nodes),
+            side_scratch: Vec::new(),
             predictions: vec![PredictionSegment::default(); nodes],
             predicted_ms: Vec::new(),
             residents_scratch: Vec::new(),
@@ -334,6 +363,7 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
         if self.synchronized {
             return;
         }
+        self.refresh_index(i);
         if let Some(bound) = self.sessions[i].completion_lower_bound() {
             self.heap.push(Reverse((bound, i)));
             if C::ENABLED {
@@ -341,6 +371,29 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
                     .borrow_mut()
                     .cluster_event(bound, ClusterTraceEvent::HeapPush { node: i, bound });
             }
+        }
+    }
+
+    /// Re-keys node `i` in the contender index from a fresh signal read
+    /// (lazy mode; no-op otherwise). Sits inside [`Self::reschedule`], so
+    /// the index tracks every session mutation the certificate heap does:
+    /// materializations, injections, salvage re-entries, fault edges.
+    fn refresh_index(&mut self, i: usize) {
+        let Some(index) = self.index.as_mut() else {
+            return;
+        };
+        let signals = self.sessions[i].dispatch_signals();
+        let (penalty, key, indexed) = index.refresh(i, &signals);
+        if C::ENABLED {
+            self.trace.borrow_mut().cluster_event(
+                signals.now,
+                ClusterTraceEvent::IndexUpdate {
+                    node: i,
+                    penalty,
+                    key,
+                    indexed,
+                },
+            );
         }
     }
 
@@ -567,22 +620,69 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
         faults: Option<&FaultDriver<'_>>,
         synchronized: bool,
     ) -> usize {
-        let priority = task.request.priority;
-        let dispatch = self.config.dispatch;
-        let score = |session: &SimSession<NodeTap<C>>, lag: u64| -> (u64, u64) {
-            let remaining = session.predicted_remaining_work().get().saturating_sub(lag);
-            match dispatch {
-                OnlineDispatchPolicy::ShortestQueue => (session.queue_depth() as u64, remaining),
-                OnlineDispatchPolicy::LeastWork => (remaining, remaining),
-                OnlineDispatchPolicy::Predictive => (
-                    session
-                        .predicted_blocking_work(priority)
-                        .get()
-                        .saturating_sub(lag),
-                    remaining,
-                ),
-            }
+        let use_index = !synchronized && self.index.is_some();
+        let (chosen, keys) = if use_index {
+            self.pick_node_indexed(t, task, faults)
+        } else {
+            self.pick_node_scan(t, task, faults, synchronized)
         };
+        // Debug cross-check: replay the linear branch-and-bound scan over
+        // the post-query state — extra materializations are outcome-inert
+        // (pure suspension) and the scan's argmin is state-independent, so
+        // the two procedures must name the same node.
+        #[cfg(debug_assertions)]
+        {
+            if use_index {
+                let (check, _) = self.pick_node_scan(t, task, faults, synchronized);
+                debug_assert_eq!(
+                    chosen, check,
+                    "indexed dispatch diverged from the linear scan at {t:?}"
+                );
+            }
+        }
+        if C::ENABLED {
+            self.trace.borrow_mut().cluster_event(
+                t,
+                ClusterTraceEvent::DispatchDecision {
+                    task: task.request.id,
+                    chosen,
+                    keys,
+                },
+            );
+        }
+        chosen
+    }
+
+    /// The dispatch score of node `i` for an arrival of `priority`, with
+    /// `lag` wall cycles of conservative decay subtracted from the
+    /// work-based signals (`lag == 0` reads the exact score).
+    fn lag_score(&self, i: usize, priority: Priority, lag: u64) -> (u64, u64) {
+        let session = &self.sessions[i];
+        let remaining = session.predicted_remaining_work().get().saturating_sub(lag);
+        match self.config.dispatch {
+            OnlineDispatchPolicy::ShortestQueue => (session.queue_depth() as u64, remaining),
+            OnlineDispatchPolicy::LeastWork => (remaining, remaining),
+            OnlineDispatchPolicy::Predictive => (
+                session
+                    .predicted_blocking_work(priority)
+                    .get()
+                    .saturating_sub(lag),
+                remaining,
+            ),
+        }
+    }
+
+    /// The linear branch-and-bound scan (the reference decision procedure):
+    /// every node visited in index order, lagging nodes compared by lower
+    /// bound and materialized only when they might win.
+    fn pick_node_scan(
+        &mut self,
+        t: Cycles,
+        task: &PreparedTask,
+        faults: Option<&FaultDriver<'_>>,
+        synchronized: bool,
+    ) -> (usize, NodeKeySet) {
+        let priority = task.request.priority;
         type PenaltyScore = (u8, (u64, u64));
         let mut keys = NodeKeySet::default();
         let mut best: Option<(PenaltyScore, usize)> = None;
@@ -593,7 +693,7 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
             } else {
                 (t - self.sessions[i].now()).get()
             };
-            let lower = (penalty, score(&self.sessions[i], lag));
+            let lower = (penalty, self.lag_score(i, priority, lag));
             if best.is_some_and(|(exact, _)| lower >= exact) {
                 if C::ENABLED {
                     // Skipped unmaterialized: the trace records the lower
@@ -610,7 +710,7 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
             if lag > 0 {
                 self.materialize(i, t);
             }
-            let exact = (penalty, score(&self.sessions[i], 0));
+            let exact = (penalty, self.lag_score(i, priority, 0));
             if C::ENABLED {
                 keys.push(NodeKey {
                     node: i,
@@ -623,18 +723,134 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
                 best = Some((exact, i));
             }
         }
-        let chosen = best.expect("at least one node").1;
-        if C::ENABLED {
-            self.trace.borrow_mut().cluster_event(
-                t,
-                ClusterTraceEvent::DispatchDecision {
-                    task: task.request.id,
-                    chosen,
-                    keys,
-                },
-            );
+        (best.expect("at least one node").1, keys)
+    }
+
+    /// The indexed dispatch query: provably the same argmin as
+    /// [`Self::pick_node_scan`], in O(contenders × log nodes). See
+    /// [`crate::contender`] for the invariants; the shape here is
+    ///
+    /// 1. drain due penalty decays, re-keying the affected nodes;
+    /// 2. drain the staleness heap, materializing nodes whose stored keys
+    ///    fell inside the saturation window (restores stored-order ==
+    ///    lower-bound-order);
+    /// 3. walk structure minima — each is the best remaining lower bound —
+    ///    materializing and folding exact scores until the best exact key
+    ///    (index tiebreak included) beats the minimum;
+    /// 4. linearly fold the stalled/degraded side set with the scan's own
+    ///    lag lower bounds.
+    ///
+    /// Unlike the scan — whose ascending visit order lets it compare bare
+    /// scores — every comparison here carries the node index, because the
+    /// walk examines nodes in key order.
+    fn pick_node_indexed(
+        &mut self,
+        t: Cycles,
+        task: &PreparedTask,
+        faults: Option<&FaultDriver<'_>>,
+    ) -> (usize, NodeKeySet) {
+        if let Some(driver) = faults {
+            while let Some(node) = self
+                .index
+                .as_mut()
+                .expect("indexed pick requires the index")
+                .next_due_promotion(t)
+            {
+                let (tier, expiry) = driver.penalty_with_expiry(node, t);
+                self.index
+                    .as_mut()
+                    .expect("indexed pick requires the index")
+                    .set_penalty(node, tier, expiry);
+            }
         }
-        chosen
+        while let Some(node) = self
+            .index
+            .as_mut()
+            .expect("indexed pick requires the index")
+            .pop_stale(t)
+        {
+            self.materialize(node, t);
+        }
+        let priority = task.request.priority;
+        type PenaltyScore = (u8, (u64, u64));
+        let mut keys = NodeKeySet::default();
+        let mut best: Option<(PenaltyScore, usize)> = None;
+        while let Some((penalty, lower_score, node)) = self
+            .index
+            .as_ref()
+            .expect("indexed pick requires the index")
+            .min_lower(priority, t)
+        {
+            let lower = (penalty, lower_score);
+            if let Some((best_key, best_node)) = best {
+                if (lower, node) >= (best_key, best_node) {
+                    break;
+                }
+            }
+            if self.sessions[node].now() < t {
+                // A contender: materialize (the refresh re-anchors its
+                // stored key to an exact one, so a re-encounter at the
+                // minimum terminates the walk).
+                self.materialize(node, t);
+            }
+            #[cfg(debug_assertions)]
+            if let Some(driver) = faults {
+                debug_assert_eq!(
+                    penalty,
+                    driver.penalty(node, t),
+                    "stored penalty tier went stale at {t:?}"
+                );
+            }
+            let exact = (penalty, self.lag_score(node, priority, 0));
+            if C::ENABLED {
+                keys.push(NodeKey {
+                    node,
+                    penalty,
+                    key: exact.1,
+                    lower_bounded: false,
+                });
+            }
+            if best.is_none_or(|(best_key, best_node)| (exact, node) < (best_key, best_node)) {
+                best = Some((exact, node));
+            }
+        }
+        self.index
+            .as_ref()
+            .expect("indexed pick requires the index")
+            .copy_unindexed_into(&mut self.side_scratch);
+        for k in 0..self.side_scratch.len() {
+            let node = self.side_scratch[k];
+            let penalty = faults.map_or(0u8, |driver| driver.penalty(node, t));
+            let lag = (t - self.sessions[node].now()).get();
+            let lower = (penalty, self.lag_score(node, priority, lag));
+            if best.is_some_and(|(best_key, best_node)| (lower, node) >= (best_key, best_node)) {
+                if C::ENABLED {
+                    keys.push(NodeKey {
+                        node,
+                        penalty,
+                        key: lower.1,
+                        lower_bounded: lag > 0,
+                    });
+                }
+                continue;
+            }
+            if lag > 0 {
+                self.materialize(node, t);
+            }
+            let exact = (penalty, self.lag_score(node, priority, 0));
+            if C::ENABLED {
+                keys.push(NodeKey {
+                    node,
+                    penalty,
+                    key: exact.1,
+                    lower_bounded: false,
+                });
+            }
+            if best.is_none_or(|(best_key, best_node)| (exact, node) < (best_key, best_node)) {
+                best = Some((exact, node));
+            }
+        }
+        (best.expect("at least one node").1, keys)
     }
 
     /// The event-heap half of the shared fault/migration timeline (see the
@@ -730,6 +946,13 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
                                 }
                             }
                             self.reschedule(fault.node);
+                            // The fault window just opened moves the node's
+                            // penalty tier: store the fresh (tier, decay
+                            // instant) as the index's major key.
+                            if let Some(index) = self.index.as_mut() {
+                                let (tier, expiry) = driver.penalty_with_expiry(fault.node, t);
+                                index.set_penalty(fault.node, tier, expiry);
+                            }
                         }
                         FaultEvent::DegradeEnd { node } => {
                             if C::ENABLED {
@@ -744,6 +967,10 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
                             }
                             self.sessions[node].set_clock_scale(1, 1);
                             self.reschedule(node);
+                            if let Some(index) = self.index.as_mut() {
+                                let (tier, expiry) = driver.penalty_with_expiry(node, t);
+                                index.set_penalty(node, tier, expiry);
+                            }
                         }
                         FaultEvent::Recovery(pending) => {
                             let node = self.pick_node_synchronized(

@@ -420,6 +420,33 @@ impl<'a> FaultDriver<'a> {
         0
     }
 
+    /// Like [`FaultDriver::penalty`], also returning the instant the tier
+    /// next *decays* (2 → 1 at the downtime end, 1 → 0 at the later of the
+    /// cooldown end and the degrade end), or `None` for a healthy node. Tier
+    /// *increases* only happen inside [`FaultDriver::pop_due`] processing —
+    /// the synchronized fault instants the event-heap loop already hooks —
+    /// so a dispatch index holding `(tier, expiry)` per node stays exact by
+    /// re-reading at fault instants plus the returned expiries.
+    pub(crate) fn penalty_with_expiry(&self, node: usize, t: Cycles) -> (u8, Option<Cycles>) {
+        let tier = self.penalty(node, t);
+        match tier {
+            2 => (2, Some(self.down_until[node])),
+            1 => {
+                let until = self.down_until[node];
+                let mut expiry = Cycles::ZERO;
+                if !until.is_zero() && t < until + self.cooldown {
+                    expiry = until + self.cooldown;
+                }
+                let degraded = self.degraded_until[node];
+                if t < degraded {
+                    expiry = expiry.max(degraded);
+                }
+                (1, Some(expiry))
+            }
+            _ => (0, None),
+        }
+    }
+
     /// Commits a due re-dispatch onto `to_node` at `at`: applies the
     /// recovery policy (restart-from-zero discards the cursor), logs the
     /// hop, and returns the manifest for the loop to inject.
@@ -597,6 +624,47 @@ mod tests {
         let cooldown_end = Cycles::new(200) + npu.millis_to_cycles(1.0);
         assert_eq!(driver.penalty(1, cooldown_end - Cycles::new(1)), 1);
         assert_eq!(driver.penalty(1, cooldown_end), 0);
+        let _ = driver.finish();
+    }
+
+    #[test]
+    fn penalty_expiries_name_the_next_tier_decay_instant() {
+        let npu = NpuConfig::paper_default();
+        let plan = ClusterFaultPlan::new(FaultSchedule::from_events(vec![
+            crash(1, 100, 200),
+            degrade(2, 100, 5_000_000, 1, 4),
+        ]))
+        .with_recovery(RecoveryConfig {
+            cooldown_ms: 1.0,
+            ..RecoveryConfig::checkpointed()
+        });
+        let mut driver = FaultDriver::new(&plan, &npu, 3);
+        assert_eq!(driver.penalty_with_expiry(1, Cycles::new(50)), (0, None));
+        while driver.pop_due(Cycles::new(100)).is_some() {}
+        // Down: the expiry is the downtime end (tier 2 -> 1 there).
+        assert_eq!(
+            driver.penalty_with_expiry(1, Cycles::new(150)),
+            (2, Some(Cycles::new(200)))
+        );
+        // Cooling: the expiry is the cooldown end (tier 1 -> 0 there).
+        let cooldown_end = Cycles::new(200) + npu.millis_to_cycles(1.0);
+        assert_eq!(
+            driver.penalty_with_expiry(1, Cycles::new(200)),
+            (1, Some(cooldown_end))
+        );
+        assert_eq!(driver.penalty_with_expiry(1, cooldown_end), (0, None));
+        // Degraded: tier 1 until the degrade window ends.
+        assert_eq!(
+            driver.penalty_with_expiry(2, Cycles::new(150)),
+            (1, Some(Cycles::new(5_000_000)))
+        );
+        // Every expiry agrees with re-reading `penalty` just before/after.
+        for (node, expiry) in [(1, Cycles::new(200)), (1, cooldown_end)] {
+            assert!(driver.penalty(node, expiry - Cycles::new(1)) > driver.penalty(node, expiry));
+        }
+        // Close the degrade window so the drained-timeline debug assert in
+        // `finish` holds.
+        while driver.pop_due(Cycles::new(5_000_000)).is_some() {}
         let _ = driver.finish();
     }
 

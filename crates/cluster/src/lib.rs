@@ -82,6 +82,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cluster;
+mod contender;
 pub mod dispatch;
 mod event_heap;
 pub mod faults;

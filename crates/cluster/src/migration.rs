@@ -15,8 +15,11 @@
 //! The crate-private `MigrationDriver` is — like the fault driver — one
 //! shared decision machine both closed-loop drivers consume, so the
 //! heap-vs-reference bit-identity contract extends over migration by
-//! construction. At every global synchronization instant it runs a
-//! *migration round*:
+//! construction. (Migration is a *synchronized* mechanism: with it
+//! enabled the event-heap loop steps all nodes to each decision instant
+//! and the crate-private `contender` dispatch index stays unbuilt —
+//! every migration round reads every node anyway.) At every global
+//! synchronization instant it runs a *migration round*:
 //!
 //! 1. **Deadline check.** Per source node, residents are walked in the
 //!    preemptive scheduler's drain order (priority, then arrival, then id);

@@ -18,9 +18,12 @@
 //!
 //! * [`OnlineClusterSimulator::run`] — the production *event-heap* loop
 //!   (see the crate-private `event_heap` module): per-node completion certificates in a
-//!   lazily invalidated min-heap, branch-and-bound dispatch, and the
-//!   engine's O(1) incremental aggregates, so a global event advances only
-//!   the nodes it actually concerns.
+//!   lazily invalidated min-heap, branch-and-bound dispatch over an
+//!   indexed contender structure (the crate-private `contender` module:
+//!   penalty-tiered depth buckets / tournament trees, O(log nodes) per
+//!   arrival in lazy modes), and the engine's O(1) incremental
+//!   aggregates, so a global event advances only the nodes it actually
+//!   concerns.
 //! * [`OnlineClusterSimulator::run_reference`] — the naive stepping loop
 //!   PR 4 shipped, kept in this module as the semantic oracle (and the
 //!   baseline of the `cluster-scale` bench): every global event advances

@@ -231,6 +231,21 @@ pub enum ClusterTraceEvent {
         /// Its predicted remaining work.
         remaining_work: Cycles,
     },
+    /// The contender index re-keyed one node (lazy dispatch only): emitted
+    /// at every index refresh — heap events, fault instants, injections.
+    /// Like the certificate events, the timestamp is the node-local clock
+    /// at the refresh, which may trail the global event time.
+    IndexUpdate {
+        /// The re-keyed node.
+        node: usize,
+        /// The fault-penalty tier stored as the index's major key.
+        penalty: u8,
+        /// The stored policy key pair, in absolute (clock-anchored) form.
+        key: (u64, u64),
+        /// Whether the node sits in the ordered structures (`true`) or in
+        /// the linearly scanned stalled/degraded side set (`false`).
+        indexed: bool,
+    },
 }
 
 /// A destination for cluster telemetry. Mirrors the engine's
@@ -758,11 +773,12 @@ impl ClusterTraceSink for JsonTraceSink {
                     remaining_work.get()
                 ));
             }
-            // Heap traffic is interesting in the FlightRecorder's dump but
-            // noise in a visual timeline.
+            // Heap and index traffic is interesting in the FlightRecorder's
+            // dump but noise in a visual timeline.
             ClusterTraceEvent::HeapPush { .. }
             | ClusterTraceEvent::HeapPop { .. }
-            | ClusterTraceEvent::HeapStaleDrop { .. } => {}
+            | ClusterTraceEvent::HeapStaleDrop { .. }
+            | ClusterTraceEvent::IndexUpdate { .. } => {}
         }
     }
 }

@@ -73,6 +73,31 @@ use crate::preemption::{select_mechanism, MechanismDecisionInputs, PreemptionMec
 use crate::task::{Priority, TaskId, TaskRequest, TaskState};
 use crate::trace::{CandidateSet, NullSink, TraceEvent, TraceSink};
 
+/// A one-read bundle of the per-node signals a cluster dispatch index keys
+/// on. Every field is O(1) to produce (the engine maintains the totals
+/// incrementally — see [`SimSession::predicted_remaining_work`] and
+/// [`SimSession::predicted_blocking_work`]), so an index refresh costs one
+/// call instead of five accessor round-trips, and the bundle documents
+/// exactly which session state a dispatch index is allowed to depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchSignals {
+    /// The session clock at the read (the node-local "now").
+    pub now: Cycles,
+    /// Live queue depth: resident tasks not yet finished.
+    pub queue_depth: usize,
+    /// Total predicted remaining work over resident tasks.
+    pub remaining_work: Cycles,
+    /// Predicted blocking work per arrival priority, indexed by
+    /// [`Priority::index`]: the work the node would run before a newcomer
+    /// of that priority (suffix sums of the per-priority totals).
+    pub blocking_work: [Cycles; Priority::ALL.len()],
+    /// The node is inside a fault stall (crash downtime or freeze): the
+    /// clock is parked and nothing progresses until the window ends.
+    pub stalled: bool,
+    /// The node's clock is scaled below unit speed (degrade window).
+    pub scaled: bool,
+}
+
 /// A request whose execution plan has been compiled for a specific NPU
 /// configuration. Plans are shared via [`Arc`] so the same workload can be
 /// replayed under many scheduler configurations without recompiling.
@@ -1955,6 +1980,26 @@ impl<S: TraceSink> SimSession<S> {
     /// cluster's predicted-turnaround segments) stays exactly reusable.
     pub fn state_version(&self) -> u64 {
         self.state.state_version
+    }
+
+    /// The signal bundle an external dispatch index refreshes from — see
+    /// [`DispatchSignals`]. One O(1) read per [`SimSession::state_version`]
+    /// bump covers everything the cluster's contender structures key on.
+    pub fn dispatch_signals(&self) -> DispatchSignals {
+        let mut blocking_work = [Cycles::ZERO; Priority::ALL.len()];
+        let mut suffix = Cycles::ZERO;
+        for level in (0..Priority::ALL.len()).rev() {
+            suffix += self.state.remaining_by_priority[level];
+            blocking_work[level] = suffix;
+        }
+        DispatchSignals {
+            now: self.now,
+            queue_depth: self.queue_depth(),
+            remaining_work: self.state.remaining_work,
+            blocking_work,
+            stalled: self.stalled_until().is_some(),
+            scaled: self.clock.num != self.clock.den,
+        }
     }
 
     /// A lower bound on the next time the node's task set can shrink: the

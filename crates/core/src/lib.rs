@@ -53,8 +53,8 @@ pub mod trace;
 pub use config::{PolicyKind, PreemptionMode, SchedulerConfig};
 pub use context_table::{ContextEntry, ContextTable};
 pub use engine::{
-    EngineError, NpuSimulator, OutcomeSummary, PreparedTask, ResidentTask, SalvagedTask,
-    SimOutcome, SimSession, StepOutcome, TaskRecord,
+    DispatchSignals, EngineError, NpuSimulator, OutcomeSummary, PreparedTask, ResidentTask,
+    SalvagedTask, SimOutcome, SimSession, StepOutcome, TaskRecord,
 };
 pub use plan::{ExecutionPlan, ProgressCursor};
 pub use policy::{SchedulingPolicy, TaskView};

@@ -267,7 +267,22 @@ fn random_fault_drivings_conserve_tasks_and_stay_deterministic() {
             }
         }));
         if let Err(failure) = invariants {
-            eprintln!("{}", recorder.dump());
+            let dump = recorder.dump();
+            eprintln!("{dump}");
+            // Nightly CI sets CHAOS_DUMP_DIR and uploads whatever lands
+            // there as a failure artifact, so the flight-recorder lead-up
+            // survives the job teardown.
+            if let Some(dir) = std::env::var_os("CHAOS_DUMP_DIR") {
+                let dir = std::path::PathBuf::from(dir);
+                let path = dir.join(format!("chaos-case-{case}.txt"));
+                if let Err(error) = std::fs::create_dir_all(&dir)
+                    .and_then(|()| std::fs::write(&path, format!("{driving:?}\n\n{dump}")))
+                {
+                    eprintln!("could not write {}: {error}", path.display());
+                } else {
+                    eprintln!("flight-recorder dump written to {}", path.display());
+                }
+            }
             std::panic::resume_unwind(failure);
         }
         if heap.migrations > 0 {

@@ -1,0 +1,207 @@
+//! Property test pinning the indexed contender structures to the linear
+//! branch-and-bound scan they replace.
+//!
+//! The event-heap loop's live dispatch (`jsq-live`, `least-work-live`,
+//! `predictive-live`) consults an indexed contender structure — depth
+//! buckets or a tournament tree over absolute keys — whenever the run is
+//! *lazy* (no stealing / admission / migration): plain drivings and
+//! faults-only drivings. This sweep drives random cluster shapes through
+//! every feature combination and asserts the outcome is exactly what the
+//! linear scan produces:
+//!
+//! * **Heap == reference, bit for bit** — the indexed event-heap run must
+//!   equal the horizon-stepping reference (which knows nothing about the
+//!   index), outcome struct *and* `online_outcome_hash`. Any divergence in
+//!   a single dispatch decision cascades into different node assignments
+//!   and a different digest, so hash equality pins every pick.
+//! * **Chosen-node identity per arrival** — debug builds (which `cargo
+//!   test` uses) additionally replay the linear branch-and-bound scan
+//!   after every indexed pick inside `pick_node_inner` and
+//!   `debug_assert_eq!` the chosen node, so a compensating double-error
+//!   cannot hide behind an identical final hash.
+//! * **Synchronized modes stay untouched** — with stealing, admission or
+//!   migration enabled the loop steps all nodes in lockstep and the index
+//!   is never built; those drivings pin that the refactor did not perturb
+//!   the synchronized path.
+//!
+//! Fault drivings matter most here: they exercise the penalty tiers
+//! (down > cooling > healthy) as the index's major key, the promotion
+//! heap that decays tiers at fault-drain instants, and the unindexed side
+//! set that stalled and clock-scaled nodes divert to.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use prema::cluster::{
+    online_outcome_hash, ClusterFaultPlan, MigrationConfig, OnlineClusterConfig,
+    OnlineClusterSimulator, OnlineDispatchPolicy,
+};
+use prema::workload::prepare::prepare_requests;
+use prema::workload::{
+    generate_open_loop, ArrivalProcess, FaultProcess, FaultSchedule, OpenLoopConfig,
+};
+use prema::{NpuConfig, SchedulerConfig};
+
+/// Which subsystems a driving switches on. `Plain` and `Faults` leave the
+/// loop lazy, so the indexed pick path handles every dispatch; the rest
+/// force the synchronized stepping path where the index is never built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Features {
+    Plain,
+    Faults,
+    Stealing,
+    Admission,
+    Migration,
+    AllOn,
+}
+
+const FEATURES: [Features; 6] = [
+    Features::Plain,
+    Features::Faults,
+    Features::Stealing,
+    Features::Admission,
+    Features::Migration,
+    Features::AllOn,
+];
+
+const POLICIES: [OnlineDispatchPolicy; 3] = [
+    OnlineDispatchPolicy::ShortestQueue,
+    OnlineDispatchPolicy::LeastWork,
+    OnlineDispatchPolicy::Predictive,
+];
+
+fn uses_index(features: Features) -> bool {
+    matches!(features, Features::Plain | Features::Faults)
+}
+
+fn wants_faults(features: Features) -> bool {
+    matches!(features, Features::Faults | Features::AllOn)
+}
+
+fn draw_config(
+    rng: &mut StdRng,
+    policy: OnlineDispatchPolicy,
+    features: Features,
+    nodes: usize,
+    schedule: FaultSchedule,
+) -> OnlineClusterConfig {
+    let scheduler = if rng.gen_bool(0.3) {
+        SchedulerConfig::np_fcfs()
+    } else {
+        SchedulerConfig::paper_default()
+    };
+    let mut config = OnlineClusterConfig::new(nodes, scheduler, policy);
+    if wants_faults(features) {
+        config = config.with_faults(ClusterFaultPlan::new(schedule));
+    }
+    match features {
+        Features::Stealing => config = config.with_work_stealing(),
+        Features::Admission => config = config.with_admission(rng.gen_range(20.0..80.0)),
+        Features::Migration => {
+            config = config.with_migration(MigrationConfig::new(rng.gen_range(2.0..20.0)))
+        }
+        Features::AllOn => {
+            config = config
+                .with_work_stealing()
+                .with_admission(rng.gen_range(20.0..80.0))
+                .with_migration(MigrationConfig::new(rng.gen_range(2.0..20.0)));
+        }
+        Features::Plain | Features::Faults => {}
+    }
+    config
+}
+
+/// The sweep: every live policy × every feature combination, several
+/// random drivings each, heap vs reference pinned exactly. In debug
+/// builds the in-loop linear replay additionally asserts per-arrival
+/// chosen-node identity on every indexed pick.
+#[test]
+fn indexed_dispatch_matches_the_linear_scan_exactly() {
+    let npu = NpuConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(0x1D3_C0DE);
+    let mut indexed_drivings = 0usize;
+    let mut indexed_faulty = 0usize;
+    for features in FEATURES {
+        for policy in POLICIES {
+            for case in 0..3 {
+                let nodes = rng.gen_range(2usize..=5);
+                let duration_ms = rng.gen_range(10.0..20.0);
+                let rate_per_ms = rng.gen_range(0.3..0.9);
+                let process = match rng.gen_range(0u8..3) {
+                    0 => ArrivalProcess::Poisson { rate_per_ms },
+                    1 => ArrivalProcess::Bursty {
+                        on_rate_per_ms: rate_per_ms * 2.0,
+                        mean_on_ms: rng.gen_range(1.0..4.0),
+                        mean_off_ms: rng.gen_range(1.0..4.0),
+                    },
+                    _ => ArrivalProcess::Diurnal {
+                        trough_rate_per_ms: rate_per_ms * 0.5,
+                        peak_rate_per_ms: rate_per_ms * 1.5,
+                        period_ms: rng.gen_range(6.0..18.0),
+                    },
+                };
+                let arrivals = OpenLoopConfig::poisson(1.0, duration_ms).with_process(process);
+                let spec = generate_open_loop(&arrivals, &mut rng);
+                let tasks = prepare_requests(&spec.requests, &npu, None);
+                if tasks.is_empty() {
+                    continue;
+                }
+
+                // Fault drivings resample until the process fires so the
+                // penalty tiers, promotion heap and side set actually see
+                // traffic instead of an empty schedule.
+                let mut schedule = FaultSchedule::none();
+                if wants_faults(features) {
+                    for _ in 0..32 {
+                        schedule = FaultProcess::crashes(
+                            nodes,
+                            rng.gen_range(4.0..20.0),
+                            rng.gen_range(0.5..2.0),
+                            duration_ms,
+                        )
+                        .with_freeze_fraction(rng.gen_range(0.0..0.4))
+                        .with_degradation(rng.gen_range(0.0..0.5), 1, rng.gen_range(2u32..=8))
+                        .generate(&mut rng);
+                        if !schedule.is_empty() {
+                            break;
+                        }
+                    }
+                    assert!(
+                        !schedule.is_empty(),
+                        "{features:?}/{policy:?} case {case}: fault process never fired"
+                    );
+                }
+
+                let config = draw_config(&mut rng, policy, features, nodes, schedule);
+                let simulator = OnlineClusterSimulator::new(config);
+                let heap = simulator.run(&tasks);
+                let reference = simulator.run_reference(&tasks);
+                assert_eq!(
+                    heap, reference,
+                    "{features:?}/{policy:?} case {case}: indexed heap run != reference"
+                );
+                assert_eq!(
+                    online_outcome_hash(&heap),
+                    online_outcome_hash(&reference),
+                    "{features:?}/{policy:?} case {case}: digest divergence"
+                );
+                if uses_index(features) {
+                    indexed_drivings += 1;
+                    if heap.has_fault_activity() {
+                        indexed_faulty += 1;
+                    }
+                }
+            }
+        }
+    }
+    // The sweep must actually have exercised the indexed path, including
+    // under live fault windows (penalty tiers + unindexed side set).
+    assert!(
+        indexed_drivings >= 12,
+        "only {indexed_drivings} drivings ran with the contender index live"
+    );
+    assert!(
+        indexed_faulty >= 4,
+        "only {indexed_faulty} indexed drivings saw fault activity; penalty tiers untested"
+    );
+}
