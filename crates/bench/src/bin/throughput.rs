@@ -33,6 +33,9 @@ use prema_bench::cluster::{cell_of, run_cluster_sweep, sweep_hash, ClusterSweepO
 use prema_bench::faults::{fault_sweep_hash, run_fault_sweep, FaultSweepOptions};
 use prema_bench::fig11_15::{fig11_configs, fig12_configs};
 use prema_bench::migration::{migration_sweep_hash, run_migration_sweep, MigrationSweepOptions};
+use prema_bench::partition::{
+    partition_sweep_hash, partition_wins, run_partition_sweep, PartitionSweepOptions,
+};
 use prema_bench::scale::{
     run_scale_sweep, scale_aggregates, scale_extended_sweep_hash, scale_sweep_hash,
     ScaleSweepOptions,
@@ -55,7 +58,7 @@ struct Options {
     check_baseline: Option<String>,
 }
 
-const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]\n       throughput cluster [--nodes N] [--duration-ms D] [--seed S] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput cluster-scale [--nodes A,B,C] [--heap-only] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH]\n       throughput cluster-faults [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput cluster-migration [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput trace [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--out PATH]";
+const USAGE: &str = "usage: throughput [--runs N] [--seed S] [--out PATH] [--check-baseline PATH]\n       throughput cluster [--nodes N] [--duration-ms D] [--seed S] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput cluster-scale [--nodes A,B,C] [--heap-only] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH]\n       throughput cluster-faults [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput cluster-migration [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH] [--trace-out PATH]\n       throughput cluster-partition [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--reps N] [--out PATH] [--check-baseline PATH]\n       throughput trace [--nodes N] [--rho R] [--duration-ms D] [--seed S] [--out PATH]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
@@ -1469,12 +1472,282 @@ fn migration_main(options: MigrationOptions) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct PartitionOptions {
+    nodes: usize,
+    rho: f64,
+    duration_ms: f64,
+    seed: u64,
+    reps: usize,
+    out: String,
+    check_baseline: Option<String>,
+}
+
+fn parse_partition_args(args: impl Iterator<Item = String>) -> Result<PartitionOptions, String> {
+    let defaults = PartitionSweepOptions::baseline();
+    let mut options = PartitionOptions {
+        nodes: defaults.nodes,
+        rho: defaults.rho,
+        duration_ms: defaults.duration_ms,
+        seed: defaults.seed,
+        reps: defaults.repetitions,
+        out: "BENCH_cluster_partition.json".to_string(),
+        check_baseline: None,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                options.nodes = args
+                    .next()
+                    .ok_or("--nodes requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --nodes value: {e}"))?;
+            }
+            "--rho" => {
+                options.rho = args
+                    .next()
+                    .ok_or("--rho requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --rho value: {e}"))?;
+            }
+            "--duration-ms" => {
+                options.duration_ms = args
+                    .next()
+                    .ok_or("--duration-ms requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --duration-ms value: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .ok_or("--seed requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed value: {e}"))?;
+            }
+            "--reps" => {
+                options.reps = args
+                    .next()
+                    .ok_or("--reps requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --reps value: {e}"))?;
+            }
+            "--out" => {
+                options.out = args.next().ok_or("--out requires a value")?;
+            }
+            "--check-baseline" => {
+                options.check_baseline =
+                    Some(args.next().ok_or("--check-baseline requires a value")?);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if options.nodes < 2 {
+        return Err("--nodes must be at least 2".into());
+    }
+    if !options.rho.is_finite() || options.rho <= 0.0 {
+        return Err("--rho must be positive".into());
+    }
+    if !options.duration_ms.is_finite() || options.duration_ms <= 0.0 {
+        return Err("--duration-ms must be positive".into());
+    }
+    if options.reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    Ok(options)
+}
+
+fn partition_main(options: PartitionOptions) -> ExitCode {
+    let opts = PartitionSweepOptions {
+        nodes: options.nodes,
+        rho: options.rho,
+        duration_ms: options.duration_ms,
+        seed: options.seed,
+        repetitions: options.reps,
+        ..PartitionSweepOptions::baseline()
+    };
+    if let Err(message) = opts.validate() {
+        eprintln!("[throughput] FAIL: invalid partition sweep options: {message}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[throughput] cluster-partition sweep: {} nodes at rho {:.2}, {} ms windows, link MTBF {:?} ms, custody timeout {} ms, best-of-{} walls",
+        opts.nodes,
+        opts.rho,
+        opts.duration_ms,
+        opts.link_mtbf_levels_ms,
+        opts.delivery_timeout_ms,
+        opts.repetitions,
+    );
+
+    let cells = run_partition_sweep(&opts);
+    let digest = partition_sweep_hash(&cells);
+    for cell in &cells {
+        eprintln!(
+            "[throughput] link MTBF {:>5.1} ms {:<8}: {}/{} served, {} abandoned, {} link faults, {} migrations, {} transfer failures, {} redirects, goodput {:.4}, p99 {:.3} ms",
+            cell.link_mtbf_ms,
+            cell.policy,
+            cell.served,
+            cell.requests,
+            cell.abandoned,
+            cell.link_faults,
+            cell.migrations,
+            cell.transfer_failures,
+            cell.redirects,
+            cell.goodput,
+            cell.p99_ms,
+        );
+    }
+    // The headline comparison: redirect vs abandon on goodput AND
+    // lost-request-inclusive p99 at each MTBF level (cells are paired,
+    // redirect first).
+    let wins = partition_wins(&cells);
+    for pair in cells.chunks(2) {
+        let [redirect, abandon] = pair else {
+            continue;
+        };
+        eprintln!(
+            "[throughput] link MTBF {:>5.1} ms: redirect goodput {:.4} / p99 {:.3} ms vs abandon goodput {:.4} / p99 {:.3} ms",
+            redirect.link_mtbf_ms, redirect.goodput, redirect.p99_ms, abandon.goodput, abandon.p99_ms,
+        );
+    }
+
+    let mtbf_list = opts
+        .link_mtbf_levels_ms
+        .iter()
+        .map(|mtbf| format!("{mtbf:.1}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut cell_rows = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        // A lost-request-inclusive p99 is infinite when >= ~1 % of the
+        // stream was abandoned; JSON has no infinity, so emit null.
+        let p99 = if cell.p99_ms.is_finite() {
+            format!("{:.4}", cell.p99_ms)
+        } else {
+            "null".to_string()
+        };
+        cell_rows.push_str(&format!(
+            "    {{ \"link_mtbf_ms\": {:.1}, \"policy\": \"{}\", \
+             \"requests\": {}, \"served\": {}, \"abandoned\": {}, \
+             \"link_faults\": {}, \"migrations\": {}, \
+             \"transfer_failures\": {}, \"redirects\": {}, \
+             \"goodput\": {:.6}, \"p99_ms\": {}, \"events\": {}, \
+             \"wall_s\": {:.4}, \"hash\": \"{:016x}\" }}{}\n",
+            cell.link_mtbf_ms,
+            cell.policy,
+            cell.requests,
+            cell.served,
+            cell.abandoned,
+            cell.link_faults,
+            cell.migrations,
+            cell.transfer_failures,
+            cell.redirects,
+            cell.goodput,
+            p99,
+            cell.events,
+            cell.wall_s,
+            cell.hash,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    let report = format!(
+        "{{\n  \"bench\": \"cluster_partition\",\n  \"nodes\": {},\n  \"rho\": {:.2},\n  \"seed\": {},\n  \"duration_ms\": {:.1},\n  \"link_mtbf_levels_ms\": [{}],\n  \"link_outage_ms\": {:.1},\n  \"degraded_link_fraction\": {:.2},\n  \"link_bandwidth\": \"{}/{}\",\n  \"degrade_speed\": \"{}/{}\",\n  \"sla_multiplier\": {:.1},\n  \"delivery_timeout_ms\": {:.1},\n  \"scheduler\": \"prema\",\n  \"dispatch\": \"predictive-live\",\n  \"repetitions\": {},\n  \"paired_wins\": {},\n  \"sweep_hash\": \"{:016x}\",\n  \"cells\": [\n{}  ]\n}}\n",
+        opts.nodes,
+        opts.rho,
+        opts.seed,
+        opts.duration_ms,
+        mtbf_list,
+        opts.link_outage_ms,
+        opts.degraded_link_fraction,
+        opts.link_bandwidth.0,
+        opts.link_bandwidth.1,
+        opts.degrade_speed.0,
+        opts.degrade_speed.1,
+        opts.sla_multiplier,
+        opts.delivery_timeout_ms,
+        opts.repetitions,
+        wins,
+        digest,
+        cell_rows,
+    );
+    print!("{report}");
+    if let Err(error) = std::fs::write(&options.out, &report) {
+        eprintln!("[throughput] could not write {}: {error}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[throughput] report written to {}", options.out);
+
+    if let Some(path) = &options.check_baseline {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(contents) => contents,
+            Err(error) => {
+                eprintln!("[throughput] FAIL: could not read baseline {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(baseline_hash) = baseline_string(&baseline, "sweep_hash") else {
+            eprintln!("[throughput] FAIL: no sweep_hash found in baseline {path}");
+            return ExitCode::FAILURE;
+        };
+        let measured_hash = format!("{digest:016x}");
+        if baseline_hash != measured_hash {
+            eprintln!(
+                "[throughput] FAIL: cluster-partition outcomes diverged from the baseline:\n\
+                 [throughput]   expected sweep_hash {baseline_hash}\n\
+                 [throughput]   actual   sweep_hash {measured_hash}\n\
+                 [throughput] The sweep is deterministic per seed, so this is a \
+                 behavioural change: re-commit the baseline only if it is intentional."
+            );
+            report_baseline_failure(
+                "cluster-partition",
+                &[("sweep_hash".into(), baseline_hash, measured_hash)],
+            );
+            return ExitCode::FAILURE;
+        }
+        // The gated claim is not just identity — the committed baseline must
+        // keep demonstrating that redirect-with-backoff custody beats
+        // abandoning on both goodput and lost-request-inclusive p99 at two
+        // or more link-MTBF levels.
+        if wins < 2 {
+            eprintln!(
+                "[throughput] FAIL: redirect beat abandon on goodput and p99 at only {wins} \
+                 link-MTBF level(s); the baseline promises at least 2"
+            );
+            report_baseline_failure(
+                "cluster-partition",
+                &[(
+                    "goodput+p99 wins".into(),
+                    ">= 2 link-MTBF levels".into(),
+                    format!("{wins}"),
+                )],
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[throughput] baseline check passed: sweep_hash {measured_hash} matches, \
+             goodput+p99 win at {wins} link-MTBF level(s)"
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("trace") {
         args.next();
         return match parse_trace_args(args) {
             Ok(options) => trace_main(options),
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.peek().map(String::as_str) == Some("cluster-partition") {
+        args.next();
+        return match parse_partition_args(args) {
+            Ok(options) => partition_main(options),
             Err(message) => {
                 eprintln!("{message}");
                 ExitCode::FAILURE

@@ -24,6 +24,7 @@
 //! | [`scale`] | Beyond the paper: closed-loop co-simulation scaling sweep |
 //! | [`faults`] | Beyond the paper: checkpoint recovery vs restart-from-zero under node faults |
 //! | [`migration`] | Beyond the paper: deadline-triggered checkpoint migration vs riding out stragglers |
+//! | [`partition`] | Beyond the paper: redirect-with-backoff custody vs abandon-on-failure under link faults |
 
 pub mod cluster;
 pub mod faults;
@@ -36,6 +37,7 @@ pub mod fig11_15;
 pub mod fig14;
 pub mod migration;
 pub mod overhead;
+pub mod partition;
 pub mod prediction;
 pub mod scale;
 pub mod sensitivity;

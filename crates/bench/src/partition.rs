@@ -1,0 +1,555 @@
+//! The partition-tolerance benchmark: redirect-with-backoff custody vs
+//! abandoning checkpoints on the first failed transfer.
+//!
+//! This sweep answers the question the custody layer exists for: *when the
+//! interconnect itself turns lossy — links dropping and throttling while
+//! stragglers force evacuations across them — does holding custody of an
+//! in-flight checkpoint and redirecting it beat giving up?* For each
+//! link-MTBF level it generates one seeded open-loop request stream, one
+//! seeded straggler (degrade) schedule and one seeded link-fault schedule,
+//! then serves the identical driving twice — once under
+//! [`CustodyConfig::redirect`] and once under
+//! [`CustodyConfig::abandon_on_failure`]. Both cells run through **both**
+//! closed-loop drivers and are asserted bit-identical, every cell asserts
+//! exactly-once conservation (served ∪ shed ∪ abandoned == generated, with
+//! custody reconciliation clean), and the per-cell digests fold into the
+//! sweep hash the `throughput cluster-partition --check-baseline` gate
+//! compares.
+//!
+//! The headline comparison is goodput *and* lost-request-inclusive p99
+//! turnaround per MTBF level: redirect must beat abandon on both at a
+//! majority of levels (the committed `BENCH_cluster_partition.json`
+//! records the margins). The p99 here deliberately refuses survivorship
+//! bias — a policy must not look fast by deleting its slowest requests —
+//! so every abandoned request enters the distribution at the wait its
+//! client actually observed: arrival until the end of the run, when it
+//! still had nothing.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use npu_sim::{Cycles, NpuConfig};
+use prema_cluster::{
+    online_outcome_hash, ClusterFaultPlan, CustodyConfig, MigrationConfig, OnlineClusterConfig,
+    OnlineClusterSimulator, OnlineDispatchPolicy, OnlineOutcome,
+};
+use prema_core::SchedulerConfig;
+use prema_metrics::percentile;
+use prema_workload::arrivals::{generate_open_loop, OpenLoopConfig};
+use prema_workload::prepare::prepare_workload;
+use prema_workload::{FaultProcess, LinkFaultProcess};
+
+use crate::cluster::{mean_service_ms, offered_rate_per_ms};
+use crate::suite::{build_predictor, run_seed};
+
+/// Options controlling a partition-tolerance sweep.
+#[derive(Debug, Clone)]
+pub struct PartitionSweepOptions {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Offered load (fraction of cluster capacity).
+    pub rho: f64,
+    /// RNG seed; per-level request streams, degrade schedules and link
+    /// schedules derive from it.
+    pub seed: u64,
+    /// Length of each generated arrival window, in milliseconds.
+    pub duration_ms: f64,
+    /// The link-MTBF levels to sweep: mean up-time between fault windows
+    /// on one directed link, in milliseconds. Lower is stormier.
+    pub link_mtbf_levels_ms: Vec<f64>,
+    /// Mean link fault-window length, in milliseconds.
+    pub link_outage_ms: f64,
+    /// Fraction of link fault windows that throttle bandwidth instead of
+    /// severing the link outright.
+    pub degraded_link_fraction: f64,
+    /// Throttled-window bandwidth, as a `(num, den)` fraction of nominal.
+    pub link_bandwidth: (u32, u32),
+    /// How many nodes straggle (nodes `0..degraded_nodes` receive degrade
+    /// windows) — the force that makes checkpoints cross the fabric at all.
+    pub degraded_nodes: usize,
+    /// The straggler clock as a `(num, den)` fraction of full speed.
+    pub degrade_speed: (u32, u32),
+    /// Mean time between degrade windows per straggler node, in
+    /// milliseconds.
+    pub degrade_mtbf_ms: f64,
+    /// Mean degrade-window length, in milliseconds.
+    pub degrade_window_ms: f64,
+    /// The migration SLA, as a multiple of the mean service time.
+    pub sla_multiplier: f64,
+    /// The custody delivery deadline, in milliseconds — transfers still in
+    /// flight past this fail with a timeout.
+    pub delivery_timeout_ms: f64,
+    /// The redirect cell's retry budget. The exponential backoff span must
+    /// outlive a typical link fault window, or every retry lands back in
+    /// the same outage and redirect degenerates into slow abandonment.
+    pub retry_budget: u32,
+    /// The redirect cell's backoff base, in milliseconds: retry `k` waits
+    /// `base * 2^(k-1)` before re-picking a target.
+    pub backoff_base_ms: f64,
+    /// The per-node scheduler.
+    pub scheduler: SchedulerConfig,
+    /// The per-node NPU configuration.
+    pub npu: NpuConfig,
+    /// Wall-clock repetitions per (cell, driver); the minimum is reported.
+    pub repetitions: usize,
+}
+
+impl PartitionSweepOptions {
+    /// The committed-baseline sweep: 4 PREMA nodes at 70 % offered load,
+    /// 400 ms runs, two straggler nodes at 1/8 speed forcing evacuations,
+    /// and per-link fault windows at 120/60/30 ms MTBF. Most windows
+    /// throttle the link to 1/64 bandwidth rather than severing it — the
+    /// lossy regime where transfers launch, blow the delivery deadline
+    /// mid-flight, and force the custody policy to choose.
+    pub fn baseline() -> Self {
+        PartitionSweepOptions {
+            nodes: 4,
+            rho: 0.75,
+            seed: 2020,
+            duration_ms: 400.0,
+            link_mtbf_levels_ms: vec![60.0, 30.0, 15.0],
+            link_outage_ms: 80.0,
+            degraded_link_fraction: 0.9,
+            link_bandwidth: (1, 128),
+            degraded_nodes: 2,
+            degrade_speed: (1, 8),
+            degrade_mtbf_ms: 120.0,
+            degrade_window_ms: 150.0,
+            sla_multiplier: 8.0,
+            delivery_timeout_ms: 0.5,
+            retry_budget: 6,
+            backoff_base_ms: 2.0,
+            scheduler: SchedulerConfig::paper_default(),
+            npu: NpuConfig::paper_default(),
+            repetitions: 3,
+        }
+    }
+
+    /// A reduced sweep for unit tests and quick local runs.
+    pub fn quick() -> Self {
+        PartitionSweepOptions {
+            nodes: 3,
+            degraded_nodes: 1,
+            duration_ms: 120.0,
+            link_mtbf_levels_ms: vec![20.0],
+            link_outage_ms: 25.0,
+            degrade_mtbf_ms: 50.0,
+            degrade_window_ms: 45.0,
+            repetitions: 1,
+            ..PartitionSweepOptions::baseline()
+        }
+    }
+
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < 2 {
+            return Err("custody transfers need at least two nodes".into());
+        }
+        if !self.rho.is_finite() || self.rho <= 0.0 {
+            return Err("rho must be positive and finite".into());
+        }
+        if !self.duration_ms.is_finite() || self.duration_ms <= 0.0 {
+            return Err("duration must be positive and finite".into());
+        }
+        if self.link_mtbf_levels_ms.is_empty() {
+            return Err("at least one link-MTBF level is required".into());
+        }
+        if self
+            .link_mtbf_levels_ms
+            .iter()
+            .any(|mtbf| !mtbf.is_finite() || *mtbf <= 0.0)
+        {
+            return Err("every link MTBF must be positive and finite".into());
+        }
+        if self.degraded_nodes == 0 || self.degraded_nodes >= self.nodes {
+            return Err(
+                "the straggler set must be non-empty and leave at least one healthy node".into(),
+            );
+        }
+        let (num, den) = self.degrade_speed;
+        if num == 0 || num >= den {
+            return Err("the degrade speed must be a proper fraction (0 < num < den)".into());
+        }
+        if !self.degrade_mtbf_ms.is_finite() || self.degrade_mtbf_ms <= 0.0 {
+            return Err("degrade MTBF must be positive and finite".into());
+        }
+        if !self.degrade_window_ms.is_finite() || self.degrade_window_ms <= 0.0 {
+            return Err("degrade window must be positive and finite".into());
+        }
+        if !self.sla_multiplier.is_finite() || self.sla_multiplier <= 0.0 {
+            return Err("SLA multiplier must be positive and finite".into());
+        }
+        if !self.delivery_timeout_ms.is_finite() || self.delivery_timeout_ms <= 0.0 {
+            return Err("delivery timeout must be positive and finite".into());
+        }
+        let (bw_num, bw_den) = self.link_bandwidth;
+        if bw_num == 0 || bw_num >= bw_den {
+            return Err("the throttled bandwidth must be a proper fraction (0 < num < den)".into());
+        }
+        if self.retry_budget == 0 {
+            return Err("the redirect cell needs a positive retry budget".into());
+        }
+        if !self.backoff_base_ms.is_finite() || self.backoff_base_ms <= 0.0 {
+            return Err("the backoff base must be positive and finite".into());
+        }
+        if self.repetitions == 0 {
+            return Err("at least one repetition is required".into());
+        }
+        // The link process carries its own invariants (outage length,
+        // degraded fraction, bandwidth fraction); surface its typed error.
+        LinkFaultProcess::outages(
+            self.nodes,
+            self.link_mtbf_levels_ms[0],
+            self.link_outage_ms,
+            self.duration_ms,
+        )
+        .with_degraded(
+            self.degraded_link_fraction,
+            self.link_bandwidth.0,
+            self.link_bandwidth.1,
+        )
+        .validate()
+        .map_err(|e| e.to_string())?;
+        self.npu.validate()?;
+        self.scheduler.validate()?;
+        Ok(())
+    }
+}
+
+/// One cell of the partition sweep: a (link-MTBF, custody-policy) pair
+/// measured under both drivers on the identical driving.
+#[derive(Debug, Clone)]
+pub struct PartitionCell {
+    /// Mean up-time between fault windows per directed link, milliseconds.
+    pub link_mtbf_ms: f64,
+    /// The policy label (`redirect` or `abandon`).
+    pub policy: &'static str,
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Requests served to completion.
+    pub served: usize,
+    /// Requests abandoned (custody losses included).
+    pub abandoned: usize,
+    /// Link fault windows in the schedule (identical across policies).
+    pub link_faults: usize,
+    /// Checkpoint evacuations launched.
+    pub migrations: u64,
+    /// In-flight transfers that failed (drop, timeout, dead destination,
+    /// or no reachable redirect target).
+    pub transfer_failures: u64,
+    /// Failed transfers redirected instead of abandoned.
+    pub redirects: u64,
+    /// Useful served work per unit of provisioned capacity over the
+    /// level's common observation horizon (the longer of the two paired
+    /// makespans) — a policy must not raise its goodput by abandoning work
+    /// and ending the run early.
+    pub goodput: f64,
+    /// Lost-request-inclusive 99th-percentile turnaround, milliseconds: an
+    /// abandoned request never completes, so it enters the distribution at
+    /// infinity (the convention [`prema_cluster::ClusterMetrics`] already
+    /// uses for its SLA curve). Infinite whenever roughly a percent or
+    /// more of the stream was lost.
+    pub p99_ms: f64,
+    /// Total scheduler wakeups (identical under both drivers).
+    pub events: u64,
+    /// Best event-heap wall clock, seconds.
+    pub wall_s: f64,
+    /// The deterministic outcome digest (identical under both drivers).
+    pub hash: u64,
+}
+
+fn timed<F: FnMut() -> OnlineOutcome>(mut run: F, repetitions: usize) -> (OnlineOutcome, f64) {
+    let mut best = f64::INFINITY;
+    let mut outcome: Option<OnlineOutcome> = None;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        let this = run();
+        let wall = start.elapsed().as_secs_f64();
+        best = best.min(wall);
+        if let Some(previous) = &outcome {
+            assert_eq!(previous, &this, "nondeterministic partitioned run");
+        }
+        outcome = Some(this);
+    }
+    (outcome.expect("at least one repetition"), best)
+}
+
+/// The lost-request-inclusive p99: served turnarounds plus, for every
+/// abandoned request, an infinite turnaround — the request never
+/// completed, and a policy must not look fast by deleting its slowest
+/// requests.
+fn lost_inclusive_p99_ms(outcome: &OnlineOutcome, npu: &NpuConfig) -> f64 {
+    let mut waits: Vec<f64> = outcome
+        .cluster
+        .merged_records()
+        .iter()
+        .map(|record| npu.cycles_to_millis(record.turnaround()))
+        .collect();
+    waits.extend(outcome.abandoned.iter().map(|_| f64::INFINITY));
+    percentile(&waits, 99.0).unwrap_or(0.0)
+}
+
+/// Useful served work per unit of provisioned capacity over a shared
+/// observation horizon.
+fn horizon_goodput(outcome: &OnlineOutcome, nodes: usize, horizon: Cycles) -> f64 {
+    let provisioned = horizon.get() as f64 * nodes as f64;
+    if provisioned == 0.0 {
+        return 0.0;
+    }
+    let useful: Cycles = outcome
+        .cluster
+        .merged_records()
+        .iter()
+        .map(|record| record.isolated_cycles)
+        .sum();
+    useful.get() as f64 / provisioned
+}
+
+/// Runs the partition sweep. Cells are laid out MTBF-major, redirect
+/// before abandon; per level both policies answer the *identical* request
+/// stream, degrade schedule and link schedule, so the comparison is
+/// paired. Every cell's reference and event-heap outcomes are asserted
+/// bit-identical, every cell asserts exactly-once conservation with clean
+/// custody reconciliation, and interconnect byte accounting.
+///
+/// # Panics
+///
+/// Panics if the options are invalid, if the two drivers ever diverge, if
+/// any request is lost or duplicated, or if the custody ledger reports an
+/// undelivered task at end of run.
+pub fn run_partition_sweep(opts: &PartitionSweepOptions) -> Vec<PartitionCell> {
+    if let Err(msg) = opts.validate() {
+        panic!("invalid PartitionSweepOptions: {msg}");
+    }
+    let predictor = build_predictor(&opts.npu, opts.seed);
+    let template = OpenLoopConfig::poisson(1.0, opts.duration_ms);
+    let service_ms = mean_service_ms(&template.models, &template.batch_sizes, &opts.npu);
+    let rate = offered_rate_per_ms(opts.rho, opts.nodes, service_ms);
+    let sla_ms = opts.sla_multiplier * service_ms;
+    let (speed_num, speed_den) = opts.degrade_speed;
+
+    let mut cells = Vec::with_capacity(opts.link_mtbf_levels_ms.len() * 2);
+    for (level, &link_mtbf_ms) in opts.link_mtbf_levels_ms.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(run_seed(opts.seed, level));
+        let spec = generate_open_loop(&OpenLoopConfig::poisson(rate, opts.duration_ms), &mut rng);
+        let prepared = prepare_workload(&spec, &opts.npu, Some(&predictor));
+        // One driving per level: arrivals, then the straggler windows that
+        // force evacuations, then the link windows those evacuations must
+        // cross — all from the same per-level stream, answered by both
+        // custody policies.
+        let schedule = FaultProcess::crashes(
+            opts.degraded_nodes,
+            opts.degrade_mtbf_ms,
+            opts.degrade_window_ms,
+            opts.duration_ms,
+        )
+        .with_degradation(1.0, speed_num, speed_den)
+        .generate(&mut rng);
+        let links = LinkFaultProcess::outages(
+            opts.nodes,
+            link_mtbf_ms,
+            opts.link_outage_ms,
+            opts.duration_ms,
+        )
+        .with_degraded(
+            opts.degraded_link_fraction,
+            opts.link_bandwidth.0,
+            opts.link_bandwidth.1,
+        )
+        .generate(&mut rng);
+        let schedule = schedule.with_links(links);
+        let link_faults = schedule.links.len();
+
+        let mut redirect = CustodyConfig::redirect();
+        redirect.recovery.retry_budget = opts.retry_budget;
+        redirect.recovery.backoff_base_ms = opts.backoff_base_ms;
+        let mut outcomes = Vec::with_capacity(2);
+        for (label, custody) in [
+            ("redirect", redirect),
+            ("abandon", CustodyConfig::abandon_on_failure()),
+        ] {
+            let migration = MigrationConfig::new(sla_ms)
+                .with_custody(custody.with_timeout_ms(opts.delivery_timeout_ms));
+            let config = OnlineClusterConfig::new(
+                opts.nodes,
+                opts.scheduler.clone(),
+                OnlineDispatchPolicy::Predictive,
+            )
+            .with_faults(ClusterFaultPlan::new(schedule.clone()))
+            .with_migration(migration);
+            let online = OnlineClusterSimulator::new(config);
+            let (reference, _) = timed(|| online.run_reference(&prepared.tasks), opts.repetitions);
+            let (heap, wall_s) = timed(|| online.run(&prepared.tasks), opts.repetitions);
+            assert_eq!(
+                heap, reference,
+                "event-heap loop diverged from the stepping reference at \
+                 link MTBF {link_mtbf_ms} ms under {label}"
+            );
+            // Exactly-once custody: every generated request is exactly one
+            // of served, shed, or abandoned — and the ledger closed clean.
+            assert!(
+                heap.custody_error.is_none(),
+                "custody reconciliation failed at link MTBF {link_mtbf_ms} ms under {label}: {}",
+                heap.custody_error.as_ref().expect("checked above")
+            );
+            let mut accounted: Vec<u64> = heap
+                .cluster
+                .merged_records()
+                .iter()
+                .map(|r| r.id.0)
+                .chain(heap.shed.iter().map(|r| r.id.0))
+                .chain(heap.abandoned.iter().map(|r| r.id.0))
+                .collect();
+            accounted.sort_unstable();
+            let expected_len = accounted.len();
+            accounted.dedup();
+            assert_eq!(
+                accounted.len(),
+                expected_len,
+                "a request was double-counted at link MTBF {link_mtbf_ms} ms under {label}"
+            );
+            let mut expected: Vec<u64> = prepared.tasks.iter().map(|t| t.request.id.0).collect();
+            expected.sort_unstable();
+            assert_eq!(
+                accounted, expected,
+                "task conservation violated at link MTBF {link_mtbf_ms} ms under {label}"
+            );
+            assert_eq!(
+                heap.migration_bytes,
+                heap.migration_log.iter().map(|r| r.bytes).sum::<u64>(),
+                "interconnect byte accounting diverged at link MTBF {link_mtbf_ms} ms \
+                 under {label}"
+            );
+            outcomes.push((label, heap, wall_s));
+        }
+        // The pair shares one observation horizon — the longer of the two
+        // makespans — so a policy cannot raise its goodput by abandoning
+        // work and ending the run early.
+        let horizon = outcomes
+            .iter()
+            .map(|(_, heap, _)| heap.cluster.makespan())
+            .max()
+            .expect("two policies ran");
+        for (label, heap, wall_s) in outcomes {
+            cells.push(PartitionCell {
+                link_mtbf_ms,
+                policy: label,
+                requests: prepared.tasks.len(),
+                served: heap.served(),
+                abandoned: heap.abandoned.len(),
+                link_faults,
+                migrations: heap.migrations,
+                transfer_failures: heap.transfer_failures,
+                redirects: heap.redirects,
+                goodput: horizon_goodput(&heap, opts.nodes, horizon),
+                p99_ms: lost_inclusive_p99_ms(&heap, &opts.npu),
+                events: heap.cluster.scheduler_invocations(),
+                wall_s,
+                hash: online_outcome_hash(&heap),
+            });
+        }
+    }
+    cells
+}
+
+/// Counts the MTBF levels where redirect beats abandon on *both* goodput
+/// and lost-request-inclusive p99 — the paired headline the baseline gate
+/// requires at a majority of levels.
+pub fn partition_wins(cells: &[PartitionCell]) -> usize {
+    cells
+        .chunks(2)
+        .filter(|pair| {
+            pair.len() == 2
+                && pair[0].policy == "redirect"
+                && pair[1].policy == "abandon"
+                && pair[0].goodput > pair[1].goodput
+                && pair[0].p99_ms < pair[1].p99_ms
+        })
+        .count()
+}
+
+/// Folds every cell digest into the sweep-identity digest the
+/// `throughput cluster-partition` baseline gate compares.
+pub fn partition_sweep_hash(cells: &[PartitionCell]) -> u64 {
+    prema_cluster::fold_hashes(cells.iter().map(|cell| cell.hash))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_partition_sweep_is_deterministic_and_exercises_custody() {
+        let opts = PartitionSweepOptions::quick();
+        let a = run_partition_sweep(&opts);
+        let b = run_partition_sweep(&opts);
+        assert_eq!(a.len(), opts.link_mtbf_levels_ms.len() * 2);
+        assert_eq!(partition_sweep_hash(&a), partition_sweep_hash(&b));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.hash, y.hash);
+            assert_eq!(x.served, y.served);
+        }
+        // Both policies answered the same driving: same stream, same link
+        // windows, different custody outcomes.
+        let redirect = &a[0];
+        let abandon = &a[1];
+        assert_eq!(redirect.policy, "redirect");
+        assert_eq!(abandon.policy, "abandon");
+        assert_eq!(redirect.requests, abandon.requests);
+        assert_eq!(redirect.link_faults, abandon.link_faults);
+        assert!(redirect.link_faults > 0, "the process must fault links");
+        assert!(redirect.migrations > 0, "stragglers must force evacuation");
+    }
+
+    #[test]
+    fn validation_rejects_bad_options() {
+        for bad in [
+            PartitionSweepOptions {
+                nodes: 1,
+                degraded_nodes: 0,
+                ..PartitionSweepOptions::quick()
+            },
+            PartitionSweepOptions {
+                rho: -1.0,
+                ..PartitionSweepOptions::quick()
+            },
+            PartitionSweepOptions {
+                link_mtbf_levels_ms: vec![],
+                ..PartitionSweepOptions::quick()
+            },
+            PartitionSweepOptions {
+                link_mtbf_levels_ms: vec![0.0],
+                ..PartitionSweepOptions::quick()
+            },
+            PartitionSweepOptions {
+                degraded_link_fraction: 2.0,
+                ..PartitionSweepOptions::quick()
+            },
+            PartitionSweepOptions {
+                link_bandwidth: (2, 2),
+                ..PartitionSweepOptions::quick()
+            },
+            PartitionSweepOptions {
+                degrade_speed: (0, 8),
+                ..PartitionSweepOptions::quick()
+            },
+            PartitionSweepOptions {
+                delivery_timeout_ms: 0.0,
+                ..PartitionSweepOptions::quick()
+            },
+            PartitionSweepOptions {
+                repetitions: 0,
+                ..PartitionSweepOptions::quick()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should not validate");
+        }
+        assert!(PartitionSweepOptions::baseline().validate().is_ok());
+    }
+}

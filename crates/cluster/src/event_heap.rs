@@ -117,10 +117,15 @@ pub(crate) fn run_impl<C: ClusterTraceSink>(
         .faults
         .as_ref()
         .map(|plan| FaultDriver::new(plan, &config.npu, config.nodes));
+    let link_faults = config
+        .faults
+        .as_ref()
+        .map(|plan| plan.schedule.links.as_slice())
+        .unwrap_or(&[]);
     let mut migration = config
         .migration
         .as_ref()
-        .map(|policy| MigrationDriver::new(policy, &config.npu, config.nodes));
+        .map(|policy| MigrationDriver::new(policy, &config.npu, config.nodes, link_faults));
 
     for &i in &order {
         let task = &tasks[i];
@@ -134,6 +139,7 @@ pub(crate) fn run_impl<C: ClusterTraceSink>(
             &assignment_index,
         );
         driver.advance_to(
+            faults.as_ref(),
             &mut migration,
             now,
             &mut steals,
@@ -165,6 +171,7 @@ pub(crate) fn run_impl<C: ClusterTraceSink>(
         &assignment_index,
     );
     driver.advance_to(
+        faults.as_ref(),
         &mut migration,
         Cycles::MAX,
         &mut steals,
@@ -447,6 +454,7 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
     /// every session advances straight to `t`.
     fn advance_to(
         &mut self,
+        faults: Option<&FaultDriver<'_>>,
         migration: &mut Option<MigrationDriver<'_>>,
         t: Cycles,
         steals: &mut u64,
@@ -487,12 +495,17 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
                 let _ = session.run_until(step);
             }
             if self.config.work_stealing {
-                *steals += self.steal_round(assignments, assignment_index);
+                *steals += self.steal_round(
+                    faults.map(FaultDriver::topology),
+                    assignments,
+                    assignment_index,
+                );
             }
             if let Some(migration) = migration.as_mut() {
                 if step < t {
                     deliver_due_migrations(
                         migration,
+                        faults,
                         &mut self.sessions,
                         step,
                         assignments,
@@ -512,10 +525,12 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
     /// `steal_onto_idle_nodes` over synchronized sessions: while some node
     /// is idle and some peer holds stealable work, move the largest
     /// never-started task from the most-loaded peer to the first idle
-    /// node. All signals are O(1) engine aggregates instead of resident
+    /// node (skipping victims the thief cannot currently reach over the
+    /// fabric). All signals are O(1) engine aggregates instead of resident
     /// rescans.
     fn steal_round(
         &mut self,
+        links: Option<&crate::interconnect::LinkTopology>,
         assignments: &mut [NodeAssignment],
         assignment_index: &HashMap<TaskId, usize>,
     ) -> u64 {
@@ -530,9 +545,13 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
             else {
                 return steals;
             };
+            let now = self.sessions[thief].now();
             let mut victim: Option<(Cycles, usize)> = None;
             for (i, session) in self.sessions.iter().enumerate() {
                 if session.queue_depth() < 2 {
+                    continue;
+                }
+                if links.is_some_and(|links| !links.reachable(i, thief, now)) {
                     continue;
                 }
                 let stealable = session.revocable_work();
@@ -594,7 +613,17 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
         task: &PreparedTask,
         faults: Option<&FaultDriver<'_>>,
     ) -> usize {
-        self.pick_node_inner(t, task, faults, false)
+        // Fresh arrivals have no source node: they enter through the
+        // front-end control plane, which link faults never sever.
+        //
+        // In synchronized mode the arrival pick must take scores as-is,
+        // like the fault drain's picks: a parked idle node can hold a
+        // *pending* injected task (a steal or salvage landed after its
+        // clock stopped), and materializing it here would dispatch that
+        // task before the reference does — the advance loop's next bound
+        // would then skip the pending-arrival instant the reference still
+        // steps (and prices a migration round) at.
+        self.pick_node_inner(t, task, faults, None, self.synchronized)
     }
 
     /// [`Self::pick_node`] for callers that have already materialized every
@@ -609,8 +638,9 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
         t: Cycles,
         task: &PreparedTask,
         faults: Option<&FaultDriver<'_>>,
+        source: Option<usize>,
     ) -> usize {
-        self.pick_node_inner(t, task, faults, true)
+        self.pick_node_inner(t, task, faults, source, true)
     }
 
     fn pick_node_inner(
@@ -618,13 +648,17 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
         t: Cycles,
         task: &PreparedTask,
         faults: Option<&FaultDriver<'_>>,
+        source: Option<usize>,
         synchronized: bool,
     ) -> usize {
         let use_index = !synchronized && self.index.is_some();
         let (chosen, keys) = if use_index {
+            // The contender index keys penalties without a source (lazy
+            // modes only serve sourceless fresh arrivals).
+            debug_assert!(source.is_none(), "indexed dispatch is sourceless");
             self.pick_node_indexed(t, task, faults)
         } else {
-            self.pick_node_scan(t, task, faults, synchronized)
+            self.pick_node_scan(t, task, faults, source, synchronized)
         };
         // Debug cross-check: replay the linear branch-and-bound scan over
         // the post-query state — extra materializations are outcome-inert
@@ -633,7 +667,7 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
         #[cfg(debug_assertions)]
         {
             if use_index {
-                let (check, _) = self.pick_node_scan(t, task, faults, synchronized);
+                let (check, _) = self.pick_node_scan(t, task, faults, source, synchronized);
                 debug_assert_eq!(
                     chosen, check,
                     "indexed dispatch diverged from the linear scan at {t:?}"
@@ -680,6 +714,7 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
         t: Cycles,
         task: &PreparedTask,
         faults: Option<&FaultDriver<'_>>,
+        source: Option<usize>,
         synchronized: bool,
     ) -> (usize, NodeKeySet) {
         let priority = task.request.priority;
@@ -687,7 +722,7 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
         let mut keys = NodeKeySet::default();
         let mut best: Option<(PenaltyScore, usize)> = None;
         for i in 0..self.sessions.len() {
-            let penalty = faults.map_or(0u8, |driver| driver.penalty(i, t));
+            let penalty = faults.map_or(0u8, |driver| driver.route_penalty(source, i, t));
             let lag = if synchronized {
                 0
             } else {
@@ -893,7 +928,14 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
             else {
                 return;
             };
-            self.advance_to(migration, t, steals, assignments, assignment_index);
+            self.advance_to(
+                faults.as_ref(),
+                migration,
+                t,
+                steals,
+                assignments,
+                assignment_index,
+            );
             if !self.synchronized {
                 // Lazy mode: nodes may still lag `t`; pull them all up before
                 // the batch. In synchronized mode `advance_to` already ran
@@ -977,27 +1019,54 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
                                 t,
                                 &pending.salvage.prepared,
                                 Some(driver),
+                                Some(pending.from_node),
                             );
-                            let origin = (pending.from_node, pending.attempt);
-                            let salvage = driver.redispatch(pending, node, t);
-                            let id = salvage.prepared.request.id;
+                            // Mirrors the reference: the scan minimizes the
+                            // penalty tier, so an unreachable winner means
+                            // every node is partitioned away from the
+                            // custodian — the attempt is spent instead of
+                            // routed across the partition.
+                            if driver.topology().reachable(pending.from_node, node, t) {
+                                let origin = (pending.from_node, pending.attempt);
+                                let salvage = driver.redispatch(pending, node, t);
+                                let id = salvage.prepared.request.id;
+                                if C::ENABLED {
+                                    self.trace.borrow_mut().cluster_event(
+                                        t,
+                                        ClusterTraceEvent::Recovery {
+                                            task: id,
+                                            from: origin.0,
+                                            to: node,
+                                            attempt: origin.1,
+                                        },
+                                    );
+                                }
+                                self.sessions[node]
+                                    .inject_salvaged(salvage, t)
+                                    .expect("salvaged task id is not live");
+                                self.reschedule(node);
+                                if let Some(&slot) = assignment_index.get(&id) {
+                                    assignments[slot].node = node;
+                                }
+                            } else {
+                                driver.on_unreachable(pending, t, &self.trace);
+                            }
+                        }
+                        FaultEvent::LinkEdge(edge) => {
+                            // Link windows mutate no session (and therefore
+                            // no certificate): the topology answers state
+                            // queries lazily. The edge synchronizes both
+                            // loops at the instant routing changes.
                             if C::ENABLED {
                                 self.trace.borrow_mut().cluster_event(
                                     t,
-                                    ClusterTraceEvent::Recovery {
-                                        task: id,
-                                        from: origin.0,
-                                        to: node,
-                                        attempt: origin.1,
+                                    ClusterTraceEvent::LinkFault {
+                                        from: edge.from,
+                                        to: edge.to,
+                                        kind: edge.kind,
+                                        until: edge.until,
                                     },
                                 );
-                            }
-                            self.sessions[node]
-                                .inject_salvaged(salvage, t)
-                                .expect("salvaged task id is not live");
-                            self.reschedule(node);
-                            if let Some(&slot) = assignment_index.get(&id) {
-                                assignments[slot].node = node;
                             }
                         }
                     }
@@ -1006,6 +1075,7 @@ impl<'a, C: ClusterTraceSink> EventHeapLoop<'a, C> {
             if let Some(migration) = migration.as_mut() {
                 deliver_due_migrations(
                     migration,
+                    faults.as_ref(),
                     &mut self.sessions,
                     t,
                     assignments,

@@ -47,9 +47,10 @@ use serde::{Deserialize, Serialize};
 
 use npu_sim::{Cycles, NpuConfig};
 use prema_core::{SalvagedTask, TaskId, TaskRequest};
-use prema_workload::{FaultKind, FaultSchedule, NodeFault};
+use prema_workload::{FaultKind, FaultSchedule, LinkFaultKind, NodeFault};
 
-use crate::trace::{ClusterTraceEvent, ClusterTraceSink};
+use crate::interconnect::LinkTopology;
+use crate::trace::{ClusterTraceEvent, ClusterTraceSink, LinkTraceKind};
 
 /// How salvaged work is re-dispatched after a node crash.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -200,9 +201,32 @@ impl Ord for PendingRecovery {
     }
 }
 
+/// One edge of a directed-link fault window: a synchronization (and trace)
+/// instant for both loops. Link state itself lives in the
+/// [`LinkTopology`] — the edge mutates no session, but materializing every
+/// node there keeps migration rounds and transfer decisions bit-identical
+/// across the two loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LinkEdge {
+    /// When the edge fires.
+    pub(crate) at: Cycles,
+    /// The sending side of the directed link.
+    pub(crate) from: usize,
+    /// The receiving side of the directed link.
+    pub(crate) to: usize,
+    /// What the edge does to the link.
+    pub(crate) kind: LinkTraceKind,
+    /// The end of the window the edge belongs to (the instant itself for
+    /// `Restored` edges).
+    pub(crate) until: Cycles,
+}
+
 /// One due fault-timeline event, in processing order.
 #[derive(Debug)]
 pub(crate) enum FaultEvent {
+    /// A directed-link fault window opens or closes (the loop traces it;
+    /// link state is read from the topology at decision time).
+    LinkEdge(LinkEdge),
     /// A fault window begins (the loop fails/stalls the session, or scales
     /// its clock for a degrade window).
     Fault(NodeFault),
@@ -267,11 +291,55 @@ pub(crate) struct FaultDriver<'a> {
     /// until the node first degrades).
     degraded_until: Vec<Cycles>,
     cooldown: Cycles,
+    /// Per-directed-link fault windows, read at decision time for
+    /// reachability and transfer pricing.
+    links: LinkTopology,
+    /// Both edges of every link window, in firing order — the
+    /// synchronization instants the link schedule adds to the timeline.
+    link_edges: Vec<LinkEdge>,
+    next_link: usize,
     tally: FaultTally,
 }
 
 impl<'a> FaultDriver<'a> {
     pub(crate) fn new(plan: &'a ClusterFaultPlan, npu: &'a NpuConfig, nodes: usize) -> Self {
+        let mut link_edges: Vec<LinkEdge> = Vec::with_capacity(plan.schedule.links.len() * 2);
+        for window in &plan.schedule.links {
+            let kind = match window.kind {
+                LinkFaultKind::Down => LinkTraceKind::Down,
+                LinkFaultKind::Degraded {
+                    bandwidth_num,
+                    bandwidth_den,
+                } => LinkTraceKind::Degraded {
+                    num: bandwidth_num,
+                    den: bandwidth_den,
+                },
+            };
+            link_edges.push(LinkEdge {
+                at: window.start,
+                from: window.from,
+                to: window.to,
+                kind,
+                until: window.end,
+            });
+            link_edges.push(LinkEdge {
+                at: window.end,
+                from: window.from,
+                to: window.to,
+                kind: LinkTraceKind::Restored,
+                until: window.end,
+            });
+        }
+        // Restores first on ties: a window touching its successor on the
+        // same link closes before the successor opens.
+        link_edges.sort_by_key(|edge| {
+            (
+                edge.at,
+                !matches!(edge.kind, LinkTraceKind::Restored),
+                edge.from,
+                edge.to,
+            )
+        });
         FaultDriver {
             plan,
             npu,
@@ -283,13 +351,30 @@ impl<'a> FaultDriver<'a> {
             down_until: vec![Cycles::ZERO; nodes],
             degraded_until: vec![Cycles::ZERO; nodes],
             cooldown: npu.millis_to_cycles(plan.recovery.cooldown_ms),
+            links: LinkTopology::new(&plan.schedule.links),
+            link_edges,
+            next_link: 0,
             tally: FaultTally::empty(nodes),
         }
     }
 
-    /// The instant of the next fault-timeline event (fault start, degrade
-    /// end or due re-dispatch), if any remain.
+    /// The per-directed-link fault windows, for reachability checks and
+    /// link-state transfer pricing at decision time.
+    pub(crate) fn topology(&self) -> &LinkTopology {
+        &self.links
+    }
+
+    /// Whether `node` is inside a crash/freeze window at instant `t` — a
+    /// landing transfer finds nobody home there.
+    pub(crate) fn is_down(&self, node: usize, t: Cycles) -> bool {
+        let until = self.down_until[node];
+        !until.is_zero() && t < until
+    }
+
+    /// The instant of the next fault-timeline event (link edge, fault
+    /// start, degrade end or due re-dispatch), if any remain.
     pub(crate) fn next_event_time(&self) -> Option<Cycles> {
+        let link = self.link_edges.get(self.next_link).map(|edge| edge.at);
         let fault = self
             .plan
             .schedule
@@ -298,16 +383,21 @@ impl<'a> FaultDriver<'a> {
             .map(|event| event.start);
         let degrade_end = self.degrade_ends.peek().map(|&Reverse((end, _))| end);
         let recovery = self.pending.peek().map(|Reverse(p)| p.due);
-        [fault, degrade_end, recovery].into_iter().flatten().min()
+        [link, fault, degrade_end, recovery]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Pops the next event due at or before `t`. Ties at one instant
-    /// process degrade-window ends first, then fault starts, then
-    /// recoveries: windows are half-open, so a degrade window ending
-    /// exactly when the node's next one begins hands the clock straight to
-    /// the new scale (the restore must not clobber it); a crash at the very
-    /// instant a task would re-enter dispatch is observed by that
-    /// re-dispatch as a down node.
+    /// process link edges first (they mutate no session — the state they
+    /// announce is already visible through the topology), then
+    /// degrade-window ends, then fault starts, then recoveries: windows
+    /// are half-open, so a degrade window ending exactly when the node's
+    /// next one begins hands the clock straight to the new scale (the
+    /// restore must not clobber it); a crash at the very instant a task
+    /// would re-enter dispatch is observed by that re-dispatch as a down
+    /// node.
     pub(crate) fn pop_due(&mut self, t: Cycles) -> Option<FaultEvent> {
         let fault_start = self
             .plan
@@ -317,6 +407,16 @@ impl<'a> FaultDriver<'a> {
             .map(|event| event.start);
         let degrade_end = self.degrade_ends.peek().map(|&Reverse((end, _))| end);
         let recovery_due = self.pending.peek().map(|Reverse(p)| p.due);
+        if let Some(edge) = self.link_edges.get(self.next_link).copied() {
+            if edge.at <= t
+                && degrade_end.is_none_or(|end| edge.at <= end)
+                && fault_start.is_none_or(|start| edge.at <= start)
+                && recovery_due.is_none_or(|due| edge.at <= due)
+            {
+                self.next_link += 1;
+                return Some(FaultEvent::LinkEdge(edge));
+            }
+        }
         if let Some(end) = degrade_end {
             if end <= t
                 && fault_start.is_none_or(|start| end <= start)
@@ -447,6 +547,59 @@ impl<'a> FaultDriver<'a> {
         }
     }
 
+    /// The dispatch penalty of `node` for work routed *from* `source`: an
+    /// unreachable destination (the `source → node` link down — a
+    /// partition seen from `source`) earns tier 3, above every node-health
+    /// tier, so dispatch never routes across a partition while any
+    /// reachable node exists. `None` models front-end traffic that does
+    /// not cross the inter-node fabric and falls back to
+    /// [`FaultDriver::penalty`].
+    pub(crate) fn route_penalty(&self, source: Option<usize>, node: usize, t: Cycles) -> u8 {
+        if source.is_some_and(|s| !self.links.reachable(s, node, t)) {
+            return 3;
+        }
+        self.penalty(node, t)
+    }
+
+    /// The due re-dispatch found no reachable destination (every node is
+    /// across the partition from the salvage's custodian): the attempt is
+    /// spent, and the salvage either waits out another backoff or is
+    /// abandoned once the budget is exhausted.
+    pub(crate) fn on_unreachable<C: ClusterTraceSink>(
+        &mut self,
+        pending: PendingRecovery,
+        at: Cycles,
+        trace: &RefCell<C>,
+    ) {
+        let id = pending.salvage.prepared.request.id;
+        let attempt = pending.attempt + 1;
+        if attempt > self.plan.recovery.retry_budget {
+            if C::ENABLED {
+                trace.borrow_mut().cluster_event(
+                    at,
+                    ClusterTraceEvent::Abandon {
+                        task: id,
+                        node: pending.from_node,
+                        attempts: attempt,
+                    },
+                );
+            }
+            self.tally.abandoned.push(pending.salvage.prepared.request);
+            return;
+        }
+        self.attempts.insert(id, attempt);
+        let backoff_ms = self.plan.recovery.backoff_base_ms * f64::powi(2.0, attempt as i32 - 1);
+        let due = at + self.npu.millis_to_cycles(backoff_ms);
+        self.pending.push(Reverse(PendingRecovery {
+            due,
+            seq: self.seq,
+            salvage: pending.salvage,
+            attempt,
+            from_node: pending.from_node,
+        }));
+        self.seq += 1;
+    }
+
     /// Commits a due re-dispatch onto `to_node` at `at`: applies the
     /// recovery policy (restart-from-zero discards the cursor), logs the
     /// hop, and returns the manifest for the loop to inject.
@@ -489,6 +642,11 @@ impl<'a> FaultDriver<'a> {
         debug_assert!(
             self.degrade_ends.is_empty(),
             "every degrade window was closed"
+        );
+        debug_assert_eq!(
+            self.next_link,
+            self.link_edges.len(),
+            "every link edge was processed"
         );
         self.tally
     }

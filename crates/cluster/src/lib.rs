@@ -95,15 +95,17 @@ pub mod trace;
 pub use cluster::{ClusterConfig, ClusterOutcome, ClusterSimulator, NodeAssignment};
 pub use dispatch::{DispatchPolicy, Dispatcher};
 pub use faults::{ClusterFaultPlan, RecoveryConfig, RecoveryRecord};
-pub use interconnect::InterconnectConfig;
+pub use interconnect::{InterconnectConfig, LinkState, LinkTopology};
 pub use metrics::{fold_hashes, outcome_hash, ClusterMetrics};
-pub use migration::{MigrationConfig, MigrationRecord};
+pub use migration::{
+    CustodyConfig, CustodyError, MigrationConfig, MigrationRecord, RedirectRecord,
+};
 pub use online::{
     online_outcome_hash, OnlineClusterConfig, OnlineClusterSimulator, OnlineDispatchPolicy,
     OnlineOutcome, SlaAdmissionConfig,
 };
 pub use trace::{
     ClusterTraceEvent, ClusterTraceSink, FaultTraceKind, FlightEntry, FlightRecorder,
-    JsonTraceSink, NodeKey, NodeKeySet, NodeSamplePoint, NodeTap, NullClusterSink,
-    TraceReconciliation, VecClusterSink, MAX_TRACE_NODES,
+    JsonTraceSink, LinkTraceKind, NodeKey, NodeKeySet, NodeSamplePoint, NodeTap, NullClusterSink,
+    TraceReconciliation, TransferFailReason, VecClusterSink, MAX_TRACE_NODES,
 };

@@ -1,5 +1,6 @@
 //! Deadline-triggered checkpoint migration: evacuating started tasks off
-//! straggler nodes over the priced interconnect.
+//! straggler nodes over the priced interconnect — and the *custody layer*
+//! that makes those transfers survive a faulty fabric.
 //!
 //! PR 6's fault tolerance reacts to nodes that *die*; this module reacts to
 //! nodes that merely *slow down* (the degrade windows of
@@ -29,11 +30,13 @@
 //!    the evacuation candidate.
 //! 2. **Stay-vs-move pricing.** Staying costs the scaled wall time of the
 //!    candidate's backlog on the straggler. Moving to a target costs the
-//!    interconnect transfer of its `live_checkpoint_bytes`
-//!    ([`crate::InterconnectConfig::transfer_cycles`]), plus the restore
-//!    DMA ([`npu_sim::CheckpointModel`]), plus the scaled wall time of the
-//!    target's blocking work ahead of the newcomer. The cheapest healthy
-//!    target wins, ties to the lowest index.
+//!    interconnect transfer of its `live_checkpoint_bytes` — priced over
+//!    the *current link state* by [`crate::LinkTopology::transfer_cycles`],
+//!    so a degraded link stretches the serialization term and a downed or
+//!    partitioned link removes the target from consideration entirely —
+//!    plus the restore DMA ([`npu_sim::CheckpointModel`]), plus the scaled
+//!    wall time of the target's blocking work ahead of the newcomer. The
+//!    cheapest reachable healthy target wins, ties to the lowest index.
 //! 3. **Hysteresis and budget.** The move must beat staying by the
 //!    configured hysteresis factor, and each source node may initiate at
 //!    most `node_budget` evacuations per run — together these prevent
@@ -43,18 +46,131 @@
 //! *delivery* (`decision instant + transfer time`) on an in-flight heap;
 //! the loops treat deliveries as arrival events at the destination, global
 //! synchronization points exactly like fault instants.
+//!
+//! # Custody: lossy transfers, timeouts, redirects
+//!
+//! With a [`CustodyConfig`] attached, a transfer is no longer assumed to
+//! land. Each attempt carries a delivery deadline; its *fate* is resolved
+//! against the offline link schedule at launch:
+//!
+//! * the carrying link drops mid-flight → the attempt **fails** at the
+//!   drop instant ([`crate::trace::TransferFailReason::LinkDown`]);
+//! * the landing would slip past `launch + delivery_timeout_ms` → the
+//!   attempt **fails** at the deadline (`Timeout`);
+//! * the destination is down when the payload arrives → the attempt
+//!   **fails** at the landing instant (`DestinationDown`).
+//!
+//! The source node retains custody of the checkpoint between attempts. A
+//! failed attempt `k` within the [`RecoveryConfig`] retry budget schedules
+//! a *redirect* after `backoff_base_ms * 2^(k-1)`: at the redirect instant
+//! the task is re-priced and re-routed to the cheapest reachable healthy
+//! node (the custodian itself is a zero-transfer candidate). An exhausted
+//! budget abandons the task with full accounting. A crate-private
+//! `CustodyLedger` asserts exactly-once ownership — every task the
+//! migration layer ever took custody of is exactly one of resident,
+//! in-flight, or abandoned — at every synchronization instant, and
+//! end-of-run reconciliation (`MigrationDriver::finish`) surfaces any
+//! still-in-flight task as a typed [`CustodyError`] instead of silently
+//! dropping it.
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use npu_sim::{CheckpointModel, Cycles, NpuConfig};
-use prema_core::{ResidentTask, SalvagedTask, SimSession, TaskId, TraceSink};
+use prema_core::{ResidentTask, SalvagedTask, SimSession, TaskId, TaskRequest, TraceSink};
+use prema_workload::LinkFault;
 
-use crate::interconnect::InterconnectConfig;
-use crate::trace::{ClusterTraceEvent, ClusterTraceSink};
+use crate::faults::{FaultDriver, RecoveryConfig};
+use crate::interconnect::{InterconnectConfig, LinkTopology};
+use crate::trace::{ClusterTraceEvent, ClusterTraceSink, TransferFailReason};
+
+/// Configuration of the transfer-custody layer: delivery deadlines and the
+/// retry/backoff policy applied when an in-flight transfer fails.
+///
+/// Reuses [`RecoveryConfig`] for the retry budget and exponential backoff
+/// base so transfer redirects and crash re-dispatches speak one policy
+/// vocabulary (`cooldown_ms` and `checkpoint_recovery` do not apply to
+/// transfers and are ignored here).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CustodyConfig {
+    /// Delivery deadline of one transfer attempt, in milliseconds past its
+    /// launch: an attempt whose landing would slip past this times out.
+    pub delivery_timeout_ms: f64,
+    /// The retry budget and backoff base governing failed attempts.
+    pub recovery: RecoveryConfig,
+}
+
+impl CustodyConfig {
+    /// The redirect-with-backoff policy: a 4 ms delivery deadline and the
+    /// checkpointed recovery defaults (three retries, 0.5 ms backoff base).
+    pub fn redirect() -> Self {
+        CustodyConfig {
+            delivery_timeout_ms: 4.0,
+            recovery: RecoveryConfig::checkpointed(),
+        }
+    }
+
+    /// The abandon-on-failure baseline: identical deadline, zero retries —
+    /// the first failed attempt abandons the task.
+    pub fn abandon_on_failure() -> Self {
+        CustodyConfig {
+            recovery: RecoveryConfig {
+                retry_budget: 0,
+                ..RecoveryConfig::checkpointed()
+            },
+            ..CustodyConfig::redirect()
+        }
+    }
+
+    /// Replaces the delivery deadline.
+    pub fn with_timeout_ms(mut self, delivery_timeout_ms: f64) -> Self {
+        self.delivery_timeout_ms = delivery_timeout_ms;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.delivery_timeout_ms.is_finite() || self.delivery_timeout_ms <= 0.0 {
+            return Err("custody delivery timeout must be positive and finite".into());
+        }
+        self.recovery.validate()
+    }
+}
+
+/// The typed end-of-run custody reconciliation failure: tasks the
+/// migration layer still held in flight when the run ended. Surfaced in
+/// [`crate::OnlineOutcome::custody_error`] — a run that loses a task
+/// reports it instead of silently dropping it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CustodyError {
+    /// The tasks still in flight (or holding a backoff) at end of run,
+    /// sorted by id.
+    pub undelivered: Vec<TaskId>,
+}
+
+impl fmt::Display for CustodyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "custody reconciliation failed: {} task(s) still in flight at end of run:",
+            self.undelivered.len()
+        )?;
+        for task in &self.undelivered {
+            write!(f, " #{}", task.0)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CustodyError {}
 
 /// Configuration of deadline-triggered checkpoint migration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,11 +192,16 @@ pub struct MigrationConfig {
     pub node_budget: u32,
     /// The interconnect the checkpoint context travels over.
     pub interconnect: InterconnectConfig,
+    /// The transfer-custody layer. `None` models a reliable fabric: link
+    /// state still prices transfers and gates destinations at decision
+    /// time, but a launched transfer always lands.
+    pub custody: Option<CustodyConfig>,
 }
 
 impl MigrationConfig {
     /// A migration policy answering the given SLA: half-millisecond margin,
-    /// 1.25x hysteresis, eight evacuations per node, paper-default fabric.
+    /// 1.25x hysteresis, eight evacuations per node, paper-default fabric,
+    /// no custody layer (reliable fabric).
     pub fn new(sla_ms: f64) -> Self {
         MigrationConfig {
             sla_ms,
@@ -88,6 +209,7 @@ impl MigrationConfig {
             hysteresis: 1.25,
             node_budget: 8,
             interconnect: InterconnectConfig::paper_default(),
+            custody: None,
         }
     }
 
@@ -100,6 +222,12 @@ impl MigrationConfig {
     /// Replaces the per-node evacuation budget.
     pub fn with_node_budget(mut self, node_budget: u32) -> Self {
         self.node_budget = node_budget;
+        self
+    }
+
+    /// Attaches a transfer-custody layer.
+    pub fn with_custody(mut self, custody: CustodyConfig) -> Self {
+        self.custody = Some(custody);
         self
     }
 
@@ -118,13 +246,16 @@ impl MigrationConfig {
         if !self.hysteresis.is_finite() || self.hysteresis < 1.0 {
             return Err("migration hysteresis must be at least 1.0 and finite".into());
         }
-        self.interconnect.validate()
+        if let Some(custody) = &self.custody {
+            custody.validate()?;
+        }
+        self.interconnect.validate().map_err(|e| e.to_string())
     }
 }
 
 /// One completed evacuation decision — a hop in a task's migration history.
 /// Logged at the *decision* instant; the task reaches its destination at
-/// [`MigrationRecord::arrive_at`].
+/// [`MigrationRecord::arrive_at`] (custody permitting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MigrationRecord {
     /// The evacuated task.
@@ -142,7 +273,37 @@ pub struct MigrationRecord {
     pub arrive_at: Cycles,
 }
 
-/// A checkpointed task in flight over the interconnect.
+/// One committed transfer redirect — a failed attempt re-routed after
+/// backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RedirectRecord {
+    /// The re-routed task.
+    pub task: TaskId,
+    /// The custodian the checkpoint never left.
+    pub from_node: usize,
+    /// The newly chosen destination.
+    pub to_node: usize,
+    /// The attempt number of the relaunch (2 = first redirect).
+    pub attempt: u32,
+    /// When the redirect was committed.
+    pub at: Cycles,
+}
+
+/// What happens when an in-flight heap entry comes due.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TransferEvent {
+    /// The payload lands at `to_node` (custody may still fail it there if
+    /// the destination is down).
+    Land,
+    /// The attempt fails before landing — a mid-flight link drop or a
+    /// delivery timeout, resolved against the offline schedule at launch.
+    Fail(TransferFailReason),
+    /// A failed attempt's backoff expires: re-price and re-route now.
+    Redirect,
+}
+
+/// A checkpointed task in flight over the interconnect (or held by its
+/// custodian between attempts).
 #[derive(Debug)]
 pub(crate) struct PendingMigration {
     due: Cycles,
@@ -150,6 +311,14 @@ pub(crate) struct PendingMigration {
     seq: u64,
     pub(crate) salvage: SalvagedTask,
     pub(crate) to_node: usize,
+    /// The custodian: the node the checkpoint was extracted from. Custody
+    /// stays here until the payload lands.
+    pub(crate) from_node: usize,
+    /// Which transfer attempt this entry belongs to (1 = the original
+    /// launch).
+    pub(crate) attempt: u32,
+    /// What happens at `due`.
+    pub(crate) event: TransferEvent,
 }
 
 impl PartialEq for PendingMigration {
@@ -179,13 +348,113 @@ pub(crate) struct MigrationTally {
     pub(crate) migrations: u64,
     pub(crate) migration_bytes: u64,
     pub(crate) migration_log: Vec<MigrationRecord>,
+    pub(crate) transfer_failures: u64,
+    pub(crate) redirects: u64,
+    pub(crate) redirect_log: Vec<RedirectRecord>,
+    /// Tasks abandoned after the transfer retry budget was exhausted.
+    pub(crate) abandoned: Vec<TaskRequest>,
+    /// Tasks still in flight at end of run — the custody reconciliation
+    /// failure [`MigrationDriver::finish`] reports instead of asserting.
+    pub(crate) undelivered: Vec<TaskId>,
+}
+
+/// Which exactly-one state a task under migration custody is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CustodyState {
+    /// Extracted from its source; the custodian holds the checkpoint while
+    /// the payload is in flight or waiting out a backoff.
+    InFlight,
+    /// Delivered: resident at the given node.
+    Resident(usize),
+    /// Given up after budget exhaustion; may never reappear.
+    Abandoned,
+}
+
+/// The exactly-once ownership ledger over every task the migration layer
+/// ever took custody of. Transitions are hard-asserted — a task observed
+/// in two places at once (the orphan/duplicate bug class this layer
+/// exists to rule out) panics rather than corrupting accounting.
+#[derive(Debug, Default)]
+struct CustodyLedger {
+    state: HashMap<TaskId, CustodyState>,
+    in_flight: u32,
+    landed: u64,
+    abandoned: u64,
+}
+
+impl CustodyLedger {
+    /// A task leaves a node's custody into flight. Legal from fresh
+    /// (first evacuation) or `Resident` (a later re-evacuation); a task
+    /// already in flight or abandoned can never depart again.
+    fn depart(&mut self, task: TaskId) {
+        let prior = self.state.insert(task, CustodyState::InFlight);
+        assert!(
+            !matches!(
+                prior,
+                Some(CustodyState::InFlight) | Some(CustodyState::Abandoned)
+            ),
+            "custody violation: task #{} departed while {:?}",
+            task.0,
+            prior
+        );
+        self.in_flight += 1;
+    }
+
+    /// The payload lands: exactly one in-flight entry becomes resident.
+    fn land(&mut self, task: TaskId, node: usize) {
+        let prior = self.state.insert(task, CustodyState::Resident(node));
+        assert_eq!(
+            prior,
+            Some(CustodyState::InFlight),
+            "custody violation: task #{} landed while not in flight",
+            task.0
+        );
+        self.in_flight -= 1;
+        self.landed += 1;
+    }
+
+    /// The retry budget ran out: the in-flight entry is abandoned.
+    fn abandon(&mut self, task: TaskId) {
+        let prior = self.state.insert(task, CustodyState::Abandoned);
+        assert_eq!(
+            prior,
+            Some(CustodyState::InFlight),
+            "custody violation: task #{} abandoned while not in flight",
+            task.0
+        );
+        self.in_flight -= 1;
+        self.abandoned += 1;
+    }
+
+    /// The in-flight tasks, sorted by id — non-empty at end of run means
+    /// custody reconciliation failed.
+    fn undelivered(&self) -> Vec<TaskId> {
+        let mut tasks: Vec<TaskId> = self
+            .state
+            .iter()
+            .filter(|(_, state)| **state == CustodyState::InFlight)
+            .map(|(task, _)| *task)
+            .collect();
+        tasks.sort();
+        tasks
+    }
+
+    /// Cross-checks the ledger against the in-flight heap: every task in
+    /// flight has exactly one pending entry, and vice versa.
+    fn check(&self, pending: usize) {
+        assert_eq!(
+            self.in_flight as usize, pending,
+            "custody violation: {} task(s) in flight but {} pending transfer entries",
+            self.in_flight, pending
+        );
+    }
 }
 
 /// The shared migration decision machine both closed-loop drivers consume
 /// (see the module docs): the deadline monitor, the stay-vs-move arbiter,
-/// the in-flight transfer heap and the outcome tally. Every method must be
-/// called with all sessions materialized at the decision instant — the
-/// loops' global synchronization points.
+/// the in-flight transfer heap, the custody ledger and the outcome tally.
+/// Every method must be called with all sessions materialized at the
+/// decision instant — the loops' global synchronization points.
 #[derive(Debug)]
 pub(crate) struct MigrationDriver<'a> {
     config: &'a MigrationConfig,
@@ -193,35 +462,78 @@ pub(crate) struct MigrationDriver<'a> {
     /// `sla + margin`, in cycles: each task's deadline is its arrival plus
     /// this.
     deadline_offset: Cycles,
+    /// Per-directed-link fault windows, shared vocabulary with the fault
+    /// driver; empty means a perfect fabric (uniform pricing, everything
+    /// reachable).
+    links: LinkTopology,
+    /// The per-attempt delivery deadline, when custody is configured.
+    timeout: Option<Cycles>,
+    /// Transfer retry budget (attempts beyond `budget + 1` abandon).
+    retry_budget: u32,
+    /// `backoffs[k-1]` is the hold after failed attempt `k`, in cycles
+    /// (`backoff_base_ms * 2^(k-1)`).
+    backoffs: Vec<Cycles>,
     pending: BinaryHeap<Reverse<PendingMigration>>,
     seq: u64,
     budget_used: Vec<u32>,
     /// Scratch for one source node's resident scan.
     residents: Vec<ResidentTask>,
+    ledger: CustodyLedger,
     tally: MigrationTally,
 }
 
 impl<'a> MigrationDriver<'a> {
-    pub(crate) fn new(config: &'a MigrationConfig, npu: &NpuConfig, nodes: usize) -> Self {
+    pub(crate) fn new(
+        config: &'a MigrationConfig,
+        npu: &NpuConfig,
+        nodes: usize,
+        links: &[LinkFault],
+    ) -> Self {
+        let (timeout, retry_budget, backoffs) = match &config.custody {
+            Some(custody) => (
+                Some(npu.millis_to_cycles(custody.delivery_timeout_ms)),
+                custody.recovery.retry_budget,
+                (1..=custody.recovery.retry_budget.max(1))
+                    .map(|k| {
+                        let backoff_ms =
+                            custody.recovery.backoff_base_ms * f64::powi(2.0, k as i32 - 1);
+                        npu.millis_to_cycles(backoff_ms)
+                    })
+                    .collect(),
+            ),
+            None => (None, 0, Vec::new()),
+        };
         MigrationDriver {
             config,
             checkpoint: CheckpointModel::new(npu),
             deadline_offset: npu.millis_to_cycles(config.sla_ms + config.margin_ms),
+            links: LinkTopology::new(links),
+            timeout,
+            retry_budget,
+            backoffs,
             pending: BinaryHeap::new(),
             seq: 0,
             budget_used: vec![0; nodes],
             residents: Vec::new(),
+            ledger: CustodyLedger::default(),
             tally: MigrationTally::default(),
         }
     }
 
-    /// The delivery instant of the earliest in-flight migration, if any.
+    /// Whether the custody layer (timeouts, redirects, landing checks) is
+    /// active. Off, link state still prices and gates transfer decisions,
+    /// but a launched transfer always lands.
+    pub(crate) fn custody_enabled(&self) -> bool {
+        self.timeout.is_some()
+    }
+
+    /// The due instant of the earliest in-flight transfer event, if any.
     pub(crate) fn next_due(&self) -> Option<Cycles> {
         self.pending.peek().map(|Reverse(p)| p.due)
     }
 
-    /// Pops the next delivery due at or before `t` (the loop injects the
-    /// salvage at the destination).
+    /// Pops the next transfer event due at or before `t` (the loop routes
+    /// it through `deliver_due_migrations`).
     pub(crate) fn pop_due(&mut self, t: Cycles) -> Option<PendingMigration> {
         if self.next_due().is_some_and(|due| due <= t) {
             let Reverse(pending) = self.pending.pop().expect("peeked entry");
@@ -232,9 +544,10 @@ impl<'a> MigrationDriver<'a> {
 
     /// One migration round at global instant `t` over sessions all
     /// materialized at `t`: per source node in index order, find the first
-    /// deadline-blown started task in drain order, price stay-vs-move, and
-    /// (budget and hysteresis permitting) extract it and put it in flight.
-    /// At most one evacuation per source per round.
+    /// deadline-blown started task in drain order, price stay-vs-move over
+    /// the live link state, and (budget and hysteresis permitting) extract
+    /// it and put it in flight. At most one evacuation per source per
+    /// round. Closes with the custody reconciliation check.
     ///
     /// The trace sink is borrowed only *between* session calls — the
     /// sessions' own taps borrow the same cell from inside `checkpoint_out`.
@@ -257,23 +570,30 @@ impl<'a> MigrationDriver<'a> {
             let (_, bytes) = sessions[from]
                 .checkpoint_preview(id)
                 .expect("a started resident is checkpointable");
-            let transfer = self.config.interconnect.transfer_cycles(bytes);
             let restore = self.checkpoint.restore_cycles(bytes);
-            // The cheapest healthy target: transfer + restore + the scaled
-            // wall time of the work that outranks the newcomer there. Ties
-            // break to the lowest index.
-            let mut best: Option<(Cycles, usize)> = None;
+            // The cheapest reachable healthy target: link-state-priced
+            // transfer + restore + the scaled wall time of the work that
+            // outranks the newcomer there. Downed or partitioned links
+            // reject the destination up front. Ties break to the lowest
+            // index.
+            let mut best: Option<(Cycles, usize, Cycles)> = None;
             for (to, target) in sessions.iter().enumerate() {
                 if to == from || target.stalled_until().is_some() {
                     continue;
                 }
+                let Some(transfer) =
+                    self.links
+                        .transfer_cycles(&self.config.interconnect, from, to, bytes, t)
+                else {
+                    continue;
+                };
                 let queue = target.predicted_blocking_work(priority) + remaining;
                 let move_cost = transfer + restore + target.scaled_wall_for_work(queue);
-                if best.is_none_or(|(cost, _)| move_cost < cost) {
-                    best = Some((move_cost, to));
+                if best.is_none_or(|(cost, _, _)| move_cost < cost) {
+                    best = Some((move_cost, to, transfer));
                 }
             }
-            let Some((move_cost, to)) = best else {
+            let Some((move_cost, to, transfer)) = best else {
                 continue;
             };
             if move_cost.get() as f64 * self.config.hysteresis >= stay.get() as f64 {
@@ -308,13 +628,19 @@ impl<'a> MigrationDriver<'a> {
                     },
                 );
             }
-            self.pending.push(Reverse(PendingMigration {
-                due,
-                seq: self.seq,
-                salvage,
-                to_node: to,
-            }));
-            self.seq += 1;
+            self.ledger.depart(id);
+            self.launch(salvage, from, to, 1, transfer, t);
+        }
+        self.ledger.check(self.pending.len());
+        if C::ENABLED && self.custody_enabled() {
+            trace.borrow_mut().cluster_event(
+                t,
+                ClusterTraceEvent::CustodyCheck {
+                    in_flight: self.ledger.in_flight,
+                    landed: self.ledger.landed,
+                    abandoned: self.ledger.abandoned,
+                },
+            );
         }
     }
 
@@ -352,13 +678,203 @@ impl<'a> MigrationDriver<'a> {
         None
     }
 
-    /// Consumes the driver into its outcome tally.
-    ///
-    /// # Panics
-    ///
-    /// Debug-asserts every in-flight migration was delivered.
-    pub(crate) fn finish(self) -> MigrationTally {
-        debug_assert!(self.pending.is_empty(), "no migration left in flight");
+    /// Puts one attempt in flight, resolving its fate against the offline
+    /// link schedule: a mid-flight link drop fails it at the drop instant,
+    /// a landing past the delivery deadline fails it at the deadline,
+    /// otherwise it lands at `t + transfer`. Without custody the fabric is
+    /// reliable and every launch lands.
+    fn launch(
+        &mut self,
+        salvage: SalvagedTask,
+        from: usize,
+        to: usize,
+        attempt: u32,
+        transfer: Cycles,
+        t: Cycles,
+    ) {
+        let arrive = t + transfer;
+        let (due, event) = match self.timeout {
+            Some(timeout) => {
+                let deadline = t + timeout;
+                let horizon = arrive.min(deadline);
+                if let Some(drop_at) = self.links.first_down_within(from, to, t, horizon) {
+                    (drop_at, TransferEvent::Fail(TransferFailReason::LinkDown))
+                } else if arrive > deadline {
+                    (deadline, TransferEvent::Fail(TransferFailReason::Timeout))
+                } else {
+                    (arrive, TransferEvent::Land)
+                }
+            }
+            None => (arrive, TransferEvent::Land),
+        };
+        self.pending.push(Reverse(PendingMigration {
+            due,
+            seq: self.seq,
+            salvage,
+            to_node: to,
+            from_node: from,
+            attempt,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Books a successful delivery: the ledger's in-flight entry becomes
+    /// resident at `node`.
+    pub(crate) fn on_landed(&mut self, task: TaskId, node: usize) {
+        self.ledger.land(task, node);
+    }
+
+    /// Handles one failed attempt at `t`: accounts the failure, then
+    /// either schedules a redirect after exponential backoff or abandons
+    /// the task once the retry budget is exhausted.
+    pub(crate) fn on_transfer_failed<C: ClusterTraceSink>(
+        &mut self,
+        pending: PendingMigration,
+        reason: TransferFailReason,
+        t: Cycles,
+        trace: &RefCell<C>,
+    ) {
+        self.tally.transfer_failures += 1;
+        if C::ENABLED {
+            trace.borrow_mut().cluster_event(
+                t,
+                ClusterTraceEvent::TransferTimeout {
+                    task: pending.salvage.prepared.request.id,
+                    from: pending.from_node,
+                    to: pending.to_node,
+                    attempt: pending.attempt,
+                    reason,
+                },
+            );
+        }
+        self.schedule_retry(pending, t, trace);
+    }
+
+    /// After failed attempt `k`: within budget, hold the checkpoint for
+    /// `backoff_base * 2^(k-1)` and then redirect; beyond it, abandon with
+    /// full accounting.
+    fn schedule_retry<C: ClusterTraceSink>(
+        &mut self,
+        pending: PendingMigration,
+        t: Cycles,
+        trace: &RefCell<C>,
+    ) {
+        let task = pending.salvage.prepared.request.id;
+        if pending.attempt > self.retry_budget {
+            self.ledger.abandon(task);
+            if C::ENABLED {
+                trace.borrow_mut().cluster_event(
+                    t,
+                    ClusterTraceEvent::Abandon {
+                        task,
+                        node: pending.from_node,
+                        attempts: pending.attempt,
+                    },
+                );
+            }
+            self.tally.abandoned.push(pending.salvage.prepared.request);
+            return;
+        }
+        let due = t + self.backoffs[(pending.attempt - 1) as usize];
+        self.pending.push(Reverse(PendingMigration {
+            due,
+            seq: self.seq,
+            salvage: pending.salvage,
+            to_node: pending.to_node,
+            from_node: pending.from_node,
+            attempt: pending.attempt,
+            event: TransferEvent::Redirect,
+        }));
+        self.seq += 1;
+    }
+
+    /// A due redirect: re-price the held checkpoint against the live link
+    /// and node state and relaunch it toward the cheapest reachable
+    /// healthy destination (the custodian itself is a zero-transfer
+    /// candidate). If nothing is reachable the attempt is spent waiting
+    /// out another backoff.
+    pub(crate) fn redirect<S: TraceSink, C: ClusterTraceSink>(
+        &mut self,
+        pending: PendingMigration,
+        sessions: &[SimSession<S>],
+        faults: Option<&FaultDriver<'_>>,
+        t: Cycles,
+        trace: &RefCell<C>,
+    ) {
+        let from = pending.from_node;
+        let task = pending.salvage.prepared.request.id;
+        let priority = pending.salvage.prepared.request.priority;
+        let bytes = pending.salvage.checkpoint_bytes;
+        let restore = self.checkpoint.restore_cycles(bytes);
+        let mut best: Option<(Cycles, usize, Cycles)> = None;
+        for (to, target) in sessions.iter().enumerate() {
+            if target.stalled_until().is_some() || faults.is_some_and(|f| f.is_down(to, t)) {
+                continue;
+            }
+            let Some(transfer) =
+                self.links
+                    .transfer_cycles(&self.config.interconnect, from, to, bytes, t)
+            else {
+                continue;
+            };
+            let cost = transfer
+                + restore
+                + target.scaled_wall_for_work(target.predicted_blocking_work(priority));
+            if best.is_none_or(|(c, _, _)| cost < c) {
+                best = Some((cost, to, transfer));
+            }
+        }
+        match best {
+            Some((_, to, transfer)) => {
+                let attempt = pending.attempt + 1;
+                self.tally.redirects += 1;
+                self.tally.redirect_log.push(RedirectRecord {
+                    task,
+                    from_node: from,
+                    to_node: to,
+                    attempt,
+                    at: t,
+                });
+                if C::ENABLED {
+                    trace.borrow_mut().cluster_event(
+                        t,
+                        ClusterTraceEvent::Redirect {
+                            task,
+                            from,
+                            to,
+                            attempt,
+                        },
+                    );
+                }
+                self.launch(pending.salvage, from, to, attempt, transfer, t);
+            }
+            None => {
+                let spent = PendingMigration {
+                    attempt: pending.attempt + 1,
+                    ..pending
+                };
+                self.on_transfer_failed(spent, TransferFailReason::NoRoute, t, trace);
+            }
+        }
+    }
+
+    /// Consumes the driver into its outcome tally, reconciling custody:
+    /// any task still in flight is reported as `undelivered` (surfaced as
+    /// [`CustodyError`] in the outcome) instead of silently dropped.
+    pub(crate) fn finish(mut self) -> MigrationTally {
+        let mut undelivered: Vec<TaskId> = self
+            .pending
+            .into_iter()
+            .map(|Reverse(p)| p.salvage.prepared.request.id)
+            .collect();
+        undelivered.sort();
+        assert_eq!(
+            undelivered,
+            self.ledger.undelivered(),
+            "custody violation: the in-flight heap and ledger disagree at end of run"
+        );
+        self.tally.undelivered = undelivered;
         self.tally
     }
 }
@@ -366,6 +882,25 @@ impl<'a> MigrationDriver<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn salvage_for(npu: &NpuConfig, id: u64) -> SalvagedTask {
+        use dnn_models::ModelKind;
+        use prema_core::{PreparedTask, TaskRequest};
+        SalvagedTask {
+            prepared: PreparedTask::prepare(
+                TaskRequest::new(TaskId(id), ModelKind::CnnAlexNet),
+                npu,
+            ),
+            resume_executed: Cycles::ZERO,
+            checkpoint_bytes: 0,
+            first_start: None,
+            preemption_count: 0,
+            kill_restarts: 0,
+            checkpoint_overhead: Cycles::ZERO,
+            restore_overhead: Cycles::ZERO,
+            max_checkpoint_bytes: 0,
+        }
+    }
 
     #[test]
     fn validation_covers_every_field() {
@@ -398,6 +933,14 @@ mod tests {
                 },
                 ..MigrationConfig::new(8.0)
             },
+            MigrationConfig::new(8.0).with_custody(CustodyConfig::redirect().with_timeout_ms(0.0)),
+            MigrationConfig::new(8.0).with_custody(CustodyConfig {
+                recovery: RecoveryConfig {
+                    backoff_base_ms: f64::NAN,
+                    ..RecoveryConfig::checkpointed()
+                },
+                ..CustodyConfig::redirect()
+            }),
         ];
         for config in bad {
             assert!(config.validate().is_err(), "{config:?}");
@@ -406,41 +949,160 @@ mod tests {
 
     #[test]
     fn in_flight_heap_orders_by_due_then_decision_order() {
-        use dnn_models::ModelKind;
-        use prema_core::{PreparedTask, TaskRequest};
         let npu = NpuConfig::paper_default();
         let config = MigrationConfig::new(8.0);
-        let mut driver = MigrationDriver::new(&config, &npu, 2);
-        let salvage = |id: u64| SalvagedTask {
-            prepared: PreparedTask::prepare(
-                TaskRequest::new(TaskId(id), ModelKind::CnnAlexNet),
-                &npu,
-            ),
-            resume_executed: Cycles::ZERO,
-            checkpoint_bytes: 0,
-            first_start: None,
-            preemption_count: 0,
-            kill_restarts: 0,
-            checkpoint_overhead: Cycles::ZERO,
-            restore_overhead: Cycles::ZERO,
-            max_checkpoint_bytes: 0,
-        };
+        let mut driver = MigrationDriver::new(&config, &npu, 2, &[]);
         for (due, id) in [(500u64, 1u64), (300, 2), (500, 3)] {
+            driver.ledger.depart(TaskId(id));
             driver.pending.push(Reverse(PendingMigration {
                 due: Cycles::new(due),
                 seq: driver.seq,
-                salvage: salvage(id),
+                salvage: salvage_for(&npu, id),
                 to_node: 0,
+                from_node: 1,
+                attempt: 1,
+                event: TransferEvent::Land,
             }));
             driver.seq += 1;
         }
         assert_eq!(driver.next_due(), Some(Cycles::new(300)));
         assert!(driver.pop_due(Cycles::new(299)).is_none());
-        let order: Vec<u64> = std::iter::from_fn(|| driver.pop_due(Cycles::MAX))
-            .map(|p| p.salvage.prepared.request.id.0)
-            .collect();
+        let mut order: Vec<u64> = Vec::new();
+        while let Some(p) = driver.pop_due(Cycles::MAX) {
+            let id = p.salvage.prepared.request.id;
+            driver.ledger.land(id, p.to_node);
+            order.push(id.0);
+        }
         assert_eq!(order, vec![2, 1, 3]);
         let tally = driver.finish();
         assert_eq!(tally.migrations, 0);
+        assert!(tally.undelivered.is_empty());
+    }
+
+    #[test]
+    fn launch_resolves_fate_against_the_link_schedule() {
+        use prema_workload::LinkFaultKind;
+        let npu = NpuConfig::paper_default();
+        // Paper fabric: 2000 cycles latency + bytes/16 serialization.
+        let links = [LinkFault {
+            from: 0,
+            to: 1,
+            start: Cycles::new(2_500),
+            end: Cycles::new(3_000),
+            kind: LinkFaultKind::Down,
+        }];
+        let config = MigrationConfig::new(8.0).with_custody(CustodyConfig::redirect());
+        let mut driver = MigrationDriver::new(&config, &npu, 2, &links);
+
+        // Attempt over the doomed link: drops mid-flight at the window
+        // start (launch at 1000, arrival would be 1000 + 2000 + 64 = 3064).
+        driver.ledger.depart(TaskId(1));
+        driver.launch(
+            salvage_for(&npu, 1),
+            0,
+            1,
+            1,
+            Cycles::new(2_064),
+            Cycles::new(1_000),
+        );
+        let dropped = driver.pop_due(Cycles::MAX).expect("one entry");
+        assert_eq!(dropped.due, Cycles::new(2_500));
+        assert_eq!(
+            dropped.event,
+            TransferEvent::Fail(TransferFailReason::LinkDown)
+        );
+
+        // The reverse direction is unaffected: lands on schedule.
+        driver.ledger.depart(TaskId(2));
+        driver.launch(
+            salvage_for(&npu, 2),
+            1,
+            0,
+            1,
+            Cycles::new(2_064),
+            Cycles::new(1_000),
+        );
+        let landed = driver.pop_due(Cycles::MAX).expect("one entry");
+        assert_eq!(landed.due, Cycles::new(3_064));
+        assert_eq!(landed.event, TransferEvent::Land);
+
+        // A transfer slower than the delivery deadline times out at the
+        // deadline instant.
+        let deadline = npu.millis_to_cycles(4.0);
+        driver.ledger.depart(TaskId(3));
+        driver.launch(
+            salvage_for(&npu, 3),
+            1,
+            0,
+            1,
+            deadline + Cycles::new(1_000),
+            Cycles::new(10_000),
+        );
+        let timed_out = driver.pop_due(Cycles::MAX).expect("one entry");
+        assert_eq!(timed_out.due, Cycles::new(10_000) + deadline);
+        assert_eq!(
+            timed_out.event,
+            TransferEvent::Fail(TransferFailReason::Timeout)
+        );
+        driver.pending.clear();
+        driver.ledger = CustodyLedger::default();
+        let _ = driver.finish();
+    }
+
+    #[test]
+    fn exhausted_retry_budget_abandons_with_accounting() {
+        let npu = NpuConfig::paper_default();
+        let config = MigrationConfig::new(8.0).with_custody(CustodyConfig::abandon_on_failure());
+        let mut driver = MigrationDriver::new(&config, &npu, 2, &[]);
+        driver.ledger.depart(TaskId(7));
+        let pending = PendingMigration {
+            due: Cycles::new(100),
+            seq: 0,
+            salvage: salvage_for(&npu, 7),
+            to_node: 1,
+            from_node: 0,
+            attempt: 1,
+            event: TransferEvent::Fail(TransferFailReason::LinkDown),
+        };
+        let trace = RefCell::new(crate::trace::NullClusterSink);
+        driver.on_transfer_failed(
+            pending,
+            TransferFailReason::LinkDown,
+            Cycles::new(100),
+            &trace,
+        );
+        let tally = driver.finish();
+        assert_eq!(tally.transfer_failures, 1);
+        assert_eq!(tally.redirects, 0);
+        assert_eq!(tally.abandoned.len(), 1);
+        assert_eq!(tally.abandoned[0].id, TaskId(7));
+        assert!(tally.undelivered.is_empty());
+    }
+
+    #[test]
+    fn finish_reports_undelivered_tasks_instead_of_asserting() {
+        let npu = NpuConfig::paper_default();
+        let config = MigrationConfig::new(8.0).with_custody(CustodyConfig::redirect());
+        let mut driver = MigrationDriver::new(&config, &npu, 2, &[]);
+        driver.ledger.depart(TaskId(9));
+        driver.launch(
+            salvage_for(&npu, 9),
+            0,
+            1,
+            1,
+            Cycles::new(2_064),
+            Cycles::new(1_000),
+        );
+        let tally = driver.finish();
+        assert_eq!(tally.undelivered, vec![TaskId(9)]);
+    }
+
+    #[test]
+    fn custody_ledger_rejects_double_ownership() {
+        let mut ledger = CustodyLedger::default();
+        ledger.depart(TaskId(1));
+        let boom =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ledger.depart(TaskId(1))));
+        assert!(boom.is_err(), "departing an in-flight task must panic");
     }
 }

@@ -101,10 +101,13 @@ use prema_workload::FaultKind;
 use crate::cluster::{ClusterOutcome, NodeAssignment};
 use crate::faults::{ClusterFaultPlan, FaultDriver, FaultEvent, FaultTally, RecoveryRecord};
 use crate::metrics::fold_hashes;
-use crate::migration::{MigrationConfig, MigrationDriver, MigrationRecord, MigrationTally};
+use crate::migration::{
+    CustodyError, MigrationConfig, MigrationDriver, MigrationRecord, MigrationTally,
+    RedirectRecord, TransferEvent,
+};
 use crate::trace::{
     sample_nodes, ClusterTraceEvent, ClusterTraceSink, FaultTraceKind, NodeKey, NodeKeySet,
-    NodeTap, NullClusterSink,
+    NodeTap, NullClusterSink, TransferFailReason,
 };
 
 /// Which live-state signal the closed-loop dispatcher minimizes at each
@@ -245,6 +248,18 @@ impl OnlineClusterConfig {
                     event.node, self.nodes
                 ));
             }
+            if let Some(link) = faults
+                .schedule
+                .links
+                .iter()
+                .find(|link| link.from >= self.nodes || link.to >= self.nodes)
+            {
+                return Err(format!(
+                    "link fault window names node {} but the cluster has {} nodes",
+                    link.from.max(link.to),
+                    self.nodes
+                ));
+            }
         }
         if let Some(migration) = &self.migration {
             migration.validate()?;
@@ -294,6 +309,19 @@ pub struct OnlineOutcome {
     pub migration_bytes: u64,
     /// Every migration hop, in decision order.
     pub migration_log: Vec<MigrationRecord>,
+    /// Number of failed in-flight transfer attempts (link drop mid-flight,
+    /// delivery deadline expiry, destination down at landing, or no
+    /// reachable redirect target). Tasks abandoned after the custody retry
+    /// budget runs out join [`OnlineOutcome::abandoned`].
+    pub transfer_failures: u64,
+    /// Number of redirect relaunches performed after transfer failures.
+    pub redirects: u64,
+    /// Every redirect hop, in relaunch order.
+    pub redirect_log: Vec<RedirectRecord>,
+    /// The custody reconciliation verdict: `Some` when tasks were still in
+    /// flight when the run ended — every task the cluster took custody of
+    /// must land, be abandoned with accounting, or be reported here.
+    pub custody_error: Option<CustodyError>,
 }
 
 impl OnlineOutcome {
@@ -320,10 +348,12 @@ impl OnlineOutcome {
 /// ([`OnlineOutcome::has_fault_activity`]) the fold extends over the
 /// abandoned IDs, the fault counters, every recovery hop and the per-node
 /// downtime; when degrade windows fired it further extends over the degrade
-/// tally, and when migrations fired over the migration tally and every
-/// migration hop. Each extension is gated on its own activity, so runs
-/// predating a mechanism (and runs where it never triggers) keep their
-/// historical digests byte-for-byte.
+/// tally, when migrations fired over the migration tally and every
+/// migration hop, and when in-flight transfers failed or redirected over
+/// the custody tally, every redirect hop and any unreconciled custody
+/// verdict. Each extension is gated on its own activity, so runs predating
+/// a mechanism (and runs where it never triggers) keep their historical
+/// digests byte-for-byte.
 pub fn online_outcome_hash(outcome: &OnlineOutcome) -> u64 {
     let mut parts: Vec<u64> = vec![crate::metrics::outcome_hash(&outcome.cluster)];
     parts.extend(outcome.shed.iter().map(|request| request.id.0));
@@ -359,6 +389,21 @@ pub fn online_outcome_hash(outcome: &OnlineOutcome) -> u64 {
                 record.arrive_at.get(),
             ]);
         }
+    }
+    if outcome.transfer_failures > 0 || outcome.redirects > 0 {
+        parts.extend([outcome.transfer_failures, outcome.redirects]);
+        for record in &outcome.redirect_log {
+            parts.extend([
+                record.task.0,
+                record.from_node as u64,
+                record.to_node as u64,
+                u64::from(record.attempt),
+                record.at.get(),
+            ]);
+        }
+    }
+    if let Some(error) = &outcome.custody_error {
+        parts.extend(error.undelivered.iter().map(|task| task.0));
     }
     fold_hashes(parts)
 }
@@ -498,11 +543,15 @@ impl OnlineClusterSimulator {
             .faults
             .as_ref()
             .map(|plan| FaultDriver::new(plan, &self.config.npu, self.config.nodes));
-        let mut migration = self
+        let link_faults = self
             .config
-            .migration
+            .faults
             .as_ref()
-            .map(|config| MigrationDriver::new(config, &self.config.npu, self.config.nodes));
+            .map(|plan| plan.schedule.links.as_slice())
+            .unwrap_or(&[]);
+        let mut migration = self.config.migration.as_ref().map(|config| {
+            MigrationDriver::new(config, &self.config.npu, self.config.nodes, link_faults)
+        });
 
         for &i in &order {
             let task = &tasks[i];
@@ -519,6 +568,7 @@ impl OnlineClusterSimulator {
             );
             self.advance_to(
                 &mut sessions,
+                driver.as_ref(),
                 &mut migration,
                 now,
                 &mut steals,
@@ -528,7 +578,7 @@ impl OnlineClusterSimulator {
             );
             sample_nodes(&sessions, now, trace);
 
-            let node = self.pick_node(&sessions, task, driver.as_ref(), now, trace);
+            let node = self.pick_node(&sessions, task, driver.as_ref(), None, now, trace);
             if let Some(admission) = self.config.admission {
                 if !self.admit(&mut sessions, task, node, admission, &mut shed, trace) {
                     continue;
@@ -560,6 +610,7 @@ impl OnlineClusterSimulator {
         );
         self.advance_to(
             &mut sessions,
+            driver.as_ref(),
             &mut migration,
             Cycles::MAX,
             &mut steals,
@@ -611,6 +662,7 @@ impl OnlineClusterSimulator {
             };
             self.advance_to(
                 sessions,
+                driver.as_ref(),
                 migration,
                 t,
                 steals,
@@ -674,28 +726,55 @@ impl OnlineClusterSimulator {
                                 sessions,
                                 &pending.salvage.prepared,
                                 Some(driver),
+                                Some(pending.from_node),
                                 t,
                                 trace,
                             );
-                            let origin = (pending.from_node, pending.attempt);
-                            let salvage = driver.redispatch(pending, node, t);
-                            let id = salvage.prepared.request.id;
+                            // The scan minimizes the penalty tier, so an
+                            // unreachable winner means *no* node is
+                            // reachable from the custodian: the attempt is
+                            // spent and the salvage re-queues (or is
+                            // abandoned) instead of crossing the partition.
+                            if driver.topology().reachable(pending.from_node, node, t) {
+                                let origin = (pending.from_node, pending.attempt);
+                                let salvage = driver.redispatch(pending, node, t);
+                                let id = salvage.prepared.request.id;
+                                if C::ENABLED {
+                                    trace.borrow_mut().cluster_event(
+                                        t,
+                                        ClusterTraceEvent::Recovery {
+                                            task: id,
+                                            from: origin.0,
+                                            to: node,
+                                            attempt: origin.1,
+                                        },
+                                    );
+                                }
+                                sessions[node]
+                                    .inject_salvaged(salvage, t)
+                                    .expect("salvaged task id is not live");
+                                if let Some(&slot) = assignment_index.get(&id) {
+                                    assignments[slot].node = node;
+                                }
+                            } else {
+                                driver.on_unreachable(pending, t, trace);
+                            }
+                        }
+                        FaultEvent::LinkEdge(edge) => {
+                            // Link windows mutate no session: the topology
+                            // answers state queries lazily. The edge exists
+                            // so both loops synchronize (and trace) at the
+                            // instant routing decisions change.
                             if C::ENABLED {
                                 trace.borrow_mut().cluster_event(
                                     t,
-                                    ClusterTraceEvent::Recovery {
-                                        task: id,
-                                        from: origin.0,
-                                        to: node,
-                                        attempt: origin.1,
+                                    ClusterTraceEvent::LinkFault {
+                                        from: edge.from,
+                                        to: edge.to,
+                                        kind: edge.kind,
+                                        until: edge.until,
                                     },
                                 );
-                            }
-                            sessions[node]
-                                .inject_salvaged(salvage, t)
-                                .expect("salvaged task id is not live");
-                            if let Some(&slot) = assignment_index.get(&id) {
-                                assignments[slot].node = node;
                             }
                         }
                     }
@@ -704,6 +783,7 @@ impl OnlineClusterSimulator {
             if let Some(migration) = migration.as_mut() {
                 deliver_due_migrations(
                     migration,
+                    driver.as_ref(),
                     sessions,
                     t,
                     assignments,
@@ -725,6 +805,7 @@ impl OnlineClusterSimulator {
     fn advance_to<S: TraceSink, C: ClusterTraceSink>(
         &self,
         sessions: &mut [SimSession<S>],
+        faults: Option<&FaultDriver<'_>>,
         migration: &mut Option<MigrationDriver<'_>>,
         t: Cycles,
         steals: &mut u64,
@@ -764,12 +845,19 @@ impl OnlineClusterSimulator {
                 let _ = session.run_until(step);
             }
             if self.config.work_stealing {
-                *steals += steal_onto_idle_nodes(sessions, assignments, assignment_index, trace);
+                *steals += steal_onto_idle_nodes(
+                    sessions,
+                    faults.map(FaultDriver::topology),
+                    assignments,
+                    assignment_index,
+                    trace,
+                );
             }
             if let Some(migration) = migration.as_mut() {
                 if step < t {
                     deliver_due_migrations(
                         migration,
+                        faults,
                         sessions,
                         step,
                         assignments,
@@ -803,11 +891,19 @@ impl OnlineClusterSimulator {
     /// cooldown, healthy): a down or cooling-down node only wins when every
     /// healthier node is worse *by tier*. Fault-free runs see a uniform
     /// zero tier, leaving the historical ordering untouched.
+    ///
+    /// `source` is the node the task's bytes must travel *from* — `Some`
+    /// for recovery re-dispatch (the salvage lives on the crashed node),
+    /// `None` for fresh arrivals, which enter through the front-end control
+    /// plane and reach every node regardless of inter-node link state.
+    /// Nodes unreachable from `source` sit above every penalty tier, so
+    /// they only win when the whole cluster is partitioned away.
     fn pick_node<S: TraceSink, C: ClusterTraceSink>(
         &self,
         sessions: &[SimSession<S>],
         task: &PreparedTask,
         faults: Option<&FaultDriver<'_>>,
+        source: Option<usize>,
         now: Cycles,
         trace: &RefCell<C>,
     ) -> usize {
@@ -832,7 +928,8 @@ impl OnlineClusterSimulator {
                 }
             }
         };
-        let penalty = |index: usize| faults.map_or(0u8, |driver| driver.penalty(index, now));
+        let penalty =
+            |index: usize| faults.map_or(0u8, |driver| driver.route_penalty(source, index, now));
         let chosen = sessions
             .iter()
             .enumerate()
@@ -1012,8 +1109,11 @@ pub(crate) fn scaled_admission_target<S: TraceSink>(
 }
 
 /// Finishes every session and assembles the [`OnlineOutcome`], dropping
-/// shed and abandoned tasks' assignment entries so assignments biject onto
-/// records.
+/// shed, abandoned and undelivered tasks' assignment entries so assignments
+/// biject onto records. Custody abandonments (transfer retry budget
+/// exhausted) are appended after recovery abandonments, in abandonment
+/// order within each source; tasks the custody ledger still holds in flight
+/// surface as [`OnlineOutcome::custody_error`].
 pub(crate) fn finish_outcome<S: TraceSink>(
     sessions: Vec<SimSession<S>>,
     mut assignments: Vec<NodeAssignment>,
@@ -1024,11 +1124,25 @@ pub(crate) fn finish_outcome<S: TraceSink>(
 ) -> OnlineOutcome {
     let tally = faults.unwrap_or_else(|| FaultTally::empty(sessions.len()));
     let migration = migration.unwrap_or_default();
-    if !shed.is_empty() || !tally.abandoned.is_empty() {
+    let mut abandoned = tally.abandoned;
+    abandoned.extend(migration.abandoned);
+    let custody_error = if migration.undelivered.is_empty() {
+        None
+    } else {
+        Some(CustodyError {
+            undelivered: migration.undelivered,
+        })
+    };
+    if !shed.is_empty() || !abandoned.is_empty() || custody_error.is_some() {
         let dropped: std::collections::HashSet<TaskId> = shed
             .iter()
-            .chain(tally.abandoned.iter())
+            .chain(abandoned.iter())
             .map(|request| request.id)
+            .chain(
+                custody_error
+                    .iter()
+                    .flat_map(|error| error.undelivered.iter().copied()),
+            )
             .collect();
         assignments.retain(|assignment| !dropped.contains(&assignment.task));
     }
@@ -1040,7 +1154,7 @@ pub(crate) fn finish_outcome<S: TraceSink>(
         },
         shed,
         steals,
-        abandoned: tally.abandoned,
+        abandoned,
         crashes: tally.crashes,
         freezes: tally.freezes,
         recoveries: tally.recoveries,
@@ -1051,16 +1165,30 @@ pub(crate) fn finish_outcome<S: TraceSink>(
         migrations: migration.migrations,
         migration_bytes: migration.migration_bytes,
         migration_log: migration.migration_log,
+        transfer_failures: migration.transfer_failures,
+        redirects: migration.redirects,
+        redirect_log: migration.redirect_log,
+        custody_error,
     }
 }
 
-/// Lands every in-flight migration due at or before `t`: the salvage is
-/// injected at its destination (paying the restore DMA there) and the
-/// task's assignment is rewritten to the new serving node. Shared by the
+/// Processes every in-flight transfer event due at or before `t` — the
+/// single consumption point of the custody decision machine, shared by the
 /// reference loop and (with a certificate refresh on top) mirrored by the
-/// event-heap loop.
+/// event-heap loop:
+///
+/// * a **landing** injects the salvage at its destination (paying the
+///   restore DMA there) and rewrites the task's assignment to the new
+///   serving node — unless custody is enabled and the destination is down
+///   at the landing instant, which converts it into a failed attempt;
+/// * a **failure** (link drop mid-flight, delivery deadline expiry) routes
+///   through the retry machinery — exponential backoff under the custody
+///   retry budget, abandonment with accounting past it;
+/// * a **redirect** re-prices every reachable healthy node and relaunches
+///   the transfer toward the cheapest one.
 pub(crate) fn deliver_due_migrations<S: TraceSink, C: ClusterTraceSink>(
     migration: &mut MigrationDriver<'_>,
+    faults: Option<&FaultDriver<'_>>,
     sessions: &mut [SimSession<S>],
     t: Cycles,
     assignments: &mut [NodeAssignment],
@@ -1068,18 +1196,40 @@ pub(crate) fn deliver_due_migrations<S: TraceSink, C: ClusterTraceSink>(
     trace: &RefCell<C>,
 ) {
     while let Some(pending) = migration.pop_due(t) {
-        let node = pending.to_node;
-        let id = pending.salvage.prepared.request.id;
-        sessions[node]
-            .inject_salvaged(pending.salvage, t)
-            .expect("migrated task id is not live");
-        if C::ENABLED {
-            trace
-                .borrow_mut()
-                .cluster_event(t, ClusterTraceEvent::MigrationLand { task: id, node });
-        }
-        if let Some(&slot) = assignment_index.get(&id) {
-            assignments[slot].node = node;
+        match pending.event {
+            TransferEvent::Land => {
+                let node = pending.to_node;
+                if migration.custody_enabled()
+                    && faults.is_some_and(|driver| driver.is_down(node, t))
+                {
+                    migration.on_transfer_failed(
+                        pending,
+                        TransferFailReason::DestinationDown,
+                        t,
+                        trace,
+                    );
+                    continue;
+                }
+                let id = pending.salvage.prepared.request.id;
+                migration.on_landed(id, node);
+                sessions[node]
+                    .inject_salvaged(pending.salvage, t)
+                    .expect("migrated task id is not live");
+                if C::ENABLED {
+                    trace
+                        .borrow_mut()
+                        .cluster_event(t, ClusterTraceEvent::MigrationLand { task: id, node });
+                }
+                if let Some(&slot) = assignment_index.get(&id) {
+                    assignments[slot].node = node;
+                }
+            }
+            TransferEvent::Fail(reason) => {
+                migration.on_transfer_failed(pending, reason, t, trace);
+            }
+            TransferEvent::Redirect => {
+                migration.redirect(pending, sessions, faults, t, trace);
+            }
         }
     }
 }
@@ -1113,9 +1263,12 @@ fn predicted_turnarounds_ms<S: TraceSink>(
 /// One round of work stealing: every idle node (live queue depth zero) takes
 /// the largest never-started waiting task from the peer holding the most
 /// such work. Rewrites the victim's assignment to the thief. Returns the
-/// number of migrations.
+/// number of migrations. A steal moves the task's bytes victim-to-thief
+/// over the fabric, so victims the thief cannot currently reach (link down
+/// or partitioned away) are skipped.
 fn steal_onto_idle_nodes<S: TraceSink, C: ClusterTraceSink>(
     sessions: &mut [SimSession<S>],
+    links: Option<&crate::interconnect::LinkTopology>,
     assignments: &mut [NodeAssignment],
     assignment_index: &HashMap<TaskId, usize>,
     trace: &RefCell<C>,
@@ -1137,9 +1290,13 @@ fn steal_onto_idle_nodes<S: TraceSink, C: ClusterTraceSink>(
         // node finds both the stealable sum and the task to take — the
         // revocable task with the largest remaining work, ties to the
         // lowest id.
+        let now = sessions[thief].now();
         let mut victim: Option<(Cycles, usize, ResidentTask)> = None;
         for (index, session) in sessions.iter().enumerate() {
             if session.queue_depth() < 2 {
+                continue;
+            }
+            if links.is_some_and(|links| !links.reachable(index, thief, now)) {
                 continue;
             }
             let mut stealable = Cycles::ZERO;

@@ -111,6 +111,51 @@ pub enum FaultTraceKind {
     DegradeEnd,
 }
 
+/// The link-window species a [`ClusterTraceEvent::LinkFault`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkTraceKind {
+    /// The directed link went down: unreachable until the window end.
+    Down,
+    /// A degraded-bandwidth window began: transfers launched on the link
+    /// are priced at `num / den` of nominal bandwidth.
+    Degraded {
+        /// Numerator of the bandwidth fraction.
+        num: u32,
+        /// Denominator of the bandwidth fraction.
+        den: u32,
+    },
+    /// A link window ended: the link returns to nominal service.
+    Restored,
+}
+
+/// Why one transfer attempt failed (see
+/// [`ClusterTraceEvent::TransferTimeout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferFailReason {
+    /// The link carrying the transfer went down mid-flight.
+    LinkDown,
+    /// The attempt's landing would have slipped past its delivery
+    /// deadline.
+    Timeout,
+    /// The destination node was down when the payload arrived.
+    DestinationDown,
+    /// A redirect instant found no reachable healthy destination at all;
+    /// the attempt was spent waiting out another backoff.
+    NoRoute,
+}
+
+impl TransferFailReason {
+    /// A short stable label for reports and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransferFailReason::LinkDown => "link-down",
+            TransferFailReason::Timeout => "timeout",
+            TransferFailReason::DestinationDown => "destination-down",
+            TransferFailReason::NoRoute => "no-route",
+        }
+    }
+}
+
 /// One cluster-level trace event. Compact and `Copy`, like the engine's
 /// [`TraceEvent`], so a bounded ring of them is allocation-free.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -199,6 +244,53 @@ pub enum ClusterTraceEvent {
         task: TaskId,
         /// The destination node.
         node: usize,
+    },
+    /// A directed-link fault window opened or closed.
+    LinkFault {
+        /// The sending side of the directed link.
+        from: usize,
+        /// The receiving side of the directed link.
+        to: usize,
+        /// What happened to the link.
+        kind: LinkTraceKind,
+        /// When the current window ends (for `Restored`, the instant
+        /// itself).
+        until: Cycles,
+    },
+    /// One transfer attempt failed: the payload never landed.
+    TransferTimeout {
+        /// The task whose transfer failed.
+        task: TaskId,
+        /// The node that retains custody of the checkpoint.
+        from: usize,
+        /// The destination the attempt was routed to.
+        to: usize,
+        /// Which attempt failed (1 = the original launch).
+        attempt: u32,
+        /// Why the attempt failed.
+        reason: TransferFailReason,
+    },
+    /// A failed transfer was re-routed to a new destination after
+    /// backoff.
+    Redirect {
+        /// The re-routed task.
+        task: TaskId,
+        /// The node that retained custody between attempts.
+        from: usize,
+        /// The newly chosen destination.
+        to: usize,
+        /// The attempt number of the relaunch.
+        attempt: u32,
+    },
+    /// Custody reconciliation at a synchronization instant: every task
+    /// the migration layer ever took custody of is in exactly one state.
+    CustodyCheck {
+        /// Transfers currently in flight (including backoff holds).
+        in_flight: u32,
+        /// Cumulative payloads delivered to a destination.
+        landed: u64,
+        /// Cumulative transfers abandoned after budget exhaustion.
+        abandoned: u64,
     },
     /// The event-heap loop pushed a node's completion certificate.
     HeapPush {
@@ -759,6 +851,63 @@ impl ClusterTraceSink for JsonTraceSink {
                     format!(r#""task":{}"#, task.0),
                 );
             }
+            ClusterTraceEvent::LinkFault {
+                from,
+                to,
+                kind,
+                until,
+            } => {
+                let label = match kind {
+                    LinkTraceKind::Down => "link-down",
+                    LinkTraceKind::Degraded { .. } => "link-degraded",
+                    LinkTraceKind::Restored => "link-restored",
+                };
+                self.instant(
+                    from,
+                    now,
+                    label,
+                    "interconnect",
+                    format!(r#""to":{},"until_us":{}"#, to, self.us(until)),
+                );
+            }
+            ClusterTraceEvent::TransferTimeout {
+                task,
+                from,
+                to,
+                attempt,
+                reason,
+            } => {
+                self.instant(
+                    from,
+                    now,
+                    "transfer-fail",
+                    "custody",
+                    format!(
+                        r#""task":{},"to":{},"attempt":{},"reason":"{}""#,
+                        task.0,
+                        to,
+                        attempt,
+                        reason.label()
+                    ),
+                );
+            }
+            ClusterTraceEvent::Redirect {
+                task,
+                from,
+                to,
+                attempt,
+            } => {
+                self.instant(
+                    from,
+                    now,
+                    "redirect",
+                    "custody",
+                    format!(r#""task":{},"to":{},"attempt":{}"#, task.0, to, attempt),
+                );
+            }
+            // Custody reconciliation is a counter heartbeat: valuable in
+            // the FlightRecorder's dump, noise on a visual timeline.
+            ClusterTraceEvent::CustodyCheck { .. } => {}
             ClusterTraceEvent::NodeSample {
                 node,
                 queue_depth,

@@ -40,6 +40,26 @@
 //! overlap with the dedicated
 //! [`FaultScheduleError::MixedKindOverlap`], so the sequential-composition
 //! rule is explicit rather than implicit.
+//!
+//! # Link faults
+//!
+//! The interconnect is its own fault domain: a [`LinkFault`] window takes
+//! one *directed* link down ([`LinkFaultKind::Down`]) or throttles its
+//! bandwidth ([`LinkFaultKind::Degraded`]) for the window. Link windows
+//! ride in the same [`FaultSchedule`] as node windows (the `links` field)
+//! and obey the same sequential-composition rule per directed link. A
+//! [`LinkFaultProcess`] draws per-link renewal chains exactly like the node
+//! process, and [`LinkFault::partition`] materializes a network partition —
+//! every cross link between two node groups down, both directions, for one
+//! window.
+//!
+//! # The shared fault-domain error
+//!
+//! [`FaultDomainError`] is the one typed error every fault-domain validator
+//! returns: [`FaultSchedule::validate`] wraps schedule violations
+//! ([`FaultScheduleError`]), and the cluster crate's interconnect
+//! configuration wraps fabric violations ([`InterconnectError`]), so CLI
+//! front-ends can match on one enum instead of threading strings.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -108,6 +128,106 @@ impl NodeFault {
     }
 }
 
+/// What a link-fault window does to the directed link it strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkFaultKind {
+    /// The link is down: no transfer can start on it, and a transfer in
+    /// flight when the window opens is lost (the custody layer redirects
+    /// it).
+    Down,
+    /// The link's bandwidth is throttled to `bandwidth_num /
+    /// bandwidth_den` of nominal for the window. Slowdown only:
+    /// `0 < bandwidth_num <= bandwidth_den`. Transfers launched inside the
+    /// window are priced at the throttled rate.
+    Degraded {
+        /// Numerator of the degraded bandwidth fraction.
+        bandwidth_num: u32,
+        /// Denominator of the degraded bandwidth fraction.
+        bandwidth_den: u32,
+    },
+}
+
+impl LinkFaultKind {
+    /// A short stable label for reports and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkFaultKind::Down => "link-down",
+            LinkFaultKind::Degraded { .. } => "link-degraded",
+        }
+    }
+}
+
+impl std::fmt::Display for LinkFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One fault window on a *directed* interconnect link. A symmetric outage
+/// is two windows, one per direction; a partition is the full cross
+/// product (see [`LinkFault::partition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// The sending side of the directed link.
+    pub from: usize,
+    /// The receiving side of the directed link.
+    pub to: usize,
+    /// When the window begins (global cycles).
+    pub start: Cycles,
+    /// When the link recovers (global cycles); strictly after `start`.
+    pub end: Cycles,
+    /// Down or degraded bandwidth.
+    pub kind: LinkFaultKind,
+}
+
+impl LinkFault {
+    /// The window's length in cycles.
+    pub fn duration(&self) -> Cycles {
+        self.end - self.start
+    }
+
+    /// A network partition: every directed link between the `left` and
+    /// `right` node groups is down for `[start, end)`, both directions.
+    /// Links *within* each group stay up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups share a node, either group is empty, or the
+    /// window is empty.
+    pub fn partition(
+        left: &[usize],
+        right: &[usize],
+        start: Cycles,
+        end: Cycles,
+    ) -> Vec<LinkFault> {
+        assert!(
+            !left.is_empty() && !right.is_empty(),
+            "a partition needs two non-empty groups"
+        );
+        assert!(end > start, "a partition window must have positive length");
+        assert!(
+            left.iter().all(|node| !right.contains(node)),
+            "partition groups must be disjoint"
+        );
+        let mut links = Vec::with_capacity(left.len() * right.len() * 2);
+        for &a in left {
+            for &b in right {
+                for (from, to) in [(a, b), (b, a)] {
+                    links.push(LinkFault {
+                        from,
+                        to,
+                        start,
+                        end,
+                        kind: LinkFaultKind::Down,
+                    });
+                }
+            }
+        }
+        links.sort_by_key(|l| (l.start, l.from, l.to));
+        links
+    }
+}
+
 /// A violation of the [`FaultSchedule`] invariants.
 ///
 /// Overlap on one node is split into two variants so that mixed-kind
@@ -145,6 +265,43 @@ pub enum FaultScheduleError {
         /// Node with the overlapping pair.
         node: usize,
     },
+    /// Link windows are not sorted by `(start, from, to)`.
+    LinksUnsorted,
+    /// A link window has `end <= start`.
+    EmptyLinkWindow {
+        /// Index of the offending link window.
+        index: usize,
+        /// Sending side of the link it names.
+        from: usize,
+        /// Receiving side of the link it names.
+        to: usize,
+    },
+    /// A link window names a node's link to itself — local handoffs never
+    /// cross the fabric, so a self-link cannot fault.
+    SelfLink {
+        /// Index of the offending link window.
+        index: usize,
+        /// The node named on both sides.
+        node: usize,
+    },
+    /// A degraded-bandwidth window names an invalid fraction
+    /// (`bandwidth_num` must satisfy `0 < bandwidth_num <= bandwidth_den`).
+    InvalidBandwidthScale {
+        /// Index of the offending link window.
+        index: usize,
+        /// Sending side of the link it names.
+        from: usize,
+        /// Receiving side of the link it names.
+        to: usize,
+    },
+    /// Two windows overlap on one directed link — like node windows, link
+    /// windows compose sequentially, never by nesting.
+    OverlappingLinkWindows {
+        /// Sending side of the link with the overlapping pair.
+        from: usize,
+        /// Receiving side of the link with the overlapping pair.
+        to: usize,
+    },
 }
 
 impl std::fmt::Display for FaultScheduleError {
@@ -166,11 +323,98 @@ impl std::fmt::Display for FaultScheduleError {
                 "node {node} has overlapping fault windows of different kinds; \
                  windows compose sequentially — split the outer window instead of nesting"
             ),
+            FaultScheduleError::LinksUnsorted => {
+                f.write_str("link windows must be sorted by (start, from, to)")
+            }
+            FaultScheduleError::EmptyLinkWindow { index, from, to } => {
+                write!(f, "link window {index}: window on {from}->{to} is empty")
+            }
+            FaultScheduleError::SelfLink { index, node } => {
+                write!(f, "link window {index}: node {node} has no link to itself")
+            }
+            FaultScheduleError::InvalidBandwidthScale { index, from, to } => write!(
+                f,
+                "link window {index}: degraded window on {from}->{to} needs \
+                 0 < bandwidth_num <= bandwidth_den"
+            ),
+            FaultScheduleError::OverlappingLinkWindows { from, to } => {
+                write!(f, "link {from}->{to} has overlapping fault windows")
+            }
         }
     }
 }
 
 impl std::error::Error for FaultScheduleError {}
+
+/// A violation of the interconnect fabric configuration (the cluster
+/// crate's `InterconnectConfig`). Defined here, next to the schedule
+/// errors, so the whole fault domain shares one typed error vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterconnectError {
+    /// `bytes_per_cycle` is zero — nothing could ever transfer.
+    ZeroBandwidth,
+    /// `latency_cycles` is zero — a transfer would deliver at its own
+    /// decision instant, creating a same-instant event cycle.
+    ZeroLatency,
+}
+
+impl std::fmt::Display for InterconnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterconnectError::ZeroBandwidth => {
+                f.write_str("interconnect bandwidth (bytes per cycle) must be positive")
+            }
+            InterconnectError::ZeroLatency => f.write_str(
+                "interconnect latency must be positive (a zero-latency transfer \
+                 would deliver at its own decision instant)",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InterconnectError {}
+
+/// The shared typed validation error for the cluster's fault domain: one
+/// enum covering the fault schedule (node and link windows) and the
+/// interconnect fabric, so validators and CLI front-ends match on types
+/// instead of strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultDomainError {
+    /// The node- or link-fault schedule violates its invariants.
+    Schedule(FaultScheduleError),
+    /// The interconnect fabric configuration is invalid.
+    Interconnect(InterconnectError),
+}
+
+impl std::fmt::Display for FaultDomainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultDomainError::Schedule(err) => write!(f, "fault schedule: {err}"),
+            FaultDomainError::Interconnect(err) => write!(f, "interconnect: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultDomainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaultDomainError::Schedule(err) => Some(err),
+            FaultDomainError::Interconnect(err) => Some(err),
+        }
+    }
+}
+
+impl From<FaultScheduleError> for FaultDomainError {
+    fn from(err: FaultScheduleError) -> Self {
+        FaultDomainError::Schedule(err)
+    }
+}
+
+impl From<InterconnectError> for FaultDomainError {
+    fn from(err: InterconnectError) -> Self {
+        FaultDomainError::Interconnect(err)
+    }
+}
 
 /// A deterministic, time-sorted schedule of node fault windows.
 ///
@@ -182,8 +426,12 @@ impl std::error::Error for FaultScheduleError {}
 /// module docs for the sequential-composition precedence rule.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FaultSchedule {
-    /// The fault windows, sorted by `(start, node)`.
+    /// The node fault windows, sorted by `(start, node)`.
     pub events: Vec<NodeFault>,
+    /// The directed-link fault windows, sorted by `(start, from, to)`.
+    /// Empty for a perfect fabric — every pre-link schedule composes
+    /// unchanged.
+    pub links: Vec<LinkFault>,
 }
 
 impl FaultSchedule {
@@ -193,7 +441,8 @@ impl FaultSchedule {
     }
 
     /// Builds a schedule from explicit windows, sorting them into canonical
-    /// `(start, node)` order.
+    /// `(start, node)` order. The link schedule is empty; compose link
+    /// windows with [`FaultSchedule::with_links`].
     ///
     /// # Panics
     ///
@@ -201,34 +450,59 @@ impl FaultSchedule {
     /// windows, or overlapping windows on one node).
     pub fn from_events(mut events: Vec<NodeFault>) -> Self {
         events.sort_by_key(|e| (e.start, e.node));
-        let schedule = FaultSchedule { events };
+        let schedule = FaultSchedule {
+            events,
+            links: Vec::new(),
+        };
         if let Err(msg) = schedule.validate() {
             panic!("invalid FaultSchedule: {msg}");
         }
         schedule
     }
 
-    /// Whether the schedule contains no fault windows.
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+    /// Replaces the link-fault windows, sorting them into canonical
+    /// `(start, from, to)` order. Node and link windows are independent
+    /// fault domains, so any valid link set composes with any valid node
+    /// set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link windows violate the schedule invariants (empty
+    /// or self-link windows, invalid bandwidth scales, or overlapping
+    /// windows on one directed link).
+    pub fn with_links(mut self, mut links: Vec<LinkFault>) -> Self {
+        links.sort_by_key(|l| (l.start, l.from, l.to));
+        self.links = links;
+        if let Err(msg) = self.validate() {
+            panic!("invalid FaultSchedule: {msg}");
+        }
+        self
     }
 
-    /// Number of fault windows.
+    /// Whether the schedule contains no fault windows of either domain.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.links.is_empty()
+    }
+
+    /// Number of node fault windows.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// Validates the schedule invariants.
+    /// Validates the schedule invariants over both fault domains.
     ///
     /// # Errors
     ///
-    /// Returns the first [`FaultScheduleError`] found. Mixed-kind overlap
-    /// on one node reports [`FaultScheduleError::MixedKindOverlap`] so the
-    /// no-nesting precedence rule (see the module docs) is named explicitly.
-    pub fn validate(&self) -> Result<(), FaultScheduleError> {
+    /// Returns the first violation found, wrapped in the shared
+    /// [`FaultDomainError`]. Mixed-kind overlap on one node reports
+    /// [`FaultScheduleError::MixedKindOverlap`] so the no-nesting
+    /// precedence rule (see the module docs) is named explicitly; link
+    /// windows are checked per directed link with the same
+    /// sequential-composition rule.
+    pub fn validate(&self) -> Result<(), FaultDomainError> {
         for pair in self.events.windows(2) {
             if (pair[0].start, pair[0].node) > (pair[1].start, pair[1].node) {
-                return Err(FaultScheduleError::Unsorted);
+                return Err(FaultScheduleError::Unsorted.into());
             }
         }
         for (i, event) in self.events.iter().enumerate() {
@@ -236,7 +510,8 @@ impl FaultSchedule {
                 return Err(FaultScheduleError::EmptyWindow {
                     index: i,
                     node: event.node,
-                });
+                }
+                .into());
             }
             if let FaultKind::Degrade {
                 speed_num,
@@ -247,16 +522,63 @@ impl FaultSchedule {
                     return Err(FaultScheduleError::InvalidDegradeSpeed {
                         index: i,
                         node: event.node,
-                    });
+                    }
+                    .into());
                 }
             }
             for later in &self.events[i + 1..] {
                 if later.node == event.node && later.start < event.end {
                     return Err(if later.kind == event.kind {
-                        FaultScheduleError::OverlappingWindows { node: event.node }
+                        FaultScheduleError::OverlappingWindows { node: event.node }.into()
                     } else {
-                        FaultScheduleError::MixedKindOverlap { node: event.node }
+                        FaultScheduleError::MixedKindOverlap { node: event.node }.into()
                     });
+                }
+            }
+        }
+        for pair in self.links.windows(2) {
+            if (pair[0].start, pair[0].from, pair[0].to) > (pair[1].start, pair[1].from, pair[1].to)
+            {
+                return Err(FaultScheduleError::LinksUnsorted.into());
+            }
+        }
+        for (i, link) in self.links.iter().enumerate() {
+            if link.from == link.to {
+                return Err(FaultScheduleError::SelfLink {
+                    index: i,
+                    node: link.from,
+                }
+                .into());
+            }
+            if link.end <= link.start {
+                return Err(FaultScheduleError::EmptyLinkWindow {
+                    index: i,
+                    from: link.from,
+                    to: link.to,
+                }
+                .into());
+            }
+            if let LinkFaultKind::Degraded {
+                bandwidth_num,
+                bandwidth_den,
+            } = link.kind
+            {
+                if bandwidth_num == 0 || bandwidth_num > bandwidth_den {
+                    return Err(FaultScheduleError::InvalidBandwidthScale {
+                        index: i,
+                        from: link.from,
+                        to: link.to,
+                    }
+                    .into());
+                }
+            }
+            for later in &self.links[i + 1..] {
+                if later.from == link.from && later.to == link.to && later.start < link.end {
+                    return Err(FaultScheduleError::OverlappingLinkWindows {
+                        from: link.from,
+                        to: link.to,
+                    }
+                    .into());
                 }
             }
         }
@@ -429,6 +751,149 @@ impl FaultProcess {
     }
 }
 
+/// A seeded renewal process over the *directed links* of a full-mesh
+/// fabric: the generator of [`LinkFault`] windows, the link-side sibling of
+/// [`FaultProcess`].
+///
+/// Each of the `nodes * (nodes - 1)` directed links draws one sequential
+/// renewal chain — up-time ~ Exp(`link_mtbf_ms`), window ~
+/// Exp(`mean_outage_ms`), one uniform draw picking the kind (degraded
+/// below `degraded_fraction`, down otherwise) — links in `(from, to)`
+/// lexicographic order, so a replayed seed sees a bit-identical schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaultProcess {
+    /// Number of nodes; windows strike every directed pair among them.
+    pub nodes: usize,
+    /// Mean up-time between consecutive fault windows on one directed
+    /// link, in milliseconds (the link-level MTBF).
+    pub link_mtbf_ms: f64,
+    /// Mean length of one link fault window, in milliseconds.
+    pub mean_outage_ms: f64,
+    /// Fraction of windows that throttle bandwidth instead of taking the
+    /// link down, in `[0, 1]`.
+    pub degraded_fraction: f64,
+    /// Numerator of the degraded bandwidth fraction drawn for degraded
+    /// windows.
+    pub bandwidth_num: u32,
+    /// Denominator of the degraded bandwidth fraction;
+    /// `0 < bandwidth_num <= bandwidth_den`.
+    pub bandwidth_den: u32,
+    /// Windows start inside `[0, duration_ms)`; one that starts inside the
+    /// horizon may end past it.
+    pub duration_ms: f64,
+}
+
+impl LinkFaultProcess {
+    /// An outage-only process (every window takes its link down).
+    pub fn outages(nodes: usize, link_mtbf_ms: f64, mean_outage_ms: f64, duration_ms: f64) -> Self {
+        LinkFaultProcess {
+            nodes,
+            link_mtbf_ms,
+            mean_outage_ms,
+            degraded_fraction: 0.0,
+            bandwidth_num: 1,
+            bandwidth_den: 4,
+            duration_ms,
+        }
+    }
+
+    /// Sets the degraded fraction and the throttled bandwidth `num / den`
+    /// drawn for those windows, keeping the rest of the process.
+    pub fn with_degraded(mut self, degraded_fraction: f64, num: u32, den: u32) -> Self {
+        self.degraded_fraction = degraded_fraction;
+        self.bandwidth_num = num;
+        self.bandwidth_den = den;
+        self
+    }
+
+    /// Validates the process parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < 2 {
+            return Err("a link process needs at least two nodes".into());
+        }
+        let positive = |value: f64, what: &str| -> Result<(), String> {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(format!("{what} must be positive and finite"));
+            }
+            Ok(())
+        };
+        positive(self.link_mtbf_ms, "link MTBF")?;
+        positive(self.mean_outage_ms, "mean outage")?;
+        positive(self.duration_ms, "duration")?;
+        if !self.degraded_fraction.is_finite() || !(0.0..=1.0).contains(&self.degraded_fraction) {
+            return Err("degraded fraction must be within [0, 1]".into());
+        }
+        if self.bandwidth_num == 0 || self.bandwidth_num > self.bandwidth_den {
+            return Err("degraded bandwidth needs 0 < num <= den (slowdown only)".into());
+        }
+        Ok(())
+    }
+
+    /// Samples one link-fault window set from the seeded RNG, in canonical
+    /// `(start, from, to)` order, ready for [`FaultSchedule::with_links`].
+    /// Times convert to cycles on the Table I timeline like every other
+    /// generator, so schedules are reproducible independent of the
+    /// simulated NPU configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process parameters are invalid.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<LinkFault> {
+        if let Err(msg) = self.validate() {
+            panic!("invalid LinkFaultProcess: {msg}");
+        }
+        let timeline = NpuConfig::paper_default();
+        let mut links = Vec::new();
+        for from in 0..self.nodes {
+            for to in 0..self.nodes {
+                if from == to {
+                    continue;
+                }
+                let mut t_ms = 0.0;
+                loop {
+                    t_ms += exp_sample(self.link_mtbf_ms, rng);
+                    if t_ms >= self.duration_ms {
+                        break;
+                    }
+                    let window_ms = exp_sample(self.mean_outage_ms, rng);
+                    let u: f64 = rng.gen();
+                    let kind = if u < self.degraded_fraction {
+                        LinkFaultKind::Degraded {
+                            bandwidth_num: self.bandwidth_num,
+                            bandwidth_den: self.bandwidth_den,
+                        }
+                    } else {
+                        LinkFaultKind::Down
+                    };
+                    let start = timeline.millis_to_cycles(t_ms);
+                    let end =
+                        timeline.millis_to_cycles(t_ms + window_ms).max(start) + Cycles::new(1);
+                    links.push(LinkFault {
+                        from,
+                        to,
+                        start,
+                        end,
+                        kind,
+                    });
+                    t_ms += window_ms;
+                }
+            }
+        }
+        links.sort_by_key(|l| (l.start, l.from, l.to));
+        links
+    }
+
+    /// The expected number of link fault windows over the whole fabric.
+    pub fn expected_faults(&self) -> f64 {
+        (self.nodes * (self.nodes - 1)) as f64 * self.duration_ms
+            / (self.link_mtbf_ms + self.mean_outage_ms)
+    }
+}
+
 /// Draws one exponential gap with the given mean via inverse-CDF sampling.
 fn exp_sample<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
     let u: f64 = rng.gen();
@@ -583,6 +1048,7 @@ mod tests {
                     kind: kind1,
                 },
             ],
+            links: Vec::new(),
         };
         let degrade = FaultKind::Degrade {
             speed_num: 1,
@@ -590,11 +1056,11 @@ mod tests {
         };
         assert_eq!(
             make(degrade, FaultKind::Crash).validate(),
-            Err(FaultScheduleError::MixedKindOverlap { node: 2 })
+            Err(FaultScheduleError::MixedKindOverlap { node: 2 }.into())
         );
         assert_eq!(
             make(FaultKind::Crash, FaultKind::Crash).validate(),
-            Err(FaultScheduleError::OverlappingWindows { node: 2 })
+            Err(FaultScheduleError::OverlappingWindows { node: 2 }.into())
         );
         // Both overlap errors say "overlapping"; only the mixed one names
         // the no-nesting rule.
@@ -616,17 +1082,211 @@ mod tests {
         for (num, den) in [(0, 2), (3, 2)] {
             assert_eq!(
                 FaultSchedule {
-                    events: vec![event(num, den)]
+                    events: vec![event(num, den)],
+                    links: Vec::new(),
                 }
                 .validate(),
-                Err(FaultScheduleError::InvalidDegradeSpeed { index: 0, node: 0 })
+                Err(FaultScheduleError::InvalidDegradeSpeed { index: 0, node: 0 }.into())
             );
         }
         assert!(FaultSchedule {
-            events: vec![event(2, 2)]
+            events: vec![event(2, 2)],
+            links: Vec::new(),
         }
         .validate()
         .is_ok());
+    }
+
+    #[test]
+    fn link_generation_is_deterministic_and_canonical() {
+        let process = LinkFaultProcess::outages(3, 40.0, 8.0, 400.0).with_degraded(0.3, 1, 4);
+        let a = process.generate(&mut StdRng::seed_from_u64(5));
+        let b = process.generate(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        assert_ne!(a, process.generate(&mut StdRng::seed_from_u64(6)));
+        assert!(!a.is_empty());
+        let schedule = FaultSchedule::none().with_links(a.clone());
+        assert!(schedule.validate().is_ok());
+        assert!(!schedule.is_empty());
+        assert_eq!(
+            schedule.len(),
+            0,
+            "link windows do not count as node windows"
+        );
+        assert!(a.iter().any(|l| l.kind == LinkFaultKind::Down));
+        assert!(a
+            .iter()
+            .any(|l| matches!(l.kind, LinkFaultKind::Degraded { .. })));
+        for link in &a {
+            assert!(link.from < 3 && link.to < 3 && link.from != link.to);
+            assert!(link.duration() > Cycles::ZERO);
+        }
+        assert_eq!(LinkFaultKind::Down.to_string(), "link-down");
+    }
+
+    #[test]
+    fn link_count_tracks_the_renewal_rate() {
+        let process = LinkFaultProcess::outages(4, 30.0, 6.0, 1500.0);
+        let mut total = 0usize;
+        for seed in 0..4 {
+            total += process.generate(&mut StdRng::seed_from_u64(seed)).len();
+        }
+        let mean = total as f64 / 4.0;
+        let expected = process.expected_faults();
+        assert!(
+            (mean - expected).abs() < 0.25 * expected,
+            "mean link fault count {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn partition_downs_every_cross_link_both_directions() {
+        let links = LinkFault::partition(&[0, 1], &[2], Cycles::new(100), Cycles::new(900));
+        assert_eq!(links.len(), 4);
+        for (a, b) in [(0, 2), (2, 0), (1, 2), (2, 1)] {
+            assert!(
+                links
+                    .iter()
+                    .any(|l| l.from == a && l.to == b && l.kind == LinkFaultKind::Down),
+                "missing {a}->{b}"
+            );
+        }
+        // Intra-group links are untouched.
+        assert!(!links.iter().any(|l| l.from == 0 && l.to == 1));
+        // Composes with node faults in one schedule.
+        let schedule = FaultSchedule::from_events(vec![NodeFault {
+            node: 2,
+            start: Cycles::new(50),
+            end: Cycles::new(60),
+            kind: FaultKind::Crash,
+        }])
+        .with_links(links);
+        assert!(schedule.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn partition_rejects_overlapping_groups() {
+        let _ = LinkFault::partition(&[0, 1], &[1, 2], Cycles::new(0), Cycles::new(10));
+    }
+
+    #[test]
+    fn link_schedule_invariants_are_enforced() {
+        let link = |from, to, start: u64, end: u64, kind| LinkFault {
+            from,
+            to,
+            start: Cycles::new(start),
+            end: Cycles::new(end),
+            kind,
+        };
+        let of = |links: Vec<LinkFault>| FaultSchedule {
+            events: Vec::new(),
+            links,
+        };
+        assert_eq!(
+            of(vec![link(0, 0, 10, 20, LinkFaultKind::Down)]).validate(),
+            Err(FaultScheduleError::SelfLink { index: 0, node: 0 }.into())
+        );
+        assert_eq!(
+            of(vec![link(0, 1, 20, 20, LinkFaultKind::Down)]).validate(),
+            Err(FaultScheduleError::EmptyLinkWindow {
+                index: 0,
+                from: 0,
+                to: 1
+            }
+            .into())
+        );
+        assert_eq!(
+            of(vec![link(
+                0,
+                1,
+                10,
+                20,
+                LinkFaultKind::Degraded {
+                    bandwidth_num: 3,
+                    bandwidth_den: 2
+                }
+            )])
+            .validate(),
+            Err(FaultScheduleError::InvalidBandwidthScale {
+                index: 0,
+                from: 0,
+                to: 1
+            }
+            .into())
+        );
+        assert_eq!(
+            of(vec![
+                link(0, 1, 10, 50, LinkFaultKind::Down),
+                link(0, 1, 30, 60, LinkFaultKind::Down)
+            ])
+            .validate(),
+            Err(FaultScheduleError::OverlappingLinkWindows { from: 0, to: 1 }.into())
+        );
+        assert_eq!(
+            of(vec![
+                link(0, 2, 30, 60, LinkFaultKind::Down),
+                link(0, 1, 10, 50, LinkFaultKind::Down)
+            ])
+            .validate(),
+            Err(FaultScheduleError::LinksUnsorted.into())
+        );
+        // Same window on two different links is fine.
+        assert!(of(vec![
+            link(0, 1, 10, 50, LinkFaultKind::Down),
+            link(1, 0, 10, 50, LinkFaultKind::Down)
+        ])
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn fault_domain_error_display_names_the_domain() {
+        let schedule: FaultDomainError = FaultScheduleError::Unsorted.into();
+        assert!(schedule.to_string().starts_with("fault schedule:"));
+        let fabric: FaultDomainError = InterconnectError::ZeroBandwidth.into();
+        assert!(fabric.to_string().starts_with("interconnect:"));
+        assert!(std::error::Error::source(&fabric).is_some());
+    }
+
+    #[test]
+    fn link_process_validation_errors_cover_each_field() {
+        let base = LinkFaultProcess::outages(3, 10.0, 5.0, 100.0);
+        assert!(base.validate().is_ok());
+        let cases = [
+            LinkFaultProcess {
+                nodes: 1,
+                ..base.clone()
+            },
+            LinkFaultProcess {
+                link_mtbf_ms: 0.0,
+                ..base.clone()
+            },
+            LinkFaultProcess {
+                mean_outage_ms: -1.0,
+                ..base.clone()
+            },
+            LinkFaultProcess {
+                duration_ms: f64::NAN,
+                ..base.clone()
+            },
+            LinkFaultProcess {
+                degraded_fraction: 1.5,
+                ..base.clone()
+            },
+            LinkFaultProcess {
+                bandwidth_num: 0,
+                ..base.clone()
+            },
+            LinkFaultProcess {
+                bandwidth_num: 5,
+                bandwidth_den: 4,
+                ..base.clone()
+            },
+        ];
+        for case in cases {
+            assert!(case.validate().is_err(), "{case:?}");
+        }
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub mod prepare;
 pub mod seqlen;
 
 pub use arrivals::{generate_open_loop, ArrivalProcess, OpenLoopConfig, OpenLoopIter};
-pub use faults::{FaultKind, FaultProcess, FaultSchedule, FaultScheduleError, NodeFault};
+pub use faults::{
+    FaultDomainError, FaultKind, FaultProcess, FaultSchedule, FaultScheduleError,
+    InterconnectError, LinkFault, LinkFaultKind, LinkFaultProcess, NodeFault,
+};
 pub use generator::{generate_workload, WorkloadConfig, WorkloadSpec};
 pub use prepare::{prepare_workload, PreparedWorkload};
 pub use seqlen::SeqLenCharacterization;

@@ -3,12 +3,16 @@
 //! Each driving samples a random cluster shape (node count, scheduler,
 //! dispatch policy, stealing/admission/migration toggles), a random arrival
 //! process and a random fault schedule (crash/freeze/degrade mix, MTBF,
-//! downtime, straggler speed), then asserts the invariants that must
-//! survive *any* fault pattern:
+//! downtime, straggler speed — plus link-fault windows: per-directed-link
+//! outage/throttle chains or a clean two-group partition, and an optional
+//! transfer-custody layer with a random retry budget), then asserts the
+//! invariants that must survive *any* fault pattern:
 //!
 //! * **Exactly-once conservation** — served, shed and abandoned requests
 //!   partition the generated ids; no task is lost or double-served across
-//!   crash/salvage/re-dispatch hops *or* checkpoint migrations.
+//!   crash/salvage/re-dispatch hops, checkpoint migrations, *or* custody
+//!   redirects — and custody reconciliation is clean (no task left in
+//!   flight at end of run).
 //! * **Bit-identical repeats** — running the same driving twice produces
 //!   the same outcome, byte for byte.
 //! * **Heap == reference** — the event-heap loop and the horizon-stepping
@@ -27,6 +31,9 @@
 //! A separate deterministic scenario exercises multi-hop salvage: a task
 //! crashes on its first node, recovers onto a second, crashes *there* too,
 //! and still completes — with a monotonically advancing checkpoint cursor.
+//! A second deterministic scenario walks the custody state machine's worst
+//! day: destination crashes mid-flight, the redirect is severed by a link
+//! drop, and the backoff retry finally lands — exactly one record.
 
 use std::panic::AssertUnwindSafe;
 
@@ -34,13 +41,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use prema::cluster::{
-    online_outcome_hash, ClusterFaultPlan, FlightRecorder, MigrationConfig, OnlineClusterConfig,
-    OnlineClusterSimulator, OnlineDispatchPolicy, RecoveryConfig,
+    online_outcome_hash, ClusterFaultPlan, CustodyConfig, FlightRecorder, MigrationConfig,
+    OnlineClusterConfig, OnlineClusterSimulator, OnlineDispatchPolicy, RecoveryConfig,
 };
 use prema::workload::prepare::prepare_requests;
 use prema::workload::{
-    generate_open_loop, ArrivalProcess, FaultKind, FaultProcess, FaultSchedule, NodeFault,
-    OpenLoopConfig,
+    generate_open_loop, ArrivalProcess, FaultKind, FaultProcess, FaultSchedule, LinkFault,
+    LinkFaultKind, LinkFaultProcess, NodeFault, OpenLoopConfig,
 };
 use prema::{Cycles, ModelKind, NpuConfig, PreparedTask, SchedulerConfig, TaskId, TaskRequest};
 
@@ -62,6 +69,27 @@ struct Driving {
     degrade_speed: (u32, u32),
     migration: Option<MigrationConfig>,
     recovery: RecoveryConfig,
+    links: LinkPlan,
+    custody: Option<CustodyConfig>,
+}
+
+/// How a driving faults the interconnect: not at all, a per-directed-link
+/// renewal chain of outage/throttle windows, or one clean partition of the
+/// node set.
+#[derive(Debug)]
+enum LinkPlan {
+    None,
+    Process {
+        mtbf_ms: f64,
+        outage_ms: f64,
+        degraded_fraction: f64,
+        bandwidth_den: u32,
+    },
+    Partition {
+        split: usize,
+        start_ms: f64,
+        end_ms: f64,
+    },
 }
 
 fn draw_driving(rng: &mut StdRng) -> Driving {
@@ -119,6 +147,61 @@ fn draw_driving(rng: &mut StdRng) -> Driving {
             None
         },
         recovery,
+        links: match rng.gen_range(0u8..3) {
+            0 => LinkPlan::None,
+            1 => LinkPlan::Process {
+                mtbf_ms: rng.gen_range(3.0..20.0),
+                outage_ms: rng.gen_range(1.0..8.0),
+                degraded_fraction: rng.gen_range(0.0..0.9),
+                bandwidth_den: rng.gen_range(4u32..=64),
+            },
+            _ => {
+                let split = rng.gen_range(1..nodes);
+                let start_ms = rng.gen_range(0.5..duration_ms * 0.5);
+                LinkPlan::Partition {
+                    split,
+                    start_ms,
+                    end_ms: start_ms + rng.gen_range(1.0..duration_ms * 0.5),
+                }
+            }
+        },
+        custody: if rng.gen_bool(0.6) {
+            let mut custody = CustodyConfig::redirect().with_timeout_ms(rng.gen_range(0.2..4.0));
+            custody.recovery.retry_budget = rng.gen_range(0u32..=4);
+            custody.recovery.backoff_base_ms = rng.gen_range(0.25..1.0);
+            Some(custody)
+        } else {
+            None
+        },
+    }
+}
+
+/// Samples the driving's link-fault windows (empty for [`LinkPlan::None`]).
+fn draw_links(driving: &Driving, npu: &NpuConfig, rng: &mut StdRng) -> Vec<LinkFault> {
+    match driving.links {
+        LinkPlan::None => Vec::new(),
+        LinkPlan::Process {
+            mtbf_ms,
+            outage_ms,
+            degraded_fraction,
+            bandwidth_den,
+        } => LinkFaultProcess::outages(driving.nodes, mtbf_ms, outage_ms, driving.duration_ms)
+            .with_degraded(degraded_fraction, 1, bandwidth_den)
+            .generate(rng),
+        LinkPlan::Partition {
+            split,
+            start_ms,
+            end_ms,
+        } => {
+            let all: Vec<usize> = (0..driving.nodes).collect();
+            let (left, right) = all.split_at(split);
+            LinkFault::partition(
+                left,
+                right,
+                npu.millis_to_cycles(start_ms),
+                npu.millis_to_cycles(end_ms),
+            )
+        }
     }
 }
 
@@ -137,7 +220,11 @@ fn config_of(driving: &Driving, schedule: FaultSchedule) -> OnlineClusterConfig 
         config = config.with_admission(target);
     }
     if let Some(migration) = &driving.migration {
-        config = config.with_migration(migration.clone());
+        let mut migration = migration.clone();
+        if let Some(custody) = driving.custody {
+            migration = migration.with_custody(custody);
+        }
+        config = config.with_migration(migration);
     }
     config
 }
@@ -189,6 +276,7 @@ fn random_fault_drivings_conserve_tasks_and_stay_deterministic() {
             "case {case}: fault process never fired"
         );
         let scheduled = schedule.len() as u64;
+        let schedule = schedule.with_links(draw_links(&driving, &npu, &mut rng));
         let simulator = OnlineClusterSimulator::new(config_of(&driving, schedule));
 
         // The heap run carries a bounded flight recorder: the last 512
@@ -263,6 +351,28 @@ fn random_fault_drivings_conserve_tasks_and_stay_deterministic() {
                 assert_eq!(
                     heap.migrations, 0,
                     "case {case}: migration fired without a policy\n{driving:?}"
+                );
+            }
+
+            // Custody invariants: reconciliation is clean (no task left in
+            // flight), the redirect tally matches its log, and without a
+            // custody layer the fabric is reliable — link faults must never
+            // fail a transfer.
+            assert!(
+                heap.custody_error.is_none(),
+                "case {case}: custody reconciliation failed: {:?}\n{driving:?}",
+                heap.custody_error
+            );
+            assert_eq!(
+                heap.redirects as usize,
+                heap.redirect_log.len(),
+                "case {case}: redirect count diverges from the log\n{driving:?}"
+            );
+            if driving.custody.is_none() || driving.migration.is_none() {
+                assert_eq!(
+                    (heap.transfer_failures, heap.redirects),
+                    (0, 0),
+                    "case {case}: custody machinery fired without a custody layer\n{driving:?}"
                 );
             }
         }));
@@ -386,4 +496,141 @@ fn multi_hop_salvage_resumes_from_advancing_checkpoints() {
     assert!(first.resume_executed > Cycles::new(0));
     assert!(second.resume_executed > first.resume_executed);
     assert!(second.resume_executed < total);
+}
+
+/// The custody state machine's worst day, walked deterministically: a
+/// straggling node evacuates its task, the destination crashes while the
+/// checkpoint is in flight, the redirect to the only surviving node is
+/// severed by a link drop, and the backoff retry finally lands over the
+/// throttled link — exactly one record, nothing abandoned, custody clean.
+#[test]
+fn destination_crash_link_drop_backoff_retry_lands_exactly_once() {
+    let npu = NpuConfig::paper_default();
+    let d = |ms: f64| npu.millis_to_cycles(ms);
+    let request = TaskRequest::new(TaskId(0), ModelKind::CnnVggNet);
+    let tasks: Vec<PreparedTask> = prepare_requests(&[request], &npu, None);
+
+    let throttled = LinkFaultKind::Degraded {
+        bandwidth_num: 1,
+        bandwidth_den: 16,
+    };
+    // Node 0 straggles at 1/8 speed until just after the evacuation
+    // departs, then crashes so the redirect cannot bounce the task home.
+    // Node 1 (the chosen destination) crashes while the checkpoint is in
+    // flight. Node 2 stays healthy, but its inbound link from node 0 is
+    // throttled the whole run and fully down across the first redirect's
+    // flight window.
+    let schedule = FaultSchedule::from_events(vec![
+        NodeFault {
+            node: 0,
+            start: d(0.5),
+            end: d(1.4),
+            kind: FaultKind::Degrade {
+                speed_num: 1,
+                speed_den: 8,
+            },
+        },
+        NodeFault {
+            node: 0,
+            start: d(1.5),
+            end: d(100.0),
+            kind: FaultKind::Crash,
+        },
+        NodeFault {
+            node: 1,
+            start: d(1.0),
+            end: d(100.0),
+            kind: FaultKind::Crash,
+        },
+    ])
+    .with_links(vec![
+        LinkFault {
+            from: 0,
+            to: 2,
+            start: d(0.01),
+            end: d(5.0),
+            kind: throttled,
+        },
+        LinkFault {
+            from: 0,
+            to: 2,
+            start: d(5.0),
+            end: d(5.8),
+            kind: LinkFaultKind::Down,
+        },
+        LinkFault {
+            from: 0,
+            to: 2,
+            start: d(5.8),
+            end: d(20.0),
+            kind: throttled,
+        },
+    ]);
+
+    let migration =
+        MigrationConfig::new(2.0).with_custody(CustodyConfig::redirect().with_timeout_ms(200.0));
+    let config = OnlineClusterConfig::new(
+        3,
+        SchedulerConfig::paper_default(),
+        OnlineDispatchPolicy::Predictive,
+    )
+    .with_faults(ClusterFaultPlan::new(schedule))
+    .with_migration(migration);
+    let simulator = OnlineClusterSimulator::new(config);
+    let heap = simulator.run(&tasks);
+    let reference = simulator.run_reference(&tasks);
+    assert_eq!(heap, reference);
+
+    // One evacuation: off the straggler toward node 1, which is down by
+    // the time the payload arrives — attempt 1 fails at the landing check.
+    assert_eq!(heap.migration_log.len(), 1);
+    let evacuation = heap.migration_log[0];
+    assert_eq!(
+        (evacuation.task, evacuation.from_node, evacuation.to_node),
+        (TaskId(0), 0, 1)
+    );
+    assert_eq!(evacuation.at, d(0.5));
+    assert!(evacuation.arrive_at > d(1.0) && evacuation.arrive_at < d(1.5));
+
+    // Two failed attempts (destination down, then the severed redirect)
+    // and two committed redirects, both re-routing 0 → 2: attempt 2 right
+    // after the landing failure's backoff, attempt 3 once the second
+    // backoff clears the link-down window.
+    assert_eq!(heap.transfer_failures, 2);
+    assert_eq!(heap.redirects, 2);
+    assert_eq!(heap.redirect_log.len(), 2);
+    let first = heap.redirect_log[0];
+    let second = heap.redirect_log[1];
+    assert_eq!(
+        (first.task, first.from_node, first.to_node, first.attempt),
+        (TaskId(0), 0, 2, 2)
+    );
+    assert!(first.at > d(1.5) && first.at < d(2.0));
+    assert_eq!(
+        (
+            second.task,
+            second.from_node,
+            second.to_node,
+            second.attempt
+        ),
+        (TaskId(0), 0, 2, 3)
+    );
+    assert_eq!(second.at, d(6.0));
+
+    // Exactly-once custody: the task lands on node 2, is served exactly
+    // once, and reconciliation finds nothing still in flight.
+    assert!(heap.abandoned.is_empty());
+    assert!(heap.custody_error.is_none());
+    assert_eq!(heap.crashes, 2);
+    let records = heap.cluster.merged_records();
+    assert_eq!(records.iter().filter(|r| r.id == TaskId(0)).count(), 1);
+    assert_eq!(
+        heap.cluster.node_outcomes[2]
+            .records
+            .iter()
+            .filter(|r| r.id == TaskId(0))
+            .count(),
+        1,
+        "the task must complete on the only surviving node"
+    );
 }
